@@ -1,0 +1,89 @@
+// Ablation: how much runtime-estimate quality do the policies really need?
+//
+// The paper (sec 1.2, sec 7) notes that in practice LWL is implemented from
+// user-submitted runtime *estimates*, while SITA needs only a 1-bit
+// short/long classification. This bench degrades both:
+//   * LWL observes per-host work through lognormal noise of growing sigma;
+//   * SITA-U-fair suffers misclassification under two error models —
+//     uniform (any job can land anywhere, so even the rare huge jobs hit
+//     the short host) and borderline (only jobs within 4x of the cutoff can
+//     flip, the paper's "users judge short vs long" scenario).
+// Findings this bench demonstrates: LWL is almost insensitive to
+// observation noise (pooling absorbs it); borderline SITA errors are nearly
+// free, which supports the paper's sec 7 argument; but *uniform* errors are
+// deadly past a few percent — SITA's win hinges on the largest jobs being
+// classified correctly, exactly why the paper emphasizes users' incentive
+// to get the one bit right.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cutoffs.hpp"
+#include "core/metrics.hpp"
+#include "core/policies/noisy_lwl.hpp"
+#include "core/policies/sita.hpp"
+#include "core/server.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const util::Cli cli(argc, argv);
+  const double rho = cli.get_double("load", 0.7);
+  bench::print_header(
+      "Ablation: estimate-error sensitivity at load " +
+          util::format_sig(rho, 2) + ", 2 hosts",
+      "Noisy-LWL vs SITA-U-fair under uniform and borderline "
+      "misclassification.",
+      opts);
+
+  // Shared workload and cutoff derivation (paper method).
+  const std::vector<double> sizes = workload::make_sizes(
+      workload::find_workload(opts.workload), opts.seed, opts.jobs);
+  const std::size_t mid = sizes.size() / 2;
+  const std::vector<double> train(
+      sizes.begin(), sizes.begin() + static_cast<std::ptrdiff_t>(mid));
+  const std::vector<double> eval(
+      sizes.begin() + static_cast<std::ptrdiff_t>(mid), sizes.end());
+  const core::CutoffDeriver deriver(train);
+  const double fair_cutoff = deriver.sita_u_fair(rho).cutoff;
+  dist::Rng rng = dist::Rng(opts.seed).split(99);
+  const workload::Trace trace =
+      workload::Trace::with_poisson_load(eval, rho, 2, rng);
+
+  const std::vector<double> sigmas = {0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0};
+  const std::vector<double> error_rates = {0.0, 0.02, 0.05, 0.1,
+                                           0.2, 0.35, 0.5};
+  bench::Series lwl{"Noisy-LWL (vs sigma)", {}},
+      uniform{"SITA-U-fair uniform err", {}},
+      borderline{"SITA-U-fair borderline err", {}};
+  std::vector<double> axis;
+  for (std::size_t i = 0; i < sigmas.size(); ++i) {
+    axis.push_back(static_cast<double>(i));
+    core::NoisyLeastWorkLeftPolicy noisy(sigmas[i]);
+    lwl.values.push_back(
+        core::summarize(core::simulate(noisy, trace, 2, opts.seed))
+            .mean_slowdown);
+    core::SitaPolicy su({fair_cutoff}, "SITA-uniform", error_rates[i],
+                        core::SitaPolicy::ErrorModel::kUniform);
+    uniform.values.push_back(
+        core::summarize(core::simulate(su, trace, 2, opts.seed))
+            .mean_slowdown);
+    core::SitaPolicy sb({fair_cutoff}, "SITA-borderline", error_rates[i],
+                        core::SitaPolicy::ErrorModel::kBorderline);
+    borderline.values.push_back(
+        core::summarize(core::simulate(sb, trace, 2, opts.seed))
+            .mean_slowdown);
+  }
+  bench::print_panel(
+      "Mean slowdown vs error level i (sigma_i = {0,.25,.5,1,1.5,2,3}; "
+      "eps_i = {0,.02,.05,.1,.2,.35,.5})",
+      "level", axis, {lwl, uniform, borderline}, opts.csv);
+
+  std::cout
+      << "\nReading: LWL barely notices even order-of-magnitude estimate "
+         "noise; borderline SITA errors cost little (the paper's sec 7 "
+         "argument); uniform errors — huge jobs misrouted onto the short "
+         "host — erase SITA's advantage past a few percent. Correctly "
+         "classifying the heavy tail is the one bit that matters.\n";
+  return 0;
+}

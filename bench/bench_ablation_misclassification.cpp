@@ -1,0 +1,43 @@
+// Ablation (paper sec 7, limitations): user runtime estimates are imperfect.
+//
+// The paper argues SITA needs only a 1-bit estimate (short vs long) and
+// that misclassified small jobs mostly hurt themselves. This bench injects
+// classification errors at rate eps — each misclassified job is routed to a
+// uniformly random wrong size interval — and tracks how SITA-E and
+// SITA-U-fair degrade toward (and past) Least-Work-Left.
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  using core::PolicyKind;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const util::Cli cli(argc, argv);
+  const double rho = cli.get_double("load", 0.7);
+  bench::print_header(
+      "Ablation: SITA under classification errors, 2 hosts, load " +
+          util::format_sig(rho, 2),
+      "Mean slowdown vs error rate; expected: graceful degradation, "
+      "SITA-U-fair stays competitive at realistic error rates.",
+      opts);
+
+  const std::vector<double> error_rates = {0.0,  0.02, 0.05, 0.1,
+                                           0.2,  0.3,  0.5};
+  bench::Series sita_e{"SITA-E", {}}, fair{"SITA-U-fair", {}},
+      lwl{"Least-Work-Left (reference)", {}};
+  for (double eps : error_rates) {
+    core::ExperimentConfig cfg = opts.experiment_config(2);
+    cfg.sita_error_rate = eps;
+    core::Workbench wb(workload::find_workload(opts.workload), cfg);
+    sita_e.values.push_back(
+        wb.run_point(PolicyKind::kSitaE, rho).summary.mean_slowdown);
+    fair.values.push_back(
+        wb.run_point(PolicyKind::kSitaUFair, rho).summary.mean_slowdown);
+    lwl.values.push_back(
+        wb.run_point(PolicyKind::kLeastWorkLeft, rho).summary.mean_slowdown);
+  }
+  bench::print_panel("Mean slowdown vs classification error rate",
+                     "error", error_rates, {sita_e, fair, lwl}, opts.csv);
+  return 0;
+}

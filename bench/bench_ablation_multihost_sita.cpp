@@ -1,0 +1,72 @@
+// Ablation: true multi-cutoff SITA-U versus the paper's grouped
+// approximation (sec 5).
+//
+// The paper extends SITA-U to many hosts by reusing the 2-host cutoff with
+// two LWL host groups, arguing a full (h-1)-cutoff search is too expensive.
+// With analytic scoring the full search is cheap (coordinate descent /
+// nested fairness construction — see queueing/cutoff_search.hpp), so this
+// bench quantifies what the approximation gives away.
+#include <iostream>
+
+#include "common.hpp"
+#include "queueing/cutoff_search.hpp"
+#include "queueing/policy_analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  using core::PolicyKind;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const util::Cli cli(argc, argv);
+  const double rho = cli.get_double("load", 0.7);
+  bench::print_header(
+      "Ablation: multi-cutoff SITA-U vs grouped SITA-U+LWL at load " +
+          util::format_sig(rho, 2),
+      "Analytic multi-cutoff results plus simulated grouped policies; "
+      "expected: the full search wins, the grouped form tracks it.",
+      opts);
+
+  const queueing::MixtureSizeModel model(
+      workload::service_distribution(workload::find_workload(opts.workload)));
+  const std::vector<double> host_counts = {2, 4, 8, 16};
+
+  bench::Series sita_e{"SITA-E (analytic)", {}},
+      opt_multi{"SITA-U-opt multi (analytic)", {}},
+      fair_multi{"SITA-U-fair multi (analytic)", {}},
+      sim_opt_multi{"SITA-U-opt multi (simulated)", {}},
+      grouped_opt{"SITA-U-opt+LWL (simulated)", {}},
+      grouped_fair{"SITA-U-fair+LWL (simulated)", {}};
+  for (double hd : host_counts) {
+    const auto h = static_cast<std::size_t>(hd);
+    const double lambda = queueing::lambda_for_load(model, rho, h);
+    sita_e.values.push_back(
+        queueing::analyze_sita_e(model, lambda, h).mean_slowdown);
+    opt_multi.values.push_back(
+        queueing::find_sita_u_opt_multi(model, lambda, h)
+            .metrics.mean_slowdown);
+    fair_multi.values.push_back(
+        queueing::find_sita_u_fair_multi(model, lambda, h)
+            .metrics.mean_slowdown);
+    core::Workbench wb(workload::find_workload(opts.workload),
+                       opts.experiment_config(h));
+    sim_opt_multi.values.push_back(
+        wb.run_point(h == 2 ? PolicyKind::kSitaUOpt
+                            : PolicyKind::kSitaUOptMulti,
+                     rho)
+            .summary.mean_slowdown);
+    grouped_opt.values.push_back(
+        wb.run_point(h == 2 ? PolicyKind::kSitaUOpt
+                            : PolicyKind::kHybridSitaUOpt,
+                     rho)
+            .summary.mean_slowdown);
+    grouped_fair.values.push_back(
+        wb.run_point(h == 2 ? PolicyKind::kSitaUFair
+                            : PolicyKind::kHybridSitaUFair,
+                     rho)
+            .summary.mean_slowdown);
+  }
+  bench::print_panel("Mean slowdown vs host count", "hosts", host_counts,
+                     {sita_e, opt_multi, fair_multi, sim_opt_multi,
+                      grouped_opt, grouped_fair},
+                     opts.csv);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fairness profile — the paper's conclusion (sec 8) in one table.
+//
+// "What's nice about our SITA-U-fair policy is that it both gives extra
+// benefit to short jobs ... while at the same time guaranteeing that the
+// expected slowdown for short and long jobs is equal." Footnote 1 adds the
+// ideal reference: Processor-Sharing, where EVERY job sees the same
+// expected slowdown — but which run-to-completion supercomputers cannot
+// implement.
+//
+// This bench prints mean slowdown per job-size class (geometric buckets)
+// for: LWL (the balancing incumbent), SITA-E, SITA-U-fair, and the
+// preemptive PS ideal (LWL-dispatched PS hosts). Expected: LWL and SITA-E
+// crush the small jobs; SITA-U-fair flattens the profile dramatically,
+// approaching PS's flat line without any preemption.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cutoffs.hpp"
+#include "core/metrics.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/sita.hpp"
+#include "core/ps_server.hpp"
+#include "core/server.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const util::Cli cli(argc, argv);
+  const double rho = cli.get_double("load", 0.7);
+  const auto classes = static_cast<std::size_t>(cli.get_int("classes", 8));
+  bench::print_header(
+      "Fairness profile: mean slowdown by job-size class at load " +
+          util::format_sig(rho, 2) + ", 2 hosts",
+      "Expected: LWL/SITA-E punish small jobs by orders of magnitude; "
+      "SITA-U-fair flattens the profile toward the preemptive PS ideal.",
+      opts);
+
+  const std::vector<double> sizes = workload::make_sizes(
+      workload::find_workload(opts.workload), opts.seed, opts.jobs);
+  const std::size_t mid = sizes.size() / 2;
+  const std::vector<double> train(
+      sizes.begin(), sizes.begin() + static_cast<std::ptrdiff_t>(mid));
+  const std::vector<double> eval(
+      sizes.begin() + static_cast<std::ptrdiff_t>(mid), sizes.end());
+  const core::CutoffDeriver deriver(train);
+  dist::Rng rng = dist::Rng(opts.seed).split(4242);
+  const workload::Trace trace =
+      workload::Trace::with_poisson_load(eval, rho, 2, rng);
+
+  core::LeastWorkLeftPolicy lwl;
+  core::SitaPolicy sita_e(deriver.sita_e(2), "SITA-E");
+  const auto fair = deriver.sita_u_fair(rho);
+  core::SitaPolicy sita_fair({fair.cutoff}, "SITA-U-fair");
+
+  const core::RunResult run_lwl = core::simulate(lwl, trace, 2);
+  const core::RunResult run_e = core::simulate(sita_e, trace, 2);
+  const core::RunResult run_f = core::simulate(sita_fair, trace, 2);
+  core::LeastWorkLeftPolicy lwl_for_ps;
+  core::PsServer ps(2, lwl_for_ps);
+  const core::RunResult run_ps = ps.run(trace);
+
+  const auto c_lwl = core::slowdown_by_size_class(run_lwl, classes);
+  const auto c_e = core::slowdown_by_size_class(run_e, classes);
+  const auto c_f = core::slowdown_by_size_class(run_f, classes);
+  const auto c_ps = core::slowdown_by_size_class(run_ps, classes);
+
+  util::Table table({"size class (s)", "jobs", "LWL (FCFS)", "SITA-E",
+                     "SITA-U-fair", "PS ideal"});
+  for (std::size_t i = 0; i < classes; ++i) {
+    table.add_row({util::format_sig(c_lwl[i].size_lo, 2) + " - " +
+                       util::format_sig(c_lwl[i].size_hi, 2),
+                   std::to_string(c_lwl[i].jobs),
+                   util::format_sig(c_lwl[i].mean_slowdown, 4),
+                   util::format_sig(c_e[i].mean_slowdown, 4),
+                   util::format_sig(c_f[i].mean_slowdown, 4),
+                   util::format_sig(c_ps[i].mean_slowdown, 4)});
+  }
+  table.print(std::cout);
+
+  auto spread = [&](const std::vector<core::SizeClassSlowdown>& cs) {
+    double lo = 1e300, hi = 0.0;
+    for (const auto& c : cs) {
+      if (c.jobs < 50) continue;
+      lo = std::min(lo, c.mean_slowdown);
+      hi = std::max(hi, c.mean_slowdown);
+    }
+    return hi / lo;
+  };
+  std::cout << "\nmax/min slowdown across size classes (1 = perfectly "
+               "fair):\n  LWL "
+            << util::format_sig(spread(c_lwl), 3) << "   SITA-E "
+            << util::format_sig(spread(c_e), 3) << "   SITA-U-fair "
+            << util::format_sig(spread(c_f), 3) << "   PS "
+            << util::format_sig(spread(c_ps), 3) << "\n";
+  return 0;
+}

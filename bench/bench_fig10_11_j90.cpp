@@ -1,0 +1,62 @@
+// Figures 10 and 11 (appendix B) — the J90 trace results.
+//
+// Figure 10: mean + variance of slowdown for ALL policies (balancing and
+// unbalancing) on the J90 workload, 2 hosts. Figure 11: fraction of load on
+// Host 1 under SITA-U-opt/fair vs the rho/2 rule of thumb, on J90.
+// The paper reports these "virtually identical" to the C90 results.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cutoffs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  using core::PolicyKind;
+  const auto opts = bench::BenchOptions::parse(argc, argv, "j90");
+  bench::print_header(
+      "Figures 10+11: appendix B, J90 workload, 2 hosts",
+      "Expected shape: same policy ranking as C90 (Figs 2/4/5).", opts);
+
+  const PolicyKind policies[] = {PolicyKind::kRandom,
+                                 PolicyKind::kLeastWorkLeft,
+                                 PolicyKind::kSitaE, PolicyKind::kSitaUOpt,
+                                 PolicyKind::kSitaUFair};
+  core::Workbench wb(workload::find_workload(opts.workload),
+                     opts.experiment_config(2));
+  const std::vector<double> loads = bench::paper_loads();
+
+  std::vector<bench::Series> mean_series, var_series;
+  for (PolicyKind kind : policies) {
+    bench::Series mean{core::to_string(kind), {}};
+    bench::Series var{core::to_string(kind), {}};
+    for (double rho : loads) {
+      const auto p = wb.run_point(kind, rho);
+      mean.values.push_back(p.summary.mean_slowdown);
+      var.values.push_back(p.summary.var_slowdown);
+    }
+    mean_series.push_back(std::move(mean));
+    var_series.push_back(std::move(var));
+  }
+  bench::print_panel("Fig 10 (top): mean slowdown vs system load", "load",
+                     loads, mean_series, opts.csv);
+  bench::print_panel("Fig 10 (bottom): variance in slowdown vs system load",
+                     "load", loads, var_series, opts.csv);
+
+  // Figure 11: Host 1 load fractions.
+  const std::vector<double> sizes = workload::make_sizes(
+      workload::find_workload(opts.workload), opts.seed, opts.jobs);
+  const std::vector<double> train(
+      sizes.begin(),
+      sizes.begin() + static_cast<std::ptrdiff_t>(sizes.size() / 2));
+  const core::CutoffDeriver deriver(train);
+  bench::Series opt{"SITA-U-opt", {}}, fair{"SITA-U-fair", {}},
+      thumb{"rule-of-thumb (rho/2)", {}};
+  for (double rho : loads) {
+    opt.values.push_back(deriver.sita_u_opt(rho).host1_load_fraction);
+    fair.values.push_back(deriver.sita_u_fair(rho).host1_load_fraction);
+    thumb.values.push_back(rho / 2.0);
+  }
+  bench::print_panel("Fig 11: Host 1 load fraction vs system load", "load",
+                     loads, {opt, fair, thumb}, opts.csv);
+  return 0;
+}

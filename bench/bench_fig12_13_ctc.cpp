@@ -1,0 +1,64 @@
+// Figures 12 and 13 (appendix C) — the CTC IBM SP2 trace results.
+//
+// Figure 12: mean + variance of slowdown for ALL policies on the CTC
+// workload (12-hour runtime cap, much lower variance), 2 hosts. Figure 13:
+// fraction of load on Host 1 under SITA-U-opt/fair vs the rho/2 rule of
+// thumb. The paper notes that despite the cap's "considerably lower
+// variance ... the comparative performance of the task assignment policies
+// under the CTC trace was very similar" to the Cray traces.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cutoffs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  using core::PolicyKind;
+  const auto opts = bench::BenchOptions::parse(argc, argv, "ctc");
+  bench::print_header(
+      "Figures 12+13: appendix C, CTC workload, 2 hosts",
+      "Expected shape: same policy ranking as C90 (Figs 2/4/5).", opts);
+
+  const PolicyKind policies[] = {PolicyKind::kRandom,
+                                 PolicyKind::kLeastWorkLeft,
+                                 PolicyKind::kSitaE, PolicyKind::kSitaUOpt,
+                                 PolicyKind::kSitaUFair};
+  core::Workbench wb(workload::find_workload(opts.workload),
+                     opts.experiment_config(2));
+  const std::vector<double> loads = bench::paper_loads();
+
+  std::vector<bench::Series> mean_series, var_series;
+  for (PolicyKind kind : policies) {
+    bench::Series mean{core::to_string(kind), {}};
+    bench::Series var{core::to_string(kind), {}};
+    for (double rho : loads) {
+      const auto p = wb.run_point(kind, rho);
+      mean.values.push_back(p.summary.mean_slowdown);
+      var.values.push_back(p.summary.var_slowdown);
+    }
+    mean_series.push_back(std::move(mean));
+    var_series.push_back(std::move(var));
+  }
+  bench::print_panel("Fig 12 (top): mean slowdown vs system load", "load",
+                     loads, mean_series, opts.csv);
+  bench::print_panel("Fig 12 (bottom): variance in slowdown vs system load",
+                     "load", loads, var_series, opts.csv);
+
+  // Figure 11: Host 1 load fractions.
+  const std::vector<double> sizes = workload::make_sizes(
+      workload::find_workload(opts.workload), opts.seed, opts.jobs);
+  const std::vector<double> train(
+      sizes.begin(),
+      sizes.begin() + static_cast<std::ptrdiff_t>(sizes.size() / 2));
+  const core::CutoffDeriver deriver(train);
+  bench::Series opt{"SITA-U-opt", {}}, fair{"SITA-U-fair", {}},
+      thumb{"rule-of-thumb (rho/2)", {}};
+  for (double rho : loads) {
+    opt.values.push_back(deriver.sita_u_opt(rho).host1_load_fraction);
+    fair.values.push_back(deriver.sita_u_fair(rho).host1_load_fraction);
+    thumb.values.push_back(rho / 2.0);
+  }
+  bench::print_panel("Fig 13: Host 1 load fraction vs system load", "load",
+                     loads, {opt, fair, thumb}, opts.csv);
+  return 0;
+}

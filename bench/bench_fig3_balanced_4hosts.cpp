@@ -1,0 +1,46 @@
+// Figure 3 — "Experimental comparison of task assignment policies which
+// balance load for a system with 4 hosts."
+//
+// Same comparison as Figure 2 but with h = 4 (SITA-E uses 3 load-
+// equalizing cutoffs). Expected: LWL and SITA-E both improve markedly over
+// the 2-host system; Random is unchanged; LWL wins at low load, SITA-E wins
+// by 2-4x at medium/high load, and SITA-E's variance is ~25x lower.
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  using core::PolicyKind;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Figure 3: load-balancing policies, 4 hosts (simulation)",
+      "Expected shape: LWL < SITA-E at low load; SITA-E wins >= 2x for "
+      "load >= 0.5; Random unchanged vs 2 hosts.",
+      opts);
+
+  const PolicyKind policies[] = {PolicyKind::kRandom,
+                                 PolicyKind::kLeastWorkLeft,
+                                 PolicyKind::kSitaE};
+  core::Workbench wb(workload::find_workload(opts.workload),
+                     opts.experiment_config(4));
+  const std::vector<double> loads = bench::paper_loads();
+
+  std::vector<bench::Series> mean_series, var_series;
+  for (PolicyKind kind : policies) {
+    bench::Series mean{core::to_string(kind), {}};
+    bench::Series var{core::to_string(kind), {}};
+    for (double rho : loads) {
+      const auto p = wb.run_point(kind, rho);
+      mean.values.push_back(p.summary.mean_slowdown);
+      var.values.push_back(p.summary.var_slowdown);
+    }
+    mean_series.push_back(std::move(mean));
+    var_series.push_back(std::move(var));
+  }
+  bench::print_panel("Fig 3 (top): mean slowdown vs system load", "load",
+                     loads, mean_series, opts.csv);
+  bench::print_panel("Fig 3 (bottom): variance in slowdown vs system load",
+                     "load", loads, var_series, opts.csv);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 5 — "Fraction of the total load which goes to Host 1 under
+// SITA-U-opt and SITA-U-fair and our rule of thumb."
+//
+// For each system load rho, the searched cutoffs put roughly load fraction
+// rho/2 on the short-jobs host (vs 0.5 always for SITA-E) — the paper's
+// rule of thumb (sec 4.4). Fractions are computed from the training-half
+// cutoff derivation, as in the paper.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cutoffs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Figure 5: fraction of total load on Host 1 vs system load",
+      "Expected shape: SITA-U-opt ~ SITA-U-fair ~ rho/2 (rule of thumb); "
+      "SITA-E would be a flat 0.5.",
+      opts);
+
+  const std::vector<double> sizes = workload::make_sizes(
+      workload::find_workload(opts.workload), opts.seed, opts.jobs);
+  const std::vector<double> train(
+      sizes.begin(), sizes.begin() + static_cast<std::ptrdiff_t>(sizes.size() / 2));
+  const core::CutoffDeriver deriver(train);
+
+  const std::vector<double> loads = bench::paper_loads();
+  bench::Series opt{"SITA-U-opt", {}}, fair{"SITA-U-fair", {}},
+      thumb{"rule-of-thumb (rho/2)", {}}, sita_e{"SITA-E", {}};
+  for (double rho : loads) {
+    opt.values.push_back(deriver.sita_u_opt(rho).host1_load_fraction);
+    fair.values.push_back(deriver.sita_u_fair(rho).host1_load_fraction);
+    thumb.values.push_back(rho / 2.0);
+    sita_e.values.push_back(0.5);
+  }
+  bench::print_panel("Fig 5: Host 1 load fraction vs system load", "load",
+                     loads, {opt, fair, thumb, sita_e}, opts.csv);
+
+  // Companion detail: the cutoffs themselves (seconds).
+  bench::Series opt_c{"opt cutoff (s)", {}}, fair_c{"fair cutoff (s)", {}},
+      thumb_c{"thumb cutoff (s)", {}};
+  for (double rho : loads) {
+    opt_c.values.push_back(deriver.sita_u_opt(rho).cutoff);
+    fair_c.values.push_back(deriver.sita_u_fair(rho).cutoff);
+    thumb_c.values.push_back(deriver.rule_of_thumb(rho));
+  }
+  bench::print_panel("Derived short/long cutoffs (not in paper figure)",
+                     "load", loads, {opt_c, fair_c, thumb_c}, opts.csv);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 6 — "Results for systems with more than 4 machines and a system
+// load of 0.7."
+//
+// Mean slowdown as a function of the number of hosts at fixed system load
+// 0.7, for Least-Work-Left and the grouped (sec 5) variants of SITA-E,
+// SITA-U-opt and SITA-U-fair: hosts are split into a short group and a long
+// group by the previously derived 2-host cutoff, LWL within each group.
+// Expected: modified SITA-E beats LWL for small host counts, LWL overtakes
+// it for large ones; the SITA-U variants dominate until every policy
+// converges (h >~ 70).
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  using core::PolicyKind;
+  auto opts = bench::BenchOptions::parse(argc, argv);
+  const util::Cli cli(argc, argv);
+  const double rho = cli.get_double("load", 0.7);
+  bench::print_header(
+      "Figure 6: mean slowdown vs number of hosts at system load " +
+          util::format_sig(rho, 2),
+      "Expected shape: SITA-E+LWL beats LWL at small h; LWL overtakes at "
+      "large h; SITA-U variants best until all converge (h >~ 70).",
+      opts);
+
+  const std::vector<double> host_counts = {2, 4, 8, 12, 16, 24, 32,
+                                           48, 64, 80};
+  const PolicyKind grouped[] = {PolicyKind::kLeastWorkLeft,
+                                PolicyKind::kHybridSitaE,
+                                PolicyKind::kHybridSitaUOpt,
+                                PolicyKind::kHybridSitaUFair};
+
+  std::vector<bench::Series> mean_series;
+  for (PolicyKind kind : grouped) {
+    mean_series.push_back({core::to_string(kind), {}});
+  }
+  for (double h : host_counts) {
+    core::Workbench wb(workload::find_workload(opts.workload),
+                       opts.experiment_config(static_cast<std::size_t>(h)));
+    for (std::size_t k = 0; k < std::size(grouped); ++k) {
+      const auto p = wb.run_point(grouped[k], rho);
+      mean_series[k].values.push_back(p.summary.mean_slowdown);
+    }
+  }
+  bench::print_panel("Fig 6: mean slowdown vs number of hosts", "hosts",
+                     host_counts, mean_series, opts.csv);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Microbenchmarks (google-benchmark): raw performance of the simulation
+// substrate. Not a paper artifact — these quantify that the event engine
+// and policies are fast enough that every figure regenerates in seconds.
+#include <benchmark/benchmark.h>
+
+#include "core/metrics.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/random.hpp"
+#include "core/policies/sita.hpp"
+#include "core/server.hpp"
+#include "dist/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/catalog.hpp"
+
+namespace {
+
+using namespace distserv;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dist::Rng rng(1);
+  std::vector<double> times;
+  times.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) times.push_back(rng.uniform01() * 1e6);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (double t : times) q.schedule(t, [] {});
+    double last = 0.0;
+    while (!q.empty()) last = q.pop().time;
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(65536);
+
+void BM_RngUniform(benchmark::State& state) {
+  dist::Rng rng(7);
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.uniform01();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_BoundedParetoSample(benchmark::State& state) {
+  const auto& d =
+      workload::service_distribution(workload::find_workload("c90"));
+  dist::Rng rng(7);
+  double acc = 0.0;
+  for (auto _ : state) acc += d.sample(rng);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BoundedParetoSample);
+
+template <typename PolicyT>
+void run_server_bench(benchmark::State& state, PolicyT& policy,
+                      std::size_t hosts) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const workload::Trace trace = workload::make_trace(
+      workload::find_workload("c90"), 0.7, hosts, /*seed=*/3, n);
+  for (auto _ : state) {
+    const core::RunResult r = core::simulate(policy, trace, hosts);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_ServerLwl2Hosts(benchmark::State& state) {
+  core::LeastWorkLeftPolicy policy;
+  run_server_bench(state, policy, 2);
+}
+BENCHMARK(BM_ServerLwl2Hosts)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_ServerRandom16Hosts(benchmark::State& state) {
+  core::RandomPolicy policy;
+  run_server_bench(state, policy, 16);
+}
+BENCHMARK(BM_ServerRandom16Hosts)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_ServerSita2Hosts(benchmark::State& state) {
+  core::SitaPolicy policy({10000.0}, "SITA-bench");
+  run_server_bench(state, policy, 2);
+}
+BENCHMARK(BM_ServerSita2Hosts)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

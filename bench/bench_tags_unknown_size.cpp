@@ -1,0 +1,66 @@
+// Related-work baseline: TAGS (Harchol-Balter, ICDCS 2000 — the paper's
+// reference [10]) against the SITA family and Least-Work-Left.
+//
+// TAGS needs *no* runtime information: every job starts on Host 1 and is
+// killed-and-restarted upward when it exceeds the host's cutoff. The cost
+// is wasted restart work. Expected shape (per [10] and this paper's sec 7
+// discussion): TAGS lands between LWL and the size-aware SITA-U policies at
+// low/moderate load, and degrades toward (and past) LWL as load grows and
+// the restart waste stops fitting in the spare capacity.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/metrics.hpp"
+#include "core/tags.hpp"
+#include "queueing/cutoff_search.hpp"
+#include "queueing/policy_analysis.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "TAGS vs SITA vs LWL, 2 hosts (simulation + analysis)",
+      "TAGS assigns with UNKNOWN job sizes via kill-and-restart; expected: "
+      "between LWL and SITA-U at moderate load, degrading at high load.",
+      opts);
+
+  const auto& d = workload::service_distribution(
+      workload::find_workload(opts.workload));
+  const queueing::MixtureSizeModel model(d);
+
+  std::vector<double> loads;
+  for (double rho : bench::paper_loads()) loads.push_back(rho);
+
+  bench::Series lwl{"LWL (analytic)", {}}, sita{"SITA-U-opt (analytic)", {}},
+      tags_a{"TAGS-opt (analytic)", {}}, tags_s{"TAGS-opt (simulated)", {}},
+      waste{"TAGS wasted-work frac", {}};
+  for (double rho : loads) {
+    const double lambda = queueing::lambda_for_load(model, rho, 2);
+    lwl.values.push_back(
+        queueing::analyze_lwl(model, lambda, 2).mean_slowdown);
+    sita.values.push_back(
+        queueing::find_sita_u_opt(model, lambda).metrics.mean_slowdown);
+    const core::TagsCutoffResult t = core::find_tags_opt(model, lambda);
+    tags_a.values.push_back(t.feasible ? t.metrics.mean_slowdown : -1.0);
+    waste.values.push_back(t.feasible ? t.metrics.wasted_work_fraction
+                                      : -1.0);
+    if (t.feasible) {
+      dist::Rng rng = dist::Rng(opts.seed).split(
+          static_cast<std::uint64_t>(rho * 1e6));
+      const workload::Trace trace = workload::generate_trace_poisson(
+          d, opts.jobs, rho, 2, rng);
+      core::TagsServer server({t.cutoff});
+      tags_s.values.push_back(
+          core::summarize(server.run(trace)).mean_slowdown);
+    } else {
+      tags_s.values.push_back(-1.0);
+    }
+  }
+  bench::print_panel(
+      "Mean slowdown vs system load (-1 marks infeasible TAGS points)",
+      "load", loads, {lwl, tags_a, tags_s, sita}, opts.csv);
+  bench::print_panel("TAGS restart overhead", "load", loads, {waste},
+                     opts.csv);
+  return 0;
+}

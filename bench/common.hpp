@@ -1,0 +1,112 @@
+// Shared plumbing for the figure-reproduction binaries.
+//
+// Every bench prints (a) a provenance header describing the paper artifact
+// it regenerates, (b) aligned tables with one row per x-value (load, host
+// count, ...) and one column per policy/series — the same series the paper
+// plots — and (c) optionally machine-readable CSV via --csv.
+//
+// Common flags (all optional):
+//   --workload c90|j90|ctc   workload (default per bench)
+//   --jobs N                 total synthetic jobs (train+eval)
+//   --reps N                 replications per point
+//   --seed S                 master seed
+//   --csv                    also emit CSV to stdout
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+
+namespace distserv::bench {
+
+/// Bench-wide configuration parsed from argv.
+struct BenchOptions {
+  std::string workload = "c90";
+  std::size_t jobs = 40000;
+  std::size_t reps = 3;
+  std::uint64_t seed = 1;
+  bool csv = false;
+
+  static BenchOptions parse(int argc, const char* const* argv,
+                            std::string default_workload = "c90") {
+    const util::Cli cli(argc, argv);
+    BenchOptions o;
+    o.workload = cli.get_string("workload", std::move(default_workload));
+    o.jobs = static_cast<std::size_t>(cli.get_int("jobs", 40000));
+    o.reps = static_cast<std::size_t>(cli.get_int("reps", 3));
+    o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    o.csv = cli.has("csv");
+    return o;
+  }
+
+  [[nodiscard]] core::ExperimentConfig experiment_config(
+      std::size_t hosts) const {
+    core::ExperimentConfig cfg;
+    cfg.hosts = hosts;
+    cfg.n_jobs = jobs;
+    cfg.seed = seed;
+    cfg.replications = reps;
+    return cfg;
+  }
+};
+
+/// One named series over a common x-axis.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Prints the provenance banner all benches share.
+inline void print_header(const std::string& artifact,
+                         const std::string& description,
+                         const BenchOptions& o) {
+  std::cout << "==============================================================\n"
+            << artifact << "\n"
+            << description << "\n"
+            << "workload=" << o.workload << " jobs=" << o.jobs
+            << " reps=" << o.reps << " seed=" << o.seed << "\n"
+            << "==============================================================\n";
+}
+
+/// Prints one figure panel: x column plus one column per series.
+inline void print_panel(const std::string& title, const std::string& x_name,
+                        const std::vector<double>& xs,
+                        const std::vector<Series>& series, bool csv,
+                        int sig_digits = 4) {
+  std::cout << "\n--- " << title << " ---\n";
+  std::vector<std::string> headers = {x_name};
+  for (const Series& s : series) headers.push_back(s.name);
+  util::Table table(headers);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<double> row;
+    for (const Series& s : series) row.push_back(s.values[i]);
+    table.add_numeric_row(util::format_sig(xs[i], 3), row, sig_digits);
+  }
+  table.print(std::cout);
+  if (csv) {
+    std::cout << "\n[csv] " << title << "\n";
+    util::CsvWriter w(std::cout);
+    w.header(headers);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      std::vector<double> row = {xs[i]};
+      for (const Series& s : series) row.push_back(s.values[i]);
+      w.row(row);
+    }
+  }
+}
+
+/// The load grid the paper plots (0.1 .. 0.8; §3.2 notes the discussion
+/// extends to all loads < 1, but plots stop at 0.8 for readability).
+inline std::vector<double> paper_loads() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+}
+
+}  // namespace distserv::bench

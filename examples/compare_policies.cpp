@@ -1,0 +1,92 @@
+// Compare every task assignment policy on a chosen workload and host count
+// across a range of system loads — a configurable version of the paper's
+// Figures 2-4.
+//
+//   $ ./compare_policies --workload c90 --hosts 2 --jobs 30000
+//       --loads 0.3,0.5,0.7 --reps 3 [--bursty] [--csv]
+#include <iostream>
+
+#include "distserv.hpp"
+
+namespace {
+
+std::vector<double> parse_loads(const std::string& csv) {
+  std::vector<double> out;
+  for (const auto part : distserv::util::split(csv, ',')) {
+    double v = 0.0;
+    if (distserv::util::parse_double(part, v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  using core::PolicyKind;
+  const util::Cli cli(argc, argv);
+  const std::string workload = cli.get_string("workload", "c90");
+  const auto hosts = static_cast<std::size_t>(cli.get_int("hosts", 2));
+  const std::vector<double> loads =
+      parse_loads(cli.get_string("loads", "0.3,0.5,0.7,0.8"));
+
+  core::ExperimentConfig cfg;
+  cfg.hosts = hosts;
+  cfg.n_jobs = static_cast<std::size_t>(cli.get_int("jobs", 30000));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  cfg.replications = static_cast<std::size_t>(cli.get_int("reps", 3));
+  if (cli.has("bursty")) cfg.arrivals = core::ArrivalKind::kBursty;
+
+  std::vector<PolicyKind> policies = {
+      PolicyKind::kRandom,       PolicyKind::kRoundRobin,
+      PolicyKind::kShortestQueue, PolicyKind::kLeastWorkLeft,
+      PolicyKind::kCentralQueue};
+  if (hosts == 2) {
+    policies.insert(policies.end(),
+                    {PolicyKind::kSitaE, PolicyKind::kSitaUOpt,
+                     PolicyKind::kSitaUFair, PolicyKind::kSitaRuleOfThumb});
+  } else {
+    policies.insert(policies.end(),
+                    {PolicyKind::kSitaE, PolicyKind::kHybridSitaE,
+                     PolicyKind::kHybridSitaUOpt,
+                     PolicyKind::kHybridSitaUFair});
+  }
+
+  std::cout << "Comparing " << policies.size() << " policies on '" << workload
+            << "' with " << hosts << " hosts ("
+            << (cfg.arrivals == core::ArrivalKind::kBursty ? "bursty MMPP"
+                                                           : "Poisson")
+            << " arrivals)\n\n";
+
+  core::Workbench wb(workload::find_workload(workload), cfg);
+  util::Table table({"policy", "load", "mean slowdown", "var slowdown",
+                     "mean response", "p99 slowdown", "cutoff(s)"});
+  for (PolicyKind kind : policies) {
+    for (double rho : loads) {
+      const core::ExperimentPoint p = wb.run_point(kind, rho);
+      table.add_row(
+          {core::to_string(kind), util::format_sig(rho, 2),
+           util::format_sig(p.summary.mean_slowdown, 4),
+           util::format_sig(p.summary.var_slowdown, 4),
+           util::format_sig(p.summary.mean_response, 4),
+           util::format_sig(p.summary.p99_slowdown, 4),
+           p.has_cutoff ? util::format_sig(p.cutoff, 4) : "-"});
+    }
+  }
+  table.print(std::cout);
+
+  if (cli.has("csv")) {
+    std::cout << "\n";
+    util::CsvWriter w(std::cout);
+    w.header({"policy", "load", "mean_slowdown", "var_slowdown"});
+    for (PolicyKind kind : policies) {
+      for (double rho : loads) {
+        const auto p = wb.run_point(kind, rho);
+        w.row({core::to_string(kind), util::format_sig(rho, 3),
+               util::format_sig(p.summary.mean_slowdown, 6),
+               util::format_sig(p.summary.var_slowdown, 6)});
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// What if nobody tells you the job sizes? TAGS vs the size-aware policies.
+//
+//   $ ./unknown_sizes --workload c90 --load 0.6
+//
+// SITA needs a short/long estimate per job; the paper's sec 7 discusses how
+// users might supply it. TAGS (the paper's reference [10]) needs nothing:
+// every job starts on Host 1 and is killed-and-restarted on Host 2 if it
+// outlives the cutoff — the system *discovers* the size, paying in wasted
+// work. This example derives the TAGS-optimal cutoff analytically, runs
+// the kill-and-restart simulator, and places the result between LWL (no
+// size use at all) and SITA-U-opt (perfect size knowledge).
+#include <iostream>
+
+#include "distserv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  const util::Cli cli(argc, argv);
+  const std::string workload = cli.get_string("workload", "c90");
+  const double rho = cli.get_double("load", 0.6);
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 30000));
+
+  const workload::WorkloadSpec& spec = workload::find_workload(workload);
+  const auto& service = workload::service_distribution(spec);
+  const queueing::MixtureSizeModel model(service);
+  const double lambda = queueing::lambda_for_load(model, rho, 2);
+
+  // 1. Derive the TAGS cutoff with no trace data at all — just the
+  //    analytic workload model.
+  const core::TagsCutoffResult tags = core::find_tags_opt(model, lambda);
+  if (!tags.feasible) {
+    std::cerr << "TAGS infeasible at load " << rho
+              << " (restart waste exceeds spare capacity)\n";
+    return 1;
+  }
+  std::cout << "TAGS cutoff: " << util::format_sig(tags.cutoff, 4)
+            << " s; predicted E[S] = "
+            << util::format_sig(tags.metrics.mean_slowdown, 4)
+            << "; wasted work = "
+            << util::format_sig(100.0 * tags.metrics.wasted_work_fraction, 3)
+            << "%\n\n";
+
+  // 2. Simulate TAGS and the references on a common trace.
+  dist::Rng rng(77);
+  const workload::Trace trace =
+      workload::generate_trace_poisson(service, jobs, rho, 2, rng);
+
+  core::TagsServer tags_server({tags.cutoff});
+  const core::MetricsSummary m_tags =
+      core::summarize(tags_server.run(trace));
+
+  core::LeastWorkLeftPolicy lwl;
+  const core::MetricsSummary m_lwl =
+      core::summarize(core::simulate(lwl, trace, 2));
+
+  const queueing::CutoffSearchResult opt =
+      queueing::find_sita_u_opt(model, lambda);
+  core::SitaPolicy sita({opt.cutoff}, "SITA-U-opt");
+  const core::MetricsSummary m_sita =
+      core::summarize(core::simulate(sita, trace, 2));
+
+  util::Table table({"policy", "size info needed", "mean slowdown",
+                     "var slowdown"});
+  table.add_row({"Least-Work-Left", "none (remaining-work oracle)",
+                 util::format_sig(m_lwl.mean_slowdown, 4),
+                 util::format_sig(m_lwl.var_slowdown, 4)});
+  table.add_row({"TAGS", "none (kill & restart)",
+                 util::format_sig(m_tags.mean_slowdown, 4),
+                 util::format_sig(m_tags.var_slowdown, 4)});
+  table.add_row({"SITA-U-opt", "1 bit (short/long)",
+                 util::format_sig(m_sita.mean_slowdown, 4),
+                 util::format_sig(m_sita.var_slowdown, 4)});
+  table.print(std::cout);
+
+  std::cout << "\nTAGS recovers most of the unbalancing win without any "
+               "size information — the paper's [10] in action.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, test, regenerate every paper table/figure.
+#
+# Usage: scripts/reproduce.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -G Ninja
+
+echo "== build =="
+cmake --build "$BUILD_DIR"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
+
+echo "== benches (paper tables & figures) =="
+: > bench_output.txt
+for b in "$BUILD_DIR"/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+  fi
+done
+
+echo "== examples =="
+for e in quickstart compare_policies capacity_planning cutoff_tuning \
+         swf_replay unknown_sizes; do
+  echo "===== $e ====="
+  "$BUILD_DIR/examples/$e"
+  echo
+done
+
+echo "Done. See test_output.txt and bench_output.txt."

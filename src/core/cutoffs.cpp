@@ -1,0 +1,48 @@
+#include "core/cutoffs.hpp"
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+CutoffDeriver::CutoffDeriver(std::span<const double> training_sizes)
+    : model_(training_sizes) {}
+
+std::vector<double> CutoffDeriver::sita_e(std::size_t hosts) const {
+  return queueing::sita_e_cutoffs(model_, hosts);
+}
+
+queueing::CutoffSearchResult CutoffDeriver::sita_u_opt(
+    double rho, std::size_t grid) const {
+  DS_EXPECTS(rho > 0.0 && rho < 1.0);
+  return queueing::find_sita_u_opt(model_, lambda_for(rho, 2), grid);
+}
+
+queueing::CutoffSearchResult CutoffDeriver::sita_u_fair(
+    double rho, std::size_t grid) const {
+  DS_EXPECTS(rho > 0.0 && rho < 1.0);
+  return queueing::find_sita_u_fair(model_, lambda_for(rho, 2), grid);
+}
+
+queueing::MultiCutoffResult CutoffDeriver::sita_u_opt_multi(
+    double rho, std::size_t hosts) const {
+  DS_EXPECTS(rho > 0.0 && rho < 1.0);
+  return queueing::find_sita_u_opt_multi(model_, lambda_for(rho, hosts),
+                                         hosts);
+}
+
+queueing::MultiCutoffResult CutoffDeriver::sita_u_fair_multi(
+    double rho, std::size_t hosts) const {
+  DS_EXPECTS(rho > 0.0 && rho < 1.0);
+  return queueing::find_sita_u_fair_multi(model_, lambda_for(rho, hosts),
+                                          hosts);
+}
+
+double CutoffDeriver::rule_of_thumb(double rho) const {
+  return queueing::rule_of_thumb_cutoff(model_, rho);
+}
+
+double CutoffDeriver::lambda_for(double rho, std::size_t hosts) const {
+  return queueing::lambda_for_load(model_, rho, hosts);
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,56 @@
+// Cutoff derivation following the paper's methodology (§4.1): cutoffs are
+// computed from the *training half* of the trace — analytically, by scoring
+// candidate cutoffs with the per-host M/G/1 model — and then used to run the
+// policy on the evaluation half. This class owns the training-data size
+// model and exposes one derivation per SITA flavor.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "queueing/cutoff_search.hpp"
+#include "queueing/size_model.hpp"
+
+namespace distserv::core {
+
+/// Derives SITA cutoffs from training job sizes.
+class CutoffDeriver {
+ public:
+  /// Copies the training sizes into an empirical size model.
+  explicit CutoffDeriver(std::span<const double> training_sizes);
+
+  /// Load-equalizing cutoffs for `hosts` hosts (SITA-E). Requires hosts>=2.
+  [[nodiscard]] std::vector<double> sita_e(std::size_t hosts) const;
+
+  /// Slowdown-optimal 2-host cutoff at system load `rho` (SITA-U-opt).
+  [[nodiscard]] queueing::CutoffSearchResult sita_u_opt(
+      double rho, std::size_t grid = 400) const;
+
+  /// Fairness 2-host cutoff at system load `rho` (SITA-U-fair).
+  [[nodiscard]] queueing::CutoffSearchResult sita_u_fair(
+      double rho, std::size_t grid = 400) const;
+
+  /// Full multi-cutoff SITA-U-opt for `hosts` hosts at system load `rho`
+  /// (extension; see queueing::find_sita_u_opt_multi).
+  [[nodiscard]] queueing::MultiCutoffResult sita_u_opt_multi(
+      double rho, std::size_t hosts) const;
+
+  /// Full multi-cutoff SITA-U-fair (exact nested construction).
+  [[nodiscard]] queueing::MultiCutoffResult sita_u_fair_multi(
+      double rho, std::size_t hosts) const;
+
+  /// Paper §4.4 rule of thumb: cutoff putting load fraction rho/2 on Host 1.
+  [[nodiscard]] double rule_of_thumb(double rho) const;
+
+  /// The arrival rate implied by system load `rho` on `hosts` hosts.
+  [[nodiscard]] double lambda_for(double rho, std::size_t hosts) const;
+
+  [[nodiscard]] const queueing::EmpiricalSizeModel& model() const noexcept {
+    return model_;
+  }
+
+ private:
+  queueing::EmpiricalSizeModel model_;
+};
+
+}  // namespace distserv::core

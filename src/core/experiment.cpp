@@ -1,0 +1,236 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+
+#include "core/policies/central_queue.hpp"
+#include "core/policies/hybrid_sita_lwl.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/random.hpp"
+#include "core/policies/round_robin.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/policies/sita.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+#include "workload/arrival.hpp"
+#include "workload/synthetic.hpp"
+
+namespace distserv::core {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRandom: return "Random";
+    case PolicyKind::kRoundRobin: return "Round-Robin";
+    case PolicyKind::kShortestQueue: return "Shortest-Queue";
+    case PolicyKind::kLeastWorkLeft: return "Least-Work-Left";
+    case PolicyKind::kCentralQueue: return "Central-Queue";
+    case PolicyKind::kSitaE: return "SITA-E";
+    case PolicyKind::kSitaUOpt: return "SITA-U-opt";
+    case PolicyKind::kSitaUFair: return "SITA-U-fair";
+    case PolicyKind::kSitaRuleOfThumb: return "SITA-U-thumb";
+    case PolicyKind::kHybridSitaE: return "SITA-E+LWL";
+    case PolicyKind::kHybridSitaUOpt: return "SITA-U-opt+LWL";
+    case PolicyKind::kHybridSitaUFair: return "SITA-U-fair+LWL";
+    case PolicyKind::kSitaUOptMulti: return "SITA-U-opt-multi";
+    case PolicyKind::kSitaUFairMulti: return "SITA-U-fair-multi";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<double> split_train(const std::vector<double>& sizes) {
+  return {sizes.begin(),
+          sizes.begin() + static_cast<std::ptrdiff_t>(sizes.size() / 2)};
+}
+
+std::vector<double> split_eval(const std::vector<double>& sizes) {
+  return {sizes.begin() + static_cast<std::ptrdiff_t>(sizes.size() / 2),
+          sizes.end()};
+}
+
+std::uint64_t point_stream(double rho, std::size_t replication) {
+  // Deterministic substream id per (load, replication).
+  const auto rho_key =
+      static_cast<std::uint64_t>(std::llround(rho * 1e9));
+  return rho_key * 1000003ULL + replication;
+}
+
+}  // namespace
+
+Workbench::Workbench(const workload::WorkloadSpec& spec,
+                     ExperimentConfig config)
+    : spec_(spec),
+      config_(config),
+      train_sizes_(split_train(
+          workload::make_sizes(spec, config.seed, config.n_jobs))),
+      eval_sizes_(split_eval(
+          workload::make_sizes(spec, config.seed, config.n_jobs))),
+      deriver_(train_sizes_) {
+  DS_EXPECTS(config_.hosts >= 1);
+  DS_EXPECTS(config_.replications >= 1);
+  DS_EXPECTS(train_sizes_.size() >= 100);  // cutoffs need substance
+}
+
+workload::Trace Workbench::make_eval_trace(double rho,
+                                           std::size_t replication) const {
+  dist::Rng rng =
+      dist::Rng(config_.seed).split(point_stream(rho, replication));
+  const double mean = util::compensated_sum(eval_sizes_) /
+                      static_cast<double>(eval_sizes_.size());
+  const double lambda = rho * static_cast<double>(config_.hosts) / mean;
+  switch (config_.arrivals) {
+    case ArrivalKind::kPoisson: {
+      workload::PoissonArrivals arrivals(lambda);
+      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng);
+    }
+    case ArrivalKind::kBursty: {
+      workload::Mmpp2Arrivals arrivals =
+          workload::Mmpp2Arrivals::with_burstiness(
+              lambda, config_.burst_ratio, config_.burst_time_fraction,
+              config_.mean_cycle_arrivals);
+      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng);
+    }
+    case ArrivalKind::kDiurnal: {
+      workload::DiurnalArrivals arrivals(lambda, config_.diurnal_amplitude,
+                                         config_.diurnal_period);
+      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng);
+    }
+  }
+  DS_ASSERT(false && "unhandled ArrivalKind");
+  workload::PoissonArrivals fallback(lambda);
+  return workload::Trace::with_arrivals(eval_sizes_, fallback, rng);
+}
+
+PolicyPtr Workbench::make_policy(PolicyKind kind, double rho,
+                                 ExperimentPoint& point) const {
+  const std::size_t h = config_.hosts;
+  const double err = config_.sita_error_rate;
+  switch (kind) {
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>();
+    case PolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::kShortestQueue:
+      return std::make_unique<ShortestQueuePolicy>();
+    case PolicyKind::kLeastWorkLeft:
+      return std::make_unique<LeastWorkLeftPolicy>();
+    case PolicyKind::kCentralQueue:
+      return std::make_unique<CentralQueuePolicy>();
+    case PolicyKind::kSitaE: {
+      const std::vector<double> cutoffs = deriver_.sita_e(h);
+      point.has_cutoff = true;
+      point.cutoff = cutoffs.front();
+      point.host1_load_fraction = 1.0 / static_cast<double>(h);
+      return std::make_unique<SitaPolicy>(cutoffs, "SITA-E", err);
+    }
+    case PolicyKind::kSitaUOpt:
+    case PolicyKind::kSitaUFair: {
+      DS_EXPECTS(h == 2 &&
+                 "SITA-U flavors use the 2-host cutoff; use the hybrid "
+                 "grouped variants for more hosts");
+      const queueing::CutoffSearchResult r =
+          kind == PolicyKind::kSitaUOpt
+              ? deriver_.sita_u_opt(rho, config_.cutoff_grid)
+              : deriver_.sita_u_fair(rho, config_.cutoff_grid);
+      point.has_cutoff = true;
+      point.feasible = r.feasible;
+      point.cutoff = r.cutoff;
+      point.host1_load_fraction = r.host1_load_fraction;
+      DS_EXPECTS(r.feasible);
+      return std::make_unique<SitaPolicy>(
+          std::vector<double>{r.cutoff}, to_string(kind), err);
+    }
+    case PolicyKind::kSitaRuleOfThumb: {
+      DS_EXPECTS(h == 2);
+      const double cutoff = deriver_.rule_of_thumb(rho);
+      point.has_cutoff = true;
+      point.cutoff = cutoff;
+      point.host1_load_fraction =
+          deriver_.model().load_fraction_below(cutoff);
+      return std::make_unique<SitaPolicy>(std::vector<double>{cutoff},
+                                          to_string(kind), err);
+    }
+    case PolicyKind::kSitaUOptMulti:
+    case PolicyKind::kSitaUFairMulti: {
+      const queueing::MultiCutoffResult r =
+          kind == PolicyKind::kSitaUOptMulti
+              ? deriver_.sita_u_opt_multi(rho, h)
+              : deriver_.sita_u_fair_multi(rho, h);
+      point.has_cutoff = true;
+      point.feasible = r.feasible;
+      DS_EXPECTS(r.feasible);
+      point.cutoff = r.cutoffs.front();
+      point.host1_load_fraction = r.host_load_fractions.front();
+      return std::make_unique<SitaPolicy>(r.cutoffs, to_string(kind), err);
+    }
+    case PolicyKind::kHybridSitaE:
+    case PolicyKind::kHybridSitaUOpt:
+    case PolicyKind::kHybridSitaUFair: {
+      DS_EXPECTS(h >= 2);
+      double cutoff = 0.0;
+      double f = 0.5;
+      if (kind == PolicyKind::kHybridSitaE) {
+        cutoff = deriver_.sita_e(2).front();
+      } else {
+        const queueing::CutoffSearchResult r =
+            kind == PolicyKind::kHybridSitaUOpt
+                ? deriver_.sita_u_opt(rho, config_.cutoff_grid)
+                : deriver_.sita_u_fair(rho, config_.cutoff_grid);
+        DS_EXPECTS(r.feasible);
+        cutoff = r.cutoff;
+        f = r.host1_load_fraction;
+      }
+      point.has_cutoff = true;
+      point.cutoff = cutoff;
+      point.host1_load_fraction = f;
+      // Equal groups (paper §5): preserves the 2-host per-host loads.
+      const std::size_t g = hybrid_short_group_size(h);
+      return std::make_unique<HybridSitaLwlPolicy>(cutoff, g,
+                                                   to_string(kind));
+    }
+  }
+  DS_ASSERT(false && "unhandled PolicyKind");
+  return nullptr;
+}
+
+ExperimentPoint Workbench::run_point(PolicyKind kind, double rho) {
+  DS_EXPECTS(rho > 0.0 && rho < 1.0);
+  ExperimentPoint point;
+  point.policy = kind;
+  point.rho = rho;
+  const PolicyPtr policy = make_policy(kind, rho, point);
+  point.replication_summaries.reserve(config_.replications);
+  for (std::size_t rep = 0; rep < config_.replications; ++rep) {
+    const workload::Trace trace = make_eval_trace(rho, rep);
+    const RunResult result =
+        simulate(*policy, trace, config_.hosts, config_.seed + rep);
+    point.replication_summaries.push_back(summarize(result));
+  }
+  point.summary = average_summaries(point.replication_summaries);
+  if (point.replication_summaries.size() >= 2) {
+    std::vector<double> means;
+    means.reserve(point.replication_summaries.size());
+    for (const MetricsSummary& s : point.replication_summaries) {
+      means.push_back(s.mean_slowdown);
+    }
+    point.slowdown_ci = stats::t_interval(means);
+  } else {
+    point.slowdown_ci.mean = point.summary.mean_slowdown;
+    point.slowdown_ci.lo = point.slowdown_ci.hi = point.slowdown_ci.mean;
+  }
+  return point;
+}
+
+std::vector<ExperimentPoint> Workbench::sweep(
+    std::span<const PolicyKind> policies, std::span<const double> loads) {
+  std::vector<ExperimentPoint> out;
+  out.reserve(policies.size() * loads.size());
+  for (double rho : loads) {
+    for (PolicyKind kind : policies) {
+      out.push_back(run_point(kind, rho));
+    }
+  }
+  return out;
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,131 @@
+// The experiment harness used by every figure-reproduction binary.
+//
+// A Workbench fixes a workload (sizes generated once from the calibrated
+// distribution), splits it into a training half (cutoff derivation) and an
+// evaluation half (policy runs), and then produces one ExperimentPoint per
+// (policy, system load): build arrivals at that load, run the policy over
+// `replications` independent arrival seeds, and summarize. This mirrors the
+// paper's methodology (§2.2, §4.1) with the addition of replications for
+// confidence intervals.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cutoffs.hpp"
+#include "core/metrics.hpp"
+#include "core/policy.hpp"
+#include "stats/confidence.hpp"
+#include "workload/catalog.hpp"
+
+namespace distserv::core {
+
+/// Every policy the library ships.
+enum class PolicyKind {
+  kRandom,
+  kRoundRobin,
+  kShortestQueue,
+  kLeastWorkLeft,
+  kCentralQueue,
+  kSitaE,
+  kSitaUOpt,
+  kSitaUFair,
+  kSitaRuleOfThumb,   ///< SITA with the rho/2 rule-of-thumb cutoff
+  kHybridSitaE,       ///< §5 grouped SITA-E + LWL (many hosts)
+  kHybridSitaUOpt,
+  kHybridSitaUFair,
+  kSitaUOptMulti,     ///< extension: true (h-1)-cutoff SITA-U-opt
+  kSitaUFairMulti,    ///< extension: true (h-1)-cutoff SITA-U-fair
+};
+
+/// Display name, e.g. "SITA-U-fair".
+[[nodiscard]] std::string to_string(PolicyKind kind);
+
+/// Arrival process used for the evaluation trace.
+enum class ArrivalKind {
+  kPoisson,  ///< the paper's default (§2.2)
+  kBursty,   ///< MMPP2 stand-in for scaled trace arrivals (§6)
+  kDiurnal,  ///< sinusoidal daily-cycle NHPP (workload-realism studies)
+};
+
+/// Knobs for a Workbench.
+struct ExperimentConfig {
+  std::size_t hosts = 2;
+  std::size_t n_jobs = 0;  ///< total sizes generated; 0 = workload default
+  std::uint64_t seed = 1;
+  std::size_t replications = 3;
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  /// SITA classification-error rate (paper §7 ablation). 0 = perfect.
+  double sita_error_rate = 0.0;
+  std::size_t cutoff_grid = 400;
+  // MMPP2 shape for ArrivalKind::kBursty. Calibrated so that, like the
+  // paper's scaled trace arrivals, SITA-U beats LWL through load ~0.9 but
+  // LWL wins above ~0.95 (arrival burstiness dominates there).
+  double burst_ratio = 30.0;
+  double burst_time_fraction = 0.05;
+  double mean_cycle_arrivals = 400.0;
+  // Diurnal NHPP shape for ArrivalKind::kDiurnal.
+  double diurnal_amplitude = 0.8;
+  double diurnal_period = 86400.0;
+};
+
+/// One (policy, load) measurement.
+struct ExperimentPoint {
+  PolicyKind policy{};
+  double rho = 0.0;
+  MetricsSummary summary;  ///< averaged over replications
+  std::vector<MetricsSummary> replication_summaries;
+  /// 95% t-interval on mean slowdown over replications (defined when
+  /// replications >= 2; zero-width otherwise).
+  stats::Interval slowdown_ci;
+  // SITA metadata (has_cutoff == true for SITA flavors).
+  bool has_cutoff = false;
+  double cutoff = 0.0;
+  double host1_load_fraction = 0.0;
+  bool feasible = true;  ///< false if no stable cutoff existed
+};
+
+/// Fixture binding a workload to the experiment methodology.
+class Workbench {
+ public:
+  Workbench(const workload::WorkloadSpec& spec, ExperimentConfig config);
+
+  /// Runs one policy at one system load.
+  [[nodiscard]] ExperimentPoint run_point(PolicyKind kind, double rho);
+
+  /// Full cross product, row-major by load then policy.
+  [[nodiscard]] std::vector<ExperimentPoint> sweep(
+      std::span<const PolicyKind> policies, std::span<const double> loads);
+
+  /// Cutoff machinery over the training half (for inspection / figures).
+  [[nodiscard]] const CutoffDeriver& deriver() const noexcept {
+    return deriver_;
+  }
+
+  [[nodiscard]] const ExperimentConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// The evaluation-half sizes (arrivals are attached per point).
+  [[nodiscard]] const std::vector<double>& eval_sizes() const noexcept {
+    return eval_sizes_;
+  }
+
+ private:
+  /// Builds the policy for a point; fills cutoff metadata into `point`.
+  [[nodiscard]] PolicyPtr make_policy(PolicyKind kind, double rho,
+                                      ExperimentPoint& point) const;
+
+  /// Evaluation trace for one replication at one load.
+  [[nodiscard]] workload::Trace make_eval_trace(double rho,
+                                                std::size_t replication) const;
+
+  workload::WorkloadSpec spec_;
+  ExperimentConfig config_;
+  std::vector<double> train_sizes_;
+  std::vector<double> eval_sizes_;
+  CutoffDeriver deriver_;
+};
+
+}  // namespace distserv::core

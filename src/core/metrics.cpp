@@ -1,0 +1,122 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/quantile.hpp"
+#include "stats/welford.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+MetricsSummary summarize(const RunResult& result) {
+  DS_EXPECTS(!result.records.empty());
+  stats::Welford slowdown, response, waiting;
+  std::vector<double> slowdowns;
+  slowdowns.reserve(result.records.size());
+  for (const JobRecord& r : result.records) {
+    const double s = r.slowdown();
+    slowdown.add(s);
+    response.add(r.response());
+    waiting.add(r.waiting());
+    slowdowns.push_back(s);
+  }
+  MetricsSummary m;
+  m.jobs = slowdown.count();
+  m.mean_slowdown = slowdown.mean();
+  m.var_slowdown = slowdown.variance_sample();
+  m.mean_response = response.mean();
+  m.var_response = response.variance_sample();
+  m.mean_waiting = waiting.mean();
+  m.var_waiting = waiting.variance_sample();
+  m.max_slowdown = slowdown.max();
+  const double qs[] = {0.5, 0.95, 0.99};
+  const auto quants = stats::quantiles(slowdowns, qs);
+  m.p50_slowdown = quants[0];
+  m.p95_slowdown = quants[1];
+  m.p99_slowdown = quants[2];
+  return m;
+}
+
+FairnessReport fairness_at_cutoff(const RunResult& result, double cutoff) {
+  DS_EXPECTS(!result.records.empty());
+  DS_EXPECTS(cutoff > 0.0);
+  stats::Welford all, shorts, longs;
+  for (const JobRecord& r : result.records) {
+    const double s = r.slowdown();
+    all.add(s);
+    if (r.size <= cutoff) {
+      shorts.add(s);
+    } else {
+      longs.add(s);
+    }
+  }
+  FairnessReport f;
+  f.cutoff = cutoff;
+  f.short_jobs = shorts.count();
+  f.long_jobs = longs.count();
+  f.mean_slowdown_short = shorts.count() ? shorts.mean() : 0.0;
+  f.mean_slowdown_long = longs.count() ? longs.mean() : 0.0;
+  f.gap = all.mean() > 0.0
+              ? std::abs(f.mean_slowdown_short - f.mean_slowdown_long) /
+                    all.mean()
+              : 0.0;
+  return f;
+}
+
+std::vector<SizeClassSlowdown> slowdown_by_size_class(const RunResult& result,
+                                                      std::size_t classes) {
+  DS_EXPECTS(!result.records.empty());
+  DS_EXPECTS(classes >= 1);
+  double lo = result.records.front().size;
+  double hi = lo;
+  for (const JobRecord& r : result.records) {
+    lo = std::min(lo, r.size);
+    hi = std::max(hi, r.size);
+  }
+  // Widen slightly so the max lands in the last bucket.
+  hi *= 1.0 + 1e-12;
+  const double log_lo = std::log(lo);
+  const double log_step =
+      (std::log(hi) - log_lo) / static_cast<double>(classes);
+  std::vector<stats::Welford> acc(classes);
+  for (const JobRecord& r : result.records) {
+    auto idx = static_cast<std::size_t>((std::log(r.size) - log_lo) /
+                                        log_step);
+    idx = std::min(idx, classes - 1);
+    acc[idx].add(r.slowdown());
+  }
+  std::vector<SizeClassSlowdown> out;
+  out.reserve(classes);
+  for (std::size_t i = 0; i < classes; ++i) {
+    SizeClassSlowdown c;
+    c.size_lo = std::exp(log_lo + log_step * static_cast<double>(i));
+    c.size_hi = std::exp(log_lo + log_step * static_cast<double>(i + 1));
+    c.jobs = acc[i].count();
+    c.mean_slowdown = acc[i].count() ? acc[i].mean() : 0.0;
+    out.push_back(c);
+  }
+  return out;
+}
+
+MetricsSummary average_summaries(const std::vector<MetricsSummary>& reps) {
+  DS_EXPECTS(!reps.empty());
+  MetricsSummary avg;
+  const double n = static_cast<double>(reps.size());
+  for (const MetricsSummary& r : reps) {
+    avg.jobs += r.jobs;
+    avg.mean_slowdown += r.mean_slowdown / n;
+    avg.var_slowdown += r.var_slowdown / n;
+    avg.mean_response += r.mean_response / n;
+    avg.var_response += r.var_response / n;
+    avg.mean_waiting += r.mean_waiting / n;
+    avg.var_waiting += r.var_waiting / n;
+    avg.max_slowdown = std::max(avg.max_slowdown, r.max_slowdown);
+    avg.p50_slowdown += r.p50_slowdown / n;
+    avg.p95_slowdown += r.p95_slowdown / n;
+    avg.p99_slowdown += r.p99_slowdown / n;
+  }
+  return avg;
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,64 @@
+// Turning per-job records into the metrics the paper reports: mean and
+// variance of slowdown (the headline plots), mean/variance of response and
+// waiting time, quantiles, and fairness breakdowns by job size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/server.hpp"
+
+namespace distserv::core {
+
+/// Scalar summary of one run.
+struct MetricsSummary {
+  std::uint64_t jobs = 0;
+  double mean_slowdown = 0.0;
+  double var_slowdown = 0.0;
+  double mean_response = 0.0;
+  double var_response = 0.0;
+  double mean_waiting = 0.0;
+  double var_waiting = 0.0;
+  double max_slowdown = 0.0;
+  double p50_slowdown = 0.0;
+  double p95_slowdown = 0.0;
+  double p99_slowdown = 0.0;
+};
+
+/// Computes the summary over all records of a run.
+[[nodiscard]] MetricsSummary summarize(const RunResult& result);
+
+/// Fairness in the paper's sense: do short jobs and long jobs experience the
+/// same expected slowdown?
+struct FairnessReport {
+  double cutoff = 0.0;
+  std::uint64_t short_jobs = 0;
+  std::uint64_t long_jobs = 0;
+  double mean_slowdown_short = 0.0;
+  double mean_slowdown_long = 0.0;
+  /// |short - long| / overall mean; 0 = perfectly fair.
+  double gap = 0.0;
+};
+
+/// Splits jobs at `cutoff` and compares expected slowdowns.
+[[nodiscard]] FairnessReport fairness_at_cutoff(const RunResult& result,
+                                                double cutoff);
+
+/// Mean slowdown per size class (geometric size buckets), for slowdown-vs-
+/// size fairness profiles.
+struct SizeClassSlowdown {
+  double size_lo = 0.0;
+  double size_hi = 0.0;
+  std::uint64_t jobs = 0;
+  double mean_slowdown = 0.0;
+};
+
+/// `classes` >= 1 geometric buckets between the smallest and largest size.
+[[nodiscard]] std::vector<SizeClassSlowdown> slowdown_by_size_class(
+    const RunResult& result, std::size_t classes);
+
+/// Averages summaries across replications (seeds), field-wise.
+[[nodiscard]] MetricsSummary average_summaries(
+    const std::vector<MetricsSummary>& reps);
+
+}  // namespace distserv::core

@@ -1,0 +1,19 @@
+#include "core/policies/central_queue.hpp"
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+std::optional<HostId> CentralQueuePolicy::assign(const workload::Job& /*job*/,
+                                                 const ServerView& /*view*/) {
+  return std::nullopt;
+}
+
+std::size_t CentralQueuePolicy::select_next(
+    const std::deque<workload::Job>& held, HostId /*host*/,
+    const ServerView& /*view*/) {
+  DS_EXPECTS(!held.empty());
+  return 0;
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,28 @@
+// Central-Queue task assignment: all jobs wait in one FCFS queue at the
+// dispatcher; a host pulls the head of the queue the moment it goes idle.
+// Equivalent to Least-Work-Left in per-job completion times for every job
+// sequence — the classical M/G/h organization.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace distserv::core {
+
+class CentralQueuePolicy final : public Policy {
+ public:
+  CentralQueuePolicy() = default;
+
+  /// Never assigns on arrival; the server model starts the job immediately
+  /// if a host is idle, otherwise holds it centrally.
+  [[nodiscard]] std::optional<HostId> assign(const workload::Job& job,
+                                             const ServerView& view) override;
+
+  /// FCFS pull (index 0) — inherited default, restated for clarity.
+  [[nodiscard]] std::size_t select_next(const std::deque<workload::Job>& held,
+                                        HostId host,
+                                        const ServerView& view) override;
+
+  [[nodiscard]] std::string name() const override { return "Central-Queue"; }
+};
+
+}  // namespace distserv::core

@@ -1,0 +1,47 @@
+#include "core/policies/hybrid_sita_lwl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+HybridSitaLwlPolicy::HybridSitaLwlPolicy(double cutoff,
+                                         std::size_t short_hosts,
+                                         std::string label)
+    : cutoff_(cutoff), short_hosts_(short_hosts), label_(std::move(label)) {
+  DS_EXPECTS(cutoff > 0.0);
+  DS_EXPECTS(short_hosts >= 1);
+}
+
+void HybridSitaLwlPolicy::reset(std::size_t hosts, std::uint64_t seed) {
+  Policy::reset(hosts, seed);
+  DS_EXPECTS(hosts >= 2);
+  DS_EXPECTS(short_hosts_ <= hosts - 1);
+}
+
+std::optional<HostId> HybridSitaLwlPolicy::assign(const workload::Job& job,
+                                                  const ServerView& view) {
+  const bool is_short = job.size <= cutoff_;
+  const HostId lo = is_short ? 0 : static_cast<HostId>(short_hosts_);
+  const HostId hi = is_short ? static_cast<HostId>(short_hosts_)
+                             : static_cast<HostId>(view.host_count());
+  HostId best = lo;
+  double best_work = view.work_left(lo);
+  for (HostId h = lo + 1; h < hi; ++h) {
+    const double work = view.work_left(h);
+    if (work < best_work) {
+      best = h;
+      best_work = work;
+    }
+  }
+  return best;
+}
+
+std::size_t hybrid_short_group_size(std::size_t hosts) {
+  DS_EXPECTS(hosts >= 2);
+  return std::max<std::size_t>(1, hosts / 2);
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,19 @@
+#include "core/policies/least_work_left.hpp"
+
+namespace distserv::core {
+
+std::optional<HostId> LeastWorkLeftPolicy::assign(const workload::Job& /*job*/,
+                                                  const ServerView& view) {
+  HostId best = 0;
+  double best_work = view.work_left(0);
+  for (HostId h = 1; h < view.host_count(); ++h) {
+    const double work = view.work_left(h);
+    if (work < best_work) {
+      best = h;
+      best_work = work;
+    }
+  }
+  return best;
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,21 @@
+// Least-Work-Left task assignment: route to the host with the least
+// remaining work (residual of the running job plus queued sizes); ties break
+// to the lowest host index. The closest a dispatch-on-arrival policy gets to
+// instantaneous load balance, and provably equivalent to Central-Queue for
+// any job sequence (see [11] and tests/core/test_policy_properties.cpp).
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace distserv::core {
+
+class LeastWorkLeftPolicy final : public Policy {
+ public:
+  LeastWorkLeftPolicy() = default;
+
+  [[nodiscard]] std::optional<HostId> assign(const workload::Job& job,
+                                             const ServerView& view) override;
+  [[nodiscard]] std::string name() const override { return "Least-Work-Left"; }
+};
+
+}  // namespace distserv::core

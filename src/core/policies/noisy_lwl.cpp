@@ -1,0 +1,45 @@
+#include "core/policies/noisy_lwl.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::core {
+
+NoisyLeastWorkLeftPolicy::NoisyLeastWorkLeftPolicy(double sigma)
+    : sigma_(sigma) {
+  DS_EXPECTS(sigma >= 0.0);
+}
+
+void NoisyLeastWorkLeftPolicy::reset(std::size_t hosts, std::uint64_t seed) {
+  Policy::reset(hosts, seed);
+  rng_ = dist::Rng(seed ^ 0x4e4f495359ULL);  // "NOISY" tag
+}
+
+std::optional<HostId> NoisyLeastWorkLeftPolicy::assign(
+    const workload::Job& /*job*/, const ServerView& view) {
+  HostId best = 0;
+  double best_observed = 0.0;
+  bool first = true;
+  for (HostId h = 0; h < view.host_count(); ++h) {
+    const double truth = view.work_left(h);
+    // Idle hosts are observably idle regardless of estimate quality.
+    const double observed =
+        (truth == 0.0 || sigma_ == 0.0)
+            ? truth
+            : truth * std::exp(sigma_ * rng_.normal());
+    if (first || observed < best_observed) {
+      best = h;
+      best_observed = observed;
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::string NoisyLeastWorkLeftPolicy::name() const {
+  return "Noisy-LWL(sigma=" + util::format_sig(sigma_, 3) + ")";
+}
+
+}  // namespace distserv::core

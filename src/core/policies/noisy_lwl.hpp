@@ -1,0 +1,37 @@
+// Least-Work-Left with imperfect runtime estimates.
+//
+// In practice (paper §1.2) users implement LWL by summing the *estimated*
+// runtimes of queued jobs, and real estimates are poor (§7). This policy
+// models that: each per-host work-left observation is multiplied by an
+// independent lognormal factor with unit median and the configured spread,
+// so ranking errors occur exactly when hosts are close — the realistic
+// failure mode. With sigma = 0 it is exact LWL.
+//
+// Contrast with SITA, which needs only one bit of size information; the
+// bench bench_ablation_estimate_error.cpp quantifies the difference.
+#pragma once
+
+#include "core/policy.hpp"
+#include "dist/rng.hpp"
+
+namespace distserv::core {
+
+class NoisyLeastWorkLeftPolicy final : public Policy {
+ public:
+  /// `sigma` >= 0 is the standard deviation of log-observation noise
+  /// (sigma ~ 1.0 corresponds to typical order-of-magnitude user estimates).
+  explicit NoisyLeastWorkLeftPolicy(double sigma);
+
+  void reset(std::size_t hosts, std::uint64_t seed) override;
+  [[nodiscard]] std::optional<HostId> assign(const workload::Job& job,
+                                             const ServerView& view) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double sigma_;
+  dist::Rng rng_{0};
+};
+
+}  // namespace distserv::core

@@ -1,0 +1,60 @@
+#include "core/policies/power_of_d.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+PowerOfDPolicy::PowerOfDPolicy(std::size_t d, Criterion criterion)
+    : d_(d), criterion_(criterion) {
+  DS_EXPECTS(d >= 1);
+}
+
+void PowerOfDPolicy::reset(std::size_t hosts, std::uint64_t seed) {
+  Policy::reset(hosts, seed);
+  rng_ = dist::Rng(seed ^ 0x504f5744ULL);  // "POWD" tag
+  scratch_.clear();
+  scratch_.reserve(std::min(d_, hosts));
+}
+
+std::optional<HostId> PowerOfDPolicy::assign(const workload::Job& /*job*/,
+                                             const ServerView& view) {
+  const std::size_t h = view.host_count();
+  const std::size_t probes = std::min(d_, h);
+  // Sample `probes` distinct hosts by partial Fisher-Yates over indices.
+  scratch_.clear();
+  for (std::size_t i = 0; i < probes; ++i) {
+    while (true) {
+      const auto candidate = static_cast<HostId>(rng_.below(h));
+      if (std::find(scratch_.begin(), scratch_.end(), candidate) ==
+          scratch_.end()) {
+        scratch_.push_back(candidate);
+        break;
+      }
+    }
+  }
+  HostId best = scratch_.front();
+  double best_score = 0.0;
+  bool first = true;
+  for (HostId candidate : scratch_) {
+    const double score =
+        criterion_ == Criterion::kWorkLeft
+            ? view.work_left(candidate)
+            : static_cast<double>(view.queue_length(candidate));
+    if (first || score < best_score ||
+        (score == best_score && candidate < best)) {
+      best = candidate;
+      best_score = score;
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::string PowerOfDPolicy::name() const {
+  return "Power-of-" + std::to_string(d_) +
+         (criterion_ == Criterion::kWorkLeft ? "(work)" : "(queue)");
+}
+
+}  // namespace distserv::core

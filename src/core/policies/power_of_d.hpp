@@ -1,0 +1,39 @@
+// Power-of-d-choices assignment (Mitzenmacher/Vvedenskaya): probe d random
+// hosts, send the job to the probed host with the least remaining work (or
+// the shortest queue). The standard low-overhead middle ground between
+// Random (d = 1) and full Least-Work-Left (d = h); included so downstream
+// users can place it on the paper's policy spectrum.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "dist/rng.hpp"
+
+namespace distserv::core {
+
+class PowerOfDPolicy final : public Policy {
+ public:
+  /// What the probe observes at a host.
+  enum class Criterion { kWorkLeft, kQueueLength };
+
+  /// Requires d >= 1 (validated against the host count at reset; d is
+  /// clamped to h there).
+  explicit PowerOfDPolicy(std::size_t d,
+                          Criterion criterion = Criterion::kWorkLeft);
+
+  void reset(std::size_t hosts, std::uint64_t seed) override;
+  [[nodiscard]] std::optional<HostId> assign(const workload::Job& job,
+                                             const ServerView& view) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t d() const noexcept { return d_; }
+
+ private:
+  std::size_t d_;
+  Criterion criterion_;
+  dist::Rng rng_{0};
+  std::vector<HostId> scratch_;  // sampled-without-replacement probe set
+};
+
+}  // namespace distserv::core

@@ -1,0 +1,19 @@
+#include "core/policies/random.hpp"
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+void RandomPolicy::reset(std::size_t hosts, std::uint64_t seed) {
+  Policy::reset(hosts, seed);
+  hosts_ = hosts;
+  rng_ = dist::Rng(seed ^ 0x52414e444f4dULL);  // "RANDOM" tag decorrelates
+}
+
+std::optional<HostId> RandomPolicy::assign(const workload::Job& /*job*/,
+                                           const ServerView& /*view*/) {
+  DS_EXPECTS(hosts_ >= 1);
+  return static_cast<HostId>(rng_.below(hosts_));
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,25 @@
+// Random task assignment: each job goes to a uniformly random host
+// (Bernoulli splitting). Equalizes the *expected* number of jobs per host
+// and nothing else — the paper's weakest baseline.
+#pragma once
+
+#include "core/policy.hpp"
+#include "dist/rng.hpp"
+
+namespace distserv::core {
+
+class RandomPolicy final : public Policy {
+ public:
+  RandomPolicy() = default;
+
+  void reset(std::size_t hosts, std::uint64_t seed) override;
+  [[nodiscard]] std::optional<HostId> assign(const workload::Job& job,
+                                             const ServerView& view) override;
+  [[nodiscard]] std::string name() const override { return "Random"; }
+
+ private:
+  dist::Rng rng_{0};
+  std::size_t hosts_ = 0;
+};
+
+}  // namespace distserv::core

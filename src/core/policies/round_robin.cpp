@@ -1,0 +1,21 @@
+#include "core/policies/round_robin.hpp"
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+void RoundRobinPolicy::reset(std::size_t hosts, std::uint64_t /*seed*/) {
+  DS_EXPECTS(hosts >= 1);
+  hosts_ = hosts;
+  next_ = 0;
+}
+
+std::optional<HostId> RoundRobinPolicy::assign(const workload::Job& /*job*/,
+                                               const ServerView& /*view*/) {
+  DS_EXPECTS(hosts_ >= 1);
+  const HostId host = static_cast<HostId>(next_);
+  next_ = (next_ + 1) % hosts_;
+  return host;
+}
+
+}  // namespace distserv::core

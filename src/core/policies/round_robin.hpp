@@ -1,0 +1,23 @@
+// Round-Robin task assignment: job i goes to host i mod h. Same expected
+// split as Random but with Erlang-h (less variable) interarrivals per host.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace distserv::core {
+
+class RoundRobinPolicy final : public Policy {
+ public:
+  RoundRobinPolicy() = default;
+
+  void reset(std::size_t hosts, std::uint64_t seed) override;
+  [[nodiscard]] std::optional<HostId> assign(const workload::Job& job,
+                                             const ServerView& view) override;
+  [[nodiscard]] std::string name() const override { return "Round-Robin"; }
+
+ private:
+  std::size_t hosts_ = 0;
+  std::size_t next_ = 0;
+};
+
+}  // namespace distserv::core

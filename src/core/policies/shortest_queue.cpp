@@ -1,0 +1,19 @@
+#include "core/policies/shortest_queue.hpp"
+
+namespace distserv::core {
+
+std::optional<HostId> ShortestQueuePolicy::assign(const workload::Job& /*job*/,
+                                                  const ServerView& view) {
+  HostId best = 0;
+  std::size_t best_len = view.queue_length(0);
+  for (HostId h = 1; h < view.host_count(); ++h) {
+    const std::size_t len = view.queue_length(h);
+    if (len < best_len) {
+      best = h;
+      best_len = len;
+    }
+  }
+  return best;
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,19 @@
+// Shortest-Queue task assignment: route to the host with the fewest jobs in
+// system (running + queued); ties broken by lowest host index. Balances the
+// instantaneous job count but is blind to job sizes.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace distserv::core {
+
+class ShortestQueuePolicy final : public Policy {
+ public:
+  ShortestQueuePolicy() = default;
+
+  [[nodiscard]] std::optional<HostId> assign(const workload::Job& job,
+                                             const ServerView& view) override;
+  [[nodiscard]] std::string name() const override { return "Shortest-Queue"; }
+};
+
+}  // namespace distserv::core

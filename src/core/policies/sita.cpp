@@ -1,0 +1,66 @@
+#include "core/policies/sita.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+SitaPolicy::SitaPolicy(std::vector<double> cutoffs, std::string label,
+                       double classification_error, ErrorModel error_model)
+    : cutoffs_(std::move(cutoffs)),
+      label_(std::move(label)),
+      error_rate_(classification_error),
+      error_model_(error_model) {
+  DS_EXPECTS(!cutoffs_.empty());
+  DS_EXPECTS(std::is_sorted(cutoffs_.begin(), cutoffs_.end()));
+  for (std::size_t i = 1; i < cutoffs_.size(); ++i) {
+    DS_EXPECTS(cutoffs_[i - 1] < cutoffs_[i]);
+  }
+  DS_EXPECTS(cutoffs_.front() > 0.0);
+  DS_EXPECTS(error_rate_ >= 0.0 && error_rate_ <= 1.0);
+}
+
+void SitaPolicy::reset(std::size_t hosts, std::uint64_t seed) {
+  Policy::reset(hosts, seed);
+  DS_EXPECTS(hosts == cutoffs_.size() + 1);
+  rng_ = dist::Rng(seed ^ 0x53495441ULL);  // "SITA" tag
+}
+
+HostId SitaPolicy::interval_of(double size) const noexcept {
+  const auto it = std::lower_bound(cutoffs_.begin(), cutoffs_.end(), size);
+  return static_cast<HostId>(it - cutoffs_.begin());
+}
+
+std::optional<HostId> SitaPolicy::assign(const workload::Job& job,
+                                         const ServerView& view) {
+  HostId host = interval_of(job.size);
+  if (error_rate_ > 0.0 && rng_.bernoulli(error_rate_)) {
+    const std::size_t h = view.host_count();
+    if (error_model_ == ErrorModel::kUniform) {
+      // Misclassification: a uniformly random *other* interval.
+      const auto offset = 1 + rng_.below(h - 1);
+      host = static_cast<HostId>((host + offset) % h);
+    } else {
+      // Borderline model: flip across the nearest cutoff, but only when the
+      // size is within a factor of kBorderlineBandFactor of it.
+      const double below =
+          host > 0 ? job.size / cutoffs_[host - 1]
+                   : std::numeric_limits<double>::infinity();
+      const double above =
+          host < cutoffs_.size() ? cutoffs_[host] / job.size
+                                 : std::numeric_limits<double>::infinity();
+      if (below <= above && below <= kBorderlineBandFactor) {
+        host = static_cast<HostId>(host - 1);
+      } else if (above < below && above <= kBorderlineBandFactor) {
+        host = static_cast<HostId>(host + 1);
+      }
+      // Otherwise the size is unambiguous and even a careless user gets it
+      // right: no flip.
+    }
+  }
+  return host;
+}
+
+}  // namespace distserv::core

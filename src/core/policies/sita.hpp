@@ -1,0 +1,64 @@
+// SITA — Size Interval Task Assignment (paper §1.2, §4).
+//
+// Host i receives exactly the jobs whose size falls in (c_{i-1}, c_i], where
+// c_0 = 0 and c_h = infinity. The cutoff vector determines the flavor:
+//   * SITA-E      — cutoffs equalize the load across hosts;
+//   * SITA-U-opt  — cutoff minimizes mean slowdown (load unbalanced);
+//   * SITA-U-fair — cutoff equalizes expected slowdown of shorts and longs.
+// Cutoff derivation lives in core/cutoffs.hpp and queueing/cutoff_search.hpp;
+// this class is the routing mechanism, parameterized by the cutoffs and a
+// display name.
+//
+// An optional classification-error rate models imperfect user runtime
+// estimates (paper §7). Two error models:
+//   * kUniform    — with probability eps a job lands in a uniformly random
+//                   wrong interval. Harsh: even the rare huge jobs can be
+//                   dumped on the short host.
+//   * kBorderline — only jobs within a factor-of-4 band around a cutoff
+//                   can flip across it (with probability eps). This is the
+//                   paper's scenario: users judge "short vs long" and err
+//                   near the boundary, not by orders of magnitude.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "dist/rng.hpp"
+
+namespace distserv::core {
+
+class SitaPolicy final : public Policy {
+ public:
+  enum class ErrorModel { kUniform, kBorderline };
+
+  /// `cutoffs` must be strictly increasing; a system of cutoffs.size()+1
+  /// hosts is implied and enforced at reset(). `label` names the flavor
+  /// (e.g. "SITA-E"). `classification_error` in [0,1).
+  SitaPolicy(std::vector<double> cutoffs, std::string label,
+             double classification_error = 0.0,
+             ErrorModel error_model = ErrorModel::kUniform);
+
+  void reset(std::size_t hosts, std::uint64_t seed) override;
+  [[nodiscard]] std::optional<HostId> assign(const workload::Job& job,
+                                             const ServerView& view) override;
+  [[nodiscard]] std::string name() const override { return label_; }
+
+  [[nodiscard]] const std::vector<double>& cutoffs() const noexcept {
+    return cutoffs_;
+  }
+
+  /// The size interval index for a given size (no classification error).
+  [[nodiscard]] HostId interval_of(double size) const noexcept;
+
+ private:
+  std::vector<double> cutoffs_;
+  std::string label_;
+  double error_rate_;
+  ErrorModel error_model_;
+  dist::Rng rng_{0};
+
+  /// Log-space half-width of the borderline band around each cutoff.
+  static constexpr double kBorderlineBandFactor = 4.0;
+};
+
+}  // namespace distserv::core

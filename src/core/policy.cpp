@@ -1,0 +1,17 @@
+#include "core/policy.hpp"
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+void Policy::reset(std::size_t hosts, std::uint64_t /*seed*/) {
+  DS_EXPECTS(hosts >= 1);
+}
+
+std::size_t Policy::select_next(const std::deque<workload::Job>& held,
+                                HostId /*host*/, const ServerView& /*view*/) {
+  DS_EXPECTS(!held.empty());
+  return 0;  // FCFS
+}
+
+}  // namespace distserv::core

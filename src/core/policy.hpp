@@ -1,0 +1,63 @@
+// The task assignment policy interface — the paper's central object of
+// study. A policy sees an arriving job and the observable server state and
+// either names a host (immediate dispatch, the common case) or declines,
+// leaving the job in the dispatcher's central queue to be pulled when a host
+// frees up (the Central-Queue policy).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/types.hpp"
+#include "workload/job.hpp"
+
+namespace distserv::core {
+
+/// Read-only view of the server state exposed to policies. Everything a
+/// real dispatcher could know: queue lengths, remaining work (assuming
+/// perfect runtime estimates, as the paper does), idleness, and the clock.
+class ServerView {
+ public:
+  virtual ~ServerView() = default;
+
+  [[nodiscard]] virtual std::size_t host_count() const = 0;
+  /// Jobs at the host, including the one in service.
+  [[nodiscard]] virtual std::size_t queue_length(HostId host) const = 0;
+  /// Remaining work at the host: residual of the running job plus the sizes
+  /// of all queued jobs.
+  [[nodiscard]] virtual double work_left(HostId host) const = 0;
+  /// True if the host is neither serving nor holding any job.
+  [[nodiscard]] virtual bool host_idle(HostId host) const = 0;
+  /// Current simulation time.
+  [[nodiscard]] virtual double now() const = 0;
+};
+
+/// A task assignment rule.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Called once before each run with the host count and a run seed.
+  /// Stateful policies (Round-Robin counter, Random's RNG) reset here.
+  virtual void reset(std::size_t hosts, std::uint64_t seed);
+
+  /// Routes an arriving job. Returning nullopt holds the job centrally.
+  [[nodiscard]] virtual std::optional<HostId> assign(const workload::Job& job,
+                                                     const ServerView& view) = 0;
+
+  /// When a host idles and jobs are held centrally, picks the index (into
+  /// `held`, ordered by arrival) of the job to start. Default: 0 (FCFS).
+  [[nodiscard]] virtual std::size_t select_next(
+      const std::deque<workload::Job>& held, HostId host,
+      const ServerView& view);
+
+  /// Stable identifier, e.g. "SITA-E".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using PolicyPtr = std::unique_ptr<Policy>;
+
+}  // namespace distserv::core

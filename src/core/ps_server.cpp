@@ -1,0 +1,139 @@
+#include "core/ps_server.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+PsServer::PsServer(std::size_t hosts, Policy& policy)
+    : hosts_count_(hosts), policy_(&policy) {
+  DS_EXPECTS(hosts >= 1);
+}
+
+std::size_t PsServer::host_count() const { return hosts_count_; }
+
+std::size_t PsServer::queue_length(HostId host) const {
+  DS_EXPECTS(host < hosts_.size());
+  return hosts_[host].active.size();
+}
+
+double PsServer::work_left(HostId host) const {
+  DS_EXPECTS(host < hosts_.size());
+  const Host& h = hosts_[host];
+  // Remaining work as of last_update, minus what was shared out since.
+  double total = 0.0;
+  for (const Active& a : h.active) total += a.remaining;
+  const double elapsed = sim_.now() - h.last_update;
+  return std::max(total - elapsed, 0.0);
+}
+
+bool PsServer::host_idle(HostId host) const {
+  DS_EXPECTS(host < hosts_.size());
+  return hosts_[host].active.empty();
+}
+
+double PsServer::now() const { return sim_.now(); }
+
+void PsServer::age(HostId host) {
+  Host& h = hosts_[host];
+  const double elapsed = sim_.now() - h.last_update;
+  h.last_update = sim_.now();
+  if (h.active.empty() || elapsed <= 0.0) return;
+  const double share = elapsed / static_cast<double>(h.active.size());
+  for (Active& a : h.active) {
+    a.remaining = std::max(a.remaining - share, 0.0);
+  }
+  h.stats.busy_time += elapsed;  // PS host works whenever non-empty
+}
+
+void PsServer::schedule_departure(HostId host) {
+  Host& h = hosts_[host];
+  ++h.epoch;  // invalidate any previously scheduled departure
+  if (h.active.empty()) return;
+  const auto next = std::min_element(
+      h.active.begin(), h.active.end(),
+      [](const Active& a, const Active& b) { return a.remaining < b.remaining; });
+  const double dt =
+      next->remaining * static_cast<double>(h.active.size());
+  const std::uint64_t epoch = h.epoch;
+  sim_.schedule_in(dt, [this, host, epoch] {
+    Host& hh = hosts_[host];
+    if (hh.epoch != epoch) return;  // superseded by a later arrival
+    age(host);
+    const auto it = std::min_element(
+        hh.active.begin(), hh.active.end(),
+        [](const Active& a, const Active& b) {
+          return a.remaining < b.remaining;
+        });
+    DS_ASSERT(it != hh.active.end());
+    // The scheduled completer's residual is zero up to accumulated aging
+    // round-off (proportional to how much work the host processed).
+    DS_ASSERT(it->remaining <= 1e-3 + 1e-9 * sim_.now());
+    JobRecord& rec = records_[it->id];
+    rec.completion = sim_.now();
+    hh.stats.jobs_completed += 1;
+    hh.stats.work_done += rec.size;
+    hh.active.erase(it);
+    schedule_departure(host);
+  });
+}
+
+void PsServer::on_arrival(const workload::Job& job) {
+  const std::optional<HostId> choice = policy_->assign(job, *this);
+  DS_EXPECTS(choice.has_value() &&
+             "PS hosts need immediate dispatch (no central queue)");
+  DS_ASSERT(*choice < hosts_count_);
+  age(*choice);
+  Host& h = hosts_[*choice];
+  h.active.push_back(Active{job.id, job.size});
+  JobRecord& rec = records_[job.id];
+  rec.id = job.id;
+  rec.arrival = job.arrival;
+  rec.size = job.size;
+  rec.host = *choice;
+  rec.start = job.arrival;  // service begins immediately under PS
+  schedule_departure(*choice);
+}
+
+RunResult PsServer::run(const workload::Trace& trace, std::uint64_t seed) {
+  DS_EXPECTS(!trace.empty());
+  sim_ = sim::Simulator();
+  hosts_.assign(hosts_count_, Host{});
+  records_.assign(trace.size(), JobRecord{});
+  trace_jobs_ = &trace.jobs();
+  next_arrival_index_ = 0;
+  policy_->reset(hosts_count_, seed);
+
+  std::function<void()> schedule_next = [&] {
+    if (next_arrival_index_ >= trace_jobs_->size()) return;
+    const workload::Job& next = (*trace_jobs_)[next_arrival_index_];
+    sim_.schedule_at(next.arrival, [this, &schedule_next] {
+      const workload::Job job = (*trace_jobs_)[next_arrival_index_++];
+      schedule_next();
+      on_arrival(job);
+    });
+  };
+  schedule_next();
+  sim_.run();
+
+  RunResult result;
+  result.hosts = hosts_count_;
+  double makespan = 0.0;
+  for (const JobRecord& r : records_) {
+    DS_ASSERT(r.completion > 0.0);
+    makespan = std::max(makespan, r.completion);
+  }
+  result.makespan = makespan;
+  for (Host& h : hosts_) {
+    DS_ASSERT(h.active.empty());
+    h.stats.utilization = makespan > 0.0 ? h.stats.busy_time / makespan : 0.0;
+    result.host_stats.push_back(h.stats);
+  }
+  result.records = std::move(records_);
+  result.events_executed = sim_.executed();
+  trace_jobs_ = nullptr;
+  return result;
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,73 @@
+// Processor-Sharing hosts — the paper's fairness gold standard.
+//
+// Footnote 1 of the paper: "Processor-Sharing (which requires
+// infinitely-many preemptions) is ultimately fair in that every job
+// experiences the same expected slowdown." The run-to-completion model
+// forbids PS in practice (§1.1: huge memory, no coordinated preemption),
+// but it is the natural reference point for SITA-U-fair: how close does a
+// non-preemptive policy get to the preemptive ideal?
+//
+// PsServer simulates h hosts each running egalitarian processor sharing
+// (all n active jobs progress at rate 1/n), with jobs routed on arrival by
+// any immediate-dispatch Policy. For a single host this is the M/G/1-PS
+// queue with its classical insensitivity property E[S | X = x] = 1/(1-rho)
+// for every x — which the tests verify against the simulator.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/server.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv::core {
+
+/// Distributed server whose hosts are processor-sharing instead of FCFS.
+class PsServer final : public ServerView {
+ public:
+  /// `policy` must dispatch immediately (central queue is meaningless under
+  /// PS — there is no "idle until free" state to wait for).
+  PsServer(std::size_t hosts, Policy& policy);
+
+  /// Simulates the trace to completion. JobRecord::start is the arrival
+  /// time (service begins immediately under PS); waiting() is therefore 0
+  /// and slowdown captures the sharing dilation.
+  [[nodiscard]] RunResult run(const workload::Trace& trace,
+                              std::uint64_t seed = 1);
+
+  // ServerView interface.
+  [[nodiscard]] std::size_t host_count() const override;
+  [[nodiscard]] std::size_t queue_length(HostId host) const override;
+  [[nodiscard]] double work_left(HostId host) const override;
+  [[nodiscard]] bool host_idle(HostId host) const override;
+  [[nodiscard]] double now() const override;
+
+ private:
+  struct Active {
+    workload::JobId id;
+    double remaining;
+  };
+  struct Host {
+    std::vector<Active> active;
+    double last_update = 0.0;   ///< when `remaining`s were last aged
+    std::uint64_t epoch = 0;    ///< invalidates stale departure events
+    HostStats stats;
+  };
+
+  /// Ages all remaining times at `host` to the current instant.
+  void age(HostId host);
+  /// (Re)schedules the host's next departure event.
+  void schedule_departure(HostId host);
+  void on_arrival(const workload::Job& job);
+
+  std::size_t hosts_count_;
+  Policy* policy_;
+  sim::Simulator sim_;
+  std::vector<Host> hosts_;
+  std::vector<JobRecord> records_;
+  const std::vector<workload::Job>* trace_jobs_ = nullptr;
+  std::size_t next_arrival_index_ = 0;
+};
+
+}  // namespace distserv::core

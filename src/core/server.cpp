@@ -1,0 +1,171 @@
+#include "core/server.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+DistributedServer::DistributedServer(std::size_t hosts, Policy& policy)
+    : hosts_count_(hosts), policy_(&policy) {
+  DS_EXPECTS(hosts >= 1);
+}
+
+std::size_t DistributedServer::host_count() const { return hosts_count_; }
+
+std::size_t DistributedServer::queue_length(HostId host) const {
+  DS_EXPECTS(host < hosts_.size());
+  const Host& h = hosts_[host];
+  return h.queue.size() + (h.busy ? 1 : 0);
+}
+
+double DistributedServer::work_left(HostId host) const {
+  DS_EXPECTS(host < hosts_.size());
+  const Host& h = hosts_[host];
+  const double residual = h.busy ? (h.current_completion - sim_.now()) : 0.0;
+  DS_ASSERT(residual >= -1e-9);
+  // queued_work is an add/subtract accumulator; clamp the tiny negative
+  // drift it can pick up so policies never observe negative work.
+  return std::max(residual, 0.0) + std::max(h.queued_work, 0.0);
+}
+
+bool DistributedServer::host_idle(HostId host) const {
+  DS_EXPECTS(host < hosts_.size());
+  const Host& h = hosts_[host];
+  return !h.busy && h.queue.empty();
+}
+
+double DistributedServer::now() const { return sim_.now(); }
+
+RunResult DistributedServer::run(const workload::Trace& trace,
+                                 std::uint64_t seed) {
+  DS_EXPECTS(!trace.empty());
+  sim_ = sim::Simulator();
+  hosts_.assign(hosts_count_, Host{});
+  central_queue_.clear();
+  records_.assign(trace.size(), JobRecord{});
+  trace_jobs_ = &trace.jobs();
+  next_arrival_index_ = 0;
+  policy_->reset(hosts_count_, seed);
+
+  // Arrivals are scheduled lazily — one pending arrival event at a time —
+  // so the event list stays O(hosts) instead of O(trace).
+  schedule_next_arrival();
+  sim_.run();
+
+  RunResult result;
+  result.records = std::move(records_);
+  result.hosts = hosts_count_;
+  result.host_stats.reserve(hosts_.size());
+  double makespan = 0.0;
+  for (const JobRecord& r : result.records) {
+    makespan = std::max(makespan, r.completion);
+  }
+  result.makespan = makespan;
+  for (Host& h : hosts_) {
+    DS_ASSERT(!h.busy && h.queue.empty());  // every job must complete
+    h.stats.utilization = makespan > 0.0 ? h.stats.busy_time / makespan : 0.0;
+    result.host_stats.push_back(h.stats);
+  }
+  DS_ASSERT(central_queue_.empty());
+  result.events_executed = sim_.executed();
+  records_.clear();
+  trace_jobs_ = nullptr;
+  return result;
+}
+
+void DistributedServer::schedule_next_arrival() {
+  if (next_arrival_index_ >= trace_jobs_->size()) return;
+  const workload::Job& next = (*trace_jobs_)[next_arrival_index_];
+  sim_.schedule_at(next.arrival, [this] {
+    const workload::Job job = (*trace_jobs_)[next_arrival_index_++];
+    schedule_next_arrival();
+    on_arrival(job);
+  });
+}
+
+void DistributedServer::on_arrival(const workload::Job& job) {
+  const std::optional<HostId> choice = policy_->assign(job, *this);
+  if (choice) {
+    DS_ASSERT(*choice < hosts_count_);
+    dispatch_to_host(*choice, job);
+    return;
+  }
+  // Central queue: start immediately if some host is idle, else hold.
+  for (HostId h = 0; h < hosts_count_; ++h) {
+    if (host_idle(h)) {
+      start_service(h, job);
+      return;
+    }
+  }
+  central_queue_.push_back(job);
+}
+
+void DistributedServer::dispatch_to_host(HostId host, const workload::Job& job) {
+  Host& h = hosts_[host];
+  if (!h.busy) {
+    DS_ASSERT(h.queue.empty());
+    start_service(host, job);
+  } else {
+    h.queue.push_back(job);
+    h.queued_work += job.size;
+  }
+}
+
+void DistributedServer::start_service(HostId host, const workload::Job& job) {
+  Host& h = hosts_[host];
+  DS_ASSERT(!h.busy);
+  h.busy = true;
+  const double start = sim_.now();
+  const double completion = start + job.size;
+  h.current_completion = completion;
+  JobRecord& rec = records_[job.id];
+  rec.id = job.id;
+  rec.arrival = job.arrival;
+  rec.size = job.size;
+  rec.host = host;
+  rec.start = start;
+  rec.completion = completion;
+  const workload::JobId id = job.id;
+  sim_.schedule_at(completion, [this, host, id] { on_completion(host, id); });
+}
+
+void DistributedServer::on_completion(HostId host, workload::JobId id) {
+  Host& h = hosts_[host];
+  DS_ASSERT(h.busy);
+  h.busy = false;
+  const JobRecord& rec = records_[id];
+  h.stats.jobs_completed += 1;
+  h.stats.busy_time += rec.size;
+  h.stats.work_done += rec.size;
+  feed_idle_host(host);
+}
+
+void DistributedServer::feed_idle_host(HostId host) {
+  Host& h = hosts_[host];
+  if (!h.queue.empty()) {
+    const workload::Job next = h.queue.front();
+    h.queue.pop_front();
+    h.queued_work -= next.size;
+    if (h.queue.empty()) h.queued_work = 0.0;  // kill accumulator drift
+    start_service(host, next);
+    return;
+  }
+  if (!central_queue_.empty()) {
+    const std::size_t pick =
+        policy_->select_next(central_queue_, host, *this);
+    DS_ASSERT(pick < central_queue_.size());
+    const workload::Job job = central_queue_[pick];
+    central_queue_.erase(central_queue_.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+    start_service(host, job);
+  }
+}
+
+RunResult simulate(Policy& policy, const workload::Trace& trace,
+                   std::size_t hosts, std::uint64_t seed) {
+  DistributedServer server(hosts, policy);
+  return server.run(trace, seed);
+}
+
+}  // namespace distserv::core

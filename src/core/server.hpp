@@ -1,0 +1,79 @@
+// The distributed-server simulator (paper §1.1/§2.2).
+//
+// h identical hosts fed by one job stream. On arrival a job is routed by the
+// task assignment policy — immediately to a host's FCFS queue, or into the
+// dispatcher's central queue if the policy declines. Hosts serve one job at
+// a time, run-to-completion, no preemption; an idle host pulls from the
+// central queue. Built on the discrete-event kernel in src/sim.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/types.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv::core {
+
+/// Everything a run produces.
+struct RunResult {
+  /// Per-job records, indexed by job id (same order as the input trace).
+  std::vector<JobRecord> records;
+  std::vector<HostStats> host_stats;
+  std::size_t hosts = 0;
+  double makespan = 0.0;  ///< completion time of the last job
+  std::uint64_t events_executed = 0;
+};
+
+/// One simulation of one trace under one policy.
+class DistributedServer final : public ServerView {
+ public:
+  /// `policy` must outlive the server. Requires hosts >= 1.
+  DistributedServer(std::size_t hosts, Policy& policy);
+
+  /// Simulates the complete trace to completion of the last job.
+  /// `seed` feeds Policy::reset (e.g. Random's RNG). Can be called
+  /// repeatedly; each call is an independent run.
+  [[nodiscard]] RunResult run(const workload::Trace& trace,
+                              std::uint64_t seed = 1);
+
+  // ServerView interface (used by policies during run()).
+  [[nodiscard]] std::size_t host_count() const override;
+  [[nodiscard]] std::size_t queue_length(HostId host) const override;
+  [[nodiscard]] double work_left(HostId host) const override;
+  [[nodiscard]] bool host_idle(HostId host) const override;
+  [[nodiscard]] double now() const override;
+
+ private:
+  struct Host {
+    std::deque<workload::Job> queue;  ///< waiting jobs (running job excluded)
+    bool busy = false;
+    double current_completion = 0.0;  ///< absolute end of running job
+    double queued_work = 0.0;         ///< sum of sizes in `queue`
+    HostStats stats;
+  };
+
+  void schedule_next_arrival();
+  void on_arrival(const workload::Job& job);
+  void dispatch_to_host(HostId host, const workload::Job& job);
+  void start_service(HostId host, const workload::Job& job);
+  void on_completion(HostId host, workload::JobId id);
+  void feed_idle_host(HostId host);
+
+  std::size_t hosts_count_;
+  Policy* policy_;
+  sim::Simulator sim_;
+  std::vector<Host> hosts_;
+  std::deque<workload::Job> central_queue_;
+  std::vector<JobRecord> records_;
+  const std::vector<workload::Job>* trace_jobs_ = nullptr;
+  std::size_t next_arrival_index_ = 0;
+};
+
+/// Convenience: run `trace` on `hosts` hosts under `policy`.
+[[nodiscard]] RunResult simulate(Policy& policy, const workload::Trace& trace,
+                                 std::size_t hosts, std::uint64_t seed = 1);
+
+}  // namespace distserv::core

@@ -1,0 +1,63 @@
+#include "core/sim_cutoff_search.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/metrics.hpp"
+#include "core/policies/sita.hpp"
+#include "core/server.hpp"
+#include "queueing/size_model.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+SimCutoffResult find_cutoff_by_simulation(
+    std::span<const double> training_sizes, double rho,
+    SimCutoffObjective objective, std::size_t grid, std::uint64_t seed) {
+  DS_EXPECTS(!training_sizes.empty());
+  DS_EXPECTS(rho > 0.0 && rho < 1.0);
+  DS_EXPECTS(grid >= 4);
+
+  // One shared arrival stream: every candidate sees the identical trace, so
+  // the comparison between cutoffs is paired and low-variance.
+  dist::Rng rng = dist::Rng(seed).split(0x51713u);
+  const workload::Trace trace =
+      workload::Trace::with_poisson_load(training_sizes, rho, 2, rng);
+
+  // Candidate cutoffs at evenly spaced *load* fractions — the axis on which
+  // feasibility and the optimum live.
+  const queueing::EmpiricalSizeModel model(training_sizes);
+  std::vector<double> candidates;
+  for (std::size_t i = 1; i < grid; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(grid);
+    // Both hosts must stay stable: 2*rho*f < 1 and 2*rho*(1-f) < 1.
+    if (2.0 * rho * f >= 0.98 || 2.0 * rho * (1.0 - f) >= 0.98) continue;
+    candidates.push_back(model.load_quantile(f));
+  }
+
+  SimCutoffResult best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (double cutoff : candidates) {
+    SitaPolicy policy({cutoff}, "SITA-sim-search");
+    const RunResult run = simulate(policy, trace, 2);
+    const MetricsSummary m = summarize(run);
+    const FairnessReport fr = fairness_at_cutoff(run, cutoff);
+    const double score = objective == SimCutoffObjective::kMinMeanSlowdown
+                             ? m.mean_slowdown
+                             : std::abs(fr.mean_slowdown_short -
+                                        fr.mean_slowdown_long);
+    if (score < best_score) {
+      best_score = score;
+      best.cutoff = cutoff;
+      best.mean_slowdown = m.mean_slowdown;
+      best.fairness_gap =
+          std::abs(fr.mean_slowdown_short - fr.mean_slowdown_long);
+      best.host1_load_fraction = model.load_fraction_below(cutoff);
+      best.feasible = true;
+    }
+  }
+  best.candidates = candidates.size();
+  return best;
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,44 @@
+// Simulation-scored cutoff search (the paper's "experimental" derivation).
+//
+// The paper derives SITA-U cutoffs two ways: analytically (per-host M/G/1
+// scoring, implemented in queueing/cutoff_search.hpp) and experimentally —
+// scoring each candidate cutoff by simulating the training half of the
+// trace — and reports that "both methods yielded about the same result".
+// This file implements the experimental method so that claim is checkable
+// (tests/core/test_sim_cutoff_search.cpp does exactly that).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace distserv::core {
+
+/// Result of a simulation-scored 2-host cutoff search.
+struct SimCutoffResult {
+  double cutoff = 0.0;
+  double mean_slowdown = 0.0;     ///< simulated, at the chosen cutoff
+  double fairness_gap = 0.0;      ///< |E[S_short]-E[S_long]| at the cutoff
+  double host1_load_fraction = 0.0;
+  bool feasible = false;
+  std::size_t candidates = 0;
+};
+
+/// Search objectives.
+enum class SimCutoffObjective {
+  kMinMeanSlowdown,  ///< SITA-U-opt, experimentally
+  kFairness,         ///< SITA-U-fair: equalize short/long mean slowdown
+};
+
+/// Scores candidate cutoffs by simulating SITA on a Poisson-arrival trace
+/// built from `training_sizes` at system load `rho` on 2 hosts.
+/// `grid` bounds the number of candidates (quantiles of the load curve);
+/// `seed` controls the arrival stream (one common stream for all
+/// candidates, so comparisons are paired).
+[[nodiscard]] SimCutoffResult find_cutoff_by_simulation(
+    std::span<const double> training_sizes, double rho,
+    SimCutoffObjective objective, std::size_t grid = 24,
+    std::uint64_t seed = 1);
+
+}  // namespace distserv::core

@@ -1,0 +1,253 @@
+#include "core/tags.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "sim/simulator.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace distserv::core {
+
+TagsServer::TagsServer(std::vector<double> cutoffs)
+    : cutoffs_(std::move(cutoffs)) {
+  DS_EXPECTS(!cutoffs_.empty());
+  DS_EXPECTS(cutoffs_.front() > 0.0);
+  for (std::size_t i = 1; i < cutoffs_.size(); ++i) {
+    DS_EXPECTS(cutoffs_[i - 1] < cutoffs_[i]);
+  }
+}
+
+RunResult TagsServer::run(const workload::Trace& trace) {
+  DS_EXPECTS(!trace.empty());
+  const std::size_t h = host_count();
+
+  struct Host {
+    std::deque<workload::Job> queue;
+    bool busy = false;
+    HostStats stats;
+  };
+
+  sim::Simulator sim;
+  std::vector<Host> hosts(h);
+  std::vector<JobRecord> records(trace.size());
+  std::size_t next_arrival = 0;
+
+  // Forward declarations via std::function to allow mutual recursion.
+  std::function<void(HostId)> feed;
+  std::function<void(HostId, workload::Job)> enqueue;
+
+  auto start_service = [&](HostId host, const workload::Job& job) {
+    Host& hs = hosts[host];
+    DS_ASSERT(!hs.busy);
+    hs.busy = true;
+    const bool final_host = host + 1 == h;
+    const double budget =
+        final_host ? job.size : std::min(job.size, cutoffs_[host]);
+    const bool completes = final_host || job.size <= cutoffs_[host];
+    const double now = sim.now();
+    JobRecord& rec = records[job.id];
+    if (rec.size == 0.0) {
+      // First time this job receives service anywhere.
+      rec.id = job.id;
+      rec.arrival = job.arrival;
+      rec.size = job.size;
+      rec.start = now;
+    }
+    sim.schedule_in(budget, [&, host, job, completes, budget] {
+      Host& me = hosts[host];
+      me.busy = false;
+      me.stats.busy_time += budget;
+      if (completes) {
+        JobRecord& r = records[job.id];
+        r.host = host;
+        r.completion = sim.now();
+        me.stats.jobs_completed += 1;
+        me.stats.work_done += budget;
+      } else {
+        // Killed: restart from scratch at the next host.
+        enqueue(host + 1, job);
+      }
+      feed(host);
+    });
+  };
+
+  enqueue = [&](HostId host, workload::Job job) {
+    Host& hs = hosts[host];
+    if (!hs.busy && hs.queue.empty()) {
+      start_service(host, job);
+    } else {
+      hs.queue.push_back(std::move(job));
+    }
+  };
+
+  feed = [&](HostId host) {
+    Host& hs = hosts[host];
+    if (hs.busy || hs.queue.empty()) return;
+    const workload::Job job = hs.queue.front();
+    hs.queue.pop_front();
+    start_service(host, job);
+  };
+
+  std::function<void()> schedule_next = [&] {
+    if (next_arrival >= trace.size()) return;
+    const workload::Job& job = trace.jobs()[next_arrival];
+    sim.schedule_at(job.arrival, [&, job] {
+      ++next_arrival;
+      schedule_next();
+      enqueue(0, job);
+    });
+  };
+  schedule_next();
+  sim.run();
+
+  RunResult result;
+  result.hosts = h;
+  double makespan = 0.0;
+  for (const JobRecord& r : records) {
+    DS_ASSERT(r.completion > 0.0);
+    makespan = std::max(makespan, r.completion);
+  }
+  result.makespan = makespan;
+  for (Host& hs : hosts) {
+    DS_ASSERT(!hs.busy && hs.queue.empty());
+    hs.stats.utilization = makespan > 0.0 ? hs.stats.busy_time / makespan : 0.0;
+    result.host_stats.push_back(hs.stats);
+  }
+  result.records = std::move(records);
+  result.events_executed = sim.executed();
+  return result;
+}
+
+TagsMetrics analyze_tags(const queueing::SizeModel& model, double lambda,
+                         const std::vector<double>& cutoffs) {
+  DS_EXPECTS(lambda > 0.0);
+  for (std::size_t i = 1; i < cutoffs.size(); ++i) {
+    DS_EXPECTS(cutoffs[i - 1] < cutoffs[i]);
+  }
+  const std::size_t h = cutoffs.size() + 1;
+  const double max_size = model.max_size();
+
+  TagsMetrics out;
+  out.host_rho.assign(h, 0.0);
+  out.host_mean_wait.assign(h, 0.0);
+  out.stable = true;
+
+  // Per-host arrival rates and service moments of Y_i = min(X, s_i) given
+  // X > s_{i-1}. Moments of the truncated part come from the size model;
+  // the killed jobs contribute a point mass s_i^k * P(X > s_i).
+  std::vector<double> mean_wait(h, 0.0);
+  std::vector<double> survive(h + 1, 0.0);  // P(X > s_{i-1})
+  survive[0] = 1.0;
+  double useful_work = model.partial_moment(1.0, 0.0, max_size);
+  double executed_work = 0.0;
+  for (std::size_t i = 0; i < h; ++i) {
+    const double lo = (i == 0) ? 0.0 : cutoffs[i - 1];
+    const double hi = (i == h - 1) ? max_size : cutoffs[i];
+    const double p_pass = 1.0 - model.probability(0.0, lo);  // X > lo
+    survive[i] = p_pass;
+    if (p_pass <= 0.0) {
+      out.stable = false;
+      break;
+    }
+    const double p_kill = 1.0 - model.probability(0.0, hi);  // X > hi
+    const double lambda_i = lambda * p_pass;
+    queueing::ServiceMoments y;
+    const double body0 = model.probability(lo, hi);
+    y.m1 = (model.partial_moment(1.0, lo, hi) + hi * p_kill) / p_pass;
+    y.m2 = (model.partial_moment(2.0, lo, hi) + hi * hi * p_kill) / p_pass;
+    y.m3 = (model.partial_moment(3.0, lo, hi) + hi * hi * hi * p_kill) /
+           p_pass;
+    // inv moments unused for waiting; fill harmlessly.
+    y.inv1 = body0 > 0.0 ? 1.0 : 0.0;
+    y.inv2 = y.inv1;
+    const double rho_i = lambda_i * y.m1;
+    out.host_rho[i] = rho_i;
+    executed_work += lambda_i * y.m1;
+    if (rho_i >= 1.0) {
+      out.stable = false;
+      continue;
+    }
+    // PK mean wait with the mixed (truncated + point-mass) service law.
+    mean_wait[i] = lambda_i * y.m2 / (2.0 * (1.0 - rho_i));
+    out.host_mean_wait[i] = mean_wait[i];
+  }
+  if (!out.stable) {
+    out.mean_slowdown = std::numeric_limits<double>::infinity();
+    out.mean_response = std::numeric_limits<double>::infinity();
+    out.wasted_work_fraction = std::numeric_limits<double>::infinity();
+    return out;
+  }
+  // executed_work = sum_i lambda_i E[Y_i] is the work rate actually served;
+  // lambda * E[X] of it is useful, the rest was killed and redone.
+  out.wasted_work_fraction =
+      executed_work > 0.0 ? 1.0 - (lambda * useful_work) / executed_work
+                          : 0.0;
+
+  // Mean slowdown/response: class i jobs (lo < X <= hi) pass hosts 0..i.
+  double mean_s = 0.0, mean_r = 0.0;
+  double killed_budget_prefix = 0.0;  // sum of s_0..s_{i-1}
+  double wait_prefix = 0.0;           // sum of W_0..W_{i-1}
+  for (std::size_t i = 0; i < h; ++i) {
+    const double lo = (i == 0) ? 0.0 : cutoffs[i - 1];
+    const double hi = (i == h - 1) ? max_size : cutoffs[i];
+    const double p_class = model.probability(lo, hi);
+    if (p_class > 0.0) {
+      const double inv1 = model.partial_moment(-1.0, lo, hi) / p_class;
+      const double m1 = model.partial_moment(1.0, lo, hi) / p_class;
+      const double delay = wait_prefix + mean_wait[i] + killed_budget_prefix;
+      mean_s += p_class * (delay * inv1 + 1.0);
+      mean_r += p_class * (delay + m1);
+    }
+    wait_prefix += mean_wait[i];
+    if (i < cutoffs.size()) killed_budget_prefix += cutoffs[i];
+  }
+  out.mean_slowdown = mean_s;
+  out.mean_response = mean_r;
+  return out;
+}
+
+TagsCutoffResult find_tags_opt(const queueing::SizeModel& model,
+                               double lambda, std::size_t grid_n) {
+  DS_EXPECTS(lambda > 0.0);
+  DS_EXPECTS(grid_n >= 8);
+  std::vector<double> grid = model.cutoff_grid(grid_n);
+  std::erase_if(grid, [&](double c) {
+    return c >= model.max_size() || c < model.min_size();
+  });
+  TagsCutoffResult best;
+  best.metrics.mean_slowdown = std::numeric_limits<double>::infinity();
+  for (double c : grid) {
+    const TagsMetrics m = analyze_tags(model, lambda, {c});
+    if (!m.stable) continue;
+    if (m.mean_slowdown < best.metrics.mean_slowdown) {
+      best.cutoff = c;
+      best.metrics = m;
+      best.feasible = true;
+    }
+  }
+  if (!best.feasible) return best;
+  // Local golden-section refinement around the best grid candidate.
+  const auto it = std::lower_bound(grid.begin(), grid.end(), best.cutoff);
+  const std::size_t idx = static_cast<std::size_t>(it - grid.begin());
+  const double lo = grid[idx > 0 ? idx - 1 : idx];
+  const double hi = grid[std::min(idx + 1, grid.size() - 1)];
+  if (hi > lo) {
+    const auto refined = util::golden_section_minimize(
+        [&](double c) {
+          const TagsMetrics m = analyze_tags(model, lambda, {c});
+          return m.stable ? m.mean_slowdown
+                          : std::numeric_limits<double>::infinity();
+        },
+        lo, hi, (hi - lo) * 1e-6);
+    if (refined.fx < best.metrics.mean_slowdown) {
+      best.cutoff = refined.x;
+      best.metrics = analyze_tags(model, lambda, {refined.x});
+    }
+  }
+  return best;
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,82 @@
+// TAGS — Task Assignment by Guessing Size (Harchol-Balter, ICDCS 2000,
+// the paper's reference [10]).
+//
+// The load-unbalancing idea *without* runtime estimates: every job starts
+// on Host 1, which runs jobs FCFS but kills any job that exceeds cutoff
+// s_1; killed jobs restart **from scratch** at the back of Host 2's queue
+// (cutoff s_2), and so on. Host h never kills. Size information is thus
+// "guessed" by observation, at the price of wasted restart work.
+//
+// This is a different service discipline from the dispatch-on-arrival
+// policies (a job can visit several hosts), so it gets its own simulator
+// and its own Poisson-approximation analysis rather than a Policy subclass.
+#pragma once
+
+#include <vector>
+
+#include "core/server.hpp"
+#include "core/types.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/size_model.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv::core {
+
+/// Event-driven simulator of a TAGS system.
+class TagsServer {
+ public:
+  /// `cutoffs` are the kill thresholds of hosts 0..h-2 (host h-1 runs to
+  /// completion); strictly increasing, all > 0. Host count = cutoffs+1.
+  explicit TagsServer(std::vector<double> cutoffs);
+
+  /// Simulates the trace to completion. JobRecord::host is the host where
+  /// the job finally completed; start is its *first* service start (on
+  /// Host 0); completion is its final completion, so response time includes
+  /// every queueing delay and restarted execution.
+  [[nodiscard]] RunResult run(const workload::Trace& trace);
+
+  [[nodiscard]] std::size_t host_count() const noexcept {
+    return cutoffs_.size() + 1;
+  }
+  [[nodiscard]] const std::vector<double>& cutoffs() const noexcept {
+    return cutoffs_;
+  }
+
+ private:
+  std::vector<double> cutoffs_;
+};
+
+/// Poisson-approximation analysis of TAGS (mean metrics only).
+///
+/// Host i sees the jobs with size > s_{i-1} (s_{-1} = 0) at rate
+/// lambda * P(X > s_{i-1}); its service time is min(X, s_i) conditioned on
+/// X > s_{i-1}. Treating each host as an independent M/G/1 (exact for Host
+/// 0, an approximation for the restart streams, as in [10]), a job of class
+/// i waits W_0..W_i and burns s_0..s_{i-1} in killed work before its final
+/// run.
+struct TagsMetrics {
+  std::vector<double> host_rho;        ///< per-host utilization
+  std::vector<double> host_mean_wait;  ///< per-host E[W]
+  double mean_slowdown = 0.0;
+  double mean_response = 0.0;
+  /// Fraction of total executed work thrown away by kills.
+  double wasted_work_fraction = 0.0;
+  bool stable = false;
+};
+
+[[nodiscard]] TagsMetrics analyze_tags(const queueing::SizeModel& model,
+                                       double lambda,
+                                       const std::vector<double>& cutoffs);
+
+/// 2-host TAGS cutoff minimizing analytic mean slowdown (grid + golden
+/// refinement, mirroring the SITA-U-opt search).
+struct TagsCutoffResult {
+  double cutoff = 0.0;
+  TagsMetrics metrics;
+  bool feasible = false;
+};
+[[nodiscard]] TagsCutoffResult find_tags_opt(const queueing::SizeModel& model,
+                                             double lambda,
+                                             std::size_t grid = 200);
+
+}  // namespace distserv::core

@@ -1,0 +1,39 @@
+// Shared vocabulary types for the distributed-server model.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/job.hpp"
+
+namespace distserv::core {
+
+/// Index of a host machine within the distributed server, 0-based.
+using HostId = std::uint32_t;
+
+/// The fate of one job after a simulation run.
+struct JobRecord {
+  workload::JobId id = 0;
+  double arrival = 0.0;
+  double size = 0.0;
+  HostId host = 0;
+  double start = 0.0;       ///< when service began
+  double completion = 0.0;  ///< when service finished
+
+  /// Time from arrival to completion.
+  [[nodiscard]] double response() const noexcept { return completion - arrival; }
+  /// Time spent queued (response minus service).
+  [[nodiscard]] double waiting() const noexcept { return start - arrival; }
+  /// Response time divided by service requirement; >= 1 by construction.
+  [[nodiscard]] double slowdown() const noexcept { return response() / size; }
+};
+
+/// Per-host accounting over a run.
+struct HostStats {
+  std::uint64_t jobs_completed = 0;
+  double busy_time = 0.0;  ///< total time the host was serving
+  double work_done = 0.0;  ///< sum of sizes of completed jobs
+  /// Fraction of the run's makespan the host was busy.
+  double utilization = 0.0;
+};
+
+}  // namespace distserv::core

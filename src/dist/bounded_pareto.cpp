@@ -1,0 +1,60 @@
+#include "dist/bounded_pareto.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::dist {
+
+BoundedPareto::BoundedPareto(double alpha, double k, double p)
+    : alpha_(alpha), k_(k), p_(p) {
+  DS_EXPECTS(alpha > 0.0);
+  DS_EXPECTS(k > 0.0 && k < p);
+  norm_ = 1.0 - std::pow(k_ / p_, alpha_);
+}
+
+double BoundedPareto::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  // Inverse CDF: x = k * (1 - u*norm)^{-1/alpha}.
+  return k_ * std::pow(1.0 - u * norm_, -1.0 / alpha_);
+}
+
+double BoundedPareto::partial_moment(double j, double a, double b) const {
+  DS_EXPECTS(a >= k_ && b <= p_ && a <= b);
+  const double coeff = alpha_ * std::pow(k_, alpha_) / norm_;
+  const double e = j - alpha_;
+  if (std::abs(e) < 1e-12) {
+    // integral x^{-1} dx over the transformed variable -> log form.
+    return coeff * std::log(b / a);
+  }
+  return coeff * (std::pow(b, e) - std::pow(a, e)) / e;
+}
+
+double BoundedPareto::moment(double j) const {
+  return partial_moment(j, k_, p_);
+}
+
+double BoundedPareto::cdf(double x) const {
+  if (x <= k_) return 0.0;
+  if (x >= p_) return 1.0;
+  return (1.0 - std::pow(k_ / x, alpha_)) / norm_;
+}
+
+double BoundedPareto::quantile(double u) const {
+  DS_EXPECTS(u > 0.0 && u < 1.0);
+  return k_ * std::pow(1.0 - u * norm_, -1.0 / alpha_);
+}
+
+double BoundedPareto::tail_load_fraction(double x) const {
+  if (x <= k_) return 1.0;
+  if (x >= p_) return 0.0;
+  return partial_moment(1.0, x, p_) / moment(1.0);
+}
+
+std::string BoundedPareto::name() const {
+  return "BoundedPareto(alpha=" + util::format_sig(alpha_) +
+         ", k=" + util::format_sig(k_) + ", p=" + util::format_sig(p_) + ")";
+}
+
+}  // namespace distserv::dist

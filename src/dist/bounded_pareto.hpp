@@ -1,0 +1,48 @@
+// Bounded Pareto distribution B(k, p, alpha).
+//
+// This is the workload model of Harchol-Balter, Crovella & Murta [11] and the
+// distribution we fit to the paper's trace statistics: heavy-tailed body with
+// a hard upper bound p (real traces always have a largest job; the CTC trace
+// is even administratively capped at 12 hours). All moments — including the
+// negative ones needed for slowdown analysis — exist in closed form.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace distserv::dist {
+
+/// Bounded Pareto on [k, p]:
+///   f(x) = alpha k^alpha x^{-alpha-1} / (1 - (k/p)^alpha).
+class BoundedPareto final : public Distribution {
+ public:
+  /// Requires 0 < k < p and alpha > 0.
+  BoundedPareto(double alpha, double k, double p);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double moment(double j) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] double support_min() const override { return k_; }
+  [[nodiscard]] double support_max() const override { return p_; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double k() const noexcept { return k_; }
+  [[nodiscard]] double p() const noexcept { return p_; }
+
+  /// E[X^j] restricted to x in [a, b] subinterval of the support, i.e.
+  /// the contribution integral_a^b x^j f(x) dx (NOT renormalized).
+  /// Used by the SITA split analysis to get per-host moments in closed form.
+  [[nodiscard]] double partial_moment(double j, double a, double b) const;
+
+  /// Fraction of total load (E[X]-mass) contributed by jobs of size > x.
+  [[nodiscard]] double tail_load_fraction(double x) const;
+
+ private:
+  double alpha_;
+  double k_;
+  double p_;
+  double norm_;  // 1 - (k/p)^alpha
+};
+
+}  // namespace distserv::dist

@@ -1,0 +1,103 @@
+#include "dist/bp_mixture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace distserv::dist {
+
+BoundedParetoMixture::BoundedParetoMixture(
+    std::vector<BoundedPareto> components, std::vector<double> weights)
+    : components_(std::move(components)), weights_(std::move(weights)) {
+  DS_EXPECTS(!components_.empty());
+  DS_EXPECTS(components_.size() == weights_.size());
+  double total = 0.0;
+  for (double w : weights_) {
+    DS_EXPECTS(w > 0.0);
+    total += w;
+  }
+  DS_EXPECTS(std::abs(total - 1.0) < 1e-9);
+  for (double& w : weights_) w /= total;
+}
+
+BoundedParetoMixture::BoundedParetoMixture(BoundedPareto single)
+    : BoundedParetoMixture({std::move(single)}, {1.0}) {}
+
+double BoundedParetoMixture::sample(Rng& rng) const {
+  double u = rng.uniform01();
+  for (std::size_t i = 0; i + 1 < weights_.size(); ++i) {
+    if (u < weights_[i]) return components_[i].sample(rng);
+    u -= weights_[i];
+  }
+  return components_.back().sample(rng);
+}
+
+double BoundedParetoMixture::moment(double j) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    total += weights_[i] * components_[i].moment(j);
+  }
+  return total;
+}
+
+double BoundedParetoMixture::cdf(double x) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    total += weights_[i] * components_[i].cdf(x);
+  }
+  return total;
+}
+
+double BoundedParetoMixture::quantile(double u) const {
+  DS_EXPECTS(u > 0.0 && u < 1.0);
+  // No closed form for mixtures; monotone CDF -> bisection over the support.
+  const double lo = support_min();
+  const double hi = support_max();
+  const auto r = util::bisect([&](double x) { return cdf(x) - u; },
+                              lo, hi, hi * 1e-14);
+  return r.x;
+}
+
+double BoundedParetoMixture::support_min() const {
+  double lo = components_.front().k();
+  for (const BoundedPareto& c : components_) lo = std::min(lo, c.k());
+  return lo;
+}
+
+double BoundedParetoMixture::support_max() const {
+  double hi = components_.front().p();
+  for (const BoundedPareto& c : components_) hi = std::max(hi, c.p());
+  return hi;
+}
+
+double BoundedParetoMixture::partial_moment(double j, double a,
+                                            double b) const {
+  if (b <= a) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const BoundedPareto& c = components_[i];
+    const double lo = std::clamp(a, c.k(), c.p());
+    const double hi = std::clamp(b, c.k(), c.p());
+    if (hi > lo) total += weights_[i] * c.partial_moment(j, lo, hi);
+  }
+  return total;
+}
+
+double BoundedParetoMixture::tail_load_fraction(double x) const {
+  return partial_moment(1.0, x, support_max()) / moment(1.0);
+}
+
+std::string BoundedParetoMixture::name() const {
+  std::string out = "BPMixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += std::to_string(weights_[i]).substr(0, 5) + "*" +
+           components_[i].name();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace distserv::dist

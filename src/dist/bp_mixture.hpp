@@ -1,0 +1,57 @@
+// Finite mixture of Bounded Pareto components.
+//
+// Real supercomputing traces are not a single power law: they have a broad
+// *body* of small-to-medium jobs (seconds to minutes) plus a heavy Pareto
+// *tail* that carries half the load (Harchol-Balter & Downey 1997). A
+// mixture of Bounded Paretos captures that shape while keeping every
+// quantity the queueing analysis needs — moments, interval-restricted
+// moments, CDF — in closed form. The calibrated paper workloads (catalog)
+// are two-component (body + tail) instances of this class.
+#pragma once
+
+#include <vector>
+
+#include "dist/bounded_pareto.hpp"
+#include "dist/distribution.hpp"
+
+namespace distserv::dist {
+
+/// Mixture sum_i w_i * BoundedPareto_i with w_i > 0, sum w_i = 1.
+class BoundedParetoMixture final : public Distribution {
+ public:
+  /// Requires equal-length non-empty vectors; weights positive, summing to
+  /// 1 within 1e-9 (then renormalized).
+  BoundedParetoMixture(std::vector<BoundedPareto> components,
+                       std::vector<double> weights);
+
+  /// Single-component convenience.
+  explicit BoundedParetoMixture(BoundedPareto single);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double moment(double j) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] double support_min() const override;
+  [[nodiscard]] double support_max() const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Closed-form unnormalized restricted moment
+  /// integral_a^b x^j f(x) dx = sum_i w_i * restricted moment of component i.
+  [[nodiscard]] double partial_moment(double j, double a, double b) const;
+
+  /// Fraction of total load (size-mass) from jobs with size > x.
+  [[nodiscard]] double tail_load_fraction(double x) const;
+
+  [[nodiscard]] const std::vector<BoundedPareto>& components() const noexcept {
+    return components_;
+  }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  std::vector<BoundedPareto> components_;
+  std::vector<double> weights_;
+};
+
+}  // namespace distserv::dist

@@ -1,0 +1,29 @@
+#include "dist/deterministic.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::dist {
+
+Deterministic::Deterministic(double value) : value_(value) {
+  DS_EXPECTS(value > 0.0);
+}
+
+double Deterministic::sample(Rng& /*rng*/) const { return value_; }
+
+double Deterministic::moment(double j) const { return std::pow(value_, j); }
+
+double Deterministic::cdf(double x) const { return x >= value_ ? 1.0 : 0.0; }
+
+double Deterministic::quantile(double u) const {
+  DS_EXPECTS(u > 0.0 && u < 1.0);
+  return value_;
+}
+
+std::string Deterministic::name() const {
+  return "Deterministic(" + util::format_sig(value_) + ")";
+}
+
+}  // namespace distserv::dist

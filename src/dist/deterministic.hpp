@@ -1,0 +1,26 @@
+// Point mass at a constant — the zero-variance service distribution, useful
+// for M/D/1 sanity checks of the analysis module.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace distserv::dist {
+
+/// Deterministic(value): every sample equals `value` > 0.
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double moment(double j) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] double support_min() const override { return value_; }
+  [[nodiscard]] double support_max() const override { return value_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double value_;
+};
+
+}  // namespace distserv::dist

@@ -1,0 +1,22 @@
+#include "dist/distribution.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace distserv::dist {
+
+double Distribution::variance() const {
+  const double m1 = moment(1.0);
+  const double m2 = moment(2.0);
+  if (!std::isfinite(m2)) return std::numeric_limits<double>::infinity();
+  return m2 - m1 * m1;
+}
+
+double Distribution::scv() const {
+  const double m1 = moment(1.0);
+  const double var = variance();
+  if (!std::isfinite(var)) return std::numeric_limits<double>::infinity();
+  return var / (m1 * m1);
+}
+
+}  // namespace distserv::dist

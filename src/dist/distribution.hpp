@@ -1,0 +1,58 @@
+// Abstract service-time / interarrival distribution.
+//
+// Beyond sampling, the queueing analysis in src/queueing needs fractional and
+// *negative* moments: E[X] and E[X^2] drive the Pollaczek–Khinchine waiting
+// time, E[1/X] converts waiting time to slowdown, E[1/X^2] gives the variance
+// of slowdown, and E[X^3] gives the second moment of waiting time. Every
+// concrete distribution therefore implements `moment(j)` for real j and
+// returns +infinity where the integral diverges (e.g. E[1/X] for the
+// exponential, E[X^2] for a Pareto with alpha < 2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dist/rng.hpp"
+
+namespace distserv::dist {
+
+/// Interface for a nonnegative continuous distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one variate using `rng`.
+  [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+
+  /// E[X^j] for real j; +infinity when divergent.
+  [[nodiscard]] virtual double moment(double j) const = 0;
+
+  /// P(X <= x).
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+
+  /// Inverse CDF; requires 0 < u < 1.
+  [[nodiscard]] virtual double quantile(double u) const = 0;
+
+  /// Essential infimum of the support.
+  [[nodiscard]] virtual double support_min() const = 0;
+
+  /// Essential supremum of the support (+infinity if unbounded).
+  [[nodiscard]] virtual double support_max() const = 0;
+
+  /// Human-readable identification including parameters.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Derived conveniences (all defined in terms of moment()).
+
+  /// E[X].
+  [[nodiscard]] double mean() const { return moment(1.0); }
+  /// Var[X] = E[X^2] - E[X]^2.
+  [[nodiscard]] double variance() const;
+  /// Squared coefficient of variation C^2 = Var[X]/E[X]^2.
+  [[nodiscard]] double scv() const;
+};
+
+/// Owning handle used throughout the library.
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+}  // namespace distserv::dist

@@ -1,0 +1,70 @@
+#include "dist/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::dist {
+
+Empirical::Empirical(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  DS_EXPECTS(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+  DS_EXPECTS(sorted_.front() > 0.0);
+  prefix_sum_.reserve(sorted_.size());
+  util::KahanSum acc;
+  for (double x : sorted_) {
+    acc.add(x);
+    prefix_sum_.push_back(acc.value());
+  }
+}
+
+double Empirical::sample(Rng& rng) const {
+  return sorted_[rng.below(sorted_.size())];
+}
+
+double Empirical::moment(double j) const {
+  util::KahanSum acc;
+  for (double x : sorted_) acc.add(std::pow(x, j));
+  return acc.value() / static_cast<double>(sorted_.size());
+}
+
+double Empirical::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Empirical::quantile(double u) const {
+  DS_EXPECTS(u > 0.0 && u < 1.0);
+  const auto n = static_cast<double>(sorted_.size());
+  const auto idx = static_cast<std::size_t>(std::ceil(u * n)) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+double Empirical::partial_moment(double j, double a, double b) const {
+  DS_EXPECTS(a <= b);
+  const auto lo = std::upper_bound(sorted_.begin(), sorted_.end(), a);
+  const auto hi = std::upper_bound(sorted_.begin(), sorted_.end(), b);
+  util::KahanSum acc;
+  for (auto it = lo; it != hi; ++it) acc.add(std::pow(*it, j));
+  return acc.value() / static_cast<double>(sorted_.size());
+}
+
+double Empirical::fraction_below(double c) const { return cdf(c); }
+
+double Empirical::load_fraction_below(double c) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), c);
+  if (it == sorted_.begin()) return 0.0;
+  const std::size_t count = static_cast<std::size_t>(it - sorted_.begin());
+  return prefix_sum_[count - 1] / prefix_sum_.back();
+}
+
+std::string Empirical::name() const {
+  return "Empirical(n=" + std::to_string(sorted_.size()) + ")";
+}
+
+}  // namespace distserv::dist

@@ -1,0 +1,52 @@
+// Empirical distribution built from observed samples (e.g. the job sizes of
+// a trace). This is what makes the analysis "trace-driven": the SITA cutoff
+// search evaluates M/G/1 formulas against the empirical split moments of the
+// training half of a trace, exactly as the paper does.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace distserv::dist {
+
+/// Discrete distribution putting mass 1/n on each of n observed values.
+class Empirical final : public Distribution {
+ public:
+  /// Copies and sorts the samples. Requires at least one sample, all > 0.
+  explicit Empirical(std::span<const double> samples);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  /// Exact plug-in moment: (1/n) sum x_i^j, computed with compensated
+  /// summation (never infinite: the support is finite and positive).
+  [[nodiscard]] double moment(double j) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  /// Order-statistic quantile (inverse of the right-continuous ECDF).
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] double support_min() const override { return sorted_.front(); }
+  [[nodiscard]] double support_max() const override { return sorted_.back(); }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+  /// Mean of x^j restricted to samples with a < x <= b, times the fraction
+  /// of samples in that range (i.e. the unnormalized contribution, matching
+  /// BoundedPareto::partial_moment semantics).
+  [[nodiscard]] double partial_moment(double j, double a, double b) const;
+
+  /// Fraction of samples with value <= c (the SITA "short" fraction).
+  [[nodiscard]] double fraction_below(double c) const;
+
+  /// Fraction of total size-mass carried by samples with value <= c.
+  [[nodiscard]] double load_fraction_below(double c) const;
+
+ private:
+  std::vector<double> sorted_;
+  std::vector<double> prefix_sum_;  // prefix sums of sorted_ for load splits
+};
+
+}  // namespace distserv::dist

@@ -1,0 +1,46 @@
+#include "dist/exponential.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::dist {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  DS_EXPECTS(rate > 0.0);
+}
+
+Exponential Exponential::from_mean(double mean) {
+  DS_EXPECTS(mean > 0.0);
+  return Exponential(1.0 / mean);
+}
+
+double Exponential::sample(Rng& rng) const { return rng.exponential(rate_); }
+
+double Exponential::moment(double j) const {
+  // E[X^j] = Gamma(1+j) / rate^j, finite iff j > -1.
+  if (j <= -1.0) return std::numeric_limits<double>::infinity();
+  return std::tgamma(1.0 + j) * std::pow(rate_, -j);
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-rate_ * x);
+}
+
+double Exponential::quantile(double u) const {
+  DS_EXPECTS(u > 0.0 && u < 1.0);
+  return -std::log1p(-u) / rate_;
+}
+
+double Exponential::support_max() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+std::string Exponential::name() const {
+  return "Exponential(rate=" + util::format_sig(rate_) + ")";
+}
+
+}  // namespace distserv::dist

@@ -1,0 +1,32 @@
+// Exponential distribution — the classical (and, per the paper, misleading)
+// service-time model under which load balancing looks optimal.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace distserv::dist {
+
+/// Exponential(rate): mean 1/rate, C^2 = 1.
+class Exponential final : public Distribution {
+ public:
+  /// Requires rate > 0.
+  explicit Exponential(double rate);
+
+  /// Convenience constructor from the mean.
+  [[nodiscard]] static Exponential from_mean(double mean);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double moment(double j) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] double support_min() const override { return 0.0; }
+  [[nodiscard]] double support_max() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+}  // namespace distserv::dist

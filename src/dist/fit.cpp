@@ -1,0 +1,267 @@
+#include "dist/fit.hpp"
+
+#include <cmath>
+#include <functional>
+#include <optional>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace distserv::dist {
+
+namespace {
+
+// Solves p such that B(k, p, alpha) has the target mean. The mean is
+// strictly increasing in p, from k (as p -> k) toward the unbounded-Pareto
+// limit (alpha k/(alpha-1) for alpha > 1, +infinity otherwise). Returns
+// nullopt if the target mean is unreachable for this alpha.
+std::optional<double> solve_p(double alpha, double k, double mean) {
+  auto mean_at = [&](double p) { return BoundedPareto(alpha, k, p).mean(); };
+  double hi = k * 2.0;
+  const double hi_cap = k * 1e17;  // avoid overflow in pow
+  while (mean_at(hi) < mean) {
+    hi *= 4.0;
+    if (hi > hi_cap) return std::nullopt;
+  }
+  const double lo = k * (1.0 + 1e-12);
+  const auto r = util::bisect(
+      [&](double p) { return mean_at(p) - mean; }, lo, hi,
+      /*xtol=*/hi * 1e-14, /*ftol=*/mean * 1e-12);
+  if (!r.converged) return std::nullopt;
+  return r.x;
+}
+
+// Solves k such that B(k, p, alpha) has the target mean with p fixed. The
+// mean is strictly increasing in k from the small-k limit toward p.
+std::optional<double> solve_k(double alpha, double p, double mean) {
+  auto mean_at = [&](double k) { return BoundedPareto(alpha, k, p).mean(); };
+  double lo = p * 1e-15;
+  const double hi = p * (1.0 - 1e-12);
+  if (mean_at(lo) > mean || mean_at(hi) < mean) return std::nullopt;
+  const auto r = util::bisect(
+      [&](double k) { return mean_at(k) - mean; }, lo, hi,
+      /*xtol=*/p * 1e-16, /*ftol=*/mean * 1e-12);
+  if (!r.converged) return std::nullopt;
+  return r.x;
+}
+
+// Generic driver: `scv_at(alpha)` returns the scv of the mean-matched fit at
+// that alpha (nullopt if the mean is unreachable). Scans a log-spaced alpha
+// grid for a bracketing pair around the target scv — making no assumption
+// about the direction of monotonicity — then bisects inside the bracket.
+std::optional<double> solve_alpha(
+    const std::function<std::optional<double>(double)>& scv_at, double scv) {
+  const std::vector<double> grid = util::logspace(0.02, 20.0, 96);
+  std::optional<double> prev_alpha;
+  std::optional<double> prev_scv;
+  for (double alpha : grid) {
+    const std::optional<double> s = scv_at(alpha);
+    if (!s) {
+      prev_alpha.reset();
+      prev_scv.reset();
+      continue;
+    }
+    if (std::abs(*s - scv) <= scv * 1e-9) return alpha;
+    if (prev_scv &&
+        std::signbit(*prev_scv - scv) != std::signbit(*s - scv)) {
+      const auto r = util::bisect(
+          [&](double a) {
+            const auto sa = scv_at(a);
+            // Inside a feasible bracket the mean stays reachable; fall back
+            // to the midpoint sign convention if a probe fails anyway.
+            return sa ? (*sa - scv) : 0.0;
+          },
+          *prev_alpha, alpha, /*xtol=*/1e-12, /*ftol=*/scv * 1e-10);
+      if (r.converged) return r.x;
+    }
+    prev_alpha = alpha;
+    prev_scv = s;
+  }
+  return std::nullopt;
+}
+
+BoundedParetoFit finish(double alpha, double k, double p) {
+  BoundedPareto d(alpha, k, p);
+  BoundedParetoFit fit;
+  fit.alpha = alpha;
+  fit.k = k;
+  fit.p = p;
+  fit.achieved_mean = d.mean();
+  fit.achieved_scv = d.scv();
+  fit.converged = true;
+  return fit;
+}
+
+}  // namespace
+
+BoundedPareto BoundedParetoFit::distribution() const {
+  DS_EXPECTS(converged);
+  return BoundedPareto(alpha, k, p);
+}
+
+BoundedParetoFit fit_bounded_pareto_fixed_k(double mean, double scv,
+                                            double k) {
+  DS_EXPECTS(k > 0.0 && mean > k);
+  DS_EXPECTS(scv > 0.0);
+  auto scv_at = [&](double alpha) -> std::optional<double> {
+    const auto p = solve_p(alpha, k, mean);
+    if (!p) return std::nullopt;
+    return BoundedPareto(alpha, k, *p).scv();
+  };
+  const auto alpha = solve_alpha(scv_at, scv);
+  if (!alpha) return {};
+  const auto p = solve_p(*alpha, k, mean);
+  if (!p) return {};
+  return finish(*alpha, k, *p);
+}
+
+BoundedParetoFit fit_bounded_pareto_fixed_alpha(double mean, double scv,
+                                                double alpha) {
+  DS_EXPECTS(alpha > 1.0);
+  DS_EXPECTS(mean > 0.0 && scv > 0.0);
+  // For fixed alpha, k must lie in (mean (alpha-1)/alpha, mean): below the
+  // lower end even p -> infinity cannot reach the mean, above it even p -> k
+  // overshoots. Within that window the mean pins p(k), and the resulting
+  // scv decreases monotonically in k (larger k => smaller p => lighter
+  // tail), so a bracket scan + bisection over k converges.
+  const double k_lo = mean * (alpha - 1.0) / alpha * (1.0 + 1e-9);
+  const double k_hi = mean * (1.0 - 1e-9);
+  auto scv_at = [&](double k) -> std::optional<double> {
+    const auto p = solve_p(alpha, k, mean);
+    if (!p) return std::nullopt;
+    return BoundedPareto(alpha, k, *p).scv();
+  };
+  bool has_prev = false;
+  double prev_k = 0.0, prev_scv = 0.0;
+  const std::vector<double> grid = util::logspace(k_lo, k_hi, 96);
+  for (double k : grid) {
+    const std::optional<double> s = scv_at(k);
+    if (!s) {
+      has_prev = false;
+      continue;
+    }
+    if (std::abs(*s - scv) <= scv * 1e-9) {
+      const auto p = solve_p(alpha, k, mean);
+      if (!p) return {};
+      return finish(alpha, k, *p);
+    }
+    if (has_prev &&
+        std::signbit(prev_scv - scv) != std::signbit(*s - scv)) {
+      const auto r = util::bisect(
+          [&](double kk) {
+            const auto sk = scv_at(kk);
+            return sk ? (*sk - scv) : 0.0;
+          },
+          prev_k, k, /*xtol=*/mean * 1e-12, /*ftol=*/scv * 1e-10);
+      if (!r.converged) return {};
+      const auto p = solve_p(alpha, r.x, mean);
+      if (!p) return {};
+      return finish(alpha, r.x, *p);
+    }
+    prev_k = k;
+    prev_scv = *s;
+    has_prev = true;
+  }
+  return {};
+}
+
+BoundedParetoFit fit_bounded_pareto_fixed_p(double mean, double scv,
+                                            double p) {
+  DS_EXPECTS(p > 0.0 && mean > 0.0 && mean < p);
+  DS_EXPECTS(scv > 0.0);
+  auto scv_at = [&](double alpha) -> std::optional<double> {
+    const auto k = solve_k(alpha, p, mean);
+    if (!k) return std::nullopt;
+    return BoundedPareto(alpha, *k, p).scv();
+  };
+  const auto alpha = solve_alpha(scv_at, scv);
+  if (!alpha) return {};
+  const auto k = solve_k(*alpha, p, mean);
+  if (!k) return {};
+  return finish(*alpha, *k, p);
+}
+
+BoundedParetoMixture BodyTailFit::distribution() const {
+  DS_EXPECTS(converged);
+  return BoundedParetoMixture({body, tail}, {body_weight, 1.0 - body_weight});
+}
+
+BodyTailFit fit_body_tail(double mean, double scv, double min_size,
+                          double body_break, double alpha_body,
+                          double alpha_tail) {
+  DS_EXPECTS(min_size > 0.0 && min_size < body_break);
+  DS_EXPECTS(alpha_body > 0.0);
+  DS_EXPECTS(alpha_tail > 1.0);
+  DS_EXPECTS(scv > 0.0);
+  const BoundedPareto body(alpha_body, min_size, body_break);
+  const double body_mean = body.mean();
+  DS_EXPECTS(mean > body_mean);
+
+  // The unbounded tail mean limit caps what any p can deliver.
+  const double tail_mean_limit =
+      alpha_tail * body_break / (alpha_tail - 1.0);
+
+  // For a given body weight w, the tail mean needed to hit the overall mean:
+  //   mB = (mean - w*mA) / (1-w), feasible while mB in (body_break, limit).
+  auto tail_for = [&](double w) -> std::optional<BoundedPareto> {
+    const double need = (mean - w * body_mean) / (1.0 - w);
+    if (need <= body_break * (1.0 + 1e-9) ||
+        need >= tail_mean_limit * (1.0 - 1e-9)) {
+      return std::nullopt;
+    }
+    const auto p = solve_p(alpha_tail, body_break, need);
+    if (!p) return std::nullopt;
+    return BoundedPareto(alpha_tail, body_break, *p);
+  };
+  auto scv_at = [&](double w) -> std::optional<double> {
+    const auto tail = tail_for(w);
+    if (!tail) return std::nullopt;
+    BoundedParetoMixture mix({body, *tail}, {w, 1.0 - w});
+    return mix.scv();
+  };
+
+  // Bracket scan over w, then bisect (scv is increasing in w: more body
+  // weight forces a longer tail to hold the mean).
+  const std::vector<double> grid = util::linspace(0.005, 0.995, 200);
+  bool has_prev = false;
+  double prev_w = 0.0, prev_scv = 0.0;
+  auto finish_fit = [&](double w) -> BodyTailFit {
+    const auto tail = tail_for(w);
+    if (!tail) return {};
+    BodyTailFit fit;
+    fit.body = body;
+    fit.tail = *tail;
+    fit.body_weight = w;
+    BoundedParetoMixture mix = BoundedParetoMixture({body, *tail},
+                                                    {w, 1.0 - w});
+    fit.achieved_mean = mix.mean();
+    fit.achieved_scv = mix.scv();
+    fit.converged = true;
+    return fit;
+  };
+  for (double w : grid) {
+    const std::optional<double> s = scv_at(w);
+    if (!s) {
+      has_prev = false;
+      continue;
+    }
+    if (std::abs(*s - scv) <= scv * 1e-9) return finish_fit(w);
+    if (has_prev &&
+        std::signbit(prev_scv - scv) != std::signbit(*s - scv)) {
+      const auto r = util::bisect(
+          [&](double ww) {
+            const auto sw = scv_at(ww);
+            return sw ? (*sw - scv) : 0.0;
+          },
+          prev_w, w, /*xtol=*/1e-12, /*ftol=*/scv * 1e-10);
+      if (!r.converged) return {};
+      return finish_fit(r.x);
+    }
+    prev_w = w;
+    prev_scv = *s;
+    has_prev = true;
+  }
+  return {};
+}
+
+}  // namespace distserv::dist

@@ -1,0 +1,76 @@
+// Fitting Bounded Pareto parameters to trace statistics.
+//
+// The paper characterizes each trace by its mean service requirement and its
+// squared coefficient of variation (Table 1; the text highlights C^2 = 43 for
+// the C90 trace). To synthesize workloads with those characteristics we fit
+// B(k, p, alpha) by moment matching: fix one endpoint of the support and
+// solve the remaining two parameters against (mean, C^2) with nested
+// bisection. Both maps are monotone, so the fits are unique when feasible.
+#pragma once
+
+#include "dist/bounded_pareto.hpp"
+#include "dist/bp_mixture.hpp"
+
+namespace distserv::dist {
+
+/// Result of a Bounded-Pareto moment fit.
+struct BoundedParetoFit {
+  double alpha = 0.0;
+  double k = 0.0;
+  double p = 0.0;
+  double achieved_mean = 0.0;
+  double achieved_scv = 0.0;
+  bool converged = false;
+
+  /// Materializes the fitted distribution. Requires converged.
+  [[nodiscard]] BoundedPareto distribution() const;
+};
+
+/// Fits alpha and p with the minimum job size k fixed.
+/// Requires mean > k and scv > 0.
+[[nodiscard]] BoundedParetoFit fit_bounded_pareto_fixed_k(double mean,
+                                                          double scv,
+                                                          double k);
+
+/// Fits alpha and k with the maximum job size p fixed (e.g. the CTC trace's
+/// administrative 12-hour kill limit). Requires 0 < mean < p and scv > 0.
+[[nodiscard]] BoundedParetoFit fit_bounded_pareto_fixed_p(double mean,
+                                                          double scv,
+                                                          double p);
+
+/// Fits k and p with the tail index alpha fixed. This is the paper-faithful
+/// mode: Harchol-Balter, Crovella & Murta [11] model the supercomputing
+/// traces with alpha ~= 1.1, and the tail index is what controls the "tiny
+/// fraction of jobs carries half the load" property. Requires alpha > 1
+/// (so the mean pins k from above) and scv > 0.
+[[nodiscard]] BoundedParetoFit fit_bounded_pareto_fixed_alpha(double mean,
+                                                              double scv,
+                                                              double alpha);
+
+/// Result of a body+tail mixture fit.
+struct BodyTailFit {
+  BoundedPareto body{1.0, 1.0, 2.0};  ///< placeholder until converged
+  BoundedPareto tail{1.0, 2.0, 4.0};
+  double body_weight = 0.0;
+  double achieved_mean = 0.0;
+  double achieved_scv = 0.0;
+  bool converged = false;
+
+  /// Materializes the two-component mixture. Requires converged.
+  [[nodiscard]] BoundedParetoMixture distribution() const;
+};
+
+/// Fits the trace-shaped two-component model
+///   w * BP(alpha_body, min_size, body_break)
+///   + (1-w) * BP(alpha_tail, body_break, p)
+/// to a target mean and squared coefficient of variation, solving the body
+/// weight w and the tail truncation p. The body (spread of small jobs from
+/// `min_size` up to `body_break`) is what drives E[1/X] — and therefore
+/// slowdown — while the tail drives E[X^2]; fixing both shapes and solving
+/// only (w, p) keeps the fit unique. Requires min_size < body_break,
+/// alpha_tail > 1, mean > body mean, scv > 0.
+[[nodiscard]] BodyTailFit fit_body_tail(double mean, double scv,
+                                        double min_size, double body_break,
+                                        double alpha_body, double alpha_tail);
+
+}  // namespace distserv::dist

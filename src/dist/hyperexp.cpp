@@ -1,0 +1,85 @@
+#include "dist/hyperexp.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::dist {
+
+Hyperexponential::Hyperexponential(std::vector<double> probabilities,
+                                   std::vector<double> rates)
+    : probs_(std::move(probabilities)), rates_(std::move(rates)) {
+  DS_EXPECTS(!probs_.empty());
+  DS_EXPECTS(probs_.size() == rates_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    DS_EXPECTS(probs_[i] >= 0.0);
+    DS_EXPECTS(rates_[i] > 0.0);
+    total += probs_[i];
+  }
+  DS_EXPECTS(std::abs(total - 1.0) < 1e-9);
+  for (double& prob : probs_) prob /= total;
+}
+
+Hyperexponential Hyperexponential::fit_mean_scv(double mean, double scv) {
+  DS_EXPECTS(mean > 0.0);
+  DS_EXPECTS(scv >= 1.0);
+  // Balanced-means H2 (Whitt): p1 mu2 = p2 mu1 branch weighting.
+  const double p1 = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  const double p2 = 1.0 - p1;
+  const double mu1 = 2.0 * p1 / mean;
+  const double mu2 = 2.0 * p2 / mean;
+  return Hyperexponential({p1, p2}, {mu1, mu2});
+}
+
+double Hyperexponential::sample(Rng& rng) const {
+  double u = rng.uniform01();
+  for (std::size_t i = 0; i + 1 < probs_.size(); ++i) {
+    if (u < probs_[i]) return rng.exponential(rates_[i]);
+    u -= probs_[i];
+  }
+  return rng.exponential(rates_.back());
+}
+
+double Hyperexponential::moment(double j) const {
+  if (j <= -1.0) return std::numeric_limits<double>::infinity();
+  const double gamma = std::tgamma(1.0 + j);
+  double total = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    total += probs_[i] * gamma * std::pow(rates_[i], -j);
+  }
+  return total;
+}
+
+double Hyperexponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  double survival = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    survival += probs_[i] * std::exp(-rates_[i] * x);
+  }
+  return 1.0 - survival;
+}
+
+double Hyperexponential::quantile(double u) const {
+  DS_EXPECTS(u > 0.0 && u < 1.0);
+  // No closed form for mixtures; bracket with the slowest phase and bisect.
+  double slowest = rates_[0];
+  for (double r : rates_) slowest = std::min(slowest, r);
+  const double hi = -std::log1p(-u) / slowest + 1.0;
+  const auto r = util::bisect([&](double x) { return cdf(x) - u; }, 0.0, hi,
+                              1e-12 * hi);
+  return r.x;
+}
+
+double Hyperexponential::support_max() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+std::string Hyperexponential::name() const {
+  return "Hyperexponential(phases=" + std::to_string(probs_.size()) + ")";
+}
+
+}  // namespace distserv::dist

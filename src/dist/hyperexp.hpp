@@ -1,0 +1,39 @@
+// Hyperexponential distribution — a mixture of exponentials. The standard
+// analytically-tractable way to get C^2 > 1 without a power-law tail; used in
+// tests and as an alternative high-variance workload.
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace distserv::dist {
+
+/// H_n: with probability prob[i], sample Exponential(rate[i]).
+class Hyperexponential final : public Distribution {
+ public:
+  /// Requires equal non-empty vectors, probabilities summing to 1 (within
+  /// 1e-9, then renormalized), all rates > 0.
+  Hyperexponential(std::vector<double> probabilities,
+                   std::vector<double> rates);
+
+  /// Two-phase hyperexponential with balanced means matching a target mean
+  /// and squared coefficient of variation scv >= 1.
+  [[nodiscard]] static Hyperexponential fit_mean_scv(double mean, double scv);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double moment(double j) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] double support_min() const override { return 0.0; }
+  [[nodiscard]] double support_max() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t phases() const noexcept { return probs_.size(); }
+
+ private:
+  std::vector<double> probs_;
+  std::vector<double> rates_;
+};
+
+}  // namespace distserv::dist

@@ -1,0 +1,31 @@
+// Lognormal distribution — used for bursty interarrival-time modeling and as
+// an alternative service-time model in ablations. All real moments exist.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace distserv::dist {
+
+/// Lognormal(mu, sigma): log X ~ Normal(mu, sigma^2).
+class Lognormal final : public Distribution {
+ public:
+  /// Requires sigma > 0.
+  Lognormal(double mu, double sigma);
+
+  /// Parameterizes from a target mean and squared coefficient of variation.
+  [[nodiscard]] static Lognormal fit_mean_scv(double mean, double scv);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double moment(double j) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] double support_min() const override { return 0.0; }
+  [[nodiscard]] double support_max() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace distserv::dist

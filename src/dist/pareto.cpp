@@ -1,0 +1,45 @@
+#include "dist/pareto.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::dist {
+
+Pareto::Pareto(double alpha, double k) : alpha_(alpha), k_(k) {
+  DS_EXPECTS(alpha > 0.0);
+  DS_EXPECTS(k > 0.0);
+}
+
+double Pareto::sample(Rng& rng) const {
+  return k_ * std::pow(rng.uniform01(), -1.0 / alpha_);
+}
+
+double Pareto::moment(double j) const {
+  // E[X^j] = alpha k^j / (alpha - j) for j < alpha, else divergent.
+  if (j >= alpha_) return std::numeric_limits<double>::infinity();
+  return alpha_ * std::pow(k_, j) / (alpha_ - j);
+}
+
+double Pareto::cdf(double x) const {
+  if (x <= k_) return 0.0;
+  return 1.0 - std::pow(k_ / x, alpha_);
+}
+
+double Pareto::quantile(double u) const {
+  DS_EXPECTS(u > 0.0 && u < 1.0);
+  return k_ * std::pow(1.0 - u, -1.0 / alpha_);
+}
+
+double Pareto::support_max() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+std::string Pareto::name() const {
+  return "Pareto(alpha=" + util::format_sig(alpha_) +
+         ", k=" + util::format_sig(k_) + ")";
+}
+
+}  // namespace distserv::dist

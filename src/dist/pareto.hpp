@@ -1,0 +1,32 @@
+// Unbounded Pareto distribution — the canonical heavy-tailed model for
+// process lifetimes (Harchol-Balter & Downey 1997). Moments E[X^j] diverge
+// for j >= alpha, which is exactly why supercomputing workloads break
+// load-balancing intuition.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace distserv::dist {
+
+/// Pareto(alpha, k): P(X > x) = (k/x)^alpha for x >= k > 0, alpha > 0.
+class Pareto final : public Distribution {
+ public:
+  Pareto(double alpha, double k);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double moment(double j) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] double support_min() const override { return k_; }
+  [[nodiscard]] double support_max() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double k() const noexcept { return k_; }
+
+ private:
+  double alpha_;
+  double k_;
+};
+
+}  // namespace distserv::dist

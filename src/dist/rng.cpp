@@ -1,0 +1,109 @@
+#include "dist/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/contracts.hpp"
+
+namespace distserv::dist {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state is the one forbidden configuration; SplitMix64 cannot
+  // produce four zero outputs in a row, but keep the guarantee explicit.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  // 53 random bits, centered in the bin: yields values in (0,1) strictly.
+  return (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::exponential(double rate) {
+  DS_EXPECTS(rate > 0.0);
+  return -std::log(uniform01()) / rate;
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  DS_EXPECTS(n > 0);
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  while (true) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  DS_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform01() < p;
+}
+
+double Rng::normal() noexcept {
+  const double u1 = uniform01();
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::split(std::uint64_t stream) const noexcept {
+  // Derive a fresh seed from the current state and the stream index; the
+  // SplitMix64 avalanche decorrelates nearby stream indices.
+  std::uint64_t sm = s_[0] ^ rotl(s_[2], 13) ^ (stream * 0xd1342543de82ef95ULL);
+  const std::uint64_t seed = splitmix64(sm) ^ splitmix64(sm);
+  return Rng(seed);
+}
+
+void Rng::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (void)next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+}  // namespace distserv::dist

@@ -1,0 +1,47 @@
+#include "dist/uniform.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::dist {
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  DS_EXPECTS(lo >= 0.0 && lo < hi);
+}
+
+double Uniform::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+double Uniform::moment(double j) const {
+  // E[X^j] = (hi^{j+1} - lo^{j+1}) / ((j+1)(hi-lo)), special-casing j = -1.
+  const double width = hi_ - lo_;
+  if (j == -1.0) {
+    if (lo_ == 0.0) return std::numeric_limits<double>::infinity();
+    return std::log(hi_ / lo_) / width;
+  }
+  if (lo_ == 0.0 && j <= -1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return (std::pow(hi_, j + 1.0) - std::pow(lo_, j + 1.0)) /
+         ((j + 1.0) * width);
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double u) const {
+  DS_EXPECTS(u > 0.0 && u < 1.0);
+  return lo_ + u * (hi_ - lo_);
+}
+
+std::string Uniform::name() const {
+  return "Uniform(" + util::format_sig(lo_) + ", " + util::format_sig(hi_) +
+         ")";
+}
+
+}  // namespace distserv::dist

@@ -1,0 +1,27 @@
+// Uniform distribution on [lo, hi] — used in tests and as a low-variance
+// contrast workload.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace distserv::dist {
+
+/// Uniform(lo, hi) with 0 <= lo < hi.
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double moment(double j) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] double support_min() const override { return lo_; }
+  [[nodiscard]] double support_max() const override { return hi_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace distserv::dist

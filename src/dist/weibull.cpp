@@ -1,0 +1,45 @@
+#include "dist/weibull.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::dist {
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  DS_EXPECTS(shape > 0.0);
+  DS_EXPECTS(scale > 0.0);
+}
+
+double Weibull::sample(Rng& rng) const {
+  return scale_ * std::pow(-std::log(rng.uniform01()), 1.0 / shape_);
+}
+
+double Weibull::moment(double j) const {
+  // E[X^j] = scale^j * Gamma(1 + j/shape), finite iff j > -shape.
+  if (j <= -shape_) return std::numeric_limits<double>::infinity();
+  return std::pow(scale_, j) * std::tgamma(1.0 + j / shape_);
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double u) const {
+  DS_EXPECTS(u > 0.0 && u < 1.0);
+  return scale_ * std::pow(-std::log1p(-u), 1.0 / shape_);
+}
+
+double Weibull::support_max() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+std::string Weibull::name() const {
+  return "Weibull(shape=" + util::format_sig(shape_) +
+         ", scale=" + util::format_sig(scale_) + ")";
+}
+
+}  // namespace distserv::dist

@@ -1,0 +1,28 @@
+// Weibull distribution — sub-exponential tails for shape < 1; rounds out the
+// workload-model toolbox for sensitivity studies.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace distserv::dist {
+
+/// Weibull(shape, scale): P(X > x) = exp(-(x/scale)^shape).
+class Weibull final : public Distribution {
+ public:
+  /// Requires shape > 0 and scale > 0.
+  Weibull(double shape, double scale);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double moment(double j) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] double support_min() const override { return 0.0; }
+  [[nodiscard]] double support_max() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace distserv::dist

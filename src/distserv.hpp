@@ -1,0 +1,67 @@
+// Umbrella header: everything a downstream user needs to simulate, analyze,
+// and compare task assignment policies for distributed supercomputing
+// servers. Include <distserv.hpp> and link distserv::distserv.
+#pragma once
+
+// Utilities
+#include "util/cli.hpp"
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/math.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+// Substrate
+#include "dist/bounded_pareto.hpp"
+#include "dist/deterministic.hpp"
+#include "dist/empirical.hpp"
+#include "dist/exponential.hpp"
+#include "dist/fit.hpp"
+#include "dist/hyperexp.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/pareto.hpp"
+#include "dist/rng.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+#include "sim/simulator.hpp"
+#include "stats/confidence.hpp"
+#include "stats/histogram.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/moments.hpp"
+#include "stats/quantile.hpp"
+#include "stats/welford.hpp"
+
+// Workloads
+#include "workload/arrival.hpp"
+#include "workload/catalog.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+
+// Analysis
+#include "queueing/cutoff_search.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/mgh.hpp"
+#include "queueing/mmh.hpp"
+#include "queueing/policy_analysis.hpp"
+#include "queueing/sita_analysis.hpp"
+#include "queueing/size_model.hpp"
+
+// The distributed server and its policies
+#include "core/cutoffs.hpp"
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "core/policies/central_queue.hpp"
+#include "core/policies/hybrid_sita_lwl.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/random.hpp"
+#include "core/policies/round_robin.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/policies/sita.hpp"
+#include "core/policies/noisy_lwl.hpp"
+#include "core/policies/power_of_d.hpp"
+#include "core/ps_server.hpp"
+#include "core/server.hpp"
+#include "core/sim_cutoff_search.hpp"
+#include "core/tags.hpp"

@@ -1,0 +1,307 @@
+#include "queueing/cutoff_search.hpp"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace distserv::queueing {
+
+namespace {
+
+CutoffSearchResult pack(const SizeModel& model, double lambda, double cutoff,
+                        std::size_t scanned) {
+  CutoffSearchResult r;
+  r.cutoff = cutoff;
+  r.metrics = analyze_sita(model, lambda, {cutoff});
+  r.feasible = r.metrics.stable;
+  if (r.metrics.hosts.size() == 2) {
+    r.host1_load_fraction = r.metrics.hosts[0].load_fraction;
+    r.host1_job_fraction = r.metrics.hosts[0].job_fraction;
+  }
+  r.candidates_scanned = scanned;
+  return r;
+}
+
+// Scans the candidate grid and returns (index, score) of the best feasible
+// candidate under `score` (lower is better), or nullopt if none feasible.
+struct ScanHit {
+  std::size_t index;
+  double value;
+};
+
+template <typename Score>
+std::optional<ScanHit> scan(const std::vector<double>& grid,
+                            const SizeModel& model, double lambda,
+                            const Score& score) {
+  std::optional<ScanHit> best;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const SitaMetrics m = analyze_sita(model, lambda, {grid[i]});
+    if (!m.stable) continue;
+    const double v = score(m);
+    if (!best || v < best->value) best = ScanHit{i, v};
+  }
+  return best;
+}
+
+std::vector<double> interior_grid(const SizeModel& model, std::size_t n) {
+  std::vector<double> grid = model.cutoff_grid(n);
+  // Both hosts must receive jobs: drop endpoints equal to the extreme sizes.
+  std::erase_if(grid, [&](double c) {
+    return c >= model.max_size() || c < model.min_size();
+  });
+  return grid;
+}
+
+}  // namespace
+
+CutoffSearchResult find_sita_u_opt(const SizeModel& model, double lambda,
+                                   std::size_t grid_n) {
+  DS_EXPECTS(lambda > 0.0);
+  DS_EXPECTS(grid_n >= 8);
+  const std::vector<double> grid = interior_grid(model, grid_n);
+  if (grid.empty()) return {};
+  const auto best = scan(grid, model, lambda, [](const SitaMetrics& m) {
+    return m.mean_slowdown;
+  });
+  if (!best) return {};
+  // Local golden-section refinement between the neighbors of the best grid
+  // point (mean slowdown is piecewise-smooth and locally unimodal there).
+  const double lo = grid[best->index > 0 ? best->index - 1 : best->index];
+  const double hi = grid[std::min(best->index + 1, grid.size() - 1)];
+  double cutoff = grid[best->index];
+  if (hi > lo) {
+    const auto refined = util::golden_section_minimize(
+        [&](double c) {
+          const SitaMetrics m = analyze_sita(model, lambda, {c});
+          return m.stable ? m.mean_slowdown
+                          : std::numeric_limits<double>::infinity();
+        },
+        lo, hi, (hi - lo) * 1e-6);
+    if (refined.fx <= best->value) cutoff = refined.x;
+  }
+  return pack(model, lambda, cutoff, grid.size());
+}
+
+CutoffSearchResult find_sita_u_fair(const SizeModel& model, double lambda,
+                                    std::size_t grid_n) {
+  DS_EXPECTS(lambda > 0.0);
+  DS_EXPECTS(grid_n >= 8);
+  const std::vector<double> grid = interior_grid(model, grid_n);
+  if (grid.empty()) return {};
+  // Signed slowdown gap between the short host and the long host; fairness
+  // is a root of this function.
+  auto gap = [&](const SitaMetrics& m) {
+    return m.hosts[0].mg1.mean_slowdown - m.hosts[1].mg1.mean_slowdown;
+  };
+  const auto best = scan(grid, model, lambda, [&](const SitaMetrics& m) {
+    return std::abs(gap(m));
+  });
+  if (!best) return {};
+  double cutoff = grid[best->index];
+  // Refine by bisection if a neighboring feasible candidate brackets a sign
+  // change (the gap is increasing in the cutoff: pushing more sizes to Host 1
+  // loads it and relieves Host 2).
+  auto signed_gap_at = [&](double c) -> std::optional<double> {
+    const SitaMetrics m = analyze_sita(model, lambda, {c});
+    if (!m.stable) return std::nullopt;
+    return gap(m);
+  };
+  const auto g_best = signed_gap_at(cutoff);
+  for (int dir : {-1, +1}) {
+    const std::size_t j = best->index + static_cast<std::size_t>(dir);
+    if (dir < 0 && best->index == 0) continue;
+    if (j >= grid.size()) continue;
+    const auto g_nb = signed_gap_at(grid[j]);
+    if (!g_best || !g_nb) continue;
+    if (std::signbit(*g_best) != std::signbit(*g_nb)) {
+      const double lo = std::min(cutoff, grid[j]);
+      const double hi = std::max(cutoff, grid[j]);
+      const auto root = util::bisect(
+          [&](double c) {
+            const auto g = signed_gap_at(c);
+            // Infeasible points inside the bracket keep the previous sign
+            // direction by returning a huge value of the boundary sign.
+            return g ? *g : std::numeric_limits<double>::max();
+          },
+          lo, hi, (hi - lo) * 1e-9, 0.0);
+      if (root.converged) cutoff = root.x;
+      break;
+    }
+  }
+  return pack(model, lambda, cutoff, grid.size());
+}
+
+double rule_of_thumb_cutoff(const SizeModel& model, double rho) {
+  DS_EXPECTS(rho > 0.0 && rho < 1.0);
+  return model.load_quantile(0.5 * rho);
+}
+
+CutoffSearchResult evaluate_cutoff(const SizeModel& model, double lambda,
+                                   double cutoff) {
+  DS_EXPECTS(lambda > 0.0);
+  return pack(model, lambda, cutoff, 1);
+}
+
+namespace {
+
+// Minimizes f on [lo, hi] where f may be +inf on unknown sub-ranges at both
+// ends (infeasible cutoff positions): coarse log-grid scan to locate the
+// basin, then golden-section between the neighbors of the best grid point.
+util::MinResult grid_then_golden(const std::function<double(double)>& f,
+                                 double lo, double hi, std::size_t n) {
+  const std::vector<double> grid = util::logspace(lo, hi, n);
+  std::size_t best = 0;
+  double best_fx = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double fx = f(grid[i]);
+    if (fx < best_fx) {
+      best_fx = fx;
+      best = i;
+    }
+  }
+  if (!std::isfinite(best_fx)) return {lo, best_fx, false, 0};
+  const double a = grid[best > 0 ? best - 1 : best];
+  const double b = grid[std::min(best + 1, grid.size() - 1)];
+  if (b <= a) return {grid[best], best_fx, true, 0};
+  util::MinResult r = util::golden_section_minimize(f, a, b, (b - a) * 1e-7);
+  if (r.fx > best_fx) return {grid[best], best_fx, true, r.iterations};
+  return r;
+}
+
+MultiCutoffResult pack_multi(const SizeModel& model, double lambda,
+                             std::vector<double> cutoffs, int sweeps) {
+  MultiCutoffResult r;
+  r.metrics = analyze_sita(model, lambda, cutoffs);
+  r.cutoffs = std::move(cutoffs);
+  r.feasible = r.metrics.stable;
+  for (const SitaHostMetrics& hm : r.metrics.hosts) {
+    r.host_load_fractions.push_back(hm.load_fraction);
+  }
+  r.sweeps = sweeps;
+  return r;
+}
+
+}  // namespace
+
+MultiCutoffResult find_sita_u_opt_multi(const SizeModel& model, double lambda,
+                                        std::size_t h, int max_sweeps) {
+  DS_EXPECTS(lambda > 0.0);
+  DS_EXPECTS(h >= 2);
+  std::vector<double> cutoffs = sita_e_cutoffs(model, h);
+  auto score = [&](const std::vector<double>& cs) {
+    const SitaMetrics m = analyze_sita(model, lambda, cs);
+    return m.stable ? m.mean_slowdown
+                    : std::numeric_limits<double>::infinity();
+  };
+  double current = score(cutoffs);
+  int sweep = 0;
+  for (; sweep < max_sweeps; ++sweep) {
+    const double before = current;
+    for (std::size_t i = 0; i < cutoffs.size(); ++i) {
+      // Bracket cutoff i between its neighbors (or the support bounds).
+      const double lo =
+          (i == 0) ? model.min_size() * (1.0 + 1e-9) : cutoffs[i - 1] * (1.0 + 1e-9);
+      const double hi = (i + 1 == cutoffs.size())
+                            ? model.max_size() * (1.0 - 1e-9)
+                            : cutoffs[i + 1] * (1.0 - 1e-9);
+      if (hi <= lo) continue;
+      const auto refined = grid_then_golden(
+          [&](double c) {
+            std::vector<double> trial = cutoffs;
+            trial[i] = c;
+            return score(trial);
+          },
+          lo, hi, 48);
+      if (refined.fx < current) {
+        cutoffs[i] = refined.x;
+        current = refined.fx;
+      }
+    }
+    if (before - current <= std::abs(before) * 1e-9) break;
+  }
+  return pack_multi(model, lambda, std::move(cutoffs), sweep + 1);
+}
+
+MultiCutoffResult find_sita_u_fair_multi(const SizeModel& model,
+                                         double lambda, std::size_t h,
+                                         int max_sweeps) {
+  DS_EXPECTS(lambda > 0.0);
+  DS_EXPECTS(h >= 2);
+  // Exact nested construction instead of blind descent. For a candidate
+  // common slowdown target s*, the cutoffs are determined host by host:
+  // host i's slowdown depends only on its own interval (prev, c], and is
+  // monotone increasing in c (more jobs and more load), so the c achieving
+  // E[S_i] = s* is unique. Building hosts 0..h-2 this way leaves host h-1
+  // with whatever remains; its slowdown S_last(s*) is decreasing in s*
+  // (greedier early hosts leave less load), so the fair point is the root
+  // of S_last(s*) - s* — one outer bisection. `max_sweeps` bounds the
+  // outer iterations.
+  const double max_c = model.max_size() * (1.0 - 1e-9);
+
+  // Mean slowdown of an M/G/1 host serving the size interval (a, b].
+  auto interval_slowdown = [&](double a, double b) -> double {
+    const double p = model.probability(a, b);
+    if (p <= 0.0) return 1.0;  // an empty host delays nobody
+    const ServiceMoments cond = model.conditional_moments(a, b);
+    const Mg1Metrics m = mg1_fcfs(lambda * p, cond);
+    return m.stable ? m.mean_slowdown
+                    : std::numeric_limits<double>::infinity();
+  };
+
+  // Smallest c > a with E[S(a, c]] >= target (monotone in c), or max_c if
+  // even the full remainder cannot reach the target.
+  auto solve_cutoff = [&](double a, double target) -> double {
+    if (interval_slowdown(a, max_c) < target) return max_c;
+    const auto r = util::bisect(
+        [&](double c) {
+          const double s = interval_slowdown(a, c);
+          return (std::isfinite(s) ? s : 1e300) - target;
+        },
+        a, max_c, /*xtol=*/max_c * 1e-13, /*ftol=*/0.0);
+    return r.x;
+  };
+
+  auto build = [&](double target) -> std::vector<double> {
+    std::vector<double> cs;
+    double prev = 0.0;
+    for (std::size_t i = 0; i + 1 < h; ++i) {
+      const double c = solve_cutoff(prev, target);
+      cs.push_back(c);
+      prev = c;
+    }
+    return cs;
+  };
+  auto last_host_residual = [&](double target) -> double {
+    const std::vector<double> cs = build(target);
+    const double s_last = interval_slowdown(cs.back(), max_c * (1.0 + 1e-9));
+    if (!std::isfinite(s_last)) return 1e300;  // target too low: overloaded
+    return s_last - target;
+  };
+
+  // Outer bracket: expand upward from just above 1 until the residual goes
+  // negative.
+  double lo_t = 1.0 + 1e-9;
+  double hi_t = 2.0;
+  int expand = 0;
+  while (last_host_residual(hi_t) > 0.0 && expand < 60) {
+    hi_t *= 2.0;
+    ++expand;
+  }
+  const auto root = util::bisect(last_host_residual, lo_t, hi_t,
+                                 /*xtol=*/hi_t * 1e-10, /*ftol=*/1e-9);
+  std::vector<double> cutoffs = build(root.x);
+  // Guard against degenerate duplicate cutoffs (can appear when the target
+  // saturates at max_c): nudge into strict order.
+  for (std::size_t i = 1; i < cutoffs.size(); ++i) {
+    if (cutoffs[i] <= cutoffs[i - 1]) {
+      cutoffs[i] = cutoffs[i - 1] * (1.0 + 1e-9);
+    }
+  }
+  (void)max_sweeps;
+  return pack_multi(model, lambda, std::move(cutoffs), expand + root.iterations);
+}
+
+}  // namespace distserv::queueing

@@ -1,0 +1,87 @@
+// Cutoff searches for the load-unbalancing SITA policies (paper §4).
+//
+// SITA-U-opt  : choose the short/long cutoff to minimize overall mean
+//               slowdown.
+// SITA-U-fair : choose the cutoff at which short jobs and long jobs see the
+//               *same* expected slowdown (the paper's fairness criterion).
+// Both are found exactly as in the paper: enumerate feasible cutoffs (a
+// dense grid over the size support; neither host may exceed load 1), score
+// each candidate with the per-host M/G/1 analysis, then refine locally.
+// The paper's rule of thumb — put load fraction rho/2 on the short host at
+// system load rho — is also provided.
+#pragma once
+
+#include <cstddef>
+
+#include "queueing/sita_analysis.hpp"
+
+namespace distserv::queueing {
+
+/// Result of a 2-host cutoff search.
+struct CutoffSearchResult {
+  double cutoff = 0.0;
+  SitaMetrics metrics;               ///< analysis at the chosen cutoff
+  double host1_load_fraction = 0.0;  ///< fraction of total load on Host 1
+  double host1_job_fraction = 0.0;   ///< fraction of jobs on Host 1
+  bool feasible = false;             ///< some stable cutoff existed
+  std::size_t candidates_scanned = 0;
+};
+
+/// SITA-U-opt: cutoff minimizing overall mean slowdown at arrival rate
+/// `lambda` on 2 hosts. `grid` controls the scan density.
+[[nodiscard]] CutoffSearchResult find_sita_u_opt(const SizeModel& model,
+                                                 double lambda,
+                                                 std::size_t grid = 400);
+
+/// SITA-U-fair: cutoff equalizing the mean slowdown of the short-job host
+/// and the long-job host.
+[[nodiscard]] CutoffSearchResult find_sita_u_fair(const SizeModel& model,
+                                                  double lambda,
+                                                  std::size_t grid = 400);
+
+/// Rule-of-thumb cutoff (paper §4.4): the cutoff sending load fraction
+/// rho/2 to Host 1 when the system load is rho. Requires 0 < rho < 1.
+[[nodiscard]] double rule_of_thumb_cutoff(const SizeModel& model, double rho);
+
+/// Evaluates the rule-of-thumb cutoff into a full result for comparison.
+[[nodiscard]] CutoffSearchResult evaluate_cutoff(const SizeModel& model,
+                                                 double lambda,
+                                                 double cutoff);
+
+// ---------------------------------------------------------------------------
+// Multi-host SITA-U (extension).
+//
+// The paper stops at the 2-host cutoff plus host grouping (§5) because "the
+// search space for the optimal and fair cutoffs becomes much larger making
+// the search computationally expensive". With the analytic scoring this is
+// no longer true: coordinate descent on the h-1 cutoffs (parameterized by
+// the load fractions they induce) converges in a handful of sweeps. This
+// implements the "obvious way" extension the paper describes, so the
+// grouped approximation can be measured against the real thing
+// (bench_ablation_multihost_sita.cpp).
+
+/// Result of a multi-cutoff search on h = cutoffs.size()+1 hosts.
+struct MultiCutoffResult {
+  std::vector<double> cutoffs;
+  SitaMetrics metrics;
+  std::vector<double> host_load_fractions;
+  bool feasible = false;
+  int sweeps = 0;  ///< coordinate-descent sweeps until convergence
+};
+
+/// Minimizes overall mean slowdown over all h-1 cutoffs (SITA-U-opt for h
+/// hosts). Starts from SITA-E cutoffs. Requires h >= 2.
+[[nodiscard]] MultiCutoffResult find_sita_u_opt_multi(const SizeModel& model,
+                                                      double lambda,
+                                                      std::size_t h,
+                                                      int max_sweeps = 40);
+
+/// Equalizes the per-host expected slowdowns over all h-1 cutoffs
+/// (SITA-U-fair for h hosts) by coordinate root-finding: cutoff i is moved
+/// to equalize E[S_i] and E[S_{i+1}], iterated to a fixed point.
+[[nodiscard]] MultiCutoffResult find_sita_u_fair_multi(const SizeModel& model,
+                                                       double lambda,
+                                                       std::size_t h,
+                                                       int max_sweeps = 60);
+
+}  // namespace distserv::queueing

@@ -1,0 +1,81 @@
+#include "queueing/mg1.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/moments.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::queueing {
+
+ServiceMoments ServiceMoments::of(const dist::Distribution& d) {
+  ServiceMoments s;
+  s.m1 = d.moment(1.0);
+  s.m2 = d.moment(2.0);
+  s.m3 = d.moment(3.0);
+  s.inv1 = d.moment(-1.0);
+  s.inv2 = d.moment(-2.0);
+  return s;
+}
+
+ServiceMoments ServiceMoments::of_samples(std::span<const double> xs) {
+  DS_EXPECTS(!xs.empty());
+  stats::RawMoments acc;  // default exponent set {1,2,3,-1,-2}
+  for (double x : xs) acc.add(x);
+  ServiceMoments s;
+  s.m1 = acc.moment(1.0);
+  s.m2 = acc.moment(2.0);
+  s.m3 = acc.moment(3.0);
+  s.inv1 = acc.moment(-1.0);
+  s.inv2 = acc.moment(-2.0);
+  return s;
+}
+
+double ServiceMoments::scv() const noexcept {
+  if (m1 <= 0.0) return 0.0;
+  return m2 / (m1 * m1) - 1.0;
+}
+
+Mg1Metrics Mg1Metrics::unstable(double rho) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Mg1Metrics m;
+  m.rho = rho;
+  m.mean_waiting = kInf;
+  m.m2_waiting = kInf;
+  m.var_waiting = kInf;
+  m.mean_response = kInf;
+  m.var_response = kInf;
+  m.mean_slowdown = kInf;
+  m.var_slowdown = kInf;
+  m.mean_queue_len = kInf;
+  m.stable = false;
+  return m;
+}
+
+Mg1Metrics mg1_fcfs(double lambda, const ServiceMoments& s) {
+  DS_EXPECTS(lambda > 0.0);
+  DS_EXPECTS(s.m1 > 0.0);
+  const double rho = lambda * s.m1;
+  if (rho >= 1.0) return Mg1Metrics::unstable(rho);
+
+  Mg1Metrics m;
+  m.rho = rho;
+  m.stable = true;
+  // Pollaczek–Khinchine.
+  m.mean_waiting = lambda * s.m2 / (2.0 * (1.0 - rho));
+  // Second moment of FCFS waiting time (Takács).
+  m.m2_waiting = 2.0 * m.mean_waiting * m.mean_waiting +
+                 lambda * s.m3 / (3.0 * (1.0 - rho));
+  m.var_waiting = m.m2_waiting - m.mean_waiting * m.mean_waiting;
+  m.mean_response = m.mean_waiting + s.m1;
+  const double var_x = s.m2 - s.m1 * s.m1;
+  m.var_response = m.var_waiting + var_x;  // W independent of own X in FCFS
+  m.mean_slowdown = m.mean_waiting * s.inv1 + 1.0;
+  const double m2_slowdown =
+      m.m2_waiting * s.inv2 + 2.0 * m.mean_waiting * s.inv1 + 1.0;
+  m.var_slowdown = m2_slowdown - m.mean_slowdown * m.mean_slowdown;
+  m.mean_queue_len = lambda * m.mean_waiting;
+  return m;
+}
+
+}  // namespace distserv::queueing

@@ -1,0 +1,61 @@
+// M/G/1/FCFS analysis — Theorem 1 of the paper (Pollaczek–Khinchine) plus
+// the second-moment extensions needed for variance of slowdown.
+//
+// For an M/G/1 FCFS queue with arrival rate lambda and service time X:
+//   E[W]   = lambda E[X^2] / (2 (1 - rho)),          rho = lambda E[X]
+//   E[W^2] = 2 E[W]^2 + lambda E[X^3] / (3 (1 - rho))
+// In FCFS the waiting time W of a job is independent of its own size X, so
+// with slowdown S = (W + X)/X = W/X + 1:
+//   E[S]   = E[W] E[1/X] + 1
+//   E[S^2] = E[W^2] E[1/X^2] + 2 E[W] E[1/X] + 1
+// (The paper's Theorem 1 writes E{S} = E{W} E{X^-1}, i.e. without the +1;
+// we include it so that analysis matches the simulator's response/size
+// definition exactly. The comparison between policies is unaffected.)
+#pragma once
+
+#include <span>
+
+#include "dist/distribution.hpp"
+
+namespace distserv::queueing {
+
+/// The service-time moments consumed by the FCFS analysis.
+struct ServiceMoments {
+  double m1 = 0.0;    ///< E[X]
+  double m2 = 0.0;    ///< E[X^2]
+  double m3 = 0.0;    ///< E[X^3]
+  double inv1 = 0.0;  ///< E[1/X]
+  double inv2 = 0.0;  ///< E[1/X^2]
+
+  /// Plug-in moments of an analytic distribution (may contain +inf).
+  [[nodiscard]] static ServiceMoments of(const dist::Distribution& d);
+
+  /// Plug-in moments of an empirical sample; requires all sizes > 0.
+  [[nodiscard]] static ServiceMoments of_samples(std::span<const double> xs);
+
+  /// Squared coefficient of variation implied by (m1, m2).
+  [[nodiscard]] double scv() const noexcept;
+};
+
+/// Steady-state FCFS metrics.
+struct Mg1Metrics {
+  double rho = 0.0;            ///< utilization
+  double mean_waiting = 0.0;   ///< E[W]
+  double m2_waiting = 0.0;     ///< E[W^2]
+  double var_waiting = 0.0;    ///< Var[W]
+  double mean_response = 0.0;  ///< E[R] = E[W] + E[X]
+  double var_response = 0.0;   ///< Var[R] = Var[W] + Var[X]
+  double mean_slowdown = 0.0;  ///< E[S], S = R/X
+  double var_slowdown = 0.0;   ///< Var[S]
+  double mean_queue_len = 0.0; ///< E[Q] = lambda E[W] (Little)
+  bool stable = false;         ///< rho < 1
+
+  /// All +inf metrics (used for infeasible configurations, rho >= 1).
+  [[nodiscard]] static Mg1Metrics unstable(double rho);
+};
+
+/// Evaluates the M/G/1/FCFS queue. Requires lambda > 0 and valid moments
+/// (m1 > 0). If rho >= 1 returns Mg1Metrics::unstable.
+[[nodiscard]] Mg1Metrics mg1_fcfs(double lambda, const ServiceMoments& s);
+
+}  // namespace distserv::queueing

@@ -1,0 +1,34 @@
+#include "queueing/mgh.hpp"
+
+#include <limits>
+
+#include "queueing/mmh.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::queueing {
+
+MghMetrics mgh_approx(std::size_t h, double lambda, const ServiceMoments& s) {
+  DS_EXPECTS(h >= 1);
+  DS_EXPECTS(lambda > 0.0 && s.m1 > 0.0);
+  MghMetrics m;
+  m.rho = lambda * s.m1 / static_cast<double>(h);
+  if (m.rho >= 1.0) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    m.mean_waiting = kInf;
+    m.mean_response = kInf;
+    m.mean_slowdown = kInf;
+    m.mean_queue_len = kInf;
+    m.stable = false;
+    return m;
+  }
+  const MmhMetrics base = mmh(h, lambda, 1.0 / s.m1);
+  DS_ASSERT(base.stable);
+  m.stable = true;
+  m.mean_waiting = 0.5 * (s.scv() + 1.0) * base.mean_waiting;
+  m.mean_response = m.mean_waiting + s.m1;
+  m.mean_slowdown = m.mean_waiting * s.inv1 + 1.0;
+  m.mean_queue_len = lambda * m.mean_waiting;
+  return m;
+}
+
+}  // namespace distserv::queueing

@@ -1,0 +1,34 @@
+// M/G/h approximation — the analytic model of Least-Work-Left (equivalently
+// Central-Queue) that the paper uses in §3.3.
+//
+// We use the Lee–Longton scaling of the M/M/h waiting time:
+//   E[W_{M/G/h}] ~= ((C^2 + 1)/2) * E[W_{M/M/h}]
+// The paper's equation scales queue length by E[X^2]/E[X]^2 = C^2 + 1, i.e.
+// omits the 1/2; both are heuristics and agree within a factor of 2, but the
+// Lee–Longton form is exact for h = 1 (it reduces to Pollaczek–Khinchine),
+// so that is what we implement. Slowdown again uses the FCFS independence of
+// waiting time and own size: E[S] = E[W] E[1/X] + 1.
+#pragma once
+
+#include <cstddef>
+
+#include "queueing/mg1.hpp"
+
+namespace distserv::queueing {
+
+/// Approximate steady-state M/G/h metrics.
+struct MghMetrics {
+  double rho = 0.0;
+  double mean_waiting = 0.0;
+  double mean_response = 0.0;
+  double mean_slowdown = 0.0;
+  double mean_queue_len = 0.0;
+  bool stable = false;
+};
+
+/// Evaluates the approximation for arrival rate lambda at h hosts with
+/// service moments s. Returns all-infinite metrics when rho >= 1.
+[[nodiscard]] MghMetrics mgh_approx(std::size_t h, double lambda,
+                                    const ServiceMoments& s);
+
+}  // namespace distserv::queueing

@@ -1,0 +1,48 @@
+#include "queueing/mmh.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace distserv::queueing {
+
+double erlang_c(std::size_t h, double a) {
+  DS_EXPECTS(h >= 1);
+  DS_EXPECTS(a > 0.0 && a < static_cast<double>(h));
+  // Numerically stable recurrence on the inverse of the Erlang-B blocking
+  // probability: invB_0 = 1; invB_k = 1 + (k/a) invB_{k-1}.
+  double inv_b = 1.0;
+  for (std::size_t k = 1; k <= h; ++k) {
+    inv_b = 1.0 + (static_cast<double>(k) / a) * inv_b;
+  }
+  const double b = 1.0 / inv_b;  // Erlang-B
+  const double rho = a / static_cast<double>(h);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+MmhMetrics mmh(std::size_t h, double lambda, double mu) {
+  DS_EXPECTS(h >= 1);
+  DS_EXPECTS(lambda > 0.0 && mu > 0.0);
+  const double a = lambda / mu;
+  const double hh = static_cast<double>(h);
+  MmhMetrics m;
+  m.rho = a / hh;
+  if (a >= hh) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    m.p_wait = 1.0;
+    m.mean_waiting = kInf;
+    m.mean_response = kInf;
+    m.mean_queue_len = kInf;
+    m.stable = false;
+    return m;
+  }
+  m.stable = true;
+  m.p_wait = erlang_c(h, a);
+  m.mean_waiting = m.p_wait / (hh * mu - lambda);
+  m.mean_response = m.mean_waiting + 1.0 / mu;
+  m.mean_queue_len = lambda * m.mean_waiting;
+  return m;
+}
+
+}  // namespace distserv::queueing

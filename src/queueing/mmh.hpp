@@ -1,0 +1,29 @@
+// M/M/h analysis: Erlang-C delay probability and mean waiting time. Used as
+// the base of the M/G/h approximation that models the Least-Work-Left /
+// Central-Queue policy (the two are equivalent; see [11] and our property
+// test), and directly for sanity checks of the simulator.
+#pragma once
+
+#include <cstddef>
+
+namespace distserv::queueing {
+
+/// Erlang-C: probability an arrival must wait in an M/M/h queue with
+/// offered load a = lambda/mu (Erlangs). Requires h >= 1 and 0 < a < h.
+[[nodiscard]] double erlang_c(std::size_t h, double a);
+
+/// Steady-state M/M/h metrics.
+struct MmhMetrics {
+  double rho = 0.0;            ///< a/h
+  double p_wait = 0.0;         ///< Erlang-C
+  double mean_waiting = 0.0;   ///< E[W]
+  double mean_response = 0.0;  ///< E[W] + 1/mu
+  double mean_queue_len = 0.0; ///< E[Q] waiting only
+  bool stable = false;
+};
+
+/// Evaluates M/M/h with arrival rate lambda and per-server service rate mu.
+/// Returns an all-infinite result when lambda >= h*mu.
+[[nodiscard]] MmhMetrics mmh(std::size_t h, double lambda, double mu);
+
+}  // namespace distserv::queueing

@@ -1,0 +1,54 @@
+#include "queueing/policy_analysis.hpp"
+
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace distserv::queueing {
+
+Mg1Metrics analyze_random(const SizeModel& model, double lambda,
+                          std::size_t h) {
+  DS_EXPECTS(lambda > 0.0 && h >= 1);
+  const ServiceMoments s = model.overall_moments();
+  return mg1_fcfs(lambda / static_cast<double>(h), s);
+}
+
+RoundRobinMetrics analyze_round_robin(const SizeModel& model, double lambda,
+                                      std::size_t h) {
+  DS_EXPECTS(lambda > 0.0 && h >= 1);
+  const ServiceMoments s = model.overall_moments();
+  const double lambda_host = lambda / static_cast<double>(h);
+  RoundRobinMetrics m;
+  m.rho = lambda_host * s.m1;
+  if (m.rho >= 1.0) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    m.mean_waiting = kInf;
+    m.mean_response = kInf;
+    m.mean_slowdown = kInf;
+    m.stable = false;
+    return m;
+  }
+  m.stable = true;
+  // Kingman: E[W] ~= (rho/(1-rho)) * (Ca^2 + Cs^2)/2 * E[X]; a host under
+  // Round-Robin sees Erlang-h interarrivals, Ca^2 = 1/h.
+  const double ca2 = 1.0 / static_cast<double>(h);
+  const double cs2 = s.scv();
+  m.mean_waiting =
+      (m.rho / (1.0 - m.rho)) * 0.5 * (ca2 + cs2) * s.m1;
+  m.mean_response = m.mean_waiting + s.m1;
+  m.mean_slowdown = m.mean_waiting * s.inv1 + 1.0;
+  return m;
+}
+
+MghMetrics analyze_lwl(const SizeModel& model, double lambda, std::size_t h) {
+  DS_EXPECTS(lambda > 0.0 && h >= 1);
+  return mgh_approx(h, lambda, model.overall_moments());
+}
+
+SitaMetrics analyze_sita_e(const SizeModel& model, double lambda,
+                           std::size_t h) {
+  DS_EXPECTS(lambda > 0.0 && h >= 2);
+  return analyze_sita(model, lambda, sita_e_cutoffs(model, h));
+}
+
+}  // namespace distserv::queueing

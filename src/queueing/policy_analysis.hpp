@@ -1,0 +1,47 @@
+// Closed-form / approximate analysis of the load-balancing task assignment
+// policies (paper §3.3 and appendix A, Figure 8).
+//
+//   Random      — Bernoulli splitting: each host is an independent M/G/1
+//                 with rate lambda/h and the *unreduced* service variance.
+//   Round-Robin — each host sees an E_h/G/1 queue; we approximate with
+//                 Kingman's GI/G/1 bound using interarrival scv 1/h.
+//   LWL         — equivalent to Central-Queue = M/G/h; Lee–Longton
+//                 approximation (see mgh.hpp).
+//   SITA-E      — exact per-host M/G/1 via analyze_sita at load-equalizing
+//                 cutoffs.
+#pragma once
+
+#include <cstddef>
+
+#include "queueing/mg1.hpp"
+#include "queueing/mgh.hpp"
+#include "queueing/sita_analysis.hpp"
+
+namespace distserv::queueing {
+
+/// Random splitting: returns the per-host (= job-average) M/G/1 metrics.
+[[nodiscard]] Mg1Metrics analyze_random(const SizeModel& model, double lambda,
+                                        std::size_t h);
+
+/// Round-Robin: Kingman-approximate mean metrics (means only — variance is
+/// not available from the two-moment bound).
+struct RoundRobinMetrics {
+  double rho = 0.0;
+  double mean_waiting = 0.0;
+  double mean_response = 0.0;
+  double mean_slowdown = 0.0;
+  bool stable = false;
+};
+[[nodiscard]] RoundRobinMetrics analyze_round_robin(const SizeModel& model,
+                                                    double lambda,
+                                                    std::size_t h);
+
+/// Least-Work-Left / Central-Queue: M/G/h approximation.
+[[nodiscard]] MghMetrics analyze_lwl(const SizeModel& model, double lambda,
+                                     std::size_t h);
+
+/// SITA-E at load-equalizing cutoffs.
+[[nodiscard]] SitaMetrics analyze_sita_e(const SizeModel& model,
+                                         double lambda, std::size_t h);
+
+}  // namespace distserv::queueing

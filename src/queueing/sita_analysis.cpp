@@ -1,0 +1,100 @@
+#include "queueing/sita_analysis.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace distserv::queueing {
+
+SitaMetrics analyze_sita(const SizeModel& model, double lambda,
+                         const std::vector<double>& cutoffs) {
+  DS_EXPECTS(lambda > 0.0);
+  for (std::size_t i = 1; i < cutoffs.size(); ++i) {
+    DS_EXPECTS(cutoffs[i - 1] < cutoffs[i]);
+  }
+  const std::size_t h = cutoffs.size() + 1;
+  const double total_m1 = model.partial_moment(1.0, 0.0, model.max_size());
+
+  SitaMetrics out;
+  out.hosts.reserve(h);
+  out.stable = true;
+  double mean_s = 0.0, m2_s = 0.0;
+  double mean_r = 0.0, m2_r = 0.0;
+  double mean_w = 0.0;
+
+  for (std::size_t i = 0; i < h; ++i) {
+    SitaHostMetrics hm;
+    hm.size_lo = (i == 0) ? 0.0 : cutoffs[i - 1];
+    hm.size_hi = (i == h - 1) ? model.max_size() : cutoffs[i];
+    hm.job_fraction = model.probability(hm.size_lo, hm.size_hi);
+    if (hm.job_fraction <= 0.0) {
+      out.stable = false;
+      out.hosts.push_back(hm);
+      continue;
+    }
+    hm.load_fraction =
+        model.partial_moment(1.0, hm.size_lo, hm.size_hi) / total_m1;
+    const ServiceMoments cond =
+        model.conditional_moments(hm.size_lo, hm.size_hi);
+    const double lambda_i = lambda * hm.job_fraction;
+    hm.mg1 = mg1_fcfs(lambda_i, cond);
+    if (!hm.mg1.stable) out.stable = false;
+    out.hosts.push_back(hm);
+  }
+
+  if (!out.stable) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    out.mean_slowdown = kInf;
+    out.var_slowdown = kInf;
+    out.mean_response = kInf;
+    out.var_response = kInf;
+    out.mean_waiting = kInf;
+    out.fairness_gap = kInf;
+    return out;
+  }
+
+  // Job-averaged mixture moments: a random job lands on host i with
+  // probability job_fraction_i, so E[S] = sum p_i E[S_i] and
+  // E[S^2] = sum p_i E[S_i^2] (then Var = E[S^2] - E[S]^2).
+  for (const SitaHostMetrics& hm : out.hosts) {
+    const double p = hm.job_fraction;
+    const Mg1Metrics& m = hm.mg1;
+    mean_s += p * m.mean_slowdown;
+    m2_s += p * (m.var_slowdown + m.mean_slowdown * m.mean_slowdown);
+    mean_r += p * m.mean_response;
+    m2_r += p * (m.var_response + m.mean_response * m.mean_response);
+    mean_w += p * m.mean_waiting;
+  }
+  out.mean_slowdown = mean_s;
+  out.var_slowdown = m2_s - mean_s * mean_s;
+  out.mean_response = mean_r;
+  out.var_response = m2_r - mean_r * mean_r;
+  out.mean_waiting = mean_w;
+
+  double gap = 0.0;
+  for (const SitaHostMetrics& hm : out.hosts) {
+    gap = std::max(gap, std::abs(hm.mg1.mean_slowdown - mean_s) / mean_s);
+  }
+  out.fairness_gap = gap;
+  return out;
+}
+
+std::vector<double> sita_e_cutoffs(const SizeModel& model, std::size_t h) {
+  DS_EXPECTS(h >= 2);
+  std::vector<double> cutoffs;
+  cutoffs.reserve(h - 1);
+  for (std::size_t i = 1; i < h; ++i) {
+    cutoffs.push_back(model.load_quantile(static_cast<double>(i) /
+                                          static_cast<double>(h)));
+  }
+  return cutoffs;
+}
+
+double lambda_for_load(const SizeModel& model, double rho, std::size_t h) {
+  DS_EXPECTS(rho > 0.0 && h >= 1);
+  const ServiceMoments s = model.overall_moments();
+  return rho * static_cast<double>(h) / s.m1;
+}
+
+}  // namespace distserv::queueing

@@ -1,0 +1,59 @@
+// Analytic evaluation of SITA policies (Size Interval Task Assignment).
+//
+// Under SITA with cutoffs c_1 < ... < c_{h-1}, host i receives exactly the
+// jobs with size in (c_{i-1}, c_i] (c_0 = 0, c_h = inf). Poisson splitting
+// makes each host an independent M/G/1 queue whose arrival rate and service
+// moments follow from the size model, so every per-host and overall metric
+// is available in closed form (Theorem 1 of the paper applied per host).
+#pragma once
+
+#include <vector>
+
+#include "queueing/mg1.hpp"
+#include "queueing/size_model.hpp"
+
+namespace distserv::queueing {
+
+/// Analysis of one host under a SITA split.
+struct SitaHostMetrics {
+  double size_lo = 0.0;        ///< interval lower bound (exclusive)
+  double size_hi = 0.0;        ///< interval upper bound (inclusive)
+  double job_fraction = 0.0;   ///< fraction of all jobs routed here
+  double load_fraction = 0.0;  ///< fraction of total load routed here
+  Mg1Metrics mg1;              ///< per-host FCFS metrics
+};
+
+/// Analysis of the whole SITA system.
+struct SitaMetrics {
+  std::vector<SitaHostMetrics> hosts;
+  double mean_slowdown = 0.0;   ///< job-average E[S]
+  double var_slowdown = 0.0;    ///< job-average Var[S] (law of total variance)
+  double mean_response = 0.0;   ///< job-average E[R]
+  double var_response = 0.0;
+  double mean_waiting = 0.0;
+  bool stable = false;          ///< all hosts stable
+
+  /// Max over hosts of |E[S_i] - E[S]|/E[S]: 0 means perfectly fair in the
+  /// paper's sense (equal expected slowdown for every size class).
+  double fairness_gap = 0.0;
+};
+
+/// Evaluates SITA with the given cutoffs on a system of cutoffs.size()+1
+/// hosts, total arrival rate `lambda`, job sizes described by `model`.
+/// Cutoffs must be strictly increasing and inside the size support.
+/// Intervals that would receive no jobs make the configuration invalid
+/// (returns stable=false).
+[[nodiscard]] SitaMetrics analyze_sita(const SizeModel& model, double lambda,
+                                       const std::vector<double>& cutoffs);
+
+/// SITA-E cutoffs: the h-1 cutoffs that equalize the load across h hosts
+/// (load fraction i/h below the i-th cutoff). Requires h >= 2.
+[[nodiscard]] std::vector<double> sita_e_cutoffs(const SizeModel& model,
+                                                 std::size_t h);
+
+/// The arrival rate that produces system load `rho` on `h` hosts for jobs
+/// with mean size from `model`: lambda = rho*h/E[X].
+[[nodiscard]] double lambda_for_load(const SizeModel& model, double rho,
+                                     std::size_t h);
+
+}  // namespace distserv::queueing

@@ -1,0 +1,205 @@
+#include "queueing/size_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace distserv::queueing {
+
+ServiceMoments SizeModel::overall_moments() const {
+  return conditional_moments(0.0, max_size());
+}
+
+ServiceMoments SizeModel::conditional_moments(double a, double b) const {
+  const double p = probability(a, b);
+  DS_EXPECTS(p > 0.0);
+  ServiceMoments s;
+  s.m1 = partial_moment(1.0, a, b) / p;
+  s.m2 = partial_moment(2.0, a, b) / p;
+  s.m3 = partial_moment(3.0, a, b) / p;
+  s.inv1 = partial_moment(-1.0, a, b) / p;
+  s.inv2 = partial_moment(-2.0, a, b) / p;
+  return s;
+}
+
+double SizeModel::load_fraction_below(double c) const {
+  const double total = partial_moment(1.0, 0.0, max_size());
+  DS_ASSERT(total > 0.0);
+  return partial_moment(1.0, 0.0, c) / total;
+}
+
+// ---------------------------------------------------------------------------
+// EmpiricalSizeModel
+
+EmpiricalSizeModel::EmpiricalSizeModel(std::span<const double> sizes)
+    : empirical_(sizes) {
+  const std::vector<double>& sorted = empirical_.sorted_samples();
+  for (std::size_t e = 0; e < 5; ++e) {
+    prefix_[e].reserve(sorted.size() + 1);
+    prefix_[e].push_back(0.0);
+    // Neumaier compensation folded into the prefix build.
+    double sum = 0.0, comp = 0.0;
+    for (double x : sorted) {
+      const double term = std::pow(x, kExponents[e]);
+      const double t = sum + term;
+      if (std::abs(sum) >= std::abs(term)) {
+        comp += (sum - t) + term;
+      } else {
+        comp += (term - t) + sum;
+      }
+      sum = t;
+      prefix_[e].push_back(sum + comp);
+    }
+  }
+}
+
+double EmpiricalSizeModel::prefix_lookup(std::size_t exponent_idx, double a,
+                                         double b) const {
+  const std::vector<double>& sorted = empirical_.sorted_samples();
+  const auto lo = std::upper_bound(sorted.begin(), sorted.end(), a);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), b);
+  const auto lo_idx = static_cast<std::size_t>(lo - sorted.begin());
+  const auto hi_idx = static_cast<std::size_t>(hi - sorted.begin());
+  const double total = prefix_[exponent_idx][hi_idx] -
+                       prefix_[exponent_idx][lo_idx];
+  return total / static_cast<double>(sorted.size());
+}
+
+double EmpiricalSizeModel::probability(double a, double b) const {
+  return empirical_.cdf(b) - empirical_.cdf(a);
+}
+
+double EmpiricalSizeModel::partial_moment(double j, double a, double b) const {
+  if (b < a) return 0.0;
+  if (j == 0.0) return probability(a, b);
+  for (std::size_t e = 0; e < 5; ++e) {
+    if (kExponents[e] == j) return prefix_lookup(e, a, b);
+  }
+  return empirical_.partial_moment(j, a, b);  // rare exponents: O(n) fallback
+}
+
+double EmpiricalSizeModel::min_size() const { return empirical_.support_min(); }
+double EmpiricalSizeModel::max_size() const { return empirical_.support_max(); }
+
+std::vector<double> EmpiricalSizeModel::cutoff_grid(std::size_t n) const {
+  DS_EXPECTS(n >= 2);
+  const std::vector<double>& sorted = empirical_.sorted_samples();
+  // Distinct values, thinned evenly to at most n candidates. Cutoffs are
+  // actual observed sizes so every empirical split is reachable.
+  std::vector<double> distinct;
+  distinct.reserve(sorted.size());
+  for (double x : sorted) {
+    if (distinct.empty() || x > distinct.back()) distinct.push_back(x);
+  }
+  if (distinct.size() <= n) return distinct;
+  std::vector<double> grid;
+  grid.reserve(n);
+  const double step = static_cast<double>(distinct.size() - 1) /
+                      static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid.push_back(distinct[static_cast<std::size_t>(
+        std::round(step * static_cast<double>(i)))]);
+  }
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+double EmpiricalSizeModel::load_quantile(double fraction) const {
+  DS_EXPECTS(fraction > 0.0 && fraction < 1.0);
+  // Smallest observed size c with load_fraction_below(c) >= fraction.
+  const std::vector<double>& sorted = empirical_.sorted_samples();
+  std::size_t lo = 0, hi = sorted.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (empirical_.load_fraction_below(sorted[mid]) >= fraction) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return sorted[lo];
+}
+
+std::string EmpiricalSizeModel::name() const {
+  return "EmpiricalSizeModel(n=" + std::to_string(empirical_.size()) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// BoundedParetoSizeModel
+
+BoundedParetoSizeModel::BoundedParetoSizeModel(dist::BoundedPareto d)
+    : dist_(std::move(d)) {}
+
+double BoundedParetoSizeModel::probability(double a, double b) const {
+  return dist_.cdf(b) - dist_.cdf(a);
+}
+
+double BoundedParetoSizeModel::partial_moment(double j, double a,
+                                              double b) const {
+  const double lo = std::clamp(a, dist_.k(), dist_.p());
+  const double hi = std::clamp(b, dist_.k(), dist_.p());
+  if (hi <= lo) return 0.0;
+  return dist_.partial_moment(j, lo, hi);
+}
+
+double BoundedParetoSizeModel::min_size() const { return dist_.k(); }
+double BoundedParetoSizeModel::max_size() const { return dist_.p(); }
+
+std::vector<double> BoundedParetoSizeModel::cutoff_grid(std::size_t n) const {
+  DS_EXPECTS(n >= 2);
+  return util::logspace(dist_.k() * (1.0 + 1e-9), dist_.p() * (1.0 - 1e-9),
+                        n);
+}
+
+double BoundedParetoSizeModel::load_quantile(double fraction) const {
+  DS_EXPECTS(fraction > 0.0 && fraction < 1.0);
+  const auto r = util::bisect(
+      [&](double c) { return load_fraction_below(c) - fraction; },
+      dist_.k(), dist_.p(), dist_.p() * 1e-14);
+  return r.x;
+}
+
+std::string BoundedParetoSizeModel::name() const {
+  return "BoundedParetoSizeModel(" + dist_.name() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// MixtureSizeModel
+
+MixtureSizeModel::MixtureSizeModel(dist::BoundedParetoMixture d)
+    : dist_(std::move(d)) {}
+
+double MixtureSizeModel::probability(double a, double b) const {
+  return dist_.cdf(b) - dist_.cdf(a);
+}
+
+double MixtureSizeModel::partial_moment(double j, double a, double b) const {
+  return dist_.partial_moment(j, std::max(a, 0.0),
+                              std::min(b, dist_.support_max()));
+}
+
+double MixtureSizeModel::min_size() const { return dist_.support_min(); }
+double MixtureSizeModel::max_size() const { return dist_.support_max(); }
+
+std::vector<double> MixtureSizeModel::cutoff_grid(std::size_t n) const {
+  DS_EXPECTS(n >= 2);
+  return util::logspace(dist_.support_min() * (1.0 + 1e-9),
+                        dist_.support_max() * (1.0 - 1e-9), n);
+}
+
+double MixtureSizeModel::load_quantile(double fraction) const {
+  DS_EXPECTS(fraction > 0.0 && fraction < 1.0);
+  const auto r = util::bisect(
+      [&](double c) { return load_fraction_below(c) - fraction; },
+      dist_.support_min(), dist_.support_max(),
+      dist_.support_max() * 1e-14);
+  return r.x;
+}
+
+std::string MixtureSizeModel::name() const {
+  return "MixtureSizeModel(" + dist_.name() + ")";
+}
+
+}  // namespace distserv::queueing

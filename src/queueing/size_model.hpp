@@ -1,0 +1,136 @@
+// Size models: the interface between the SITA analysis and the job-size
+// data. A size model answers "what fraction of jobs, and what moments, fall
+// in the size interval (a, b]?" — which is all that SITA cutoff analysis
+// needs. Two implementations:
+//   * EmpiricalSizeModel  — exact over the training half of a trace (the
+//     paper's trace-driven method);
+//   * BoundedParetoSizeModel — closed form over the fitted distribution
+//     (the paper's analytic method, Figs 8/9).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/bounded_pareto.hpp"
+#include "dist/bp_mixture.hpp"
+#include "dist/empirical.hpp"
+#include "queueing/mg1.hpp"
+
+namespace distserv::queueing {
+
+/// Moments of the job-size distribution restricted to intervals.
+class SizeModel {
+ public:
+  virtual ~SizeModel() = default;
+
+  /// P(a < X <= b).
+  [[nodiscard]] virtual double probability(double a, double b) const = 0;
+
+  /// E[X^j ; a < X <= b] — the *unnormalized* restricted moment, so that
+  /// probability(a,b) == partial_moment(0,a,b) and overall moments are sums
+  /// over a partition.
+  [[nodiscard]] virtual double partial_moment(double j, double a,
+                                              double b) const = 0;
+
+  /// Support bounds.
+  [[nodiscard]] virtual double min_size() const = 0;
+  [[nodiscard]] virtual double max_size() const = 0;
+
+  /// Candidate cutoff values for grid searches, in increasing order,
+  /// spanning the support. `n` is a hint, implementations may return fewer.
+  [[nodiscard]] virtual std::vector<double> cutoff_grid(std::size_t n) const = 0;
+
+  /// Size c such that the load fraction from jobs <= c equals `fraction`.
+  /// Requires 0 < fraction < 1.
+  [[nodiscard]] virtual double load_quantile(double fraction) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Conveniences.
+
+  /// Full-distribution moments (partition into one interval).
+  [[nodiscard]] ServiceMoments overall_moments() const;
+
+  /// Conditional moments of sizes in (a, b], for a per-host M/G/1 queue.
+  /// Requires probability(a,b) > 0.
+  [[nodiscard]] ServiceMoments conditional_moments(double a, double b) const;
+
+  /// Fraction of the total load carried by jobs with size <= c.
+  [[nodiscard]] double load_fraction_below(double c) const;
+};
+
+/// Exact model over observed sizes.
+class EmpiricalSizeModel final : public SizeModel {
+ public:
+  explicit EmpiricalSizeModel(std::span<const double> sizes);
+
+  [[nodiscard]] double probability(double a, double b) const override;
+  [[nodiscard]] double partial_moment(double j, double a,
+                                      double b) const override;
+  [[nodiscard]] double min_size() const override;
+  [[nodiscard]] double max_size() const override;
+  [[nodiscard]] std::vector<double> cutoff_grid(std::size_t n) const override;
+  [[nodiscard]] double load_quantile(double fraction) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  /// Prefix sums of x^j over the sorted samples for the five standard
+  /// exponents, making partial_moment O(log n) — the cutoff searches issue
+  /// tens of thousands of interval-moment queries.
+  [[nodiscard]] double prefix_lookup(std::size_t exponent_idx,
+                                     double a, double b) const;
+
+  dist::Empirical empirical_;
+  static constexpr double kExponents[5] = {1.0, 2.0, 3.0, -1.0, -2.0};
+  std::vector<double> prefix_[5];
+};
+
+/// Closed-form model over a Bounded Pareto distribution.
+class BoundedParetoSizeModel final : public SizeModel {
+ public:
+  explicit BoundedParetoSizeModel(dist::BoundedPareto d);
+
+  [[nodiscard]] double probability(double a, double b) const override;
+  [[nodiscard]] double partial_moment(double j, double a,
+                                      double b) const override;
+  [[nodiscard]] double min_size() const override;
+  [[nodiscard]] double max_size() const override;
+  [[nodiscard]] std::vector<double> cutoff_grid(std::size_t n) const override;
+  [[nodiscard]] double load_quantile(double fraction) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const dist::BoundedPareto& distribution() const noexcept {
+    return dist_;
+  }
+
+ private:
+  dist::BoundedPareto dist_;
+};
+
+/// Closed-form model over a Bounded-Pareto mixture (the catalog's
+/// body+tail trace workloads).
+class MixtureSizeModel final : public SizeModel {
+ public:
+  explicit MixtureSizeModel(dist::BoundedParetoMixture d);
+
+  [[nodiscard]] double probability(double a, double b) const override;
+  [[nodiscard]] double partial_moment(double j, double a,
+                                      double b) const override;
+  [[nodiscard]] double min_size() const override;
+  [[nodiscard]] double max_size() const override;
+  [[nodiscard]] std::vector<double> cutoff_grid(std::size_t n) const override;
+  [[nodiscard]] double load_quantile(double fraction) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const dist::BoundedParetoMixture& distribution()
+      const noexcept {
+    return dist_;
+  }
+
+ private:
+  dist::BoundedParetoMixture dist_;
+};
+
+}  // namespace distserv::queueing

@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace distserv::sim {
+
+void EventQueue::schedule(Time t, std::function<void()> action) {
+  DS_EXPECTS(std::isfinite(t) && t >= 0.0);
+  DS_EXPECTS(static_cast<bool>(action));
+  heap_.push(Event{t, next_sequence_++, std::move(action)});
+}
+
+Time EventQueue::next_time() const {
+  DS_EXPECTS(!heap_.empty());
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  DS_EXPECTS(!heap_.empty());
+  // std::priority_queue::top() is const; the move is safe because we pop
+  // immediately after.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return ev;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace distserv::sim

@@ -1,0 +1,46 @@
+#include "sim/simulator.hpp"
+
+#include "util/contracts.hpp"
+
+namespace distserv::sim {
+
+void Simulator::schedule_at(Time t, std::function<void()> action) {
+  DS_EXPECTS(t >= now_);
+  queue_.schedule(t, std::move(action));
+}
+
+void Simulator::schedule_in(Time delay, std::function<void()> action) {
+  DS_EXPECTS(delay >= 0.0);
+  queue_.schedule(now_ + delay, std::move(action));
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stopped_) {
+    Event ev = queue_.pop();
+    DS_ASSERT(ev.time >= now_);
+    now_ = ev.time;
+    ev.action();
+    ++n;
+  }
+  executed_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time horizon) {
+  DS_EXPECTS(horizon >= now_);
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= horizon) {
+    Event ev = queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++n;
+  }
+  if (!stopped_) now_ = horizon;
+  executed_ += n;
+  return n;
+}
+
+}  // namespace distserv::sim

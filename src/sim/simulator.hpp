@@ -1,0 +1,52 @@
+// The discrete-event simulation driver: a clock plus a future-event list.
+//
+// Model code schedules actions at absolute or relative times; run() pops
+// events in (time, sequence) order and advances the clock. Time never moves
+// backwards — scheduling in the past is a contract violation, which has
+// caught every causality bug in the server model during development.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace distserv::sim {
+
+/// Discrete-event simulation kernel.
+class Simulator {
+ public:
+  /// Current simulation time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `t` >= now().
+  void schedule_at(Time t, std::function<void()> action);
+
+  /// Schedules `action` `delay` >= 0 seconds from now.
+  void schedule_in(Time delay, std::function<void()> action);
+
+  /// Runs until the event list is empty or stop() is called.
+  /// Returns the number of events executed by this call.
+  std::uint64_t run();
+
+  /// Runs events with time <= `horizon`, then stops with now() == horizon
+  /// (unless the queue empties first, leaving now() at the last event).
+  std::uint64_t run_until(Time horizon);
+
+  /// Requests that run() return after the current event completes.
+  void stop() noexcept { stopped_ = true; }
+
+  /// Number of events pending.
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Total events executed over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace distserv::sim

@@ -1,0 +1,114 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+
+#include "stats/welford.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace distserv::stats {
+
+namespace {
+
+// Continued-fraction evaluation of the regularized incomplete beta function
+// (Lentz's algorithm, as in Numerical Recipes).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+// Regularized incomplete beta I_x(a, b).
+double betai(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double bt = std::exp(std::lgamma(a + b) - std::lgamma(a) -
+                             std::lgamma(b) + a * std::log(x) +
+                             b * std::log1p(-x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return bt * betacf(a, b, x) / a;
+  }
+  return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+// CDF of Student's t with `dof` degrees of freedom.
+double t_cdf(double t, double dof) {
+  const double x = dof / (dof + t * t);
+  const double p = 0.5 * betai(0.5 * dof, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+}  // namespace
+
+double t_critical(double level, unsigned dof) {
+  DS_EXPECTS(level > 0.0 && level < 1.0);
+  DS_EXPECTS(dof >= 1);
+  const double target = 1.0 - 0.5 * (1.0 - level);
+  const auto r = util::bisect(
+      [&](double t) { return t_cdf(t, static_cast<double>(dof)) - target; },
+      0.0, 1e6, 1e-10, 1e-12);
+  DS_ENSURES(r.converged);
+  return r.x;
+}
+
+Interval t_interval(std::span<const double> replications, double level) {
+  DS_EXPECTS(replications.size() >= 2);
+  Welford w;
+  for (double x : replications) w.add(x);
+  const double n = static_cast<double>(w.count());
+  const double se = w.stddev() / std::sqrt(n);
+  const double t = t_critical(level, static_cast<unsigned>(w.count() - 1));
+  Interval ci;
+  ci.mean = w.mean();
+  ci.half_width = t * se;
+  ci.lo = ci.mean - ci.half_width;
+  ci.hi = ci.mean + ci.half_width;
+  return ci;
+}
+
+Interval batch_means_interval(std::span<const double> xs, std::size_t batches,
+                              double level) {
+  DS_EXPECTS(batches >= 2);
+  DS_EXPECTS(xs.size() >= batches);
+  const std::size_t per_batch = xs.size() / batches;
+  std::vector<double> means;
+  means.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    Welford w;
+    for (std::size_t i = b * per_batch; i < (b + 1) * per_batch; ++i) {
+      w.add(xs[i]);
+    }
+    means.push_back(w.mean());
+  }
+  return t_interval(means, level);
+}
+
+}  // namespace distserv::stats

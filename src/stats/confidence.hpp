@@ -1,0 +1,44 @@
+// Confidence intervals for simulation output analysis.
+//
+// Multi-seed replications of a figure point are summarized with a Student-t
+// interval on the replication means; single long runs can use the method of
+// non-overlapping batch means. Integration tests use these to assert that
+// the simulator agrees with closed-form queueing results *statistically*
+// rather than with brittle fixed tolerances.
+#pragma once
+
+#include <span>
+
+namespace distserv::stats {
+
+/// A two-sided confidence interval [lo, hi] around `mean`.
+struct Interval {
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width = 0.0;
+
+  /// True if `x` lies within [lo, hi].
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lo && x <= hi;
+  }
+};
+
+/// Two-sided Student-t critical value t_{dof, 1-(1-level)/2}.
+/// `level` in (0,1), dof >= 1. Uses a continued-fraction incomplete beta
+/// inversion; exact to ~1e-8 for the dof ranges used here.
+[[nodiscard]] double t_critical(double level, unsigned dof);
+
+/// t-interval over independent replications (one value per replication).
+/// Requires at least 2 values.
+[[nodiscard]] Interval t_interval(std::span<const double> replications,
+                                  double level = 0.95);
+
+/// Batch-means interval: splits one autocorrelated series into `batches`
+/// equal batches and applies a t-interval over the batch means.
+/// Requires batches >= 2 and xs.size() >= batches.
+[[nodiscard]] Interval batch_means_interval(std::span<const double> xs,
+                                            std::size_t batches,
+                                            double level = 0.95);
+
+}  // namespace distserv::stats

@@ -1,0 +1,71 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::stats {
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), log_lo_(std::log(lo)) {
+  DS_EXPECTS(lo > 0.0 && lo < hi);
+  DS_EXPECTS(buckets >= 1);
+  log_ratio_ = (std::log(hi) - log_lo_) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void LogHistogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((std::log(x) - log_lo_) / log_ratio_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+std::uint64_t LogHistogram::count(std::size_t bucket) const {
+  DS_EXPECTS(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+std::pair<double, double> LogHistogram::bucket_bounds(std::size_t bucket) const {
+  DS_EXPECTS(bucket < counts_.size());
+  const double lower = std::exp(log_lo_ + log_ratio_ * static_cast<double>(bucket));
+  const double upper =
+      std::exp(log_lo_ + log_ratio_ * static_cast<double>(bucket + 1));
+  return {lower, upper};
+}
+
+std::string LogHistogram::render(std::size_t max_width) const {
+  std::uint64_t peak = std::max<std::uint64_t>(underflow_, overflow_);
+  for (std::uint64_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) peak = 1;
+  std::string out;
+  auto line = [&](const std::string& label, std::uint64_t c) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(c) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    out += label + " | " + std::string(bar, '#') + " " + std::to_string(c) +
+           "\n";
+  };
+  if (underflow_ > 0) line("        < " + util::format_sig(lo_, 3), underflow_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto [lower, upper] = bucket_bounds(i);
+    line(util::format_sig(lower, 3) + " .. " + util::format_sig(upper, 3),
+         counts_[i]);
+  }
+  if (overflow_ > 0) {
+    const auto top = bucket_bounds(counts_.size() - 1).second;
+    line("       >= " + util::format_sig(top, 3), overflow_);
+  }
+  return out;
+}
+
+}  // namespace distserv::stats

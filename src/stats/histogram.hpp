@@ -1,0 +1,50 @@
+// Log-bucketed histogram. Job sizes and slowdowns span many decades, so the
+// buckets are geometric; used for fairness profiles (mean slowdown per size
+// decile) and for the workload characterization in Table 1's companion
+// output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distserv::stats {
+
+/// Fixed-range geometric histogram over (0, +inf).
+///
+/// Bucket i (0-based) covers [lo * ratio^i, lo * ratio^{i+1}). Values below
+/// `lo` land in an underflow bucket, values at or above the top in an
+/// overflow bucket.
+class LogHistogram {
+ public:
+  /// Requires 0 < lo < hi and buckets >= 1.
+  LogHistogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count(std::size_t bucket) const;
+
+  /// [lower, upper) bounds of a bucket.
+  [[nodiscard]] std::pair<double, double> bucket_bounds(
+      std::size_t bucket) const;
+
+  /// Renders "lower..upper: count" lines with a proportional bar.
+  [[nodiscard]] std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double log_lo_;
+  double log_ratio_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace distserv::stats

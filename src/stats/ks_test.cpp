@@ -1,0 +1,46 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace distserv::stats {
+
+double kolmogorov_q(double t) {
+  if (t <= 0.0) return 1.0;
+  // The alternating series converges extremely fast for t > 0.2; below
+  // that, Q is 1 to double precision anyway.
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * t * t);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> samples,
+                 const std::function<double(double)>& cdf) {
+  DS_EXPECTS(samples.size() >= 8);
+  std::vector<double> xs(samples.begin(), samples.end());
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double F = cdf(xs[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(F - lo), std::abs(hi - F)});
+  }
+  KsResult r;
+  r.statistic = d;
+  r.n = xs.size();
+  // Asymptotic with the Stephens small-sample correction.
+  const double sq = std::sqrt(n);
+  r.p_value = kolmogorov_q((sq + 0.12 + 0.11 / sq) * d);
+  return r;
+}
+
+}  // namespace distserv::stats

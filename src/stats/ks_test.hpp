@@ -1,0 +1,30 @@
+// One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//
+// Used by the distribution property tests to check every sampler against
+// its own CDF with a principled statistic instead of ad-hoc moment
+// tolerances — important for the heavy-tailed distributions whose moments
+// converge too slowly to test directly.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace distserv::stats {
+
+/// Result of a one-sample KS test.
+struct KsResult {
+  double statistic = 0.0;  ///< D_n = sup |F_n(x) - F(x)|
+  double p_value = 0.0;    ///< asymptotic Kolmogorov p-value
+  std::size_t n = 0;
+};
+
+/// Tests `samples` (need not be sorted) against the continuous CDF `cdf`.
+/// Requires at least 8 samples for the asymptotic p-value to make sense.
+[[nodiscard]] KsResult ks_test(std::span<const double> samples,
+                               const std::function<double(double)>& cdf);
+
+/// Complementary CDF of the Kolmogorov distribution:
+/// Q(t) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 t^2).
+[[nodiscard]] double kolmogorov_q(double t);
+
+}  // namespace distserv::stats

@@ -1,0 +1,48 @@
+#include "stats/moments.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace distserv::stats {
+
+RawMoments::RawMoments() : RawMoments({1.0, 2.0, 3.0, -1.0, -2.0}) {}
+
+RawMoments::RawMoments(std::vector<double> exponents)
+    : exponents_(std::move(exponents)) {
+  DS_EXPECTS(!exponents_.empty());
+  sums_.assign(exponents_.size(), 0.0);
+  compensations_.assign(exponents_.size(), 0.0);
+}
+
+void RawMoments::add(double x) {
+  DS_EXPECTS(x > 0.0);
+  for (std::size_t i = 0; i < exponents_.size(); ++i) {
+    const double term = std::pow(x, exponents_[i]);
+    // Neumaier-compensated accumulation.
+    const double t = sums_[i] + term;
+    if (std::abs(sums_[i]) >= std::abs(term)) {
+      compensations_[i] += (sums_[i] - t) + term;
+    } else {
+      compensations_[i] += (term - t) + sums_[i];
+    }
+    sums_[i] = t;
+  }
+  ++n_;
+}
+
+double RawMoments::moment_at(std::size_t i) const {
+  DS_EXPECTS(i < exponents_.size());
+  DS_EXPECTS(n_ > 0);
+  return (sums_[i] + compensations_[i]) / static_cast<double>(n_);
+}
+
+double RawMoments::moment(double j) const {
+  for (std::size_t i = 0; i < exponents_.size(); ++i) {
+    if (exponents_[i] == j) return moment_at(i);
+  }
+  DS_EXPECTS(false && "exponent not tracked");
+  return 0.0;
+}
+
+}  // namespace distserv::stats

@@ -1,0 +1,44 @@
+// Raw-moment accumulator: tracks E[X^j] for a fixed set of exponents with
+// compensated summation. The queueing analysis consumes E[X], E[X^2], E[X^3]
+// (waiting time), and E[1/X], E[1/X^2] (slowdown), so those five are the
+// default exponent set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace distserv::stats {
+
+/// Streaming estimator of raw moments E[X^j] for user-chosen exponents j.
+class RawMoments {
+ public:
+  /// Default exponent set {1, 2, 3, -1, -2}, the queueing-analysis needs.
+  RawMoments();
+
+  /// Custom exponent set; must be non-empty.
+  explicit RawMoments(std::vector<double> exponents);
+
+  /// Adds one observation. Requires x > 0 (service requirements and
+  /// interarrival gaps are strictly positive).
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] const std::vector<double>& exponents() const noexcept {
+    return exponents_;
+  }
+
+  /// E[X^j] for exponent index i (matching exponents()[i]).
+  [[nodiscard]] double moment_at(std::size_t i) const;
+
+  /// E[X^j]; the exponent must be one of the tracked set.
+  [[nodiscard]] double moment(double j) const;
+
+ private:
+  std::vector<double> exponents_;
+  std::vector<double> sums_;          // compensated running sums
+  std::vector<double> compensations_;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace distserv::stats

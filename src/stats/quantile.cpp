@@ -1,0 +1,45 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace distserv::stats {
+
+namespace {
+std::size_t rank_of(double q, std::size_t n) {
+  // Nearest-rank: ceil(q*n), clamped to [1, n], then 0-based.
+  const auto r = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  return std::min(std::max<std::size_t>(r, 1), n) - 1;
+}
+}  // namespace
+
+double quantile(std::span<const double> xs, double q) {
+  DS_EXPECTS(!xs.empty());
+  DS_EXPECTS(q > 0.0 && q < 1.0);
+  std::vector<double> copy(xs.begin(), xs.end());
+  const std::size_t r = rank_of(q, copy.size());
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(r),
+                   copy.end());
+  return copy[r];
+}
+
+std::vector<double> quantiles(std::span<const double> xs,
+                              std::span<const double> qs) {
+  DS_EXPECTS(!xs.empty());
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    DS_EXPECTS(q > 0.0 && q < 1.0);
+    out.push_back(copy[rank_of(q, copy.size())]);
+  }
+  return out;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+}  // namespace distserv::stats

@@ -1,0 +1,23 @@
+// Exact quantiles over collected samples. Simulations keep per-job metric
+// vectors anyway (for variance and fairness breakdowns), so quantiles are
+// computed exactly with nth_element rather than approximated.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace distserv::stats {
+
+/// q-quantile (0 < q < 1) of `xs` using the nearest-rank method.
+/// Does not modify the input. Requires non-empty input.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Several quantiles at once; sorts one copy (cheaper than repeated
+/// nth_element for more than ~3 quantiles).
+[[nodiscard]] std::vector<double> quantiles(std::span<const double> xs,
+                                            std::span<const double> qs);
+
+/// Median shorthand.
+[[nodiscard]] double median(std::span<const double> xs);
+
+}  // namespace distserv::stats

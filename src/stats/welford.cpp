@@ -1,0 +1,55 @@
+#include "stats/welford.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace distserv::stats {
+
+void Welford::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Welford::merge(const Welford& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Welford::variance_population() const noexcept {
+  if (n_ < 1) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double Welford::variance_sample() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const noexcept { return std::sqrt(variance_sample()); }
+
+double Welford::scv() const noexcept {
+  if (mean_ == 0.0) return 0.0;
+  return variance_sample() / (mean_ * mean_);
+}
+
+double Welford::sum() const noexcept {
+  return mean_ * static_cast<double>(n_);
+}
+
+}  // namespace distserv::stats

@@ -1,0 +1,46 @@
+// Welford's online algorithm for numerically stable streaming mean/variance.
+// Every per-job metric (slowdown, response time, waiting time) is accumulated
+// through this; simulations run hundreds of thousands of jobs per data point
+// and slowdowns span six orders of magnitude, so naive sum-of-squares would
+// lose the variance signal the paper's bottom panels plot.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace distserv::stats {
+
+/// Streaming count / mean / variance / extrema accumulator.
+class Welford {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-reduction friendly).
+  void merge(const Welford& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  /// Mean of observations; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance (divide by n); 0 when n < 1.
+  [[nodiscard]] double variance_population() const noexcept;
+  /// Sample variance (divide by n-1); 0 when n < 2.
+  [[nodiscard]] double variance_sample() const noexcept;
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+  /// Squared coefficient of variation (sample variance / mean^2).
+  [[nodiscard]] double scv() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace distserv::stats

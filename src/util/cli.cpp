@@ -1,0 +1,65 @@
+#include "util/cli.hpp"
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  DS_EXPECTS(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      options_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // `--name value` if the next token exists and is not itself an option;
+    // otherwise a boolean flag.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      options_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      options_[std::string(arg)] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return options_.contains(name);
+}
+
+std::optional<std::string> Cli::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  double out = 0.0;
+  DS_EXPECTS(parse_double(*v, out));
+  return out;
+}
+
+long long Cli::get_int(const std::string& name, long long fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  long long out = 0;
+  DS_EXPECTS(parse_int64(*v, out));
+  return out;
+}
+
+std::string Cli::get_string(const std::string& name, std::string fallback) const {
+  const auto v = get(name);
+  return v ? *v : std::move(fallback);
+}
+
+}  // namespace distserv::util

@@ -1,0 +1,51 @@
+// Tiny command-line option parser for the examples and bench binaries.
+// Supports `--name value`, `--name=value`, and boolean `--flag`.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace distserv::util {
+
+/// Parses argv into named options and positional arguments.
+class Cli {
+ public:
+  /// Parses `argv[1..argc)`. Throws ContractViolation on malformed input
+  /// such as a value-less `--opt` at the end used as a valued option later.
+  Cli(int argc, const char* const* argv);
+
+  /// True if `--name` was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of `--name`, or nullopt.
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  /// Value of `--name` parsed as double, or `fallback`.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Value of `--name` parsed as int64, or `fallback`.
+  [[nodiscard]] long long get_int(const std::string& name,
+                                  long long fallback) const;
+
+  /// Value of `--name` as string, or `fallback`.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback) const;
+
+  /// Positional (non-option) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace distserv::util

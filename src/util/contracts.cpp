@@ -1,0 +1,31 @@
+#include "util/contracts.hpp"
+
+namespace distserv {
+
+namespace {
+std::string format_message(const char* kind, const char* condition,
+                           const char* file, int line) {
+  std::string msg;
+  msg += kind;
+  msg += " violated: `";
+  msg += condition;
+  msg += "` at ";
+  msg += file;
+  msg += ":";
+  msg += std::to_string(line);
+  return msg;
+}
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* condition,
+                                     const char* file, int line)
+    : std::logic_error(format_message(kind, condition, file, line)) {}
+
+namespace detail {
+void contract_failed(const char* kind, const char* condition, const char* file,
+                     int line) {
+  throw ContractViolation(kind, condition, file, line);
+}
+}  // namespace detail
+
+}  // namespace distserv

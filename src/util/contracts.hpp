@@ -1,0 +1,45 @@
+// Contract checking for distserv.
+//
+// Following the C++ Core Guidelines (I.6, I.8), public API functions state
+// their preconditions with DS_EXPECTS and postconditions with DS_ENSURES.
+// Internal invariants use DS_ASSERT. All three are active in every build
+// mode: the library is a research instrument, and a wrong answer is far more
+// expensive than the nanoseconds these checks cost next to event-queue work.
+//
+// A violated contract throws ContractViolation (rather than aborting) so that
+// tests can assert on misuse and long experiment sweeps can report which
+// configuration was infeasible.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace distserv {
+
+/// Thrown when a DS_EXPECTS / DS_ENSURES / DS_ASSERT condition fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* condition, const char* file,
+                    int line);
+};
+
+namespace detail {
+[[noreturn]] void contract_failed(const char* kind, const char* condition,
+                                  const char* file, int line);
+}  // namespace detail
+
+}  // namespace distserv
+
+#define DS_CONTRACT_CHECK(kind, cond)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::distserv::detail::contract_failed(kind, #cond, __FILE__, __LINE__); \
+    }                                                                     \
+  } while (false)
+
+/// Precondition: caller must satisfy `cond` before the call.
+#define DS_EXPECTS(cond) DS_CONTRACT_CHECK("precondition", cond)
+/// Postcondition: callee guarantees `cond` on normal return.
+#define DS_ENSURES(cond) DS_CONTRACT_CHECK("postcondition", cond)
+/// Internal invariant.
+#define DS_ASSERT(cond) DS_CONTRACT_CHECK("assertion", cond)

@@ -1,0 +1,51 @@
+#include "util/csv.hpp"
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  DS_EXPECTS(!header_written_ && rows_ == 0);
+  DS_EXPECTS(!names.empty());
+  columns_ = names.size();
+  header_written_ = true;
+  write_fields(names);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (columns_ == 0) columns_ = fields.size();
+  DS_EXPECTS(fields.size() == columns_);
+  write_fields(fields);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(format_sig(v, 9));
+  row(fields);
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << csv_escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+}  // namespace distserv::util

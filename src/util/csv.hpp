@@ -1,0 +1,43 @@
+// Minimal CSV writer. Bench binaries emit machine-readable series alongside
+// the human-readable tables so figures can be re-plotted externally.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace distserv::util {
+
+/// Streams rows of a CSV file. Fields containing commas, quotes or newlines
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row. Must be called at most once, before any row.
+  void header(const std::vector<std::string>& names);
+
+  /// Writes one data row of strings.
+  void row(const std::vector<std::string>& fields);
+
+  /// Writes one data row of doubles (formatted with %.9g).
+  void row(const std::vector<double>& values);
+
+  /// Number of data rows written so far (header excluded).
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+
+  std::ostream* out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace distserv::util

@@ -1,0 +1,45 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+#include "util/strings.hpp"
+
+namespace distserv::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+LogLevel parse_log_level(const std::string& name) noexcept {
+  const std::string n = to_lower(name);
+  if (n == "debug") return LogLevel::kDebug;
+  if (n == "info") return LogLevel::kInfo;
+  if (n == "warn") return LogLevel::kWarn;
+  if (n == "error") return LogLevel::kError;
+  if (n == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  if (level < g_level.load() || level == LogLevel::kOff) return;
+  std::cerr << "[distserv " << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace distserv::util

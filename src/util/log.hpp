@@ -1,0 +1,46 @@
+// Leveled stderr logger. Experiments are long; progress lines keep the user
+// informed without polluting the stdout tables that tests/tools parse.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace distserv::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn, so
+/// library users see nothing unless something is wrong.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; returns kWarn for unknown.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement:  DS_LOG(kInfo) << "ran " << n << " jobs";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace distserv::util
+
+#define DS_LOG(level) \
+  ::distserv::util::LogLine(::distserv::util::LogLevel::level)

@@ -1,0 +1,109 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace distserv::util {
+
+void KahanSum::add(double x) noexcept {
+  // Neumaier variant: works even when |x| > |sum_|.
+  const double t = sum_ + x;
+  if (std::abs(sum_) >= std::abs(x)) {
+    compensation_ += (sum_ - t) + x;
+  } else {
+    compensation_ += (x - t) + sum_;
+  }
+  sum_ = t;
+}
+
+double compensated_sum(std::span<const double> xs) noexcept {
+  KahanSum acc;
+  for (double x : xs) acc.add(x);
+  return acc.value();
+}
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  double xtol, double ftol, int max_iter) {
+  DS_EXPECTS(lo <= hi);
+  double flo = f(lo);
+  double fhi = f(hi);
+  RootResult r;
+  if (flo == 0.0) return {lo, 0.0, true, 0};
+  if (fhi == 0.0) return {hi, 0.0, true, 0};
+  DS_EXPECTS(std::signbit(flo) != std::signbit(fhi));
+  for (int i = 0; i < max_iter; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    r.iterations = i + 1;
+    if (std::abs(fmid) <= ftol || (hi - lo) <= xtol) {
+      return {mid, fmid, true, r.iterations};
+    }
+    if (std::signbit(fmid) == std::signbit(flo)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double mid = 0.5 * (lo + hi);
+  return {mid, f(mid), false, max_iter};
+}
+
+MinResult golden_section_minimize(const std::function<double(double)>& f,
+                                  double lo, double hi, double xtol,
+                                  int max_iter) {
+  DS_EXPECTS(lo <= hi);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo, b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c), fd = f(d);
+  int it = 0;
+  while ((b - a) > xtol && it < max_iter) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+    ++it;
+  }
+  const double x = 0.5 * (a + b);
+  return {x, f(x), (b - a) <= xtol, it};
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  DS_EXPECTS(n >= 2);
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  DS_EXPECTS(lo > 0.0 && lo < hi);
+  DS_EXPECTS(n >= 2);
+  std::vector<double> out = linspace(std::log(lo), std::log(hi), n);
+  for (double& x : out) x = std::exp(x);
+  out.front() = lo;
+  out.back() = hi;
+  return out;
+}
+
+bool approx_equal(double a, double b, double rtol, double atol) noexcept {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace distserv::util

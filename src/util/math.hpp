@@ -1,0 +1,67 @@
+// Small numeric toolbox shared across distserv: compensated summation,
+// 1-D root finding and minimization, and grid builders for load sweeps.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace distserv::util {
+
+/// Kahan–Neumaier compensated accumulator. Traces contain job sizes spanning
+/// ~6 orders of magnitude, so naive summation of squares loses precision.
+class KahanSum {
+ public:
+  /// Adds `x` to the running sum.
+  void add(double x) noexcept;
+  /// Current compensated total.
+  [[nodiscard]] double value() const noexcept { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Sums a range with compensation.
+[[nodiscard]] double compensated_sum(std::span<const double> xs) noexcept;
+
+/// Result of a bracketing root search.
+struct RootResult {
+  double x = 0.0;        ///< abscissa of the root
+  double fx = 0.0;       ///< residual f(x)
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Bisection on [lo, hi]. Requires f(lo) and f(hi) to have opposite signs
+/// (or one of them to be zero). Converges to |hi-lo| <= xtol or |f| <= ftol.
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f,
+                                double lo, double hi, double xtol = 1e-10,
+                                double ftol = 0.0, int max_iter = 200);
+
+/// Result of a scalar minimization.
+struct MinResult {
+  double x = 0.0;
+  double fx = 0.0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Golden-section minimization of a unimodal f on [lo, hi].
+[[nodiscard]] MinResult golden_section_minimize(
+    const std::function<double(double)>& f, double lo, double hi,
+    double xtol = 1e-8, int max_iter = 300);
+
+/// n evenly spaced points from lo to hi inclusive. Requires n >= 2.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// n log-spaced points from lo to hi inclusive. Requires 0 < lo < hi, n >= 2.
+[[nodiscard]] std::vector<double> logspace(double lo, double hi,
+                                           std::size_t n);
+
+/// True if |a-b| <= atol + rtol*max(|a|,|b|).
+[[nodiscard]] bool approx_equal(double a, double b, double rtol = 1e-9,
+                                double atol = 0.0) noexcept;
+
+}  // namespace distserv::util

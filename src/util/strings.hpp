@@ -1,0 +1,43 @@
+// String helpers used by the trace readers, CSV writer, and CLI parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace distserv::util {
+
+/// Splits `s` on `delim`, keeping empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char delim);
+
+/// Splits `s` on runs of whitespace, dropping empty fields.
+[[nodiscard]] std::vector<std::string_view> split_whitespace(
+    std::string_view s);
+
+/// Removes leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a double; returns false on any trailing garbage or empty input.
+[[nodiscard]] bool parse_double(std::string_view s, double& out);
+
+/// Parses a signed 64-bit integer; returns false on failure.
+[[nodiscard]] bool parse_int64(std::string_view s, long long& out);
+
+/// Formats `x` with `digits` significant digits (%.{digits}g).
+[[nodiscard]] std::string format_sig(double x, int digits = 6);
+
+/// Formats `x` with fixed decimals (%.{decimals}f).
+[[nodiscard]] std::string format_fixed(double x, int decimals = 3);
+
+/// Joins strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Lower-cases ASCII.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+}  // namespace distserv::util

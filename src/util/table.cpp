@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DS_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::string& label,
+                            const std::vector<double>& values,
+                            int sig_digits) {
+  DS_EXPECTS(values.size() + 1 == headers_.size());
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_sig(v, sig_digits));
+  add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  // Left-align the label column, right-align everything else (numbers).
+  auto print_aligned = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << "  ";
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        out << cells[c] << std::string(pad, ' ');
+      } else {
+        out << std::string(pad, ' ') << cells[c];
+      }
+    }
+    out << '\n';
+  };
+  print_aligned(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_aligned(row);
+}
+
+}  // namespace distserv::util

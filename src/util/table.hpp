@@ -1,0 +1,41 @@
+// Aligned console table printer. All figure-reproduction binaries print
+// their series through this so the output reads like the paper's tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace distserv::util {
+
+/// Builds a column-aligned text table and renders it to a stream.
+///
+/// Usage:
+///   Table t({"load", "Random", "LWL", "SITA-E"});
+///   t.add_row({"0.5", "182.0", "31.7", "9.2"});
+///   t.print(std::cout);
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, the rest are numbers formatted with
+  /// `sig_digits` significant digits.
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values, int sig_digits = 5);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace distserv::util

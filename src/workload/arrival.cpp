@@ -1,0 +1,145 @@
+#include "workload/arrival.hpp"
+
+#include <cmath>
+
+#include "stats/welford.hpp"
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::workload {
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+  DS_EXPECTS(rate > 0.0);
+}
+
+double PoissonArrivals::next_gap(dist::Rng& rng) {
+  return rng.exponential(rate_);
+}
+
+std::string PoissonArrivals::name() const {
+  return "Poisson(rate=" + util::format_sig(rate_) + ")";
+}
+
+RenewalArrivals::RenewalArrivals(dist::DistributionPtr gap_distribution)
+    : gaps_(std::move(gap_distribution)) {
+  DS_EXPECTS(gaps_ != nullptr);
+  const double mean = gaps_->mean();
+  DS_EXPECTS(std::isfinite(mean) && mean > 0.0);
+  rate_ = 1.0 / mean;
+}
+
+double RenewalArrivals::next_gap(dist::Rng& rng) {
+  return gaps_->sample(rng);
+}
+
+std::string RenewalArrivals::name() const {
+  return "Renewal(" + gaps_->name() + ")";
+}
+
+Mmpp2Arrivals::Mmpp2Arrivals(double rate0, double rate1, double switch0,
+                             double switch1) {
+  DS_EXPECTS(rate0 > 0.0 && rate1 > 0.0);
+  DS_EXPECTS(switch0 > 0.0 && switch1 > 0.0);
+  rate_[0] = rate0;
+  rate_[1] = rate1;
+  switch_[0] = switch0;
+  switch_[1] = switch1;
+}
+
+Mmpp2Arrivals Mmpp2Arrivals::with_burstiness(double rate, double burst_ratio,
+                                             double burst_time_fraction,
+                                             double mean_cycle_arrivals) {
+  DS_EXPECTS(rate > 0.0);
+  DS_EXPECTS(burst_ratio > 1.0);
+  DS_EXPECTS(burst_time_fraction > 0.0 && burst_time_fraction < 1.0);
+  DS_EXPECTS(mean_cycle_arrivals > 1.0);
+  const double f = burst_time_fraction;
+  // Phase 1 is the burst phase. Weighted rates must average to `rate`.
+  const double rate0 = rate / (f * burst_ratio + (1.0 - f));
+  const double rate1 = burst_ratio * rate0;
+  // Cycle length chosen so that `mean_cycle_arrivals` arrivals occur per
+  // burst+calm cycle; longer cycles -> stronger correlation.
+  const double cycle = mean_cycle_arrivals / rate;
+  const double switch1 = 1.0 / (f * cycle);          // leave burst
+  const double switch0 = 1.0 / ((1.0 - f) * cycle);  // leave calm
+  return Mmpp2Arrivals(rate0, rate1, switch0, switch1);
+}
+
+double Mmpp2Arrivals::next_gap(dist::Rng& rng) {
+  // Exact simulation: race the next arrival against the phase switch; both
+  // clocks are exponential, so no residual bookkeeping beyond the phase's
+  // remaining sojourn is needed.
+  double gap = 0.0;
+  while (true) {
+    if (!residual_valid_) {
+      residual_ = rng.exponential(switch_[phase_]);
+      residual_valid_ = true;
+    }
+    const double to_arrival = rng.exponential(rate_[phase_]);
+    if (to_arrival < residual_) {
+      residual_ -= to_arrival;
+      return gap + to_arrival;
+    }
+    gap += residual_;
+    phase_ ^= 1;
+    residual_valid_ = false;
+  }
+}
+
+double Mmpp2Arrivals::rate() const {
+  const double sojourn0 = 1.0 / switch_[0];
+  const double sojourn1 = 1.0 / switch_[1];
+  const double f1 = sojourn1 / (sojourn0 + sojourn1);
+  return (1.0 - f1) * rate_[0] + f1 * rate_[1];
+}
+
+void Mmpp2Arrivals::reset() {
+  phase_ = 0;
+  residual_valid_ = false;
+}
+
+std::string Mmpp2Arrivals::name() const {
+  return "MMPP2(rate0=" + util::format_sig(rate_[0]) +
+         ", rate1=" + util::format_sig(rate_[1]) + ")";
+}
+
+double Mmpp2Arrivals::gap_scv_estimate(dist::Rng& rng, std::size_t samples) {
+  DS_EXPECTS(samples >= 2);
+  reset();
+  stats::Welford w;
+  for (std::size_t i = 0; i < samples; ++i) w.add(next_gap(rng));
+  reset();
+  return w.scv();
+}
+
+DiurnalArrivals::DiurnalArrivals(double rate, double amplitude, double period)
+    : rate_(rate), amplitude_(amplitude), period_(period) {
+  DS_EXPECTS(rate > 0.0);
+  DS_EXPECTS(amplitude >= 0.0 && amplitude < 1.0);
+  DS_EXPECTS(period > 0.0);
+}
+
+double DiurnalArrivals::rate_at(double t) const noexcept {
+  constexpr double kTwoPi = 6.283185307179586;
+  return rate_ * (1.0 + amplitude_ * std::sin(kTwoPi * t / period_));
+}
+
+double DiurnalArrivals::next_gap(dist::Rng& rng) {
+  // Thinning (Lewis & Shedler): propose at the envelope rate
+  // rate*(1+amplitude), accept with probability lambda(t)/envelope.
+  const double envelope = rate_ * (1.0 + amplitude_);
+  const double start = clock_;
+  while (true) {
+    clock_ += rng.exponential(envelope);
+    if (rng.uniform01() * envelope <= rate_at(clock_)) {
+      return clock_ - start;
+    }
+  }
+}
+
+std::string DiurnalArrivals::name() const {
+  return "Diurnal(rate=" + util::format_sig(rate_) +
+         ", amplitude=" + util::format_sig(amplitude_) + ")";
+}
+
+}  // namespace distserv::workload

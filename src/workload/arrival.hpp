@@ -1,0 +1,125 @@
+// Arrival processes.
+//
+// The paper evaluates policies under Poisson arrivals (§2.2) and, in §6,
+// under the burstier arrivals of the original traces scaled to each load.
+// We provide: Poisson, general renewal (any gap distribution), and a 2-state
+// Markov-modulated Poisson process — the standard synthetic stand-in for
+// bursty, positively-correlated trace arrivals (see DESIGN.md substitutions).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dist/distribution.hpp"
+#include "dist/rng.hpp"
+
+namespace distserv::workload {
+
+/// Generates successive interarrival gaps.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Next gap (seconds) after the previous arrival. Strictly positive.
+  [[nodiscard]] virtual double next_gap(dist::Rng& rng) = 0;
+
+  /// Long-run arrival rate (jobs/second).
+  [[nodiscard]] virtual double rate() const = 0;
+
+  /// Resets internal state (e.g. the MMPP phase) for a fresh run.
+  virtual void reset() {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Poisson process: exponential i.i.d. gaps.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  /// Requires rate > 0.
+  explicit PoissonArrivals(double rate);
+
+  [[nodiscard]] double next_gap(dist::Rng& rng) override;
+  [[nodiscard]] double rate() const override { return rate_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double rate_;
+};
+
+/// Renewal process with i.i.d. gaps from an arbitrary distribution.
+class RenewalArrivals final : public ArrivalProcess {
+ public:
+  /// Requires a distribution with finite positive mean.
+  explicit RenewalArrivals(dist::DistributionPtr gap_distribution);
+
+  [[nodiscard]] double next_gap(dist::Rng& rng) override;
+  [[nodiscard]] double rate() const override { return rate_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  dist::DistributionPtr gaps_;
+  double rate_;
+};
+
+/// Two-state Markov-modulated Poisson process. The process alternates
+/// between a "burst" phase with high arrival rate and a "calm" phase with a
+/// low rate; phase sojourns are exponential. Produces bursty, correlated
+/// arrivals like scaled supercomputer trace arrivals.
+class Mmpp2Arrivals final : public ArrivalProcess {
+ public:
+  /// Direct parameterization. rates: arrival rate per phase; switch_rates:
+  /// rate of leaving each phase. All > 0.
+  Mmpp2Arrivals(double rate0, double rate1, double switch0, double switch1);
+
+  /// Shape-based factory: overall mean arrival rate `rate`, `burst_ratio` =
+  /// (burst rate)/(calm rate) > 1, `burst_time_fraction` in (0,1) = long-run
+  /// fraction of time in the burst phase, `mean_cycle_arrivals` ~ number of
+  /// arrivals per burst-calm cycle (controls correlation length).
+  static Mmpp2Arrivals with_burstiness(double rate, double burst_ratio,
+                                       double burst_time_fraction,
+                                       double mean_cycle_arrivals);
+
+  [[nodiscard]] double next_gap(dist::Rng& rng) override;
+  [[nodiscard]] double rate() const override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Squared coefficient of variation of the stationary interarrival gap
+  /// (> 1 for any genuinely two-phase parameterization).
+  [[nodiscard]] double gap_scv_estimate(dist::Rng& rng,
+                                        std::size_t samples = 200000);
+
+ private:
+  double rate_[2];
+  double switch_[2];
+  int phase_ = 0;
+  double residual_ = 0.0;  // time left in current phase
+  bool residual_valid_ = false;
+};
+
+/// Non-homogeneous Poisson process with a sinusoidal daily cycle:
+///   lambda(t) = rate * (1 + amplitude * sin(2*pi*t/period)).
+/// Supercomputing submission logs show strong diurnal patterns; this is
+/// the standard NHPP model of them, sampled exactly by thinning.
+class DiurnalArrivals final : public ArrivalProcess {
+ public:
+  /// Requires rate > 0, 0 <= amplitude < 1, period > 0.
+  /// Default period: 24 hours in seconds.
+  DiurnalArrivals(double rate, double amplitude, double period = 86400.0);
+
+  [[nodiscard]] double next_gap(dist::Rng& rng) override;
+  [[nodiscard]] double rate() const override { return rate_; }
+  void reset() override { clock_ = 0.0; }
+  [[nodiscard]] std::string name() const override;
+
+  /// Instantaneous rate at absolute time t.
+  [[nodiscard]] double rate_at(double t) const noexcept;
+
+ private:
+  double rate_;
+  double amplitude_;
+  double period_;
+  double clock_ = 0.0;  ///< absolute time of the previous arrival
+};
+
+}  // namespace distserv::workload

@@ -1,0 +1,112 @@
+#include "workload/catalog.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "dist/fit.hpp"
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+#include "workload/synthetic.hpp"
+
+namespace distserv::workload {
+
+const std::vector<WorkloadSpec>& workload_catalog() {
+  static const std::vector<WorkloadSpec> kCatalog = {
+      WorkloadSpec{
+          WorkloadId::kC90, "c90",
+          "PSC Cray C90 (16-proc hosts, distributed server)",
+          "January 1997 - December 1997",
+          /*mean_size=*/4500.0, /*scv_size=*/43.0, /*min_size=*/1.0,
+          // Body: log-spread jobs from 1 s to ~20 min; tail: Pareto 1.05.
+          BodyTailShape{/*alpha_body=*/0.25, /*body_break=*/1200.0,
+                        /*alpha_tail=*/1.05},
+          /*cap=*/std::nullopt, /*default_jobs=*/60000},
+      WorkloadSpec{
+          WorkloadId::kJ90, "j90",
+          "PSC Cray J90 (8-proc hosts, distributed server)",
+          "January 1997 - December 1997",
+          /*mean_size=*/3600.0, /*scv_size=*/38.0, /*min_size=*/1.0,
+          BodyTailShape{/*alpha_body=*/0.3, /*body_break=*/900.0,
+                        /*alpha_tail=*/1.08},
+          /*cap=*/std::nullopt, /*default_jobs=*/50000},
+      WorkloadSpec{
+          WorkloadId::kCtc, "ctc", "CTC IBM SP2 (512 nodes, 8-proc jobs)",
+          "July 1996 - May 1997",
+          // With a hard 43,200 s cap a Bounded Pareto cannot reach C^2 much
+          // above ~10 unless the mean is small; the archive's 8-processor
+          // CTC jobs are indeed dominated by short runs. mean 2,000 s with
+          // C^2 = 8 keeps the "considerably lower variance" contrast.
+          /*mean_size=*/2000.0, /*scv_size=*/8.0, /*min_size=*/1.0,
+          /*body_tail=*/std::nullopt, /*cap=*/43200.0,
+          /*default_jobs=*/50000},
+  };
+  return kCatalog;
+}
+
+const WorkloadSpec& find_workload(const std::string& name) {
+  const std::string lowered = util::to_lower(name);
+  for (const WorkloadSpec& spec : workload_catalog()) {
+    if (spec.name == lowered) return spec;
+  }
+  DS_EXPECTS(false && "unknown workload name (expected c90|j90|ctc)");
+  return workload_catalog().front();  // unreachable
+}
+
+const WorkloadSpec& get_workload(WorkloadId id) {
+  for (const WorkloadSpec& spec : workload_catalog()) {
+    if (spec.id == id) return spec;
+  }
+  DS_ASSERT(false && "catalog is missing an id");
+  return workload_catalog().front();  // unreachable
+}
+
+const dist::BoundedParetoMixture& service_distribution(
+    const WorkloadSpec& spec) {
+  static std::mutex mutex;
+  static std::map<std::string, dist::BoundedParetoMixture> cache;
+  std::scoped_lock lock(mutex);
+  const auto it = cache.find(spec.name);
+  if (it != cache.end()) return it->second;
+
+  dist::BoundedParetoMixture fitted = [&] {
+    if (spec.body_tail) {
+      const dist::BodyTailFit fit = dist::fit_body_tail(
+          spec.mean_size, spec.scv_size, spec.min_size,
+          spec.body_tail->body_break, spec.body_tail->alpha_body,
+          spec.body_tail->alpha_tail);
+      DS_ENSURES(fit.converged);
+      return fit.distribution();
+    }
+    if (spec.cap) {
+      const dist::BoundedParetoFit fit = dist::fit_bounded_pareto_fixed_p(
+          spec.mean_size, spec.scv_size, *spec.cap);
+      DS_ENSURES(fit.converged);
+      return dist::BoundedParetoMixture(fit.distribution());
+    }
+    const dist::BoundedParetoFit fit = dist::fit_bounded_pareto_fixed_k(
+        spec.mean_size, spec.scv_size, spec.min_size);
+    DS_ENSURES(fit.converged);
+    return dist::BoundedParetoMixture(fit.distribution());
+  }();
+
+  const auto [pos, inserted] = cache.emplace(spec.name, std::move(fitted));
+  DS_ASSERT(inserted);
+  return pos->second;
+}
+
+Trace make_trace(const WorkloadSpec& spec, double rho, std::size_t hosts,
+                 std::uint64_t seed, std::size_t n) {
+  if (n == 0) n = spec.default_jobs;
+  dist::Rng rng(seed);
+  return generate_trace_poisson(service_distribution(spec), n, rho, hosts,
+                                rng);
+}
+
+std::vector<double> make_sizes(const WorkloadSpec& spec, std::uint64_t seed,
+                               std::size_t n) {
+  if (n == 0) n = spec.default_jobs;
+  dist::Rng rng(seed);
+  return generate_sizes(service_distribution(spec), n, rng);
+}
+
+}  // namespace distserv::workload

@@ -1,0 +1,80 @@
+// Catalog of paper-calibrated workloads.
+//
+// The paper evaluates on three traces (Table 1): PSC Cray C90, PSC Cray J90
+// (both Jan–Dec 1997, run-to-completion batch jobs) and the CTC IBM SP2
+// (Jul 1996–May 1997, 12-hour runtime cap). We do not have the raw logs; the
+// numeric columns of Table 1 are also corrupted in our source text. The
+// calibration targets below come from the paper's prose:
+//   * C90: squared coefficient of variation C^2 = 43 (§3.3), "half the
+//     total load is made up by only the biggest 1.3% of all the jobs" and
+//     "98.7% of jobs go to Host 1 under SITA-E" (§3.3/§4.3), jobs down to
+//     seconds in size;
+//   * J90: "virtually identical" results to C90 — similar heavy tail;
+//   * CTC: hard 12 h = 43,200 s cap, "considerably lower variance", same
+//     policy ranking.
+// C90/J90 use a body+tail Bounded-Pareto mixture (broad mass of small jobs
+// plus a Pareto tail with alpha ~ 1.05–1.1, the shape reported for these
+// systems in [11,12]); CTC uses a single capped Bounded Pareto. The fits are
+// verified by tests (tests/workload/test_catalog.cpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/bp_mixture.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv::workload {
+
+/// Identifies a calibrated workload.
+enum class WorkloadId { kC90, kJ90, kCtc };
+
+/// Body+tail shape parameters (see dist::fit_body_tail).
+struct BodyTailShape {
+  double alpha_body;   ///< body tail index (< 1: log-spread small jobs)
+  double body_break;   ///< size where the Pareto tail takes over (s)
+  double alpha_tail;   ///< tail index (> 1)
+};
+
+/// Calibration targets and provenance for one workload.
+struct WorkloadSpec {
+  WorkloadId id;
+  std::string name;        ///< short name: "c90", "j90", "ctc"
+  std::string system;      ///< paper's system description
+  std::string period;      ///< trace collection period
+  double mean_size;        ///< target mean service requirement (s)
+  double scv_size;         ///< target squared coefficient of variation
+  double min_size;         ///< smallest job (s)
+  std::optional<BodyTailShape> body_tail;  ///< mixture shape (C90/J90)
+  std::optional<double> cap;  ///< administrative runtime cap (s), if any
+  std::size_t default_jobs;   ///< default synthetic trace length
+};
+
+/// The three paper workloads.
+[[nodiscard]] const std::vector<WorkloadSpec>& workload_catalog();
+
+/// Looks up by short name ("c90" | "j90" | "ctc"); case-insensitive.
+/// Throws ContractViolation for unknown names.
+[[nodiscard]] const WorkloadSpec& find_workload(const std::string& name);
+
+[[nodiscard]] const WorkloadSpec& get_workload(WorkloadId id);
+
+/// The calibrated service-time distribution for a workload. Deterministic;
+/// memoized internally.
+[[nodiscard]] const dist::BoundedParetoMixture& service_distribution(
+    const WorkloadSpec& spec);
+
+/// Generates the standard synthetic trace for a workload: `n` sizes (0 =
+/// spec.default_jobs) and Poisson arrivals at system load `rho` for `hosts`
+/// hosts.
+[[nodiscard]] Trace make_trace(const WorkloadSpec& spec, double rho,
+                               std::size_t hosts, std::uint64_t seed,
+                               std::size_t n = 0);
+
+/// Size samples only (arrivals generated separately per experiment point).
+[[nodiscard]] std::vector<double> make_sizes(const WorkloadSpec& spec,
+                                             std::uint64_t seed,
+                                             std::size_t n = 0);
+
+}  // namespace distserv::workload

@@ -1,0 +1,9 @@
+// job.hpp is header-only; this translation unit exists so the build system
+// has a home for the target and to force the header to compile standalone.
+#include "workload/job.hpp"
+
+namespace distserv::workload {
+
+static_assert(sizeof(Job) == 24, "Job should stay a compact POD");
+
+}  // namespace distserv::workload

@@ -1,0 +1,30 @@
+// The unit of work: a batch job with an arrival time and a service
+// requirement (CPU seconds on one host). Per the paper's architectural model
+// (§1.1) a job occupies a whole host machine, so processors and memory do
+// not appear here — only when reading SWF traces, where they act as filters.
+#pragma once
+
+#include <cstdint>
+
+namespace distserv::workload {
+
+/// Identifies a job within one trace.
+using JobId = std::uint64_t;
+
+/// One batch job.
+struct Job {
+  JobId id = 0;
+  /// Absolute arrival (dispatch) time, seconds.
+  double arrival = 0.0;
+  /// Service requirement, seconds of exclusive host time. Always > 0.
+  double size = 0.0;
+};
+
+/// Strict weak ordering by (arrival, id) — trace order.
+[[nodiscard]] constexpr bool arrives_before(const Job& a,
+                                            const Job& b) noexcept {
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  return a.id < b.id;
+}
+
+}  // namespace distserv::workload

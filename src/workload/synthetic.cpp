@@ -1,0 +1,38 @@
+#include "workload/synthetic.hpp"
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+#include "workload/arrival.hpp"
+
+namespace distserv::workload {
+
+std::vector<double> generate_sizes(const dist::Distribution& d, std::size_t n,
+                                   dist::Rng& rng) {
+  DS_EXPECTS(n > 0);
+  std::vector<double> sizes;
+  sizes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) sizes.push_back(d.sample(rng));
+  return sizes;
+}
+
+Trace generate_trace_poisson(const dist::Distribution& d, std::size_t n,
+                             double rho, std::size_t hosts, dist::Rng& rng) {
+  const std::vector<double> sizes = generate_sizes(d, n, rng);
+  return Trace::with_poisson_load(sizes, rho, hosts, rng);
+}
+
+Trace generate_trace_bursty(const dist::Distribution& d, std::size_t n,
+                            double rho, std::size_t hosts, dist::Rng& rng,
+                            double burst_ratio, double burst_time_fraction,
+                            double mean_cycle_arrivals) {
+  DS_EXPECTS(rho > 0.0 && hosts >= 1);
+  const std::vector<double> sizes = generate_sizes(d, n, rng);
+  const double mean = util::compensated_sum(sizes) /
+                      static_cast<double>(sizes.size());
+  const double lambda = rho * static_cast<double>(hosts) / mean;
+  Mmpp2Arrivals arrivals = Mmpp2Arrivals::with_burstiness(
+      lambda, burst_ratio, burst_time_fraction, mean_cycle_arrivals);
+  return Trace::with_arrivals(sizes, arrivals, rng);
+}
+
+}  // namespace distserv::workload

@@ -1,0 +1,39 @@
+// Synthetic workload generation.
+//
+// Produces job-size samples from a calibrated service-time distribution and
+// assembles full traces with a chosen arrival process. The calibrated
+// distributions for the paper's three traces live in catalog.hpp; this file
+// is the generic machinery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv::workload {
+
+/// Draws `n` i.i.d. job sizes from `d`.
+[[nodiscard]] std::vector<double> generate_sizes(const dist::Distribution& d,
+                                                 std::size_t n,
+                                                 dist::Rng& rng);
+
+/// Generates a full trace: `n` sizes from `d`, Poisson arrivals tuned so a
+/// server with `hosts` hosts runs at system load `rho`.
+[[nodiscard]] Trace generate_trace_poisson(const dist::Distribution& d,
+                                           std::size_t n, double rho,
+                                           std::size_t hosts, dist::Rng& rng);
+
+/// Generates a full trace with bursty MMPP2 arrivals at system load `rho`
+/// (used for the §6 non-Poisson experiments). `burst_ratio`,
+/// `burst_time_fraction`, `mean_cycle_arrivals` parameterize the MMPP —
+/// see Mmpp2Arrivals::with_burstiness.
+[[nodiscard]] Trace generate_trace_bursty(const dist::Distribution& d,
+                                          std::size_t n, double rho,
+                                          std::size_t hosts, dist::Rng& rng,
+                                          double burst_ratio = 10.0,
+                                          double burst_time_fraction = 0.1,
+                                          double mean_cycle_arrivals = 50.0);
+
+}  // namespace distserv::workload

@@ -1,0 +1,156 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/welford.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+#include "workload/arrival.hpp"
+
+namespace distserv::workload {
+
+Trace::Trace(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
+  std::sort(jobs_.begin(), jobs_.end(), arrives_before);
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    DS_EXPECTS(jobs_[i].size > 0.0);
+    DS_EXPECTS(jobs_[i].arrival >= 0.0);
+    jobs_[i].id = i;
+  }
+}
+
+Trace Trace::with_arrivals(std::span<const double> sizes,
+                           ArrivalProcess& arrivals, dist::Rng& rng) {
+  std::vector<Job> jobs;
+  jobs.reserve(sizes.size());
+  double t = 0.0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    t += arrivals.next_gap(rng);
+    jobs.push_back(Job{i, t, sizes[i]});
+  }
+  return Trace(std::move(jobs));
+}
+
+Trace Trace::with_poisson_load(std::span<const double> sizes, double rho,
+                               std::size_t hosts, dist::Rng& rng) {
+  DS_EXPECTS(rho > 0.0);
+  DS_EXPECTS(hosts >= 1);
+  DS_EXPECTS(!sizes.empty());
+  const double mean = util::compensated_sum(sizes) /
+                      static_cast<double>(sizes.size());
+  const double lambda = rho * static_cast<double>(hosts) / mean;
+  PoissonArrivals arrivals(lambda);
+  return with_arrivals(sizes, arrivals, rng);
+}
+
+std::vector<double> Trace::sizes() const {
+  std::vector<double> out;
+  out.reserve(jobs_.size());
+  for (const Job& j : jobs_) out.push_back(j.size);
+  return out;
+}
+
+std::vector<double> Trace::interarrival_gaps() const {
+  std::vector<double> out;
+  if (jobs_.size() < 2) return out;
+  out.reserve(jobs_.size() - 1);
+  for (std::size_t i = 1; i < jobs_.size(); ++i) {
+    out.push_back(jobs_[i].arrival - jobs_[i - 1].arrival);
+  }
+  return out;
+}
+
+double Trace::total_work() const {
+  util::KahanSum acc;
+  for (const Job& j : jobs_) acc.add(j.size);
+  return acc.value();
+}
+
+double Trace::arrival_rate() const {
+  DS_EXPECTS(jobs_.size() >= 2);
+  const double duration = jobs_.back().arrival - jobs_.front().arrival;
+  DS_EXPECTS(duration > 0.0);
+  return static_cast<double>(jobs_.size() - 1) / duration;
+}
+
+double Trace::offered_load(std::size_t hosts) const {
+  DS_EXPECTS(hosts >= 1);
+  const double mean = total_work() / static_cast<double>(jobs_.size());
+  return arrival_rate() * mean / static_cast<double>(hosts);
+}
+
+TraceStats Trace::stats() const {
+  DS_EXPECTS(!jobs_.empty());
+  TraceStats s;
+  s.job_count = jobs_.size();
+  s.duration = jobs_.back().arrival - jobs_.front().arrival;
+  stats::Welford sizes_w;
+  for (const Job& j : jobs_) sizes_w.add(j.size);
+  s.mean_size = sizes_w.mean();
+  s.min_size = sizes_w.min();
+  s.max_size = sizes_w.max();
+  s.scv_size = sizes_w.scv();
+  stats::Welford gaps_w;
+  for (double g : interarrival_gaps()) gaps_w.add(g);
+  if (gaps_w.count() > 0) {
+    s.mean_interarrival = gaps_w.mean();
+    s.scv_interarrival = gaps_w.scv();
+  }
+  // Smallest tail fraction of jobs carrying half the total load: sort sizes
+  // descending and walk until the running sum reaches 50%.
+  std::vector<double> sorted = sizes();
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double half = 0.5 * total_work();
+  util::KahanSum acc;
+  std::size_t count = 0;
+  for (double x : sorted) {
+    acc.add(x);
+    ++count;
+    if (acc.value() >= half) break;
+  }
+  s.half_load_tail_fraction =
+      static_cast<double>(count) / static_cast<double>(jobs_.size());
+  return s;
+}
+
+dist::Empirical Trace::size_distribution() const {
+  const std::vector<double> s = sizes();
+  return dist::Empirical(s);
+}
+
+std::pair<Trace, Trace> Trace::split_halves() const {
+  DS_EXPECTS(jobs_.size() >= 2);
+  const std::size_t mid = jobs_.size() / 2;
+  std::vector<Job> first(jobs_.begin(),
+                         jobs_.begin() + static_cast<std::ptrdiff_t>(mid));
+  std::vector<Job> second(jobs_.begin() + static_cast<std::ptrdiff_t>(mid),
+                          jobs_.end());
+  const double shift = second.front().arrival;
+  for (Job& j : second) j.arrival -= shift;
+  return {Trace(std::move(first)), Trace(std::move(second))};
+}
+
+Trace Trace::scale_interarrivals(double factor) const {
+  DS_EXPECTS(factor > 0.0);
+  std::vector<Job> scaled = jobs_;
+  if (!scaled.empty()) {
+    double t = scaled.front().arrival * factor;
+    double prev_arrival = scaled.front().arrival;
+    scaled.front().arrival = t;
+    for (std::size_t i = 1; i < scaled.size(); ++i) {
+      const double gap = scaled[i].arrival - prev_arrival;
+      prev_arrival = scaled[i].arrival;
+      t += gap * factor;
+      scaled[i].arrival = t;
+    }
+  }
+  return Trace(std::move(scaled));
+}
+
+Trace Trace::scaled_to_load(double rho, std::size_t hosts) const {
+  DS_EXPECTS(rho > 0.0);
+  const double current = offered_load(hosts);
+  return scale_interarrivals(current / rho);
+}
+
+}  // namespace distserv::workload

@@ -1,0 +1,96 @@
+// A job trace: the jobs of one workload in arrival order, plus the
+// characterization and manipulation operations the paper's methodology
+// needs — Table 1 statistics, train/test splitting (cutoffs are derived on
+// the first half of the data and evaluated on the second), arrival-time
+// (re)generation at a chosen system load, and interarrival scaling for the
+// non-Poisson experiments of §6.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dist/empirical.hpp"
+#include "dist/rng.hpp"
+#include "workload/job.hpp"
+
+namespace distserv::workload {
+
+class ArrivalProcess;  // arrival.hpp
+
+/// Summary statistics as reported in the paper's Table 1.
+struct TraceStats {
+  std::size_t job_count = 0;
+  double duration = 0.0;           ///< last arrival - first arrival
+  double mean_size = 0.0;          ///< mean service requirement (sec)
+  double min_size = 0.0;
+  double max_size = 0.0;
+  double scv_size = 0.0;           ///< squared coefficient of variation
+  double mean_interarrival = 0.0;
+  double scv_interarrival = 0.0;
+  /// Smallest fraction q of (largest) jobs carrying >= half the total load;
+  /// the paper highlights q = 1.3% for the C90 trace.
+  double half_load_tail_fraction = 0.0;
+};
+
+/// Immutable-ish container of jobs in arrival order.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Takes ownership; sorts by (arrival, id) and renumbers ids 0..n-1.
+  /// Requires all sizes > 0 and arrivals >= 0.
+  explicit Trace(std::vector<Job> jobs);
+
+  /// Builds a trace with the given sizes (kept in order) and arrival times
+  /// drawn from `arrivals` starting at time 0.
+  static Trace with_arrivals(std::span<const double> sizes,
+                             ArrivalProcess& arrivals, dist::Rng& rng);
+
+  /// Builds a trace with Poisson arrivals tuned so that a distributed server
+  /// with `hosts` hosts sees system load `rho` (lambda = rho*hosts/mean).
+  /// Requires 0 < rho and hosts >= 1.
+  static Trace with_poisson_load(std::span<const double> sizes, double rho,
+                                 std::size_t hosts, dist::Rng& rng);
+
+  [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return jobs_.empty(); }
+
+  /// Job sizes in trace order.
+  [[nodiscard]] std::vector<double> sizes() const;
+
+  /// Interarrival gaps (size n-1).
+  [[nodiscard]] std::vector<double> interarrival_gaps() const;
+
+  /// Sum of all service requirements.
+  [[nodiscard]] double total_work() const;
+
+  /// Arrival rate lambda = (n-1)/duration; requires >= 2 jobs.
+  [[nodiscard]] double arrival_rate() const;
+
+  /// System load rho = lambda * E[X] / hosts this trace would offer.
+  [[nodiscard]] double offered_load(std::size_t hosts) const;
+
+  /// Table-1 style statistics.
+  [[nodiscard]] TraceStats stats() const;
+
+  /// Empirical distribution of the job sizes.
+  [[nodiscard]] dist::Empirical size_distribution() const;
+
+  /// First/second half split by trace order (paper: derive cutoffs on the
+  /// first half, evaluate policies on the second). Second-half arrivals are
+  /// shifted to start at 0.
+  [[nodiscard]] std::pair<Trace, Trace> split_halves() const;
+
+  /// Returns a copy whose interarrival gaps are multiplied by `factor`
+  /// (the paper's §6 "scaled trace arrivals"); sizes unchanged.
+  [[nodiscard]] Trace scale_interarrivals(double factor) const;
+
+  /// Returns a copy rescaled so that `offered_load(hosts) == rho`.
+  [[nodiscard]] Trace scaled_to_load(double rho, std::size_t hosts) const;
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+}  // namespace distserv::workload

@@ -1,0 +1,66 @@
+#include "core/cutoffs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "workload/catalog.hpp"
+
+namespace distserv::core {
+namespace {
+
+std::vector<double> training_sizes() {
+  return workload::make_sizes(workload::find_workload("c90"), /*seed=*/2,
+                              30000);
+}
+
+TEST(CutoffDeriver, SitaECutoffsEqualizeTrainingLoad) {
+  const auto sizes = training_sizes();
+  const CutoffDeriver deriver(sizes);
+  const auto cutoffs = deriver.sita_e(2);
+  ASSERT_EQ(cutoffs.size(), 1u);
+  EXPECT_NEAR(deriver.model().load_fraction_below(cutoffs[0]), 0.5, 0.01);
+  const auto four = deriver.sita_e(4);
+  ASSERT_EQ(four.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(four.begin(), four.end()));
+}
+
+TEST(CutoffDeriver, LambdaForLoadInverts) {
+  const auto sizes = training_sizes();
+  const CutoffDeriver deriver(sizes);
+  const double lambda = deriver.lambda_for(0.7, 2);
+  const double mean = deriver.model().overall_moments().m1;
+  EXPECT_NEAR(lambda * mean / 2.0, 0.7, 1e-9);
+}
+
+TEST(CutoffDeriver, SitaUOptUnderloadsHostOne) {
+  const CutoffDeriver deriver(training_sizes());
+  const auto r = deriver.sita_u_opt(0.7, 200);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LT(r.host1_load_fraction, 0.5);
+  EXPECT_GT(r.host1_load_fraction, 0.1);
+  EXPECT_GT(r.host1_job_fraction, 0.8);  // most jobs still go short
+}
+
+TEST(CutoffDeriver, SitaUFairEqualizesSlowdowns) {
+  const CutoffDeriver deriver(training_sizes());
+  const auto r = deriver.sita_u_fair(0.6, 200);
+  ASSERT_TRUE(r.feasible);
+  const double s1 = r.metrics.hosts[0].mg1.mean_slowdown;
+  const double s2 = r.metrics.hosts[1].mg1.mean_slowdown;
+  EXPECT_NEAR(s1 / s2, 1.0, 0.1);
+}
+
+TEST(CutoffDeriver, RuleOfThumbLoadFraction) {
+  const CutoffDeriver deriver(training_sizes());
+  const double c = deriver.rule_of_thumb(0.8);
+  EXPECT_NEAR(deriver.model().load_fraction_below(c), 0.4, 0.01);
+}
+
+TEST(CutoffDeriver, ValidatesLoadRange) {
+  const CutoffDeriver deriver(training_sizes());
+  EXPECT_THROW((void)deriver.sita_u_opt(1.0), ContractViolation);
+  EXPECT_THROW((void)deriver.sita_u_fair(0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::core

@@ -1,0 +1,192 @@
+#include "core/experiment.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.hosts = 2;
+  cfg.n_jobs = 16000;  // 8k train / 8k eval
+  cfg.seed = 5;
+  cfg.replications = 2;
+  cfg.cutoff_grid = 150;
+  return cfg;
+}
+
+TEST(Workbench, RunPointProducesAveragedSummaries) {
+  Workbench wb(workload::find_workload("c90"), small_config());
+  const ExperimentPoint p = wb.run_point(PolicyKind::kLeastWorkLeft, 0.5);
+  EXPECT_EQ(p.policy, PolicyKind::kLeastWorkLeft);
+  EXPECT_DOUBLE_EQ(p.rho, 0.5);
+  EXPECT_EQ(p.replication_summaries.size(), 2u);
+  EXPECT_GE(p.summary.mean_slowdown, 1.0);
+  EXPECT_FALSE(p.has_cutoff);
+}
+
+TEST(Workbench, SitaPointsCarryCutoffMetadata) {
+  Workbench wb(workload::find_workload("c90"), small_config());
+  const ExperimentPoint e = wb.run_point(PolicyKind::kSitaE, 0.5);
+  EXPECT_TRUE(e.has_cutoff);
+  EXPECT_GT(e.cutoff, 0.0);
+  EXPECT_DOUBLE_EQ(e.host1_load_fraction, 0.5);
+  const ExperimentPoint u = wb.run_point(PolicyKind::kSitaUOpt, 0.5);
+  EXPECT_TRUE(u.has_cutoff);
+  EXPECT_LT(u.host1_load_fraction, 0.5);
+  EXPECT_LT(u.cutoff, e.cutoff);
+}
+
+TEST(Workbench, ReproducibleAcrossInstances) {
+  Workbench a(workload::find_workload("ctc"), small_config());
+  Workbench b(workload::find_workload("ctc"), small_config());
+  const auto pa = a.run_point(PolicyKind::kRandom, 0.6);
+  const auto pb = b.run_point(PolicyKind::kRandom, 0.6);
+  EXPECT_DOUBLE_EQ(pa.summary.mean_slowdown, pb.summary.mean_slowdown);
+  EXPECT_DOUBLE_EQ(pa.summary.var_slowdown, pb.summary.var_slowdown);
+}
+
+TEST(Workbench, ConfidenceIntervalCoversTheMean) {
+  Workbench wb(workload::find_workload("ctc"), small_config());
+  const auto p = wb.run_point(PolicyKind::kLeastWorkLeft, 0.6);
+  EXPECT_GT(p.slowdown_ci.half_width, 0.0);
+  EXPECT_TRUE(p.slowdown_ci.contains(p.summary.mean_slowdown));
+  EXPECT_NEAR(p.slowdown_ci.mean, p.summary.mean_slowdown, 1e-9);
+}
+
+TEST(Workbench, SingleReplicationHasDegenerateInterval) {
+  ExperimentConfig cfg = small_config();
+  cfg.replications = 1;
+  Workbench wb(workload::find_workload("ctc"), cfg);
+  const auto p = wb.run_point(PolicyKind::kRandom, 0.5);
+  EXPECT_DOUBLE_EQ(p.slowdown_ci.lo, p.slowdown_ci.hi);
+}
+
+TEST(Workbench, ReplicationsDiffer) {
+  Workbench wb(workload::find_workload("ctc"), small_config());
+  const auto p = wb.run_point(PolicyKind::kRandom, 0.6);
+  ASSERT_EQ(p.replication_summaries.size(), 2u);
+  EXPECT_NE(p.replication_summaries[0].mean_slowdown,
+            p.replication_summaries[1].mean_slowdown);
+}
+
+TEST(Workbench, SweepCoversCrossProduct) {
+  Workbench wb(workload::find_workload("ctc"), small_config());
+  const PolicyKind policies[] = {PolicyKind::kRandom,
+                                 PolicyKind::kLeastWorkLeft};
+  const double loads[] = {0.3, 0.6};
+  const auto points = wb.sweep(policies, loads);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points[0].rho, 0.3);
+  EXPECT_EQ(points[1].policy, PolicyKind::kLeastWorkLeft);
+  EXPECT_DOUBLE_EQ(points[3].rho, 0.6);
+}
+
+TEST(Workbench, BurstyArrivalsRaiseSlowdownAtHighLoad) {
+  ExperimentConfig poisson = small_config();
+  ExperimentConfig bursty = small_config();
+  bursty.arrivals = ArrivalKind::kBursty;
+  Workbench wp(workload::find_workload("ctc"), poisson);
+  Workbench wbst(workload::find_workload("ctc"), bursty);
+  const double sp =
+      wp.run_point(PolicyKind::kLeastWorkLeft, 0.8).summary.mean_slowdown;
+  const double sb =
+      wbst.run_point(PolicyKind::kLeastWorkLeft, 0.8).summary.mean_slowdown;
+  EXPECT_GT(sb, sp);
+}
+
+TEST(Workbench, DiurnalArrivalsAlsoRaiseSlowdown) {
+  ExperimentConfig poisson = small_config();
+  ExperimentConfig diurnal = small_config();
+  diurnal.arrivals = ArrivalKind::kDiurnal;
+  diurnal.diurnal_amplitude = 0.9;
+  // Period chosen so the trace spans several cycles.
+  diurnal.diurnal_period = 20000.0;
+  Workbench wp(workload::find_workload("ctc"), poisson);
+  Workbench wd(workload::find_workload("ctc"), diurnal);
+  const double sp =
+      wp.run_point(PolicyKind::kLeastWorkLeft, 0.8).summary.mean_slowdown;
+  const double sd =
+      wd.run_point(PolicyKind::kLeastWorkLeft, 0.8).summary.mean_slowdown;
+  EXPECT_GT(sd, sp);
+}
+
+TEST(Workbench, SitaUVariantsRequireTwoHosts) {
+  ExperimentConfig cfg = small_config();
+  cfg.hosts = 4;
+  Workbench wb(workload::find_workload("c90"), cfg);
+  EXPECT_THROW((void)wb.run_point(PolicyKind::kSitaUOpt, 0.5),
+               ContractViolation);
+  // The grouped hybrid variant is the supported many-host form.
+  EXPECT_NO_THROW((void)wb.run_point(PolicyKind::kHybridSitaUOpt, 0.5));
+}
+
+TEST(Workbench, HybridGroupedPoliciesRunOnManyHosts) {
+  ExperimentConfig cfg = small_config();
+  cfg.hosts = 6;
+  cfg.replications = 1;
+  Workbench wb(workload::find_workload("c90"), cfg);
+  for (PolicyKind kind : {PolicyKind::kHybridSitaE,
+                          PolicyKind::kHybridSitaUFair}) {
+    const auto p = wb.run_point(kind, 0.7);
+    EXPECT_TRUE(p.has_cutoff);
+    EXPECT_GE(p.summary.mean_slowdown, 1.0);
+  }
+}
+
+TEST(Workbench, MultiCutoffSitaURunsOnFourHosts) {
+  ExperimentConfig cfg = small_config();
+  cfg.hosts = 4;
+  cfg.replications = 1;
+  Workbench wb(workload::find_workload("c90"), cfg);
+  const auto sita_e = wb.run_point(PolicyKind::kSitaE, 0.7);
+  const auto opt = wb.run_point(PolicyKind::kSitaUOptMulti, 0.7);
+  const auto fair = wb.run_point(PolicyKind::kSitaUFairMulti, 0.7);
+  EXPECT_TRUE(opt.has_cutoff);
+  EXPECT_TRUE(fair.has_cutoff);
+  // The true multi-cutoff policies beat SITA-E in simulation too.
+  EXPECT_LT(opt.summary.mean_slowdown, sita_e.summary.mean_slowdown);
+  EXPECT_LT(fair.summary.mean_slowdown, sita_e.summary.mean_slowdown);
+}
+
+TEST(Workbench, MisclassificationDegradesSita) {
+  ExperimentConfig clean = small_config();
+  ExperimentConfig noisy = small_config();
+  noisy.sita_error_rate = 0.3;
+  Workbench wc(workload::find_workload("c90"), clean);
+  Workbench wn(workload::find_workload("c90"), noisy);
+  const double sc =
+      wc.run_point(PolicyKind::kSitaUFair, 0.7).summary.mean_slowdown;
+  const double sn =
+      wn.run_point(PolicyKind::kSitaUFair, 0.7).summary.mean_slowdown;
+  EXPECT_GT(sn, sc);
+}
+
+TEST(Workbench, ValidatesLoadRange) {
+  Workbench wb(workload::find_workload("ctc"), small_config());
+  EXPECT_THROW((void)wb.run_point(PolicyKind::kRandom, 0.0),
+               ContractViolation);
+  EXPECT_THROW((void)wb.run_point(PolicyKind::kRandom, 1.0),
+               ContractViolation);
+}
+
+TEST(PolicyKindNames, AllDistinct) {
+  const PolicyKind all[] = {
+      PolicyKind::kRandom,       PolicyKind::kRoundRobin,
+      PolicyKind::kShortestQueue, PolicyKind::kLeastWorkLeft,
+      PolicyKind::kCentralQueue, PolicyKind::kSitaE,
+      PolicyKind::kSitaUOpt,     PolicyKind::kSitaUFair,
+      PolicyKind::kSitaRuleOfThumb, PolicyKind::kHybridSitaE,
+      PolicyKind::kHybridSitaUOpt, PolicyKind::kHybridSitaUFair,
+      PolicyKind::kSitaUOptMulti, PolicyKind::kSitaUFairMulti};
+  std::set<std::string> names;
+  for (PolicyKind k : all) names.insert(to_string(k));
+  EXPECT_EQ(names.size(), std::size(all));
+}
+
+}  // namespace
+}  // namespace distserv::core

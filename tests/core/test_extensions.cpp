@@ -1,0 +1,203 @@
+// Tests for the extension components: simulation-scored cutoff search,
+// multi-cutoff SITA-U, noisy-estimate LWL, and power-of-d choices.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/noisy_lwl.hpp"
+#include "core/policies/power_of_d.hpp"
+#include "core/policies/random.hpp"
+#include "core/server.hpp"
+#include "core/sim_cutoff_search.hpp"
+#include "queueing/cutoff_search.hpp"
+#include "queueing/policy_analysis.hpp"
+#include "util/contracts.hpp"
+#include "workload/catalog.hpp"
+
+namespace distserv::core {
+namespace {
+
+using workload::Trace;
+
+queueing::MixtureSizeModel c90_model() {
+  return queueing::MixtureSizeModel(
+      workload::service_distribution(workload::find_workload("c90")));
+}
+
+// ---------------------------------------------------------------------------
+// Simulation-scored cutoff search (the paper's "experimental" derivation).
+
+TEST(SimCutoffSearch, AgreesWithAnalyticDerivation) {
+  const auto sizes =
+      workload::make_sizes(workload::find_workload("c90"), 7, 30000);
+  const double rho = 0.7;
+  const auto sim_opt = find_cutoff_by_simulation(
+      sizes, rho, SimCutoffObjective::kMinMeanSlowdown, 24, 3);
+  const auto sim_fair = find_cutoff_by_simulation(
+      sizes, rho, SimCutoffObjective::kFairness, 24, 3);
+  ASSERT_TRUE(sim_opt.feasible);
+  ASSERT_TRUE(sim_fair.feasible);
+  const queueing::EmpiricalSizeModel model(sizes);
+  const double lambda = queueing::lambda_for_load(model, rho, 2);
+  const auto ana_opt = queueing::find_sita_u_opt(model, lambda);
+  const auto ana_fair = queueing::find_sita_u_fair(model, lambda);
+  // "Both methods yielded about the same result" (paper sec 4.1): load
+  // fractions within ~0.12 of each other.
+  EXPECT_NEAR(sim_opt.host1_load_fraction, ana_opt.host1_load_fraction, 0.12);
+  EXPECT_NEAR(sim_fair.host1_load_fraction, ana_fair.host1_load_fraction,
+              0.12);
+  // Both unbalance toward the short host.
+  EXPECT_LT(sim_opt.host1_load_fraction, 0.5);
+  EXPECT_LT(sim_fair.host1_load_fraction, 0.5);
+}
+
+TEST(SimCutoffSearch, ValidatesArguments) {
+  const std::vector<double> sizes = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)find_cutoff_by_simulation(
+                   sizes, 1.0, SimCutoffObjective::kFairness),
+               ContractViolation);
+  EXPECT_THROW((void)find_cutoff_by_simulation(
+                   {}, 0.5, SimCutoffObjective::kFairness),
+               ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-cutoff SITA-U.
+
+TEST(MultiCutoff, OptBeatsSitaEAndGroupingAtFourHosts) {
+  const auto model = c90_model();
+  const double lambda = queueing::lambda_for_load(model, 0.7, 4);
+  const auto opt = queueing::find_sita_u_opt_multi(model, lambda, 4);
+  ASSERT_TRUE(opt.feasible);
+  const auto sita_e = queueing::analyze_sita_e(model, lambda, 4);
+  EXPECT_LT(opt.metrics.mean_slowdown, sita_e.mean_slowdown * 0.5);
+  ASSERT_EQ(opt.cutoffs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(opt.cutoffs.begin(), opt.cutoffs.end()));
+}
+
+TEST(MultiCutoff, FairEqualizesAllHostSlowdowns) {
+  const auto model = c90_model();
+  for (std::size_t h : {2u, 4u, 8u}) {
+    const double lambda = queueing::lambda_for_load(model, 0.7, h);
+    const auto fair = queueing::find_sita_u_fair_multi(model, lambda, h);
+    ASSERT_TRUE(fair.feasible) << h;
+    const auto& hosts = fair.metrics.hosts;
+    for (std::size_t i = 1; i < hosts.size(); ++i) {
+      EXPECT_NEAR(hosts[i].mg1.mean_slowdown / hosts[0].mg1.mean_slowdown,
+                  1.0, 0.02)
+          << "h=" << h << " host " << i;
+    }
+  }
+}
+
+TEST(MultiCutoff, TwoHostCaseMatchesDedicatedSearch) {
+  const auto model = c90_model();
+  const double lambda = queueing::lambda_for_load(model, 0.6, 2);
+  const auto multi = queueing::find_sita_u_fair_multi(model, lambda, 2);
+  const auto direct = queueing::find_sita_u_fair(model, lambda, 400);
+  ASSERT_TRUE(multi.feasible && direct.feasible);
+  EXPECT_NEAR(multi.cutoffs[0] / direct.cutoff, 1.0, 0.05);
+  EXPECT_NEAR(multi.metrics.mean_slowdown / direct.metrics.mean_slowdown,
+              1.0, 0.05);
+}
+
+TEST(MultiCutoff, FairIsOnlyModeratelyWorseThanOpt) {
+  const auto model = c90_model();
+  const double lambda = queueing::lambda_for_load(model, 0.7, 4);
+  const auto opt = queueing::find_sita_u_opt_multi(model, lambda, 4);
+  const auto fair = queueing::find_sita_u_fair_multi(model, lambda, 4);
+  ASSERT_TRUE(opt.feasible && fair.feasible);
+  EXPECT_GE(fair.metrics.mean_slowdown,
+            opt.metrics.mean_slowdown * (1.0 - 1e-9));
+  EXPECT_LT(fair.metrics.mean_slowdown, opt.metrics.mean_slowdown * 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Noisy LWL.
+
+TEST(NoisyLwl, ZeroNoiseEqualsExactLwl) {
+  const Trace trace = workload::make_trace(
+      workload::find_workload("c90"), 0.7, 2, /*seed=*/9, 6000);
+  NoisyLeastWorkLeftPolicy noisy(0.0);
+  LeastWorkLeftPolicy exact;
+  const RunResult a = simulate(noisy, trace, 2, 1);
+  const RunResult b = simulate(exact, trace, 2, 1);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_EQ(a.records[i].host, b.records[i].host);
+  }
+}
+
+TEST(NoisyLwl, DegradesMonotonicallyInExpectation) {
+  const Trace trace = workload::make_trace(
+      workload::find_workload("c90"), 0.7, 2, /*seed=*/13, 30000);
+  double exact = 0.0, heavy_noise = 0.0;
+  {
+    NoisyLeastWorkLeftPolicy p(0.0);
+    exact = summarize(simulate(p, trace, 2, 3)).mean_slowdown;
+  }
+  {
+    NoisyLeastWorkLeftPolicy p(3.0);
+    heavy_noise = summarize(simulate(p, trace, 2, 3)).mean_slowdown;
+  }
+  EXPECT_GT(heavy_noise, exact);
+  // Even infinite noise cannot be worse than Random in expectation (it
+  // still sees idle hosts exactly); sanity-bound it.
+  RandomPolicy random;
+  const double rand_s = summarize(simulate(random, trace, 2, 3)).mean_slowdown;
+  EXPECT_LT(heavy_noise, rand_s * 1.5);
+}
+
+TEST(NoisyLwl, ValidatesSigma) {
+  EXPECT_THROW(NoisyLeastWorkLeftPolicy(-0.1), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Power of d choices.
+
+TEST(PowerOfD, OneChoiceIsRandomLike) {
+  const Trace trace = workload::make_trace(
+      workload::find_workload("ctc"), 0.7, 8, /*seed=*/17, 20000);
+  PowerOfDPolicy d1(1);
+  RandomPolicy random;
+  const double s1 = summarize(simulate(d1, trace, 8, 5)).mean_slowdown;
+  const double sr = summarize(simulate(random, trace, 8, 5)).mean_slowdown;
+  EXPECT_NEAR(s1 / sr, 1.0, 0.5);
+}
+
+TEST(PowerOfD, TwoChoicesBeatOne) {
+  const Trace trace = workload::make_trace(
+      workload::find_workload("ctc"), 0.8, 8, /*seed=*/19, 30000);
+  PowerOfDPolicy d1(1);
+  PowerOfDPolicy d2(2);
+  const double s1 = summarize(simulate(d1, trace, 8, 5)).mean_slowdown;
+  const double s2 = summarize(simulate(d2, trace, 8, 5)).mean_slowdown;
+  EXPECT_LT(s2, s1);
+}
+
+TEST(PowerOfD, FullProbingEqualsLwlBehaviorally) {
+  const Trace trace = workload::make_trace(
+      workload::find_workload("ctc"), 0.7, 4, /*seed=*/23, 20000);
+  PowerOfDPolicy all(4);
+  LeastWorkLeftPolicy lwl;
+  const double sa = summarize(simulate(all, trace, 4, 5)).mean_slowdown;
+  const double sl = summarize(simulate(lwl, trace, 4, 5)).mean_slowdown;
+  EXPECT_NEAR(sa / sl, 1.0, 0.25);
+}
+
+TEST(PowerOfD, QueueCriterionWorksToo) {
+  const Trace trace = workload::make_trace(
+      workload::find_workload("ctc"), 0.7, 4, /*seed=*/29, 10000);
+  PowerOfDPolicy p(2, PowerOfDPolicy::Criterion::kQueueLength);
+  const RunResult r = simulate(p, trace, 4, 5);
+  EXPECT_EQ(r.records.size(), 10000u);
+  EXPECT_GE(summarize(r).mean_slowdown, 1.0);
+}
+
+TEST(PowerOfD, ValidatesD) {
+  EXPECT_THROW(PowerOfDPolicy(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::core

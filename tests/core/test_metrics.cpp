@@ -1,0 +1,106 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+namespace {
+
+RunResult make_run() {
+  RunResult r;
+  r.hosts = 1;
+  // arrival, size, host, start, completion.
+  r.records = {
+      JobRecord{0, 0.0, 2.0, 0, 0.0, 2.0},    // slowdown 1, resp 2, wait 0
+      JobRecord{1, 1.0, 1.0, 0, 2.0, 3.0},    // slowdown 2, resp 2, wait 1
+      JobRecord{2, 2.0, 0.5, 0, 3.0, 3.5},    // slowdown 3, resp 1.5, wait 1
+      JobRecord{3, 3.0, 10.0, 0, 3.5, 13.5},  // slowdown 1.05, resp 10.5
+  };
+  r.makespan = 13.5;
+  r.host_stats = {HostStats{4, 13.5, 13.5, 1.0}};
+  return r;
+}
+
+TEST(Summarize, HandComputedValues) {
+  const MetricsSummary m = summarize(make_run());
+  EXPECT_EQ(m.jobs, 4u);
+  EXPECT_NEAR(m.mean_slowdown, (1.0 + 2.0 + 3.0 + 1.05) / 4.0, 1e-12);
+  EXPECT_NEAR(m.mean_response, (2.0 + 2.0 + 1.5 + 10.5) / 4.0, 1e-12);
+  EXPECT_NEAR(m.mean_waiting, (0.0 + 1.0 + 1.0 + 0.5) / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.max_slowdown, 3.0);
+  EXPECT_DOUBLE_EQ(m.p50_slowdown, 1.05);
+  EXPECT_DOUBLE_EQ(m.p99_slowdown, 3.0);
+  EXPECT_GT(m.var_slowdown, 0.0);
+}
+
+TEST(Summarize, RejectsEmptyRun) {
+  RunResult empty;
+  EXPECT_THROW((void)summarize(empty), ContractViolation);
+}
+
+TEST(Fairness, SplitsAtCutoff) {
+  const FairnessReport f = fairness_at_cutoff(make_run(), 1.0);
+  // Short: sizes {1.0, 0.5} slowdowns {2,3}; long: {2.0,10.0} -> {1,1.05}.
+  EXPECT_EQ(f.short_jobs, 2u);
+  EXPECT_EQ(f.long_jobs, 2u);
+  EXPECT_DOUBLE_EQ(f.mean_slowdown_short, 2.5);
+  EXPECT_DOUBLE_EQ(f.mean_slowdown_long, 1.025);
+  EXPECT_GT(f.gap, 0.0);
+}
+
+TEST(Fairness, AllJobsOnOneSide) {
+  const FairnessReport f = fairness_at_cutoff(make_run(), 100.0);
+  EXPECT_EQ(f.short_jobs, 4u);
+  EXPECT_EQ(f.long_jobs, 0u);
+  EXPECT_DOUBLE_EQ(f.mean_slowdown_long, 0.0);
+}
+
+TEST(SlowdownBySizeClass, BucketsCoverAllJobs) {
+  const auto classes = slowdown_by_size_class(make_run(), 3);
+  ASSERT_EQ(classes.size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& c : classes) {
+    total += c.jobs;
+    EXPECT_LT(c.size_lo, c.size_hi);
+  }
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(SlowdownBySizeClass, SingleClassIsOverallMean) {
+  const auto classes = slowdown_by_size_class(make_run(), 1);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_NEAR(classes[0].mean_slowdown, (1.0 + 2.0 + 3.0 + 1.05) / 4.0,
+              1e-12);
+}
+
+TEST(AverageSummaries, FieldwiseMeanAndMaxOfMax) {
+  MetricsSummary a, b;
+  a.jobs = 10;
+  a.mean_slowdown = 2.0;
+  a.max_slowdown = 5.0;
+  a.var_slowdown = 1.0;
+  b.jobs = 10;
+  b.mean_slowdown = 4.0;
+  b.max_slowdown = 3.0;
+  b.var_slowdown = 3.0;
+  const MetricsSummary avg = average_summaries({a, b});
+  EXPECT_EQ(avg.jobs, 20u);
+  EXPECT_DOUBLE_EQ(avg.mean_slowdown, 3.0);
+  EXPECT_DOUBLE_EQ(avg.var_slowdown, 2.0);
+  EXPECT_DOUBLE_EQ(avg.max_slowdown, 5.0);
+}
+
+TEST(AverageSummaries, RejectsEmpty) {
+  EXPECT_THROW((void)average_summaries({}), ContractViolation);
+}
+
+TEST(JobRecord, DerivedQuantities) {
+  const JobRecord r{7, 10.0, 4.0, 1, 12.0, 16.0};
+  EXPECT_DOUBLE_EQ(r.response(), 6.0);
+  EXPECT_DOUBLE_EQ(r.waiting(), 2.0);
+  EXPECT_DOUBLE_EQ(r.slowdown(), 1.5);
+}
+
+}  // namespace
+}  // namespace distserv::core

@@ -1,0 +1,217 @@
+// Routing behavior of each task assignment policy, checked against a stub
+// ServerView with scripted state.
+#include <gtest/gtest.h>
+
+#include "core/policies/central_queue.hpp"
+#include "core/policies/hybrid_sita_lwl.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/random.hpp"
+#include "core/policies/round_robin.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/policies/sita.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+namespace {
+
+using workload::Job;
+
+/// Scriptable view for policy unit tests.
+class StubView final : public ServerView {
+ public:
+  explicit StubView(std::size_t hosts) : lens_(hosts, 0), work_(hosts, 0.0) {}
+
+  std::size_t host_count() const override { return lens_.size(); }
+  std::size_t queue_length(HostId h) const override { return lens_[h]; }
+  double work_left(HostId h) const override { return work_[h]; }
+  bool host_idle(HostId h) const override {
+    return lens_[h] == 0 && work_[h] == 0.0;
+  }
+  double now() const override { return 0.0; }
+
+  std::vector<std::size_t> lens_;
+  std::vector<double> work_;
+};
+
+Job job(double size) { return Job{0, 0.0, size}; }
+
+TEST(RandomPolicy, CoversAllHostsUniformly) {
+  RandomPolicy p;
+  p.reset(4, 42);
+  StubView view(4);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[*p.assign(job(1.0), view)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RandomPolicy, SeedReproducible) {
+  RandomPolicy a, b;
+  a.reset(3, 7);
+  b.reset(3, 7);
+  StubView view(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*a.assign(job(1.0), view), *b.assign(job(1.0), view));
+  }
+}
+
+TEST(RoundRobinPolicy, CyclesInOrder) {
+  RoundRobinPolicy p;
+  p.reset(3, 0);
+  StubView view(3);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(*p.assign(job(1.0), view), static_cast<HostId>(i % 3));
+  }
+  p.reset(3, 0);
+  EXPECT_EQ(*p.assign(job(1.0), view), 0u);  // reset restarts the cycle
+}
+
+TEST(ShortestQueuePolicy, PicksFewestJobsWithLowestIndexTie) {
+  ShortestQueuePolicy p;
+  StubView view(3);
+  view.lens_ = {2, 1, 1};
+  EXPECT_EQ(*p.assign(job(1.0), view), 1u);  // tie 1 vs 2 -> lowest index
+  view.lens_ = {0, 0, 0};
+  EXPECT_EQ(*p.assign(job(1.0), view), 0u);
+}
+
+TEST(LeastWorkLeftPolicy, PicksLeastRemainingWork) {
+  LeastWorkLeftPolicy p;
+  StubView view(3);
+  view.work_ = {10.0, 2.0, 5.0};
+  EXPECT_EQ(*p.assign(job(1.0), view), 1u);
+  view.work_ = {4.0, 4.0, 4.0};
+  EXPECT_EQ(*p.assign(job(1.0), view), 0u);  // deterministic tie break
+}
+
+TEST(LeastWorkLeftPolicy, IgnoresQueueLengths) {
+  LeastWorkLeftPolicy p;
+  StubView view(2);
+  view.lens_ = {5, 0};
+  view.work_ = {1.0, 100.0};  // many tiny jobs vs one huge job
+  EXPECT_EQ(*p.assign(job(1.0), view), 0u);
+}
+
+TEST(CentralQueuePolicy, NeverAssignsOnArrival) {
+  CentralQueuePolicy p;
+  StubView view(2);
+  EXPECT_FALSE(p.assign(job(1.0), view).has_value());
+}
+
+TEST(CentralQueuePolicy, PullsFcfs) {
+  CentralQueuePolicy p;
+  StubView view(2);
+  std::deque<Job> held = {Job{3, 1.0, 5.0}, Job{4, 2.0, 1.0}};
+  EXPECT_EQ(p.select_next(held, 0, view), 0u);
+}
+
+TEST(SitaPolicy, RoutesBySizeInterval) {
+  SitaPolicy p({10.0, 100.0}, "SITA-test");
+  p.reset(3, 1);
+  StubView view(3);
+  EXPECT_EQ(*p.assign(job(5.0), view), 0u);
+  EXPECT_EQ(*p.assign(job(10.0), view), 0u);   // boundary: <= cutoff
+  EXPECT_EQ(*p.assign(job(10.5), view), 1u);
+  EXPECT_EQ(*p.assign(job(100.0), view), 1u);
+  EXPECT_EQ(*p.assign(job(1e6), view), 2u);
+}
+
+TEST(SitaPolicy, IntervalOfIsPure) {
+  const SitaPolicy p({10.0}, "SITA-test");
+  EXPECT_EQ(p.interval_of(1.0), 0u);
+  EXPECT_EQ(p.interval_of(10.0), 0u);
+  EXPECT_EQ(p.interval_of(11.0), 1u);
+}
+
+TEST(SitaPolicy, HostCountMustMatchCutoffs) {
+  SitaPolicy p({10.0}, "SITA-test");
+  EXPECT_THROW(p.reset(3, 1), ContractViolation);
+  EXPECT_NO_THROW(p.reset(2, 1));
+}
+
+TEST(SitaPolicy, ValidatesCutoffs) {
+  EXPECT_THROW(SitaPolicy({}, "bad"), ContractViolation);
+  EXPECT_THROW(SitaPolicy({5.0, 5.0}, "bad"), ContractViolation);
+  EXPECT_THROW(SitaPolicy({-1.0}, "bad"), ContractViolation);
+  EXPECT_THROW(SitaPolicy({1.0}, "bad", 1.5), ContractViolation);
+  EXPECT_THROW(SitaPolicy({1.0}, "bad", -0.1), ContractViolation);
+}
+
+TEST(SitaPolicy, ClassificationErrorMisroutesAtTheConfiguredRate) {
+  SitaPolicy p({10.0}, "SITA-err", /*classification_error=*/0.2);
+  p.reset(2, 99);
+  StubView view(2);
+  int wrong = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (*p.assign(job(5.0), view) != 0u) ++wrong;
+  }
+  EXPECT_NEAR(wrong / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(SitaPolicy, BorderlineErrorsOnlyFlipNearTheCutoff) {
+  SitaPolicy p({100.0}, "SITA-borderline", /*classification_error=*/0.5,
+               SitaPolicy::ErrorModel::kBorderline);
+  p.reset(2, 7);
+  StubView view(2);
+  int tiny_flips = 0, near_flips = 0, huge_flips = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (*p.assign(job(2.0), view) != 0u) ++tiny_flips;       // 50x below
+    if (*p.assign(job(80.0), view) != 0u) ++near_flips;      // within 4x
+    if (*p.assign(job(5000.0), view) != 1u) ++huge_flips;    // 50x above
+  }
+  EXPECT_EQ(tiny_flips, 0);
+  EXPECT_EQ(huge_flips, 0);
+  EXPECT_NEAR(near_flips / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(SitaPolicy, BorderlineErrorsFlipBothDirections) {
+  SitaPolicy p({100.0}, "SITA-borderline", 1.0,
+               SitaPolicy::ErrorModel::kBorderline);
+  p.reset(2, 9);
+  StubView view(2);
+  // Just above the cutoff and within the band: always flips down.
+  EXPECT_EQ(*p.assign(job(150.0), view), 0u);
+  // Just below: always flips up.
+  EXPECT_EQ(*p.assign(job(90.0), view), 1u);
+}
+
+TEST(HybridPolicy, ShortJobsUseShortGroupLwl) {
+  HybridSitaLwlPolicy p(/*cutoff=*/10.0, /*short_hosts=*/2, "hybrid");
+  p.reset(5, 1);
+  StubView view(5);
+  view.work_ = {9.0, 3.0, 0.0, 1.0, 2.0};
+  // Short job: LWL within hosts {0,1} -> host 1.
+  EXPECT_EQ(*p.assign(job(5.0), view), 1u);
+  // Long job: LWL within hosts {2,3,4} -> host 2.
+  EXPECT_EQ(*p.assign(job(50.0), view), 2u);
+}
+
+TEST(HybridPolicy, GroupSizeRuleIsEqualSplit) {
+  // Paper §5 construction: equal groups, so each group's per-host load
+  // matches the 2-host design the cutoff was derived for.
+  EXPECT_EQ(hybrid_short_group_size(10), 5u);
+  EXPECT_EQ(hybrid_short_group_size(9), 4u);
+  EXPECT_EQ(hybrid_short_group_size(3), 1u);
+  EXPECT_EQ(hybrid_short_group_size(2), 1u);
+  EXPECT_THROW((void)hybrid_short_group_size(1), ContractViolation);
+}
+
+TEST(HybridPolicy, ValidatesGroupAgainstHostCount) {
+  HybridSitaLwlPolicy p(10.0, 4, "hybrid");
+  EXPECT_THROW(p.reset(4, 1), ContractViolation);  // needs >= 5 hosts
+  EXPECT_NO_THROW(p.reset(5, 1));
+}
+
+TEST(AllPolicies, NamesAreStable) {
+  EXPECT_EQ(RandomPolicy().name(), "Random");
+  EXPECT_EQ(RoundRobinPolicy().name(), "Round-Robin");
+  EXPECT_EQ(ShortestQueuePolicy().name(), "Shortest-Queue");
+  EXPECT_EQ(LeastWorkLeftPolicy().name(), "Least-Work-Left");
+  EXPECT_EQ(CentralQueuePolicy().name(), "Central-Queue");
+  EXPECT_EQ(SitaPolicy({1.0}, "SITA-E").name(), "SITA-E");
+  EXPECT_EQ(HybridSitaLwlPolicy(1.0, 1, "SITA-E+LWL").name(), "SITA-E+LWL");
+}
+
+}  // namespace
+}  // namespace distserv::core

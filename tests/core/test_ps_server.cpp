@@ -1,0 +1,171 @@
+// Processor-sharing host tests, anchored by the M/G/1-PS insensitivity
+// theorem: E[S | X = x] = 1/(1 - rho) for every size x.
+#include "core/ps_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/policies/central_queue.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/random.hpp"
+#include "dist/hyperexp.hpp"
+#include "util/contracts.hpp"
+#include "workload/catalog.hpp"
+#include "workload/synthetic.hpp"
+
+namespace distserv::core {
+namespace {
+
+using workload::Job;
+using workload::Trace;
+
+class ToZero final : public Policy {
+ public:
+  std::optional<HostId> assign(const Job&, const ServerView&) override {
+    return 0;
+  }
+  std::string name() const override { return "ToZero"; }
+};
+
+TEST(PsServer, SingleJobRunsAtFullSpeed) {
+  ToZero policy;
+  PsServer server(1, policy);
+  const RunResult r = server.run(Trace({Job{0, 1.0, 5.0}}));
+  EXPECT_DOUBLE_EQ(r.records[0].completion, 6.0);
+  EXPECT_DOUBLE_EQ(r.records[0].slowdown(), 1.0);
+}
+
+TEST(PsServer, TwoEqualJobsShareTheProcessor) {
+  ToZero policy;
+  PsServer server(1, policy);
+  // Both arrive at 0 with size 2: each progresses at rate 1/2, both finish
+  // at t = 4.
+  const RunResult r = server.run(Trace({Job{0, 0.0, 2.0}, Job{1, 0.0, 2.0}}));
+  EXPECT_NEAR(r.records[0].completion, 4.0, 1e-9);
+  EXPECT_NEAR(r.records[1].completion, 4.0, 1e-9);
+}
+
+TEST(PsServer, HandTracedShareSchedule) {
+  ToZero policy;
+  PsServer server(1, policy);
+  // Job A (size 3) at t=0; job B (size 1) at t=1.
+  // t in [0,1): A alone, A remaining 2 at t=1.
+  // t >= 1: two jobs at rate 1/2. B needs 1 -> done at t=3; A has 1 left,
+  // alone again -> done at t=4.
+  const RunResult r = server.run(Trace({Job{0, 0.0, 3.0}, Job{1, 1.0, 1.0}}));
+  EXPECT_NEAR(r.records[1].completion, 3.0, 1e-9);
+  EXPECT_NEAR(r.records[0].completion, 4.0, 1e-9);
+  // PS slowdowns: B: (3-1)/1 = 2; A: 4/3.
+  EXPECT_NEAR(r.records[1].slowdown(), 2.0, 1e-9);
+  EXPECT_NEAR(r.records[0].slowdown(), 4.0 / 3.0, 1e-9);
+}
+
+TEST(PsServer, TinyJobOvertakesHugeJob) {
+  ToZero policy;
+  PsServer server(1, policy);
+  const RunResult r =
+      server.run(Trace({Job{0, 0.0, 1000.0}, Job{1, 1.0, 1.0}}));
+  // Under FCFS the tiny job would wait 999s; under PS it finishes at ~3.
+  EXPECT_NEAR(r.records[1].completion, 3.0, 1e-9);
+}
+
+TEST(PsServer, ConservationOnRealisticTrace) {
+  LeastWorkLeftPolicy policy;
+  PsServer server(2, policy);
+  const Trace trace = workload::make_trace(
+      workload::find_workload("ctc"), 0.7, 2, /*seed=*/31, 6000);
+  const RunResult r = server.run(trace);
+  ASSERT_EQ(r.records.size(), 6000u);
+  std::uint64_t done = 0;
+  for (const auto& hs : r.host_stats) done += hs.jobs_completed;
+  EXPECT_EQ(done, 6000u);
+  for (const JobRecord& rec : r.records) {
+    EXPECT_GT(rec.completion, 0.0);
+    EXPECT_GE(rec.response(), rec.size * (1.0 - 1e-6));  // sharing dilates
+    EXPECT_DOUBLE_EQ(rec.waiting(), 0.0);  // service starts immediately
+  }
+}
+
+TEST(PsServer, MG1PsInsensitivity) {
+  // The classical result: mean slowdown 1/(1-rho) at EVERY job size, for
+  // any service distribution. Run a high-variance workload on one PS host
+  // and check the per-size-class slowdown profile is flat at 1/(1-rho).
+  const double rho = 0.6;
+  const auto service = dist::Hyperexponential::fit_mean_scv(10.0, 20.0);
+  dist::Rng rng(11);
+  const Trace trace =
+      workload::generate_trace_poisson(service, 200000, rho, 1, rng);
+  ToZero policy;
+  PsServer server(1, policy);
+  const RunResult r = server.run(trace);
+  const double expected = 1.0 / (1.0 - rho);
+  const MetricsSummary m = summarize(r);
+  EXPECT_NEAR(m.mean_slowdown, expected, expected * 0.05);
+  // Flat profile: every size class within 15% of 1/(1-rho).
+  const auto classes = slowdown_by_size_class(r, 6);
+  for (const auto& c : classes) {
+    if (c.jobs < 200) continue;  // skip statistically empty buckets
+    EXPECT_NEAR(c.mean_slowdown, expected, expected * 0.15)
+        << "class " << c.size_lo << ".." << c.size_hi;
+  }
+}
+
+TEST(PsServer, PsIsFairWhereFcfsIsNot) {
+  // Same heavy-tailed trace through FCFS-LWL and PS-LWL on 2 hosts: the
+  // FCFS profile is wildly size-dependent, the PS one nearly flat.
+  const Trace trace = workload::make_trace(
+      workload::find_workload("c90"), 0.7, 2, /*seed=*/41, 30000);
+  LeastWorkLeftPolicy lwl;
+  PsServer ps(2, lwl);
+  const RunResult ps_run = ps.run(trace);
+  const auto ps_classes = slowdown_by_size_class(ps_run, 5);
+  double ps_min = 1e300, ps_max = 0.0;
+  for (const auto& c : ps_classes) {
+    if (c.jobs < 100) continue;
+    ps_min = std::min(ps_min, c.mean_slowdown);
+    ps_max = std::max(ps_max, c.mean_slowdown);
+  }
+  LeastWorkLeftPolicy lwl2;
+  const RunResult fcfs_run = simulate(lwl2, trace, 2);
+  const auto fcfs_classes = slowdown_by_size_class(fcfs_run, 5);
+  double fcfs_min = 1e300, fcfs_max = 0.0;
+  for (const auto& c : fcfs_classes) {
+    if (c.jobs < 100) continue;
+    fcfs_min = std::min(fcfs_min, c.mean_slowdown);
+    fcfs_max = std::max(fcfs_max, c.mean_slowdown);
+  }
+  EXPECT_LT(ps_max / ps_min, 20.0);
+  EXPECT_GT(fcfs_max / fcfs_min, 100.0);
+}
+
+TEST(PsServer, RejectsCentralQueuePolicies) {
+  CentralQueuePolicy cq;
+  PsServer server(2, cq);
+  EXPECT_THROW((void)server.run(Trace({Job{0, 0.0, 1.0}})),
+               ContractViolation);
+}
+
+TEST(PsServer, ViewReportsSharedState) {
+  // Drive the view through a policy that inspects it mid-run.
+  class Inspect final : public Policy {
+   public:
+    std::optional<HostId> assign(const Job& job,
+                                 const ServerView& view) override {
+      if (job.id == 1) {
+        // Job 0 (size 10) arrived at t=0; we are at t=2: 8 left.
+        EXPECT_NEAR(view.work_left(0), 8.0, 1e-9);
+        EXPECT_EQ(view.queue_length(0), 1u);
+        EXPECT_FALSE(view.host_idle(0));
+        EXPECT_TRUE(view.host_idle(1));
+      }
+      return 0;
+    }
+    std::string name() const override { return "Inspect"; }
+  };
+  Inspect policy;
+  PsServer server(2, policy);
+  (void)server.run(Trace({Job{0, 0.0, 10.0}, Job{1, 2.0, 1.0}}));
+}
+
+}  // namespace
+}  // namespace distserv::core

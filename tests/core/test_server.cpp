@@ -1,0 +1,164 @@
+// Mechanics of the distributed-server simulator: FCFS order, run-to-
+// completion, conservation, exact hand-traced schedules.
+#include "core/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policies/central_queue.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/round_robin.hpp"
+#include "util/contracts.hpp"
+#include "workload/catalog.hpp"
+
+namespace distserv::core {
+namespace {
+
+using workload::Job;
+using workload::Trace;
+
+/// Routes every job to host 0 — isolates single-host FCFS mechanics.
+class ToHostZero final : public Policy {
+ public:
+  std::optional<HostId> assign(const Job&, const ServerView&) override {
+    return 0;
+  }
+  std::string name() const override { return "ToHostZero"; }
+};
+
+TEST(Server, SingleHostFcfsHandTrace) {
+  // Arrivals at 0, 1, 2 with sizes 5, 3, 1: strict FCFS on one host.
+  ToHostZero policy;
+  const Trace trace({Job{0, 0.0, 5.0}, Job{1, 1.0, 3.0}, Job{2, 2.0, 1.0}});
+  const RunResult r = simulate(policy, trace, 1);
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.records[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(r.records[0].completion, 5.0);
+  EXPECT_DOUBLE_EQ(r.records[1].start, 5.0);
+  EXPECT_DOUBLE_EQ(r.records[1].completion, 8.0);
+  EXPECT_DOUBLE_EQ(r.records[2].start, 8.0);
+  EXPECT_DOUBLE_EQ(r.records[2].completion, 9.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 9.0);
+  // Slowdowns: (5-0)/5, (8-1)/3, (9-2)/1.
+  EXPECT_DOUBLE_EQ(r.records[0].slowdown(), 1.0);
+  EXPECT_DOUBLE_EQ(r.records[1].slowdown(), 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.records[2].slowdown(), 7.0);
+}
+
+TEST(Server, IdlePeriodThenResume) {
+  ToHostZero policy;
+  const Trace trace({Job{0, 0.0, 2.0}, Job{1, 10.0, 1.0}});
+  const RunResult r = simulate(policy, trace, 1);
+  EXPECT_DOUBLE_EQ(r.records[1].start, 10.0);
+  EXPECT_DOUBLE_EQ(r.records[1].waiting(), 0.0);
+  EXPECT_DOUBLE_EQ(r.host_stats[0].busy_time, 3.0);
+  EXPECT_NEAR(r.host_stats[0].utilization, 3.0 / 11.0, 1e-12);
+}
+
+TEST(Server, RoundRobinHandTrace) {
+  RoundRobinPolicy policy;
+  const Trace trace({Job{0, 0.0, 4.0}, Job{1, 0.5, 4.0}, Job{2, 1.0, 1.0}});
+  const RunResult r = simulate(policy, trace, 2);
+  EXPECT_EQ(r.records[0].host, 0u);
+  EXPECT_EQ(r.records[1].host, 1u);
+  EXPECT_EQ(r.records[2].host, 0u);  // waits behind job 0
+  EXPECT_DOUBLE_EQ(r.records[2].start, 4.0);
+  EXPECT_DOUBLE_EQ(r.records[2].completion, 5.0);
+}
+
+TEST(Server, CentralQueueStartsImmediatelyOnIdleHost) {
+  CentralQueuePolicy policy;
+  const Trace trace({Job{0, 0.0, 10.0}, Job{1, 1.0, 10.0},
+                     Job{2, 2.0, 1.0}});
+  const RunResult r = simulate(policy, trace, 2);
+  // Jobs 0 and 1 grab the two hosts; job 2 waits for the first completion.
+  EXPECT_DOUBLE_EQ(r.records[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(r.records[1].start, 1.0);
+  EXPECT_DOUBLE_EQ(r.records[2].start, 10.0);
+}
+
+TEST(Server, ConservationEveryJobCompletesExactlyOnce) {
+  LeastWorkLeftPolicy policy;
+  const workload::WorkloadSpec& spec = workload::find_workload("ctc");
+  const Trace trace = workload::make_trace(spec, 0.8, 3, /*seed=*/7, 5000);
+  const RunResult r = simulate(policy, trace, 3);
+  ASSERT_EQ(r.records.size(), 5000u);
+  std::uint64_t total_completed = 0;
+  double total_work = 0.0;
+  for (const auto& hs : r.host_stats) {
+    total_completed += hs.jobs_completed;
+    total_work += hs.work_done;
+  }
+  EXPECT_EQ(total_completed, 5000u);
+  EXPECT_NEAR(total_work, trace.total_work(), trace.total_work() * 1e-9);
+  for (const JobRecord& rec : r.records) {
+    EXPECT_GT(rec.completion, 0.0);
+    EXPECT_GE(rec.start, rec.arrival);
+    EXPECT_DOUBLE_EQ(rec.completion, rec.start + rec.size);
+    // slowdown == 1 up to FP rounding when the job starts on arrival
+    // ((arrival + size) - arrival need not equal size exactly).
+    EXPECT_GE(rec.slowdown(), 1.0 - 1e-9);
+  }
+}
+
+TEST(Server, PerHostFcfsOrderIsPreserved) {
+  RoundRobinPolicy policy;
+  const workload::WorkloadSpec& spec = workload::find_workload("ctc");
+  const Trace trace = workload::make_trace(spec, 0.9, 2, /*seed=*/11, 4000);
+  const RunResult r = simulate(policy, trace, 2);
+  // Within each host, start times must follow arrival (= dispatch) order.
+  std::vector<double> last_start(2, -1.0);
+  for (const JobRecord& rec : r.records) {  // records are in arrival order
+    EXPECT_GE(rec.start, last_start[rec.host]);
+    last_start[rec.host] = rec.start;
+  }
+}
+
+TEST(Server, RunToCompletionNoPreemption) {
+  // A tiny job arriving just after a huge one starts must wait for it.
+  ToHostZero policy;
+  const Trace trace({Job{0, 0.0, 100.0}, Job{1, 0.1, 0.5}});
+  const RunResult r = simulate(policy, trace, 1);
+  EXPECT_DOUBLE_EQ(r.records[1].start, 100.0);
+}
+
+TEST(Server, RepeatedRunsAreIndependentAndIdentical) {
+  LeastWorkLeftPolicy policy;
+  const workload::WorkloadSpec& spec = workload::find_workload("ctc");
+  const Trace trace = workload::make_trace(spec, 0.7, 2, /*seed=*/13, 2000);
+  DistributedServer server(2, policy);
+  const RunResult a = server.run(trace, 1);
+  const RunResult b = server.run(trace, 1);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].completion, b.records[i].completion);
+    EXPECT_EQ(a.records[i].host, b.records[i].host);
+  }
+}
+
+TEST(Server, UtilizationMatchesOfferedLoadRoughly) {
+  LeastWorkLeftPolicy policy;
+  const workload::WorkloadSpec& spec = workload::find_workload("ctc");
+  const Trace trace = workload::make_trace(spec, 0.5, 2, /*seed=*/17, 20000);
+  const RunResult r = simulate(policy, trace, 2);
+  const double mean_util =
+      (r.host_stats[0].utilization + r.host_stats[1].utilization) / 2.0;
+  EXPECT_NEAR(mean_util, 0.5, 0.08);
+}
+
+TEST(Server, RejectsEmptyTraceAndZeroHosts) {
+  LeastWorkLeftPolicy policy;
+  EXPECT_THROW(DistributedServer(0, policy), ContractViolation);
+  DistributedServer server(2, policy);
+  EXPECT_THROW((void)server.run(Trace{}), ContractViolation);
+}
+
+TEST(Server, EventCountIsTwoPerJob) {
+  // One arrival event + one completion event per job (arrivals are lazy).
+  ToHostZero policy;
+  const Trace trace({Job{0, 0.0, 1.0}, Job{1, 0.5, 1.0}, Job{2, 3.0, 1.0}});
+  const RunResult r = simulate(policy, trace, 1);
+  EXPECT_EQ(r.events_executed, 6u);
+}
+
+}  // namespace
+}  // namespace distserv::core

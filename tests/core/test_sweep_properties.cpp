@@ -1,0 +1,155 @@
+// Parameterized invariant sweeps: every policy, across workloads, host
+// counts and loads, must satisfy the distributed-server model's invariants.
+// These are the broad-coverage guards that keep new policies honest.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/cutoffs.hpp"
+#include "core/metrics.hpp"
+#include "core/policies/central_queue.hpp"
+#include "core/policies/hybrid_sita_lwl.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/noisy_lwl.hpp"
+#include "core/policies/power_of_d.hpp"
+#include "core/policies/random.hpp"
+#include "core/policies/round_robin.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/policies/sita.hpp"
+#include "core/server.hpp"
+#include "workload/catalog.hpp"
+
+namespace distserv::core {
+namespace {
+
+using workload::Trace;
+
+enum class Kind {
+  kRandom,
+  kRoundRobin,
+  kShortestQueue,
+  kLwl,
+  kCentralQueue,
+  kNoisyLwl,
+  kPowerOfTwo,
+  kSitaE,
+  kHybridFair,
+};
+
+struct SweepCase {
+  Kind kind;
+  const char* label;
+  const char* workload;
+  std::size_t hosts;
+  double rho;
+};
+
+PolicyPtr build(const SweepCase& c, const CutoffDeriver& deriver) {
+  switch (c.kind) {
+    case Kind::kRandom: return std::make_unique<RandomPolicy>();
+    case Kind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
+    case Kind::kShortestQueue:
+      return std::make_unique<ShortestQueuePolicy>();
+    case Kind::kLwl: return std::make_unique<LeastWorkLeftPolicy>();
+    case Kind::kCentralQueue: return std::make_unique<CentralQueuePolicy>();
+    case Kind::kNoisyLwl:
+      return std::make_unique<NoisyLeastWorkLeftPolicy>(1.0);
+    case Kind::kPowerOfTwo: return std::make_unique<PowerOfDPolicy>(2);
+    case Kind::kSitaE:
+      return std::make_unique<SitaPolicy>(deriver.sita_e(c.hosts), "SITA-E");
+    case Kind::kHybridFair: {
+      const auto fair = deriver.sita_u_fair(c.rho, 150);
+      return std::make_unique<HybridSitaLwlPolicy>(
+          fair.cutoff, hybrid_short_group_size(c.hosts), "SITA-U-fair+LWL");
+    }
+  }
+  return nullptr;
+}
+
+class PolicyInvariantSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PolicyInvariantSweep, ModelInvariantsHold) {
+  const SweepCase& c = GetParam();
+  const Trace trace = workload::make_trace(
+      workload::find_workload(c.workload), c.rho, c.hosts, /*seed=*/101,
+      6000);
+  const CutoffDeriver deriver(trace.sizes());
+  const PolicyPtr policy = build(c, deriver);
+  ASSERT_NE(policy, nullptr);
+  const RunResult r = simulate(*policy, trace, c.hosts, /*seed=*/7);
+
+  // 1. Conservation: exactly one record per job, everything completed.
+  ASSERT_EQ(r.records.size(), trace.size());
+  std::uint64_t completed = 0;
+  double work_done = 0.0;
+  for (const HostStats& hs : r.host_stats) {
+    completed += hs.jobs_completed;
+    work_done += hs.work_done;
+    EXPECT_GE(hs.utilization, 0.0);
+    EXPECT_LE(hs.utilization, 1.0 + 1e-9);
+  }
+  EXPECT_EQ(completed, trace.size());
+  EXPECT_NEAR(work_done, trace.total_work(), trace.total_work() * 1e-9);
+
+  // 2. Causality and run-to-completion per record.
+  for (const JobRecord& rec : r.records) {
+    ASSERT_GE(rec.start, rec.arrival - 1e-9 * rec.completion);
+    ASSERT_NEAR(rec.completion - rec.start, rec.size,
+                1e-6 * std::max(1.0, rec.completion));
+    ASSERT_LT(rec.host, c.hosts);
+  }
+
+  // 3. Per-host FCFS: among jobs dispatched to the same host, service
+  //    starts follow dispatch order (records are in arrival order).
+  std::vector<double> last_start(c.hosts, -1.0);
+  for (const JobRecord& rec : r.records) {
+    ASSERT_GE(rec.start, last_start[rec.host] - 1e-9) << rec.id;
+    last_start[rec.host] = rec.start;
+  }
+
+  // 4. No host serves two jobs at once: per-host busy intervals are
+  //    disjoint (starts are ordered, so each start must be >= the previous
+  //    completion on that host).
+  std::vector<double> last_completion(c.hosts, 0.0);
+  for (const JobRecord& rec : r.records) {
+    ASSERT_GE(rec.start, last_completion[rec.host] -
+                             1e-6 * std::max(1.0, rec.completion));
+    last_completion[rec.host] = rec.completion;
+  }
+
+  // 5. Sanity of the summary.
+  const MetricsSummary m = summarize(r);
+  EXPECT_GE(m.mean_slowdown, 1.0 - 1e-9);
+  EXPECT_GE(m.p99_slowdown, m.p50_slowdown);
+  EXPECT_GE(m.max_slowdown, m.p99_slowdown);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const Kind kinds[] = {Kind::kRandom,       Kind::kRoundRobin,
+                        Kind::kShortestQueue, Kind::kLwl,
+                        Kind::kCentralQueue, Kind::kNoisyLwl,
+                        Kind::kPowerOfTwo,   Kind::kSitaE,
+                        Kind::kHybridFair};
+  const char* labels[] = {"random", "rr", "sq", "lwl", "cq",
+                          "noisylwl", "pow2", "sitae", "hybridfair"};
+  int i = 0;
+  for (Kind k : kinds) {
+    cases.push_back({k, labels[i], "c90", 2, 0.7});
+    cases.push_back({k, labels[i], "ctc", 4, 0.9});
+    ++i;
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAllConfigs, PolicyInvariantSweep,
+    ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return std::string(param_info.param.label) + "_" + param_info.param.workload +
+             "_h" + std::to_string(param_info.param.hosts) + "_rho" +
+             std::to_string(static_cast<int>(param_info.param.rho * 100));
+    });
+
+}  // namespace
+}  // namespace distserv::core

@@ -1,0 +1,144 @@
+#include "core/tags.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "queueing/cutoff_search.hpp"
+#include "queueing/policy_analysis.hpp"
+#include "util/contracts.hpp"
+#include "workload/catalog.hpp"
+#include "workload/synthetic.hpp"
+
+namespace distserv::core {
+namespace {
+
+using workload::Job;
+using workload::Trace;
+
+TEST(TagsServer, ValidatesCutoffs) {
+  EXPECT_THROW(TagsServer({}), ContractViolation);
+  EXPECT_THROW(TagsServer({5.0, 5.0}), ContractViolation);
+  EXPECT_THROW(TagsServer({0.0}), ContractViolation);
+}
+
+TEST(TagsServer, ShortJobCompletesOnHostZero) {
+  TagsServer server({10.0});
+  const Trace trace({Job{0, 0.0, 4.0}});
+  const RunResult r = server.run(trace);
+  EXPECT_EQ(r.records[0].host, 0u);
+  EXPECT_DOUBLE_EQ(r.records[0].completion, 4.0);
+  EXPECT_EQ(r.host_stats[0].jobs_completed, 1u);
+  EXPECT_EQ(r.host_stats[1].jobs_completed, 0u);
+}
+
+TEST(TagsServer, LongJobIsKilledAndRestartsFromScratch) {
+  TagsServer server({10.0});
+  const Trace trace({Job{0, 0.0, 25.0}});
+  const RunResult r = server.run(trace);
+  // Runs 10s on host 0 (killed), then the full 25s on host 1.
+  EXPECT_EQ(r.records[0].host, 1u);
+  EXPECT_DOUBLE_EQ(r.records[0].completion, 35.0);
+  EXPECT_DOUBLE_EQ(r.records[0].start, 0.0);  // first service start
+  EXPECT_DOUBLE_EQ(r.host_stats[0].busy_time, 10.0);
+  EXPECT_DOUBLE_EQ(r.host_stats[1].busy_time, 25.0);
+  EXPECT_EQ(r.host_stats[1].jobs_completed, 1u);
+}
+
+TEST(TagsServer, ThreeLevelCascade) {
+  TagsServer server({10.0, 100.0});
+  const Trace trace({Job{0, 0.0, 150.0}});
+  const RunResult r = server.run(trace);
+  // 10 on host 0 + 100 on host 1 + 150 on host 2.
+  EXPECT_EQ(r.records[0].host, 2u);
+  EXPECT_DOUBLE_EQ(r.records[0].completion, 260.0);
+}
+
+TEST(TagsServer, HostZeroQueueingDelaysEveryone) {
+  TagsServer server({10.0});
+  // Two short jobs arrive together: FCFS on host 0.
+  const Trace trace({Job{0, 0.0, 5.0}, Job{1, 0.0, 5.0}});
+  const RunResult r = server.run(trace);
+  EXPECT_DOUBLE_EQ(r.records[0].completion, 5.0);
+  EXPECT_DOUBLE_EQ(r.records[1].completion, 10.0);
+}
+
+TEST(TagsServer, ConservationOnRealisticTrace) {
+  const Trace trace = workload::make_trace(
+      workload::find_workload("c90"), 0.5, 2, /*seed=*/3, 8000);
+  TagsServer server({10000.0});
+  const RunResult r = server.run(trace);
+  ASSERT_EQ(r.records.size(), 8000u);
+  std::uint64_t done = 0;
+  for (const auto& hs : r.host_stats) done += hs.jobs_completed;
+  EXPECT_EQ(done, 8000u);
+  for (const JobRecord& rec : r.records) {
+    EXPECT_GT(rec.completion, 0.0);
+    // (arrival + size) - arrival loses absolute precision ~ulp(completion);
+    // tolerate that, not a relative-of-size epsilon.
+    EXPECT_GE(rec.response(), rec.size - 1e-6 * rec.completion);
+  }
+}
+
+TEST(TagsAnalysis, MatchesSimulationOnMeanSlowdown) {
+  const auto& d =
+      workload::service_distribution(workload::find_workload("c90"));
+  const queueing::MixtureSizeModel model(d);
+  const double rho = 0.6;
+  const double lambda = queueing::lambda_for_load(model, rho, 2);
+  const auto opt = find_tags_opt(model, lambda);
+  ASSERT_TRUE(opt.feasible);
+  dist::Rng rng(5);
+  const Trace trace =
+      workload::generate_trace_poisson(d, 60000, rho, 2, rng);
+  TagsServer server({opt.cutoff});
+  const MetricsSummary sim = summarize(server.run(trace));
+  // Poisson approximation for the restart stream: agree within ~35%.
+  EXPECT_NEAR(sim.mean_slowdown / opt.metrics.mean_slowdown, 1.0, 0.35);
+}
+
+TEST(TagsAnalysis, WastedWorkGrowsWithMisfitCutoff) {
+  const auto& d =
+      workload::service_distribution(workload::find_workload("c90"));
+  const queueing::MixtureSizeModel model(d);
+  const double lambda = queueing::lambda_for_load(model, 0.5, 2);
+  // A tiny cutoff kills nearly every job once: waste approaches the ratio
+  // of the cutoff mass to total work but the *fraction of jobs* killed is
+  // near 1, so waste must exceed the well-chosen cutoff's.
+  const TagsMetrics tiny = analyze_tags(model, lambda, {5.0});
+  const TagsMetrics good = analyze_tags(model, lambda, {20000.0});
+  EXPECT_GT(tiny.wasted_work_fraction, 0.0);
+  EXPECT_GE(good.wasted_work_fraction, 0.0);
+  EXPECT_LT(good.wasted_work_fraction, 0.2);
+}
+
+TEST(TagsAnalysis, UnstableCutoffsReportedCleanly) {
+  const auto& d =
+      workload::service_distribution(workload::find_workload("c90"));
+  const queueing::MixtureSizeModel model(d);
+  const double lambda = queueing::lambda_for_load(model, 0.95, 2);
+  // At rho 0.95, sending nearly all work to host 1 plus restart overhead
+  // cannot be stable for a tiny cutoff.
+  const TagsMetrics m = analyze_tags(model, lambda, {2.0});
+  EXPECT_FALSE(m.stable);
+  EXPECT_TRUE(std::isinf(m.mean_slowdown));
+}
+
+TEST(TagsVsSita, KnowingSizesHelpsButTagsStillBeatsBalancing) {
+  // The paper's [10] story: TAGS (no size knowledge) loses to SITA-U-opt
+  // (perfect knowledge) but still beats plain load balancing.
+  const auto& d =
+      workload::service_distribution(workload::find_workload("c90"));
+  const queueing::MixtureSizeModel model(d);
+  const double lambda = queueing::lambda_for_load(model, 0.7, 2);
+  const auto tags = find_tags_opt(model, lambda);
+  const auto sita = queueing::find_sita_u_opt(model, lambda);
+  const auto lwl = queueing::analyze_lwl(model, lambda, 2);
+  ASSERT_TRUE(tags.feasible && sita.feasible);
+  EXPECT_GT(tags.metrics.mean_slowdown, sita.metrics.mean_slowdown);
+  EXPECT_LT(tags.metrics.mean_slowdown, lwl.mean_slowdown);
+}
+
+}  // namespace
+}  // namespace distserv::core

@@ -1,0 +1,100 @@
+#include "dist/bounded_pareto.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dist/rng.hpp"
+#include "stats/welford.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::dist {
+namespace {
+
+TEST(BoundedPareto, ValidatesParameters) {
+  EXPECT_THROW(BoundedPareto(0.0, 1.0, 2.0), ContractViolation);
+  EXPECT_THROW(BoundedPareto(1.0, 2.0, 1.0), ContractViolation);
+  EXPECT_THROW(BoundedPareto(1.0, 0.0, 1.0), ContractViolation);
+}
+
+TEST(BoundedPareto, MomentMatchesNumericalIntegration) {
+  const BoundedPareto d(1.1, 2.0, 1e4);
+  // Trapezoid on a dense log grid of x^j f(x), f from differentiated CDF.
+  for (double j : {1.0, 2.0, -1.0}) {
+    double acc = 0.0;
+    const int n = 200000;
+    double prev_x = 2.0;
+    double prev_F = 0.0;
+    for (int i = 1; i <= n; ++i) {
+      const double x =
+          2.0 * std::pow(1e4 / 2.0, static_cast<double>(i) / n);
+      const double F = d.cdf(x);
+      const double xm = 0.5 * (x + prev_x);
+      acc += std::pow(xm, j) * (F - prev_F);
+      prev_x = x;
+      prev_F = F;
+    }
+    EXPECT_NEAR(d.moment(j), acc, std::abs(acc) * 1e-3) << "j=" << j;
+  }
+}
+
+TEST(BoundedPareto, MomentAtAlphaUsesLogForm) {
+  const BoundedPareto d(2.0, 1.0, 100.0);
+  // j == alpha hits the removable singularity: E[X^2] should still be
+  // finite and continuous in j.
+  const double at = d.moment(2.0);
+  const double near1 = d.moment(2.0 - 1e-7);
+  const double near2 = d.moment(2.0 + 1e-7);
+  EXPECT_NEAR(at, near1, std::abs(at) * 1e-5);
+  EXPECT_NEAR(at, near2, std::abs(at) * 1e-5);
+}
+
+TEST(BoundedPareto, PartialMomentsSumToTotal) {
+  const BoundedPareto d(1.1, 1.0, 1e6);
+  for (double j : {1.0, 2.0, -1.0, 0.0}) {
+    const double total = d.partial_moment(j, 1.0, 1e6);
+    const double split = d.partial_moment(j, 1.0, 50.0) +
+                         d.partial_moment(j, 50.0, 1e6);
+    EXPECT_NEAR(total, split, std::abs(total) * 1e-12) << "j=" << j;
+  }
+}
+
+TEST(BoundedPareto, PartialZerothMomentIsProbability) {
+  const BoundedPareto d(1.5, 1.0, 1000.0);
+  EXPECT_NEAR(d.partial_moment(0.0, 1.0, 10.0), d.cdf(10.0), 1e-12);
+}
+
+TEST(BoundedPareto, TailLoadFractionMonotoneFromOneToZero) {
+  const BoundedPareto d(1.1, 1.0, 1e6);
+  EXPECT_DOUBLE_EQ(d.tail_load_fraction(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.tail_load_fraction(1e6), 0.0);
+  double prev = 1.0;
+  for (double x : {2.0, 10.0, 100.0, 1e4, 1e5}) {
+    const double f = d.tail_load_fraction(x);
+    EXPECT_LE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(BoundedPareto, HeavyTailLoadConcentration) {
+  // The paper's signature property: for alpha ~ 1 a tiny fraction of the
+  // largest jobs carries a huge fraction of the load.
+  const BoundedPareto d(1.05, 1.0, 1e6);
+  const double big_jobs_cutoff = d.quantile(0.99);  // top 1% of jobs
+  EXPECT_GT(d.tail_load_fraction(big_jobs_cutoff), 0.35);
+}
+
+TEST(BoundedPareto, SampleQuantileAgreement) {
+  const BoundedPareto d(1.1, 1.0, 1e4);
+  Rng rng(99);
+  int below_median = 0;
+  const int n = 100000;
+  const double median = d.quantile(0.5);
+  for (int i = 0; i < n; ++i) {
+    if (d.sample(rng) <= median) ++below_median;
+  }
+  EXPECT_NEAR(below_median / static_cast<double>(n), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace distserv::dist

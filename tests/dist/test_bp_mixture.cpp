@@ -1,0 +1,99 @@
+#include "dist/bp_mixture.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::dist {
+namespace {
+
+BoundedParetoMixture body_tail() {
+  return BoundedParetoMixture(
+      {BoundedPareto(0.25, 1.0, 1000.0), BoundedPareto(1.05, 1000.0, 1e6)},
+      {0.4, 0.6});
+}
+
+TEST(BpMixture, ValidatesWeights) {
+  EXPECT_THROW(BoundedParetoMixture({BoundedPareto(1.0, 1.0, 2.0)}, {0.5}),
+               ContractViolation);
+  EXPECT_THROW(BoundedParetoMixture(
+                   {BoundedPareto(1.0, 1.0, 2.0), BoundedPareto(1.0, 1.0, 2.0)},
+                   {1.0}),
+               ContractViolation);
+}
+
+TEST(BpMixture, MomentIsWeightedSum) {
+  const auto mix = body_tail();
+  const BoundedPareto body(0.25, 1.0, 1000.0);
+  const BoundedPareto tail(1.05, 1000.0, 1e6);
+  for (double j : {1.0, 2.0, -1.0}) {
+    EXPECT_NEAR(mix.moment(j), 0.4 * body.moment(j) + 0.6 * tail.moment(j),
+                std::abs(mix.moment(j)) * 1e-12);
+  }
+}
+
+TEST(BpMixture, CdfIsWeightedSum) {
+  const auto mix = body_tail();
+  EXPECT_NEAR(mix.cdf(500.0), 0.4 * BoundedPareto(0.25, 1.0, 1000.0).cdf(500.0),
+              1e-12);
+  EXPECT_NEAR(mix.cdf(1e6), 1.0, 1e-12);
+  EXPECT_NEAR(mix.cdf(0.5), 0.0, 1e-12);
+}
+
+TEST(BpMixture, SupportSpansComponents) {
+  const auto mix = body_tail();
+  EXPECT_DOUBLE_EQ(mix.support_min(), 1.0);
+  EXPECT_DOUBLE_EQ(mix.support_max(), 1e6);
+}
+
+TEST(BpMixture, QuantileInvertsCdf) {
+  const auto mix = body_tail();
+  for (double u : {0.1, 0.39, 0.41, 0.8, 0.99}) {
+    EXPECT_NEAR(mix.cdf(mix.quantile(u)), u, 1e-8) << u;
+  }
+}
+
+TEST(BpMixture, PartialMomentsPartition) {
+  const auto mix = body_tail();
+  for (double j : {1.0, 2.0, 0.0, -1.0}) {
+    const double total = mix.partial_moment(j, 1.0, 1e6);
+    const double split = mix.partial_moment(j, 1.0, 1000.0) +
+                         mix.partial_moment(j, 1000.0, 1e6);
+    EXPECT_NEAR(total, split, std::abs(total) * 1e-10) << "j=" << j;
+    EXPECT_NEAR(total, mix.moment(j), std::abs(total) * 1e-10) << "j=" << j;
+  }
+}
+
+TEST(BpMixture, PartialMomentAcrossComponentBoundary) {
+  const auto mix = body_tail();
+  // Interval straddling the body/tail break must combine both components.
+  const double across = mix.partial_moment(1.0, 500.0, 2000.0);
+  const double left = mix.partial_moment(1.0, 500.0, 1000.0);
+  const double right = mix.partial_moment(1.0, 1000.0, 2000.0);
+  EXPECT_NEAR(across, left + right, across * 1e-10);
+  EXPECT_GT(left, 0.0);
+  EXPECT_GT(right, 0.0);
+}
+
+TEST(BpMixture, SingleComponentBehavesLikeComponent) {
+  const BoundedPareto bp(1.1, 2.0, 2000.0);
+  const BoundedParetoMixture mix(bp);
+  for (double j : {1.0, 2.0, -1.0}) {
+    EXPECT_NEAR(mix.moment(j), bp.moment(j), std::abs(bp.moment(j)) * 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(mix.cdf(100.0), bp.cdf(100.0));
+}
+
+TEST(BpMixture, TailLoadFraction) {
+  const auto mix = body_tail();
+  EXPECT_NEAR(mix.tail_load_fraction(mix.support_min()), 1.0, 1e-12);
+  EXPECT_NEAR(mix.tail_load_fraction(mix.support_max()), 0.0, 1e-12);
+  // The tail component dominates the load: removing all jobs below the
+  // break should still leave most of the load.
+  EXPECT_GT(mix.tail_load_fraction(1000.0), 0.9);
+}
+
+}  // namespace
+}  // namespace distserv::dist

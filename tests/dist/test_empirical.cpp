@@ -1,0 +1,81 @@
+#include "dist/empirical.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/rng.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::dist {
+namespace {
+
+const std::vector<double> kSamples = {4.0, 1.0, 2.0, 2.0, 8.0};
+
+TEST(Empirical, SortsAndExposesSupport) {
+  const Empirical d(kSamples);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_DOUBLE_EQ(d.support_min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.support_max(), 8.0);
+  EXPECT_TRUE(std::is_sorted(d.sorted_samples().begin(),
+                             d.sorted_samples().end()));
+}
+
+TEST(Empirical, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(Empirical(std::vector<double>{}), ContractViolation);
+  EXPECT_THROW(Empirical(std::vector<double>{1.0, 0.0}), ContractViolation);
+}
+
+TEST(Empirical, PlugInMoments) {
+  const Empirical d(kSamples);
+  EXPECT_DOUBLE_EQ(d.mean(), (1 + 2 + 2 + 4 + 8) / 5.0);
+  EXPECT_DOUBLE_EQ(d.moment(2.0), (1 + 4 + 4 + 16 + 64) / 5.0);
+  EXPECT_DOUBLE_EQ(d.moment(-1.0), (1.0 + 0.5 + 0.5 + 0.25 + 0.125) / 5.0);
+}
+
+TEST(Empirical, EcdfSteps) {
+  const Empirical d(kSamples);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.6);
+  EXPECT_DOUBLE_EQ(d.cdf(7.99), 0.8);
+  EXPECT_DOUBLE_EQ(d.cdf(8.0), 1.0);
+}
+
+TEST(Empirical, QuantileOrderStatistics) {
+  const Empirical d(kSamples);
+  EXPECT_DOUBLE_EQ(d.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.9), 8.0);
+}
+
+TEST(Empirical, SampleOnlyProducesObservedValues) {
+  const Empirical d(kSamples);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 4.0 || x == 8.0) << x;
+  }
+}
+
+TEST(Empirical, PartialMomentHalfOpenInterval) {
+  const Empirical d(kSamples);
+  // (1, 4]: samples 2, 2, 4 -> (2+2+4)/5.
+  EXPECT_DOUBLE_EQ(d.partial_moment(1.0, 1.0, 4.0), 8.0 / 5.0);
+  // (0.5, 1]: sample 1 -> 1/5.
+  EXPECT_DOUBLE_EQ(d.partial_moment(1.0, 0.5, 1.0), 1.0 / 5.0);
+  // Whole support.
+  EXPECT_DOUBLE_EQ(d.partial_moment(1.0, 0.5, 8.0), d.mean());
+}
+
+TEST(Empirical, LoadFractionBelow) {
+  const Empirical d(kSamples);
+  const double total = 17.0;
+  EXPECT_DOUBLE_EQ(d.load_fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.load_fraction_below(2.0), 5.0 / total);
+  EXPECT_DOUBLE_EQ(d.load_fraction_below(8.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.fraction_below(2.0), 0.6);
+}
+
+}  // namespace
+}  // namespace distserv::dist

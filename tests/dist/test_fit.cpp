@@ -1,0 +1,99 @@
+#include "dist/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::dist {
+namespace {
+
+TEST(FitFixedK, HitsTargets) {
+  const auto fit = fit_bounded_pareto_fixed_k(4500.0, 43.0, 1.0);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_DOUBLE_EQ(fit.k, 1.0);
+  EXPECT_NEAR(fit.achieved_mean, 4500.0, 4500.0 * 1e-6);
+  EXPECT_NEAR(fit.achieved_scv, 43.0, 43.0 * 1e-4);
+  const BoundedPareto d = fit.distribution();
+  EXPECT_NEAR(d.mean(), 4500.0, 1.0);
+  EXPECT_NEAR(d.scv(), 43.0, 0.05);
+}
+
+TEST(FitFixedK, ModerateVarianceTargets) {
+  const auto fit = fit_bounded_pareto_fixed_k(10.0, 1.5, 1.0);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.achieved_mean, 10.0, 1e-4);
+  EXPECT_NEAR(fit.achieved_scv, 1.5, 1e-3);
+}
+
+TEST(FitFixedK, ReportsInfeasiblyLowVariance) {
+  // With k = 1 and mean 10 a Bounded Pareto cannot get below C^2 ~ 0.7
+  // (the alpha -> 0 log-uniform limit); the fitter must fail cleanly.
+  const auto fit = fit_bounded_pareto_fixed_k(10.0, 0.5, 1.0);
+  EXPECT_FALSE(fit.converged);
+}
+
+TEST(FitFixedP, HitsTargetsUnderCap) {
+  const auto fit = fit_bounded_pareto_fixed_p(2000.0, 8.0, 43200.0);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_DOUBLE_EQ(fit.p, 43200.0);
+  EXPECT_NEAR(fit.achieved_mean, 2000.0, 0.5);
+  EXPECT_NEAR(fit.achieved_scv, 8.0, 0.01);
+}
+
+TEST(FitFixedP, ReportsInfeasibleTargets) {
+  // scv 50 with mean half the cap is impossible for any distribution on
+  // [k, p]; the fitter must fail cleanly rather than return junk.
+  const auto fit = fit_bounded_pareto_fixed_p(20000.0, 50.0, 43200.0);
+  EXPECT_FALSE(fit.converged);
+}
+
+TEST(FitFixedAlpha, HitsTargetsWithPinnedTail) {
+  const auto fit = fit_bounded_pareto_fixed_alpha(4500.0, 43.0, 1.1);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_DOUBLE_EQ(fit.alpha, 1.1);
+  EXPECT_NEAR(fit.achieved_mean, 4500.0, 1.0);
+  EXPECT_NEAR(fit.achieved_scv, 43.0, 0.05);
+  EXPECT_GT(fit.k, 0.0);
+  EXPECT_GT(fit.p, fit.k);
+}
+
+TEST(FitFixedAlpha, RequiresAlphaAboveOne) {
+  EXPECT_THROW((void)fit_bounded_pareto_fixed_alpha(100.0, 5.0, 0.9),
+               ContractViolation);
+}
+
+TEST(FitBodyTail, HitsTargetsAndKeepsShape) {
+  const auto fit = fit_body_tail(4500.0, 43.0, 1.0, 1200.0, 0.25, 1.05);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.achieved_mean, 4500.0, 4500.0 * 1e-5);
+  EXPECT_NEAR(fit.achieved_scv, 43.0, 43.0 * 1e-3);
+  EXPECT_DOUBLE_EQ(fit.body.k(), 1.0);
+  EXPECT_DOUBLE_EQ(fit.body.p(), 1200.0);
+  EXPECT_DOUBLE_EQ(fit.tail.k(), 1200.0);
+  EXPECT_GT(fit.tail.p(), 1200.0);
+  EXPECT_GT(fit.body_weight, 0.0);
+  EXPECT_LT(fit.body_weight, 1.0);
+  const BoundedParetoMixture mix = fit.distribution();
+  EXPECT_NEAR(mix.mean(), 4500.0, 1.0);
+  EXPECT_DOUBLE_EQ(mix.support_min(), 1.0);
+}
+
+TEST(FitBodyTail, UnconvergedFitRefusesToMaterialize) {
+  BodyTailFit fit;  // default: not converged
+  EXPECT_THROW((void)fit.distribution(), ContractViolation);
+}
+
+TEST(FitBodyTail, ValidatesArguments) {
+  EXPECT_THROW((void)fit_body_tail(100.0, 5.0, 10.0, 5.0, 0.3, 1.1),
+               ContractViolation);  // min >= break
+  EXPECT_THROW((void)fit_body_tail(100.0, 5.0, 1.0, 50.0, 0.3, 1.0),
+               ContractViolation);  // alpha_tail <= 1
+}
+
+TEST(FitResult, UnconvergedBoundedParetoRefusesToMaterialize) {
+  BoundedParetoFit fit;
+  EXPECT_THROW((void)fit.distribution(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::dist

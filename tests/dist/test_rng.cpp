@@ -1,0 +1,134 @@
+#include "dist/rng.hpp"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/welford.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::dist {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, Uniform01StrictlyInsideUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GT(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  Rng rng(11);
+  stats::Welford w;
+  for (int i = 0; i < 200000; ++i) w.add(rng.uniform01());
+  EXPECT_NEAR(w.mean(), 0.5, 0.005);
+  EXPECT_NEAR(w.variance_sample(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  stats::Welford w;
+  for (int i = 0; i < 200000; ++i) w.add(rng.exponential(0.25));
+  EXPECT_NEAR(w.mean(), 4.0, 0.05);
+  EXPECT_NEAR(w.scv(), 1.0, 0.05);  // exponential has C^2 = 1
+}
+
+TEST(Rng, ExponentialRequiresPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.exponential(0.0), ContractViolation);
+}
+
+TEST(Rng, BelowCoversRangeUniformly) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, NormalMomentsMatchStandard) {
+  Rng rng(29);
+  stats::Welford w;
+  for (int i = 0; i < 300000; ++i) w.add(rng.normal());
+  EXPECT_NEAR(w.mean(), 0.0, 0.01);
+  EXPECT_NEAR(w.variance_sample(), 1.0, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  const Rng base(101);
+  Rng s0 = base.split(0);
+  Rng s1 = base.split(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (s0.next() == s1.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  const Rng base(55);
+  Rng a = base.split(7);
+  Rng b = base.split(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, JumpChangesSequence) {
+  Rng a(5);
+  Rng b(5);
+  b.jump();
+  std::set<std::uint64_t> a_vals;
+  for (int i = 0; i < 1000; ++i) a_vals.insert(a.next());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(a_vals.contains(b.next()));
+}
+
+TEST(Splitmix64, KnownFirstOutputs) {
+  // Reference values from the SplitMix64 reference implementation with
+  // state = 0: first output is 0xE220A8397B1DCDAF.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+}
+
+}  // namespace
+}  // namespace distserv::dist

@@ -1,0 +1,176 @@
+// Cross-validation: the discrete-event simulator against closed-form
+// queueing theory. These are the strongest correctness checks in the suite —
+// an error in either the simulator's mechanics or the analysis formulas
+// breaks the agreement.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/policies/central_queue.hpp"
+#include "core/policies/random.hpp"
+#include "core/metrics.hpp"
+#include "core/server.hpp"
+#include "dist/deterministic.hpp"
+#include "dist/exponential.hpp"
+#include "dist/hyperexp.hpp"
+#include "core/policies/sita.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/mmh.hpp"
+#include "queueing/sita_analysis.hpp"
+#include "stats/welford.hpp"
+#include "workload/catalog.hpp"
+#include "workload/synthetic.hpp"
+
+namespace distserv {
+namespace {
+
+using core::simulate;
+using workload::Trace;
+
+// Simulates a single FCFS queue (1 host, every job to it) fed by Poisson
+// arrivals with the given service distribution, and returns mean waiting
+// time, discarding a warmup prefix.
+double simulated_mean_wait(const dist::Distribution& service, double rho,
+                           std::size_t n, std::uint64_t seed) {
+  dist::Rng rng(seed);
+  const Trace trace =
+      workload::generate_trace_poisson(service, n, rho, 1, rng);
+  core::CentralQueuePolicy policy;  // single host: plain FCFS
+  const core::RunResult r = simulate(policy, trace, 1);
+  stats::Welford w;
+  for (std::size_t i = n / 10; i < r.records.size(); ++i) {
+    w.add(r.records[i].waiting());
+  }
+  return w.mean();
+}
+
+TEST(SimVsAnalysis, MM1WaitingTimeMatchesTheory) {
+  const dist::Exponential service(1.0 / 10.0);  // mean 10
+  for (double rho : {0.3, 0.6, 0.8}) {
+    const queueing::Mg1Metrics theory = queueing::mg1_fcfs(
+        rho / 10.0, queueing::ServiceMoments::of(service));
+    const double sim = simulated_mean_wait(service, rho, 200000, 42);
+    EXPECT_NEAR(sim, theory.mean_waiting, theory.mean_waiting * 0.08)
+        << "rho=" << rho;
+  }
+}
+
+TEST(SimVsAnalysis, MD1WaitingTimeMatchesTheory) {
+  const dist::Deterministic service(5.0);
+  const queueing::Mg1Metrics theory =
+      queueing::mg1_fcfs(0.7 / 5.0, queueing::ServiceMoments::of(service));
+  const double sim = simulated_mean_wait(service, 0.7, 200000, 7);
+  EXPECT_NEAR(sim, theory.mean_waiting, theory.mean_waiting * 0.08);
+}
+
+TEST(SimVsAnalysis, MH21WaitingAndSlowdownMatchTheory) {
+  const auto service = dist::Hyperexponential::fit_mean_scv(10.0, 8.0);
+  const double rho = 0.6;
+  const double lambda = rho / 10.0;
+  const queueing::Mg1Metrics theory =
+      queueing::mg1_fcfs(lambda, queueing::ServiceMoments::of(service));
+  dist::Rng rng(11);
+  const Trace trace =
+      workload::generate_trace_poisson(service, 400000, rho, 1, rng);
+  core::CentralQueuePolicy policy;
+  const core::RunResult r = simulate(policy, trace, 1);
+  stats::Welford wait, slow;
+  for (std::size_t i = r.records.size() / 10; i < r.records.size(); ++i) {
+    wait.add(r.records[i].waiting());
+    slow.add(r.records[i].slowdown());
+  }
+  EXPECT_NEAR(wait.mean(), theory.mean_waiting,
+              theory.mean_waiting * 0.10);
+  EXPECT_NEAR(slow.mean(), theory.mean_slowdown,
+              theory.mean_slowdown * 0.10);
+}
+
+TEST(SimVsAnalysis, MM2CentralQueueMatchesErlangC) {
+  // Central-Queue on 2 hosts with exponential service IS an M/M/2.
+  const dist::Exponential service(1.0);
+  const double rho = 0.7;
+  dist::Rng rng(13);
+  const Trace trace =
+      workload::generate_trace_poisson(service, 300000, rho, 2, rng);
+  core::CentralQueuePolicy policy;
+  const core::RunResult r = simulate(policy, trace, 2);
+  stats::Welford wait;
+  for (std::size_t i = r.records.size() / 10; i < r.records.size(); ++i) {
+    wait.add(r.records[i].waiting());
+  }
+  const queueing::MmhMetrics theory = queueing::mmh(2, 2.0 * rho, 1.0);
+  EXPECT_NEAR(wait.mean(), theory.mean_waiting,
+              theory.mean_waiting * 0.08);
+}
+
+TEST(SimVsAnalysis, RandomSplitMatchesPerHostMG1) {
+  // Random on h hosts: each host is an independent M/G/1 at lambda/h.
+  const auto service = dist::Hyperexponential::fit_mean_scv(4.0, 4.0);
+  const double rho = 0.5;
+  dist::Rng rng(17);
+  const Trace trace =
+      workload::generate_trace_poisson(service, 300000, rho, 2, rng);
+  core::RandomPolicy policy;
+  const core::RunResult r = simulate(policy, trace, 2, /*seed=*/3);
+  stats::Welford wait;
+  for (std::size_t i = r.records.size() / 10; i < r.records.size(); ++i) {
+    wait.add(r.records[i].waiting());
+  }
+  const queueing::Mg1Metrics theory = queueing::mg1_fcfs(
+      rho / 4.0, queueing::ServiceMoments::of(service));
+  EXPECT_NEAR(wait.mean(), theory.mean_waiting,
+              theory.mean_waiting * 0.10);
+}
+
+TEST(SimVsAnalysis, SitaSplitMeanAndVarianceMatchAnalysis) {
+  // Full SITA pipeline: empirical split analysis vs trace-driven simulation
+  // on the capped CTC workload (moderate variance -> fast convergence),
+  // checking both moments of slowdown the paper plots.
+  const auto& spec = workload::find_workload("ctc");
+  const auto sizes = workload::make_sizes(spec, /*seed=*/3, 120000);
+  const queueing::EmpiricalSizeModel model(sizes);
+  const double rho = 0.6;
+  const double lambda = queueing::lambda_for_load(model, rho, 2);
+  const auto cutoffs = queueing::sita_e_cutoffs(model, 2);
+  const queueing::SitaMetrics theory =
+      queueing::analyze_sita(model, lambda, cutoffs);
+  ASSERT_TRUE(theory.stable);
+
+  dist::Rng rng(5);
+  const Trace trace = Trace::with_poisson_load(sizes, rho, 2, rng);
+  core::SitaPolicy policy(cutoffs, "SITA-E");
+  const core::RunResult r = simulate(policy, trace, 2);
+  stats::Welford slow;
+  for (std::size_t i = r.records.size() / 10; i < r.records.size(); ++i) {
+    slow.add(r.records[i].slowdown());
+  }
+  EXPECT_NEAR(slow.mean(), theory.mean_slowdown,
+              theory.mean_slowdown * 0.10);
+  EXPECT_NEAR(slow.variance_sample(), theory.var_slowdown,
+              theory.var_slowdown * 0.30);
+}
+
+TEST(SimVsAnalysis, SimulatedVarianceOfWaitingMatchesTakacs) {
+  // Second-moment check of the M/G/1 waiting time (drives Var[S] in the
+  // paper's bottom panels).
+  const auto service = dist::Hyperexponential::fit_mean_scv(2.0, 3.0);
+  const double rho = 0.5;
+  const double lambda = rho / 2.0;
+  const queueing::Mg1Metrics theory =
+      queueing::mg1_fcfs(lambda, queueing::ServiceMoments::of(service));
+  dist::Rng rng(23);
+  const Trace trace =
+      workload::generate_trace_poisson(service, 500000, rho, 1, rng);
+  core::CentralQueuePolicy policy;
+  const core::RunResult r = simulate(policy, trace, 1);
+  stats::Welford wait;
+  for (std::size_t i = r.records.size() / 10; i < r.records.size(); ++i) {
+    wait.add(r.records[i].waiting());
+  }
+  EXPECT_NEAR(wait.variance_sample(), theory.var_waiting,
+              theory.var_waiting * 0.15);
+}
+
+}  // namespace
+}  // namespace distserv

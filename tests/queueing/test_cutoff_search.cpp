@@ -1,0 +1,139 @@
+#include "queueing/cutoff_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/rng.hpp"
+#include "util/contracts.hpp"
+#include "workload/catalog.hpp"
+
+namespace distserv::queueing {
+namespace {
+
+MixtureSizeModel c90_model() {
+  return MixtureSizeModel(workload::service_distribution(
+      workload::find_workload("c90")));
+}
+
+TEST(SitaUOpt, BeatsOrMatchesSitaEAnalytically) {
+  const auto model = c90_model();
+  for (double rho : {0.3, 0.5, 0.7, 0.8}) {
+    const double lambda = lambda_for_load(model, rho, 2);
+    const auto opt = find_sita_u_opt(model, lambda, 200);
+    ASSERT_TRUE(opt.feasible) << rho;
+    const SitaMetrics sita_e =
+        analyze_sita(model, lambda, sita_e_cutoffs(model, 2));
+    EXPECT_LE(opt.metrics.mean_slowdown,
+              sita_e.mean_slowdown * (1.0 + 1e-9))
+        << rho;
+  }
+}
+
+TEST(SitaUOpt, UnbalancesTowardTheShortHost) {
+  // The paper's headline: the optimal cutoff puts *less* than half the load
+  // on the short-jobs host.
+  const auto model = c90_model();
+  for (double rho : {0.5, 0.7, 0.8}) {
+    const double lambda = lambda_for_load(model, rho, 2);
+    const auto opt = find_sita_u_opt(model, lambda, 200);
+    ASSERT_TRUE(opt.feasible);
+    EXPECT_LT(opt.host1_load_fraction, 0.5) << rho;
+  }
+}
+
+TEST(SitaUFair, EqualizesPerHostSlowdowns) {
+  const auto model = c90_model();
+  for (double rho : {0.4, 0.6, 0.8}) {
+    const double lambda = lambda_for_load(model, rho, 2);
+    const auto fair = find_sita_u_fair(model, lambda, 200);
+    ASSERT_TRUE(fair.feasible) << rho;
+    const auto& hosts = fair.metrics.hosts;
+    const double s1 = hosts[0].mg1.mean_slowdown;
+    const double s2 = hosts[1].mg1.mean_slowdown;
+    EXPECT_NEAR(s1 / s2, 1.0, 0.05) << "rho=" << rho;
+  }
+}
+
+TEST(SitaUFair, AlsoUnbalancesAndStaysCloseToOpt) {
+  const auto model = c90_model();
+  const double rho = 0.7;
+  const double lambda = lambda_for_load(model, rho, 2);
+  const auto fair = find_sita_u_fair(model, lambda, 300);
+  const auto opt = find_sita_u_opt(model, lambda, 300);
+  ASSERT_TRUE(fair.feasible && opt.feasible);
+  EXPECT_LT(fair.host1_load_fraction, 0.5);
+  // Paper: "SITA-U-fair is only a slight bit worse than SITA-U-opt".
+  EXPECT_LT(fair.metrics.mean_slowdown, opt.metrics.mean_slowdown * 2.0);
+  EXPECT_GE(fair.metrics.mean_slowdown,
+            opt.metrics.mean_slowdown * (1.0 - 1e-9));
+}
+
+TEST(RuleOfThumb, MatchesPaperHalfRho) {
+  const auto model = c90_model();
+  for (double rho : {0.3, 0.5, 0.7}) {
+    const double c = rule_of_thumb_cutoff(model, rho);
+    EXPECT_NEAR(model.load_fraction_below(c), rho / 2.0, 1e-6);
+  }
+}
+
+TEST(RuleOfThumb, ApproximatesSearchedCutoffLoadFraction) {
+  // Paper §4.4: the rho/2 rule lands within ~10-15% of the searched optimum
+  // in the interesting load range.
+  const auto model = c90_model();
+  for (double rho : {0.5, 0.6, 0.7, 0.8}) {
+    const double lambda = lambda_for_load(model, rho, 2);
+    const auto opt = find_sita_u_opt(model, lambda, 300);
+    ASSERT_TRUE(opt.feasible);
+    EXPECT_NEAR(opt.host1_load_fraction, rho / 2.0, 0.15) << rho;
+  }
+}
+
+TEST(EvaluateCutoff, ReportsConsistentFractions) {
+  const auto model = c90_model();
+  const double lambda = lambda_for_load(model, 0.6, 2);
+  const double c = rule_of_thumb_cutoff(model, 0.6);
+  const auto r = evaluate_cutoff(model, lambda, c);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.host1_load_fraction, 0.3, 1e-6);
+  EXPECT_DOUBLE_EQ(r.cutoff, c);
+  EXPECT_GT(r.host1_job_fraction, r.host1_load_fraction);
+}
+
+TEST(CutoffSearch, WorksOnEmpiricalModels) {
+  // End-to-end with an empirical model built from sampled sizes, as the
+  // experiment harness uses it.
+  dist::Rng rng(9);
+  const auto& d =
+      workload::service_distribution(workload::find_workload("c90"));
+  std::vector<double> sizes;
+  for (int i = 0; i < 30000; ++i) sizes.push_back(d.sample(rng));
+  const EmpiricalSizeModel model(sizes);
+  const double lambda = lambda_for_load(model, 0.7, 2);
+  const auto opt = find_sita_u_opt(model, lambda, 300);
+  const auto fair = find_sita_u_fair(model, lambda, 300);
+  ASSERT_TRUE(opt.feasible);
+  ASSERT_TRUE(fair.feasible);
+  EXPECT_LT(opt.host1_load_fraction, 0.5);
+  EXPECT_LT(fair.host1_load_fraction, 0.5);
+  // Analytic (mixture) and empirical cutoffs should roughly agree.
+  const MixtureSizeModel analytic(d);
+  const auto opt_a = find_sita_u_opt(analytic, lambda, 300);
+  EXPECT_NEAR(opt.host1_load_fraction, opt_a.host1_load_fraction, 0.1);
+}
+
+TEST(CutoffSearch, InfeasibleAtExtremeLoadReportsCleanly) {
+  const auto model = c90_model();
+  // rho > 1 per host no matter the cutoff -> infeasible.
+  const double lambda = lambda_for_load(model, 1.2, 2);
+  const auto r = find_sita_u_opt(model, lambda, 100);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(CutoffSearch, ValidatesArguments) {
+  const auto model = c90_model();
+  EXPECT_THROW((void)find_sita_u_opt(model, 0.0), ContractViolation);
+  EXPECT_THROW((void)find_sita_u_fair(model, 1.0, 2), ContractViolation);
+  EXPECT_THROW((void)rule_of_thumb_cutoff(model, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::queueing

@@ -1,0 +1,107 @@
+#include "queueing/mg1.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dist/deterministic.hpp"
+#include "dist/exponential.hpp"
+#include "dist/uniform.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::queueing {
+namespace {
+
+TEST(ServiceMoments, FromDistribution) {
+  const dist::Uniform u(1.0, 3.0);
+  const ServiceMoments s = ServiceMoments::of(u);
+  EXPECT_DOUBLE_EQ(s.m1, 2.0);
+  EXPECT_NEAR(s.m2, 13.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.m3, 10.0, 1e-12);
+  EXPECT_NEAR(s.inv1, std::log(3.0) / 2.0, 1e-12);
+  EXPECT_NEAR(s.scv(), 13.0 / 12.0 - 1.0, 1e-12);
+}
+
+TEST(ServiceMoments, FromSamples) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0};
+  const ServiceMoments s = ServiceMoments::of_samples(xs);
+  EXPECT_NEAR(s.m1, 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.m2, 21.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.m3, 73.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.inv1, (1.0 + 0.5 + 0.25) / 3.0, 1e-12);
+  EXPECT_NEAR(s.inv2, (1.0 + 0.25 + 0.0625) / 3.0, 1e-12);
+}
+
+TEST(Mg1, MM1ClosedForm) {
+  // M/M/1: E[W] = rho/(mu(1-rho)). mu=1, lambda=0.5 -> E[W] = 1.
+  const ServiceMoments s = ServiceMoments::of(dist::Exponential(1.0));
+  const Mg1Metrics m = mg1_fcfs(0.5, s);
+  ASSERT_TRUE(m.stable);
+  EXPECT_NEAR(m.mean_waiting, 1.0, 1e-12);
+  EXPECT_NEAR(m.mean_response, 2.0, 1e-12);
+  EXPECT_NEAR(m.mean_queue_len, 0.5, 1e-12);
+  // Exponential FCFS waiting: W is 0 w.p. 1-rho else Exp(mu-lambda):
+  // E[W^2] = rho * 2/(mu-lambda)^2 = 0.5 * 8 = 4.
+  EXPECT_NEAR(m.m2_waiting, 4.0, 1e-12);
+  // Slowdown is infinite for exponential service (E[1/X] diverges).
+  EXPECT_TRUE(std::isinf(m.mean_slowdown));
+}
+
+TEST(Mg1, MD1ClosedForm) {
+  // M/D/1 with X = 1, lambda = 0.5: E[W] = rho/(2(1-rho)) * E[X] = 0.5.
+  const ServiceMoments s = ServiceMoments::of(dist::Deterministic(1.0));
+  const Mg1Metrics m = mg1_fcfs(0.5, s);
+  EXPECT_NEAR(m.mean_waiting, 0.5, 1e-12);
+  // Deterministic service: slowdown = W + 1 exactly.
+  EXPECT_NEAR(m.mean_slowdown, 1.5, 1e-12);
+  EXPECT_NEAR(m.var_slowdown, m.var_waiting, 1e-12);
+}
+
+TEST(Mg1, VarianceOfWaitingNonNegativeAndGrowsWithLoad) {
+  const ServiceMoments s = ServiceMoments::of(dist::Uniform(1.0, 5.0));
+  double prev = 0.0;
+  for (double lambda : {0.05, 0.1, 0.2, 0.3}) {
+    const Mg1Metrics m = mg1_fcfs(lambda, s);
+    ASSERT_TRUE(m.stable);
+    EXPECT_GE(m.var_waiting, prev);
+    prev = m.var_waiting;
+  }
+}
+
+TEST(Mg1, SlowdownAtLeastOne) {
+  const ServiceMoments s = ServiceMoments::of(dist::Uniform(1.0, 5.0));
+  const Mg1Metrics m = mg1_fcfs(0.01, s);
+  EXPECT_GE(m.mean_slowdown, 1.0);
+  // At vanishing load the slowdown approaches exactly 1.
+  EXPECT_LT(m.mean_slowdown, 1.1);
+}
+
+TEST(Mg1, UnstableWhenRhoAtLeastOne) {
+  const ServiceMoments s = ServiceMoments::of(dist::Deterministic(2.0));
+  const Mg1Metrics m = mg1_fcfs(0.5, s);  // rho = 1 exactly
+  EXPECT_FALSE(m.stable);
+  EXPECT_TRUE(std::isinf(m.mean_waiting));
+  EXPECT_TRUE(std::isinf(m.mean_slowdown));
+  EXPECT_TRUE(std::isinf(m.var_slowdown));
+}
+
+TEST(Mg1, ValidatesArguments) {
+  const ServiceMoments s = ServiceMoments::of(dist::Deterministic(1.0));
+  EXPECT_THROW((void)mg1_fcfs(0.0, s), ContractViolation);
+  EXPECT_THROW((void)ServiceMoments::of_samples(std::vector<double>{}),
+               ContractViolation);
+}
+
+TEST(Mg1, WaitingScalesWithServiceVariance) {
+  // Same mean (2.0), different variance: Uniform(1,3) vs Deterministic(2).
+  const Mg1Metrics lo =
+      mg1_fcfs(0.3, ServiceMoments::of(dist::Deterministic(2.0)));
+  const Mg1Metrics hi =
+      mg1_fcfs(0.3, ServiceMoments::of(dist::Uniform(1.0, 3.0)));
+  EXPECT_GT(hi.mean_waiting, lo.mean_waiting);
+  // PK: ratio of waits = ratio of E[X^2] = (13/3)/4.
+  EXPECT_NEAR(hi.mean_waiting / lo.mean_waiting, (13.0 / 3.0) / 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace distserv::queueing

@@ -1,0 +1,70 @@
+#include "queueing/mgh.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dist/deterministic.hpp"
+#include "dist/exponential.hpp"
+#include "dist/hyperexp.hpp"
+#include "queueing/mmh.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::queueing {
+namespace {
+
+TEST(MghApprox, ExactForMG1) {
+  // Lee-Longton reduces to Pollaczek-Khinchine at h = 1.
+  const ServiceMoments s =
+      ServiceMoments::of(dist::Hyperexponential::fit_mean_scv(2.0, 5.0));
+  const MghMetrics approx = mgh_approx(1, 0.3, s);
+  const Mg1Metrics exact = mg1_fcfs(0.3, s);
+  EXPECT_NEAR(approx.mean_waiting, exact.mean_waiting,
+              exact.mean_waiting * 1e-9);
+}
+
+TEST(MghApprox, ExactForMMh) {
+  // Exponential service: scaling factor is 1, must match Erlang-C exactly.
+  const ServiceMoments s = ServiceMoments::of(dist::Exponential(1.0));
+  const MghMetrics approx = mgh_approx(3, 2.0, s);
+  const MmhMetrics exact = mmh(3, 2.0, 1.0);
+  EXPECT_NEAR(approx.mean_waiting, exact.mean_waiting, 1e-12);
+}
+
+TEST(MghApprox, DeterministicServiceHalvesTheWait) {
+  const ServiceMoments det = ServiceMoments::of(dist::Deterministic(1.0));
+  const ServiceMoments exp = ServiceMoments::of(dist::Exponential(1.0));
+  const MghMetrics d = mgh_approx(2, 1.0, det);
+  const MghMetrics e = mgh_approx(2, 1.0, exp);
+  EXPECT_NEAR(d.mean_waiting, 0.5 * e.mean_waiting, 1e-12);
+}
+
+TEST(MghApprox, WaitScalesWithServiceVariability) {
+  const std::size_t h = 4;
+  const double lambda = 3.0;
+  double prev = 0.0;
+  for (double scv : {1.0, 4.0, 16.0, 64.0}) {
+    const ServiceMoments s =
+        ServiceMoments::of(dist::Hyperexponential::fit_mean_scv(1.0, scv));
+    const MghMetrics m = mgh_approx(h, lambda, s);
+    ASSERT_TRUE(m.stable);
+    EXPECT_GT(m.mean_waiting, prev);
+    prev = m.mean_waiting;
+  }
+}
+
+TEST(MghApprox, UnstableAtSaturation) {
+  const ServiceMoments s = ServiceMoments::of(dist::Deterministic(1.0));
+  const MghMetrics m = mgh_approx(2, 2.0, s);
+  EXPECT_FALSE(m.stable);
+  EXPECT_TRUE(std::isinf(m.mean_slowdown));
+}
+
+TEST(MghApprox, ValidatesArguments) {
+  const ServiceMoments s = ServiceMoments::of(dist::Deterministic(1.0));
+  EXPECT_THROW((void)mgh_approx(0, 1.0, s), ContractViolation);
+  EXPECT_THROW((void)mgh_approx(2, 0.0, s), ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::queueing

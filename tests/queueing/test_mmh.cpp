@@ -1,0 +1,86 @@
+#include "queueing/mmh.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::queueing {
+namespace {
+
+TEST(ErlangC, SingleServerEqualsRho) {
+  // For h = 1, Erlang-C = a (the utilization).
+  EXPECT_NEAR(erlang_c(1, 0.3), 0.3, 1e-12);
+  EXPECT_NEAR(erlang_c(1, 0.9), 0.9, 1e-12);
+}
+
+TEST(ErlangC, KnownTwoServerValue) {
+  // C(2, a) = 2a^2 / (2 + 2a + a^2 - a^2) ... canonical closed form:
+  // C(2,a) = a^2 / (a^2/ (2*(1-a/2))) ... verify against direct sum.
+  const double a = 1.0;
+  // Direct computation: P0 = [sum_{k=0}^{1} a^k/k! + a^2/(2!(1-rho))]^-1
+  const double rho = a / 2.0;
+  const double p0 = 1.0 / (1.0 + a + (a * a / 2.0) / (1.0 - rho));
+  const double expected = (a * a / 2.0) / (1.0 - rho) * p0;
+  EXPECT_NEAR(erlang_c(2, a), expected, 1e-12);
+}
+
+TEST(ErlangC, ManyServersLightLoadRarelyWaits) {
+  EXPECT_LT(erlang_c(50, 10.0), 1e-6);
+}
+
+TEST(ErlangC, ApproachesOneNearSaturation) {
+  EXPECT_GT(erlang_c(4, 3.999), 0.99);
+}
+
+TEST(ErlangC, ValidatesArguments) {
+  EXPECT_THROW((void)erlang_c(0, 0.5), ContractViolation);
+  EXPECT_THROW((void)erlang_c(2, 2.0), ContractViolation);
+  EXPECT_THROW((void)erlang_c(2, 0.0), ContractViolation);
+}
+
+TEST(Mmh, ReducesToMm1) {
+  // M/M/1 with lambda=0.6, mu=1: E[W] = rho/(mu-lambda) = 1.5.
+  const MmhMetrics m = mmh(1, 0.6, 1.0);
+  ASSERT_TRUE(m.stable);
+  EXPECT_NEAR(m.mean_waiting, 1.5, 1e-12);
+  EXPECT_NEAR(m.mean_response, 2.5, 1e-12);
+  EXPECT_NEAR(m.mean_queue_len, 0.9, 1e-12);
+}
+
+TEST(Mmh, TwoServersClosedForm) {
+  // M/M/2, lambda = 1, mu = 1: C(2,1) = 1/3, E[W] = C/(2mu-lambda) = 1/3.
+  const MmhMetrics m = mmh(2, 1.0, 1.0);
+  EXPECT_NEAR(m.p_wait, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.mean_waiting, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Mmh, PoolingBeatsSplitQueues) {
+  // One M/M/2 at (lambda, mu) always beats two independent M/M/1 at
+  // (lambda/2, mu) — a classical pooling result the simulator also checks.
+  const MmhMetrics pooled = mmh(2, 1.2, 1.0);
+  const MmhMetrics split = mmh(1, 0.6, 1.0);
+  EXPECT_LT(pooled.mean_waiting, split.mean_waiting);
+}
+
+TEST(Mmh, UnstableAtFullLoad) {
+  const MmhMetrics m = mmh(2, 2.0, 1.0);
+  EXPECT_FALSE(m.stable);
+  EXPECT_TRUE(std::isinf(m.mean_waiting));
+  EXPECT_DOUBLE_EQ(m.p_wait, 1.0);
+}
+
+TEST(Mmh, WaitingDecreasesWithMoreServersAtFixedRho) {
+  // Fixed per-server load 0.8: larger pools wait less (economies of scale).
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t h : {1u, 2u, 4u, 8u, 16u}) {
+    const MmhMetrics m = mmh(h, 0.8 * static_cast<double>(h), 1.0);
+    ASSERT_TRUE(m.stable);
+    EXPECT_LT(m.mean_waiting, prev);
+    prev = m.mean_waiting;
+  }
+}
+
+}  // namespace
+}  // namespace distserv::queueing

@@ -1,0 +1,118 @@
+// Analytic policy comparison — the machinery behind the paper's Figure 8.
+// These tests pin the *ordering* the paper derives in §3.3.
+#include "queueing/policy_analysis.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workload/catalog.hpp"
+
+namespace distserv::queueing {
+namespace {
+
+MixtureSizeModel c90_model() {
+  return MixtureSizeModel(workload::service_distribution(
+      workload::find_workload("c90")));
+}
+
+TEST(PolicyAnalysis, RandomIsBernoulliSplitting) {
+  const auto model = c90_model();
+  const double lambda = lambda_for_load(model, 0.6, 2);
+  const Mg1Metrics r = analyze_random(model, lambda, 2);
+  const Mg1Metrics direct = mg1_fcfs(lambda / 2.0, model.overall_moments());
+  EXPECT_DOUBLE_EQ(r.mean_slowdown, direct.mean_slowdown);
+  EXPECT_NEAR(r.rho, 0.6, 1e-9);
+}
+
+TEST(PolicyAnalysis, RoundRobinSlightlyBeatsRandom) {
+  // Erlang-h arrivals shave the arrival variability: Kingman gives a lower
+  // wait than Random's Poisson splitting, but the service variance still
+  // dominates (paper: "performance close to the Random policy").
+  const auto model = c90_model();
+  const double lambda = lambda_for_load(model, 0.7, 2);
+  const auto random = analyze_random(model, lambda, 2);
+  const auto rr = analyze_round_robin(model, lambda, 2);
+  ASSERT_TRUE(rr.stable);
+  EXPECT_LT(rr.mean_waiting, random.mean_waiting);
+  EXPECT_GT(rr.mean_waiting, random.mean_waiting * 0.4);
+}
+
+TEST(PolicyAnalysis, LwlBeatsRandom) {
+  const auto model = c90_model();
+  for (double rho : {0.3, 0.5, 0.7}) {
+    const double lambda = lambda_for_load(model, rho, 2);
+    const auto lwl = analyze_lwl(model, lambda, 2);
+    const auto random = analyze_random(model, lambda, 2);
+    ASSERT_TRUE(lwl.stable);
+    EXPECT_LT(lwl.mean_slowdown, random.mean_slowdown) << rho;
+  }
+}
+
+TEST(PolicyAnalysis, SitaEBeatsLwlOnHeavyTailsAtTwoHosts) {
+  // The paper's central §3 finding for the supercomputing workloads.
+  const auto model = c90_model();
+  for (double rho : {0.5, 0.7, 0.8}) {
+    const double lambda = lambda_for_load(model, rho, 2);
+    const auto sita = analyze_sita_e(model, lambda, 2);
+    const auto lwl = analyze_lwl(model, lambda, 2);
+    ASSERT_TRUE(sita.stable);
+    EXPECT_LT(sita.mean_slowdown, lwl.mean_slowdown) << rho;
+  }
+}
+
+TEST(PolicyAnalysis, OrderingRandomWorstSitaEBest) {
+  const auto model = c90_model();
+  const double lambda = lambda_for_load(model, 0.7, 2);
+  const double s_random = analyze_random(model, lambda, 2).mean_slowdown;
+  const double s_rr = analyze_round_robin(model, lambda, 2).mean_slowdown;
+  const double s_lwl = analyze_lwl(model, lambda, 2).mean_slowdown;
+  const double s_sita = analyze_sita_e(model, lambda, 2).mean_slowdown;
+  EXPECT_GT(s_random, s_lwl);
+  EXPECT_GT(s_rr, s_lwl);
+  EXPECT_GT(s_lwl, s_sita);
+  // Paper: Random exceeds SITA-E by about an order of magnitude.
+  EXPECT_GT(s_random / s_sita, 5.0);
+}
+
+TEST(PolicyAnalysis, EverythingDegradesWithLoad) {
+  const auto model = c90_model();
+  double prev_random = 0.0, prev_lwl = 0.0, prev_sita = 0.0;
+  for (double rho : {0.2, 0.4, 0.6, 0.8}) {
+    const double lambda = lambda_for_load(model, rho, 2);
+    const double r = analyze_random(model, lambda, 2).mean_slowdown;
+    const double l = analyze_lwl(model, lambda, 2).mean_slowdown;
+    const double s = analyze_sita_e(model, lambda, 2).mean_slowdown;
+    EXPECT_GT(r, prev_random);
+    EXPECT_GT(l, prev_lwl);
+    EXPECT_GT(s, prev_sita);
+    prev_random = r;
+    prev_lwl = l;
+    prev_sita = s;
+  }
+}
+
+TEST(PolicyAnalysis, LwlImprovesWithHostsAtFixedSystemLoad) {
+  // Paper §3.3: "Least-Work-Left gets much better when we increase the
+  // number of hosts" (more chance of an idle host).
+  const auto model = c90_model();
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t h : {2u, 4u, 8u, 16u}) {
+    const double lambda = lambda_for_load(model, 0.7, h);
+    const auto lwl = analyze_lwl(model, lambda, h);
+    EXPECT_LT(lwl.mean_slowdown, prev);
+    prev = lwl.mean_slowdown;
+  }
+}
+
+TEST(PolicyAnalysis, UnstableAboveSaturation) {
+  const auto model = c90_model();
+  const double lambda = lambda_for_load(model, 1.05, 2);
+  EXPECT_FALSE(analyze_random(model, lambda, 2).stable);
+  EXPECT_FALSE(analyze_round_robin(model, lambda, 2).stable);
+  EXPECT_FALSE(analyze_lwl(model, lambda, 2).stable);
+  EXPECT_FALSE(analyze_sita_e(model, lambda, 2).stable);
+}
+
+}  // namespace
+}  // namespace distserv::queueing

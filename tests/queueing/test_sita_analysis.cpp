@@ -1,0 +1,114 @@
+#include "queueing/sita_analysis.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::queueing {
+namespace {
+
+BoundedParetoSizeModel c90ish() {
+  return BoundedParetoSizeModel(dist::BoundedPareto(1.1, 1.0, 1e5));
+}
+
+TEST(SitaECutoffs, EqualizeLoad) {
+  const auto model = c90ish();
+  for (std::size_t h : {2u, 3u, 4u, 8u}) {
+    const auto cutoffs = sita_e_cutoffs(model, h);
+    ASSERT_EQ(cutoffs.size(), h - 1);
+    for (std::size_t i = 0; i < cutoffs.size(); ++i) {
+      EXPECT_NEAR(model.load_fraction_below(cutoffs[i]),
+                  static_cast<double>(i + 1) / static_cast<double>(h), 1e-6)
+          << "h=" << h << " i=" << i;
+    }
+    EXPECT_TRUE(std::is_sorted(cutoffs.begin(), cutoffs.end()));
+  }
+}
+
+TEST(LambdaForLoad, InvertsUtilization) {
+  const auto model = c90ish();
+  const double lambda = lambda_for_load(model, 0.7, 2);
+  const ServiceMoments s = model.overall_moments();
+  EXPECT_NEAR(lambda * s.m1 / 2.0, 0.7, 1e-12);
+}
+
+TEST(AnalyzeSita, HostLoadsMatchCutoffDesign) {
+  const auto model = c90ish();
+  const double lambda = lambda_for_load(model, 0.6, 2);
+  const auto cutoffs = sita_e_cutoffs(model, 2);
+  const SitaMetrics m = analyze_sita(model, lambda, cutoffs);
+  ASSERT_TRUE(m.stable);
+  ASSERT_EQ(m.hosts.size(), 2u);
+  // SITA-E: each host runs at the system load.
+  EXPECT_NEAR(m.hosts[0].mg1.rho, 0.6, 1e-6);
+  EXPECT_NEAR(m.hosts[1].mg1.rho, 0.6, 1e-6);
+  EXPECT_NEAR(m.hosts[0].load_fraction, 0.5, 1e-6);
+  EXPECT_NEAR(m.hosts[0].job_fraction + m.hosts[1].job_fraction, 1.0, 1e-9);
+  // Heavy tail: almost all jobs are short.
+  EXPECT_GT(m.hosts[0].job_fraction, 0.9);
+}
+
+TEST(AnalyzeSita, MixtureIsJobWeighted) {
+  const auto model = c90ish();
+  const double lambda = lambda_for_load(model, 0.5, 2);
+  const auto cutoffs = sita_e_cutoffs(model, 2);
+  const SitaMetrics m = analyze_sita(model, lambda, cutoffs);
+  const double expect_mean =
+      m.hosts[0].job_fraction * m.hosts[0].mg1.mean_slowdown +
+      m.hosts[1].job_fraction * m.hosts[1].mg1.mean_slowdown;
+  EXPECT_NEAR(m.mean_slowdown, expect_mean, expect_mean * 1e-12);
+  EXPECT_GE(m.var_slowdown, 0.0);
+  EXPECT_GE(m.mean_slowdown, 1.0);
+}
+
+TEST(AnalyzeSita, VarianceReductionIsTheWholePoint) {
+  // Per-host E[X^2] of the short host must collapse relative to the overall
+  // distribution (paper §3.3's explanation of SITA-E's win).
+  const auto model = c90ish();
+  const auto cutoffs = sita_e_cutoffs(model, 2);
+  const ServiceMoments all = model.overall_moments();
+  const ServiceMoments shorts =
+      model.conditional_moments(0.0, cutoffs[0]);
+  EXPECT_LT(shorts.m2, all.m2 * 0.05);
+}
+
+TEST(AnalyzeSita, UnstableWhenAHostSaturates) {
+  const auto model = c90ish();
+  const double lambda = lambda_for_load(model, 0.9, 2);
+  // Push nearly all load to host 1: cutoff near the top of the support.
+  const SitaMetrics m = analyze_sita(model, lambda, {9.9e4});
+  EXPECT_FALSE(m.stable);
+  EXPECT_TRUE(std::isinf(m.mean_slowdown));
+}
+
+TEST(AnalyzeSita, FourHostSplit) {
+  const auto model = c90ish();
+  const double lambda = lambda_for_load(model, 0.5, 4);
+  const SitaMetrics m = analyze_sita(model, lambda, sita_e_cutoffs(model, 4));
+  ASSERT_TRUE(m.stable);
+  ASSERT_EQ(m.hosts.size(), 4u);
+  for (const auto& hm : m.hosts) {
+    EXPECT_NEAR(hm.mg1.rho, 0.5, 1e-5);
+    EXPECT_NEAR(hm.load_fraction, 0.25, 1e-6);
+  }
+}
+
+TEST(AnalyzeSita, FairnessGapZeroOnlyWhenHostsEqual) {
+  const auto model = c90ish();
+  const double lambda = lambda_for_load(model, 0.6, 2);
+  const SitaMetrics m =
+      analyze_sita(model, lambda, sita_e_cutoffs(model, 2));
+  EXPECT_GT(m.fairness_gap, 0.01);  // SITA-E is not fair
+}
+
+TEST(AnalyzeSita, ValidatesCutoffs) {
+  const auto model = c90ish();
+  EXPECT_THROW((void)analyze_sita(model, 1.0, {5.0, 5.0}),
+               ContractViolation);
+  EXPECT_THROW((void)analyze_sita(model, 0.0, {5.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::queueing

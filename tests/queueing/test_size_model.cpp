@@ -1,0 +1,122 @@
+// The empirical and analytic size models must agree with each other when
+// built from the same underlying distribution — the foundation of the
+// trace-driven vs analytic comparison (paper Figs 2/8).
+#include "queueing/size_model.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dist/rng.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::queueing {
+namespace {
+
+const std::vector<double> kSizes = {1.0, 2.0, 2.0, 4.0, 10.0, 100.0};
+
+TEST(EmpiricalSizeModel, ProbabilityAndPartialMoments) {
+  const EmpiricalSizeModel m(kSizes);
+  EXPECT_DOUBLE_EQ(m.probability(0.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(m.probability(2.0, 10.0), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(m.partial_moment(1.0, 0.0, 2.0), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(m.partial_moment(0.0, 0.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(m.partial_moment(2.0, 4.0, 100.0),
+                   (100.0 + 10000.0) / 6.0);
+}
+
+TEST(EmpiricalSizeModel, PrefixSumsMatchDirectComputation) {
+  const EmpiricalSizeModel m(kSizes);
+  for (double j : {1.0, 2.0, 3.0, -1.0, -2.0}) {
+    double direct = 0.0;
+    for (double x : kSizes) {
+      if (x > 2.0 && x <= 10.0) direct += std::pow(x, j);
+    }
+    direct /= kSizes.size();
+    EXPECT_NEAR(m.partial_moment(j, 2.0, 10.0), direct, 1e-12) << j;
+  }
+}
+
+TEST(EmpiricalSizeModel, ConditionalMomentsNormalize) {
+  const EmpiricalSizeModel m(kSizes);
+  const ServiceMoments s = m.conditional_moments(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.m1, 5.0 / 3.0);  // {1,2,2} mean
+  EXPECT_DOUBLE_EQ(s.m2, 3.0);        // {1,4,4} mean
+}
+
+TEST(EmpiricalSizeModel, LoadQuantile) {
+  const EmpiricalSizeModel m(kSizes);
+  // total = 119. Load fraction below 10 is 19/119 ~ 0.16; below 100 it's 1.
+  EXPECT_DOUBLE_EQ(m.load_quantile(0.15), 10.0);
+  EXPECT_DOUBLE_EQ(m.load_quantile(0.5), 100.0);
+}
+
+TEST(EmpiricalSizeModel, CutoffGridIsSortedDistinct) {
+  const EmpiricalSizeModel m(kSizes);
+  const auto grid = m.cutoff_grid(100);
+  EXPECT_EQ(grid.size(), 5u);  // distinct values
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  const auto thin = m.cutoff_grid(3);
+  EXPECT_LE(thin.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(thin.begin(), thin.end()));
+}
+
+TEST(BoundedParetoSizeModel, MatchesDistributionClosedForms) {
+  const dist::BoundedPareto d(1.1, 1.0, 1e5);
+  const BoundedParetoSizeModel m(d);
+  EXPECT_DOUBLE_EQ(m.min_size(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max_size(), 1e5);
+  EXPECT_NEAR(m.probability(0.0, 50.0), d.cdf(50.0), 1e-12);
+  EXPECT_NEAR(m.partial_moment(1.0, 1.0, 1e5), d.mean(), d.mean() * 1e-12);
+  const ServiceMoments s = m.overall_moments();
+  EXPECT_NEAR(s.m1, d.mean(), d.mean() * 1e-12);
+  EXPECT_NEAR(s.inv1, d.moment(-1.0), 1e-12);
+}
+
+TEST(BoundedParetoSizeModel, LoadQuantileInvertsLoadFraction) {
+  const BoundedParetoSizeModel m(dist::BoundedPareto(1.1, 1.0, 1e5));
+  for (double f : {0.1, 0.25, 0.5, 0.9}) {
+    const double c = m.load_quantile(f);
+    EXPECT_NEAR(m.load_fraction_below(c), f, 1e-6);
+  }
+}
+
+TEST(MixtureSizeModel, AgreesWithEmpiricalModelOfItsOwnSamples) {
+  const dist::BoundedParetoMixture mix(
+      {dist::BoundedPareto(0.25, 1.0, 1000.0),
+       dist::BoundedPareto(1.05, 1000.0, 1e6)},
+      {0.4, 0.6});
+  const MixtureSizeModel analytic(mix);
+  dist::Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 400000; ++i) samples.push_back(mix.sample(rng));
+  const EmpiricalSizeModel empirical(samples);
+  // First moments and probabilities agree within sampling error.
+  EXPECT_NEAR(empirical.probability(0.0, 500.0),
+              analytic.probability(0.0, 500.0), 0.01);
+  EXPECT_NEAR(empirical.partial_moment(1.0, 0.0, 5000.0),
+              analytic.partial_moment(1.0, 0.0, 5000.0),
+              analytic.partial_moment(1.0, 0.0, 5000.0) * 0.05);
+  EXPECT_NEAR(empirical.load_quantile(0.5) / analytic.load_quantile(0.5),
+              1.0, 0.25);
+}
+
+TEST(MixtureSizeModel, LoadQuantileConsistency) {
+  const dist::BoundedParetoMixture mix(
+      {dist::BoundedPareto(0.25, 1.0, 1000.0),
+       dist::BoundedPareto(1.05, 1000.0, 1e6)},
+      {0.4, 0.6});
+  const MixtureSizeModel m(mix);
+  for (double f : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(m.load_fraction_below(m.load_quantile(f)), f, 1e-6);
+  }
+}
+
+TEST(SizeModel, ConditionalMomentsRequirePositiveMass) {
+  const EmpiricalSizeModel m(kSizes);
+  EXPECT_THROW((void)m.conditional_moments(200.0, 300.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::queueing

@@ -1,0 +1,87 @@
+#include "sim/event_queue.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimePeeksWithoutPopping) {
+  EventQueue q;
+  q.schedule(7.0, [] {});
+  q.schedule(4.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, RejectsInvalidSchedules) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1.0, [] {}), ContractViolation);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::infinity(), [] {}),
+               ContractViolation);
+  EXPECT_THROW(q.schedule(1.0, std::function<void()>{}), ContractViolation);
+}
+
+TEST(EventQueue, PopAndPeekOnEmptyAreErrors) {
+  EventQueue q;
+  EXPECT_THROW((void)q.pop(), ContractViolation);
+  EXPECT_THROW((void)q.next_time(), ContractViolation);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ScheduledCountIsMonotone) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  (void)q.pop();
+  q.clear();
+  q.schedule(3.0, [] {});
+  EXPECT_EQ(q.scheduled_count(), 3u);
+}
+
+TEST(EventQueue, StressOrderingWithManyEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  // Insert in a scrambled deterministic order.
+  for (int i = 0; i < 5000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 104729);
+    q.schedule(t, [&times, t] { times.push_back(t); });
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_EQ(times.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace distserv::sim

@@ -1,0 +1,102 @@
+#include "sim/simulator.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> observed;
+  sim.schedule_at(2.0, [&] { observed.push_back(sim.now()); });
+  sim.schedule_at(5.0, [&] { observed.push_back(sim.now()); });
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  const auto n = sim.run();
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(observed, (std::vector<double>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 12.5);
+}
+
+TEST(Simulator, SchedulingInThePastIsAnError) {
+  Simulator sim;
+  sim.schedule_at(5.0, [&] {
+    EXPECT_THROW(sim.schedule_at(4.0, [] {}), ContractViolation);
+    EXPECT_THROW(sim.schedule_in(-1.0, [] {}), ContractViolation);
+  });
+  sim.run();
+}
+
+TEST(Simulator, EventsCanCascade) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+TEST(Simulator, StopHaltsTheRun) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(static_cast<double>(i), [&] {
+      ++fired;
+      if (fired == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending(), 7u);
+  // run() again resumes.
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(static_cast<double>(i), [&] { ++fired; });
+  }
+  const auto n = sim.run_until(5.5);
+  EXPECT_EQ(n, 5u);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.5);
+  EXPECT_EQ(sim.pending(), 5u);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, RunUntilOnEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, ExecutedCountsAcrossRuns) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run();
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 2u);
+}
+
+}  // namespace
+}  // namespace distserv::sim

@@ -1,0 +1,79 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/rng.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::stats {
+namespace {
+
+TEST(TCritical, MatchesStandardTables) {
+  // Two-sided 95%: t_{dof,0.975}.
+  EXPECT_NEAR(t_critical(0.95, 1), 12.706, 0.01);
+  EXPECT_NEAR(t_critical(0.95, 4), 2.776, 0.002);
+  EXPECT_NEAR(t_critical(0.95, 10), 2.228, 0.002);
+  EXPECT_NEAR(t_critical(0.95, 30), 2.042, 0.002);
+  // Two-sided 99%.
+  EXPECT_NEAR(t_critical(0.99, 10), 3.169, 0.003);
+  // Large dof approaches the normal quantile 1.96.
+  EXPECT_NEAR(t_critical(0.95, 10000), 1.960, 0.002);
+}
+
+TEST(TCritical, ValidatesArguments) {
+  EXPECT_THROW((void)t_critical(0.0, 5), ContractViolation);
+  EXPECT_THROW((void)t_critical(1.0, 5), ContractViolation);
+  EXPECT_THROW((void)t_critical(0.95, 0), ContractViolation);
+}
+
+TEST(TInterval, HandComputedExample) {
+  // xs: mean 10, sample sd 2, n = 4 -> half width = t_{3,.975}*2/2 = 3.182*1.
+  const std::vector<double> xs = {8.0, 9.0, 11.0, 12.0};
+  const Interval ci = t_interval(xs, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 10.0);
+  EXPECT_NEAR(ci.half_width, 3.182 * std::sqrt(10.0 / 3.0) / 2.0, 0.01);
+  EXPECT_TRUE(ci.contains(10.0));
+  EXPECT_DOUBLE_EQ(ci.hi - ci.mean, ci.mean - ci.lo);
+}
+
+TEST(TInterval, RequiresTwoValues) {
+  EXPECT_THROW((void)t_interval(std::vector<double>{1.0}),
+               ContractViolation);
+}
+
+TEST(TInterval, CoverageOfKnownMean) {
+  // Repeated 95% intervals over N(5,1) samples should cover 5 about 95% of
+  // the time; assert a generous band to keep the test deterministic-free.
+  dist::Rng rng(77);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs;
+    for (int i = 0; i < 10; ++i) xs.push_back(5.0 + rng.normal());
+    if (t_interval(xs, 0.95).contains(5.0)) ++covered;
+  }
+  EXPECT_GT(covered, trials * 0.90);
+  EXPECT_LT(covered, trials * 0.99);
+}
+
+TEST(BatchMeans, EqualsTIntervalOverBatchMeans) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i % 10));
+  const Interval bm = batch_means_interval(xs, 5, 0.95);
+  // 5 batches of 20, each containing two full cycles 0..9: all batch means
+  // equal 4.5 -> zero-width interval.
+  EXPECT_DOUBLE_EQ(bm.mean, 4.5);
+  EXPECT_NEAR(bm.half_width, 0.0, 1e-12);
+}
+
+TEST(BatchMeans, ValidatesArguments) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)batch_means_interval(xs, 1), ContractViolation);
+  EXPECT_THROW((void)batch_means_interval(xs, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::stats

@@ -1,0 +1,66 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::stats {
+namespace {
+
+TEST(LogHistogram, BucketBoundsAreGeometric) {
+  LogHistogram h(1.0, 1000.0, 3);
+  const auto [l0, u0] = h.bucket_bounds(0);
+  const auto [l1, u1] = h.bucket_bounds(1);
+  const auto [l2, u2] = h.bucket_bounds(2);
+  EXPECT_NEAR(l0, 1.0, 1e-12);
+  EXPECT_NEAR(u0, 10.0, 1e-9);
+  EXPECT_NEAR(l1, 10.0, 1e-9);
+  EXPECT_NEAR(u1, 100.0, 1e-9);
+  EXPECT_NEAR(u2, 1000.0, 1e-9);
+}
+
+TEST(LogHistogram, RoutesValuesToCorrectBuckets) {
+  LogHistogram h(1.0, 1000.0, 3);
+  h.add(2.0);     // bucket 0
+  h.add(50.0);    // bucket 1
+  h.add(999.0);   // bucket 2
+  h.add(0.5);     // underflow
+  h.add(2000.0);  // overflow
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(LogHistogram, BoundaryValues) {
+  LogHistogram h(1.0, 100.0, 2);
+  h.add(1.0);    // exactly lo -> bucket 0
+  h.add(100.0);  // exactly hi -> overflow (right-open buckets)
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(LogHistogram, ValidatesConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 4), ContractViolation);
+  EXPECT_THROW(LogHistogram(10.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), ContractViolation);
+}
+
+TEST(LogHistogram, RenderShowsCountsAndBars) {
+  LogHistogram h(1.0, 100.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(5.0);
+  h.add(50.0);
+  const std::string text = h.render(20);
+  EXPECT_NE(text.find("10"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(LogHistogram, RenderOfEmptyHistogramIsSafe) {
+  LogHistogram h(1.0, 100.0, 4);
+  EXPECT_NO_THROW({ const auto text = h.render(); (void)text; });
+}
+
+}  // namespace
+}  // namespace distserv::stats

@@ -1,0 +1,78 @@
+#include "stats/ks_test.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/rng.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::stats {
+namespace {
+
+TEST(KolmogorovQ, KnownValues) {
+  // Q(0) = 1; Q(1.36) ~ 0.049 (the classic 5% critical value);
+  // Q at large t -> 0.
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_q(1.36), 0.049, 0.002);
+  EXPECT_NEAR(kolmogorov_q(1.63), 0.010, 0.001);
+  EXPECT_LT(kolmogorov_q(3.0), 1e-6);
+}
+
+TEST(KsTest, UniformSamplesAgainstUniformCdf) {
+  dist::Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.uniform01());
+  const KsResult r = ks_test(xs, [](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  });
+  EXPECT_GT(r.p_value, 0.01);
+  EXPECT_LT(r.statistic, 0.02);
+}
+
+TEST(KsTest, DetectsWrongDistribution) {
+  dist::Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.uniform01());
+  // Test uniform samples against an exponential CDF: must reject hard.
+  const KsResult r =
+      ks_test(xs, [](double x) { return 1.0 - std::exp(-x); });
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, DetectsShiftedMean) {
+  dist::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.uniform01() + 0.02);
+  const KsResult r = ks_test(xs, [](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  });
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(KsTest, RequiresEnoughSamples) {
+  const std::vector<double> xs = {0.1, 0.2, 0.3};
+  EXPECT_THROW((void)ks_test(xs, [](double x) { return x; }),
+               ContractViolation);
+}
+
+TEST(KsTest, FalsePositiveRateIsCalibrated) {
+  // Repeated tests of correct samples should reject at ~alpha.
+  dist::Rng rng(8);
+  int rejects = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform01());
+    if (ks_test(xs, [](double x) { return std::clamp(x, 0.0, 1.0); })
+            .p_value < 0.05) {
+      ++rejects;
+    }
+  }
+  EXPECT_GT(rejects, 2);    // not hopelessly conservative
+  EXPECT_LT(rejects, 40);   // not wildly anti-conservative (~5% of 300)
+}
+
+}  // namespace
+}  // namespace distserv::stats

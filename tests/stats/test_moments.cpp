@@ -1,0 +1,69 @@
+#include "stats/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::stats {
+namespace {
+
+TEST(RawMoments, DefaultExponentSet) {
+  RawMoments m;
+  ASSERT_EQ(m.exponents().size(), 5u);
+  m.add(2.0);
+  m.add(4.0);
+  EXPECT_DOUBLE_EQ(m.moment(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(m.moment(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.moment(3.0), 36.0);
+  EXPECT_DOUBLE_EQ(m.moment(-1.0), 0.375);
+  EXPECT_DOUBLE_EQ(m.moment(-2.0), (0.25 + 0.0625) / 2.0);
+}
+
+TEST(RawMoments, CustomExponents) {
+  RawMoments m({0.5});
+  m.add(4.0);
+  m.add(9.0);
+  EXPECT_DOUBLE_EQ(m.moment(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(m.moment_at(0), 2.5);
+}
+
+TEST(RawMoments, RequiresPositiveObservations) {
+  RawMoments m;
+  EXPECT_THROW(m.add(0.0), ContractViolation);
+  EXPECT_THROW(m.add(-1.0), ContractViolation);
+}
+
+TEST(RawMoments, UntrackedExponentIsAnError) {
+  RawMoments m;
+  m.add(1.0);
+  EXPECT_THROW((void)m.moment(0.5), ContractViolation);
+}
+
+TEST(RawMoments, EmptyAccumulatorRefusesQueries) {
+  RawMoments m;
+  EXPECT_THROW((void)m.moment(1.0), ContractViolation);
+}
+
+TEST(RawMoments, CompensatedAcrossManyScales) {
+  // Summing 1e6 copies of alternating magnitudes would drift badly without
+  // compensation; with Neumaier the error stays at machine precision.
+  RawMoments m({1.0});
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    m.add(1e12);
+    m.add(1e-6);
+  }
+  const double expected = (1e12 + 1e-6) / 2.0;
+  EXPECT_NEAR(m.moment(1.0), expected, expected * 1e-14);
+}
+
+TEST(RawMoments, CountTracksAdds) {
+  RawMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  m.add(1.0);
+  m.add(2.0);
+  EXPECT_EQ(m.count(), 2u);
+}
+
+}  // namespace
+}  // namespace distserv::stats

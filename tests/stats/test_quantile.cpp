@@ -1,0 +1,56 @@
+#include "stats/quantile.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::stats {
+namespace {
+
+const std::vector<double> kXs = {5.0, 1.0, 4.0, 2.0, 3.0};
+
+TEST(Quantile, NearestRankValues) {
+  EXPECT_DOUBLE_EQ(quantile(kXs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(kXs, 0.2), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(kXs, 0.21), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(kXs, 0.99), 5.0);
+}
+
+TEST(Quantile, DoesNotModifyInput) {
+  std::vector<double> xs = kXs;
+  (void)quantile(xs, 0.5);
+  EXPECT_EQ(xs, kXs);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.01), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(one, 0.99), 7.0);
+}
+
+TEST(Quantile, ValidatesInput) {
+  EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5),
+               ContractViolation);
+  EXPECT_THROW((void)quantile(kXs, 0.0), ContractViolation);
+  EXPECT_THROW((void)quantile(kXs, 1.0), ContractViolation);
+}
+
+TEST(Quantiles, BatchMatchesSingle) {
+  const std::vector<double> qs = {0.2, 0.5, 0.99};
+  const auto batch = quantiles(kXs, qs);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], quantile(kXs, qs[i]));
+  }
+}
+
+TEST(Median, Shorthand) {
+  EXPECT_DOUBLE_EQ(median(kXs), 3.0);
+  const std::vector<double> even = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.0);  // nearest-rank: ceil(0.5*4)=2nd
+}
+
+}  // namespace
+}  // namespace distserv::stats

@@ -1,0 +1,78 @@
+#include "stats/welford.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace distserv::stats {
+namespace {
+
+TEST(Welford, HandComputedMoments) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_NEAR(w.variance_population(), 4.0, 1e-12);
+  EXPECT_NEAR(w.variance_sample(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+  EXPECT_DOUBLE_EQ(w.sum(), 40.0);
+}
+
+TEST(Welford, EmptyAndSingleton) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance_sample(), 0.0);
+  w.add(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.variance_sample(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance_population(), 0.0);
+}
+
+TEST(Welford, NumericallyStableAtLargeOffset) {
+  // Classic catastrophic-cancellation case: tiny variance on a huge mean.
+  Welford w;
+  for (double x : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0}) w.add(x);
+  EXPECT_NEAR(w.variance_sample(), 30.0, 1e-6);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(std::sin(i) * 100.0 + 5.0);
+  Welford all;
+  for (double x : xs) all.add(x);
+  Welford a, b;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 400 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance_sample(), all.variance_sample(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmptySides) {
+  Welford a, b;
+  a.add(1.0);
+  a.add(3.0);
+  Welford a_copy = a;
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs: adopt rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Welford, ScvMatchesDefinition) {
+  Welford w;
+  for (double x : {1.0, 2.0, 3.0}) w.add(x);
+  EXPECT_NEAR(w.scv(), 1.0 / 4.0, 1e-12);  // var=1, mean^2=4
+}
+
+}  // namespace
+}  // namespace distserv::stats

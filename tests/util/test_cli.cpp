@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+  const Cli cli = make({"prog", "--hosts", "4", "--load", "0.7"});
+  EXPECT_EQ(cli.get_int("hosts", 0), 4);
+  EXPECT_DOUBLE_EQ(cli.get_double("load", 0.0), 0.7);
+}
+
+TEST(Cli, ParsesEqualsSyntax) {
+  const Cli cli = make({"prog", "--workload=c90"});
+  EXPECT_EQ(cli.get_string("workload", ""), "c90");
+}
+
+TEST(Cli, BooleanFlagAtEnd) {
+  const Cli cli = make({"prog", "--verbose"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get("verbose"), "");
+}
+
+TEST(Cli, FlagFollowedByAnotherOption) {
+  const Cli cli = make({"prog", "--csv", "--seed", "9"});
+  EXPECT_TRUE(cli.has("csv"));
+  EXPECT_EQ(cli.get_int("seed", 0), 9);
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make({"prog", "input.swf", "--hosts", "2", "output.csv"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.swf");
+  EXPECT_EQ(cli.positional()[1], "output.csv");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const Cli cli = make({"prog"});
+  EXPECT_EQ(cli.get_int("hosts", 2), 2);
+  EXPECT_DOUBLE_EQ(cli.get_double("load", 0.5), 0.5);
+  EXPECT_EQ(cli.get_string("workload", "c90"), "c90");
+  EXPECT_FALSE(cli.get("missing").has_value());
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  const Cli cli = make({"prog", "--hosts", "abc"});
+  EXPECT_THROW((void)cli.get_int("hosts", 0), ContractViolation);
+}
+
+TEST(Cli, ProgramName) {
+  const Cli cli = make({"bench_fig2"});
+  EXPECT_EQ(cli.program(), "bench_fig2");
+}
+
+}  // namespace
+}  // namespace distserv::util

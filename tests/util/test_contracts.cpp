@@ -1,0 +1,47 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace distserv {
+namespace {
+
+TEST(Contracts, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(DS_EXPECTS(1 + 1 == 2));
+  EXPECT_NO_THROW(DS_ENSURES(true));
+  EXPECT_NO_THROW(DS_ASSERT(42 > 0));
+}
+
+TEST(Contracts, FailureThrowsWithDiagnostics) {
+  try {
+    DS_EXPECTS(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("precondition"), std::string::npos);
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+    EXPECT_NE(msg.find("test_contracts.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, KindsAreDistinguished) {
+  try {
+    DS_ENSURES(false);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"),
+              std::string::npos);
+  }
+  try {
+    DS_ASSERT(false);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("assertion"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  EXPECT_THROW(DS_ASSERT(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace distserv

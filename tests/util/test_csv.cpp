@@ -1,0 +1,55 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"load", "slowdown"});
+  w.row(std::vector<std::string>{"0.5", "12.5"});
+  w.row(std::vector<double>{0.6, 14.25});
+  EXPECT_EQ(out.str(), "load,slowdown\n0.5,12.5\n0.6,14.25\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriter, EnforcesColumnCount) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row(std::vector<std::string>{"only-one"}),
+               ContractViolation);
+}
+
+TEST(CsvWriter, RejectsSecondHeader) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), ContractViolation);
+}
+
+TEST(CsvWriter, InfersColumnsFromFirstRowWithoutHeader) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row(std::vector<std::string>{"1", "2", "3"});
+  EXPECT_THROW(w.row(std::vector<std::string>{"1"}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::util

@@ -1,0 +1,48 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace distserv::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, ParseNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kWarn);  // safe default
+}
+
+TEST(Log, SuppressedLevelsDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  DS_LOG(kError) << "this must be swallowed " << 42;
+  DS_LOG(kDebug) << "so must this";
+}
+
+TEST(Log, StreamingAcceptsMixedTypes) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  DS_LOG(kInfo) << "jobs=" << 100 << " load=" << 0.7 << " ok=" << true;
+}
+
+}  // namespace
+}  // namespace distserv::util

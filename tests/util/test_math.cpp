@@ -1,0 +1,116 @@
+#include "util/math.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::util {
+namespace {
+
+TEST(KahanSum, SumsExactlyForSmallInputs) {
+  KahanSum acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.value(), 6.0);
+}
+
+TEST(KahanSum, RecoversCancellationNaiveSummationLoses) {
+  // 1 + 1e100 - 1e100 naive gives 0; compensated keeps the 1.
+  KahanSum acc;
+  acc.add(1.0);
+  acc.add(1e100);
+  acc.add(-1e100);
+  EXPECT_DOUBLE_EQ(acc.value(), 1.0);
+}
+
+TEST(KahanSum, ManyTinyIncrementsOnLargeBase) {
+  KahanSum acc;
+  acc.add(1e16);
+  for (int i = 0; i < 10000; ++i) acc.add(0.1);
+  EXPECT_NEAR(acc.value(), 1e16 + 1000.0, 1e-3);
+}
+
+TEST(CompensatedSum, MatchesKahanAccumulator) {
+  const std::vector<double> xs = {1e-8, 1e8, 1.0, -1e8, 2.5};
+  EXPECT_DOUBLE_EQ(compensated_sum(xs), 1e-8 + 1.0 + 2.5);
+}
+
+TEST(Bisect, FindsRootOfMonotoneFunction) {
+  const auto r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, ReturnsEndpointWhenItIsExactRoot) {
+  const auto r = bisect([](double x) { return x; }, 0.0, 5.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 0.0);
+}
+
+TEST(Bisect, HandlesDecreasingFunction) {
+  const auto r = bisect([](double x) { return 1.0 - x; }, 0.0, 3.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.0, 1e-9);
+}
+
+TEST(Bisect, RejectsBracketWithoutSignChange) {
+  EXPECT_THROW(
+      (void)bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      ContractViolation);
+}
+
+TEST(Bisect, RespectsFunctionTolerance) {
+  const auto r = bisect([](double x) { return x - 0.5; }, 0.0, 1.0,
+                        /*xtol=*/0.0, /*ftol=*/1e-3, /*max_iter=*/100);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.fx, 0.0, 1e-3);
+}
+
+TEST(GoldenSection, FindsMinimumOfParabola) {
+  const auto r = golden_section_minimize(
+      [](double x) { return (x - 1.5) * (x - 1.5); }, 0.0, 4.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.5, 1e-6);
+}
+
+TEST(GoldenSection, HandlesMinimumAtBoundary) {
+  const auto r =
+      golden_section_minimize([](double x) { return x; }, 2.0, 5.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-6);
+}
+
+TEST(Linspace, EndpointsExactAndEvenlySpaced) {
+  const auto xs = linspace(0.0, 1.0, 11);
+  ASSERT_EQ(xs.size(), 11u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_NEAR(xs[i] - xs[i - 1], 0.1, 1e-12);
+  }
+}
+
+TEST(Logspace, EndpointsExactAndGeometric) {
+  const auto xs = logspace(1.0, 1000.0, 4);
+  ASSERT_EQ(xs.size(), 4u);
+  EXPECT_DOUBLE_EQ(xs.front(), 1.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1000.0);
+  EXPECT_NEAR(xs[1], 10.0, 1e-9);
+  EXPECT_NEAR(xs[2], 100.0, 1e-9);
+}
+
+TEST(Logspace, RejectsNonPositiveLowerBound) {
+  EXPECT_THROW((void)logspace(0.0, 10.0, 4), ContractViolation);
+}
+
+TEST(ApproxEqual, RelativeAndAbsoluteTolerances) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.1));
+  EXPECT_TRUE(approx_equal(0.0, 1e-9, 1e-9, 1e-8));
+}
+
+}  // namespace
+}  // namespace distserv::util

@@ -1,0 +1,87 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace distserv::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleFieldWithoutDelimiter) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  const auto parts = split_whitespace("  1\t2   3\n4  ");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "1");
+  EXPECT_EQ(parts[3], "4");
+}
+
+TEST(SplitWhitespace, EmptyAndBlankInputs) {
+  EXPECT_TRUE(split_whitespace("").empty());
+  EXPECT_TRUE(split_whitespace("   \t\n ").empty());
+}
+
+TEST(Trim, RemovesBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t"), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(ParseDouble, AcceptsValidRejectsGarbage) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.25", v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(parse_double("  -1e3 ", v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(parse_double("12x", v));
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("nanx", v));
+}
+
+TEST(ParseInt64, AcceptsValidRejectsGarbage) {
+  long long v = 0;
+  EXPECT_TRUE(parse_int64("-42", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(parse_int64("4.2", v));
+  EXPECT_FALSE(parse_int64("", v));
+}
+
+TEST(FormatSig, SignificantDigits) {
+  EXPECT_EQ(format_sig(1234.5678, 4), "1235");
+  EXPECT_EQ(format_sig(0.000123456, 3), "0.000123");
+}
+
+TEST(FormatFixed, FixedDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("C90-Trace"), "c90-trace");
+}
+
+}  // namespace
+}  // namespace distserv::util

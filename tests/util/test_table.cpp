@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::util {
+namespace {
+
+TEST(Table, AlignsColumnsAndUnderlinesHeader) {
+  Table t({"policy", "E[S]"});
+  t.add_row({"Random", "182"});
+  t.add_row({"SITA-E", "9.2"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("policy"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_NE(text.find("Random"), std::string::npos);
+  // Numeric column right-aligned: "9.2" padded on the left to width of
+  // "E[S]" vs "182"... both rows end in a newline-aligned column.
+  EXPECT_NE(text.find("SITA-E"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatsSignificantDigits) {
+  Table t({"rho", "a", "b"});
+  t.add_numeric_row("0.5", {1.23456789, 1000000.0}, 3);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("1.23"), std::string::npos);
+  EXPECT_NE(out.str().find("1e+06"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(t.add_numeric_row("x", {1.0, 2.0}), ContractViolation);
+}
+
+TEST(Table, SizeCountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.size(), 0u);
+  t.add_row({"r1"});
+  t.add_row({"r2"});
+  EXPECT_EQ(t.size(), 2u);
+}
+
+}  // namespace
+}  // namespace distserv::util

@@ -1,0 +1,137 @@
+#include "workload/arrival.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "dist/lognormal.hpp"
+#include "stats/welford.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::workload {
+namespace {
+
+TEST(PoissonArrivals, RateAndGapStatistics) {
+  PoissonArrivals a(0.5);
+  EXPECT_DOUBLE_EQ(a.rate(), 0.5);
+  dist::Rng rng(1);
+  stats::Welford w;
+  for (int i = 0; i < 100000; ++i) w.add(a.next_gap(rng));
+  EXPECT_NEAR(w.mean(), 2.0, 0.03);
+  EXPECT_NEAR(w.scv(), 1.0, 0.05);
+}
+
+TEST(PoissonArrivals, RequiresPositiveRate) {
+  EXPECT_THROW(PoissonArrivals(0.0), ContractViolation);
+}
+
+TEST(RenewalArrivals, UsesGapDistribution) {
+  auto gaps = std::make_shared<dist::Lognormal>(
+      dist::Lognormal::fit_mean_scv(4.0, 9.0));
+  RenewalArrivals a(gaps);
+  EXPECT_NEAR(a.rate(), 0.25, 1e-12);
+  dist::Rng rng(2);
+  stats::Welford w;
+  for (int i = 0; i < 200000; ++i) w.add(a.next_gap(rng));
+  EXPECT_NEAR(w.mean(), 4.0, 0.1);
+  EXPECT_NEAR(w.scv(), 9.0, 0.9);
+}
+
+TEST(Mmpp2, LongRunRateMatchesConstruction) {
+  auto a = Mmpp2Arrivals::with_burstiness(/*rate=*/2.0, /*burst_ratio=*/10.0,
+                                          /*burst_time_fraction=*/0.1,
+                                          /*mean_cycle_arrivals=*/50.0);
+  EXPECT_NEAR(a.rate(), 2.0, 1e-9);
+  dist::Rng rng(3);
+  stats::Welford w;
+  for (int i = 0; i < 400000; ++i) w.add(a.next_gap(rng));
+  EXPECT_NEAR(1.0 / w.mean(), 2.0, 0.05);
+}
+
+TEST(Mmpp2, GapsAreBurstierThanPoisson) {
+  auto a = Mmpp2Arrivals::with_burstiness(1.0, 10.0, 0.1, 50.0);
+  dist::Rng rng(4);
+  const double scv = a.gap_scv_estimate(rng, 300000);
+  EXPECT_GT(scv, 1.3);  // Poisson would be 1
+}
+
+TEST(Mmpp2, ResetRestoresInitialPhase) {
+  auto a = Mmpp2Arrivals::with_burstiness(1.0, 20.0, 0.05, 100.0);
+  dist::Rng rng1(5), rng2(5);
+  std::vector<double> first;
+  for (int i = 0; i < 50; ++i) first.push_back(a.next_gap(rng1));
+  a.reset();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_gap(rng2), first[i]);
+  }
+}
+
+TEST(Mmpp2, ValidatesShapeParameters) {
+  EXPECT_THROW((void)Mmpp2Arrivals::with_burstiness(1.0, 0.5, 0.1, 50.0),
+               ContractViolation);
+  EXPECT_THROW((void)Mmpp2Arrivals::with_burstiness(1.0, 10.0, 1.5, 50.0),
+               ContractViolation);
+  EXPECT_THROW(Mmpp2Arrivals(1.0, 1.0, 0.0, 1.0), ContractViolation);
+}
+
+TEST(Diurnal, LongRunRateMatches) {
+  DiurnalArrivals a(2.0, 0.8, 1000.0);
+  dist::Rng rng(7);
+  double t = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) t += a.next_gap(rng);
+  EXPECT_NEAR(n / t, 2.0, 0.05);
+}
+
+TEST(Diurnal, RateOscillatesAroundBase) {
+  DiurnalArrivals a(4.0, 0.5, 100.0);
+  EXPECT_NEAR(a.rate_at(25.0), 6.0, 1e-9);   // peak of sin at period/4
+  EXPECT_NEAR(a.rate_at(75.0), 2.0, 1e-9);   // trough
+  EXPECT_NEAR(a.rate_at(0.0), 4.0, 1e-9);
+  EXPECT_NEAR(a.rate_at(100.0), 4.0, 1e-6);
+}
+
+TEST(Diurnal, GapsBurstierThanPoisson) {
+  DiurnalArrivals a(1.0, 0.9, 500.0);
+  dist::Rng rng(13);
+  stats::Welford w;
+  for (int i = 0; i < 200000; ++i) w.add(a.next_gap(rng));
+  EXPECT_GT(w.scv(), 1.05);  // cycle modulation inflates gap variance
+}
+
+TEST(Diurnal, ZeroAmplitudeIsPoisson) {
+  DiurnalArrivals a(3.0, 0.0, 100.0);
+  dist::Rng rng(17);
+  stats::Welford w;
+  for (int i = 0; i < 100000; ++i) w.add(a.next_gap(rng));
+  EXPECT_NEAR(w.mean(), 1.0 / 3.0, 0.01);
+  EXPECT_NEAR(w.scv(), 1.0, 0.05);
+}
+
+TEST(Diurnal, ResetRestartsTheClock) {
+  DiurnalArrivals a(1.0, 0.5, 100.0);
+  dist::Rng rng1(19), rng2(19);
+  std::vector<double> first;
+  for (int i = 0; i < 20; ++i) first.push_back(a.next_gap(rng1));
+  a.reset();
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(a.next_gap(rng2), first[i]);
+}
+
+TEST(Diurnal, ValidatesParameters) {
+  EXPECT_THROW(DiurnalArrivals(0.0, 0.5), ContractViolation);
+  EXPECT_THROW(DiurnalArrivals(1.0, 1.0), ContractViolation);
+  EXPECT_THROW(DiurnalArrivals(1.0, 0.5, 0.0), ContractViolation);
+}
+
+TEST(AllProcesses, GapsAreStrictlyPositive) {
+  dist::Rng rng(6);
+  PoissonArrivals p(3.0);
+  auto m = Mmpp2Arrivals::with_burstiness(3.0, 5.0, 0.2, 30.0);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GT(p.next_gap(rng), 0.0);
+    ASSERT_GT(m.next_gap(rng), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace distserv::workload

@@ -1,0 +1,89 @@
+#include "workload/swf.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace distserv::workload {
+namespace {
+
+// job submit wait runtime procs avgcpu usedmem reqprocs reqtime reqmem
+// status user group exe queue partition preceding thinktime
+const char* kSample =
+    "; Sample SWF log\n"
+    "; MaxJobs: 5\n"
+    "1 0 10 100.5 8 -1 -1 8 -1 -1 1 3 1 1 1 -1 -1 -1\n"
+    "2 60 5 200 4 -1 -1 4 -1 -1 1 3 1 1 1 -1 -1 -1\n"
+    "3 120 0 0 8 -1 -1 8 -1 -1 0 3 1 1 1 -1 -1 -1\n"
+    "4 180 2 50 8 -1 -1 8 -1 -1 5 3 1 1 1 -1 -1 -1\n"
+    "garbage line that is not swf\n"
+    "5 240 1 75 8 -1 -1 8 -1 -1 1 3 1 1 1 -1 -1 -1\n";
+
+TEST(SwfReader, ParsesJobsAndCountsLines) {
+  std::istringstream in(kSample);
+  const SwfReadResult r = read_swf(in);
+  // Default filter: positive runtime only; job 3 (runtime 0) dropped.
+  EXPECT_EQ(r.trace.size(), 4u);
+  EXPECT_EQ(r.lines_malformed, 1u);
+  EXPECT_EQ(r.lines_parsed, 5u);
+  EXPECT_EQ(r.lines_filtered, 1u);
+  EXPECT_DOUBLE_EQ(r.trace.jobs()[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(r.trace.jobs()[0].size, 100.5);
+}
+
+TEST(SwfReader, ProcessorFilterKeepsOnlyMatching) {
+  std::istringstream in(kSample);
+  SwfFilter f;
+  f.processors = 8;
+  const SwfReadResult r = read_swf(in, f);
+  EXPECT_EQ(r.trace.size(), 3u);  // jobs 1, 4, 5 (job 3 has runtime 0)
+  for (const Job& j : r.trace.jobs()) EXPECT_GT(j.size, 0.0);
+}
+
+TEST(SwfReader, CompletedOnlyFilter) {
+  std::istringstream in(kSample);
+  SwfFilter f;
+  f.completed_only = true;
+  const SwfReadResult r = read_swf(in, f);
+  EXPECT_EQ(r.trace.size(), 3u);  // status 1 jobs: 1, 2, 5
+}
+
+TEST(SwfReader, EmptyInput) {
+  std::istringstream in("");
+  const SwfReadResult r = read_swf(in);
+  EXPECT_TRUE(r.trace.empty());
+  EXPECT_EQ(r.lines_total, 0u);
+}
+
+TEST(SwfRoundTrip, WriteThenReadPreservesJobs) {
+  const Trace original({Job{0, 0.5, 10.25}, Job{1, 100.0, 3600.0},
+                        Job{2, 250.75, 1.5}});
+  std::stringstream buf;
+  write_swf(buf, original, 8, "round trip");
+  const SwfReadResult r = read_swf(buf);
+  ASSERT_EQ(r.trace.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(r.trace.jobs()[i].arrival, original.jobs()[i].arrival, 0.01);
+    EXPECT_NEAR(r.trace.jobs()[i].size, original.jobs()[i].size, 0.01);
+  }
+  EXPECT_EQ(r.lines_malformed, 0u);
+}
+
+TEST(SwfRoundTrip, FileIo) {
+  const Trace original({Job{0, 1.0, 42.0}});
+  const std::string path = ::testing::TempDir() + "/distserv_test.swf";
+  write_swf_file(path, original);
+  const SwfReadResult r = read_swf_file(path);
+  ASSERT_EQ(r.trace.size(), 1u);
+  EXPECT_NEAR(r.trace.jobs()[0].size, 42.0, 0.01);
+}
+
+TEST(SwfReader, MissingFileThrows) {
+  EXPECT_THROW((void)read_swf_file("/nonexistent/path/to/file.swf"),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::workload

@@ -1,0 +1,60 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/exponential.hpp"
+#include "util/contracts.hpp"
+#include "workload/catalog.hpp"
+
+namespace distserv::workload {
+namespace {
+
+TEST(GenerateSizes, CountAndDeterminism) {
+  const dist::Exponential d(0.1);
+  dist::Rng a(5), b(5), c(6);
+  const auto xs = generate_sizes(d, 1000, a);
+  const auto ys = generate_sizes(d, 1000, b);
+  const auto zs = generate_sizes(d, 1000, c);
+  ASSERT_EQ(xs.size(), 1000u);
+  EXPECT_EQ(xs, ys);
+  EXPECT_NE(xs, zs);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(GenerateSizes, RejectsZeroCount) {
+  const dist::Exponential d(1.0);
+  dist::Rng rng(1);
+  EXPECT_THROW((void)generate_sizes(d, 0, rng), ContractViolation);
+}
+
+TEST(GenerateTracePoisson, HitsRequestedLoad) {
+  const dist::Exponential d(1.0 / 50.0);
+  dist::Rng rng(7);
+  const Trace t = generate_trace_poisson(d, 30000, 0.65, 3, rng);
+  EXPECT_EQ(t.size(), 30000u);
+  EXPECT_NEAR(t.offered_load(3), 0.65, 0.03);
+}
+
+TEST(GenerateTraceBursty, HitsRequestedLoadWithBurstyGaps) {
+  const dist::Exponential d(1.0 / 50.0);
+  dist::Rng rng(9);
+  const Trace t = generate_trace_bursty(d, 40000, 0.5, 2, rng,
+                                        /*burst_ratio=*/20.0,
+                                        /*burst_time_fraction=*/0.05,
+                                        /*mean_cycle_arrivals=*/200.0);
+  EXPECT_NEAR(t.offered_load(2), 0.5, 0.05);
+  // The MMPP gaps must be visibly burstier than Poisson's scv = 1.
+  EXPECT_GT(t.stats().scv_interarrival, 1.5);
+}
+
+TEST(GenerateTraceBursty, SameSizesDifferentArrivalsThanPoisson) {
+  const dist::Exponential d(0.02);
+  dist::Rng r1(11), r2(11);
+  const Trace poisson = generate_trace_poisson(d, 500, 0.5, 2, r1);
+  const Trace bursty = generate_trace_bursty(d, 500, 0.5, 2, r2);
+  // Same RNG consumption order for sizes -> identical size sequences.
+  EXPECT_EQ(poisson.sizes(), bursty.sizes());
+}
+
+}  // namespace
+}  // namespace distserv::workload

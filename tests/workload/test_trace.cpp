@@ -1,0 +1,110 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "workload/arrival.hpp"
+
+namespace distserv::workload {
+namespace {
+
+Trace make_simple() {
+  return Trace({Job{0, 0.0, 10.0}, Job{1, 5.0, 20.0}, Job{2, 15.0, 5.0},
+                Job{3, 30.0, 1.0}});
+}
+
+TEST(Trace, SortsByArrivalAndRenumbers) {
+  Trace t({Job{7, 10.0, 1.0}, Job{3, 0.0, 2.0}, Job{9, 5.0, 3.0}});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.jobs()[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(t.jobs()[1].arrival, 5.0);
+  EXPECT_DOUBLE_EQ(t.jobs()[2].arrival, 10.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(t.jobs()[i].id, i);
+}
+
+TEST(Trace, RejectsInvalidJobs) {
+  EXPECT_THROW(Trace({Job{0, 0.0, 0.0}}), ContractViolation);
+  EXPECT_THROW(Trace({Job{0, -1.0, 5.0}}), ContractViolation);
+}
+
+TEST(Trace, SizesAndGaps) {
+  const Trace t = make_simple();
+  EXPECT_EQ(t.sizes(), (std::vector<double>{10.0, 20.0, 5.0, 1.0}));
+  EXPECT_EQ(t.interarrival_gaps(), (std::vector<double>{5.0, 10.0, 15.0}));
+  EXPECT_DOUBLE_EQ(t.total_work(), 36.0);
+}
+
+TEST(Trace, ArrivalRateAndOfferedLoad) {
+  const Trace t = make_simple();
+  EXPECT_DOUBLE_EQ(t.arrival_rate(), 3.0 / 30.0);
+  EXPECT_DOUBLE_EQ(t.offered_load(1), 0.1 * 9.0);
+  EXPECT_DOUBLE_EQ(t.offered_load(2), 0.1 * 9.0 / 2.0);
+}
+
+TEST(Trace, StatsMatchHandComputation) {
+  const Trace t = make_simple();
+  const TraceStats s = t.stats();
+  EXPECT_EQ(s.job_count, 4u);
+  EXPECT_DOUBLE_EQ(s.duration, 30.0);
+  EXPECT_DOUBLE_EQ(s.mean_size, 9.0);
+  EXPECT_DOUBLE_EQ(s.min_size, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_size, 20.0);
+  EXPECT_DOUBLE_EQ(s.mean_interarrival, 10.0);
+  // Half the load (18) is carried by the single largest job (20): 1 of 4.
+  EXPECT_DOUBLE_EQ(s.half_load_tail_fraction, 0.25);
+}
+
+TEST(Trace, SplitHalvesShiftsSecondHalf) {
+  const Trace t = make_simple();
+  const auto [first, second] = t.split_halves();
+  EXPECT_EQ(first.size(), 2u);
+  EXPECT_EQ(second.size(), 2u);
+  EXPECT_DOUBLE_EQ(second.jobs()[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(second.jobs()[1].arrival, 15.0);
+  EXPECT_DOUBLE_EQ(second.jobs()[0].size, 5.0);
+}
+
+TEST(Trace, ScaleInterarrivalsPreservesSizesAndOrder) {
+  const Trace t = make_simple();
+  const Trace scaled = t.scale_interarrivals(2.0);
+  EXPECT_EQ(scaled.sizes(), t.sizes());
+  EXPECT_EQ(scaled.interarrival_gaps(),
+            (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(Trace, ScaledToLoadHitsTarget) {
+  const Trace t = make_simple();
+  const Trace scaled = t.scaled_to_load(0.5, 2);
+  EXPECT_NEAR(scaled.offered_load(2), 0.5, 1e-12);
+  EXPECT_EQ(scaled.sizes(), t.sizes());
+}
+
+TEST(Trace, WithPoissonLoadProducesTargetLoad) {
+  std::vector<double> sizes(20000, 2.0);
+  dist::Rng rng(42);
+  const Trace t = Trace::with_poisson_load(sizes, 0.7, 2, rng);
+  EXPECT_EQ(t.size(), 20000u);
+  EXPECT_NEAR(t.offered_load(2), 0.7, 0.02);
+  // Poisson gaps have scv ~ 1.
+  EXPECT_NEAR(t.stats().scv_interarrival, 1.0, 0.05);
+}
+
+TEST(Trace, WithArrivalsUsesProcess) {
+  std::vector<double> sizes = {1.0, 2.0, 3.0};
+  PoissonArrivals arrivals(10.0);
+  dist::Rng rng(1);
+  const Trace t = Trace::with_arrivals(sizes, arrivals, rng);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_GT(t.jobs()[0].arrival, 0.0);
+  EXPECT_LT(t.jobs()[0].arrival, t.jobs()[1].arrival);
+}
+
+TEST(Trace, SizeDistributionRoundTrip) {
+  const Trace t = make_simple();
+  const dist::Empirical e = t.size_distribution();
+  EXPECT_EQ(e.size(), 4u);
+  EXPECT_DOUBLE_EQ(e.mean(), 9.0);
+}
+
+}  // namespace
+}  // namespace distserv::workload
