@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_misclassification.dir/bench_ablation_misclassification.cpp.o"
+  "CMakeFiles/bench_ablation_misclassification.dir/bench_ablation_misclassification.cpp.o.d"
+  "bench_ablation_misclassification"
+  "bench_ablation_misclassification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_misclassification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multihost_sita.dir/bench_ablation_multihost_sita.cpp.o"
+  "CMakeFiles/bench_ablation_multihost_sita.dir/bench_ablation_multihost_sita.cpp.o.d"
+  "bench_ablation_multihost_sita"
+  "bench_ablation_multihost_sita.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multihost_sita.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

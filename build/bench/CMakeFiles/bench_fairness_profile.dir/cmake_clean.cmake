@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fairness_profile.dir/bench_fairness_profile.cpp.o"
+  "CMakeFiles/bench_fairness_profile.dir/bench_fairness_profile.cpp.o.d"
+  "bench_fairness_profile"
+  "bench_fairness_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fairness_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_ctc.dir/bench_fig12_13_ctc.cpp.o"
+  "CMakeFiles/bench_fig12_13_ctc.dir/bench_fig12_13_ctc.cpp.o.d"
+  "bench_fig12_13_ctc"
+  "bench_fig12_13_ctc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_ctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_balanced_2hosts.dir/bench_fig2_balanced_2hosts.cpp.o"
+  "CMakeFiles/bench_fig2_balanced_2hosts.dir/bench_fig2_balanced_2hosts.cpp.o.d"
+  "bench_fig2_balanced_2hosts"
+  "bench_fig2_balanced_2hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_balanced_2hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

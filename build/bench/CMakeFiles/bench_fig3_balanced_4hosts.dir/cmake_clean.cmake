@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_balanced_4hosts.dir/bench_fig3_balanced_4hosts.cpp.o"
+  "CMakeFiles/bench_fig3_balanced_4hosts.dir/bench_fig3_balanced_4hosts.cpp.o.d"
+  "bench_fig3_balanced_4hosts"
+  "bench_fig3_balanced_4hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_balanced_4hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sita_u_2hosts.dir/bench_fig4_sita_u_2hosts.cpp.o"
+  "CMakeFiles/bench_fig4_sita_u_2hosts.dir/bench_fig4_sita_u_2hosts.cpp.o.d"
+  "bench_fig4_sita_u_2hosts"
+  "bench_fig4_sita_u_2hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sita_u_2hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_sita_u_2hosts.
+# This may be replaced when dependencies are built.

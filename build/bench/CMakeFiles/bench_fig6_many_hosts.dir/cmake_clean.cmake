@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_many_hosts.dir/bench_fig6_many_hosts.cpp.o"
+  "CMakeFiles/bench_fig6_many_hosts.dir/bench_fig6_many_hosts.cpp.o.d"
+  "bench_fig6_many_hosts"
+  "bench_fig6_many_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_many_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_analysis_sita_u.dir/bench_fig9_analysis_sita_u.cpp.o"
+  "CMakeFiles/bench_fig9_analysis_sita_u.dir/bench_fig9_analysis_sita_u.cpp.o.d"
+  "bench_fig9_analysis_sita_u"
+  "bench_fig9_analysis_sita_u.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_analysis_sita_u.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tags_unknown_size.dir/bench_tags_unknown_size.cpp.o"
+  "CMakeFiles/bench_tags_unknown_size.dir/bench_tags_unknown_size.cpp.o.d"
+  "bench_tags_unknown_size"
+  "bench_tags_unknown_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tags_unknown_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

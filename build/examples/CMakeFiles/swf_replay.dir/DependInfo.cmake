@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/swf_replay.cpp" "examples/CMakeFiles/swf_replay.dir/swf_replay.cpp.o" "gcc" "examples/CMakeFiles/swf_replay.dir/swf_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/distserv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/distserv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/distserv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/distserv_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/distserv_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/distserv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/distserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

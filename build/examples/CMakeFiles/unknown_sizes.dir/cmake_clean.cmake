@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unknown_sizes.dir/unknown_sizes.cpp.o"
+  "CMakeFiles/unknown_sizes.dir/unknown_sizes.cpp.o.d"
+  "unknown_sizes"
+  "unknown_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unknown_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,79 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "distserv::distserv_util" for configuration "Release"
+set_property(TARGET distserv::distserv_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(distserv::distserv_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libdistserv_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets distserv::distserv_util )
+list(APPEND _cmake_import_check_files_for_distserv::distserv_util "${_IMPORT_PREFIX}/lib/libdistserv_util.a" )
+
+# Import target "distserv::distserv_dist" for configuration "Release"
+set_property(TARGET distserv::distserv_dist APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(distserv::distserv_dist PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libdistserv_dist.a"
+  )
+
+list(APPEND _cmake_import_check_targets distserv::distserv_dist )
+list(APPEND _cmake_import_check_files_for_distserv::distserv_dist "${_IMPORT_PREFIX}/lib/libdistserv_dist.a" )
+
+# Import target "distserv::distserv_stats" for configuration "Release"
+set_property(TARGET distserv::distserv_stats APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(distserv::distserv_stats PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libdistserv_stats.a"
+  )
+
+list(APPEND _cmake_import_check_targets distserv::distserv_stats )
+list(APPEND _cmake_import_check_files_for_distserv::distserv_stats "${_IMPORT_PREFIX}/lib/libdistserv_stats.a" )
+
+# Import target "distserv::distserv_sim" for configuration "Release"
+set_property(TARGET distserv::distserv_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(distserv::distserv_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libdistserv_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets distserv::distserv_sim )
+list(APPEND _cmake_import_check_files_for_distserv::distserv_sim "${_IMPORT_PREFIX}/lib/libdistserv_sim.a" )
+
+# Import target "distserv::distserv_workload" for configuration "Release"
+set_property(TARGET distserv::distserv_workload APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(distserv::distserv_workload PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libdistserv_workload.a"
+  )
+
+list(APPEND _cmake_import_check_targets distserv::distserv_workload )
+list(APPEND _cmake_import_check_files_for_distserv::distserv_workload "${_IMPORT_PREFIX}/lib/libdistserv_workload.a" )
+
+# Import target "distserv::distserv_queueing" for configuration "Release"
+set_property(TARGET distserv::distserv_queueing APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(distserv::distserv_queueing PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libdistserv_queueing.a"
+  )
+
+list(APPEND _cmake_import_check_targets distserv::distserv_queueing )
+list(APPEND _cmake_import_check_files_for_distserv::distserv_queueing "${_IMPORT_PREFIX}/lib/libdistserv_queueing.a" )
+
+# Import target "distserv::distserv_core" for configuration "Release"
+set_property(TARGET distserv::distserv_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(distserv::distserv_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libdistserv_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets distserv::distserv_core )
+list(APPEND _cmake_import_check_files_for_distserv::distserv_core "${_IMPORT_PREFIX}/lib/libdistserv_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cutoffs.cpp" "src/core/CMakeFiles/distserv_core.dir/cutoffs.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/cutoffs.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/distserv_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/distserv_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/policies/central_queue.cpp" "src/core/CMakeFiles/distserv_core.dir/policies/central_queue.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/policies/central_queue.cpp.o.d"
+  "/root/repo/src/core/policies/hybrid_sita_lwl.cpp" "src/core/CMakeFiles/distserv_core.dir/policies/hybrid_sita_lwl.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/policies/hybrid_sita_lwl.cpp.o.d"
+  "/root/repo/src/core/policies/least_work_left.cpp" "src/core/CMakeFiles/distserv_core.dir/policies/least_work_left.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/policies/least_work_left.cpp.o.d"
+  "/root/repo/src/core/policies/noisy_lwl.cpp" "src/core/CMakeFiles/distserv_core.dir/policies/noisy_lwl.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/policies/noisy_lwl.cpp.o.d"
+  "/root/repo/src/core/policies/power_of_d.cpp" "src/core/CMakeFiles/distserv_core.dir/policies/power_of_d.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/policies/power_of_d.cpp.o.d"
+  "/root/repo/src/core/policies/random.cpp" "src/core/CMakeFiles/distserv_core.dir/policies/random.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/policies/random.cpp.o.d"
+  "/root/repo/src/core/policies/round_robin.cpp" "src/core/CMakeFiles/distserv_core.dir/policies/round_robin.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/policies/round_robin.cpp.o.d"
+  "/root/repo/src/core/policies/shortest_queue.cpp" "src/core/CMakeFiles/distserv_core.dir/policies/shortest_queue.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/policies/shortest_queue.cpp.o.d"
+  "/root/repo/src/core/policies/sita.cpp" "src/core/CMakeFiles/distserv_core.dir/policies/sita.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/policies/sita.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/distserv_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/ps_server.cpp" "src/core/CMakeFiles/distserv_core.dir/ps_server.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/ps_server.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/distserv_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/sim_cutoff_search.cpp" "src/core/CMakeFiles/distserv_core.dir/sim_cutoff_search.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/sim_cutoff_search.cpp.o.d"
+  "/root/repo/src/core/tags.cpp" "src/core/CMakeFiles/distserv_core.dir/tags.cpp.o" "gcc" "src/core/CMakeFiles/distserv_core.dir/tags.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/distserv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/distserv_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/distserv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/distserv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/distserv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/distserv_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for distserv_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/bounded_pareto.cpp" "src/dist/CMakeFiles/distserv_dist.dir/bounded_pareto.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/bounded_pareto.cpp.o.d"
+  "/root/repo/src/dist/bp_mixture.cpp" "src/dist/CMakeFiles/distserv_dist.dir/bp_mixture.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/bp_mixture.cpp.o.d"
+  "/root/repo/src/dist/deterministic.cpp" "src/dist/CMakeFiles/distserv_dist.dir/deterministic.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/deterministic.cpp.o.d"
+  "/root/repo/src/dist/distribution.cpp" "src/dist/CMakeFiles/distserv_dist.dir/distribution.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/distribution.cpp.o.d"
+  "/root/repo/src/dist/empirical.cpp" "src/dist/CMakeFiles/distserv_dist.dir/empirical.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/empirical.cpp.o.d"
+  "/root/repo/src/dist/exponential.cpp" "src/dist/CMakeFiles/distserv_dist.dir/exponential.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/exponential.cpp.o.d"
+  "/root/repo/src/dist/fit.cpp" "src/dist/CMakeFiles/distserv_dist.dir/fit.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/fit.cpp.o.d"
+  "/root/repo/src/dist/hyperexp.cpp" "src/dist/CMakeFiles/distserv_dist.dir/hyperexp.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/hyperexp.cpp.o.d"
+  "/root/repo/src/dist/lognormal.cpp" "src/dist/CMakeFiles/distserv_dist.dir/lognormal.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/lognormal.cpp.o.d"
+  "/root/repo/src/dist/pareto.cpp" "src/dist/CMakeFiles/distserv_dist.dir/pareto.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/pareto.cpp.o.d"
+  "/root/repo/src/dist/rng.cpp" "src/dist/CMakeFiles/distserv_dist.dir/rng.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/rng.cpp.o.d"
+  "/root/repo/src/dist/uniform.cpp" "src/dist/CMakeFiles/distserv_dist.dir/uniform.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/uniform.cpp.o.d"
+  "/root/repo/src/dist/weibull.cpp" "src/dist/CMakeFiles/distserv_dist.dir/weibull.cpp.o" "gcc" "src/dist/CMakeFiles/distserv_dist.dir/weibull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/distserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distserv_dist.dir/bounded_pareto.cpp.o"
+  "CMakeFiles/distserv_dist.dir/bounded_pareto.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/bp_mixture.cpp.o"
+  "CMakeFiles/distserv_dist.dir/bp_mixture.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/deterministic.cpp.o"
+  "CMakeFiles/distserv_dist.dir/deterministic.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/distribution.cpp.o"
+  "CMakeFiles/distserv_dist.dir/distribution.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/empirical.cpp.o"
+  "CMakeFiles/distserv_dist.dir/empirical.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/exponential.cpp.o"
+  "CMakeFiles/distserv_dist.dir/exponential.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/fit.cpp.o"
+  "CMakeFiles/distserv_dist.dir/fit.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/hyperexp.cpp.o"
+  "CMakeFiles/distserv_dist.dir/hyperexp.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/lognormal.cpp.o"
+  "CMakeFiles/distserv_dist.dir/lognormal.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/pareto.cpp.o"
+  "CMakeFiles/distserv_dist.dir/pareto.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/rng.cpp.o"
+  "CMakeFiles/distserv_dist.dir/rng.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/uniform.cpp.o"
+  "CMakeFiles/distserv_dist.dir/uniform.cpp.o.d"
+  "CMakeFiles/distserv_dist.dir/weibull.cpp.o"
+  "CMakeFiles/distserv_dist.dir/weibull.cpp.o.d"
+  "libdistserv_dist.a"
+  "libdistserv_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distserv_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/cutoff_search.cpp" "src/queueing/CMakeFiles/distserv_queueing.dir/cutoff_search.cpp.o" "gcc" "src/queueing/CMakeFiles/distserv_queueing.dir/cutoff_search.cpp.o.d"
+  "/root/repo/src/queueing/mg1.cpp" "src/queueing/CMakeFiles/distserv_queueing.dir/mg1.cpp.o" "gcc" "src/queueing/CMakeFiles/distserv_queueing.dir/mg1.cpp.o.d"
+  "/root/repo/src/queueing/mgh.cpp" "src/queueing/CMakeFiles/distserv_queueing.dir/mgh.cpp.o" "gcc" "src/queueing/CMakeFiles/distserv_queueing.dir/mgh.cpp.o.d"
+  "/root/repo/src/queueing/mmh.cpp" "src/queueing/CMakeFiles/distserv_queueing.dir/mmh.cpp.o" "gcc" "src/queueing/CMakeFiles/distserv_queueing.dir/mmh.cpp.o.d"
+  "/root/repo/src/queueing/policy_analysis.cpp" "src/queueing/CMakeFiles/distserv_queueing.dir/policy_analysis.cpp.o" "gcc" "src/queueing/CMakeFiles/distserv_queueing.dir/policy_analysis.cpp.o.d"
+  "/root/repo/src/queueing/sita_analysis.cpp" "src/queueing/CMakeFiles/distserv_queueing.dir/sita_analysis.cpp.o" "gcc" "src/queueing/CMakeFiles/distserv_queueing.dir/sita_analysis.cpp.o.d"
+  "/root/repo/src/queueing/size_model.cpp" "src/queueing/CMakeFiles/distserv_queueing.dir/size_model.cpp.o" "gcc" "src/queueing/CMakeFiles/distserv_queueing.dir/size_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/distserv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/distserv_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/distserv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

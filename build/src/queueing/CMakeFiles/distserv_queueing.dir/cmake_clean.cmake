@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distserv_queueing.dir/cutoff_search.cpp.o"
+  "CMakeFiles/distserv_queueing.dir/cutoff_search.cpp.o.d"
+  "CMakeFiles/distserv_queueing.dir/mg1.cpp.o"
+  "CMakeFiles/distserv_queueing.dir/mg1.cpp.o.d"
+  "CMakeFiles/distserv_queueing.dir/mgh.cpp.o"
+  "CMakeFiles/distserv_queueing.dir/mgh.cpp.o.d"
+  "CMakeFiles/distserv_queueing.dir/mmh.cpp.o"
+  "CMakeFiles/distserv_queueing.dir/mmh.cpp.o.d"
+  "CMakeFiles/distserv_queueing.dir/policy_analysis.cpp.o"
+  "CMakeFiles/distserv_queueing.dir/policy_analysis.cpp.o.d"
+  "CMakeFiles/distserv_queueing.dir/sita_analysis.cpp.o"
+  "CMakeFiles/distserv_queueing.dir/sita_analysis.cpp.o.d"
+  "CMakeFiles/distserv_queueing.dir/size_model.cpp.o"
+  "CMakeFiles/distserv_queueing.dir/size_model.cpp.o.d"
+  "libdistserv_queueing.a"
+  "libdistserv_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distserv_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distserv_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/distserv_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/distserv_sim.dir/simulator.cpp.o"
+  "CMakeFiles/distserv_sim.dir/simulator.cpp.o.d"
+  "libdistserv_sim.a"
+  "libdistserv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distserv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/distserv_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/distserv_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/distserv_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/distserv_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/distserv_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/distserv_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/moments.cpp" "src/stats/CMakeFiles/distserv_stats.dir/moments.cpp.o" "gcc" "src/stats/CMakeFiles/distserv_stats.dir/moments.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/stats/CMakeFiles/distserv_stats.dir/quantile.cpp.o" "gcc" "src/stats/CMakeFiles/distserv_stats.dir/quantile.cpp.o.d"
+  "/root/repo/src/stats/welford.cpp" "src/stats/CMakeFiles/distserv_stats.dir/welford.cpp.o" "gcc" "src/stats/CMakeFiles/distserv_stats.dir/welford.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/distserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

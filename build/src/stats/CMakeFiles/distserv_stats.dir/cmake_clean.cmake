@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distserv_stats.dir/confidence.cpp.o"
+  "CMakeFiles/distserv_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/distserv_stats.dir/histogram.cpp.o"
+  "CMakeFiles/distserv_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/distserv_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/distserv_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/distserv_stats.dir/moments.cpp.o"
+  "CMakeFiles/distserv_stats.dir/moments.cpp.o.d"
+  "CMakeFiles/distserv_stats.dir/quantile.cpp.o"
+  "CMakeFiles/distserv_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/distserv_stats.dir/welford.cpp.o"
+  "CMakeFiles/distserv_stats.dir/welford.cpp.o.d"
+  "libdistserv_stats.a"
+  "libdistserv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distserv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distserv_util.dir/cli.cpp.o"
+  "CMakeFiles/distserv_util.dir/cli.cpp.o.d"
+  "CMakeFiles/distserv_util.dir/contracts.cpp.o"
+  "CMakeFiles/distserv_util.dir/contracts.cpp.o.d"
+  "CMakeFiles/distserv_util.dir/csv.cpp.o"
+  "CMakeFiles/distserv_util.dir/csv.cpp.o.d"
+  "CMakeFiles/distserv_util.dir/log.cpp.o"
+  "CMakeFiles/distserv_util.dir/log.cpp.o.d"
+  "CMakeFiles/distserv_util.dir/math.cpp.o"
+  "CMakeFiles/distserv_util.dir/math.cpp.o.d"
+  "CMakeFiles/distserv_util.dir/strings.cpp.o"
+  "CMakeFiles/distserv_util.dir/strings.cpp.o.d"
+  "CMakeFiles/distserv_util.dir/table.cpp.o"
+  "CMakeFiles/distserv_util.dir/table.cpp.o.d"
+  "libdistserv_util.a"
+  "libdistserv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distserv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

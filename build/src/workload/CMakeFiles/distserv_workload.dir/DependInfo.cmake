@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cpp" "src/workload/CMakeFiles/distserv_workload.dir/arrival.cpp.o" "gcc" "src/workload/CMakeFiles/distserv_workload.dir/arrival.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/distserv_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/distserv_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/workload/CMakeFiles/distserv_workload.dir/job.cpp.o" "gcc" "src/workload/CMakeFiles/distserv_workload.dir/job.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/distserv_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/distserv_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/distserv_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/distserv_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/distserv_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/distserv_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/distserv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/distserv_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/distserv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distserv_workload.dir/arrival.cpp.o"
+  "CMakeFiles/distserv_workload.dir/arrival.cpp.o.d"
+  "CMakeFiles/distserv_workload.dir/catalog.cpp.o"
+  "CMakeFiles/distserv_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/distserv_workload.dir/job.cpp.o"
+  "CMakeFiles/distserv_workload.dir/job.cpp.o.d"
+  "CMakeFiles/distserv_workload.dir/swf.cpp.o"
+  "CMakeFiles/distserv_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/distserv_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/distserv_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/distserv_workload.dir/trace.cpp.o"
+  "CMakeFiles/distserv_workload.dir/trace.cpp.o.d"
+  "libdistserv_workload.a"
+  "libdistserv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distserv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdistserv_workload.a"
+)

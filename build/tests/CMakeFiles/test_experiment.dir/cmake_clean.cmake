@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment.dir/core/test_cutoffs.cpp.o"
+  "CMakeFiles/test_experiment.dir/core/test_cutoffs.cpp.o.d"
+  "CMakeFiles/test_experiment.dir/core/test_experiment.cpp.o"
+  "CMakeFiles/test_experiment.dir/core/test_experiment.cpp.o.d"
+  "CMakeFiles/test_experiment.dir/core/test_metrics.cpp.o"
+  "CMakeFiles/test_experiment.dir/core/test_metrics.cpp.o.d"
+  "test_experiment"
+  "test_experiment.pdb"
+  "test_experiment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/queueing/test_cutoff_search.cpp" "tests/CMakeFiles/test_queueing.dir/queueing/test_cutoff_search.cpp.o" "gcc" "tests/CMakeFiles/test_queueing.dir/queueing/test_cutoff_search.cpp.o.d"
+  "/root/repo/tests/queueing/test_mg1.cpp" "tests/CMakeFiles/test_queueing.dir/queueing/test_mg1.cpp.o" "gcc" "tests/CMakeFiles/test_queueing.dir/queueing/test_mg1.cpp.o.d"
+  "/root/repo/tests/queueing/test_mgh.cpp" "tests/CMakeFiles/test_queueing.dir/queueing/test_mgh.cpp.o" "gcc" "tests/CMakeFiles/test_queueing.dir/queueing/test_mgh.cpp.o.d"
+  "/root/repo/tests/queueing/test_mmh.cpp" "tests/CMakeFiles/test_queueing.dir/queueing/test_mmh.cpp.o" "gcc" "tests/CMakeFiles/test_queueing.dir/queueing/test_mmh.cpp.o.d"
+  "/root/repo/tests/queueing/test_policy_analysis.cpp" "tests/CMakeFiles/test_queueing.dir/queueing/test_policy_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_queueing.dir/queueing/test_policy_analysis.cpp.o.d"
+  "/root/repo/tests/queueing/test_sita_analysis.cpp" "tests/CMakeFiles/test_queueing.dir/queueing/test_sita_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_queueing.dir/queueing/test_sita_analysis.cpp.o.d"
+  "/root/repo/tests/queueing/test_size_model.cpp" "tests/CMakeFiles/test_queueing.dir/queueing/test_size_model.cpp.o" "gcc" "tests/CMakeFiles/test_queueing.dir/queueing/test_size_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/distserv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/distserv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/distserv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/distserv_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/distserv_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/distserv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/distserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

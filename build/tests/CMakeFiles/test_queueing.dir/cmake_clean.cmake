@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing.dir/queueing/test_cutoff_search.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_cutoff_search.cpp.o.d"
+  "CMakeFiles/test_queueing.dir/queueing/test_mg1.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_mg1.cpp.o.d"
+  "CMakeFiles/test_queueing.dir/queueing/test_mgh.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_mgh.cpp.o.d"
+  "CMakeFiles/test_queueing.dir/queueing/test_mmh.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_mmh.cpp.o.d"
+  "CMakeFiles/test_queueing.dir/queueing/test_policy_analysis.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_policy_analysis.cpp.o.d"
+  "CMakeFiles/test_queueing.dir/queueing/test_sita_analysis.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_sita_analysis.cpp.o.d"
+  "CMakeFiles/test_queueing.dir/queueing/test_size_model.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_size_model.cpp.o.d"
+  "test_queueing"
+  "test_queueing.pdb"
+  "test_queueing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

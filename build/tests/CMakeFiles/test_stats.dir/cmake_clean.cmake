@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_confidence.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_confidence.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_ks.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_ks.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_moments.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_moments.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_quantile.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_quantile.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_welford.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_welford.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

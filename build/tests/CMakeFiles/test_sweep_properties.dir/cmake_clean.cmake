@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_properties.dir/core/test_sweep_properties.cpp.o"
+  "CMakeFiles/test_sweep_properties.dir/core/test_sweep_properties.cpp.o.d"
+  "test_sweep_properties"
+  "test_sweep_properties.pdb"
+  "test_sweep_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_arrival.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_arrival.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_arrival.cpp.o.d"
+  "/root/repo/tests/workload/test_catalog.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_catalog.cpp.o.d"
+  "/root/repo/tests/workload/test_swf.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_swf.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_swf.cpp.o.d"
+  "/root/repo/tests/workload/test_synthetic.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_synthetic.cpp.o.d"
+  "/root/repo/tests/workload/test_trace.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/distserv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/distserv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/distserv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/distserv_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/distserv_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/distserv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/distserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_arrival.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_arrival.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_catalog.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_catalog.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_swf.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_swf.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_synthetic.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_synthetic.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_distributions[1]_include.cmake")
+include("/root/repo/build/tests/test_fit[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_queueing[1]_include.cmake")
+include("/root/repo/build/tests/test_server[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_policy_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_tags[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_ps_server[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
