@@ -11,7 +11,6 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  using core::PolicyKind;
   const auto opts = bench::BenchOptions::parse(argc, argv);
   const util::Cli cli(argc, argv);
   const double rho = cli.get_double("load", 0.7);
@@ -24,20 +23,24 @@ int main(int argc, char** argv) {
 
   const std::vector<double> error_rates = {0.0,  0.02, 0.05, 0.1,
                                            0.2,  0.3,  0.5};
-  bench::Series sita_e{"SITA-E", {}}, fair{"SITA-U-fair", {}},
-      lwl{"Least-Work-Left (reference)", {}};
+  const std::vector<core::PolicyKind> policies =
+      opts.policy_list("SITA-E,SITA-U-fair,Least-Work-Left");
+  const std::vector<double> load{rho};
+
+  std::vector<bench::Series> series;
+  for (core::PolicyKind kind : policies) {
+    series.push_back({core::to_string(kind), {}});
+  }
   for (double eps : error_rates) {
     core::ExperimentConfig cfg = opts.experiment_config(2);
     cfg.sita_error_rate = eps;
     core::Workbench wb(workload::find_workload(opts.workload), cfg);
-    sita_e.values.push_back(
-        wb.run_point(PolicyKind::kSitaE, rho).summary.mean_slowdown);
-    fair.values.push_back(
-        wb.run_point(PolicyKind::kSitaUFair, rho).summary.mean_slowdown);
-    lwl.values.push_back(
-        wb.run_point(PolicyKind::kLeastWorkLeft, rho).summary.mean_slowdown);
+    const auto points = wb.sweep(policies, load, opts.sweep_options());
+    for (std::size_t k = 0; k < policies.size(); ++k) {
+      series[k].values.push_back(points[k].summary.mean_slowdown);
+    }
   }
   bench::print_panel("Mean slowdown vs classification error rate",
-                     "error", error_rates, {sita_e, fair, lwl}, opts.csv);
+                     "error", error_rates, series, opts.csv);
   return 0;
 }

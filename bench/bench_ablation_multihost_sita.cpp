@@ -14,7 +14,6 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  using core::PolicyKind;
   const auto opts = bench::BenchOptions::parse(argc, argv);
   const util::Cli cli(argc, argv);
   const double rho = cli.get_double("load", 0.7);
@@ -28,6 +27,17 @@ int main(int argc, char** argv) {
   const queueing::MixtureSizeModel model(
       workload::service_distribution(workload::find_workload(opts.workload)));
   const std::vector<double> host_counts = {2, 4, 8, 16};
+
+  // At h == 2 the multi-cutoff and grouped variants all coincide with the
+  // plain 2-host SITA-U policies, so the simulated columns substitute them.
+  const core::PolicyKind opt_2h = bench::policy_named("SITA-U-opt");
+  const core::PolicyKind fair_2h = bench::policy_named("SITA-U-fair");
+  const std::vector<core::PolicyKind> sim_multi{
+      bench::policy_named("SITA-U-opt-multi"),
+      bench::policy_named("SITA-U-opt+LWL"),
+      bench::policy_named("SITA-U-fair+LWL")};
+  const std::vector<core::PolicyKind> sim_2h{opt_2h, opt_2h, fair_2h};
+  const std::vector<double> load{rho};
 
   bench::Series sita_e{"SITA-E (analytic)", {}},
       opt_multi{"SITA-U-opt multi (analytic)", {}},
@@ -48,21 +58,11 @@ int main(int argc, char** argv) {
             .metrics.mean_slowdown);
     core::Workbench wb(workload::find_workload(opts.workload),
                        opts.experiment_config(h));
-    sim_opt_multi.values.push_back(
-        wb.run_point(h == 2 ? PolicyKind::kSitaUOpt
-                            : PolicyKind::kSitaUOptMulti,
-                     rho)
-            .summary.mean_slowdown);
-    grouped_opt.values.push_back(
-        wb.run_point(h == 2 ? PolicyKind::kSitaUOpt
-                            : PolicyKind::kHybridSitaUOpt,
-                     rho)
-            .summary.mean_slowdown);
-    grouped_fair.values.push_back(
-        wb.run_point(h == 2 ? PolicyKind::kSitaUFair
-                            : PolicyKind::kHybridSitaUFair,
-                     rho)
-            .summary.mean_slowdown);
+    const auto points =
+        wb.sweep(h == 2 ? sim_2h : sim_multi, load, opts.sweep_options());
+    sim_opt_multi.values.push_back(points[0].summary.mean_slowdown);
+    grouped_opt.values.push_back(points[1].summary.mean_slowdown);
+    grouped_fair.values.push_back(points[2].summary.mean_slowdown);
   }
   bench::print_panel("Mean slowdown vs host count", "hosts", host_counts,
                      {sita_e, opt_multi, fair_multi, sim_opt_multi,

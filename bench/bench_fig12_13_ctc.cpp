@@ -13,32 +13,24 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  using core::PolicyKind;
   const auto opts = bench::BenchOptions::parse(argc, argv, "ctc");
   bench::print_header(
       "Figures 12+13: appendix C, CTC workload, 2 hosts",
       "Expected shape: same policy ranking as C90 (Figs 2/4/5).", opts);
 
-  const PolicyKind policies[] = {PolicyKind::kRandom,
-                                 PolicyKind::kLeastWorkLeft,
-                                 PolicyKind::kSitaE, PolicyKind::kSitaUOpt,
-                                 PolicyKind::kSitaUFair};
+  const std::vector<core::PolicyKind> policies = opts.policy_list(
+      "Random,Least-Work-Left,SITA-E,SITA-U-opt,SITA-U-fair");
   core::Workbench wb(workload::find_workload(opts.workload),
                      opts.experiment_config(2));
   const std::vector<double> loads = bench::paper_loads();
+  const auto points = wb.sweep(policies, loads, opts.sweep_options());
 
-  std::vector<bench::Series> mean_series, var_series;
-  for (PolicyKind kind : policies) {
-    bench::Series mean{core::to_string(kind), {}};
-    bench::Series var{core::to_string(kind), {}};
-    for (double rho : loads) {
-      const auto p = wb.run_point(kind, rho);
-      mean.values.push_back(p.summary.mean_slowdown);
-      var.values.push_back(p.summary.var_slowdown);
-    }
-    mean_series.push_back(std::move(mean));
-    var_series.push_back(std::move(var));
-  }
+  const auto mean_series = bench::series_by_policy(
+      points, policies, loads.size(),
+      [](const core::ExperimentPoint& p) { return p.summary.mean_slowdown; });
+  const auto var_series = bench::series_by_policy(
+      points, policies, loads.size(),
+      [](const core::ExperimentPoint& p) { return p.summary.var_slowdown; });
   bench::print_panel("Fig 12 (top): mean slowdown vs system load", "load",
                      loads, mean_series, opts.csv);
   bench::print_panel("Fig 12 (bottom): variance in slowdown vs system load",

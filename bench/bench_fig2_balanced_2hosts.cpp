@@ -12,7 +12,6 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  using core::PolicyKind;
   const auto opts = bench::BenchOptions::parse(argc, argv);
   const util::Cli cli(argc, argv);
   bench::print_header(
@@ -21,33 +20,25 @@ int main(int argc, char** argv) {
       "SITA-E); variance gaps larger still.",
       opts);
 
-  std::vector<PolicyKind> policies = {PolicyKind::kRandom,
-                                      PolicyKind::kLeastWorkLeft,
-                                      PolicyKind::kSitaE};
-  if (cli.has("all")) {
-    policies.insert(policies.begin() + 1,
-                    {PolicyKind::kRoundRobin, PolicyKind::kShortestQueue});
-  }
+  const std::vector<core::PolicyKind> policies = opts.policy_list(
+      cli.has("all")
+          ? "Random,Round-Robin,Shortest-Queue,Least-Work-Left,SITA-E"
+          : "Random,Least-Work-Left,SITA-E");
 
   core::Workbench wb(workload::find_workload(opts.workload),
                      opts.experiment_config(2));
   const std::vector<double> loads = bench::paper_loads();
+  const auto points = wb.sweep(policies, loads, opts.sweep_options());
 
-  std::vector<bench::Series> mean_series, var_series, resp_series;
-  for (PolicyKind kind : policies) {
-    bench::Series mean{core::to_string(kind), {}};
-    bench::Series var{core::to_string(kind), {}};
-    bench::Series resp{core::to_string(kind), {}};
-    for (double rho : loads) {
-      const auto p = wb.run_point(kind, rho);
-      mean.values.push_back(p.summary.mean_slowdown);
-      var.values.push_back(p.summary.var_slowdown);
-      resp.values.push_back(p.summary.mean_response);
-    }
-    mean_series.push_back(std::move(mean));
-    var_series.push_back(std::move(var));
-    resp_series.push_back(std::move(resp));
-  }
+  const auto mean_series = bench::series_by_policy(
+      points, policies, loads.size(),
+      [](const core::ExperimentPoint& p) { return p.summary.mean_slowdown; });
+  const auto var_series = bench::series_by_policy(
+      points, policies, loads.size(),
+      [](const core::ExperimentPoint& p) { return p.summary.var_slowdown; });
+  const auto resp_series = bench::series_by_policy(
+      points, policies, loads.size(),
+      [](const core::ExperimentPoint& p) { return p.summary.mean_response; });
   bench::print_panel("Fig 2 (top): mean slowdown vs system load", "load",
                      loads, mean_series, opts.csv);
   bench::print_panel("Fig 2 (bottom): variance in slowdown vs system load",

@@ -11,7 +11,6 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  using core::PolicyKind;
   const auto opts = bench::BenchOptions::parse(argc, argv);
   bench::print_header(
       "Figure 3: load-balancing policies, 4 hosts (simulation)",
@@ -19,25 +18,19 @@ int main(int argc, char** argv) {
       "load >= 0.5; Random unchanged vs 2 hosts.",
       opts);
 
-  const PolicyKind policies[] = {PolicyKind::kRandom,
-                                 PolicyKind::kLeastWorkLeft,
-                                 PolicyKind::kSitaE};
+  const std::vector<core::PolicyKind> policies =
+      opts.policy_list("Random,Least-Work-Left,SITA-E");
   core::Workbench wb(workload::find_workload(opts.workload),
                      opts.experiment_config(4));
   const std::vector<double> loads = bench::paper_loads();
+  const auto points = wb.sweep(policies, loads, opts.sweep_options());
 
-  std::vector<bench::Series> mean_series, var_series;
-  for (PolicyKind kind : policies) {
-    bench::Series mean{core::to_string(kind), {}};
-    bench::Series var{core::to_string(kind), {}};
-    for (double rho : loads) {
-      const auto p = wb.run_point(kind, rho);
-      mean.values.push_back(p.summary.mean_slowdown);
-      var.values.push_back(p.summary.var_slowdown);
-    }
-    mean_series.push_back(std::move(mean));
-    var_series.push_back(std::move(var));
-  }
+  const auto mean_series = bench::series_by_policy(
+      points, policies, loads.size(),
+      [](const core::ExperimentPoint& p) { return p.summary.mean_slowdown; });
+  const auto var_series = bench::series_by_policy(
+      points, policies, loads.size(),
+      [](const core::ExperimentPoint& p) { return p.summary.var_slowdown; });
   bench::print_panel("Fig 3 (top): mean slowdown vs system load", "load",
                      loads, mean_series, opts.csv);
   bench::print_panel("Fig 3 (bottom): variance in slowdown vs system load",

@@ -13,7 +13,6 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  using core::PolicyKind;
   const auto opts = bench::BenchOptions::parse(argc, argv);
   bench::print_header(
       "Figure 4: SITA-E vs SITA-U-opt vs SITA-U-fair, 2 hosts (simulation)",
@@ -21,39 +20,40 @@ int main(int argc, char** argv) {
       "SITA-E in mean slowdown, 10-100x in variance (loads 0.5-0.8).",
       opts);
 
-  const PolicyKind policies[] = {PolicyKind::kSitaE, PolicyKind::kSitaUOpt,
-                                 PolicyKind::kSitaUFair};
+  const std::vector<core::PolicyKind> policies =
+      opts.policy_list("SITA-E,SITA-U-opt,SITA-U-fair");
   core::Workbench wb(workload::find_workload(opts.workload),
                      opts.experiment_config(2));
   const std::vector<double> loads = bench::paper_loads();
+  const auto points = wb.sweep(policies, loads, opts.sweep_options());
 
-  std::vector<bench::Series> mean_series, var_series;
-  for (PolicyKind kind : policies) {
-    bench::Series mean{core::to_string(kind), {}};
-    bench::Series var{core::to_string(kind), {}};
-    for (double rho : loads) {
-      const auto p = wb.run_point(kind, rho);
-      mean.values.push_back(p.summary.mean_slowdown);
-      var.values.push_back(p.summary.var_slowdown);
-    }
-    mean_series.push_back(std::move(mean));
-    var_series.push_back(std::move(var));
-  }
+  const auto mean_series = bench::series_by_policy(
+      points, policies, loads.size(),
+      [](const core::ExperimentPoint& p) { return p.summary.mean_slowdown; });
+  const auto var_series = bench::series_by_policy(
+      points, policies, loads.size(),
+      [](const core::ExperimentPoint& p) { return p.summary.var_slowdown; });
   bench::print_panel("Fig 4 (top): mean slowdown vs system load", "load",
                      loads, mean_series, opts.csv);
   bench::print_panel("Fig 4 (bottom): variance in slowdown vs system load",
                      "load", loads, var_series, opts.csv);
 
-  // Improvement factors the paper quotes.
-  std::cout << "\nSITA-E / SITA-U-fair improvement factors:\n";
-  util::Table t({"load", "mean slowdown factor", "variance factor"});
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    t.add_numeric_row(
-        util::format_sig(loads[i], 2),
-        {mean_series[0].values[i] / mean_series[2].values[i],
-         var_series[0].values[i] / var_series[2].values[i]},
-        3);
+  // Improvement factors the paper quotes (first vs last series, i.e.
+  // SITA-E vs SITA-U-fair under the default policy list).
+  if (policies.size() >= 2) {
+    const auto& base = mean_series.front();
+    const auto& best = mean_series.back();
+    std::cout << "\n" << base.name << " / " << best.name
+              << " improvement factors:\n";
+    util::Table t({"load", "mean slowdown factor", "variance factor"});
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      t.add_numeric_row(
+          util::format_sig(loads[i], 2),
+          {base.values[i] / best.values[i],
+           var_series.front().values[i] / var_series.back().values[i]},
+          3);
+    }
+    t.print(std::cout);
   }
-  t.print(std::cout);
   return 0;
 }

@@ -14,7 +14,6 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  using core::PolicyKind;
   auto opts = bench::BenchOptions::parse(argc, argv);
   const util::Cli cli(argc, argv);
   const double rho = cli.get_double("load", 0.7);
@@ -27,21 +26,20 @@ int main(int argc, char** argv) {
 
   const std::vector<double> host_counts = {2, 4, 8, 12, 16, 24, 32,
                                            48, 64, 80};
-  const PolicyKind grouped[] = {PolicyKind::kLeastWorkLeft,
-                                PolicyKind::kHybridSitaE,
-                                PolicyKind::kHybridSitaUOpt,
-                                PolicyKind::kHybridSitaUFair};
+  const std::vector<core::PolicyKind> grouped = opts.policy_list(
+      "Least-Work-Left,SITA-E+LWL,SITA-U-opt+LWL,SITA-U-fair+LWL");
+  const std::vector<double> load{rho};
 
   std::vector<bench::Series> mean_series;
-  for (PolicyKind kind : grouped) {
+  for (core::PolicyKind kind : grouped) {
     mean_series.push_back({core::to_string(kind), {}});
   }
   for (double h : host_counts) {
     core::Workbench wb(workload::find_workload(opts.workload),
                        opts.experiment_config(static_cast<std::size_t>(h)));
-    for (std::size_t k = 0; k < std::size(grouped); ++k) {
-      const auto p = wb.run_point(grouped[k], rho);
-      mean_series[k].values.push_back(p.summary.mean_slowdown);
+    const auto points = wb.sweep(grouped, load, opts.sweep_options());
+    for (std::size_t k = 0; k < grouped.size(); ++k) {
+      mean_series[k].values.push_back(points[k].summary.mean_slowdown);
     }
   }
   bench::print_panel("Fig 6: mean slowdown vs number of hosts", "hosts",

@@ -13,7 +13,6 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  using core::PolicyKind;
   const auto opts = bench::BenchOptions::parse(argc, argv);
   bench::print_header(
       "Figure 7: bursty (scaled-trace) arrivals, 2 hosts (simulation)",
@@ -30,18 +29,12 @@ int main(int argc, char** argv) {
   loads.push_back(0.95);
   loads.push_back(0.98);
 
-  const PolicyKind policies[] = {PolicyKind::kLeastWorkLeft,
-                                 PolicyKind::kSitaUOpt,
-                                 PolicyKind::kSitaUFair};
-  std::vector<bench::Series> mean_series;
-  for (PolicyKind kind : policies) {
-    bench::Series s{core::to_string(kind), {}};
-    for (double rho : loads) {
-      const auto p = wb.run_point(kind, rho);
-      s.values.push_back(p.summary.mean_slowdown);
-    }
-    mean_series.push_back(std::move(s));
-  }
+  const std::vector<core::PolicyKind> policies =
+      opts.policy_list("Least-Work-Left,SITA-U-opt,SITA-U-fair");
+  const auto points = wb.sweep(policies, loads, opts.sweep_options());
+  const auto mean_series = bench::series_by_policy(
+      points, policies, loads.size(),
+      [](const core::ExperimentPoint& p) { return p.summary.mean_slowdown; });
   bench::print_panel("Fig 7: mean slowdown vs system load (bursty arrivals)",
                      "load", loads, mean_series, opts.csv);
   return 0;

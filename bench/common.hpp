@@ -10,7 +10,14 @@
 //   --jobs N                 total synthetic jobs (train+eval)
 //   --reps N                 replications per point
 //   --seed S                 master seed
+//   --threads N              sweep worker threads (0 = all hardware threads)
+//   --policies a,b,c         override the bench's policy list by display
+//                            name (see core::registered_policies())
 //   --csv                    also emit CSV to stdout
+//
+// Policy lists are never built from enum literals here: benches state their
+// defaults as display-name strings and resolve them through the registry
+// (core::policy_from_string), the same path the --policies flag uses.
 #pragma once
 
 #include <iostream>
@@ -19,7 +26,9 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep_runner.hpp"
 #include "util/cli.hpp"
+#include "util/contracts.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -27,12 +36,46 @@
 
 namespace distserv::bench {
 
+/// Resolves one display name via the registry; exits with the list of
+/// known names on a typo so --policies failures are self-explanatory.
+inline core::PolicyKind policy_named(const std::string& name) {
+  const auto kind = core::policy_from_string(util::trim(name));
+  if (!kind) {
+    std::cerr << "unknown policy '" << name << "'; registered policies:\n";
+    for (const std::string& p : core::registered_policies()) {
+      std::cerr << "  " << p << "\n";
+    }
+    std::exit(2);
+  }
+  return *kind;
+}
+
+/// Parses a comma-separated list of policy display names.
+inline std::vector<core::PolicyKind> parse_policies(const std::string& csv) {
+  std::vector<core::PolicyKind> out;
+  for (const auto part : util::split(csv, ',')) {
+    if (util::trim(part).empty()) continue;
+    out.push_back(policy_named(std::string(part)));
+  }
+  if (out.empty()) {
+    std::cerr << "--policies '" << csv
+              << "' names no policies; registered policies:\n";
+    for (const std::string& p : core::registered_policies()) {
+      std::cerr << "  " << p << "\n";
+    }
+    std::exit(2);
+  }
+  return out;
+}
+
 /// Bench-wide configuration parsed from argv.
 struct BenchOptions {
   std::string workload = "c90";
   std::size_t jobs = 40000;
   std::size_t reps = 3;
   std::uint64_t seed = 1;
+  std::size_t threads = 0;  ///< 0 = one worker per hardware thread
+  std::string policies;     ///< --policies override; empty = bench default
   bool csv = false;
 
   static BenchOptions parse(int argc, const char* const* argv,
@@ -43,6 +86,8 @@ struct BenchOptions {
     o.jobs = static_cast<std::size_t>(cli.get_int("jobs", 40000));
     o.reps = static_cast<std::size_t>(cli.get_int("reps", 3));
     o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    o.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+    o.policies = cli.get_string("policies", "");
     o.csv = cli.has("csv");
     return o;
   }
@@ -56,6 +101,20 @@ struct BenchOptions {
     cfg.replications = reps;
     return cfg;
   }
+
+  /// Sweep execution knobs (--threads).
+  [[nodiscard]] core::SweepOptions sweep_options() const {
+    core::SweepOptions opts;
+    opts.threads = threads;
+    return opts;
+  }
+
+  /// The bench's policy list: --policies if given, else `default_csv`
+  /// (display names, resolved through the registry either way).
+  [[nodiscard]] std::vector<core::PolicyKind> policy_list(
+      const std::string& default_csv) const {
+    return parse_policies(policies.empty() ? default_csv : policies);
+  }
 };
 
 /// One named series over a common x-axis.
@@ -63,6 +122,27 @@ struct Series {
   std::string name;
   std::vector<double> values;
 };
+
+/// Projects a sweep result (row-major by load then policy, as returned by
+/// Workbench::sweep) into one Series per policy via `value`.
+template <typename ValueFn>
+std::vector<Series> series_by_policy(
+    const std::vector<core::ExperimentPoint>& points,
+    const std::vector<core::PolicyKind>& policies, std::size_t n_loads,
+    ValueFn&& value) {
+  DS_EXPECTS(points.size() == policies.size() * n_loads);
+  std::vector<Series> out;
+  out.reserve(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    Series s{core::to_string(policies[p]), {}};
+    s.values.reserve(n_loads);
+    for (std::size_t l = 0; l < n_loads; ++l) {
+      s.values.push_back(value(points[l * policies.size() + p]));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
 
 /// Prints the provenance banner all benches share.
 inline void print_header(const std::string& artifact,
@@ -72,7 +152,8 @@ inline void print_header(const std::string& artifact,
             << artifact << "\n"
             << description << "\n"
             << "workload=" << o.workload << " jobs=" << o.jobs
-            << " reps=" << o.reps << " seed=" << o.seed << "\n"
+            << " reps=" << o.reps << " seed=" << o.seed
+            << " threads=" << o.threads << "\n"
             << "==============================================================\n";
 }
 

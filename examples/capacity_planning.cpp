@@ -2,16 +2,31 @@
 // need to keep mean slowdown under a target, and how much capacity does a
 // smarter task assignment policy save?
 //
-//   $ ./capacity_planning --workload c90 --load 0.7 --target 50
+//   $ ./capacity_planning --workload c90 --load 0.7 --target 50 [--threads N]
 //
 // For each candidate host count (keeping per-host system load fixed — i.e.
 // the arrival rate grows with the pool), simulate Least-Work-Left and the
 // grouped SITA-U-fair policy and report the smallest pool meeting the
 // target. This is the scenario of the paper's section 5 turned into a
-// procurement question.
+// procurement question. Policies are resolved by name through the registry
+// (core::policy_from_string); replications run across --threads workers.
+#include <cstdlib>
 #include <iostream>
 
 #include "distserv.hpp"
+
+namespace {
+
+distserv::core::PolicyKind policy_or_die(std::string_view name) {
+  if (const auto kind = distserv::core::policy_from_string(name)) return *kind;
+  std::cerr << "unknown policy '" << name << "'; registered policies:\n";
+  for (const auto& known : distserv::core::registered_policies()) {
+    std::cerr << "  " << known << "\n";
+  }
+  std::exit(2);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace distserv;
@@ -21,16 +36,21 @@ int main(int argc, char** argv) {
   const double rho = cli.get_double("load", 0.7);
   const double target = cli.get_double("target", 50.0);
 
+  core::SweepOptions sweep_opts;
+  sweep_opts.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+
   std::cout << "Capacity planning on '" << workload << "': smallest host "
             << "pool with mean slowdown <= " << target << " at per-host load "
             << rho << "\n\n";
 
-  const PolicyKind candidates[] = {PolicyKind::kLeastWorkLeft,
-                                   PolicyKind::kHybridSitaUFair};
+  const PolicyKind candidates[] = {policy_or_die("Least-Work-Left"),
+                                   policy_or_die("SITA-U-fair+LWL")};
+  const std::vector<double> load{rho};
   util::Table table({"policy", "hosts", "mean slowdown", "meets target"});
   std::size_t winner_hosts[2] = {0, 0};
   int idx = 0;
   for (PolicyKind kind : candidates) {
+    const std::vector<PolicyKind> one{kind};
     bool found = false;
     for (std::size_t hosts : {2u, 4u, 8u, 12u, 16u, 24u, 32u, 48u, 64u}) {
       core::ExperimentConfig cfg;
@@ -39,7 +59,7 @@ int main(int argc, char** argv) {
       cfg.seed = 11;
       cfg.replications = 2;
       core::Workbench wb(workload::find_workload(workload), cfg);
-      const auto p = wb.run_point(kind, rho);
+      const auto p = wb.sweep(one, load, sweep_opts).front();
       const bool ok = p.summary.mean_slowdown <= target;
       table.add_row({core::to_string(kind), std::to_string(hosts),
                      util::format_sig(p.summary.mean_slowdown, 4),

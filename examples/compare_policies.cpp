@@ -3,7 +3,14 @@
 // Figures 2-4.
 //
 //   $ ./compare_policies --workload c90 --hosts 2 --jobs 30000
-//       --loads 0.3,0.5,0.7 --reps 3 [--bursty] [--csv]
+//       --loads 0.3,0.5,0.7 --reps 3 [--policies a,b,c] [--threads N]
+//       [--bursty] [--csv]
+//
+// Policies are named by their display strings (see core::registered_policies
+// or pass a bogus --policies value to list them); the sweep fans out over
+// --threads worker threads (0 = all hardware threads) with results
+// bit-identical to a single-threaded run.
+#include <cstdlib>
 #include <iostream>
 
 #include "distserv.hpp"
@@ -15,6 +22,25 @@ std::vector<double> parse_loads(const std::string& csv) {
   for (const auto part : distserv::util::split(csv, ',')) {
     double v = 0.0;
     if (distserv::util::parse_double(part, v)) out.push_back(v);
+  }
+  return out;
+}
+
+distserv::core::PolicyKind policy_or_die(std::string_view name) {
+  if (const auto kind = distserv::core::policy_from_string(name)) return *kind;
+  std::cerr << "unknown policy '" << name << "'; registered policies:\n";
+  for (const auto& known : distserv::core::registered_policies()) {
+    std::cerr << "  " << known << "\n";
+  }
+  std::exit(2);
+}
+
+std::vector<distserv::core::PolicyKind> parse_policies(
+    const std::string& csv) {
+  std::vector<distserv::core::PolicyKind> out;
+  for (const auto part : distserv::util::split(csv, ',')) {
+    const auto trimmed = distserv::util::trim(part);
+    if (!trimmed.empty()) out.push_back(policy_or_die(trimmed));
   }
   return out;
 }
@@ -37,20 +63,21 @@ int main(int argc, char** argv) {
   cfg.replications = static_cast<std::size_t>(cli.get_int("reps", 3));
   if (cli.has("bursty")) cfg.arrivals = core::ArrivalKind::kBursty;
 
-  std::vector<PolicyKind> policies = {
-      PolicyKind::kRandom,       PolicyKind::kRoundRobin,
-      PolicyKind::kShortestQueue, PolicyKind::kLeastWorkLeft,
-      PolicyKind::kCentralQueue};
-  if (hosts == 2) {
-    policies.insert(policies.end(),
-                    {PolicyKind::kSitaE, PolicyKind::kSitaUOpt,
-                     PolicyKind::kSitaUFair, PolicyKind::kSitaRuleOfThumb});
+  std::vector<PolicyKind> policies;
+  if (const std::string override = cli.get_string("policies", "");
+      !override.empty()) {
+    policies = parse_policies(override);
   } else {
-    policies.insert(policies.end(),
-                    {PolicyKind::kSitaE, PolicyKind::kHybridSitaE,
-                     PolicyKind::kHybridSitaUOpt,
-                     PolicyKind::kHybridSitaUFair});
+    policies = parse_policies(
+        "Random,Round-Robin,Shortest-Queue,Least-Work-Left,Central-Queue");
+    const std::string sita =
+        hosts == 2 ? "SITA-E,SITA-U-opt,SITA-U-fair,SITA-U-thumb"
+                   : "SITA-E,SITA-E+LWL,SITA-U-opt+LWL,SITA-U-fair+LWL";
+    for (PolicyKind kind : parse_policies(sita)) policies.push_back(kind);
   }
+
+  core::SweepOptions sweep_opts;
+  sweep_opts.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
 
   std::cout << "Comparing " << policies.size() << " policies on '" << workload
             << "' with " << hosts << " hosts ("
@@ -59,13 +86,15 @@ int main(int argc, char** argv) {
             << " arrivals)\n\n";
 
   core::Workbench wb(workload::find_workload(workload), cfg);
+  const auto points = wb.sweep(policies, loads, sweep_opts);
+  // sweep orders points load-major: points[l * policies.size() + k].
   util::Table table({"policy", "load", "mean slowdown", "var slowdown",
                      "mean response", "p99 slowdown", "cutoff(s)"});
-  for (PolicyKind kind : policies) {
-    for (double rho : loads) {
-      const core::ExperimentPoint p = wb.run_point(kind, rho);
+  for (std::size_t k = 0; k < policies.size(); ++k) {
+    for (std::size_t l = 0; l < loads.size(); ++l) {
+      const core::ExperimentPoint& p = points[l * policies.size() + k];
       table.add_row(
-          {core::to_string(kind), util::format_sig(rho, 2),
+          {core::to_string(policies[k]), util::format_sig(loads[l], 2),
            util::format_sig(p.summary.mean_slowdown, 4),
            util::format_sig(p.summary.var_slowdown, 4),
            util::format_sig(p.summary.mean_response, 4),
@@ -79,10 +108,10 @@ int main(int argc, char** argv) {
     std::cout << "\n";
     util::CsvWriter w(std::cout);
     w.header({"policy", "load", "mean_slowdown", "var_slowdown"});
-    for (PolicyKind kind : policies) {
-      for (double rho : loads) {
-        const auto p = wb.run_point(kind, rho);
-        w.row({core::to_string(kind), util::format_sig(rho, 3),
+    for (std::size_t k = 0; k < policies.size(); ++k) {
+      for (std::size_t l = 0; l < loads.size(); ++l) {
+        const auto& p = points[l * policies.size() + k];
+        w.row({core::to_string(policies[k]), util::format_sig(loads[l], 3),
                util::format_sig(p.summary.mean_slowdown, 6),
                util::format_sig(p.summary.var_slowdown, 6)});
       }

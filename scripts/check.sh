@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The tier-1 gate plus a ThreadSanitizer pass over the parallel sweep engine.
+#
+#   1. Configure + build the default tree and run the full ctest suite.
+#   2. Configure a second tree with -DDISTSERV_TSAN=ON (benches/examples
+#      off), build the sweep-runner determinism tests, and run every test
+#      carrying the `tsan` ctest label under the race detector.
+#
+# Usage: scripts/check.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${2:-build-tsan}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+echo "== tier 1: configure + build =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== tier 1: ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== tsan: configure + build (determinism tests only) =="
+cmake -B "$TSAN_DIR" -S . \
+  -DDISTSERV_TSAN=ON \
+  -DDISTSERV_BUILD_BENCH=OFF \
+  -DDISTSERV_BUILD_EXAMPLES=OFF
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target test_sweep_runner
+
+echo "== tsan: ctest -L tsan =="
+ctest --test-dir "$TSAN_DIR" -L tsan --output-on-failure
+
+echo "All checks passed."

@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "core/policies/central_queue.hpp"
@@ -11,6 +12,7 @@
 #include "core/policies/sita.hpp"
 #include "util/contracts.hpp"
 #include "util/math.hpp"
+#include "util/strings.hpp"
 #include "workload/arrival.hpp"
 #include "workload/synthetic.hpp"
 
@@ -38,6 +40,38 @@ std::string to_string(PolicyKind kind) {
 
 namespace {
 
+constexpr std::array kAllPolicyKinds = {
+    PolicyKind::kRandom,          PolicyKind::kRoundRobin,
+    PolicyKind::kShortestQueue,   PolicyKind::kLeastWorkLeft,
+    PolicyKind::kCentralQueue,    PolicyKind::kSitaE,
+    PolicyKind::kSitaUOpt,        PolicyKind::kSitaUFair,
+    PolicyKind::kSitaRuleOfThumb, PolicyKind::kHybridSitaE,
+    PolicyKind::kHybridSitaUOpt,  PolicyKind::kHybridSitaUFair,
+    PolicyKind::kSitaUOptMulti,   PolicyKind::kSitaUFairMulti,
+};
+
+}  // namespace
+
+std::span<const PolicyKind> all_policy_kinds() noexcept {
+  return kAllPolicyKinds;
+}
+
+std::optional<PolicyKind> policy_from_string(std::string_view name) {
+  for (PolicyKind kind : kAllPolicyKinds) {
+    if (util::iequals(to_string(kind), name)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> registered_policies() {
+  std::vector<std::string> names;
+  names.reserve(kAllPolicyKinds.size());
+  for (PolicyKind kind : kAllPolicyKinds) names.push_back(to_string(kind));
+  return names;
+}
+
+namespace {
+
 std::vector<double> split_train(const std::vector<double>& sizes) {
   return {sizes.begin(),
           sizes.begin() + static_cast<std::ptrdiff_t>(sizes.size() / 2)};
@@ -49,7 +83,9 @@ std::vector<double> split_eval(const std::vector<double>& sizes) {
 }
 
 std::uint64_t point_stream(double rho, std::size_t replication) {
-  // Deterministic substream id per (load, replication).
+  // Deterministic substream id per (load, replication). Keyed by the load
+  // value, not the point's position in a sweep, so run_point and sweep (at
+  // any thread count) draw identical arrival streams.
   const auto rho_key =
       static_cast<std::uint64_t>(std::llround(rho * 1e9));
   return rho_key * 1000003ULL + replication;
@@ -101,27 +137,42 @@ workload::Trace Workbench::make_eval_trace(double rho,
   return workload::Trace::with_arrivals(eval_sizes_, fallback, rng);
 }
 
-PolicyPtr Workbench::make_policy(PolicyKind kind, double rho,
-                                 ExperimentPoint& point) const {
+Workbench::PointPlan Workbench::plan_point(PolicyKind kind, double rho) const {
+  DS_EXPECTS(rho > 0.0 && rho < 1.0);
+  PointPlan plan;
+  plan.point.policy = kind;
+  plan.point.rho = rho;
   const std::size_t h = config_.hosts;
   const double err = config_.sita_error_rate;
   switch (kind) {
     case PolicyKind::kRandom:
-      return std::make_unique<RandomPolicy>();
+      plan.make_policy = [] { return std::make_unique<RandomPolicy>(); };
+      return plan;
     case PolicyKind::kRoundRobin:
-      return std::make_unique<RoundRobinPolicy>();
+      plan.make_policy = [] { return std::make_unique<RoundRobinPolicy>(); };
+      return plan;
     case PolicyKind::kShortestQueue:
-      return std::make_unique<ShortestQueuePolicy>();
+      plan.make_policy = [] {
+        return std::make_unique<ShortestQueuePolicy>();
+      };
+      return plan;
     case PolicyKind::kLeastWorkLeft:
-      return std::make_unique<LeastWorkLeftPolicy>();
+      plan.make_policy = [] {
+        return std::make_unique<LeastWorkLeftPolicy>();
+      };
+      return plan;
     case PolicyKind::kCentralQueue:
-      return std::make_unique<CentralQueuePolicy>();
+      plan.make_policy = [] { return std::make_unique<CentralQueuePolicy>(); };
+      return plan;
     case PolicyKind::kSitaE: {
-      const std::vector<double> cutoffs = deriver_.sita_e(h);
-      point.has_cutoff = true;
-      point.cutoff = cutoffs.front();
-      point.host1_load_fraction = 1.0 / static_cast<double>(h);
-      return std::make_unique<SitaPolicy>(cutoffs, "SITA-E", err);
+      std::vector<double> cutoffs = deriver_.sita_e(h);
+      plan.point.has_cutoff = true;
+      plan.point.cutoff = cutoffs.front();
+      plan.point.host1_load_fraction = 1.0 / static_cast<double>(h);
+      plan.make_policy = [cutoffs = std::move(cutoffs), err] {
+        return std::make_unique<SitaPolicy>(cutoffs, "SITA-E", err);
+      };
+      return plan;
     }
     case PolicyKind::kSitaUOpt:
     case PolicyKind::kSitaUFair: {
@@ -132,36 +183,46 @@ PolicyPtr Workbench::make_policy(PolicyKind kind, double rho,
           kind == PolicyKind::kSitaUOpt
               ? deriver_.sita_u_opt(rho, config_.cutoff_grid)
               : deriver_.sita_u_fair(rho, config_.cutoff_grid);
-      point.has_cutoff = true;
-      point.feasible = r.feasible;
-      point.cutoff = r.cutoff;
-      point.host1_load_fraction = r.host1_load_fraction;
+      plan.point.has_cutoff = true;
+      plan.point.feasible = r.feasible;
+      plan.point.cutoff = r.cutoff;
+      plan.point.host1_load_fraction = r.host1_load_fraction;
       DS_EXPECTS(r.feasible);
-      return std::make_unique<SitaPolicy>(
-          std::vector<double>{r.cutoff}, to_string(kind), err);
+      plan.make_policy = [cutoff = r.cutoff, label = to_string(kind), err] {
+        return std::make_unique<SitaPolicy>(std::vector<double>{cutoff},
+                                            label, err);
+      };
+      return plan;
     }
     case PolicyKind::kSitaRuleOfThumb: {
       DS_EXPECTS(h == 2);
       const double cutoff = deriver_.rule_of_thumb(rho);
-      point.has_cutoff = true;
-      point.cutoff = cutoff;
-      point.host1_load_fraction =
+      plan.point.has_cutoff = true;
+      plan.point.cutoff = cutoff;
+      plan.point.host1_load_fraction =
           deriver_.model().load_fraction_below(cutoff);
-      return std::make_unique<SitaPolicy>(std::vector<double>{cutoff},
-                                          to_string(kind), err);
+      plan.make_policy = [cutoff, label = to_string(kind), err] {
+        return std::make_unique<SitaPolicy>(std::vector<double>{cutoff},
+                                            label, err);
+      };
+      return plan;
     }
     case PolicyKind::kSitaUOptMulti:
     case PolicyKind::kSitaUFairMulti: {
-      const queueing::MultiCutoffResult r =
+      queueing::MultiCutoffResult r =
           kind == PolicyKind::kSitaUOptMulti
               ? deriver_.sita_u_opt_multi(rho, h)
               : deriver_.sita_u_fair_multi(rho, h);
-      point.has_cutoff = true;
-      point.feasible = r.feasible;
+      plan.point.has_cutoff = true;
+      plan.point.feasible = r.feasible;
       DS_EXPECTS(r.feasible);
-      point.cutoff = r.cutoffs.front();
-      point.host1_load_fraction = r.host_load_fractions.front();
-      return std::make_unique<SitaPolicy>(r.cutoffs, to_string(kind), err);
+      plan.point.cutoff = r.cutoffs.front();
+      plan.point.host1_load_fraction = r.host_load_fractions.front();
+      plan.make_policy = [cutoffs = std::move(r.cutoffs),
+                          label = to_string(kind), err] {
+        return std::make_unique<SitaPolicy>(cutoffs, label, err);
+      };
+      return plan;
     }
     case PolicyKind::kHybridSitaE:
     case PolicyKind::kHybridSitaUOpt:
@@ -180,32 +241,37 @@ PolicyPtr Workbench::make_policy(PolicyKind kind, double rho,
         cutoff = r.cutoff;
         f = r.host1_load_fraction;
       }
-      point.has_cutoff = true;
-      point.cutoff = cutoff;
-      point.host1_load_fraction = f;
+      plan.point.has_cutoff = true;
+      plan.point.cutoff = cutoff;
+      plan.point.host1_load_fraction = f;
       // Equal groups (paper §5): preserves the 2-host per-host loads.
       const std::size_t g = hybrid_short_group_size(h);
-      return std::make_unique<HybridSitaLwlPolicy>(cutoff, g,
-                                                   to_string(kind));
+      plan.make_policy = [cutoff, g, label = to_string(kind)] {
+        return std::make_unique<HybridSitaLwlPolicy>(cutoff, g, label);
+      };
+      return plan;
     }
   }
   DS_ASSERT(false && "unhandled PolicyKind");
-  return nullptr;
+  return plan;
 }
 
-ExperimentPoint Workbench::run_point(PolicyKind kind, double rho) {
-  DS_EXPECTS(rho > 0.0 && rho < 1.0);
-  ExperimentPoint point;
-  point.policy = kind;
-  point.rho = rho;
-  const PolicyPtr policy = make_policy(kind, rho, point);
-  point.replication_summaries.reserve(config_.replications);
-  for (std::size_t rep = 0; rep < config_.replications; ++rep) {
-    const workload::Trace trace = make_eval_trace(rho, rep);
-    const RunResult result =
-        simulate(*policy, trace, config_.hosts, config_.seed + rep);
-    point.replication_summaries.push_back(summarize(result));
-  }
+MetricsSummary Workbench::run_replication(const PointPlan& plan,
+                                          std::size_t replication) const {
+  DS_EXPECTS(replication < config_.replications);
+  DS_EXPECTS(plan.make_policy != nullptr);
+  const PolicyPtr policy = plan.make_policy();
+  const workload::Trace trace =
+      make_eval_trace(plan.point.rho, replication);
+  const RunResult result =
+      simulate(*policy, trace, config_.hosts, config_.seed + replication);
+  return summarize(result);
+}
+
+ExperimentPoint Workbench::finalize_point(
+    const PointPlan& plan, std::vector<MetricsSummary> replication_summaries) {
+  ExperimentPoint point = plan.point;
+  point.replication_summaries = std::move(replication_summaries);
   point.summary = average_summaries(point.replication_summaries);
   if (point.replication_summaries.size() >= 2) {
     std::vector<double> means;
@@ -221,8 +287,18 @@ ExperimentPoint Workbench::run_point(PolicyKind kind, double rho) {
   return point;
 }
 
+ExperimentPoint Workbench::run_point(PolicyKind kind, double rho) const {
+  const PointPlan plan = plan_point(kind, rho);
+  std::vector<MetricsSummary> summaries;
+  summaries.reserve(config_.replications);
+  for (std::size_t rep = 0; rep < config_.replications; ++rep) {
+    summaries.push_back(run_replication(plan, rep));
+  }
+  return finalize_point(plan, std::move(summaries));
+}
+
 std::vector<ExperimentPoint> Workbench::sweep(
-    std::span<const PolicyKind> policies, std::span<const double> loads) {
+    std::span<const PolicyKind> policies, std::span<const double> loads) const {
   std::vector<ExperimentPoint> out;
   out.reserve(policies.size() * loads.size());
   for (double rho : loads) {
@@ -232,5 +308,7 @@ std::vector<ExperimentPoint> Workbench::sweep(
   }
   return out;
 }
+
+// The parallel overload lives in core/sweep_runner.cpp.
 
 }  // namespace distserv::core

@@ -7,10 +7,22 @@
 // `replications` independent arrival seeds, and summarize. This mirrors the
 // paper's methodology (§2.2, §4.1) with the addition of replications for
 // confidence intervals.
+//
+// Thread-safety contract: after construction a Workbench is immutable, and
+// every const member (run_point, plan_point, run_replication, sweep, the
+// accessors) may be called concurrently from any number of threads. Each
+// call derives its randomness from (seed, load, replication) alone — never
+// from shared mutable state — so results are independent of calling order
+// and of the number of threads. Policy and ServerView objects stay strictly
+// per-run: plan_point returns a *factory* and every replication constructs
+// its own Policy instance from it.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/cutoffs.hpp"
@@ -41,6 +53,22 @@ enum class PolicyKind {
 
 /// Display name, e.g. "SITA-U-fair".
 [[nodiscard]] std::string to_string(PolicyKind kind);
+
+// The string-keyed policy registry. Benches, examples, and CLI flags name
+// policies by their display string and resolve them here, so the library's
+// policy list has exactly one source of truth (the enum + to_string).
+
+/// Every PolicyKind, in declaration order.
+[[nodiscard]] std::span<const PolicyKind> all_policy_kinds() noexcept;
+
+/// Inverse of to_string: resolves a display name (case-insensitively) to
+/// its PolicyKind. Returns nullopt for unknown names.
+[[nodiscard]] std::optional<PolicyKind> policy_from_string(
+    std::string_view name);
+
+/// Display names of every registered policy, in declaration order — the
+/// round trip policy_from_string(registered_policies()[i]) always succeeds.
+[[nodiscard]] std::vector<std::string> registered_policies();
 
 /// Arrival process used for the evaluation trace.
 enum class ArrivalKind {
@@ -86,17 +114,60 @@ struct ExperimentPoint {
   bool feasible = true;  ///< false if no stable cutoff existed
 };
 
+/// Execution knobs for Workbench::sweep (see core/sweep_runner.hpp for the
+/// engine). Results are bit-identical for every `threads` value.
+struct SweepOptions {
+  /// Worker threads; 0 = one per hardware thread, 1 = run inline.
+  std::size_t threads = 0;
+  /// Invoked after each completed (point, replication) task with
+  /// (completed, total). Called from worker threads under a lock; keep it
+  /// cheap. Completion *order* is scheduling-dependent even though results
+  /// are not.
+  std::function<void(std::size_t completed, std::size_t total)> progress;
+};
+
 /// Fixture binding a workload to the experiment methodology.
 class Workbench {
  public:
   Workbench(const workload::WorkloadSpec& spec, ExperimentConfig config);
 
-  /// Runs one policy at one system load.
-  [[nodiscard]] ExperimentPoint run_point(PolicyKind kind, double rho);
+  /// The cutoff work for one (policy, load) point, done once, plus a
+  /// factory that builds fresh Policy instances from it. The factory is
+  /// const and safe to invoke concurrently; each replication must use its
+  /// own instance (policies are stateful during a run).
+  struct PointPlan {
+    /// policy/rho/cutoff metadata filled; summaries left empty.
+    ExperimentPoint point;
+    std::function<PolicyPtr()> make_policy;
+  };
 
-  /// Full cross product, row-major by load then policy.
+  /// Runs one policy at one system load (all replications, inline).
+  [[nodiscard]] ExperimentPoint run_point(PolicyKind kind, double rho) const;
+
+  /// Derives the cutoffs/metadata for a point without running anything.
+  [[nodiscard]] PointPlan plan_point(PolicyKind kind, double rho) const;
+
+  /// Runs replication `replication` in [0, config().replications) of a
+  /// planned point. Deterministic in (seed, rho, replication) only.
+  [[nodiscard]] MetricsSummary run_replication(const PointPlan& plan,
+                                               std::size_t replication) const;
+
+  /// Assembles the point from its per-replication summaries (averaging +
+  /// t-interval), exactly as run_point does.
+  [[nodiscard]] static ExperimentPoint finalize_point(
+      const PointPlan& plan, std::vector<MetricsSummary> replication_summaries);
+
+  /// Full cross product, row-major by load then policy. Equivalent to
+  /// concatenating run_point results; runs inline on the calling thread.
   [[nodiscard]] std::vector<ExperimentPoint> sweep(
-      std::span<const PolicyKind> policies, std::span<const double> loads);
+      std::span<const PolicyKind> policies, std::span<const double> loads) const;
+
+  /// Same cross product fanned out across `options.threads` workers
+  /// (core/sweep_runner.cpp). Output is bit-identical to the inline
+  /// overload for every thread count.
+  [[nodiscard]] std::vector<ExperimentPoint> sweep(
+      std::span<const PolicyKind> policies, std::span<const double> loads,
+      const SweepOptions& options) const;
 
   /// Cutoff machinery over the training half (for inspection / figures).
   [[nodiscard]] const CutoffDeriver& deriver() const noexcept {
@@ -113,10 +184,6 @@ class Workbench {
   }
 
  private:
-  /// Builds the policy for a point; fills cutoff metadata into `point`.
-  [[nodiscard]] PolicyPtr make_policy(PolicyKind kind, double rho,
-                                      ExperimentPoint& point) const;
-
   /// Evaluation trace for one replication at one load.
   [[nodiscard]] workload::Trace make_eval_trace(double rho,
                                                 std::size_t replication) const;

@@ -1,0 +1,101 @@
+#include "core/sweep_runner.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace distserv::core {
+
+namespace {
+
+struct PointSpec {
+  PolicyKind policy{};
+  double rho = 0.0;
+};
+
+std::vector<PointSpec> cross_product(std::span<const PolicyKind> policies,
+                                     std::span<const double> loads) {
+  std::vector<PointSpec> specs;
+  specs.reserve(policies.size() * loads.size());
+  for (double rho : loads) {
+    for (PolicyKind kind : policies) specs.push_back({kind, rho});
+  }
+  return specs;
+}
+
+}  // namespace
+
+std::vector<ExperimentPoint> run_sweep(const Workbench& workbench,
+                                       std::span<const PolicyKind> policies,
+                                       std::span<const double> loads,
+                                       const SweepOptions& options) {
+  const std::vector<PointSpec> specs = cross_product(policies, loads);
+  const std::size_t n_points = specs.size();
+  const std::size_t reps = workbench.config().replications;
+  const std::size_t total_tasks = n_points * reps;
+
+  const std::size_t threads = options.threads == 0
+                                  ? util::ThreadPool::hardware_threads()
+                                  : options.threads;
+
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+  auto report = [&](std::size_t done) {
+    if (options.progress) options.progress(done, total_tasks);
+  };
+
+  // Pre-sized result slots: every task writes its own cell, so scheduling
+  // order cannot affect the output.
+  std::vector<Workbench::PointPlan> plans(n_points);
+  std::vector<std::vector<MetricsSummary>> summaries(n_points);
+  for (auto& s : summaries) s.resize(reps);
+
+  if (threads <= 1 || total_tasks <= 1) {
+    // Inline path: same task bodies, same order as Workbench::sweep.
+    for (std::size_t i = 0; i < n_points; ++i) {
+      plans[i] = workbench.plan_point(specs[i].policy, specs[i].rho);
+      for (std::size_t r = 0; r < reps; ++r) {
+        summaries[i][r] = workbench.run_replication(plans[i], r);
+        report(++completed);
+      }
+    }
+  } else {
+    util::ThreadPool pool(threads);
+    // Wave 1: cutoff derivation per point (the SITA-U searches are the
+    // second-biggest cost after simulation and parallelize the same way).
+    for (std::size_t i = 0; i < n_points; ++i) {
+      pool.submit([&, i] {
+        plans[i] = workbench.plan_point(specs[i].policy, specs[i].rho);
+      });
+    }
+    pool.wait();
+    // Wave 2: one simulation per (point, replication).
+    for (std::size_t i = 0; i < n_points; ++i) {
+      for (std::size_t r = 0; r < reps; ++r) {
+        pool.submit([&, i, r] {
+          summaries[i][r] = workbench.run_replication(plans[i], r);
+          const std::lock_guard lock(progress_mutex);
+          report(++completed);
+        });
+      }
+    }
+    pool.wait();
+  }
+
+  std::vector<ExperimentPoint> out;
+  out.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    out.push_back(
+        Workbench::finalize_point(plans[i], std::move(summaries[i])));
+  }
+  return out;
+}
+
+std::vector<ExperimentPoint> Workbench::sweep(
+    std::span<const PolicyKind> policies, std::span<const double> loads,
+    const SweepOptions& options) const {
+  return run_sweep(*this, policies, loads, options);
+}
+
+}  // namespace distserv::core

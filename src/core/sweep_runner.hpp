@@ -1,0 +1,36 @@
+// The parallel sweep engine behind Workbench::sweep(policies, loads, opts).
+//
+// A sweep is a (policy, load) cross product, each point replicated R times
+// with independent arrival seeds. Sequentially that is the dominant cost of
+// every figure-reproduction bench, yet every task is independent: cutoffs
+// depend only on the (immutable) training half, and each replication's
+// randomness is derived from (seed, load, replication) via SplitMix64
+// substream splitting — never from shared generator state. run_sweep
+// exploits that by fanning two waves of tasks over a util::ThreadPool:
+//
+//   wave 1: one task per point      — cutoff derivation (plan_point)
+//   wave 2: one task per (point, R) — simulate + summarize (run_replication)
+//
+// Workers write into pre-sized slots indexed by (point, replication), and
+// per-point summaries are merged in replication order afterwards, so the
+// output is bit-identical to the sequential sweep for every thread count.
+// DESIGN.md §"Parallel sweep engine" documents the seed-spacing scheme and
+// why splitting is preferred over xoshiro jump() chains here.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace distserv::core {
+
+/// Runs the (policies × loads) sweep on `workbench` across a worker pool.
+/// Row-major by load then policy, like Workbench::sweep. If any task throws
+/// (e.g. an infeasible cutoff contract), the first exception is rethrown
+/// after in-flight tasks drain.
+[[nodiscard]] std::vector<ExperimentPoint> run_sweep(
+    const Workbench& workbench, std::span<const PolicyKind> policies,
+    std::span<const double> loads, const SweepOptions& options = {});
+
+}  // namespace distserv::core

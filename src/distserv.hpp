@@ -11,6 +11,7 @@
 #include "util/math.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 // Substrate
 #include "dist/bounded_pareto.hpp"
@@ -64,4 +65,5 @@
 #include "core/ps_server.hpp"
 #include "core/server.hpp"
 #include "core/sim_cutoff_search.hpp"
+#include "core/sweep_runner.hpp"
 #include "core/tags.hpp"

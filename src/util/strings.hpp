@@ -40,4 +40,7 @@ namespace distserv::util {
 /// Lower-cases ASCII.
 [[nodiscard]] std::string to_lower(std::string_view s);
 
+/// ASCII case-insensitive equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
 }  // namespace distserv::util

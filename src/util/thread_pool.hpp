@@ -1,0 +1,69 @@
+// A small fixed-size worker pool for deterministic fan-out workloads.
+//
+// The sweep engine (core/sweep_runner) schedules thousands of independent,
+// pre-indexed simulation tasks; all it needs from a pool is submit(),
+// wait(), and first-error propagation. Tasks must not submit further tasks
+// from within the pool (no work stealing, no futures) — keeping the
+// contract this small is what makes the determinism argument in
+// DESIGN.md §"Parallel sweep engine" a one-liner: tasks write to disjoint
+// pre-sized slots, so execution order cannot matter.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace distserv::util {
+
+/// Fixed-size thread pool. Construction spawns the workers; destruction
+/// drains outstanding tasks and joins.
+class ThreadPool {
+ public:
+  /// Spawns `threads` >= 1 workers.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue (equivalent to wait()) and joins all workers.
+  /// Exceptions still pending from tasks are swallowed at this point —
+  /// call wait() if you need them rethrown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Thread-safe. Must not be called from inside a
+  /// running task (the pool is a flat fan-out, not a DAG executor).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the *first* exception (by completion order) exactly once;
+  /// later exceptions from the same batch are dropped.
+  void wait();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// std::thread::hardware_concurrency() clamped to >= 1 (the standard
+  /// allows it to return 0 when undetectable).
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace distserv::util

@@ -188,5 +188,46 @@ TEST(PolicyKindNames, AllDistinct) {
   EXPECT_EQ(names.size(), std::size(all));
 }
 
+TEST(PolicyRegistry, ListsEveryEnumeratorExactlyOnce) {
+  const auto all = all_policy_kinds();
+  EXPECT_EQ(all.size(), 14u);
+  std::set<PolicyKind> distinct(all.begin(), all.end());
+  EXPECT_EQ(distinct.size(), all.size());
+  EXPECT_EQ(all.front(), PolicyKind::kRandom);
+  EXPECT_EQ(all.back(), PolicyKind::kSitaUFairMulti);
+}
+
+TEST(PolicyRegistry, RoundTripsWithToStringForEveryEnumerator) {
+  for (PolicyKind kind : all_policy_kinds()) {
+    const auto resolved = policy_from_string(to_string(kind));
+    ASSERT_TRUE(resolved.has_value()) << to_string(kind);
+    EXPECT_EQ(*resolved, kind);
+  }
+}
+
+TEST(PolicyRegistry, LookupIsCaseInsensitive) {
+  EXPECT_EQ(policy_from_string("sita-u-fair"), PolicyKind::kSitaUFair);
+  EXPECT_EQ(policy_from_string("LEAST-WORK-LEFT"),
+            PolicyKind::kLeastWorkLeft);
+  EXPECT_EQ(policy_from_string("rOuNd-RoBiN"), PolicyKind::kRoundRobin);
+}
+
+TEST(PolicyRegistry, RejectsUnknownNames) {
+  EXPECT_EQ(policy_from_string(""), std::nullopt);
+  EXPECT_EQ(policy_from_string("SITA"), std::nullopt);
+  EXPECT_EQ(policy_from_string("Least-Work-Left "), std::nullopt);
+  EXPECT_EQ(policy_from_string("nonsense"), std::nullopt);
+}
+
+TEST(PolicyRegistry, RegisteredNamesMatchEnumOrder) {
+  const auto names = registered_policies();
+  const auto all = all_policy_kinds();
+  ASSERT_EQ(names.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(names[i], to_string(all[i]));
+    EXPECT_EQ(policy_from_string(names[i]), all[i]);
+  }
+}
+
 }  // namespace
 }  // namespace distserv::core

@@ -1,0 +1,155 @@
+// The parallel sweep engine's headline guarantee: a sweep run on N worker
+// threads is bit-identical to the same sweep run inline, because every
+// (point, replication) derives its randomness from (seed, load, replication)
+// alone and writes into a pre-sized slot. These tests compare full
+// ExperimentPoint vectors — summaries, per-replication summaries, confidence
+// intervals, and SITA cutoff metadata — with exact floating-point equality.
+#include "core/sweep_runner.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace distserv::core {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.hosts = 2;
+  cfg.n_jobs = 12000;  // 6k train / 6k eval; c90 is the BP-mixture workload
+  cfg.seed = 7;
+  cfg.replications = 3;
+  cfg.cutoff_grid = 120;
+  return cfg;
+}
+
+void expect_identical(const MetricsSummary& a, const MetricsSummary& b) {
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.mean_slowdown, b.mean_slowdown);
+  EXPECT_EQ(a.var_slowdown, b.var_slowdown);
+  EXPECT_EQ(a.mean_response, b.mean_response);
+  EXPECT_EQ(a.var_response, b.var_response);
+  EXPECT_EQ(a.mean_waiting, b.mean_waiting);
+  EXPECT_EQ(a.var_waiting, b.var_waiting);
+  EXPECT_EQ(a.max_slowdown, b.max_slowdown);
+  EXPECT_EQ(a.p50_slowdown, b.p50_slowdown);
+  EXPECT_EQ(a.p95_slowdown, b.p95_slowdown);
+  EXPECT_EQ(a.p99_slowdown, b.p99_slowdown);
+}
+
+void expect_identical(const ExperimentPoint& a, const ExperimentPoint& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.rho, b.rho);
+  expect_identical(a.summary, b.summary);
+  ASSERT_EQ(a.replication_summaries.size(), b.replication_summaries.size());
+  for (std::size_t r = 0; r < a.replication_summaries.size(); ++r) {
+    expect_identical(a.replication_summaries[r], b.replication_summaries[r]);
+  }
+  EXPECT_EQ(a.slowdown_ci.mean, b.slowdown_ci.mean);
+  EXPECT_EQ(a.slowdown_ci.lo, b.slowdown_ci.lo);
+  EXPECT_EQ(a.slowdown_ci.hi, b.slowdown_ci.hi);
+  EXPECT_EQ(a.slowdown_ci.half_width, b.slowdown_ci.half_width);
+  EXPECT_EQ(a.has_cutoff, b.has_cutoff);
+  EXPECT_EQ(a.cutoff, b.cutoff);
+  EXPECT_EQ(a.host1_load_fraction, b.host1_load_fraction);
+  EXPECT_EQ(a.feasible, b.feasible);
+}
+
+SweepOptions with_threads(std::size_t threads) {
+  SweepOptions options;
+  options.threads = threads;
+  return options;
+}
+
+std::vector<PolicyKind> test_policies() {
+  // Cover a stateless policy, both stateful RNG policies, and a SITA
+  // flavor whose plan carries derived cutoffs.
+  return {*policy_from_string("Random"), *policy_from_string("Round-Robin"),
+          *policy_from_string("Least-Work-Left"),
+          *policy_from_string("SITA-U-fair")};
+}
+
+TEST(SweepRunner, EightThreadsBitIdenticalToOneThread) {
+  const Workbench wb(workload::find_workload("c90"), small_config());
+  const auto policies = test_policies();
+  const std::vector<double> loads = {0.5, 0.7};
+  const auto seq = wb.sweep(policies, loads, with_threads(1));
+  const auto par = wb.sweep(policies, loads, with_threads(8));
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    expect_identical(seq[i], par[i]);
+  }
+}
+
+TEST(SweepRunner, ParallelSweepMatchesLegacySequentialSweep) {
+  const Workbench wb(workload::find_workload("c90"), small_config());
+  const auto policies = test_policies();
+  const std::vector<double> loads = {0.6};
+  const auto legacy = wb.sweep(policies, loads);
+  const auto par = wb.sweep(policies, loads, with_threads(4));
+  ASSERT_EQ(legacy.size(), par.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    expect_identical(legacy[i], par[i]);
+  }
+}
+
+TEST(SweepRunner, SweepMatchesRunPointComposition) {
+  const Workbench wb(workload::find_workload("c90"), small_config());
+  const auto policies = test_policies();
+  const std::vector<double> loads = {0.5, 0.7};
+  const auto par = wb.sweep(policies, loads, with_threads(8));
+  // Sweep orders points load-major.
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    for (std::size_t k = 0; k < policies.size(); ++k) {
+      const auto point = wb.run_point(policies[k], loads[l]);
+      expect_identical(point, par[l * policies.size() + k]);
+    }
+  }
+}
+
+TEST(SweepRunner, ThreadsZeroUsesHardwareThreadsAndStaysIdentical) {
+  ExperimentConfig cfg = small_config();
+  cfg.n_jobs = 8000;
+  cfg.replications = 2;
+  const Workbench wb(workload::find_workload("c90"), cfg);
+  const std::vector<PolicyKind> policies = {*policy_from_string("SITA-E")};
+  const std::vector<double> loads = {0.6};
+  const auto seq = wb.sweep(policies, loads, with_threads(1));
+  const auto def = wb.sweep(policies, loads, {});  // threads = 0
+  ASSERT_EQ(seq.size(), def.size());
+  expect_identical(seq[0], def[0]);
+}
+
+TEST(SweepRunner, ProgressReportsEveryReplicationTask) {
+  ExperimentConfig cfg = small_config();
+  cfg.n_jobs = 8000;
+  const Workbench wb(workload::find_workload("c90"), cfg);
+  const std::vector<PolicyKind> policies = {
+      *policy_from_string("Random"), *policy_from_string("Least-Work-Left")};
+  const std::vector<double> loads = {0.5, 0.7};
+
+  std::atomic<std::size_t> calls{0};
+  std::size_t last_completed = 0;
+  std::size_t reported_total = 0;
+  SweepOptions options;
+  options.threads = 4;
+  options.progress = [&](std::size_t completed, std::size_t total) {
+    ++calls;  // the engine serializes calls under its own lock
+    last_completed = completed;
+    reported_total = total;
+  };
+  const auto points = wb.sweep(policies, loads, options);
+
+  const std::size_t expected =
+      policies.size() * loads.size() * cfg.replications;
+  EXPECT_EQ(points.size(), policies.size() * loads.size());
+  EXPECT_EQ(calls.load(), expected);
+  EXPECT_EQ(last_completed, expected);
+  EXPECT_EQ(reported_total, expected);
+}
+
+}  // namespace
+}  // namespace distserv::core

@@ -1,0 +1,93 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace distserv::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsABarrierPerBatch) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPool, TasksWriteDisjointSlotsWithoutRaces) {
+  ThreadPool pool(4);
+  std::vector<int> slots(500, 0);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    pool.submit([&slots, i] { slots[i] = static_cast<int>(i) + 1; });
+  }
+  pool.wait();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ThreadPool, WaitRethrowsTheFirstTaskException) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([i] {
+      if (i == 3) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool is reusable after a failed batch.
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletesWork) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+    // No wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace distserv::util
