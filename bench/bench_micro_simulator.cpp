@@ -86,4 +86,23 @@ void BM_ServerSita2Hosts(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerSita2Hosts)->Arg(10000)->Unit(benchmark::kMillisecond);
 
+// Same run as BM_ServerLwl2Hosts but with the audit layer verifying every
+// queueing invariant online — the measured gap is the cost of --audit.
+void BM_ServerLwl2HostsAudited(benchmark::State& state) {
+  core::LeastWorkLeftPolicy policy;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const workload::Trace trace = workload::make_trace(
+      workload::find_workload("c90"), 0.7, 2, /*seed=*/3, n);
+  sim::AuditConfig audit;
+  audit.enabled = true;
+  for (auto _ : state) {
+    const core::RunResult r = core::simulate_audited(policy, trace, 2, audit);
+    if (!r.audit->ok()) state.SkipWithError("audit violation");
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ServerLwl2HostsAudited)->Arg(10000)->Unit(benchmark::kMillisecond);
+
 }  // namespace

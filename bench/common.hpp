@@ -14,6 +14,9 @@
 //   --policies a,b,c         override the bench's policy list by display
 //                            name (see core::registered_policies())
 //   --csv                    also emit CSV to stdout
+//   --audit                  run every replication under the audit layer
+//                            (sim/audit.hpp); any violated queueing
+//                            invariant aborts the bench with a report
 //
 // Policy lists are never built from enum literals here: benches state their
 // defaults as display-name strings and resolve them through the registry
@@ -77,6 +80,7 @@ struct BenchOptions {
   std::size_t threads = 0;  ///< 0 = one worker per hardware thread
   std::string policies;     ///< --policies override; empty = bench default
   bool csv = false;
+  bool audit = false;       ///< --audit: full invariant checking per run
 
   static BenchOptions parse(int argc, const char* const* argv,
                             std::string default_workload = "c90") {
@@ -89,6 +93,7 @@ struct BenchOptions {
     o.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
     o.policies = cli.get_string("policies", "");
     o.csv = cli.has("csv");
+    o.audit = cli.has("audit");
     return o;
   }
 
@@ -99,6 +104,7 @@ struct BenchOptions {
     cfg.n_jobs = jobs;
     cfg.seed = seed;
     cfg.replications = reps;
+    cfg.audit.enabled = audit;
     return cfg;
   }
 
@@ -153,7 +159,8 @@ inline void print_header(const std::string& artifact,
             << description << "\n"
             << "workload=" << o.workload << " jobs=" << o.jobs
             << " reps=" << o.reps << " seed=" << o.seed
-            << " threads=" << o.threads << "\n"
+            << " threads=" << o.threads
+            << (o.audit ? " audit=on" : "") << "\n"
             << "==============================================================\n";
 }
 

@@ -2,7 +2,10 @@
 # The tier-1 gate plus a ThreadSanitizer pass over the parallel sweep engine.
 #
 #   1. Configure + build the default tree and run the full ctest suite.
-#   2. Configure a second tree with -DDISTSERV_TSAN=ON (benches/examples
+#   2. Rerun the audit slice (`ctest -L audit`): the property-based harness
+#      that drives seeded random scenarios through the queueing-invariant
+#      auditor (sim/audit.hpp), isolated so a failure is obvious.
+#   3. Configure a second tree with -DDISTSERV_TSAN=ON (benches/examples
 #      off), build the sweep-runner determinism tests, and run every test
 #      carrying the `tsan` ctest label under the race detector.
 #
@@ -20,6 +23,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 echo "== tier 1: ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== audit: ctest -L audit =="
+ctest --test-dir "$BUILD_DIR" -L audit --output-on-failure
 
 echo "== tsan: configure + build (determinism tests only) =="
 cmake -B "$TSAN_DIR" -S . \

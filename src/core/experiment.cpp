@@ -263,6 +263,20 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
   const PolicyPtr policy = plan.make_policy();
   const workload::Trace trace =
       make_eval_trace(plan.point.rho, replication);
+  if (config_.audit.enabled) {
+    DistributedServer server(config_.hosts, *policy);
+    server.enable_audit(config_.audit);
+    // SITA routing is a pure function of job size when classification is
+    // perfect, so the auditor can hold the policy to its own cutoffs.
+    if (const auto* sita = dynamic_cast<const SitaPolicy*>(policy.get());
+        sita != nullptr && sita->classification_error() == 0.0) {
+      server.auditor()->set_expected_route(
+          [sita](double size) { return sita->interval_of(size); });
+    }
+    const RunResult result = server.run(trace, config_.seed + replication);
+    sim::throw_if_failed(*result.audit);
+    return summarize(result);
+  }
   const RunResult result =
       simulate(*policy, trace, config_.hosts, config_.seed + replication);
   return summarize(result);

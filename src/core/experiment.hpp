@@ -28,6 +28,7 @@
 #include "core/cutoffs.hpp"
 #include "core/metrics.hpp"
 #include "core/policy.hpp"
+#include "sim/audit.hpp"
 #include "stats/confidence.hpp"
 #include "workload/catalog.hpp"
 
@@ -96,6 +97,11 @@ struct ExperimentConfig {
   // Diurnal NHPP shape for ArrivalKind::kDiurnal.
   double diurnal_amplitude = 0.8;
   double diurnal_period = 86400.0;
+  /// Audit layer (sim/audit.hpp). When enabled, every replication runs
+  /// under full invariant checking — a SITA expected-route oracle is
+  /// attached automatically when the policy's routing is deterministic —
+  /// and a violated invariant throws sim::AuditFailure.
+  sim::AuditConfig audit;
 };
 
 /// One (policy, load) measurement.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "stats/quantile.hpp"
+#include "stats/tolerance.hpp"
 #include "stats/welford.hpp"
 #include "util/contracts.hpp"
 
@@ -97,6 +99,80 @@ std::vector<SizeClassSlowdown> slowdown_by_size_class(const RunResult& result,
     out.push_back(c);
   }
   return out;
+}
+
+std::vector<std::string> validate_run(const RunResult& result, double rtol) {
+  DS_EXPECTS(rtol >= 0.0);
+  std::vector<std::string> problems;
+  const auto complain = [&problems](const std::string& what) {
+    problems.push_back(what);
+  };
+  double max_completion = 0.0;
+  std::vector<std::vector<const JobRecord*>> by_host(result.hosts);
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const JobRecord& r = result.records[i];
+    std::ostringstream tag;
+    tag << "record " << i << " (job " << r.id << "): ";
+    if (r.id != i) complain(tag.str() + "id does not match its index");
+    if (!(r.size > 0.0)) complain(tag.str() + "non-positive size");
+    if (r.start + rtol * std::abs(r.start) < r.arrival) {
+      complain(tag.str() + "started before it arrived");
+    }
+    if (!stats::close(r.completion, r.start + r.size, rtol)) {
+      complain(tag.str() + "completion != start + size");
+    }
+    if (r.host >= result.hosts) {
+      complain(tag.str() + "out-of-range host");
+      continue;
+    }
+    by_host[r.host].push_back(&r);
+    max_completion = std::max(max_completion, r.completion);
+  }
+  if (!result.records.empty() &&
+      !stats::close(result.makespan, max_completion, rtol)) {
+    complain("makespan does not equal the last completion time");
+  }
+  for (std::size_t host = 0; host < by_host.size(); ++host) {
+    auto& records = by_host[host];
+    std::sort(records.begin(), records.end(),
+              [](const JobRecord* a, const JobRecord* b) {
+                return a->start < b->start;
+              });
+    double work = 0.0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      work += records[i]->size;
+      if (i > 0 && records[i]->start + rtol * records[i]->start <
+                       records[i - 1]->completion) {
+        std::ostringstream what;
+        what << "host " << host << ": jobs " << records[i - 1]->id << " and "
+             << records[i]->id << " overlap in service";
+        complain(what.str());
+      }
+    }
+    if (host < result.host_stats.size()) {
+      const HostStats& hs = result.host_stats[host];
+      std::ostringstream tag;
+      tag << "host " << host << " stats: ";
+      if (hs.jobs_completed != records.size()) {
+        complain(tag.str() + "jobs_completed disagrees with the records");
+      }
+      if (!stats::close(hs.work_done, work, rtol, rtol)) {
+        complain(tag.str() + "work_done disagrees with the records");
+      }
+      if (!stats::close(hs.busy_time, work, rtol, rtol)) {
+        complain(tag.str() + "busy_time disagrees with the completed work");
+      }
+      const double util =
+          result.makespan > 0.0 ? hs.busy_time / result.makespan : 0.0;
+      if (!stats::close(hs.utilization, util, rtol, rtol)) {
+        complain(tag.str() + "utilization disagrees with busy_time/makespan");
+      }
+    }
+  }
+  if (result.host_stats.size() != result.hosts) {
+    complain("host_stats size does not match the host count");
+  }
+  return problems;
 }
 
 MetricsSummary average_summaries(const std::vector<MetricsSummary>& reps) {

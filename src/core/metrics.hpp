@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/server.hpp"
@@ -60,5 +61,13 @@ struct SizeClassSlowdown {
 /// Averages summaries across replications (seeds), field-wise.
 [[nodiscard]] MetricsSummary average_summaries(
     const std::vector<MetricsSummary>& reps);
+
+/// Offline record-level audit, complementing the online audit layer
+/// (sim/audit.hpp): checks every per-job record (positive size, start >=
+/// arrival, completion == start + size), that service intervals never
+/// overlap on a host, and that HostStats agree with the records they
+/// summarize. Returns one human-readable line per problem; empty = clean.
+[[nodiscard]] std::vector<std::string> validate_run(const RunResult& result,
+                                                    double rtol = 1e-9);
 
 }  // namespace distserv::core

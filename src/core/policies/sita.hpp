@@ -47,6 +47,11 @@ class SitaPolicy final : public Policy {
     return cutoffs_;
   }
 
+  /// The configured misclassification rate (0 = deterministic routing).
+  [[nodiscard]] double classification_error() const noexcept {
+    return error_rate_;
+  }
+
   /// The size interval index for a given size (no classification error).
   [[nodiscard]] HostId interval_of(double size) const noexcept;
 

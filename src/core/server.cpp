@@ -37,10 +37,23 @@ bool DistributedServer::host_idle(HostId host) const {
 
 double DistributedServer::now() const { return sim_.now(); }
 
+void DistributedServer::enable_audit(const sim::AuditConfig& config) {
+  if (config.enabled) {
+    auditor_ = std::make_unique<sim::QueueingAuditor>(config);
+  } else {
+    auditor_.reset();
+  }
+}
+
 RunResult DistributedServer::run(const workload::Trace& trace,
                                  std::uint64_t seed) {
   DS_EXPECTS(!trace.empty());
   sim_ = sim::Simulator();
+  if (auditor_) {
+    auditor_->begin_run(hosts_count_);
+    sim_.set_observer(
+        [audit = auditor_.get()](sim::Time t) { audit->on_event(t); });
+  }
   hosts_.assign(hosts_count_, Host{});
   central_queue_.clear();
   records_.assign(trace.size(), JobRecord{});
@@ -69,6 +82,8 @@ RunResult DistributedServer::run(const workload::Trace& trace,
   }
   DS_ASSERT(central_queue_.empty());
   result.events_executed = sim_.executed();
+  result.events_pending = sim_.pending();
+  if (auditor_) result.audit = auditor_->finalize(sim_.now());
   records_.clear();
   trace_jobs_ = nullptr;
   return result;
@@ -85,19 +100,22 @@ void DistributedServer::schedule_next_arrival() {
 }
 
 void DistributedServer::on_arrival(const workload::Job& job) {
+  if (auditor_) auditor_->on_arrival(job.id, sim_.now(), job.size);
   const std::optional<HostId> choice = policy_->assign(job, *this);
   if (choice) {
     DS_ASSERT(*choice < hosts_count_);
+    if (auditor_) auditor_->on_dispatch(job.id, *choice);
     dispatch_to_host(*choice, job);
     return;
   }
   // Central queue: start immediately if some host is idle, else hold.
   for (HostId h = 0; h < hosts_count_; ++h) {
     if (host_idle(h)) {
-      start_service(h, job);
+      start_service(h, job, sim::QueueingAuditor::StartSource::kDirect);
       return;
     }
   }
+  if (auditor_) auditor_->on_hold(job.id);
   central_queue_.push_back(job);
 }
 
@@ -105,16 +123,21 @@ void DistributedServer::dispatch_to_host(HostId host, const workload::Job& job) 
   Host& h = hosts_[host];
   if (!h.busy) {
     DS_ASSERT(h.queue.empty());
-    start_service(host, job);
+    start_service(host, job, sim::QueueingAuditor::StartSource::kDirect);
   } else {
+    if (auditor_) auditor_->on_enqueue(job.id, host);
     h.queue.push_back(job);
     h.queued_work += job.size;
   }
 }
 
-void DistributedServer::start_service(HostId host, const workload::Job& job) {
+void DistributedServer::start_service(HostId host, const workload::Job& job,
+                                      sim::QueueingAuditor::StartSource source) {
   Host& h = hosts_[host];
   DS_ASSERT(!h.busy);
+  if (auditor_) {
+    auditor_->on_start(job.id, host, sim_.now(), job.size, source);
+  }
   h.busy = true;
   const double start = sim_.now();
   const double completion = start + job.size;
@@ -133,6 +156,7 @@ void DistributedServer::start_service(HostId host, const workload::Job& job) {
 void DistributedServer::on_completion(HostId host, workload::JobId id) {
   Host& h = hosts_[host];
   DS_ASSERT(h.busy);
+  if (auditor_) auditor_->on_complete(id, host, sim_.now());
   h.busy = false;
   const JobRecord& rec = records_[id];
   h.stats.jobs_completed += 1;
@@ -148,7 +172,7 @@ void DistributedServer::feed_idle_host(HostId host) {
     h.queue.pop_front();
     h.queued_work -= next.size;
     if (h.queue.empty()) h.queued_work = 0.0;  // kill accumulator drift
-    start_service(host, next);
+    start_service(host, next, sim::QueueingAuditor::StartSource::kHostQueue);
     return;
   }
   if (!central_queue_.empty()) {
@@ -158,13 +182,21 @@ void DistributedServer::feed_idle_host(HostId host) {
     const workload::Job job = central_queue_[pick];
     central_queue_.erase(central_queue_.begin() +
                          static_cast<std::ptrdiff_t>(pick));
-    start_service(host, job);
+    start_service(host, job, sim::QueueingAuditor::StartSource::kCentralQueue);
   }
 }
 
 RunResult simulate(Policy& policy, const workload::Trace& trace,
                    std::size_t hosts, std::uint64_t seed) {
   DistributedServer server(hosts, policy);
+  return server.run(trace, seed);
+}
+
+RunResult simulate_audited(Policy& policy, const workload::Trace& trace,
+                           std::size_t hosts, const sim::AuditConfig& audit,
+                           std::uint64_t seed) {
+  DistributedServer server(hosts, policy);
+  server.enable_audit(audit);
   return server.run(trace, seed);
 }
 

@@ -8,10 +8,13 @@
 #pragma once
 
 #include <deque>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/policy.hpp"
 #include "core/types.hpp"
+#include "sim/audit.hpp"
 #include "sim/simulator.hpp"
 #include "workload/trace.hpp"
 
@@ -25,6 +28,10 @@ struct RunResult {
   std::size_t hosts = 0;
   double makespan = 0.0;  ///< completion time of the last job
   std::uint64_t events_executed = 0;
+  /// Events still pending when the run returned; 0 for a drained run.
+  std::uint64_t events_pending = 0;
+  /// Filled when the run was audited (see DistributedServer::enable_audit).
+  std::optional<sim::AuditReport> audit;
 };
 
 /// One simulation of one trace under one policy.
@@ -38,6 +45,18 @@ class DistributedServer final : public ServerView {
   /// repeatedly; each call is an independent run.
   [[nodiscard]] RunResult run(const workload::Trace& trace,
                               std::uint64_t seed = 1);
+
+  /// Turns the audit layer on (config.enabled) or off for subsequent runs.
+  /// When on, every queueing invariant is verified online and the report
+  /// lands in RunResult::audit; when off, the only cost is one null check
+  /// per hook site.
+  void enable_audit(const sim::AuditConfig& config);
+
+  /// The installed auditor, or nullptr — for attaching an expected-route
+  /// oracle (SITA cutoff consistency) before run().
+  [[nodiscard]] sim::QueueingAuditor* auditor() noexcept {
+    return auditor_.get();
+  }
 
   // ServerView interface (used by policies during run()).
   [[nodiscard]] std::size_t host_count() const override;
@@ -58,13 +77,15 @@ class DistributedServer final : public ServerView {
   void schedule_next_arrival();
   void on_arrival(const workload::Job& job);
   void dispatch_to_host(HostId host, const workload::Job& job);
-  void start_service(HostId host, const workload::Job& job);
+  void start_service(HostId host, const workload::Job& job,
+                     sim::QueueingAuditor::StartSource source);
   void on_completion(HostId host, workload::JobId id);
   void feed_idle_host(HostId host);
 
   std::size_t hosts_count_;
   Policy* policy_;
   sim::Simulator sim_;
+  std::unique_ptr<sim::QueueingAuditor> auditor_;
   std::vector<Host> hosts_;
   std::deque<workload::Job> central_queue_;
   std::vector<JobRecord> records_;
@@ -75,5 +96,13 @@ class DistributedServer final : public ServerView {
 /// Convenience: run `trace` on `hosts` hosts under `policy`.
 [[nodiscard]] RunResult simulate(Policy& policy, const workload::Trace& trace,
                                  std::size_t hosts, std::uint64_t seed = 1);
+
+/// Audited convenience run: like simulate, but with the audit layer
+/// configured by `audit`; the report lands in RunResult::audit.
+[[nodiscard]] RunResult simulate_audited(Policy& policy,
+                                         const workload::Trace& trace,
+                                         std::size_t hosts,
+                                         const sim::AuditConfig& audit,
+                                         std::uint64_t seed = 1);
 
 }  // namespace distserv::core

@@ -1,0 +1,420 @@
+#include "sim/audit.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/tolerance.hpp"
+#include "util/contracts.hpp"
+
+namespace distserv::sim {
+
+namespace {
+
+std::string describe_job(QueueingAuditor::JobId id) {
+  return "job " + std::to_string(id);
+}
+
+std::string describe_host(QueueingAuditor::HostIndex host) {
+  return "host " + std::to_string(host);
+}
+
+}  // namespace
+
+std::string AuditReport::to_string() const {
+  std::ostringstream out;
+  out << "audit: " << violations_total << " violation(s)"
+      << (finalized ? "" : " [not finalized]") << " events=" << events
+      << " arrivals=" << arrivals << " dispatches=" << dispatches
+      << " holds=" << holds << " starts=" << starts
+      << " completions=" << completions;
+  for (const AuditViolation& v : violations) {
+    out << "\n  [" << v.invariant << "] t=" << v.time << " " << v.detail;
+  }
+  if (violations_total > violations.size()) {
+    out << "\n  ... and " << (violations_total - violations.size())
+        << " more violation(s) not recorded";
+  }
+  return out.str();
+}
+
+AuditFailure::AuditFailure(const AuditReport& report)
+    : std::runtime_error(report.to_string()) {}
+
+void throw_if_failed(const AuditReport& report) {
+  if (!report.ok()) throw AuditFailure(report);
+}
+
+QueueingAuditor::QueueingAuditor(AuditConfig config) : config_(config) {
+  DS_EXPECTS(config.accounting_rtol >= 0.0);
+  DS_EXPECTS(config.time_tol >= 0.0);
+}
+
+void QueueingAuditor::set_expected_route(
+    std::function<HostIndex(double)> oracle) {
+  expected_route_ = std::move(oracle);
+}
+
+void QueueingAuditor::begin_run(std::size_t hosts) {
+  DS_EXPECTS(hosts >= 1);
+  report_ = AuditReport{};
+  hosts_.assign(hosts, HostShadow{});
+  jobs_.clear();
+  central_held_ = 0;
+  system_n_ = 0;
+  system_n_integral_ = 0.0;
+  system_sojourn_sum_ = 0.0;
+  system_n_changed_ = 0.0;
+  last_event_ = 0.0;
+  settled_dirty_ = false;
+}
+
+void QueueingAuditor::violate(const char* invariant, Time t,
+                              std::string detail) {
+  ++report_.violations_total;
+  if (report_.violations.size() < config_.max_recorded_violations) {
+    report_.violations.push_back(
+        AuditViolation{invariant, t, std::move(detail)});
+  }
+}
+
+void QueueingAuditor::advance_host_integral(HostShadow& h, Time t) {
+  h.n_integral += static_cast<double>(h.n) * (t - h.n_changed);
+  h.n_changed = t;
+}
+
+void QueueingAuditor::advance_system_integral(Time t) {
+  system_n_integral_ += static_cast<double>(system_n_) * (t - system_n_changed_);
+  system_n_changed_ = t;
+}
+
+void QueueingAuditor::check_settled(Time t) {
+  // Between events the model must be settled: a host may not sit idle over
+  // its own non-empty queue, and a job may not wait centrally while any
+  // host is idle. (Within one event's action transient states are fine.)
+  bool any_idle = false;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    const HostShadow& h = hosts_[i];
+    if (!h.busy && !h.queue.empty()) {
+      violate("work-conservation", t,
+              describe_host(static_cast<HostIndex>(i)) + " is idle with " +
+                  std::to_string(h.queue.size()) + " queued job(s)");
+    }
+    if (!h.busy) any_idle = true;
+  }
+  if (any_idle && central_held_ > 0) {
+    violate("work-conservation", t,
+            std::to_string(central_held_) +
+                " job(s) held centrally while a host is idle");
+  }
+  settled_dirty_ = false;
+}
+
+QueueingAuditor::JobShadow* QueueingAuditor::find_job(JobId id,
+                                                      const char* hook,
+                                                      Time t) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    violate("state-machine", t,
+            std::string(hook) + " for unknown " + describe_job(id));
+    return nullptr;
+  }
+  return &it->second;
+}
+
+QueueingAuditor::HostShadow* QueueingAuditor::find_host(HostIndex host,
+                                                        const char* hook,
+                                                        Time t) {
+  if (host >= hosts_.size()) {
+    violate("state-machine", t,
+            std::string(hook) + " names out-of-range " + describe_host(host));
+    return nullptr;
+  }
+  return &hosts_[host];
+}
+
+void QueueingAuditor::on_event(Time t) {
+  ++report_.events;
+  if (t + config_.time_tol < last_event_) {
+    std::ostringstream detail;
+    detail << "event at t=" << t << " after t=" << last_event_;
+    violate("event-monotonicity", t, detail.str());
+  }
+  if (settled_dirty_) check_settled(last_event_);
+  if (t > last_event_) last_event_ = t;
+}
+
+void QueueingAuditor::on_arrival(JobId id, Time t, double size) {
+  ++report_.arrivals;
+  if (!(size > 0.0) || !std::isfinite(size)) {
+    violate("state-machine", t,
+            describe_job(id) + " arrives with size " + std::to_string(size));
+  }
+  if (t + config_.time_tol < last_event_) {
+    violate("event-monotonicity", t,
+            describe_job(id) + " arrives in the past");
+  }
+  const auto [it, inserted] = jobs_.emplace(id, JobShadow{});
+  if (!inserted) {
+    violate("state-machine", t, describe_job(id) + " arrived twice");
+    return;
+  }
+  it->second.size = size;
+  it->second.arrival = t;
+  advance_system_integral(t);
+  ++system_n_;
+  settled_dirty_ = true;
+}
+
+void QueueingAuditor::on_dispatch(JobId id, HostIndex host) {
+  ++report_.dispatches;
+  const Time t = last_event_;
+  JobShadow* job = find_job(id, "on_dispatch", t);
+  if (find_host(host, "on_dispatch", t) == nullptr) return;
+  if (job == nullptr) return;
+  if (job->state != JobState::kArrived) {
+    violate("state-machine", t,
+            describe_job(id) + " dispatched after leaving the arrival state");
+    return;
+  }
+  job->host = host;
+  if (expected_route_) {
+    const HostIndex want = expected_route_(job->size);
+    if (want != host) {
+      std::ostringstream detail;
+      detail << describe_job(id) << " of size " << job->size
+             << " routed to host " << host << ", cutoffs demand host "
+             << want;
+      violate("route-consistency", t, detail.str());
+    }
+  }
+}
+
+void QueueingAuditor::on_hold(JobId id) {
+  ++report_.holds;
+  const Time t = last_event_;
+  JobShadow* job = find_job(id, "on_hold", t);
+  if (job == nullptr) return;
+  if (job->state != JobState::kArrived) {
+    violate("state-machine", t, describe_job(id) + " held twice");
+    return;
+  }
+  job->state = JobState::kHeld;
+  ++central_held_;
+  settled_dirty_ = true;
+}
+
+void QueueingAuditor::on_enqueue(JobId id, HostIndex host) {
+  const Time t = last_event_;
+  JobShadow* job = find_job(id, "on_enqueue", t);
+  HostShadow* h = find_host(host, "on_enqueue", t);
+  if (job == nullptr || h == nullptr) return;
+  if (job->state != JobState::kArrived) {
+    violate("state-machine", t,
+            describe_job(id) + " enqueued after leaving the arrival state");
+    return;
+  }
+  if (!h->busy) {
+    violate("work-conservation", t,
+            describe_job(id) + " queued at idle " + describe_host(host));
+  }
+  job->state = JobState::kQueued;
+  job->host = host;
+  job->joined_host = t;
+  h->queue.push_back(id);
+  advance_host_integral(*h, t);
+  ++h->n;
+  settled_dirty_ = true;
+}
+
+void QueueingAuditor::on_start(JobId id, HostIndex host, Time t, double size,
+                               StartSource source) {
+  ++report_.starts;
+  JobShadow* job = find_job(id, "on_start", t);
+  HostShadow* h = find_host(host, "on_start", t);
+  if (job == nullptr || h == nullptr) return;
+  if (!stats::close(job->size, size, 0.0, 0.0)) {
+    violate("state-machine", t,
+            describe_job(id) + " starts with size " + std::to_string(size) +
+                " but arrived with size " + std::to_string(job->size));
+  }
+  if (h->busy) {
+    violate("work-conservation", t,
+            describe_job(id) + " starts on busy " + describe_host(host) +
+                " (still serving " + describe_job(h->running) + ")");
+  }
+  switch (source) {
+    case StartSource::kHostQueue: {
+      if (job->state != JobState::kQueued || job->host != host) {
+        violate("state-machine", t,
+                describe_job(id) + " started from a queue it never joined");
+        break;
+      }
+      if (h->queue.empty()) {
+        violate("fcfs-order", t,
+                describe_job(id) + " started from empty queue of " +
+                    describe_host(host));
+        break;
+      }
+      if (h->queue.front() != id) {
+        violate("fcfs-order", t,
+                describe_host(host) + " started " + describe_job(id) +
+                    " but its queue front is " + describe_job(h->queue.front()));
+        // Remove it from wherever it is so later checks stay meaningful.
+        for (auto it = h->queue.begin(); it != h->queue.end(); ++it) {
+          if (*it == id) {
+            h->queue.erase(it);
+            break;
+          }
+        }
+        break;
+      }
+      h->queue.pop_front();
+      break;
+    }
+    case StartSource::kDirect: {
+      if (job->state != JobState::kArrived) {
+        violate("state-machine", t,
+                describe_job(id) + " direct-started after leaving the "
+                                   "arrival state");
+        break;
+      }
+      advance_host_integral(*h, t);
+      ++h->n;
+      job->joined_host = t;
+      break;
+    }
+    case StartSource::kCentralQueue: {
+      if (job->state != JobState::kHeld) {
+        violate("state-machine", t,
+                describe_job(id) + " pulled from the central queue without "
+                                   "being held");
+        break;
+      }
+      if (central_held_ == 0) {
+        violate("state-machine", t, "central queue underflow");
+      } else {
+        --central_held_;
+      }
+      advance_host_integral(*h, t);
+      ++h->n;
+      job->joined_host = t;
+      break;
+    }
+  }
+  job->state = JobState::kRunning;
+  job->host = host;
+  h->busy = true;
+  h->running = id;
+  h->service_start = t;
+  settled_dirty_ = true;
+}
+
+void QueueingAuditor::on_complete(JobId id, HostIndex host, Time t) {
+  ++report_.completions;
+  JobShadow* job = find_job(id, "on_complete", t);
+  HostShadow* h = find_host(host, "on_complete", t);
+  if (job == nullptr || h == nullptr) return;
+  if (job->state != JobState::kRunning || !h->busy || h->running != id) {
+    violate("state-machine", t,
+            describe_job(id) + " completed on " + describe_host(host) +
+                " without being in service there");
+    return;
+  }
+  const Time expected = h->service_start + job->size;
+  if (!stats::close(t, expected, config_.accounting_rtol, config_.time_tol)) {
+    std::ostringstream detail;
+    detail << describe_job(id) << " completed at t=" << t << ", expected t="
+           << expected << " (start " << h->service_start << " + size "
+           << job->size << ")";
+    violate("service-time", t, detail.str());
+  }
+  h->busy = false;
+  h->busy_integral += t - h->service_start;
+  h->work_completed += job->size;
+  advance_host_integral(*h, t);
+  if (h->n == 0) {
+    violate("state-machine", t, describe_host(host) + " job count underflow");
+  } else {
+    --h->n;
+  }
+  h->sojourn_sum += t - job->joined_host;
+  ++h->completed;
+  advance_system_integral(t);
+  if (system_n_ == 0) {
+    violate("state-machine", t, "system job count underflow");
+  } else {
+    --system_n_;
+  }
+  system_sojourn_sum_ += t - job->arrival;
+  job->state = JobState::kCompleted;
+  settled_dirty_ = true;
+}
+
+AuditReport QueueingAuditor::finalize(Time end) {
+  if (settled_dirty_) check_settled(last_event_);
+  if (report_.arrivals != report_.completions) {
+    violate("job-conservation", end,
+            std::to_string(report_.arrivals) + " arrival(s) but " +
+                std::to_string(report_.completions) + " completion(s)");
+  }
+  if (central_held_ > 0) {
+    violate("job-conservation", end,
+            std::to_string(central_held_) +
+                " job(s) still held centrally at drain");
+  }
+  std::uint64_t stuck = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state != JobState::kCompleted) {
+      ++stuck;
+      if (stuck <= 4) {
+        violate("job-conservation", end,
+                describe_job(id) + " never completed");
+      }
+    }
+  }
+  if (stuck > 4) {
+    violate("job-conservation", end,
+            std::to_string(stuck - 4) + " further job(s) never completed");
+  }
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    HostShadow& h = hosts_[i];
+    const auto host = static_cast<HostIndex>(i);
+    if (h.busy || !h.queue.empty() || h.n != 0) {
+      violate("job-conservation", end,
+              describe_host(host) + " not drained (busy=" +
+                  std::to_string(h.busy) + ", queued=" +
+                  std::to_string(h.queue.size()) + ")");
+    }
+    advance_host_integral(h, end);
+    // Little's law at drain: the time integral of the number at the host
+    // equals the summed sojourns of the jobs that passed through it
+    // (L = lambda * W after dividing both sides by the run length).
+    if (!stats::close(h.n_integral, h.sojourn_sum, config_.accounting_rtol,
+                      config_.time_tol)) {
+      std::ostringstream detail;
+      detail << describe_host(host) << " integral of jobs-in-system "
+             << h.n_integral << " != summed sojourn " << h.sojourn_sum;
+      violate("littles-law", end, detail.str());
+    }
+    // Run-to-completion: busy time must equal the work completed.
+    if (!stats::close(h.busy_integral, h.work_completed,
+                      config_.accounting_rtol, config_.time_tol)) {
+      std::ostringstream detail;
+      detail << describe_host(host) << " busy time " << h.busy_integral
+             << " != completed work " << h.work_completed;
+      violate("utilization", end, detail.str());
+    }
+  }
+  advance_system_integral(end);
+  if (!stats::close(system_n_integral_, system_sojourn_sum_,
+                    config_.accounting_rtol, config_.time_tol)) {
+    std::ostringstream detail;
+    detail << "system integral of jobs-in-system " << system_n_integral_
+           << " != summed response " << system_sojourn_sum_;
+    violate("littles-law", end, detail.str());
+  }
+  report_.finalized = true;
+  return report_;
+}
+
+}  // namespace distserv::sim

@@ -1,0 +1,197 @@
+// Online verification of queueing invariants — the simulation audit layer.
+//
+// The paper's conclusions rest on the simulator being a faithful FCFS
+// run-to-completion model, so trust must come from structural invariants
+// checked *while the model runs*, not only from endpoint comparisons against
+// M/G/1 formulas. A QueueingAuditor mirrors the server's bookkeeping from a
+// stream of hook calls (arrival, dispatch, enqueue, start, complete) and
+// flags any step that breaks one of the invariants below. The instrumented
+// server (core/server.cpp) forwards hooks only when auditing is enabled, so
+// the cost when off is one branch per hook site.
+//
+// Invariants checked online:
+//   * event-monotonicity   — hook/event times never decrease;
+//   * fcfs-order           — a host serves its own queue strictly in arrival
+//                            (push) order;
+//   * work-conservation    — no host idles while its queue is non-empty, and
+//                            no job waits centrally while any host is idle;
+//   * service-time         — a job completes exactly size seconds after it
+//                            starts, on the host that started it;
+//   * route-consistency    — with an expected-route oracle installed (SITA
+//                            cutoffs), every dispatch lands in the interval
+//                            the oracle names;
+//   * state-machine        — jobs move arrival -> (dispatch|hold) ->
+//                            start -> complete exactly once.
+// And at finalize (drain):
+//   * job-conservation     — arrived == completed, every queue empty, every
+//                            host idle;
+//   * littles-law          — per host and system-wide, the time integral of
+//                            the number in system equals the summed sojourn
+//                            times of the jobs that passed through
+//                            (equivalently L = lambda * W over the run);
+//   * utilization          — each host's integrated busy time equals the
+//                            summed sizes of the jobs it completed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace distserv::sim {
+
+/// Knobs for the audit layer. Default-constructed = disabled (zero cost).
+struct AuditConfig {
+  /// Master switch; when false the server installs no auditor at all.
+  bool enabled = false;
+  /// Relative tolerance for accounting identities (Little's law,
+  /// utilization integrals), which accumulate rounding over a run.
+  double accounting_rtol = 1e-6;
+  /// Absolute slack on event-time comparisons (monotonicity, completion
+  /// times), covering representation error of t = start + size.
+  double time_tol = 1e-9;
+  /// Violations recorded verbatim in the report; further ones are only
+  /// counted. Keeps a badly broken run from hoarding memory.
+  std::size_t max_recorded_violations = 32;
+};
+
+/// One broken invariant, with enough context to reproduce it.
+struct AuditViolation {
+  std::string invariant;  ///< e.g. "fcfs-order", "littles-law"
+  Time time = 0.0;        ///< simulation time of detection
+  std::string detail;
+};
+
+/// Outcome of one audited run.
+struct AuditReport {
+  std::vector<AuditViolation> violations;  ///< first max_recorded ones
+  std::uint64_t violations_total = 0;
+  std::uint64_t events = 0;       ///< simulator events observed
+  std::uint64_t arrivals = 0;
+  std::uint64_t dispatches = 0;   ///< policy routed the job to a host
+  std::uint64_t holds = 0;        ///< policy declined; job waited centrally
+  std::uint64_t starts = 0;
+  std::uint64_t completions = 0;
+  bool finalized = false;         ///< drain-time checks ran
+
+  [[nodiscard]] bool ok() const noexcept {
+    return violations_total == 0 && finalized;
+  }
+  /// Human-readable multi-line summary (counters + every recorded
+  /// violation); the message of AuditFailure.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown by throw_if_failed when a report contains violations.
+class AuditFailure : public std::runtime_error {
+ public:
+  explicit AuditFailure(const AuditReport& report);
+};
+
+/// Throws AuditFailure (carrying report.to_string()) unless report.ok().
+void throw_if_failed(const AuditReport& report);
+
+/// Mirrors a distributed FCFS run-to-completion server from hook calls and
+/// checks the invariants listed above. Generic over the server: it sees
+/// only job ids, host indices, sizes, and times.
+class QueueingAuditor {
+ public:
+  using JobId = std::uint64_t;
+  using HostIndex = std::uint32_t;
+
+  /// Where a job was taken from when service began.
+  enum class StartSource {
+    kDirect,        ///< routed (or centrally received) straight into service
+    kHostQueue,     ///< popped from the serving host's own FCFS queue
+    kCentralQueue,  ///< pulled from the dispatcher's central queue
+  };
+
+  explicit QueueingAuditor(AuditConfig config);
+
+  /// Installs an oracle mapping job size -> expected host (SITA cutoff
+  /// routing). Every on_dispatch is checked against it. Survives
+  /// begin_run; clear with set_expected_route(nullptr).
+  void set_expected_route(std::function<HostIndex(double)> oracle);
+
+  /// Resets all shadow state for a fresh run on `hosts` hosts.
+  void begin_run(std::size_t hosts);
+
+  // --- hooks, called by the instrumented simulator/server ---
+
+  /// Every simulator event, before its action runs (monotonicity + settled
+  /// work-conservation check when time advances).
+  void on_event(Time t);
+  void on_arrival(JobId id, Time t, double size);
+  /// The policy routed `id` to `host` (before the queue/serve decision).
+  void on_dispatch(JobId id, HostIndex host);
+  /// The policy declined and no host was idle; `id` waits centrally.
+  void on_hold(JobId id);
+  void on_enqueue(JobId id, HostIndex host);
+  void on_start(JobId id, HostIndex host, Time t, double size,
+                StartSource source);
+  void on_complete(JobId id, HostIndex host, Time t);
+
+  /// Runs the drain-time checks (job conservation, Little's law,
+  /// utilization accounting) and returns the completed report. The auditor
+  /// is inert afterwards until the next begin_run.
+  [[nodiscard]] AuditReport finalize(Time end);
+
+  /// The report as accumulated so far (before finalize: online checks only).
+  [[nodiscard]] const AuditReport& report() const noexcept { return report_; }
+
+  [[nodiscard]] const AuditConfig& config() const noexcept { return config_; }
+
+ private:
+  enum class JobState { kArrived, kHeld, kQueued, kRunning, kCompleted };
+
+  struct JobShadow {
+    double size = 0.0;
+    Time arrival = 0.0;
+    Time joined_host = 0.0;  ///< when it became this host's responsibility
+    JobState state = JobState::kArrived;
+    HostIndex host = 0;
+  };
+
+  struct HostShadow {
+    std::deque<JobId> queue;  ///< waiting jobs, excluding the one in service
+    bool busy = false;
+    JobId running = 0;
+    Time service_start = 0.0;
+    // Accounting integrals for the drain-time identities.
+    double busy_integral = 0.0;    ///< total time in service
+    double work_completed = 0.0;   ///< sum of completed sizes
+    double n_integral = 0.0;       ///< integral of jobs-at-host over time
+    double sojourn_sum = 0.0;      ///< sum of (completion - joined_host)
+    std::size_t n = 0;             ///< jobs at host now (queued + running)
+    Time n_changed = 0.0;
+    std::uint64_t completed = 0;
+  };
+
+  void violate(const char* invariant, Time t, std::string detail);
+  void advance_host_integral(HostShadow& h, Time t);
+  void advance_system_integral(Time t);
+  /// The settled-state conservation checks run when time strictly advances.
+  void check_settled(Time t);
+  JobShadow* find_job(JobId id, const char* hook, Time t);
+  HostShadow* find_host(HostIndex host, const char* hook, Time t);
+
+  AuditConfig config_;
+  std::function<HostIndex(double)> expected_route_;
+  AuditReport report_;
+  std::vector<HostShadow> hosts_;
+  std::unordered_map<JobId, JobShadow> jobs_;
+  std::size_t central_held_ = 0;
+  std::size_t system_n_ = 0;
+  double system_n_integral_ = 0.0;
+  double system_sojourn_sum_ = 0.0;
+  Time system_n_changed_ = 0.0;
+  Time last_event_ = 0.0;
+  bool settled_dirty_ = false;  ///< state changed since last settled check
+};
+
+}  // namespace distserv::sim

@@ -21,6 +21,7 @@ std::uint64_t Simulator::run() {
     Event ev = queue_.pop();
     DS_ASSERT(ev.time >= now_);
     now_ = ev.time;
+    if (observer_) observer_(ev.time);
     ev.action();
     ++n;
   }
@@ -35,6 +36,7 @@ std::uint64_t Simulator::run_until(Time horizon) {
   while (!queue_.empty() && !stopped_ && queue_.next_time() <= horizon) {
     Event ev = queue_.pop();
     now_ = ev.time;
+    if (observer_) observer_(ev.time);
     ev.action();
     ++n;
   }

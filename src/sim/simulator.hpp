@@ -42,11 +42,19 @@ class Simulator {
   /// Total events executed over the simulator's lifetime.
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Installs a hook invoked with each event's time just before its action
+  /// runs (the audit layer's monotonicity probe). Pass nullptr to remove.
+  /// Costs one branch per event when unset.
+  void set_observer(std::function<void(Time)> observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   EventQueue queue_;
   Time now_ = 0.0;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  std::function<void(Time)> observer_;
 };
 
 }  // namespace distserv::sim

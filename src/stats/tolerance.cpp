@@ -1,0 +1,24 @@
+#include "stats/tolerance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace distserv::stats {
+
+bool close(double a, double b, double rtol, double atol) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (a == b) return true;  // covers equal infinities
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+double relative_error(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (a == b) return 0.0;
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return scale == 0.0 ? 0.0 : std::abs(a - b) / scale;
+}
+
+}  // namespace distserv::stats

@@ -1,0 +1,17 @@
+// Closeness predicates shared by the audit layer and validation tests.
+//
+// Accounting identities (Little's law, utilization integrals) hold exactly
+// in real arithmetic but accumulate rounding over millions of additions, so
+// every comparison states an explicit tolerance instead of using ==.
+#pragma once
+
+namespace distserv::stats {
+
+/// True if |a - b| <= atol + rtol * max(|a|, |b|).
+[[nodiscard]] bool close(double a, double b, double rtol, double atol = 0.0);
+
+/// |a - b| / max(|a|, |b|); defined as 0 when both are 0, and infinity if
+/// either input is NaN.
+[[nodiscard]] double relative_error(double a, double b);
+
+}  // namespace distserv::stats

@@ -28,7 +28,10 @@ struct SwfFilter {
   /// Keep only jobs with exactly this allocated-processor count
   /// (the paper keeps the 8-processor CTC jobs). Unset = keep all.
   std::optional<long long> processors;
-  /// Drop jobs with run time <= 0 (cancelled / failed). Default on.
+  /// Drop jobs with run time 0 (cancelled / failed). Default on. Negative
+  /// run times are corrupt data, counted as malformed regardless of this
+  /// flag; zero-size jobs can never enter a Trace, so they are counted as
+  /// filtered even when the flag is off.
   bool require_positive_runtime = true;
   /// Keep only jobs with SWF status 1 (completed). Default off: several
   /// archive logs use status 0/5 inconsistently.
@@ -41,7 +44,14 @@ struct SwfReadResult {
   std::size_t lines_total = 0;
   std::size_t lines_parsed = 0;
   std::size_t lines_filtered = 0;  ///< parsed but rejected by the filter
+  /// Short lines, unparseable fields, and corrupt values (negative or
+  /// non-finite submit/run time) — skipped with a count, never fatal.
   std::size_t lines_malformed = 0;
+
+  /// True when no line was skipped as malformed.
+  [[nodiscard]] bool clean() const noexcept;
+  /// One-line diagnostic, e.g. "swf: 4 jobs from 7 lines (5 parsed, ...)".
+  [[nodiscard]] std::string summary() const;
 };
 
 /// Parses SWF text. Malformed lines are counted, not fatal.

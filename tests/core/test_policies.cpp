@@ -2,6 +2,9 @@
 // ServerView with scripted state.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "core/experiment.hpp"
 #include "core/policies/central_queue.hpp"
 #include "core/policies/hybrid_sita_lwl.hpp"
 #include "core/policies/least_work_left.hpp"
@@ -201,6 +204,44 @@ TEST(HybridPolicy, ValidatesGroupAgainstHostCount) {
   HybridSitaLwlPolicy p(10.0, 4, "hybrid");
   EXPECT_THROW(p.reset(4, 1), ContractViolation);  // needs >= 5 hosts
   EXPECT_NO_THROW(p.reset(5, 1));
+}
+
+TEST(PolicyRegistry, UnknownNameReturnsNullopt) {
+  EXPECT_EQ(policy_from_string("No-Such-Policy"), std::nullopt);
+  EXPECT_EQ(policy_from_string("LWL2"), std::nullopt);
+  EXPECT_EQ(policy_from_string("SITA"), std::nullopt);  // prefix, not a name
+}
+
+TEST(PolicyRegistry, EmptyAndWhitespaceNamesReturnNullopt) {
+  EXPECT_EQ(policy_from_string(""), std::nullopt);
+  EXPECT_EQ(policy_from_string(" "), std::nullopt);
+  EXPECT_EQ(policy_from_string(" Random"), std::nullopt);
+  EXPECT_EQ(policy_from_string("Random "), std::nullopt);
+}
+
+TEST(PolicyRegistry, LookupIsCaseInsensitive) {
+  EXPECT_EQ(policy_from_string("random"), PolicyKind::kRandom);
+  EXPECT_EQ(policy_from_string("ROUND-ROBIN"), PolicyKind::kRoundRobin);
+  EXPECT_EQ(policy_from_string("sita-u-fair"), PolicyKind::kSitaUFair);
+}
+
+TEST(PolicyRegistry, EveryRegisteredNameRoundTrips) {
+  const std::vector<std::string> names = registered_policies();
+  ASSERT_EQ(names.size(), all_policy_kinds().size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::optional<PolicyKind> kind = policy_from_string(names[i]);
+    ASSERT_TRUE(kind.has_value()) << names[i];
+    EXPECT_EQ(*kind, all_policy_kinds()[i]) << names[i];
+    EXPECT_EQ(to_string(*kind), names[i]);
+  }
+}
+
+TEST(PolicyRegistry, RegisteredNamesAreUniqueAndNonEmpty) {
+  const std::vector<std::string> names = registered_policies();
+  for (const std::string& name : names) EXPECT_FALSE(name.empty());
+  std::vector<std::string> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
 }
 
 TEST(AllPolicies, NamesAreStable) {

@@ -1,0 +1,208 @@
+// The audit layer must actually catch bugs, not just pass on correct runs.
+// Each test drives a QueueingAuditor by hand with the hook sequence a buggy
+// server would emit — swapped queue pops, lost jobs, time travel, inflated
+// service — and asserts the precise invariant that flags it.
+#include <gtest/gtest.h>
+
+#include "sim/audit.hpp"
+
+namespace distserv::sim {
+namespace {
+
+using Source = QueueingAuditor::StartSource;
+
+AuditConfig enabled_config() {
+  AuditConfig config;
+  config.enabled = true;
+  return config;
+}
+
+bool has_violation(const AuditReport& report, const std::string& invariant) {
+  for (const AuditViolation& v : report.violations) {
+    if (v.invariant == invariant) return true;
+  }
+  return false;
+}
+
+// A correct little run: two jobs on one host, the second queued behind the
+// first and served FCFS. The baseline every bug test perturbs.
+TEST(AuditDetectsBugs, CleanSequencePasses) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 5.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 5.0, Source::kDirect);
+  audit.on_event(1.0);
+  audit.on_arrival(1, 1.0, 3.0);
+  audit.on_dispatch(1, 0);
+  audit.on_enqueue(1, 0);
+  audit.on_event(5.0);
+  audit.on_complete(0, 0, 5.0);
+  audit.on_start(1, 0, 5.0, 3.0, Source::kHostQueue);
+  audit.on_event(8.0);
+  audit.on_complete(1, 0, 8.0);
+  const AuditReport report = audit.finalize(8.0);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// Swapped pop order — the injected bug the ISSUE names: a host serves the
+// back of its queue instead of the front. Caught by the FCFS invariant.
+TEST(AuditDetectsBugs, SwappedQueuePopOrderTripsFcfsInvariant) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 10.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 10.0, Source::kDirect);
+  audit.on_event(1.0);
+  audit.on_arrival(1, 1.0, 2.0);
+  audit.on_dispatch(1, 0);
+  audit.on_enqueue(1, 0);
+  audit.on_event(2.0);
+  audit.on_arrival(2, 2.0, 3.0);
+  audit.on_dispatch(2, 0);
+  audit.on_enqueue(2, 0);
+  audit.on_event(10.0);
+  audit.on_complete(0, 0, 10.0);
+  // Bug: LIFO — job 2 (back of the queue) starts before job 1.
+  audit.on_start(2, 0, 10.0, 3.0, Source::kHostQueue);
+  const AuditReport report = audit.report();
+  EXPECT_TRUE(has_violation(report, "fcfs-order")) << report.to_string();
+}
+
+TEST(AuditDetectsBugs, NonMonotoneEventTimeTripsMonotonicity) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(5.0);
+  audit.on_event(4.0);  // time travel
+  EXPECT_TRUE(has_violation(audit.report(), "event-monotonicity"));
+}
+
+TEST(AuditDetectsBugs, LostJobTripsConservation) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 1.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 1.0, Source::kDirect);
+  audit.on_event(0.5);
+  audit.on_arrival(1, 0.5, 1.0);  // arrives and is never seen again
+  audit.on_event(1.0);
+  audit.on_complete(0, 0, 1.0);
+  const AuditReport report = audit.finalize(1.0);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, "job-conservation")) << report.to_string();
+}
+
+TEST(AuditDetectsBugs, IdleHostWithHeldJobTripsWorkConservation) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 1.0);
+  audit.on_hold(0);  // bug: both hosts are idle, the job must start now
+  audit.on_event(1.0);
+  EXPECT_TRUE(has_violation(audit.report(), "work-conservation"));
+}
+
+TEST(AuditDetectsBugs, IdleHostWithQueuedJobTripsWorkConservation) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 4.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 4.0, Source::kDirect);
+  audit.on_event(1.0);
+  audit.on_arrival(1, 1.0, 2.0);
+  audit.on_dispatch(1, 0);
+  audit.on_enqueue(1, 0);
+  audit.on_event(4.0);
+  audit.on_complete(0, 0, 4.0);
+  // Bug: the host fails to pull job 1 from its queue and goes idle.
+  audit.on_event(6.0);
+  EXPECT_TRUE(has_violation(audit.report(), "work-conservation"));
+}
+
+TEST(AuditDetectsBugs, WrongCompletionTimeTripsServiceTime) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 5.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 5.0, Source::kDirect);
+  audit.on_event(7.5);
+  audit.on_complete(0, 0, 7.5);  // bug: served 1.5x its size
+  EXPECT_TRUE(has_violation(audit.report(), "service-time"));
+}
+
+TEST(AuditDetectsBugs, MisroutedSizeTripsRouteConsistency) {
+  QueueingAuditor audit(enabled_config());
+  // Cutoff oracle: sizes <= 10 belong on host 0, larger on host 1.
+  audit.set_expected_route(
+      [](double size) { return size <= 10.0 ? 0u : 1u; });
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 50.0);
+  audit.on_dispatch(0, 0);  // bug: a long job dumped on the short host
+  EXPECT_TRUE(has_violation(audit.report(), "route-consistency"));
+}
+
+TEST(AuditDetectsBugs, DoubleCompletionTripsStateMachine) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 1.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 1.0, Source::kDirect);
+  audit.on_event(1.0);
+  audit.on_complete(0, 0, 1.0);
+  audit.on_complete(0, 0, 1.0);  // bug: completion event fired twice
+  EXPECT_TRUE(has_violation(audit.report(), "state-machine"));
+}
+
+TEST(AuditDetectsBugs, StartOnBusyHostTripsWorkConservation) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 9.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 9.0, Source::kDirect);
+  audit.on_event(1.0);
+  audit.on_arrival(1, 1.0, 1.0);
+  audit.on_dispatch(1, 0);
+  // Bug: preempting/overlapping service on a busy host.
+  audit.on_start(1, 0, 1.0, 1.0, Source::kDirect);
+  EXPECT_TRUE(has_violation(audit.report(), "work-conservation"));
+}
+
+TEST(AuditDetectsBugs, ThrowIfFailedCarriesTheReport) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 1.0);
+  const AuditReport report = audit.finalize(1.0);  // job 0 never completed
+  EXPECT_FALSE(report.ok());
+  try {
+    throw_if_failed(report);
+    FAIL() << "expected AuditFailure";
+  } catch (const AuditFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("job-conservation"),
+              std::string::npos);
+  }
+}
+
+TEST(AuditDetectsBugs, ViolationRecordingIsCapped) {
+  AuditConfig config = enabled_config();
+  config.max_recorded_violations = 2;
+  QueueingAuditor audit(config);
+  audit.begin_run(1);
+  for (int i = 0; i < 10; ++i) {
+    audit.on_event(10.0 - i);  // strictly decreasing: 9 violations
+  }
+  const AuditReport& report = audit.report();
+  EXPECT_EQ(report.violations.size(), 2u);
+  EXPECT_EQ(report.violations_total, 9u);
+}
+
+}  // namespace
+}  // namespace distserv::sim

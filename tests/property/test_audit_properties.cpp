@@ -1,0 +1,77 @@
+// Property harness: many seeded random scenarios, each run under the full
+// audit layer (online queueing invariants) plus the offline record
+// validator. A failure prints the scenario description; rerunning that seed
+// through proptest::make_scenario reproduces it exactly.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "scenario.hpp"
+
+namespace distserv::proptest {
+namespace {
+
+constexpr std::uint64_t kScenarioCount = 224;
+
+TEST(AuditProperty, SeededScenariosPassEveryInvariant) {
+  for (std::uint64_t seed = 1; seed <= kScenarioCount; ++seed) {
+    Scenario s = make_scenario(seed);
+    const core::RunResult result = run_audited(s);
+    ASSERT_TRUE(result.audit.has_value()) << s.description;
+    EXPECT_TRUE(result.audit->ok())
+        << s.description << "\n" << result.audit->to_string();
+    EXPECT_EQ(result.events_pending, 0u) << s.description;
+    // Endpoint cross-checks: the audit counters must agree with the trace.
+    EXPECT_EQ(result.audit->arrivals, s.trace.size()) << s.description;
+    EXPECT_EQ(result.audit->completions, s.trace.size()) << s.description;
+    EXPECT_EQ(result.audit->starts, s.trace.size()) << s.description;
+  }
+}
+
+TEST(AuditProperty, SeededScenariosPassOfflineValidation) {
+  for (std::uint64_t seed = 1; seed <= kScenarioCount; ++seed) {
+    Scenario s = make_scenario(seed);
+    core::Policy& policy = *s.policy;
+    const core::RunResult result =
+        core::simulate(policy, s.trace, s.hosts, seed);
+    const std::vector<std::string> problems = core::validate_run(result);
+    EXPECT_TRUE(problems.empty())
+        << s.description << "\nfirst problem: "
+        << (problems.empty() ? "" : problems.front());
+  }
+}
+
+TEST(AuditProperty, AuditDoesNotPerturbResults) {
+  // The audit layer observes; it must never change a single record.
+  for (std::uint64_t seed : {3u, 57u, 121u}) {
+    Scenario audited = make_scenario(seed);
+    Scenario plain = make_scenario(seed);
+    const core::RunResult with_audit = run_audited(audited);
+    const core::RunResult without =
+        core::simulate(*plain.policy, plain.trace, plain.hosts,
+                       /*seed=*/seed ^ 0x9e3779b9);
+    ASSERT_EQ(with_audit.records.size(), without.records.size());
+    for (std::size_t i = 0; i < without.records.size(); ++i) {
+      EXPECT_EQ(with_audit.records[i].host, without.records[i].host);
+      EXPECT_EQ(with_audit.records[i].start, without.records[i].start);
+      EXPECT_EQ(with_audit.records[i].completion,
+                without.records[i].completion);
+    }
+  }
+}
+
+TEST(AuditProperty, ReportCountersAreCoherent) {
+  Scenario s = make_scenario(11);
+  const core::RunResult result = run_audited(s);
+  ASSERT_TRUE(result.audit.has_value());
+  const sim::AuditReport& report = *result.audit;
+  // A job is routed or held at most once, and every one starts and ends.
+  EXPECT_LE(report.dispatches + report.holds, report.arrivals);
+  EXPECT_EQ(report.starts, report.arrivals);
+  EXPECT_EQ(report.completions, report.arrivals);
+  // Each arrival and each completion is one simulator event.
+  EXPECT_GE(report.events, report.arrivals + report.completions);
+  EXPECT_TRUE(report.finalized);
+}
+
+}  // namespace
+}  // namespace distserv::proptest

@@ -1,0 +1,135 @@
+// Metamorphic properties of the simulator: transformations of the input
+// with exactly predictable effects on the output. Unlike statistical
+// endpoint checks, these hold per-job and (mostly) to double precision.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/policies/round_robin.hpp"
+#include "core/policies/sita.hpp"
+#include "queueing/mg1.hpp"
+#include "scenario.hpp"
+
+namespace distserv::proptest {
+namespace {
+
+using workload::Job;
+using workload::Trace;
+
+Trace scaled_copy(const Trace& trace, double c) {
+  std::vector<Job> jobs;
+  jobs.reserve(trace.size());
+  for (const Job& j : trace.jobs()) {
+    jobs.push_back(Job{j.id, j.arrival * c, j.size * c});
+  }
+  return Trace(std::move(jobs));
+}
+
+// Scaling all sizes and interarrival times by c scales every response time
+// by exactly c: the simulation's arithmetic is homogeneous of degree 1.
+TEST(Metamorphic, TimeScalingScalesResponsesLinearly) {
+  const double c = 7.25;  // exactly representable, keeps scaling exact-ish
+  for (std::uint64_t seed : {2ull, 19ull, 83ull}) {
+    Scenario base = make_scenario(seed);
+    const Trace scaled = scaled_copy(base.trace, c);
+
+    core::RoundRobinPolicy p1, p2;
+    const core::RunResult r1 = core::simulate(p1, base.trace, base.hosts, 1);
+    const core::RunResult r2 = core::simulate(p2, scaled, base.hosts, 1);
+    ASSERT_EQ(r1.records.size(), r2.records.size());
+    for (std::size_t i = 0; i < r1.records.size(); ++i) {
+      EXPECT_NEAR(r2.records[i].response(), c * r1.records[i].response(),
+                  1e-9 * (1.0 + c * r1.records[i].response()))
+          << base.description << " job " << i;
+      // Slowdown is dimensionless, hence exactly invariant (up to fp).
+      EXPECT_NEAR(r2.records[i].slowdown(), r1.records[i].slowdown(),
+                  1e-9 * r1.records[i].slowdown());
+    }
+  }
+}
+
+// Random splits the arrival stream into h independent substreams, so
+// simulating each host's substream alone on a single-host server must
+// reproduce the original per-job records exactly.
+TEST(Metamorphic, RandomDecomposesIntoIndependentSingleHostRuns) {
+  Scenario s = make_scenario(5);
+  const std::size_t hosts = 4;
+  core::RandomPolicy random;
+  const core::RunResult whole =
+      core::simulate(random, s.trace, hosts, /*seed=*/42);
+
+  for (std::size_t host = 0; host < hosts; ++host) {
+    std::vector<Job> sub;
+    std::vector<std::size_t> original_index;
+    for (const Job& j : s.trace.jobs()) {
+      if (whole.records[j.id].host == host) {
+        sub.push_back(Job{sub.size(), j.arrival, j.size});
+        original_index.push_back(j.id);
+      }
+    }
+    if (sub.empty()) continue;
+    core::RoundRobinPolicy fcfs;  // any policy degenerates to FCFS on 1 host
+    const core::RunResult alone = core::simulate(fcfs, Trace(sub), 1);
+    ASSERT_EQ(alone.records.size(), original_index.size());
+    for (std::size_t i = 0; i < alone.records.size(); ++i) {
+      const core::JobRecord& got = alone.records[i];
+      const core::JobRecord& want = whole.records[original_index[i]];
+      EXPECT_DOUBLE_EQ(got.start, want.start);
+      EXPECT_DOUBLE_EQ(got.completion, want.completion);
+    }
+  }
+}
+
+// A SITA whose only cutoff exceeds every job size merges all ranges into
+// host 0 — the whole system degenerates to one FCFS M/G/1 queue, which any
+// policy on a single host also is.
+TEST(Metamorphic, SitaWithOneEffectiveRangeDegeneratesToFcfs) {
+  Scenario s = make_scenario(29);
+  double max_size = 0.0;
+  for (const Job& j : s.trace.jobs()) max_size = std::max(max_size, j.size);
+
+  core::SitaPolicy sita({max_size * 2.0}, "SITA-degenerate");
+  const core::RunResult merged = core::simulate(sita, s.trace, 2, 1);
+  core::RoundRobinPolicy single;
+  const core::RunResult fcfs = core::simulate(single, s.trace, 1, 1);
+
+  ASSERT_EQ(merged.records.size(), fcfs.records.size());
+  for (std::size_t i = 0; i < merged.records.size(); ++i) {
+    EXPECT_EQ(merged.records[i].host, 0u);
+    EXPECT_DOUBLE_EQ(merged.records[i].start, fcfs.records[i].start);
+    EXPECT_DOUBLE_EQ(merged.records[i].completion, fcfs.records[i].completion);
+  }
+  EXPECT_DOUBLE_EQ(merged.host_stats[0].busy_time, fcfs.host_stats[0].busy_time);
+  EXPECT_EQ(merged.host_stats[1].jobs_completed, 0u);
+}
+
+// Random over h hosts thins a Poisson stream into h Poisson streams of rate
+// lambda/h, so each host is an M/M/1 queue when sizes are exponential; the
+// simulated mean waiting time must match Pollaczek-Khinchine.
+TEST(Metamorphic, RandomOnHHostsMatchesMg1PerHost) {
+  const std::size_t hosts = 4;
+  const double rho = 0.6;
+  const double mean = 10.0;
+  const std::size_t n = 120000;
+  dist::Rng rng(404);
+  const dist::Exponential service = dist::Exponential::from_mean(mean);
+  std::vector<double> sizes;
+  sizes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) sizes.push_back(service.sample(rng));
+  const Trace trace = Trace::with_poisson_load(sizes, rho, hosts, rng);
+
+  core::RandomPolicy random;
+  const core::RunResult result = core::simulate(random, trace, hosts, 7);
+  const core::MetricsSummary summary = core::summarize(result);
+
+  const queueing::ServiceMoments moments =
+      queueing::ServiceMoments::of(service);
+  const double lambda_per_host =
+      rho * static_cast<double>(hosts) / mean / static_cast<double>(hosts);
+  const queueing::Mg1Metrics mg1 = queueing::mg1_fcfs(lambda_per_host, moments);
+  EXPECT_NEAR(summary.mean_waiting, mg1.mean_waiting, 0.10 * mg1.mean_waiting);
+}
+
+}  // namespace
+}  // namespace distserv::proptest

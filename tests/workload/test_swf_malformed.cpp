@@ -1,0 +1,137 @@
+// Robustness of the SWF reader against corrupt archive data. Real Parallel
+// Workloads Archive logs contain truncated lines, sentinel -1 values in the
+// wrong columns, and editor damage; none of it may crash the reader or leak
+// an invalid job into the Trace — every skip must be accounted for.
+#include "workload/swf.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace distserv::workload {
+namespace {
+
+SwfReadResult read(const std::string& text, const SwfFilter& filter = {}) {
+  std::istringstream in(text);
+  return read_swf(in, filter);
+}
+
+std::string line_with(const std::string& submit, const std::string& runtime,
+                      const std::string& procs = "8",
+                      const std::string& status = "1") {
+  return "1 " + submit + " 10 " + runtime + " " + procs +
+         " -1 -1 8 -1 -1 " + status + " 3 1 1 1 -1 -1 -1\n";
+}
+
+TEST(SwfMalformed, ShortLinesAreCountedNotFatal) {
+  const SwfReadResult r = read(
+      "1 0 10 100 8\n"                                      // 5 fields
+      "2 60 5 200 4 -1 -1 4 -1 -1 1 3 1 1 1 -1 -1\n"        // 17 fields
+      "3 120 1 50 8 -1 -1 8 -1 -1 1 3 1 1 1 -1 -1 -1\n");   // complete
+  EXPECT_EQ(r.lines_malformed, 2u);
+  EXPECT_EQ(r.lines_parsed, 1u);
+  EXPECT_EQ(r.trace.size(), 1u);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(SwfMalformed, UnparseableFieldsAreMalformed) {
+  const SwfReadResult r = read(line_with("abc", "100") +
+                               line_with("0", "12x4") +
+                               line_with("0", "100", "eight") +
+                               line_with("0", "100"));
+  EXPECT_EQ(r.lines_malformed, 3u);
+  EXPECT_EQ(r.lines_parsed, 1u);
+  EXPECT_EQ(r.trace.size(), 1u);
+}
+
+TEST(SwfMalformed, NegativeRuntimeIsMalformedRegardlessOfFilter) {
+  // Filter ON: the negative runtime must be malformed, not filtered.
+  const SwfReadResult strict = read(line_with("0", "-25") +
+                                    line_with("10", "100"));
+  EXPECT_EQ(strict.lines_malformed, 1u);
+  EXPECT_EQ(strict.lines_filtered, 0u);
+  EXPECT_EQ(strict.trace.size(), 1u);
+
+  // Filter OFF used to feed a negative size into Trace and die on its
+  // contract; now the line is skipped with the same diagnostic.
+  SwfFilter lax;
+  lax.require_positive_runtime = false;
+  const SwfReadResult r = read(line_with("0", "-25") +
+                               line_with("10", "100"), lax);
+  EXPECT_EQ(r.lines_malformed, 1u);
+  EXPECT_EQ(r.trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.trace.jobs()[0].size, 100.0);
+}
+
+TEST(SwfMalformed, ZeroRuntimeIsFilteredEvenWithoutTheFlag) {
+  SwfFilter lax;
+  lax.require_positive_runtime = false;
+  const SwfReadResult r = read(line_with("0", "0") +
+                               line_with("10", "100"), lax);
+  // A zero-size job can never enter a Trace: dropped as filtered.
+  EXPECT_EQ(r.lines_malformed, 0u);
+  EXPECT_EQ(r.lines_filtered, 1u);
+  EXPECT_EQ(r.trace.size(), 1u);
+}
+
+TEST(SwfMalformed, NegativeSubmitIsMalformed) {
+  const SwfReadResult r = read(line_with("-60", "100") +
+                               line_with("0", "100"));
+  EXPECT_EQ(r.lines_malformed, 1u);
+  EXPECT_EQ(r.lines_parsed, 1u);
+  EXPECT_EQ(r.trace.size(), 1u);
+}
+
+TEST(SwfMalformed, NonFiniteValuesAreMalformed) {
+  // from_chars happily parses "inf" and "nan"; the reader must not.
+  const SwfReadResult r = read(line_with("inf", "100") +
+                               line_with("0", "nan") +
+                               line_with("0", "inf") +
+                               line_with("0", "100"));
+  EXPECT_EQ(r.lines_malformed, 3u);
+  EXPECT_EQ(r.trace.size(), 1u);
+}
+
+TEST(SwfMalformed, CommentsAndBlankLinesAreNeitherParsedNorMalformed) {
+  const SwfReadResult r = read("; header\n"
+                               "\n"
+                               "   \n"
+                               "; UnixStartTime: 0\n" +
+                               line_with("0", "100"));
+  EXPECT_EQ(r.lines_total, 5u);
+  EXPECT_EQ(r.lines_malformed, 0u);
+  EXPECT_EQ(r.lines_parsed, 1u);
+}
+
+TEST(SwfMalformed, EntirelyCorruptInputYieldsEmptyTrace) {
+  const SwfReadResult r = read("this is not swf\n"
+                               "neither is this line of text here ok\n"
+                               "1 2 3\n");
+  EXPECT_TRUE(r.trace.empty());
+  EXPECT_EQ(r.lines_malformed, 3u);
+  EXPECT_EQ(r.lines_parsed, 0u);
+}
+
+TEST(SwfMalformed, CountersAlwaysBalance) {
+  // parsed + malformed == non-comment data lines; kept + filtered == parsed.
+  const std::string corpus = std::string("; log\n") +
+                             line_with("0", "100") + "short line\n" +
+                             line_with("-1", "50") + line_with("5", "0") +
+                             line_with("7", "75", "4") +
+                             line_with("9", "80");
+  const SwfReadResult r = read(corpus);
+  EXPECT_EQ(r.lines_parsed + r.lines_malformed, 6u);
+  EXPECT_EQ(r.trace.size() + r.lines_filtered, r.lines_parsed);
+  EXPECT_EQ(r.lines_total, 7u);
+}
+
+TEST(SwfMalformed, SummaryMentionsEveryCounter) {
+  const SwfReadResult r = read(line_with("0", "100") + "bad\n");
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("1 jobs"), std::string::npos) << s;
+  EXPECT_NE(s.find("1 malformed"), std::string::npos) << s;
+  EXPECT_NE(s.find("1 parsed"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace distserv::workload
