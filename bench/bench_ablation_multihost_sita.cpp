@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const auto opts = bench::BenchOptions::parse(argc, argv, "c90", {"load"});
   const util::Cli cli(argc, argv);
   const double rho = cli.get_double("load", 0.7);
   bench::print_header(

@@ -25,7 +25,7 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const auto opts = bench::BenchOptions::parse(argc, argv, "c90", {"load", "classes"});
   const util::Cli cli(argc, argv);
   const double rho = cli.get_double("load", 0.7);
   const auto classes = static_cast<std::size_t>(cli.get_int("classes", 8));

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const auto opts = bench::BenchOptions::parse(argc, argv, "c90", {"all"});
   const util::Cli cli(argc, argv);
   bench::print_header(
       "Figure 2: load-balancing policies, 2 hosts (simulation)",

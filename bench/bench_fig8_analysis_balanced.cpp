@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace distserv;
-  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const auto opts = bench::BenchOptions::parse(argc, argv, "c90", {"hosts"});
   const util::Cli cli(argc, argv);
   const auto hosts = static_cast<std::size_t>(cli.get_int("hosts", 2));
   bench::print_header(

@@ -17,15 +17,26 @@
 //   --audit                  run every replication under the audit layer
 //                            (sim/audit.hpp); any violated queueing
 //                            invariant aborts the bench with a report
+//   --mtbf T                 mean time between host failures (0 = faults
+//                            off, the default); enables the fail-stop model
+//   --mttr T                 mean time to repair (required with --mtbf)
+//   --recovery MODE          resubmit | requeue-front | abandon
+//
+// Flags are validated strictly: an unknown flag, a malformed number, or an
+// out-of-range value prints an error naming the flag and exits with status
+// 2 — a typo never silently falls back to a default. Benches with extra
+// flags list them via the `extra_known` argument of BenchOptions::parse.
 //
 // Policy lists are never built from enum literals here: benches state their
 // defaults as display-name strings and resolve them through the registry
 // (core::policy_from_string), the same path the --policies flag uses.
 #pragma once
 
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -81,19 +92,51 @@ struct BenchOptions {
   std::string policies;     ///< --policies override; empty = bench default
   bool csv = false;
   bool audit = false;       ///< --audit: full invariant checking per run
+  double mtbf = 0.0;        ///< --mtbf: mean uptime; 0 = faults disabled
+  double mttr = 0.0;        ///< --mttr: mean repair time
+  core::RecoveryMode recovery = core::RecoveryMode::kResubmit;
 
-  static BenchOptions parse(int argc, const char* const* argv,
-                            std::string default_workload = "c90") {
+  /// Parses and validates argv. `extra_known` lists bench-specific flags
+  /// beyond the common set; anything else (or a malformed/out-of-range
+  /// value) prints the error and exits with status 2.
+  static BenchOptions parse(
+      int argc, const char* const* argv, std::string default_workload = "c90",
+      std::initializer_list<std::string_view> extra_known = {}) {
     const util::Cli cli(argc, argv);
     BenchOptions o;
-    o.workload = cli.get_string("workload", std::move(default_workload));
-    o.jobs = static_cast<std::size_t>(cli.get_int("jobs", 40000));
-    o.reps = static_cast<std::size_t>(cli.get_int("reps", 3));
-    o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-    o.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
-    o.policies = cli.get_string("policies", "");
-    o.csv = cli.has("csv");
-    o.audit = cli.has("audit");
+    try {
+      std::vector<std::string_view> known = {
+          "workload", "jobs", "reps",  "seed",     "threads",
+          "policies", "csv",  "audit", "mtbf",     "mttr",
+          "recovery"};
+      known.insert(known.end(), extra_known.begin(), extra_known.end());
+      cli.require_known(known);
+      o.workload = cli.get_string("workload", std::move(default_workload));
+      o.jobs = static_cast<std::size_t>(
+          cli.get_int_in("jobs", 40000, 1000, 100000000));
+      o.reps = static_cast<std::size_t>(cli.get_int_in("reps", 3, 1, 10000));
+      o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+      o.threads = static_cast<std::size_t>(
+          cli.get_int_in("threads", 0, 0, 4096));
+      o.policies = cli.get_string("policies", "");
+      o.csv = cli.has("csv");
+      o.audit = cli.has("audit");
+      o.mtbf = cli.get_double_in("mtbf", 0.0, 0.0, 1e18);
+      o.mttr = cli.get_double_in("mttr", 0.0, 0.0, 1e18);
+      if (o.mtbf > 0.0 && o.mttr <= 0.0) {
+        throw util::CliError("option --mtbf: requires --mttr > 0");
+      }
+      const std::string rec = cli.get_string("recovery", "resubmit");
+      const auto mode = core::recovery_from_string(rec);
+      if (!mode) {
+        throw util::CliError("option --recovery: unknown mode '" + rec +
+                             "' (resubmit | requeue-front | abandon)");
+      }
+      o.recovery = *mode;
+    } catch (const util::CliError& e) {
+      std::cerr << cli.program() << ": " << e.what() << "\n";
+      std::exit(2);
+    }
     return o;
   }
 
@@ -105,6 +148,12 @@ struct BenchOptions {
     cfg.seed = seed;
     cfg.replications = reps;
     cfg.audit.enabled = audit;
+    if (mtbf > 0.0) {
+      cfg.faults.enabled = true;
+      cfg.faults.mtbf = mtbf;
+      cfg.faults.mttr = mttr;
+      cfg.recovery = recovery;
+    }
     return cfg;
   }
 
@@ -160,7 +209,12 @@ inline void print_header(const std::string& artifact,
             << "workload=" << o.workload << " jobs=" << o.jobs
             << " reps=" << o.reps << " seed=" << o.seed
             << " threads=" << o.threads
-            << (o.audit ? " audit=on" : "") << "\n"
+            << (o.audit ? " audit=on" : "");
+  if (o.mtbf > 0.0) {
+    std::cout << " mtbf=" << o.mtbf << " mttr=" << o.mttr
+              << " recovery=" << core::to_string(o.recovery);
+  }
+  std::cout << "\n"
             << "==============================================================\n";
 }
 

@@ -5,9 +5,13 @@
 #   2. Rerun the audit slice (`ctest -L audit`): the property-based harness
 #      that drives seeded random scenarios through the queueing-invariant
 #      auditor (sim/audit.hpp), isolated so a failure is obvious.
-#   3. Configure a second tree with -DDISTSERV_TSAN=ON (benches/examples
-#      off), build the sweep-runner determinism tests, and run every test
-#      carrying the `tsan` ctest label under the race detector.
+#   3. Rerun the faults slice (`ctest -L faults`): the host failure model
+#      unit tests plus the fault-injected property/metamorphic harness
+#      (~200 seeded failure scenarios under the extended audit).
+#   4. Configure a second tree with -DDISTSERV_TSAN=ON (benches/examples
+#      off), build the sweep-runner determinism tests and the fault fuzz
+#      harness, and run every test carrying the `tsan` ctest label plus
+#      the fault property suite under the race detector.
 #
 # Usage: scripts/check.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -27,14 +31,21 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 echo "== audit: ctest -L audit =="
 ctest --test-dir "$BUILD_DIR" -L audit --output-on-failure
 
-echo "== tsan: configure + build (determinism tests only) =="
+echo "== faults: ctest -L faults =="
+ctest --test-dir "$BUILD_DIR" -L faults --output-on-failure
+
+echo "== tsan: configure + build (determinism + fault fuzz tests) =="
 cmake -B "$TSAN_DIR" -S . \
   -DDISTSERV_TSAN=ON \
   -DDISTSERV_BUILD_BENCH=OFF \
   -DDISTSERV_BUILD_EXAMPLES=OFF
-cmake --build "$TSAN_DIR" -j "$(nproc)" --target test_sweep_runner
+cmake --build "$TSAN_DIR" -j "$(nproc)" \
+  --target test_sweep_runner test_fault_property
 
 echo "== tsan: ctest -L tsan =="
 ctest --test-dir "$TSAN_DIR" -L tsan --output-on-failure
+
+echo "== tsan: fault fuzz harness =="
+"$TSAN_DIR"/tests/test_fault_property
 
 echo "All checks passed."

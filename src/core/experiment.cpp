@@ -260,32 +260,49 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
                                           std::size_t replication) const {
   DS_EXPECTS(replication < config_.replications);
   DS_EXPECTS(plan.make_policy != nullptr);
+  if (config_.replication_probe) {
+    config_.replication_probe(plan.point.policy, plan.point.rho, replication);
+  }
   const PolicyPtr policy = plan.make_policy();
   const workload::Trace trace =
       make_eval_trace(plan.point.rho, replication);
+  DistributedServer server(config_.hosts, *policy);
+  if (config_.faults.enabled) {
+    server.enable_faults(config_.faults, config_.recovery);
+  }
   if (config_.audit.enabled) {
-    DistributedServer server(config_.hosts, *policy);
     server.enable_audit(config_.audit);
     // SITA routing is a pure function of job size when classification is
-    // perfect, so the auditor can hold the policy to its own cutoffs.
+    // perfect — unless faults are on, where a dead interval's jobs get
+    // remapped to live neighbors and the pure-size oracle no longer holds.
     if (const auto* sita = dynamic_cast<const SitaPolicy*>(policy.get());
-        sita != nullptr && sita->classification_error() == 0.0) {
+        sita != nullptr && sita->classification_error() == 0.0 &&
+        !config_.faults.enabled) {
       server.auditor()->set_expected_route(
           [sita](double size) { return sita->interval_of(size); });
     }
-    const RunResult result = server.run(trace, config_.seed + replication);
-    sim::throw_if_failed(*result.audit);
-    return summarize(result);
   }
-  const RunResult result =
-      simulate(*policy, trace, config_.hosts, config_.seed + replication);
+  const RunResult result = server.run(trace, replication_seed(replication));
+  if (config_.audit.enabled) sim::throw_if_failed(*result.audit);
   return summarize(result);
 }
 
 ExperimentPoint Workbench::finalize_point(
     const PointPlan& plan, std::vector<MetricsSummary> replication_summaries) {
+  return finalize_point(plan, std::move(replication_summaries), {});
+}
+
+ExperimentPoint Workbench::finalize_point(
+    const PointPlan& plan, std::vector<MetricsSummary> replication_summaries,
+    std::vector<ReplicationFailure> failures) {
   ExperimentPoint point = plan.point;
   point.replication_summaries = std::move(replication_summaries);
+  point.failures = std::move(failures);
+  if (point.replication_summaries.empty()) {
+    // Every replication failed (hardened sweep): nothing to average.
+    point.slowdown_ci = {};
+    return point;
+  }
   point.summary = average_summaries(point.replication_summaries);
   if (point.replication_summaries.size() >= 2) {
     std::vector<double> means;

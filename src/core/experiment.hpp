@@ -28,7 +28,9 @@
 #include "core/cutoffs.hpp"
 #include "core/metrics.hpp"
 #include "core/policy.hpp"
+#include "core/recovery.hpp"
 #include "sim/audit.hpp"
+#include "sim/faults.hpp"
 #include "stats/confidence.hpp"
 #include "workload/catalog.hpp"
 
@@ -99,9 +101,35 @@ struct ExperimentConfig {
   double diurnal_period = 86400.0;
   /// Audit layer (sim/audit.hpp). When enabled, every replication runs
   /// under full invariant checking — a SITA expected-route oracle is
-  /// attached automatically when the policy's routing is deterministic —
-  /// and a violated invariant throws sim::AuditFailure.
+  /// attached automatically when the policy's routing is deterministic
+  /// (and faults are off; remapping breaks the pure-size oracle) — and a
+  /// violated invariant throws sim::AuditFailure.
   sim::AuditConfig audit;
+  /// Host failure model (sim/faults.hpp). Disabled by default; when
+  /// faults.enabled is false every run is bit-identical to a build without
+  /// the failure model.
+  sim::FaultConfig faults;
+  /// What happens to a job in service when its host fails.
+  RecoveryMode recovery = RecoveryMode::kResubmit;
+  /// Test seam: invoked at the top of every run_replication with
+  /// (policy, rho, replication). A throw here behaves exactly like a
+  /// replication failing mid-run — used to exercise sweep failure
+  /// isolation. Leave empty in real experiments.
+  std::function<void(PolicyKind, double, std::size_t)> replication_probe;
+};
+
+/// One replication (or plan step) that threw during a hardened sweep
+/// (SweepOptions::isolate_failures). The failure is recorded instead of
+/// propagated so sibling replications and points still complete.
+struct ReplicationFailure {
+  /// Sentinel `replication` value: the point's plan_point call itself
+  /// threw, so no replication ran at all for this point.
+  static constexpr std::size_t kPlanStep = static_cast<std::size_t>(-1);
+  std::size_t replication = 0;  ///< index, or kPlanStep
+  std::uint64_t seed = 0;       ///< simulation seed the replication used
+  std::string error;            ///< what() of the first failure
+  bool retried = false;         ///< a retry was attempted
+  bool recovered = false;       ///< the retry succeeded
 };
 
 /// One (policy, load) measurement.
@@ -118,6 +146,11 @@ struct ExperimentPoint {
   double cutoff = 0.0;
   double host1_load_fraction = 0.0;
   bool feasible = true;  ///< false if no stable cutoff existed
+  /// Replications that failed under SweepOptions::isolate_failures (empty
+  /// in the default rethrow mode and for clean points). Failed replications
+  /// are absent from replication_summaries; `summary` averages the
+  /// survivors.
+  std::vector<ReplicationFailure> failures;
 };
 
 /// Execution knobs for Workbench::sweep (see core/sweep_runner.hpp for the
@@ -130,6 +163,16 @@ struct SweepOptions {
   /// cheap. Completion *order* is scheduling-dependent even though results
   /// are not.
   std::function<void(std::size_t completed, std::size_t total)> progress;
+  /// Hardened mode: a throwing replication (including sim::AuditFailure)
+  /// is recorded in its point's ExperimentPoint::failures — with the seed
+  /// it ran under and the error text — instead of aborting the sweep.
+  /// Sibling replications and points are unaffected. Default off: the
+  /// first exception propagates, as the inline sweep does.
+  bool isolate_failures = false;
+  /// With isolate_failures: rerun a failed replication once before
+  /// recording it. A recovered retry contributes its summary normally and
+  /// is still logged (retried + recovered) for the experiment record.
+  bool retry_failed_once = false;
 };
 
 /// Fixture binding a workload to the experiment methodology.
@@ -162,6 +205,20 @@ class Workbench {
   /// t-interval), exactly as run_point does.
   [[nodiscard]] static ExperimentPoint finalize_point(
       const PointPlan& plan, std::vector<MetricsSummary> replication_summaries);
+
+  /// Hardened-sweep variant: also attaches the failure records, and
+  /// tolerates an empty summary list (every replication failed) by leaving
+  /// the averaged summary zeroed instead of asserting.
+  [[nodiscard]] static ExperimentPoint finalize_point(
+      const PointPlan& plan, std::vector<MetricsSummary> replication_summaries,
+      std::vector<ReplicationFailure> failures);
+
+  /// The simulation seed replication `replication` of any point runs
+  /// under. Deterministic: config().seed + replication.
+  [[nodiscard]] std::uint64_t replication_seed(
+      std::size_t replication) const noexcept {
+    return config_.seed + replication;
+  }
 
   /// Full cross product, row-major by load then policy. Equivalent to
   /// concatenating run_point results; runs inline on the calling thread.

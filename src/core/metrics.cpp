@@ -16,15 +16,20 @@ MetricsSummary summarize(const RunResult& result) {
   stats::Welford slowdown, response, waiting;
   std::vector<double> slowdowns;
   slowdowns.reserve(result.records.size());
+  MetricsSummary m;
   for (const JobRecord& r : result.records) {
+    if (r.failed) {
+      ++m.jobs_failed;  // abandoned: no completion, so no statistics
+      continue;
+    }
     const double s = r.slowdown();
     slowdown.add(s);
     response.add(r.response());
     waiting.add(r.waiting());
     slowdowns.push_back(s);
   }
-  MetricsSummary m;
   m.jobs = slowdown.count();
+  if (slowdowns.empty()) return m;  // every job failed
   m.mean_slowdown = slowdown.mean();
   m.var_slowdown = slowdown.variance_sample();
   m.mean_response = response.mean();
@@ -108,6 +113,8 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
     problems.push_back(what);
   };
   double max_completion = 0.0;
+  std::uint64_t failed_records = 0;
+  std::uint64_t total_restarts = 0;
   std::vector<std::vector<const JobRecord*>> by_host(result.hosts);
   for (std::size_t i = 0; i < result.records.size(); ++i) {
     const JobRecord& r = result.records[i];
@@ -118,15 +125,32 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
     if (r.start + rtol * std::abs(r.start) < r.arrival) {
       complain(tag.str() + "started before it arrived");
     }
-    if (!stats::close(r.completion, r.start + r.size, rtol)) {
+    if (r.failed) {
+      // Abandoned after a failure: completion is the abandonment time,
+      // somewhere within the service interval it never finished.
+      ++failed_records;
+      if (r.completion + rtol * std::abs(r.completion) < r.start) {
+        complain(tag.str() + "abandoned before it started");
+      }
+      if (r.completion > (r.start + r.size) * (1.0 + rtol)) {
+        complain(tag.str() + "abandoned after it would have completed");
+      }
+    } else if (!stats::close(r.completion, r.start + r.size, rtol)) {
       complain(tag.str() + "completion != start + size");
     }
+    total_restarts += r.restarts;
     if (r.host >= result.hosts) {
       complain(tag.str() + "out-of-range host");
       continue;
     }
     by_host[r.host].push_back(&r);
     max_completion = std::max(max_completion, r.completion);
+  }
+  if (failed_records != result.jobs_failed) {
+    complain("jobs_failed does not match the failed records");
+  }
+  if (total_restarts != result.interruptions) {
+    complain("interruptions does not match the summed record restarts");
   }
   if (!result.records.empty() &&
       !stats::close(result.makespan, max_completion, rtol)) {
@@ -139,8 +163,15 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
                 return a->start < b->start;
               });
     double work = 0.0;
+    std::size_t completed = 0;
     for (std::size_t i = 0; i < records.size(); ++i) {
-      work += records[i]->size;
+      if (!records[i]->failed) {
+        work += records[i]->size;
+        ++completed;
+      }
+      // Final service intervals ([start, completion], abandonment included)
+      // must not overlap on a host. Partial service of jobs later restarted
+      // elsewhere is not visible in the records and cannot conflict here.
       if (i > 0 && records[i]->start + rtol * records[i]->start <
                        records[i - 1]->completion) {
         std::ostringstream what;
@@ -153,14 +184,23 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
       const HostStats& hs = result.host_stats[host];
       std::ostringstream tag;
       tag << "host " << host << " stats: ";
-      if (hs.jobs_completed != records.size()) {
+      if (hs.jobs_completed != completed) {
         complain(tag.str() + "jobs_completed disagrees with the records");
       }
       if (!stats::close(hs.work_done, work, rtol, rtol)) {
         complain(tag.str() + "work_done disagrees with the records");
       }
-      if (!stats::close(hs.busy_time, work, rtol, rtol)) {
-        complain(tag.str() + "busy_time disagrees with the completed work");
+      // Busy time covers completed service plus partial service the
+      // failure model discarded (fail-stop loses completed work).
+      if (!stats::close(hs.busy_time, work + hs.wasted_work, rtol, rtol)) {
+        complain(tag.str() +
+                 "busy_time disagrees with completed + wasted work");
+      }
+      if (hs.wasted_work < 0.0 || hs.down_time < 0.0) {
+        complain(tag.str() + "negative failure accounting");
+      }
+      if (hs.wasted_work > 0.0 && hs.jobs_interrupted == 0) {
+        complain(tag.str() + "wasted work without any interrupted job");
       }
       const double util =
           result.makespan > 0.0 ? hs.busy_time / result.makespan : 0.0;
@@ -168,6 +208,13 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
         complain(tag.str() + "utilization disagrees with busy_time/makespan");
       }
     }
+  }
+  std::uint64_t interrupted_sum = 0;
+  for (const HostStats& hs : result.host_stats) {
+    interrupted_sum += hs.jobs_interrupted;
+  }
+  if (interrupted_sum != result.interruptions) {
+    complain("interruptions does not match the per-host interrupted counts");
   }
   if (result.host_stats.size() != result.hosts) {
     complain("host_stats size does not match the host count");
@@ -181,6 +228,7 @@ MetricsSummary average_summaries(const std::vector<MetricsSummary>& reps) {
   const double n = static_cast<double>(reps.size());
   for (const MetricsSummary& r : reps) {
     avg.jobs += r.jobs;
+    avg.jobs_failed += r.jobs_failed;
     avg.mean_slowdown += r.mean_slowdown / n;
     avg.var_slowdown += r.var_slowdown / n;
     avg.mean_response += r.mean_response / n;

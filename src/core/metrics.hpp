@@ -11,9 +11,12 @@
 
 namespace distserv::core {
 
-/// Scalar summary of one run.
+/// Scalar summary of one run. Jobs abandoned after a host failure are
+/// excluded from every slowdown/response/waiting statistic (they have no
+/// completion) and counted in jobs_failed instead.
 struct MetricsSummary {
-  std::uint64_t jobs = 0;
+  std::uint64_t jobs = 0;        ///< completed jobs summarized
+  std::uint64_t jobs_failed = 0; ///< abandoned jobs (failure model)
   double mean_slowdown = 0.0;
   double var_slowdown = 0.0;
   double mean_response = 0.0;
@@ -64,9 +67,12 @@ struct SizeClassSlowdown {
 
 /// Offline record-level audit, complementing the online audit layer
 /// (sim/audit.hpp): checks every per-job record (positive size, start >=
-/// arrival, completion == start + size), that service intervals never
+/// arrival, completion == start + size; failed records instead satisfy
+/// start <= completion <= start + size), that service intervals never
 /// overlap on a host, and that HostStats agree with the records they
-/// summarize. Returns one human-readable line per problem; empty = clean.
+/// summarize — including the failure accounting (busy_time == work_done +
+/// wasted_work, interruption/abandonment tallies matching the records).
+/// Returns one human-readable line per problem; empty = clean.
 [[nodiscard]] std::vector<std::string> validate_run(const RunResult& result,
                                                     double rtol = 1e-9);
 

@@ -4,16 +4,18 @@ namespace distserv::core {
 
 std::optional<HostId> LeastWorkLeftPolicy::assign(const workload::Job& /*job*/,
                                                   const ServerView& view) {
-  HostId best = 0;
-  double best_work = view.work_left(0);
-  for (HostId h = 1; h < view.host_count(); ++h) {
+  // Argmin over the up hosts; ties break to the lowest index as before.
+  std::optional<HostId> best;
+  double best_work = 0.0;
+  for (HostId h = 0; h < view.host_count(); ++h) {
+    if (!view.host_up(h)) continue;
     const double work = view.work_left(h);
-    if (work < best_work) {
+    if (!best || work < best_work) {
       best = h;
       best_work = work;
     }
   }
-  return best;
+  return best;  // nullopt when every host is down: hold centrally
 }
 
 }  // namespace distserv::core

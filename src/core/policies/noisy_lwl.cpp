@@ -19,23 +19,22 @@ void NoisyLeastWorkLeftPolicy::reset(std::size_t hosts, std::uint64_t seed) {
 
 std::optional<HostId> NoisyLeastWorkLeftPolicy::assign(
     const workload::Job& /*job*/, const ServerView& view) {
-  HostId best = 0;
+  std::optional<HostId> best;
   double best_observed = 0.0;
-  bool first = true;
   for (HostId h = 0; h < view.host_count(); ++h) {
+    if (!view.host_up(h)) continue;  // down hosts are observably down
     const double truth = view.work_left(h);
     // Idle hosts are observably idle regardless of estimate quality.
     const double observed =
         (truth == 0.0 || sigma_ == 0.0)
             ? truth
             : truth * std::exp(sigma_ * rng_.normal());
-    if (first || observed < best_observed) {
+    if (!best || observed < best_observed) {
       best = h;
       best_observed = observed;
-      first = false;
     }
   }
-  return best;
+  return best;  // nullopt when every host is down: hold centrally
 }
 
 std::string NoisyLeastWorkLeftPolicy::name() const {

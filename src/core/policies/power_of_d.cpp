@@ -21,14 +21,22 @@ void PowerOfDPolicy::reset(std::size_t hosts, std::uint64_t seed) {
 std::optional<HostId> PowerOfDPolicy::assign(const workload::Job& /*job*/,
                                              const ServerView& view) {
   const std::size_t h = view.host_count();
-  const std::size_t probes = std::min(d_, h);
-  // Sample `probes` distinct hosts by partial Fisher-Yates over indices.
+  std::size_t up = 0;
+  for (HostId host = 0; host < h; ++host) {
+    if (view.host_up(host)) ++up;
+  }
+  if (up == 0) return std::nullopt;  // every host is down: hold centrally
+  const std::size_t probes = std::min(d_, up);
+  // Sample `probes` distinct up hosts by rejection over indices. With all
+  // hosts up the rejection condition never triggers on host state, so the
+  // draws are identical to the fault-free implementation.
   scratch_.clear();
   for (std::size_t i = 0; i < probes; ++i) {
     while (true) {
       const auto candidate = static_cast<HostId>(rng_.below(h));
-      if (std::find(scratch_.begin(), scratch_.end(), candidate) ==
-          scratch_.end()) {
+      if (view.host_up(candidate) &&
+          std::find(scratch_.begin(), scratch_.end(), candidate) ==
+              scratch_.end()) {
         scratch_.push_back(candidate);
         break;
       }

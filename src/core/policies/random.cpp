@@ -11,9 +11,26 @@ void RandomPolicy::reset(std::size_t hosts, std::uint64_t seed) {
 }
 
 std::optional<HostId> RandomPolicy::assign(const workload::Job& /*job*/,
-                                           const ServerView& /*view*/) {
+                                           const ServerView& view) {
   DS_EXPECTS(hosts_ >= 1);
-  return static_cast<HostId>(rng_.below(hosts_));
+  bool all_up = true;
+  for (HostId h = 0; h < hosts_; ++h) {
+    if (!view.host_up(h)) {
+      all_up = false;
+      break;
+    }
+  }
+  // Healthy path: one draw over all hosts, exactly as without faults.
+  if (all_up) return static_cast<HostId>(rng_.below(hosts_));
+  // Degraded path: uniform over the up hosts only. Drawing below(live) —
+  // not rejection sampling — makes "last host down forever" consume the
+  // same stream as an (h-1)-host run, which the metamorphic law exploits.
+  live_.clear();
+  for (HostId h = 0; h < hosts_; ++h) {
+    if (view.host_up(h)) live_.push_back(h);
+  }
+  if (live_.empty()) return std::nullopt;  // hold centrally
+  return live_[rng_.below(live_.size())];
 }
 
 }  // namespace distserv::core

@@ -3,6 +3,8 @@
 // and nothing else — the paper's weakest baseline.
 #pragma once
 
+#include <vector>
+
 #include "core/policy.hpp"
 #include "dist/rng.hpp"
 
@@ -20,6 +22,7 @@ class RandomPolicy final : public Policy {
  private:
   dist::Rng rng_{0};
   std::size_t hosts_ = 0;
+  std::vector<HostId> live_;  ///< scratch: up hosts during degraded assign
 };
 
 }  // namespace distserv::core

@@ -11,11 +11,16 @@ void RoundRobinPolicy::reset(std::size_t hosts, std::uint64_t /*seed*/) {
 }
 
 std::optional<HostId> RoundRobinPolicy::assign(const workload::Job& /*job*/,
-                                               const ServerView& /*view*/) {
+                                               const ServerView& view) {
   DS_EXPECTS(hosts_ >= 1);
-  const HostId host = static_cast<HostId>(next_);
-  next_ = (next_ + 1) % hosts_;
-  return host;
+  // Advance the wheel past down hosts; the emitted sequence over the up
+  // hosts is the plain round-robin order on them.
+  for (std::size_t probe = 0; probe < hosts_; ++probe) {
+    const HostId host = static_cast<HostId>(next_);
+    next_ = (next_ + 1) % hosts_;
+    if (view.host_up(host)) return host;
+  }
+  return std::nullopt;  // every host is down: hold centrally
 }
 
 }  // namespace distserv::core

@@ -4,16 +4,18 @@ namespace distserv::core {
 
 std::optional<HostId> ShortestQueuePolicy::assign(const workload::Job& /*job*/,
                                                   const ServerView& view) {
-  HostId best = 0;
-  std::size_t best_len = view.queue_length(0);
-  for (HostId h = 1; h < view.host_count(); ++h) {
+  // Argmin over the up hosts; ties break to the lowest index as before.
+  std::optional<HostId> best;
+  std::size_t best_len = 0;
+  for (HostId h = 0; h < view.host_count(); ++h) {
+    if (!view.host_up(h)) continue;
     const std::size_t len = view.queue_length(h);
-    if (len < best_len) {
+    if (!best || len < best_len) {
       best = h;
       best_len = len;
     }
   }
-  return best;
+  return best;  // nullopt when every host is down: hold centrally
 }
 
 }  // namespace distserv::core

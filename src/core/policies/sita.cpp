@@ -33,6 +33,19 @@ HostId SitaPolicy::interval_of(double size) const noexcept {
   return static_cast<HostId>(it - cutoffs_.begin());
 }
 
+std::optional<HostId> SitaPolicy::nearest_up(HostId host,
+                                             const ServerView& view) {
+  if (view.host_up(host)) return host;
+  const auto h = static_cast<HostId>(view.host_count());
+  // Nearest by interval index: the adjacent size ranges are the closest in
+  // job-size terms. Ties prefer the smaller-size side (lower index).
+  for (HostId delta = 1; delta < h; ++delta) {
+    if (host >= delta && view.host_up(host - delta)) return host - delta;
+    if (host + delta < h && view.host_up(host + delta)) return host + delta;
+  }
+  return std::nullopt;  // every host is down: hold centrally
+}
+
 std::optional<HostId> SitaPolicy::assign(const workload::Job& job,
                                          const ServerView& view) {
   HostId host = interval_of(job.size);
@@ -60,7 +73,9 @@ std::optional<HostId> SitaPolicy::assign(const workload::Job& job,
       // right: no flip.
     }
   }
-  return host;
+  // A dead host's size range is remapped to its nearest live neighbor
+  // (applied after the error flip: misrouted jobs get remapped too).
+  return nearest_up(host, view);
 }
 
 }  // namespace distserv::core

@@ -56,6 +56,12 @@ class SitaPolicy final : public Policy {
   [[nodiscard]] HostId interval_of(double size) const noexcept;
 
  private:
+  /// The up host nearest to `host` by interval index (ties prefer the
+  /// smaller-size side), or nullopt when every host is down. Used to remap
+  /// a dead interval's jobs to the closest live size range.
+  [[nodiscard]] static std::optional<HostId> nearest_up(
+      HostId host, const ServerView& view);
+
   std::vector<double> cutoffs_;
   std::string label_;
   double error_rate_;

@@ -31,6 +31,10 @@ class ServerView {
   [[nodiscard]] virtual double work_left(HostId host) const = 0;
   /// True if the host is neither serving nor holding any job.
   [[nodiscard]] virtual bool host_idle(HostId host) const = 0;
+  /// True if the host is operational. Defaults to true: only views backed
+  /// by a failure model (sim/faults.hpp via DistributedServer) override
+  /// this. Policies must never route to a down host.
+  [[nodiscard]] virtual bool host_up(HostId /*host*/) const { return true; }
   /// Current simulation time.
   [[nodiscard]] virtual double now() const = 0;
 };

@@ -1,0 +1,48 @@
+#include "core/recovery.hpp"
+
+#include <array>
+
+#include "util/strings.hpp"
+
+namespace distserv::core {
+
+namespace {
+
+constexpr std::array kAllRecoveryModes = {
+    RecoveryMode::kResubmit,
+    RecoveryMode::kRequeueFront,
+    RecoveryMode::kAbandon,
+};
+
+}  // namespace
+
+std::string to_string(RecoveryMode mode) {
+  switch (mode) {
+    case RecoveryMode::kResubmit: return "resubmit";
+    case RecoveryMode::kRequeueFront: return "requeue-front";
+    case RecoveryMode::kAbandon: return "abandon";
+  }
+  return "?";
+}
+
+std::optional<RecoveryMode> recovery_from_string(std::string_view name) {
+  for (RecoveryMode mode : kAllRecoveryModes) {
+    if (util::iequals(to_string(mode), name)) return mode;
+  }
+  return std::nullopt;
+}
+
+std::span<const RecoveryMode> all_recovery_modes() noexcept {
+  return kAllRecoveryModes;
+}
+
+std::vector<std::string> registered_recovery_modes() {
+  std::vector<std::string> names;
+  names.reserve(kAllRecoveryModes.size());
+  for (RecoveryMode mode : kAllRecoveryModes) {
+    names.push_back(to_string(mode));
+  }
+  return names;
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,42 @@
+// What happens to a job whose host fails mid-service (fail-stop model,
+// sim/faults.hpp). Queued jobs are unaffected by a failure — they keep their
+// place and resume competing for the host after repair — so the recovery
+// mode governs only the interrupted in-service job. All completed work on
+// that job is lost in every mode (fail-stop, no checkpointing).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace distserv::core {
+
+/// Disposition of the in-service job when its host goes down.
+enum class RecoveryMode {
+  /// The job returns to the dispatcher and is routed again by the policy,
+  /// exactly like a fresh arrival (it may land on a different host).
+  kResubmit,
+  /// The job is pushed back onto the *front* of the failed host's queue and
+  /// restarts there once the host is repaired.
+  kRequeueFront,
+  /// The job is dropped: its JobRecord carries failed = true and it never
+  /// completes (conservation counts it separately).
+  kAbandon,
+};
+
+/// Display name, e.g. "requeue-front".
+[[nodiscard]] std::string to_string(RecoveryMode mode);
+
+/// Inverse of to_string (case-insensitive); nullopt for unknown names.
+[[nodiscard]] std::optional<RecoveryMode> recovery_from_string(
+    std::string_view name);
+
+/// Every RecoveryMode, in declaration order.
+[[nodiscard]] std::span<const RecoveryMode> all_recovery_modes() noexcept;
+
+/// Display names of every recovery mode, in declaration order.
+[[nodiscard]] std::vector<std::string> registered_recovery_modes();
+
+}  // namespace distserv::core

@@ -35,6 +35,11 @@ bool DistributedServer::host_idle(HostId host) const {
   return !h.busy && h.queue.empty();
 }
 
+bool DistributedServer::host_up(HostId host) const {
+  DS_EXPECTS(host < hosts_.size());
+  return hosts_[host].up;
+}
+
 double DistributedServer::now() const { return sim_.now(); }
 
 void DistributedServer::enable_audit(const sim::AuditConfig& config) {
@@ -43,6 +48,13 @@ void DistributedServer::enable_audit(const sim::AuditConfig& config) {
   } else {
     auditor_.reset();
   }
+}
+
+void DistributedServer::enable_faults(const sim::FaultConfig& config,
+                                      RecoveryMode recovery) {
+  faults_enabled_ = config.enabled;
+  fault_config_ = config;
+  recovery_ = recovery;
 }
 
 RunResult DistributedServer::run(const workload::Trace& trace,
@@ -59,8 +71,13 @@ RunResult DistributedServer::run(const workload::Trace& trace,
   records_.assign(trace.size(), JobRecord{});
   trace_jobs_ = &trace.jobs();
   next_arrival_index_ = 0;
+  jobs_done_ = 0;
+  interruptions_ = 0;
   policy_->reset(hosts_count_, seed);
 
+  // Fault events are scheduled before the first arrival so a t=0 outage
+  // precedes any t=0 arrival in the (time, sequence)-ordered event list.
+  if (faults_enabled_) begin_faults(seed);
   // Arrivals are scheduled lazily — one pending arrival event at a time —
   // so the event list stays O(hosts) instead of O(trace).
   schedule_next_arrival();
@@ -73,10 +90,14 @@ RunResult DistributedServer::run(const workload::Trace& trace,
   double makespan = 0.0;
   for (const JobRecord& r : result.records) {
     makespan = std::max(makespan, r.completion);
+    if (r.failed) ++result.jobs_failed;
   }
   result.makespan = makespan;
+  result.interruptions = interruptions_;
   for (Host& h : hosts_) {
-    DS_ASSERT(!h.busy && h.queue.empty());  // every job must complete
+    DS_ASSERT(!h.busy && h.queue.empty());  // every job must be resolved
+    // Close the down-time integral of hosts still down at the end.
+    if (h.down_depth > 0) h.stats.down_time += sim_.now() - h.down_since;
     h.stats.utilization = makespan > 0.0 ? h.stats.busy_time / makespan : 0.0;
     result.host_stats.push_back(h.stats);
   }
@@ -101,6 +122,10 @@ void DistributedServer::schedule_next_arrival() {
 
 void DistributedServer::on_arrival(const workload::Job& job) {
   if (auditor_) auditor_->on_arrival(job.id, sim_.now(), job.size);
+  route(job);
+}
+
+void DistributedServer::route(const workload::Job& job) {
   const std::optional<HostId> choice = policy_->assign(job, *this);
   if (choice) {
     DS_ASSERT(*choice < hosts_count_);
@@ -108,9 +133,10 @@ void DistributedServer::on_arrival(const workload::Job& job) {
     dispatch_to_host(*choice, job);
     return;
   }
-  // Central queue: start immediately if some host is idle, else hold.
+  // Central queue: start immediately if some host is idle and up, else hold
+  // (when every host is down, all jobs wait here until a repair).
   for (HostId h = 0; h < hosts_count_; ++h) {
-    if (host_idle(h)) {
+    if (host_idle(h) && hosts_[h].up) {
       start_service(h, job, sim::QueueingAuditor::StartSource::kDirect);
       return;
     }
@@ -121,10 +147,12 @@ void DistributedServer::on_arrival(const workload::Job& job) {
 
 void DistributedServer::dispatch_to_host(HostId host, const workload::Job& job) {
   Host& h = hosts_[host];
-  if (!h.busy) {
+  if (!h.busy && h.up) {
     DS_ASSERT(h.queue.empty());
     start_service(host, job, sim::QueueingAuditor::StartSource::kDirect);
   } else {
+    // Busy host, or a down host a non-masking policy routed to anyway: the
+    // job queues and waits for the completion/repair.
     if (auditor_) auditor_->on_enqueue(job.id, host);
     h.queue.push_back(job);
     h.queued_work += job.size;
@@ -135,6 +163,7 @@ void DistributedServer::start_service(HostId host, const workload::Job& job,
                                       sim::QueueingAuditor::StartSource source) {
   Host& h = hosts_[host];
   DS_ASSERT(!h.busy);
+  DS_ASSERT(h.up);
   if (auditor_) {
     auditor_->on_start(job.id, host, sim_.now(), job.size, source);
   }
@@ -142,6 +171,9 @@ void DistributedServer::start_service(HostId host, const workload::Job& job,
   const double start = sim_.now();
   const double completion = start + job.size;
   h.current_completion = completion;
+  h.running = job.id;
+  h.service_start = start;
+  ++h.service_epoch;
   JobRecord& rec = records_[job.id];
   rec.id = job.id;
   rec.arrival = job.arrival;
@@ -150,23 +182,31 @@ void DistributedServer::start_service(HostId host, const workload::Job& job,
   rec.start = start;
   rec.completion = completion;
   const workload::JobId id = job.id;
-  sim_.schedule_at(completion, [this, host, id] { on_completion(host, id); });
+  const std::uint64_t epoch = h.service_epoch;
+  sim_.schedule_at(completion,
+                   [this, host, id, epoch] { on_completion(host, id, epoch); });
 }
 
-void DistributedServer::on_completion(HostId host, workload::JobId id) {
+void DistributedServer::on_completion(HostId host, workload::JobId id,
+                                      std::uint64_t epoch) {
   Host& h = hosts_[host];
-  DS_ASSERT(h.busy);
+  // A failure interrupted this service: the completion event is stale (the
+  // kernel has no cancellation, so epochs invalidate orphaned events).
+  if (!h.busy || h.service_epoch != epoch) return;
+  DS_ASSERT(h.running == id);
   if (auditor_) auditor_->on_complete(id, host, sim_.now());
   h.busy = false;
   const JobRecord& rec = records_[id];
   h.stats.jobs_completed += 1;
   h.stats.busy_time += rec.size;
   h.stats.work_done += rec.size;
+  note_job_done();
   feed_idle_host(host);
 }
 
 void DistributedServer::feed_idle_host(HostId host) {
   Host& h = hosts_[host];
+  if (!h.up) return;  // a down host starts nothing; repair re-feeds it
   if (!h.queue.empty()) {
     const workload::Job next = h.queue.front();
     h.queue.pop_front();
@@ -186,6 +226,111 @@ void DistributedServer::feed_idle_host(HostId host) {
   }
 }
 
+void DistributedServer::note_job_done() {
+  ++jobs_done_;
+  // Under faults the event list can hold failure/repair events far beyond
+  // the last job; stop as soon as every job is resolved instead of
+  // simulating an empty system through them.
+  if (faults_enabled_ && all_jobs_done()) sim_.stop();
+}
+
+void DistributedServer::begin_faults(std::uint64_t seed) {
+  fault_process_ = sim::FaultProcess(fault_config_, hosts_count_, seed);
+  for (const sim::HostOutage& outage : fault_config_.outages) {
+    const HostId host = outage.host;
+    const double duration = outage.duration;
+    sim_.schedule_at(outage.at, [this, host, duration] {
+      fault_down(host, duration, /*renewal=*/false);
+    });
+  }
+  if (fault_process_.renewal_enabled()) {
+    for (HostId h = 0; h < hosts_count_; ++h) {
+      schedule_failure(h, fault_process_.next_uptime(h));
+    }
+  }
+}
+
+void DistributedServer::schedule_failure(HostId host, double delay) {
+  sim_.schedule_in(delay, [this, host] {
+    fault_down(host, fault_process_.next_downtime(host), /*renewal=*/true);
+  });
+}
+
+void DistributedServer::fault_down(HostId host, double duration, bool renewal) {
+  if (all_jobs_done()) return;  // run is winding down
+  Host& h = hosts_[host];
+  ++h.down_depth;
+  if (h.down_depth == 1) {
+    h.up = false;
+    h.down_since = sim_.now();
+    h.stats.failures += 1;
+    if (auditor_) auditor_->on_host_down(host, sim_.now());
+    if (h.busy) interrupt_running(host);
+  }
+  sim_.schedule_in(duration, [this, host, renewal] { fault_up(host, renewal); });
+}
+
+void DistributedServer::fault_up(HostId host, bool renewal) {
+  Host& h = hosts_[host];
+  DS_ASSERT(h.down_depth > 0);
+  --h.down_depth;
+  if (h.down_depth == 0) {
+    h.up = true;
+    h.stats.down_time += sim_.now() - h.down_since;
+    if (auditor_) auditor_->on_host_up(host, sim_.now());
+    feed_idle_host(host);
+  }
+  // The renewal chain restarts from the end of the repair.
+  if (renewal && !all_jobs_done()) {
+    schedule_failure(host, fault_process_.next_uptime(host));
+  }
+}
+
+void DistributedServer::interrupt_running(HostId host) {
+  Host& h = hosts_[host];
+  DS_ASSERT(h.busy);
+  const workload::JobId id = h.running;
+  JobRecord& rec = records_[id];
+  const double t = sim_.now();
+  const double partial = t - h.service_start;
+  h.stats.busy_time += partial;
+  h.stats.wasted_work += partial;
+  h.stats.jobs_interrupted += 1;
+  ++interruptions_;
+  rec.restarts += 1;
+  ++h.service_epoch;  // orphan the pending completion event
+  h.busy = false;
+  const workload::Job job{id, rec.arrival, rec.size};
+  switch (recovery_) {
+    case RecoveryMode::kRequeueFront:
+      if (auditor_) {
+        auditor_->on_interrupt(
+            id, host, t, sim::QueueingAuditor::InterruptResolution::kRequeuedFront);
+      }
+      h.queue.push_front(job);
+      h.queued_work += job.size;
+      break;
+    case RecoveryMode::kResubmit:
+      if (auditor_) {
+        auditor_->on_interrupt(
+            id, host, t, sim::QueueingAuditor::InterruptResolution::kResubmitted);
+      }
+      // Back through the dispatcher like a fresh arrival (the policy sees
+      // this host as down and routes elsewhere or holds centrally).
+      route(job);
+      break;
+    case RecoveryMode::kAbandon:
+      if (auditor_) {
+        auditor_->on_interrupt(
+            id, host, t, sim::QueueingAuditor::InterruptResolution::kAbandoned);
+      }
+      rec.failed = true;
+      rec.completion = t;
+      note_job_done();
+      break;
+  }
+}
+
 RunResult simulate(Policy& policy, const workload::Trace& trace,
                    std::size_t hosts, std::uint64_t seed) {
   DistributedServer server(hosts, policy);
@@ -197,6 +342,15 @@ RunResult simulate_audited(Policy& policy, const workload::Trace& trace,
                            std::uint64_t seed) {
   DistributedServer server(hosts, policy);
   server.enable_audit(audit);
+  return server.run(trace, seed);
+}
+
+RunResult simulate_with_faults(Policy& policy, const workload::Trace& trace,
+                               std::size_t hosts,
+                               const sim::FaultConfig& faults,
+                               RecoveryMode recovery, std::uint64_t seed) {
+  DistributedServer server(hosts, policy);
+  server.enable_faults(faults, recovery);
   return server.run(trace, seed);
 }
 

@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "core/policy.hpp"
+#include "core/recovery.hpp"
 #include "core/types.hpp"
 #include "sim/audit.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 #include "workload/trace.hpp"
 
@@ -28,8 +30,13 @@ struct RunResult {
   std::size_t hosts = 0;
   double makespan = 0.0;  ///< completion time of the last job
   std::uint64_t events_executed = 0;
-  /// Events still pending when the run returned; 0 for a drained run.
+  /// Events still pending when the run returned; 0 for a drained run
+  /// without faults. With faults enabled the run stops at the last job
+  /// outcome and pending failure/repair events beyond it remain here.
   std::uint64_t events_pending = 0;
+  // Failure tallies (zero when the fault model is disabled).
+  std::uint64_t jobs_failed = 0;    ///< records with failed == true
+  std::uint64_t interruptions = 0;  ///< in-service jobs cut by failures
   /// Filled when the run was audited (see DistributedServer::enable_audit).
   std::optional<sim::AuditReport> audit;
 };
@@ -58,11 +65,19 @@ class DistributedServer final : public ServerView {
     return auditor_.get();
   }
 
+  /// Turns the host failure model (sim/faults.hpp) on (config.enabled) or
+  /// off for subsequent runs. `recovery` governs the in-service job of a
+  /// failing host. Fault randomness lives on its own RNG stream, so runs
+  /// with faults disabled are bit-identical to a server without this call.
+  void enable_faults(const sim::FaultConfig& config,
+                     RecoveryMode recovery = RecoveryMode::kResubmit);
+
   // ServerView interface (used by policies during run()).
   [[nodiscard]] std::size_t host_count() const override;
   [[nodiscard]] std::size_t queue_length(HostId host) const override;
   [[nodiscard]] double work_left(HostId host) const override;
   [[nodiscard]] bool host_idle(HostId host) const override;
+  [[nodiscard]] bool host_up(HostId host) const override;
   [[nodiscard]] double now() const override;
 
  private:
@@ -72,15 +87,40 @@ class DistributedServer final : public ServerView {
     double current_completion = 0.0;  ///< absolute end of running job
     double queued_work = 0.0;         ///< sum of sizes in `queue`
     HostStats stats;
+    // Failure-model state (inert when faults are disabled).
+    bool up = true;
+    std::size_t down_depth = 0;   ///< covering outages; up iff 0
+    double down_since = 0.0;      ///< when the current down period began
+    /// Incremented at every service start and interruption; a pending
+    /// completion event is valid only if its captured epoch still matches
+    /// (the kernel has no event cancellation).
+    std::uint64_t service_epoch = 0;
+    workload::JobId running = 0;  ///< id in service (valid while busy)
+    double service_start = 0.0;   ///< when the current service began
   };
 
   void schedule_next_arrival();
   void on_arrival(const workload::Job& job);
+  /// Policy routing shared by fresh arrivals and resubmitted jobs.
+  void route(const workload::Job& job);
   void dispatch_to_host(HostId host, const workload::Job& job);
   void start_service(HostId host, const workload::Job& job,
                      sim::QueueingAuditor::StartSource source);
-  void on_completion(HostId host, workload::JobId id);
+  void on_completion(HostId host, workload::JobId id, std::uint64_t epoch);
   void feed_idle_host(HostId host);
+  // Fault-model event handlers.
+  void begin_faults(std::uint64_t seed);
+  void schedule_failure(HostId host, double delay);
+  void fault_down(HostId host, double duration, bool renewal);
+  void fault_up(HostId host, bool renewal);
+  void interrupt_running(HostId host);
+  /// Counts a job outcome (completion or abandonment); under faults the
+  /// run stops here once every job is accounted for, leaving any pending
+  /// failure/repair events unexecuted.
+  void note_job_done();
+  [[nodiscard]] bool all_jobs_done() const noexcept {
+    return jobs_done_ == records_.size();
+  }
 
   std::size_t hosts_count_;
   Policy* policy_;
@@ -91,6 +131,13 @@ class DistributedServer final : public ServerView {
   std::vector<JobRecord> records_;
   const std::vector<workload::Job>* trace_jobs_ = nullptr;
   std::size_t next_arrival_index_ = 0;
+  // Fault model (inert unless enable_faults turned it on).
+  bool faults_enabled_ = false;
+  sim::FaultConfig fault_config_;
+  RecoveryMode recovery_ = RecoveryMode::kResubmit;
+  sim::FaultProcess fault_process_;
+  std::size_t jobs_done_ = 0;
+  std::uint64_t interruptions_ = 0;
 };
 
 /// Convenience: run `trace` on `hosts` hosts under `policy`.
@@ -104,5 +151,14 @@ class DistributedServer final : public ServerView {
                                          std::size_t hosts,
                                          const sim::AuditConfig& audit,
                                          std::uint64_t seed = 1);
+
+/// Fault-injected convenience run: like simulate, but with the host
+/// failure model `faults` and recovery semantics `recovery`.
+[[nodiscard]] RunResult simulate_with_faults(Policy& policy,
+                                             const workload::Trace& trace,
+                                             std::size_t hosts,
+                                             const sim::FaultConfig& faults,
+                                             RecoveryMode recovery,
+                                             std::uint64_t seed = 1);
 
 }  // namespace distserv::core

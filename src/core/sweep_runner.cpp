@@ -1,6 +1,8 @@
 #include "core/sweep_runner.hpp"
 
+#include <exception>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "util/thread_pool.hpp"
@@ -46,17 +48,81 @@ std::vector<ExperimentPoint> run_sweep(const Workbench& workbench,
   };
 
   // Pre-sized result slots: every task writes its own cell, so scheduling
-  // order cannot affect the output.
+  // order cannot affect the output. In hardened mode (isolate_failures) a
+  // slot may hold a failure record instead of (or, after a recovered
+  // retry, alongside) a summary; `done` marks slots with a valid summary.
   std::vector<Workbench::PointPlan> plans(n_points);
+  std::vector<std::optional<ReplicationFailure>> plan_failures(n_points);
   std::vector<std::vector<MetricsSummary>> summaries(n_points);
-  for (auto& s : summaries) s.resize(reps);
+  std::vector<std::vector<char>> done(n_points);
+  std::vector<std::vector<std::optional<ReplicationFailure>>> failures(
+      n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    summaries[i].resize(reps);
+    done[i].assign(reps, 0);
+    failures[i].resize(reps);
+  }
+
+  // Plans one point. Without isolation the first exception propagates (and
+  // kills the sweep) exactly as before; with it, a throwing plan step is
+  // recorded as a point-level failure and the point's replications are
+  // skipped.
+  const auto plan_one = [&](std::size_t i) {
+    if (!options.isolate_failures) {
+      plans[i] = workbench.plan_point(specs[i].policy, specs[i].rho);
+      return;
+    }
+    try {
+      plans[i] = workbench.plan_point(specs[i].policy, specs[i].rho);
+    } catch (const std::exception& e) {
+      ReplicationFailure f;
+      f.replication = ReplicationFailure::kPlanStep;
+      f.seed = workbench.config().seed;
+      f.error = e.what();
+      plan_failures[i] = std::move(f);
+      plans[i].point.policy = specs[i].policy;
+      plans[i].point.rho = specs[i].rho;
+      plans[i].point.feasible = false;
+    }
+  };
+
+  // Runs one (point, replication). Hardened mode records the failure —
+  // with the seed the replication ran under — and optionally retries once.
+  const auto run_one = [&](std::size_t i, std::size_t r) {
+    if (!options.isolate_failures) {
+      summaries[i][r] = workbench.run_replication(plans[i], r);
+      done[i][r] = 1;
+      return;
+    }
+    try {
+      summaries[i][r] = workbench.run_replication(plans[i], r);
+      done[i][r] = 1;
+      return;
+    } catch (const std::exception& e) {
+      ReplicationFailure f;
+      f.replication = r;
+      f.seed = workbench.replication_seed(r);
+      f.error = e.what();
+      if (options.retry_failed_once) {
+        f.retried = true;
+        try {
+          summaries[i][r] = workbench.run_replication(plans[i], r);
+          done[i][r] = 1;
+          f.recovered = true;
+        } catch (const std::exception&) {
+          // Keep the first error: the retry reproduced the failure.
+        }
+      }
+      failures[i][r] = std::move(f);
+    }
+  };
 
   if (threads <= 1 || total_tasks <= 1) {
     // Inline path: same task bodies, same order as Workbench::sweep.
     for (std::size_t i = 0; i < n_points; ++i) {
-      plans[i] = workbench.plan_point(specs[i].policy, specs[i].rho);
+      plan_one(i);
       for (std::size_t r = 0; r < reps; ++r) {
-        summaries[i][r] = workbench.run_replication(plans[i], r);
+        if (!plan_failures[i]) run_one(i, r);
         report(++completed);
       }
     }
@@ -65,16 +131,15 @@ std::vector<ExperimentPoint> run_sweep(const Workbench& workbench,
     // Wave 1: cutoff derivation per point (the SITA-U searches are the
     // second-biggest cost after simulation and parallelize the same way).
     for (std::size_t i = 0; i < n_points; ++i) {
-      pool.submit([&, i] {
-        plans[i] = workbench.plan_point(specs[i].policy, specs[i].rho);
-      });
+      pool.submit([&, i] { plan_one(i); });
     }
     pool.wait();
-    // Wave 2: one simulation per (point, replication).
+    // Wave 2: one simulation per (point, replication). Points whose plan
+    // step failed skip straight to "completed" so the progress total holds.
     for (std::size_t i = 0; i < n_points; ++i) {
       for (std::size_t r = 0; r < reps; ++r) {
         pool.submit([&, i, r] {
-          summaries[i][r] = workbench.run_replication(plans[i], r);
+          if (!plan_failures[i]) run_one(i, r);
           const std::lock_guard lock(progress_mutex);
           report(++completed);
         });
@@ -86,8 +151,22 @@ std::vector<ExperimentPoint> run_sweep(const Workbench& workbench,
   std::vector<ExperimentPoint> out;
   out.reserve(n_points);
   for (std::size_t i = 0; i < n_points; ++i) {
-    out.push_back(
-        Workbench::finalize_point(plans[i], std::move(summaries[i])));
+    std::vector<MetricsSummary> point_summaries;
+    std::vector<ReplicationFailure> point_failures;
+    point_summaries.reserve(reps);
+    if (plan_failures[i]) {
+      point_failures.push_back(std::move(*plan_failures[i]));
+    } else {
+      for (std::size_t r = 0; r < reps; ++r) {
+        if (done[i][r]) point_summaries.push_back(std::move(summaries[i][r]));
+        if (failures[i][r]) {
+          point_failures.push_back(std::move(*failures[i][r]));
+        }
+      }
+    }
+    out.push_back(Workbench::finalize_point(plans[i],
+                                            std::move(point_summaries),
+                                            std::move(point_failures)));
   }
   return out;
 }

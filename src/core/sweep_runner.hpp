@@ -28,7 +28,10 @@ namespace distserv::core {
 /// Runs the (policies × loads) sweep on `workbench` across a worker pool.
 /// Row-major by load then policy, like Workbench::sweep. If any task throws
 /// (e.g. an infeasible cutoff contract), the first exception is rethrown
-/// after in-flight tasks drain.
+/// after in-flight tasks drain — unless options.isolate_failures is set, in
+/// which case the failing (point, replication) is recorded in its point's
+/// ExperimentPoint::failures (seed + error text, optionally retried once)
+/// and every sibling task still completes.
 [[nodiscard]] std::vector<ExperimentPoint> run_sweep(
     const Workbench& workbench, std::span<const PolicyKind> policies,
     std::span<const double> loads, const SweepOptions& options = {});

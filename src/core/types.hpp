@@ -16,8 +16,14 @@ struct JobRecord {
   double arrival = 0.0;
   double size = 0.0;
   HostId host = 0;
-  double start = 0.0;       ///< when service began
-  double completion = 0.0;  ///< when service finished
+  double start = 0.0;       ///< when service (last) began
+  double completion = 0.0;  ///< when service finished (or was abandoned)
+  /// True when the job was abandoned after a host failure (RecoveryMode::
+  /// kAbandon); `completion` is then the abandonment time, not a finish.
+  bool failed = false;
+  /// Service restarts caused by host failures (fail-stop loses all
+  /// completed work, so each interruption restarts the job from zero).
+  std::uint32_t restarts = 0;
 
   /// Time from arrival to completion.
   [[nodiscard]] double response() const noexcept { return completion - arrival; }
@@ -30,10 +36,17 @@ struct JobRecord {
 /// Per-host accounting over a run.
 struct HostStats {
   std::uint64_t jobs_completed = 0;
-  double busy_time = 0.0;  ///< total time the host was serving
+  double busy_time = 0.0;  ///< total time the host was serving (incl. lost)
   double work_done = 0.0;  ///< sum of sizes of completed jobs
   /// Fraction of the run's makespan the host was busy.
   double utilization = 0.0;
+  // Failure accounting (all zero when the fault model is disabled).
+  std::uint64_t failures = 0;          ///< up -> down transitions
+  double down_time = 0.0;              ///< total time spent down
+  std::uint64_t jobs_interrupted = 0;  ///< in-service jobs cut by a failure
+  /// Partial service discarded at interruptions (fail-stop loses completed
+  /// work); busy_time == work_done + wasted_work always holds.
+  double wasted_work = 0.0;
 };
 
 }  // namespace distserv::core

@@ -27,6 +27,10 @@ std::string AuditReport::to_string() const {
       << " arrivals=" << arrivals << " dispatches=" << dispatches
       << " holds=" << holds << " starts=" << starts
       << " completions=" << completions;
+  if (host_downs + host_ups + interruptions + abandoned > 0) {
+    out << " host_downs=" << host_downs << " host_ups=" << host_ups
+        << " interruptions=" << interruptions << " abandoned=" << abandoned;
+  }
   for (const AuditViolation& v : violations) {
     out << "\n  [" << v.invariant << "] t=" << v.time << " " << v.detail;
   }
@@ -91,9 +95,20 @@ void QueueingAuditor::check_settled(Time t) {
   // Between events the model must be settled: a host may not sit idle over
   // its own non-empty queue, and a job may not wait centrally while any
   // host is idle. (Within one event's action transient states are fine.)
+  // Down hosts are exempt from both idleness checks — their queues lawfully
+  // wait out the repair — but may never be in service.
   bool any_idle = false;
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     const HostShadow& h = hosts_[i];
+    if (!h.up) {
+      if (h.busy) {
+        violate("failure-semantics", t,
+                describe_host(static_cast<HostIndex>(i)) +
+                    " is in service while down (serving " +
+                    describe_job(h.running) + ")");
+      }
+      continue;
+    }
     if (!h.busy && !h.queue.empty()) {
       violate("work-conservation", t,
               describe_host(static_cast<HostIndex>(i)) + " is idle with " +
@@ -213,7 +228,9 @@ void QueueingAuditor::on_enqueue(JobId id, HostIndex host) {
             describe_job(id) + " enqueued after leaving the arrival state");
     return;
   }
-  if (!h->busy) {
+  if (!h->busy && h->up) {
+    // Queueing at an idle *up* host breaks work conservation; queueing at
+    // a down host is exactly what the failure model prescribes.
     violate("work-conservation", t,
             describe_job(id) + " queued at idle " + describe_host(host));
   }
@@ -241,6 +258,10 @@ void QueueingAuditor::on_start(JobId id, HostIndex host, Time t, double size,
     violate("work-conservation", t,
             describe_job(id) + " starts on busy " + describe_host(host) +
                 " (still serving " + describe_job(h->running) + ")");
+  }
+  if (!h->up) {
+    violate("failure-semantics", t,
+            describe_job(id) + " starts on down " + describe_host(host));
   }
   switch (source) {
     case StartSource::kHostQueue: {
@@ -320,6 +341,10 @@ void QueueingAuditor::on_complete(JobId id, HostIndex host, Time t) {
                 " without being in service there");
     return;
   }
+  if (!h->up) {
+    violate("failure-semantics", t,
+            describe_job(id) + " completed on down " + describe_host(host));
+  }
   const Time expected = h->service_start + job->size;
   if (!stats::close(t, expected, config_.accounting_rtol, config_.time_tol)) {
     std::ostringstream detail;
@@ -350,12 +375,105 @@ void QueueingAuditor::on_complete(JobId id, HostIndex host, Time t) {
   settled_dirty_ = true;
 }
 
+void QueueingAuditor::on_host_down(HostIndex host, Time t) {
+  ++report_.host_downs;
+  HostShadow* h = find_host(host, "on_host_down", t);
+  if (h == nullptr) return;
+  if (!h->up) {
+    violate("failure-semantics", t,
+            describe_host(host) + " went down while already down");
+  }
+  h->up = false;
+  settled_dirty_ = true;
+}
+
+void QueueingAuditor::on_host_up(HostIndex host, Time t) {
+  ++report_.host_ups;
+  HostShadow* h = find_host(host, "on_host_up", t);
+  if (h == nullptr) return;
+  if (h->up) {
+    violate("failure-semantics", t,
+            describe_host(host) + " repaired while already up");
+  }
+  h->up = true;
+  settled_dirty_ = true;
+}
+
+void QueueingAuditor::on_interrupt(JobId id, HostIndex host, Time t,
+                                   InterruptResolution resolution) {
+  ++report_.interruptions;
+  JobShadow* job = find_job(id, "on_interrupt", t);
+  HostShadow* h = find_host(host, "on_interrupt", t);
+  if (job == nullptr || h == nullptr) return;
+  if (job->state != JobState::kRunning || !h->busy || h->running != id) {
+    violate("failure-semantics", t,
+            describe_job(id) + " interrupted on " + describe_host(host) +
+                " without being in service there");
+    return;
+  }
+  if (h->up) {
+    violate("failure-semantics", t,
+            describe_job(id) + " interrupted on up " + describe_host(host));
+  }
+  // The partial service counts as busy time that produced no completed
+  // work; the utilization identity at finalize accounts for it separately.
+  const double partial = t - h->service_start;
+  h->busy_integral += partial;
+  h->wasted_work += partial;
+  h->busy = false;
+  switch (resolution) {
+    case InterruptResolution::kRequeuedFront:
+      // The job stays this host's responsibility: back at the queue front,
+      // n and joined_host unchanged, so FCFS order and the host's Little's
+      // law integrals carry straight through the outage.
+      job->state = JobState::kQueued;
+      h->queue.push_front(id);
+      break;
+    case InterruptResolution::kResubmitted:
+      // The job leaves this host and is the dispatcher's problem again —
+      // exactly the arrival state.
+      job->state = JobState::kArrived;
+      advance_host_integral(*h, t);
+      if (h->n == 0) {
+        violate("state-machine", t,
+                describe_host(host) + " job count underflow");
+      } else {
+        --h->n;
+      }
+      h->sojourn_sum += t - job->joined_host;
+      break;
+    case InterruptResolution::kAbandoned:
+      // The job leaves the system entirely, counted by the abandoned
+      // conservation term rather than completions.
+      ++report_.abandoned;
+      job->state = JobState::kAbandoned;
+      advance_host_integral(*h, t);
+      if (h->n == 0) {
+        violate("state-machine", t,
+                describe_host(host) + " job count underflow");
+      } else {
+        --h->n;
+      }
+      h->sojourn_sum += t - job->joined_host;
+      advance_system_integral(t);
+      if (system_n_ == 0) {
+        violate("state-machine", t, "system job count underflow");
+      } else {
+        --system_n_;
+      }
+      system_sojourn_sum_ += t - job->arrival;
+      break;
+  }
+  settled_dirty_ = true;
+}
+
 AuditReport QueueingAuditor::finalize(Time end) {
   if (settled_dirty_) check_settled(last_event_);
-  if (report_.arrivals != report_.completions) {
+  if (report_.arrivals != report_.completions + report_.abandoned) {
     violate("job-conservation", end,
             std::to_string(report_.arrivals) + " arrival(s) but " +
-                std::to_string(report_.completions) + " completion(s)");
+                std::to_string(report_.completions) + " completion(s) + " +
+                std::to_string(report_.abandoned) + " abandonment(s)");
   }
   if (central_held_ > 0) {
     violate("job-conservation", end,
@@ -364,7 +482,8 @@ AuditReport QueueingAuditor::finalize(Time end) {
   }
   std::uint64_t stuck = 0;
   for (const auto& [id, job] : jobs_) {
-    if (job.state != JobState::kCompleted) {
+    if (job.state != JobState::kCompleted &&
+        job.state != JobState::kAbandoned) {
       ++stuck;
       if (stuck <= 4) {
         violate("job-conservation", end,
@@ -396,12 +515,14 @@ AuditReport QueueingAuditor::finalize(Time end) {
              << h.n_integral << " != summed sojourn " << h.sojourn_sum;
       violate("littles-law", end, detail.str());
     }
-    // Run-to-completion: busy time must equal the work completed.
-    if (!stats::close(h.busy_integral, h.work_completed,
+    // Run-to-completion: busy time must equal the work completed plus the
+    // partial service discarded at interruptions (fail-stop loses it).
+    if (!stats::close(h.busy_integral, h.work_completed + h.wasted_work,
                       config_.accounting_rtol, config_.time_tol)) {
       std::ostringstream detail;
       detail << describe_host(host) << " busy time " << h.busy_integral
-             << " != completed work " << h.work_completed;
+             << " != completed work " << h.work_completed
+             << " + wasted work " << h.wasted_work;
       violate("utilization", end, detail.str());
     }
   }

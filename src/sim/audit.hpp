@@ -21,16 +21,21 @@
 //                            cutoffs), every dispatch lands in the interval
 //                            the oracle names;
 //   * state-machine        — jobs move arrival -> (dispatch|hold) ->
-//                            start -> complete exactly once.
+//                            start -> complete exactly once;
+//   * failure-semantics    — a down host never starts, serves, or completes
+//                            a job; interruptions happen only to the job in
+//                            service on a host that just went down; up/down
+//                            transitions strictly alternate.
 // And at finalize (drain):
-//   * job-conservation     — arrived == completed, every queue empty, every
-//                            host idle;
+//   * job-conservation     — arrived == completed + abandoned, every queue
+//                            empty, every host idle;
 //   * littles-law          — per host and system-wide, the time integral of
 //                            the number in system equals the summed sojourn
 //                            times of the jobs that passed through
 //                            (equivalently L = lambda * W over the run);
 //   * utilization          — each host's integrated busy time equals the
-//                            summed sizes of the jobs it completed.
+//                            summed sizes of the jobs it completed plus the
+//                            partial work discarded at interruptions.
 #pragma once
 
 #include <cstdint>
@@ -77,6 +82,11 @@ struct AuditReport {
   std::uint64_t holds = 0;        ///< policy declined; job waited centrally
   std::uint64_t starts = 0;
   std::uint64_t completions = 0;
+  // Failure-model traffic (zero when the fault model is off).
+  std::uint64_t host_downs = 0;    ///< up -> down transitions observed
+  std::uint64_t host_ups = 0;      ///< down -> up transitions observed
+  std::uint64_t interruptions = 0; ///< in-service jobs cut by failures
+  std::uint64_t abandoned = 0;     ///< jobs dropped (RecoveryMode::kAbandon)
   bool finalized = false;         ///< drain-time checks ran
 
   [[nodiscard]] bool ok() const noexcept {
@@ -111,6 +121,13 @@ class QueueingAuditor {
     kCentralQueue,  ///< pulled from the dispatcher's central queue
   };
 
+  /// What happened to the in-service job when its host failed.
+  enum class InterruptResolution {
+    kResubmitted,   ///< back to the dispatcher (re-routed like an arrival)
+    kRequeuedFront, ///< pushed to the front of the failed host's own queue
+    kAbandoned,     ///< dropped; leaves the system without completing
+  };
+
   explicit QueueingAuditor(AuditConfig config);
 
   /// Installs an oracle mapping job size -> expected host (SITA cutoff
@@ -135,6 +152,12 @@ class QueueingAuditor {
   void on_start(JobId id, HostIndex host, Time t, double size,
                 StartSource source);
   void on_complete(JobId id, HostIndex host, Time t);
+  // Failure-model hooks. The server calls on_host_down first, then
+  // on_interrupt for the in-service job (if any).
+  void on_host_down(HostIndex host, Time t);
+  void on_host_up(HostIndex host, Time t);
+  void on_interrupt(JobId id, HostIndex host, Time t,
+                    InterruptResolution resolution);
 
   /// Runs the drain-time checks (job conservation, Little's law,
   /// utilization accounting) and returns the completed report. The auditor
@@ -147,7 +170,14 @@ class QueueingAuditor {
   [[nodiscard]] const AuditConfig& config() const noexcept { return config_; }
 
  private:
-  enum class JobState { kArrived, kHeld, kQueued, kRunning, kCompleted };
+  enum class JobState {
+    kArrived,
+    kHeld,
+    kQueued,
+    kRunning,
+    kCompleted,
+    kAbandoned,
+  };
 
   struct JobShadow {
     double size = 0.0;
@@ -160,11 +190,13 @@ class QueueingAuditor {
   struct HostShadow {
     std::deque<JobId> queue;  ///< waiting jobs, excluding the one in service
     bool busy = false;
+    bool up = true;           ///< mirrors the failure model's host state
     JobId running = 0;
     Time service_start = 0.0;
     // Accounting integrals for the drain-time identities.
     double busy_integral = 0.0;    ///< total time in service
     double work_completed = 0.0;   ///< sum of completed sizes
+    double wasted_work = 0.0;      ///< partial service lost to failures
     double n_integral = 0.0;       ///< integral of jobs-at-host over time
     double sojourn_sum = 0.0;      ///< sum of (completion - joined_host)
     std::size_t n = 0;             ///< jobs at host now (queued + running)

@@ -1,0 +1,46 @@
+#include "sim/faults.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace distserv::sim {
+
+FaultProcess::FaultProcess(const FaultConfig& config, std::size_t hosts,
+                           std::uint64_t seed)
+    : config_(config) {
+  DS_EXPECTS(hosts >= 1);
+  DS_EXPECTS(config.mtbf >= 0.0 && std::isfinite(config.mtbf));
+  if (config.mtbf > 0.0) {
+    DS_EXPECTS(config.mttr > 0.0 && std::isfinite(config.mttr));
+  }
+  for (const HostOutage& outage : config.outages) {
+    DS_EXPECTS(outage.host < hosts);
+    DS_EXPECTS(outage.at >= 0.0);
+    DS_EXPECTS(outage.duration > 0.0);
+  }
+  streams_.reserve(hosts);
+  dist::Rng root(seed ^ config.stream_tag);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    streams_.push_back(root.split(h));
+  }
+}
+
+Time FaultProcess::draw(std::uint32_t host, double mean, FaultTimeDist d) {
+  DS_EXPECTS(host < streams_.size());
+  DS_EXPECTS(mean > 0.0);
+  if (d == FaultTimeDist::kDeterministic) return mean;
+  // Exponential(rate = 1/mean); the sampler never returns exactly 0, so an
+  // up or down period always has positive length.
+  return streams_[host].exponential(1.0 / mean);
+}
+
+Time FaultProcess::next_uptime(std::uint32_t host) {
+  return draw(host, config_.mtbf, config_.uptime_dist);
+}
+
+Time FaultProcess::next_downtime(std::uint32_t host) {
+  return draw(host, config_.mttr, config_.downtime_dist);
+}
+
+}  // namespace distserv::sim

@@ -1,0 +1,98 @@
+// Host failure/recovery model — a deterministic fail-stop process.
+//
+// Each host alternates between up and down periods (an alternating-renewal
+// process): up durations with mean `mtbf`, down durations with mean `mttr`,
+// each drawn from a configurable distribution. Long-run availability is
+// mtbf / (mtbf + mttr). On top of (or instead of) the renewal process,
+// scheduled outages pin specific hosts down over specific windows — the
+// building block for metamorphic tests ("host down for the whole horizon")
+// and reproducible incident replays.
+//
+// Determinism contract: all failure/repair randomness comes from a dedicated
+// RNG stream keyed by `stream_tag` and split per host, completely disjoint
+// from the arrival and policy streams. A run with faults disabled therefore
+// consumes exactly the same random numbers as before this subsystem existed
+// and stays bit-identical; a run with faults enabled is reproducible from
+// (seed, FaultConfig) alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace distserv::sim {
+
+/// Distribution family for up/down durations.
+enum class FaultTimeDist {
+  kExponential,   ///< memoryless, mean = mtbf/mttr (the classical model)
+  kDeterministic, ///< every duration exactly mtbf/mttr (for tests/laws)
+};
+
+/// One scheduled outage: `host` goes down at `at` for `duration`.
+/// Overlapping outages (scheduled or renewal) nest: the host is up again
+/// only when every covering outage has ended.
+struct HostOutage {
+  std::uint32_t host = 0;
+  Time at = 0.0;
+  Time duration = 0.0;
+};
+
+/// Failure-model knobs. Default-constructed = disabled (zero cost, and the
+/// simulation is bit-identical to a build without the fault subsystem).
+struct FaultConfig {
+  /// Master switch; when false the server installs no fault process at all.
+  bool enabled = false;
+  /// Mean up duration per host; 0 disables the renewal process (scheduled
+  /// outages, if any, still apply).
+  double mtbf = 0.0;
+  /// Mean down (repair) duration; must be > 0 whenever mtbf > 0.
+  double mttr = 0.0;
+  FaultTimeDist uptime_dist = FaultTimeDist::kExponential;
+  FaultTimeDist downtime_dist = FaultTimeDist::kExponential;
+  /// Deterministic outages, in addition to the renewal process.
+  std::vector<HostOutage> outages;
+  /// Keys the dedicated fault RNG stream ("FAULT" tag); change only to run
+  /// decorrelated failure scenarios over one master seed.
+  std::uint64_t stream_tag = 0x4641554c54ULL;
+
+  /// Long-run fraction of time a host is up under the renewal process
+  /// (1.0 when the renewal process is disabled).
+  [[nodiscard]] double availability() const noexcept {
+    return mtbf > 0.0 ? mtbf / (mtbf + mttr) : 1.0;
+  }
+};
+
+/// Per-host duration sampler for the alternating-renewal process. Owns one
+/// RNG substream per host, derived as Rng(seed ^ stream_tag).split(host) —
+/// disjoint from every arrival/policy stream by construction.
+class FaultProcess {
+ public:
+  FaultProcess() = default;
+
+  /// Validates `config` (mtbf/mttr ranges, outage hosts < `hosts`) and
+  /// derives the per-host streams from `seed`.
+  FaultProcess(const FaultConfig& config, std::size_t hosts,
+               std::uint64_t seed);
+
+  /// True when up/down durations will be drawn (mtbf > 0).
+  [[nodiscard]] bool renewal_enabled() const noexcept {
+    return config_.mtbf > 0.0;
+  }
+
+  /// Next up duration for `host` (always > 0).
+  [[nodiscard]] Time next_uptime(std::uint32_t host);
+  /// Next down duration for `host` (always > 0).
+  [[nodiscard]] Time next_downtime(std::uint32_t host);
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] Time draw(std::uint32_t host, double mean, FaultTimeDist d);
+
+  FaultConfig config_;
+  std::vector<dist::Rng> streams_;
+};
+
+}  // namespace distserv::sim

@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <sstream>
+
 #include "util/contracts.hpp"
 #include "util/strings.hpp"
 
@@ -41,11 +43,28 @@ std::optional<std::string> Cli::get(const std::string& name) const {
   return it->second;
 }
 
+void Cli::require_known(std::span<const std::string_view> known) const {
+  for (const auto& [name, value] : options_) {
+    bool found = false;
+    for (std::string_view k : known) {
+      if (name == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw CliError("unknown option --" + name);
+    }
+  }
+}
+
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
   double out = 0.0;
-  DS_EXPECTS(parse_double(*v, out));
+  if (!parse_double(*v, out)) {
+    throw CliError("option --" + name + ": '" + *v + "' is not a number");
+  }
   return out;
 }
 
@@ -53,7 +72,37 @@ long long Cli::get_int(const std::string& name, long long fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
   long long out = 0;
-  DS_EXPECTS(parse_int64(*v, out));
+  if (!parse_int64(*v, out)) {
+    throw CliError("option --" + name + ": '" + *v + "' is not an integer");
+  }
+  return out;
+}
+
+double Cli::get_double_in(const std::string& name, double fallback, double lo,
+                          double hi) const {
+  DS_EXPECTS(lo <= hi);
+  DS_EXPECTS(fallback >= lo && fallback <= hi);
+  const double out = get_double(name, fallback);
+  if (out < lo || out > hi) {
+    std::ostringstream what;
+    what << "option --" << name << ": " << out << " is outside [" << lo
+         << ", " << hi << "]";
+    throw CliError(what.str());
+  }
+  return out;
+}
+
+long long Cli::get_int_in(const std::string& name, long long fallback,
+                          long long lo, long long hi) const {
+  DS_EXPECTS(lo <= hi);
+  DS_EXPECTS(fallback >= lo && fallback <= hi);
+  const long long out = get_int(name, fallback);
+  if (out < lo || out > hi) {
+    std::ostringstream what;
+    what << "option --" << name << ": " << out << " is outside [" << lo
+         << ", " << hi << "]";
+    throw CliError(what.str());
+  }
   return out;
 }
 

@@ -1,13 +1,28 @@
 // Tiny command-line option parser for the examples and bench binaries.
 // Supports `--name value`, `--name=value`, and boolean `--flag`.
+//
+// Errors — an unknown flag (require_known), a malformed numeric value, or a
+// value outside a get_*_in range — throw CliError with a message naming the
+// offending flag, so a bench can catch one and print usage instead of dying
+// on an assert.
 #pragma once
 
 #include <map>
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace distserv::util {
+
+/// A user mistake on the command line: unknown flag, malformed number, or
+/// out-of-range value. what() names the flag.
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Parses argv into named options and positional arguments.
 class Cli {
@@ -22,13 +37,32 @@ class Cli {
   /// Value of `--name`, or nullopt.
   [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
 
-  /// Value of `--name` parsed as double, or `fallback`.
+  /// Throws CliError unless every option given on the command line appears
+  /// in `known` — catches typos like `--mtfb` silently falling back to the
+  /// default. Positional arguments are unaffected.
+  void require_known(std::span<const std::string_view> known) const;
+
+  /// Value of `--name` parsed as double, or `fallback`. Throws CliError
+  /// (naming the flag) on a malformed value.
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
 
-  /// Value of `--name` parsed as int64, or `fallback`.
+  /// Value of `--name` parsed as int64, or `fallback`. Throws CliError
+  /// (naming the flag) on a malformed value.
   [[nodiscard]] long long get_int(const std::string& name,
                                   long long fallback) const;
+
+  /// get_double restricted to [lo, hi]; out-of-range throws CliError
+  /// naming the flag and the accepted range. `fallback` must itself be in
+  /// range.
+  [[nodiscard]] double get_double_in(const std::string& name, double fallback,
+                                     double lo, double hi) const;
+
+  /// get_int restricted to [lo, hi]; out-of-range throws CliError naming
+  /// the flag and the accepted range. `fallback` must itself be in range.
+  [[nodiscard]] long long get_int_in(const std::string& name,
+                                     long long fallback, long long lo,
+                                     long long hi) const;
 
   /// Value of `--name` as string, or `fallback`.
   [[nodiscard]] std::string get_string(const std::string& name,

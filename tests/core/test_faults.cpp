@@ -1,0 +1,375 @@
+// Host failure model: FaultProcess determinism and validation, recovery
+// mode parsing, per-policy masking of down hosts, and hand-computed
+// single-host recovery scenarios (one per RecoveryMode).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/policies/central_queue.hpp"
+#include "core/policies/hybrid_sita_lwl.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/noisy_lwl.hpp"
+#include "core/policies/power_of_d.hpp"
+#include "core/policies/random.hpp"
+#include "core/policies/round_robin.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/policies/sita.hpp"
+#include "core/recovery.hpp"
+#include "core/server.hpp"
+#include "sim/faults.hpp"
+#include "util/contracts.hpp"
+#include "workload/arrival.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv::core {
+namespace {
+
+using workload::Job;
+
+// ---------------------------------------------------------------- faults --
+
+sim::FaultConfig renewal_config(double mtbf, double mttr) {
+  sim::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.mtbf = mtbf;
+  cfg.mttr = mttr;
+  return cfg;
+}
+
+TEST(FaultProcess, DeterministicPerSeed) {
+  const sim::FaultConfig cfg = renewal_config(100.0, 10.0);
+  sim::FaultProcess a(cfg, 4, 42);
+  sim::FaultProcess b(cfg, 4, 42);
+  for (std::uint32_t host = 0; host < 4; ++host) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(a.next_uptime(host), b.next_uptime(host));
+      EXPECT_EQ(a.next_downtime(host), b.next_downtime(host));
+    }
+  }
+}
+
+TEST(FaultProcess, HostStreamsAreIndependent) {
+  const sim::FaultConfig cfg = renewal_config(100.0, 10.0);
+  sim::FaultProcess p(cfg, 2, 42);
+  // Drawing from host 0 must not perturb host 1's stream.
+  sim::FaultProcess q(cfg, 2, 42);
+  for (int i = 0; i < 20; ++i) (void)q.next_uptime(0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(p.next_uptime(1), q.next_uptime(1));
+  }
+}
+
+TEST(FaultProcess, DrawsArePositiveWithRoughlyTheConfiguredMean) {
+  const sim::FaultConfig cfg = renewal_config(100.0, 10.0);
+  sim::FaultProcess p(cfg, 1, 7);
+  double up_sum = 0.0, down_sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double up = p.next_uptime(0);
+    const double down = p.next_downtime(0);
+    ASSERT_GT(up, 0.0);
+    ASSERT_GT(down, 0.0);
+    up_sum += up;
+    down_sum += down;
+  }
+  EXPECT_NEAR(up_sum / n, 100.0, 3.0);
+  EXPECT_NEAR(down_sum / n, 10.0, 0.3);
+}
+
+TEST(FaultProcess, DeterministicDistributionReturnsTheMeanExactly) {
+  sim::FaultConfig cfg = renewal_config(100.0, 10.0);
+  cfg.uptime_dist = sim::FaultTimeDist::kDeterministic;
+  cfg.downtime_dist = sim::FaultTimeDist::kDeterministic;
+  sim::FaultProcess p(cfg, 1, 7);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(p.next_uptime(0), 100.0);
+    EXPECT_DOUBLE_EQ(p.next_downtime(0), 10.0);
+  }
+}
+
+TEST(FaultProcess, ValidatesItsConfig) {
+  EXPECT_THROW(sim::FaultProcess(renewal_config(-1.0, 10.0), 2, 1),
+               ContractViolation);
+  EXPECT_THROW(sim::FaultProcess(renewal_config(100.0, 0.0), 2, 1),
+               ContractViolation);
+  sim::FaultConfig bad_host;
+  bad_host.enabled = true;
+  bad_host.outages.push_back({/*host=*/5, /*at=*/1.0, /*duration=*/1.0});
+  EXPECT_THROW(sim::FaultProcess(bad_host, 2, 1), ContractViolation);
+  sim::FaultConfig bad_duration;
+  bad_duration.enabled = true;
+  bad_duration.outages.push_back({0, 1.0, 0.0});
+  EXPECT_THROW(sim::FaultProcess(bad_duration, 2, 1),
+               ContractViolation);
+}
+
+TEST(FaultConfig, AvailabilityFormula) {
+  EXPECT_DOUBLE_EQ(sim::FaultConfig{}.availability(), 1.0);
+  EXPECT_DOUBLE_EQ(renewal_config(90.0, 10.0).availability(), 0.9);
+}
+
+// -------------------------------------------------------------- recovery --
+
+TEST(RecoveryMode, StringRoundTrip) {
+  for (RecoveryMode mode : all_recovery_modes()) {
+    const auto parsed = recovery_from_string(to_string(mode));
+    ASSERT_TRUE(parsed.has_value()) << to_string(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_EQ(recovery_from_string("Requeue-Front"),
+            RecoveryMode::kRequeueFront);  // case-insensitive
+  EXPECT_FALSE(recovery_from_string("retry-twice").has_value());
+  EXPECT_EQ(registered_recovery_modes().size(), all_recovery_modes().size());
+}
+
+// --------------------------------------------------------------- masking --
+
+/// Scriptable view with per-host up/down state.
+class FaultStubView final : public ServerView {
+ public:
+  explicit FaultStubView(std::size_t hosts)
+      : lens_(hosts, 0), work_(hosts, 0.0), up_(hosts, true) {}
+
+  std::size_t host_count() const override { return lens_.size(); }
+  std::size_t queue_length(HostId h) const override { return lens_[h]; }
+  double work_left(HostId h) const override { return work_[h]; }
+  bool host_idle(HostId h) const override {
+    return lens_[h] == 0 && work_[h] == 0.0;
+  }
+  bool host_up(HostId h) const override { return up_[h]; }
+  double now() const override { return 0.0; }
+
+  std::vector<std::size_t> lens_;
+  std::vector<double> work_;
+  std::vector<bool> up_;
+};
+
+Job job(double size) { return Job{0, 0.0, size}; }
+
+TEST(FaultMasking, RandomNeverPicksADownHost) {
+  RandomPolicy p;
+  p.reset(4, 42);
+  FaultStubView view(4);
+  view.up_ = {true, false, true, false};
+  for (int i = 0; i < 2000; ++i) {
+    const auto h = p.assign(job(1.0), view);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_TRUE(*h == 0 || *h == 2);
+  }
+  view.up_ = {false, false, false, false};
+  EXPECT_FALSE(p.assign(job(1.0), view).has_value());
+}
+
+TEST(FaultMasking, RoundRobinSkipsDownHosts) {
+  RoundRobinPolicy p;
+  p.reset(3, 0);
+  FaultStubView view(3);
+  view.up_ = {true, false, true};
+  EXPECT_EQ(*p.assign(job(1.0), view), 0u);
+  EXPECT_EQ(*p.assign(job(1.0), view), 2u);  // 1 is down
+  EXPECT_EQ(*p.assign(job(1.0), view), 0u);
+  view.up_ = {false, false, false};
+  EXPECT_FALSE(p.assign(job(1.0), view).has_value());
+}
+
+TEST(FaultMasking, ShortestQueueAndLeastWorkSkipDownHosts) {
+  ShortestQueuePolicy sq;
+  LeastWorkLeftPolicy lwl;
+  FaultStubView view(3);
+  view.lens_ = {5, 0, 2};
+  view.work_ = {50.0, 0.0, 20.0};
+  view.up_ = {true, false, true};  // host 1 would win both
+  EXPECT_EQ(*sq.assign(job(1.0), view), 2u);
+  EXPECT_EQ(*lwl.assign(job(1.0), view), 2u);
+  view.up_ = {false, false, false};
+  EXPECT_FALSE(sq.assign(job(1.0), view).has_value());
+  EXPECT_FALSE(lwl.assign(job(1.0), view).has_value());
+}
+
+TEST(FaultMasking, PowerOfDProbesOnlyUpHosts) {
+  PowerOfDPolicy p(2);
+  p.reset(4, 9);
+  FaultStubView view(4);
+  view.up_ = {false, true, false, true};
+  for (int i = 0; i < 500; ++i) {
+    const auto h = p.assign(job(1.0), view);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_TRUE(*h == 1 || *h == 3);
+  }
+  view.up_ = {false, false, false, false};
+  EXPECT_FALSE(p.assign(job(1.0), view).has_value());
+}
+
+TEST(FaultMasking, NoisyLwlSkipsDownHosts) {
+  NoisyLeastWorkLeftPolicy p(/*sigma=*/2.0);
+  p.reset(3, 11);
+  FaultStubView view(3);
+  view.work_ = {0.0, 100.0, 100.0};
+  view.up_ = {false, true, true};
+  for (int i = 0; i < 200; ++i) {
+    const auto h = p.assign(job(1.0), view);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_NE(*h, 0u);
+  }
+}
+
+TEST(FaultMasking, SitaRemapsDeadRangeToNearestLiveNeighbor) {
+  SitaPolicy p({10.0, 100.0}, "SITA-test");
+  p.reset(3, 1);
+  FaultStubView view(3);
+  // Host 1 (sizes in (10, 100]) down: its jobs go to the nearest live
+  // neighbor; ties prefer the smaller-size side.
+  view.up_ = {true, false, true};
+  EXPECT_EQ(*p.assign(job(50.0), view), 0u);
+  EXPECT_EQ(*p.assign(job(5.0), view), 0u);    // own host, untouched
+  EXPECT_EQ(*p.assign(job(500.0), view), 2u);  // own host, untouched
+  view.up_ = {false, false, true};
+  EXPECT_EQ(*p.assign(job(5.0), view), 2u);  // both lower hosts dead
+  view.up_ = {false, false, false};
+  EXPECT_FALSE(p.assign(job(50.0), view).has_value());
+}
+
+TEST(FaultMasking, HybridFallsBackToTheOtherGroup) {
+  HybridSitaLwlPolicy p(/*cutoff=*/10.0, /*short_hosts=*/2, "hybrid-test");
+  p.reset(4, 1);
+  FaultStubView view(4);
+  view.up_ = {false, false, true, true};  // whole short group down
+  EXPECT_EQ(*p.assign(job(1.0), view), 2u);
+  view.up_ = {false, false, false, false};
+  EXPECT_FALSE(p.assign(job(1.0), view).has_value());
+}
+
+TEST(FaultMasking, CentralQueueStillDeclines) {
+  CentralQueuePolicy p;
+  FaultStubView view(2);
+  view.up_ = {false, false};
+  EXPECT_FALSE(p.assign(job(1.0), view).has_value());
+}
+
+// ------------------------------------------------- recovery end-to-end ---
+
+/// One host, one job of size 10 arriving at t=0, one scheduled outage at
+/// t=4 for 3 time units. Everything below is checkable by hand.
+RunResult outage_run(RecoveryMode recovery) {
+  std::vector<Job> jobs = {Job{0, 0.0, 10.0}};
+  const workload::Trace trace(std::move(jobs));
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  faults.outages.push_back({/*host=*/0, /*at=*/4.0, /*duration=*/3.0});
+  RoundRobinPolicy policy;
+  return simulate_with_faults(policy, trace, /*hosts=*/1, faults, recovery);
+}
+
+TEST(Recovery, ResubmitRestartsAfterRepair) {
+  const RunResult r = outage_run(RecoveryMode::kResubmit);
+  ASSERT_EQ(r.records.size(), 1u);
+  const JobRecord& rec = r.records[0];
+  EXPECT_FALSE(rec.failed);
+  EXPECT_DOUBLE_EQ(rec.start, 7.0);       // restarted at repair time
+  EXPECT_DOUBLE_EQ(rec.completion, 17.0);  // full size again (fail-stop)
+  EXPECT_EQ(rec.restarts, 1u);
+  EXPECT_EQ(r.interruptions, 1u);
+  EXPECT_EQ(r.jobs_failed, 0u);
+  const HostStats& hs = r.host_stats[0];
+  EXPECT_DOUBLE_EQ(hs.busy_time, 14.0);  // 4 wasted + 10 completed
+  EXPECT_DOUBLE_EQ(hs.wasted_work, 4.0);
+  EXPECT_DOUBLE_EQ(hs.work_done, 10.0);
+  EXPECT_DOUBLE_EQ(hs.down_time, 3.0);
+  EXPECT_EQ(hs.failures, 1u);
+  EXPECT_EQ(hs.jobs_interrupted, 1u);
+  EXPECT_TRUE(validate_run(r).empty())
+      << validate_run(r).front();
+}
+
+TEST(Recovery, RequeueFrontRestartsOnTheSameHost) {
+  const RunResult r = outage_run(RecoveryMode::kRequeueFront);
+  ASSERT_EQ(r.records.size(), 1u);
+  const JobRecord& rec = r.records[0];
+  EXPECT_FALSE(rec.failed);
+  EXPECT_DOUBLE_EQ(rec.start, 7.0);
+  EXPECT_DOUBLE_EQ(rec.completion, 17.0);
+  EXPECT_EQ(rec.restarts, 1u);
+  EXPECT_EQ(rec.host, 0u);
+  EXPECT_TRUE(validate_run(r).empty())
+      << validate_run(r).front();
+}
+
+TEST(Recovery, AbandonDropsTheJobAtTheFailure) {
+  const RunResult r = outage_run(RecoveryMode::kAbandon);
+  ASSERT_EQ(r.records.size(), 1u);
+  const JobRecord& rec = r.records[0];
+  EXPECT_TRUE(rec.failed);
+  EXPECT_DOUBLE_EQ(rec.start, 0.0);
+  EXPECT_DOUBLE_EQ(rec.completion, 4.0);  // abandonment time
+  EXPECT_EQ(r.jobs_failed, 1u);
+  EXPECT_EQ(r.interruptions, 1u);
+  const HostStats& hs = r.host_stats[0];
+  EXPECT_DOUBLE_EQ(hs.busy_time, 4.0);
+  EXPECT_DOUBLE_EQ(hs.wasted_work, 4.0);
+  EXPECT_DOUBLE_EQ(hs.work_done, 0.0);
+  EXPECT_EQ(hs.jobs_completed, 0u);
+  EXPECT_TRUE(validate_run(r).empty())
+      << validate_run(r).front();
+  const MetricsSummary m = summarize(r);
+  EXPECT_EQ(m.jobs, 0u);
+  EXPECT_EQ(m.jobs_failed, 1u);
+}
+
+TEST(Recovery, QueuedJobsSurviveAFailureUntouched) {
+  // Two jobs; the second is queued when the host fails, keeps its place,
+  // and runs after the interrupted first job (resubmit puts the first at
+  // the *back* via central routing, so the queued one goes first).
+  std::vector<Job> jobs = {Job{0, 0.0, 10.0}, Job{1, 1.0, 2.0}};
+  const workload::Trace trace(std::move(jobs));
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  faults.outages.push_back({0, 4.0, 3.0});
+  RoundRobinPolicy policy;
+  const RunResult r = simulate_with_faults(policy, trace, 1, faults,
+                                           RecoveryMode::kRequeueFront);
+  ASSERT_EQ(r.records.size(), 2u);
+  // Requeue-front: the interrupted job restarts first at t=7, then the
+  // queued job follows at t=17.
+  EXPECT_DOUBLE_EQ(r.records[0].start, 7.0);
+  EXPECT_DOUBLE_EQ(r.records[0].completion, 17.0);
+  EXPECT_DOUBLE_EQ(r.records[1].start, 17.0);
+  EXPECT_DOUBLE_EQ(r.records[1].completion, 19.0);
+  EXPECT_TRUE(validate_run(r).empty()) << validate_run(r).front();
+}
+
+TEST(Faults, InvalidConfigThrowsAtRun) {
+  std::vector<Job> jobs = {Job{0, 0.0, 1.0}};
+  const workload::Trace trace(std::move(jobs));
+  RoundRobinPolicy policy;
+  DistributedServer server(1, policy);
+  sim::FaultConfig bad = renewal_config(100.0, 0.0);  // mttr must be > 0
+  server.enable_faults(bad);
+  EXPECT_THROW((void)server.run(trace), ContractViolation);
+}
+
+TEST(Faults, DisabledConfigIsIdenticalToNoFaultCall) {
+  std::vector<double> sizes;
+  dist::Rng rng(5);
+  for (int i = 0; i < 300; ++i) sizes.push_back(rng.uniform(1.0, 20.0));
+  workload::PoissonArrivals arrivals(0.2);
+  const workload::Trace trace =
+      workload::Trace::with_arrivals(sizes, arrivals, rng);
+
+  RandomPolicy a, b;
+  const RunResult plain = simulate(a, trace, 3, /*seed=*/11);
+  DistributedServer server(3, b);
+  server.enable_faults(sim::FaultConfig{});  // enabled = false
+  const RunResult gated = server.run(trace, /*seed=*/11);
+  ASSERT_EQ(plain.records.size(), gated.records.size());
+  for (std::size_t i = 0; i < plain.records.size(); ++i) {
+    EXPECT_EQ(plain.records[i].host, gated.records[i].host);
+    EXPECT_DOUBLE_EQ(plain.records[i].start, gated.records[i].start);
+    EXPECT_DOUBLE_EQ(plain.records[i].completion,
+                     gated.records[i].completion);
+  }
+}
+
+}  // namespace
+}  // namespace distserv::core

@@ -7,6 +7,8 @@
 #include "core/sweep_runner.hpp"
 
 #include <atomic>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -121,6 +123,132 @@ TEST(SweepRunner, ThreadsZeroUsesHardwareThreadsAndStaysIdentical) {
   const auto def = wb.sweep(policies, loads, {});  // threads = 0
   ASSERT_EQ(seq.size(), def.size());
   expect_identical(seq[0], def[0]);
+}
+
+TEST(SweepRunner, DefaultModeStillRethrowsReplicationFailures) {
+  ExperimentConfig cfg = small_config();
+  cfg.n_jobs = 8000;
+  cfg.replications = 2;
+  cfg.replication_probe = [](PolicyKind kind, double rho, std::size_t rep) {
+    if (kind == PolicyKind::kRandom && rho == 0.7 && rep == 1) {
+      throw std::runtime_error("injected replication failure");
+    }
+  };
+  const Workbench wb(workload::find_workload("c90"), cfg);
+  const std::vector<PolicyKind> policies = {*policy_from_string("Random")};
+  const std::vector<double> loads = {0.7};
+  EXPECT_THROW((void)wb.sweep(policies, loads, with_threads(4)),
+               std::runtime_error);
+  EXPECT_THROW((void)wb.sweep(policies, loads, with_threads(1)),
+               std::runtime_error);
+}
+
+TEST(SweepRunner, IsolatedFailureIsRecordedWithSeedAndSiblingsComplete) {
+  ExperimentConfig cfg = small_config();
+  cfg.n_jobs = 8000;
+  cfg.replications = 3;
+  cfg.replication_probe = [](PolicyKind kind, double rho, std::size_t rep) {
+    if (kind == PolicyKind::kRandom && rho == 0.7 && rep == 1) {
+      throw std::runtime_error("injected replication failure");
+    }
+  };
+  const Workbench wb(workload::find_workload("c90"), cfg);
+  const std::vector<PolicyKind> policies = {
+      *policy_from_string("Random"), *policy_from_string("Least-Work-Left")};
+  const std::vector<double> loads = {0.5, 0.7};
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SweepOptions options = with_threads(threads);
+    options.isolate_failures = true;
+    const auto points = wb.sweep(policies, loads, options);
+    ASSERT_EQ(points.size(), policies.size() * loads.size());
+    for (const ExperimentPoint& point : points) {
+      if (point.policy == PolicyKind::kRandom && point.rho == 0.7) {
+        ASSERT_EQ(point.failures.size(), 1u);
+        const ReplicationFailure& f = point.failures[0];
+        EXPECT_EQ(f.replication, 1u);
+        EXPECT_EQ(f.seed, wb.replication_seed(1));
+        EXPECT_NE(f.error.find("injected replication failure"),
+                  std::string::npos);
+        EXPECT_FALSE(f.retried);
+        EXPECT_FALSE(f.recovered);
+        // The surviving replications still average into the summary.
+        EXPECT_EQ(point.replication_summaries.size(), 2u);
+        EXPECT_GT(point.summary.mean_slowdown, 0.0);
+      } else {
+        EXPECT_TRUE(point.failures.empty());
+        EXPECT_EQ(point.replication_summaries.size(), cfg.replications);
+      }
+    }
+  }
+}
+
+TEST(SweepRunner, RetryOnceRecoversATransientFailure) {
+  ExperimentConfig cfg = small_config();
+  cfg.n_jobs = 8000;
+  cfg.replications = 2;
+  // Fails on first attempt only: a retry succeeds.
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  cfg.replication_probe = [attempts](PolicyKind, double, std::size_t rep) {
+    if (rep == 1 && attempts->fetch_add(1) == 0) {
+      throw std::runtime_error("transient failure");
+    }
+  };
+  const Workbench wb(workload::find_workload("c90"), cfg);
+  const std::vector<PolicyKind> policies = {*policy_from_string("Random")};
+  const std::vector<double> loads = {0.6};
+  SweepOptions options = with_threads(1);
+  options.isolate_failures = true;
+  options.retry_failed_once = true;
+  const auto points = wb.sweep(policies, loads, options);
+  ASSERT_EQ(points.size(), 1u);
+  ASSERT_EQ(points[0].failures.size(), 1u);
+  EXPECT_TRUE(points[0].failures[0].retried);
+  EXPECT_TRUE(points[0].failures[0].recovered);
+  // Recovered: the summary still covers every replication.
+  EXPECT_EQ(points[0].replication_summaries.size(), cfg.replications);
+}
+
+TEST(SweepRunner, PlanFailureIsIsolatedPerPoint) {
+  ExperimentConfig cfg = small_config();
+  cfg.hosts = 4;  // SITA-U-opt requires exactly 2 hosts: plan_point throws
+  cfg.n_jobs = 8000;
+  cfg.replications = 2;
+  const Workbench wb(workload::find_workload("c90"), cfg);
+  const std::vector<PolicyKind> policies = {
+      *policy_from_string("SITA-U-opt"), *policy_from_string("Random")};
+  const std::vector<double> loads = {0.6};
+  SweepOptions options = with_threads(2);
+  options.isolate_failures = true;
+  const auto points = wb.sweep(policies, loads, options);
+  ASSERT_EQ(points.size(), 2u);
+  ASSERT_EQ(points[0].failures.size(), 1u);
+  EXPECT_EQ(points[0].failures[0].replication,
+            ReplicationFailure::kPlanStep);
+  EXPECT_FALSE(points[0].feasible);
+  EXPECT_TRUE(points[0].replication_summaries.empty());
+  // The sibling point is untouched.
+  EXPECT_TRUE(points[1].failures.empty());
+  EXPECT_EQ(points[1].replication_summaries.size(), cfg.replications);
+  // Default mode still dies on the same plan failure.
+  EXPECT_THROW((void)wb.sweep(policies, loads, with_threads(2)),
+               std::exception);
+}
+
+TEST(SweepRunner, HardenedCleanSweepIsBitIdenticalToDefault) {
+  const Workbench wb(workload::find_workload("c90"), small_config());
+  const auto policies = test_policies();
+  const std::vector<double> loads = {0.6};
+  SweepOptions hardened = with_threads(4);
+  hardened.isolate_failures = true;
+  hardened.retry_failed_once = true;
+  const auto a = wb.sweep(policies, loads, with_threads(4));
+  const auto b = wb.sweep(policies, loads, hardened);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_identical(a[i], b[i]);
+    EXPECT_TRUE(b[i].failures.empty());
+  }
 }
 
 TEST(SweepRunner, ProgressReportsEveryReplicationTask) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "core/recovery.hpp"
 #include "core/policies/central_queue.hpp"
 #include "core/policies/hybrid_sita_lwl.hpp"
 #include "core/policies/least_work_left.hpp"
@@ -28,6 +29,7 @@
 #include "dist/hyperexp.hpp"
 #include "dist/rng.hpp"
 #include "dist/uniform.hpp"
+#include "sim/faults.hpp"
 #include "workload/arrival.hpp"
 #include "workload/trace.hpp"
 
@@ -181,6 +183,83 @@ inline core::RunResult run_audited(Scenario& s) {
         [sita = s.sita](double size) { return sita->interval_of(size); });
   }
   return server.run(s.trace, /*seed=*/s.seed ^ 0x9e3779b9);
+}
+
+/// A base scenario plus a fault model and recovery mode.
+struct FaultScenario {
+  Scenario base;
+  sim::FaultConfig faults;
+  core::RecoveryMode recovery = core::RecoveryMode::kResubmit;
+};
+
+/// Expands `seed` into a scenario with host failures layered on top.
+///
+/// Two fault sources, mixed per seed: (a) an alternating-renewal process
+/// with MTBF anchored *above* the largest job size — fail-stop restarts
+/// lose all work, so a job only ever finishes by drawing an uptime longer
+/// than itself, and MTBF >= max size keeps the expected number of restarts
+/// (exp(size/MTBF)) small and the run terminating — and (b) a handful of
+/// one-shot scheduled outages (FaultConfig::outages), which cannot livelock
+/// regardless of duration and give dense interrupt coverage even on short
+/// horizons.
+inline FaultScenario make_fault_scenario(std::uint64_t seed) {
+  FaultScenario fs;
+  fs.base = make_scenario(seed);
+  // No expected-route oracle under faults: a dead interval's jobs are
+  // remapped to live neighbors, which the pure-size oracle cannot predict.
+  fs.base.sita = nullptr;
+
+  dist::Rng rng = dist::Rng(seed).split(0xfa175c3);
+  double max_size = 0.0;
+  double horizon = 0.0;
+  for (const workload::Job& job : fs.base.trace.jobs()) {
+    max_size = std::max(max_size, job.size);
+    horizon = std::max(horizon, job.arrival + job.size);
+  }
+
+  fs.faults.enabled = true;
+  if (rng.bernoulli(0.6)) {
+    fs.faults.mtbf = max_size * rng.uniform(1.0, 6.0);
+    fs.faults.mttr = fs.faults.mtbf * rng.uniform(0.02, 0.4);
+    if (rng.bernoulli(0.25)) {
+      fs.faults.downtime_dist = sim::FaultTimeDist::kDeterministic;
+    }
+  }
+  const auto n_outages = rng.below(4);
+  for (std::uint64_t i = 0; i < n_outages; ++i) {
+    sim::HostOutage outage;
+    outage.host = static_cast<std::uint32_t>(rng.below(fs.base.hosts));
+    outage.at = rng.uniform01() * horizon;
+    outage.duration = rng.uniform(0.5, 8.0) * 10.0;  // ~mean job size units
+    fs.faults.outages.push_back(outage);
+  }
+  if (fs.faults.mtbf <= 0.0 && fs.faults.outages.empty()) {
+    // Never generate a scenario with the model on but nothing failing.
+    sim::HostOutage outage;
+    outage.host = 0;
+    outage.at = horizon * 0.25;
+    outage.duration = 20.0;
+    fs.faults.outages.push_back(outage);
+  }
+
+  const auto modes = core::all_recovery_modes();
+  fs.recovery = modes[rng.below(modes.size())];
+  fs.base.description +=
+      " faults{mtbf=" + std::to_string(fs.faults.mtbf) +
+      " mttr=" + std::to_string(fs.faults.mttr) +
+      " outages=" + std::to_string(fs.faults.outages.size()) +
+      " recovery=" + core::to_string(fs.recovery) + "}";
+  return fs;
+}
+
+/// Runs a fault scenario under the audit layer (no route oracle).
+inline core::RunResult run_audited(FaultScenario& fs) {
+  core::DistributedServer server(fs.base.hosts, *fs.base.policy);
+  server.enable_faults(fs.faults, fs.recovery);
+  sim::AuditConfig audit;
+  audit.enabled = true;
+  server.enable_audit(audit);
+  return server.run(fs.base.trace, /*seed=*/fs.base.seed ^ 0x9e3779b9);
 }
 
 }  // namespace distserv::proptest

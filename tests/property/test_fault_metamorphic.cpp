@@ -1,0 +1,136 @@
+// Metamorphic laws for the host failure model.
+//
+// 1. MTBF -> infinity: with a deterministic uptime distribution and an
+//    astronomically large MTBF, no failure ever fires inside the horizon,
+//    so every record is bit-identical to the fault-free run.
+// 2. Whole-horizon outage: a host that is down for the entire run is, for
+//    masking policies whose RNG consumption does not depend on the host
+//    count (Round-Robin, Shortest-Queue, Least-Work-Left), equivalent to a
+//    system that never had that host.
+// 3. Faults-disabled regression: a Workbench with faults.enabled == false
+//    produces bit-identical summaries to one that never heard of faults —
+//    the bit-identity guarantee the fault subsystem was built around.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/round_robin.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "scenario.hpp"
+#include "workload/catalog.hpp"
+
+namespace distserv::proptest {
+namespace {
+
+void expect_identical_records(const core::RunResult& a,
+                              const core::RunResult& b,
+                              const std::string& what) {
+  ASSERT_EQ(a.records.size(), b.records.size()) << what;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].host, b.records[i].host) << what << " job " << i;
+    EXPECT_EQ(a.records[i].start, b.records[i].start) << what << " job " << i;
+    EXPECT_EQ(a.records[i].completion, b.records[i].completion)
+        << what << " job " << i;
+    EXPECT_EQ(a.records[i].failed, b.records[i].failed) << what;
+  }
+}
+
+TEST(FaultMetamorphic, InfiniteMtbfIsBitIdenticalToFaultFree) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Scenario faulted = make_scenario(seed);
+    Scenario plain = make_scenario(seed);
+    sim::FaultConfig faults;
+    faults.enabled = true;
+    faults.mtbf = 1e15;  // beyond any horizon
+    faults.mttr = 1.0;
+    faults.uptime_dist = sim::FaultTimeDist::kDeterministic;
+    const core::RunResult with = core::simulate_with_faults(
+        *faulted.policy, faulted.trace, faulted.hosts, faults,
+        core::RecoveryMode::kResubmit, seed);
+    const core::RunResult without =
+        core::simulate(*plain.policy, plain.trace, plain.hosts, seed);
+    expect_identical_records(with, without, faulted.description);
+    EXPECT_EQ(with.interruptions, 0u);
+    EXPECT_EQ(with.jobs_failed, 0u);
+    for (const core::HostStats& hs : with.host_stats) {
+      EXPECT_EQ(hs.failures, 0u);
+      EXPECT_DOUBLE_EQ(hs.down_time, 0.0);
+    }
+  }
+}
+
+TEST(FaultMetamorphic, HostDownWholeHorizonEqualsOneFewerHost) {
+  // Policies whose routing over h hosts with the last one dead consumes
+  // state identically to routing over h-1 hosts. (Random is excluded: its
+  // masked path draws from a different stream layout by design.)
+  const auto make_policies = [] {
+    std::vector<core::PolicyPtr> ps;
+    ps.push_back(std::make_unique<core::RoundRobinPolicy>());
+    ps.push_back(std::make_unique<core::ShortestQueuePolicy>());
+    ps.push_back(std::make_unique<core::LeastWorkLeftPolicy>());
+    return ps;
+  };
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Scenario base = make_scenario(seed);
+    const std::size_t h = 4;
+    auto down_policies = make_policies();
+    auto small_policies = make_policies();
+    for (std::size_t p = 0; p < down_policies.size(); ++p) {
+      // h hosts, host h-1 down from before the first arrival to past the
+      // last conceivable completion.
+      sim::FaultConfig faults;
+      faults.enabled = true;
+      faults.outages.push_back(
+          {/*host=*/static_cast<std::uint32_t>(h - 1), /*at=*/0.0,
+           /*duration=*/1e15});
+      const core::RunResult with_dead_host = core::simulate_with_faults(
+          *down_policies[p], base.trace, h, faults,
+          core::RecoveryMode::kResubmit, seed);
+      const core::RunResult smaller =
+          core::simulate(*small_policies[p], base.trace, h - 1, seed);
+      expect_identical_records(with_dead_host, smaller,
+                               down_policies[p]->name() + " seed=" +
+                                   std::to_string(seed));
+      // The dead host never serves anything.
+      EXPECT_EQ(with_dead_host.host_stats[h - 1].jobs_completed, 0u);
+      EXPECT_DOUBLE_EQ(with_dead_host.host_stats[h - 1].busy_time, 0.0);
+    }
+  }
+}
+
+TEST(FaultMetamorphic, WorkbenchWithFaultsDisabledIsBitIdentical) {
+  // The regression guard for the acceptance criterion: wiring FaultConfig
+  // through the experiment API must not move a single bit of the existing
+  // fault-free results.
+  core::ExperimentConfig plain_cfg;
+  plain_cfg.hosts = 2;
+  plain_cfg.n_jobs = 4000;
+  plain_cfg.replications = 2;
+  core::ExperimentConfig gated_cfg = plain_cfg;
+  gated_cfg.faults.enabled = false;  // explicit, for the reader
+  gated_cfg.faults.mtbf = 500.0;     // knobs set but gated off
+  gated_cfg.faults.mttr = 50.0;
+  gated_cfg.recovery = core::RecoveryMode::kAbandon;
+
+  const workload::WorkloadSpec& spec = workload::find_workload("c90");
+  const core::Workbench plain(spec, plain_cfg);
+  const core::Workbench gated(spec, gated_cfg);
+  const std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::kRandom, core::PolicyKind::kLeastWorkLeft,
+      core::PolicyKind::kSitaE};
+  const std::vector<double> loads = {0.5, 0.7};
+  const auto a = plain.sweep(policies, loads);
+  const auto b = gated.sweep(policies, loads);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].summary.mean_slowdown, b[i].summary.mean_slowdown) << i;
+    EXPECT_EQ(a[i].summary.max_slowdown, b[i].summary.max_slowdown) << i;
+    EXPECT_EQ(a[i].summary.jobs, b[i].summary.jobs) << i;
+    EXPECT_EQ(b[i].summary.jobs_failed, 0u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace distserv::proptest

@@ -1,0 +1,100 @@
+// Fault-injection property harness: seeded random scenarios with host
+// failures layered on top (renewal process + scheduled outages, random
+// recovery mode), each run under the extended audit layer — including the
+// failure-semantics invariants — plus the offline record validator.
+// A failing seed reproduces exactly through proptest::make_fault_scenario.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "scenario.hpp"
+
+namespace distserv::proptest {
+namespace {
+
+constexpr std::uint64_t kFaultScenarioCount = 224;
+
+TEST(FaultProperty, SeededFaultScenariosPassEveryInvariant) {
+  std::uint64_t with_interruptions = 0;
+  for (std::uint64_t seed = 1; seed <= kFaultScenarioCount; ++seed) {
+    FaultScenario fs = make_fault_scenario(seed);
+    const core::RunResult result = run_audited(fs);
+    ASSERT_TRUE(result.audit.has_value()) << fs.base.description;
+    EXPECT_TRUE(result.audit->ok())
+        << fs.base.description << "\n" << result.audit->to_string();
+    // Conservation with failures: every arrival completes or is abandoned.
+    EXPECT_EQ(result.audit->arrivals, fs.base.trace.size())
+        << fs.base.description;
+    EXPECT_EQ(result.audit->completions + result.audit->abandoned,
+              fs.base.trace.size())
+        << fs.base.description;
+    // Down/up transitions pair up; at most one unmatched down per host can
+    // remain when the run stops with hosts still under repair.
+    EXPECT_GE(result.audit->host_downs, result.audit->host_ups)
+        << fs.base.description;
+    EXPECT_LE(result.audit->host_downs - result.audit->host_ups,
+              fs.base.hosts)
+        << fs.base.description;
+    EXPECT_EQ(result.interruptions, result.audit->interruptions)
+        << fs.base.description;
+    EXPECT_EQ(result.jobs_failed, result.audit->abandoned)
+        << fs.base.description;
+    if (result.interruptions > 0) ++with_interruptions;
+  }
+  // The generator must actually exercise the failure paths, not just pass
+  // vacuously on scenarios where nothing ever breaks.
+  EXPECT_GE(with_interruptions, kFaultScenarioCount / 4);
+}
+
+TEST(FaultProperty, SeededFaultScenariosPassOfflineValidation) {
+  for (std::uint64_t seed = 1; seed <= kFaultScenarioCount; ++seed) {
+    FaultScenario fs = make_fault_scenario(seed);
+    const core::RunResult result = core::simulate_with_faults(
+        *fs.base.policy, fs.base.trace, fs.base.hosts, fs.faults,
+        fs.recovery, seed);
+    const std::vector<std::string> problems = core::validate_run(result);
+    EXPECT_TRUE(problems.empty())
+        << fs.base.description << "\nfirst problem: "
+        << (problems.empty() ? "" : problems.front());
+  }
+}
+
+TEST(FaultProperty, AuditDoesNotPerturbFaultedResults) {
+  for (std::uint64_t seed : {5u, 77u, 140u, 201u}) {
+    FaultScenario audited = make_fault_scenario(seed);
+    FaultScenario plain = make_fault_scenario(seed);
+    const core::RunResult with_audit = run_audited(audited);
+    const core::RunResult without = core::simulate_with_faults(
+        *plain.base.policy, plain.base.trace, plain.base.hosts, plain.faults,
+        plain.recovery, /*seed=*/seed ^ 0x9e3779b9);
+    ASSERT_EQ(with_audit.records.size(), without.records.size());
+    for (std::size_t i = 0; i < without.records.size(); ++i) {
+      EXPECT_EQ(with_audit.records[i].host, without.records[i].host);
+      EXPECT_EQ(with_audit.records[i].start, without.records[i].start);
+      EXPECT_EQ(with_audit.records[i].completion,
+                without.records[i].completion);
+      EXPECT_EQ(with_audit.records[i].failed, without.records[i].failed);
+      EXPECT_EQ(with_audit.records[i].restarts, without.records[i].restarts);
+    }
+  }
+}
+
+TEST(FaultProperty, DownTimeAndWastedWorkAreCoherent) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    FaultScenario fs = make_fault_scenario(seed);
+    const core::RunResult result = core::simulate_with_faults(
+        *fs.base.policy, fs.base.trace, fs.base.hosts, fs.faults,
+        fs.recovery, seed);
+    std::uint64_t interrupted = 0;
+    for (const core::HostStats& hs : result.host_stats) {
+      EXPECT_GE(hs.down_time, 0.0) << fs.base.description;
+      EXPECT_LE(hs.down_time, result.makespan * 1.0000001)
+          << fs.base.description;
+      EXPECT_GE(hs.wasted_work, 0.0) << fs.base.description;
+      interrupted += hs.jobs_interrupted;
+    }
+    EXPECT_EQ(interrupted, result.interruptions) << fs.base.description;
+  }
+}
+
+}  // namespace
+}  // namespace distserv::proptest

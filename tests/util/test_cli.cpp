@@ -52,7 +52,57 @@ TEST(Cli, FallbacksWhenAbsent) {
 
 TEST(Cli, MalformedNumberThrows) {
   const Cli cli = make({"prog", "--hosts", "abc"});
-  EXPECT_THROW((void)cli.get_int("hosts", 0), ContractViolation);
+  EXPECT_THROW((void)cli.get_int("hosts", 0), CliError);
+}
+
+TEST(Cli, MalformedErrorNamesTheFlag) {
+  const Cli cli = make({"prog", "--hosts", "abc", "--load", "x.y.z"});
+  try {
+    (void)cli.get_int("hosts", 0);
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_NE(std::string(e.what()).find("--hosts"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
+  try {
+    (void)cli.get_double("load", 0.0);
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_NE(std::string(e.what()).find("--load"), std::string::npos);
+  }
+}
+
+TEST(Cli, RangeCheckedGetters) {
+  const Cli cli = make({"prog", "--load", "1.5", "--reps", "0"});
+  EXPECT_THROW((void)cli.get_double_in("load", 0.5, 0.0, 1.0), CliError);
+  EXPECT_THROW((void)cli.get_int_in("reps", 3, 1, 100), CliError);
+  EXPECT_DOUBLE_EQ(cli.get_double_in("load", 0.5, 0.0, 2.0), 1.5);
+  EXPECT_EQ(cli.get_int_in("missing", 7, 1, 100), 7);
+  try {
+    (void)cli.get_double_in("load", 0.5, 0.0, 1.0);
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--load"), std::string::npos);
+    EXPECT_NE(what.find("[0, 1]"), std::string::npos);
+  }
+}
+
+TEST(Cli, RequireKnownAcceptsListedFlags) {
+  const Cli cli = make({"prog", "--hosts", "4", "--csv", "positional"});
+  const std::vector<std::string_view> known = {"hosts", "csv"};
+  EXPECT_NO_THROW(cli.require_known(known));
+}
+
+TEST(Cli, RequireKnownRejectsTypos) {
+  const Cli cli = make({"prog", "--hosts", "4", "--mtfb", "100"});
+  const std::vector<std::string_view> known = {"hosts", "mtbf"};
+  try {
+    cli.require_known(known);
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_NE(std::string(e.what()).find("--mtfb"), std::string::npos);
+  }
 }
 
 TEST(Cli, ProgramName) {
