@@ -1,0 +1,108 @@
+// Staleness sweep — mean slowdown vs probe period per policy.
+//
+// Not a paper figure, but the paper's Fig. 6 argument restaged under
+// degraded information: §4.3 shows the queue-length/work-left signal is
+// what separates the dynamic policies from Random, so making that signal
+// stale should collapse the separation. Each grid point runs the control
+// plane (sim/control_plane.hpp) with a probe period T: policies read a
+// snapshot refreshed per host every T time units instead of live state.
+// T = 0 disables snapshots, so that column reproduces the
+// perfect-information bench results exactly.
+//
+// The probe-period grid is expressed in multiples of the mean job size so
+// one table reads across workloads: at T = 0.1x the snapshot is nearly
+// live, while at T = 100x each host's entry is stale for ~dozens of
+// arrivals between refreshes.
+//
+// Expected shape: Shortest-Queue and Least-Work-Left degrade toward (and
+// past) Random as T grows — acting confidently on stale state is worse
+// than ignoring state — while SITA-E is flat: its routing depends only on
+// the job size and the static cutoffs, so probes change nothing. The
+// misroute column reports how often a snapshot-driven choice disagrees
+// with the live-state oracle for the same arrival.
+//
+// The sweep runs hardened (SweepOptions::isolate_failures), so a failed
+// replication is reported and the remaining grid still completes.
+#include <iostream>
+
+#include "common.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  const auto opts = bench::BenchOptions::parse(
+      argc, argv, "c90", {"load", "hosts"}, /*sweeps_probe_period=*/true);
+  const util::Cli cli(argc, argv);
+  const double rho = cli.get_double_in("load", 0.7, 0.05, 0.95);
+  const auto hosts =
+      static_cast<std::size_t>(cli.get_int_in("hosts", 8, 2, 1024));
+
+  const workload::WorkloadSpec& spec =
+      workload::find_workload(opts.workload);
+  const double mean_size = spec.mean_size;
+
+  bench::print_header(
+      "Staleness sweep: mean slowdown vs probe period at load " +
+          util::format_sig(rho, 2) + ", " + std::to_string(hosts) + " hosts",
+      "Degraded-information extension (not a paper figure). Probe period "
+      "in multiples of the mean job size (" +
+          util::format_sig(mean_size, 3) +
+          "); 0 = live state. State-blind policies should be flat.",
+      opts);
+
+  // Probe periods as multiples of the mean job size; 0 is the
+  // perfect-information reference column.
+  const std::vector<double> period_multiples = {0.0, 0.1, 1.0, 10.0,
+                                                30.0, 100.0};
+  const std::vector<core::PolicyKind> policies = opts.policy_list(
+      "Random,Shortest-Queue,Least-Work-Left,SITA-E");
+  const std::vector<double> load{rho};
+
+  core::SweepOptions sweep = opts.sweep_options();
+  sweep.isolate_failures = true;
+  sweep.retry_failed_once = false;
+
+  std::vector<bench::Series> slowdown_series;
+  std::vector<bench::Series> misroute_series;
+  std::vector<bench::Series> age_series;
+  for (core::PolicyKind kind : policies) {
+    slowdown_series.push_back({core::to_string(kind), {}});
+    misroute_series.push_back({core::to_string(kind), {}});
+    age_series.push_back({core::to_string(kind), {}});
+  }
+  for (double mult : period_multiples) {
+    core::ExperimentConfig cfg = opts.experiment_config(hosts);
+    if (mult > 0.0) {
+      cfg.control.enabled = true;
+      cfg.control.probe_period = mult * mean_size;
+      cfg.control.probe_loss = opts.probe_loss;
+    } else {
+      // Perfect information: control plane fully off so this column is
+      // bit-identical to the plain bench results.
+      cfg.control = sim::ControlPlaneConfig{};
+    }
+    core::Workbench wb(spec, cfg);
+    const auto points = wb.sweep(policies, load, sweep);
+    for (std::size_t k = 0; k < policies.size(); ++k) {
+      slowdown_series[k].values.push_back(points[k].summary.mean_slowdown);
+      misroute_series[k].values.push_back(points[k].summary.misroute_rate);
+      age_series[k].values.push_back(points[k].summary.mean_snapshot_age);
+      for (const core::ReplicationFailure& f : points[k].failures) {
+        std::cerr << "[failure] policy=" << core::to_string(policies[k])
+                  << " period=" << mult << "x replication="
+                  << (f.replication == core::ReplicationFailure::kPlanStep
+                          ? std::string("plan")
+                          : std::to_string(f.replication))
+                  << " seed=" << f.seed << ": " << f.error << "\n";
+      }
+    }
+  }
+  bench::print_panel("Mean slowdown vs probe period (x mean job size)",
+                     "period", period_multiples, slowdown_series, opts.csv);
+  bench::print_panel(
+      "Misroute rate vs live-state oracle (pure-assignment policies)",
+      "period", period_multiples, misroute_series, opts.csv);
+  bench::print_panel("Mean snapshot age at dispatch", "period",
+                     period_multiples, age_series, opts.csv);
+  return 0;
+}

@@ -21,6 +21,18 @@
 //                            off, the default); enables the fail-stop model
 //   --mttr T                 mean time to repair (required with --mtbf)
 //   --recovery MODE          resubmit | requeue-front | abandon
+//   --probe-period T         control-plane probe period (0 = policies read
+//                            live state, the default); enables snapshots
+//   --probe-loss P           probability a probe is lost (requires
+//                            --probe-period > 0)
+//   --rpc-timeout T          dispatch RPC timeout (0 = dispatch is a direct
+//                            call, the default); enables the RPC model
+//   --rpc-loss P             probability a dispatch request is lost
+//                            (requires --rpc-timeout > 0)
+//   --ack-loss P             probability a dispatch ack is lost (requires
+//                            --rpc-timeout > 0)
+//   --retries N              RPC retry budget before fallback escalation
+//   --fallback MODE          chain | terminal | none
 //
 // Flags are validated strictly: an unknown flag, a malformed number, or an
 // out-of-range value prints an error naming the flag and exits with status
@@ -95,20 +107,33 @@ struct BenchOptions {
   double mtbf = 0.0;        ///< --mtbf: mean uptime; 0 = faults disabled
   double mttr = 0.0;        ///< --mttr: mean repair time
   core::RecoveryMode recovery = core::RecoveryMode::kResubmit;
+  double probe_period = 0.0;  ///< --probe-period: 0 = live state
+  double probe_loss = 0.0;    ///< --probe-loss
+  double rpc_timeout = 0.0;   ///< --rpc-timeout: 0 = direct dispatch
+  double rpc_loss = 0.0;      ///< --rpc-loss
+  double ack_loss = 0.0;      ///< --ack-loss
+  std::uint32_t retries = 3;  ///< --retries: RPC budget before escalation
+  sim::FallbackMode fallback = sim::FallbackMode::kChain;
 
   /// Parses and validates argv. `extra_known` lists bench-specific flags
   /// beyond the common set; anything else (or a malformed/out-of-range
-  /// value) prints the error and exits with status 2.
+  /// value) prints the error and exits with status 2. A bench that sweeps
+  /// the probe period itself (so --probe-loss is meaningful without
+  /// --probe-period) passes `sweeps_probe_period = true` to lift that
+  /// coupling check.
   static BenchOptions parse(
       int argc, const char* const* argv, std::string default_workload = "c90",
-      std::initializer_list<std::string_view> extra_known = {}) {
+      std::initializer_list<std::string_view> extra_known = {},
+      bool sweeps_probe_period = false) {
     const util::Cli cli(argc, argv);
     BenchOptions o;
     try {
       std::vector<std::string_view> known = {
-          "workload", "jobs", "reps",  "seed",     "threads",
-          "policies", "csv",  "audit", "mtbf",     "mttr",
-          "recovery"};
+          "workload",     "jobs",       "reps",        "seed",
+          "threads",      "policies",   "csv",         "audit",
+          "mtbf",         "mttr",       "recovery",    "probe-period",
+          "probe-loss",   "rpc-timeout", "rpc-loss",   "ack-loss",
+          "retries",      "fallback"};
       known.insert(known.end(), extra_known.begin(), extra_known.end());
       cli.require_known(known);
       o.workload = cli.get_string("workload", std::move(default_workload));
@@ -133,6 +158,32 @@ struct BenchOptions {
                              "' (resubmit | requeue-front | abandon)");
       }
       o.recovery = *mode;
+      o.probe_period = cli.get_double_in("probe-period", 0.0, 0.0, 1e18);
+      // Loss probabilities strictly below 1: a channel that never delivers
+      // makes every run diverge (probes) or every chain escalate (RPCs).
+      o.probe_loss =
+          cli.get_double_in("probe-loss", 0.0, 0.0, 0.999999);
+      if (o.probe_loss > 0.0 && o.probe_period <= 0.0 &&
+          !sweeps_probe_period) {
+        throw util::CliError(
+            "option --probe-loss: requires --probe-period > 0");
+      }
+      o.rpc_timeout = cli.get_double_in("rpc-timeout", 0.0, 0.0, 1e18);
+      o.rpc_loss = cli.get_double_in("rpc-loss", 0.0, 0.0, 0.999999);
+      o.ack_loss = cli.get_double_in("ack-loss", 0.0, 0.0, 0.999999);
+      if ((o.rpc_loss > 0.0 || o.ack_loss > 0.0) && o.rpc_timeout <= 0.0) {
+        throw util::CliError(
+            "option --rpc-loss/--ack-loss: requires --rpc-timeout > 0");
+      }
+      o.retries =
+          static_cast<std::uint32_t>(cli.get_int_in("retries", 3, 0, 100));
+      const std::string fb = cli.get_string("fallback", "chain");
+      const auto fb_mode = sim::fallback_from_string(fb);
+      if (!fb_mode) {
+        throw util::CliError("option --fallback: unknown mode '" + fb +
+                             "' (chain | terminal | none)");
+      }
+      o.fallback = *fb_mode;
     } catch (const util::CliError& e) {
       std::cerr << cli.program() << ": " << e.what() << "\n";
       std::exit(2);
@@ -153,6 +204,17 @@ struct BenchOptions {
       cfg.faults.mtbf = mtbf;
       cfg.faults.mttr = mttr;
       cfg.recovery = recovery;
+    }
+    if (probe_period > 0.0 || rpc_timeout > 0.0) {
+      cfg.control.enabled = true;
+      cfg.control.probe_period = probe_period;
+      cfg.control.probe_loss = probe_loss;
+      cfg.control.rpc_timeout = rpc_timeout;
+      cfg.control.rpc_loss = rpc_loss;
+      cfg.control.ack_loss = ack_loss;
+      cfg.control.max_retries = retries;
+      cfg.control.backoff_base = rpc_timeout;  // first retry waits 2x timeout
+      cfg.control.fallback = fallback;
     }
     return cfg;
   }
@@ -213,6 +275,14 @@ inline void print_header(const std::string& artifact,
   if (o.mtbf > 0.0) {
     std::cout << " mtbf=" << o.mtbf << " mttr=" << o.mttr
               << " recovery=" << core::to_string(o.recovery);
+  }
+  if (o.probe_period > 0.0 || o.rpc_timeout > 0.0) {
+    std::cout << " probe-period=" << o.probe_period
+              << " probe-loss=" << o.probe_loss
+              << " rpc-timeout=" << o.rpc_timeout
+              << " rpc-loss=" << o.rpc_loss << " ack-loss=" << o.ack_loss
+              << " retries=" << o.retries
+              << " fallback=" << sim::to_string(o.fallback);
   }
   std::cout << "\n"
             << "==============================================================\n";

@@ -8,16 +8,24 @@
 #   3. Rerun the faults slice (`ctest -L faults`): the host failure model
 #      unit tests plus the fault-injected property/metamorphic harness
 #      (~200 seeded failure scenarios under the extended audit).
-#   4. Configure a second tree with -DDISTSERV_TSAN=ON (benches/examples
+#   4. Rerun the control slice (`ctest -L control`): the degraded-
+#      information control-plane unit tests, bench flag parsing, and the
+#      control fuzz harness (>= 200 seeded stale-state/RPC-loss scenarios).
+#   5. Configure a second tree with -DDISTSERV_TSAN=ON (benches/examples
 #      off), build the sweep-runner determinism tests and the fault fuzz
 #      harness, and run every test carrying the `tsan` ctest label plus
 #      the fault property suite under the race detector.
+#   6. Configure a third tree with -DDISTSERV_UBSAN=ON and run the faults
+#      and control slices under UndefinedBehaviorSanitizer — the fault
+#      and control planes are the code most exposed to time arithmetic on
+#      degenerate configs (zero periods, unbounded backoff caps).
 #
-# Usage: scripts/check.sh [build-dir] [tsan-build-dir]
+# Usage: scripts/check.sh [build-dir] [tsan-build-dir] [ubsan-build-dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
+UBSAN_DIR="${3:-build-ubsan}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
@@ -34,6 +42,9 @@ ctest --test-dir "$BUILD_DIR" -L audit --output-on-failure
 echo "== faults: ctest -L faults =="
 ctest --test-dir "$BUILD_DIR" -L faults --output-on-failure
 
+echo "== control: ctest -L control =="
+ctest --test-dir "$BUILD_DIR" -L control --output-on-failure
+
 echo "== tsan: configure + build (determinism + fault fuzz tests) =="
 cmake -B "$TSAN_DIR" -S . \
   -DDISTSERV_TSAN=ON \
@@ -47,5 +58,17 @@ ctest --test-dir "$TSAN_DIR" -L tsan --output-on-failure
 
 echo "== tsan: fault fuzz harness =="
 "$TSAN_DIR"/tests/test_fault_property
+
+echo "== ubsan: configure + build (fault + control planes) =="
+cmake -B "$UBSAN_DIR" -S . \
+  -DDISTSERV_UBSAN=ON \
+  -DDISTSERV_BUILD_BENCH=OFF \
+  -DDISTSERV_BUILD_EXAMPLES=OFF
+cmake --build "$UBSAN_DIR" -j "$(nproc)" \
+  --target test_faults test_fault_property test_control \
+  test_control_property test_bench_flags
+
+echo "== ubsan: ctest -L 'faults|control' =="
+ctest --test-dir "$UBSAN_DIR" -L 'faults|control' --output-on-failure
 
 echo "All checks passed."

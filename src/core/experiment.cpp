@@ -258,31 +258,42 @@ Workbench::PointPlan Workbench::plan_point(PolicyKind kind, double rho) const {
 
 MetricsSummary Workbench::run_replication(const PointPlan& plan,
                                           std::size_t replication) const {
+  return run_replication(plan, replication, replication);
+}
+
+MetricsSummary Workbench::run_replication(const PointPlan& plan,
+                                          std::size_t replication,
+                                          std::size_t seed_index) const {
   DS_EXPECTS(replication < config_.replications);
   DS_EXPECTS(plan.make_policy != nullptr);
+  const std::uint64_t seed = replication_seed(seed_index);
   if (config_.replication_probe) {
-    config_.replication_probe(plan.point.policy, plan.point.rho, replication);
+    config_.replication_probe(plan.point.policy, plan.point.rho, replication,
+                              seed);
   }
   const PolicyPtr policy = plan.make_policy();
-  const workload::Trace trace =
-      make_eval_trace(plan.point.rho, replication);
+  const workload::Trace trace = make_eval_trace(plan.point.rho, seed_index);
   DistributedServer server(config_.hosts, *policy);
   if (config_.faults.enabled) {
     server.enable_faults(config_.faults, config_.recovery);
   }
+  if (config_.control.enabled) {
+    server.enable_control(config_.control);
+  }
   if (config_.audit.enabled) {
     server.enable_audit(config_.audit);
     // SITA routing is a pure function of job size when classification is
-    // perfect — unless faults are on, where a dead interval's jobs get
-    // remapped to live neighbors and the pure-size oracle no longer holds.
+    // perfect — unless faults or the control plane are on, where a dead
+    // interval's jobs get remapped to live neighbors (or a fallback level
+    // reroutes them) and the pure-size oracle no longer holds.
     if (const auto* sita = dynamic_cast<const SitaPolicy*>(policy.get());
         sita != nullptr && sita->classification_error() == 0.0 &&
-        !config_.faults.enabled) {
+        !config_.faults.enabled && !config_.control.enabled) {
       server.auditor()->set_expected_route(
           [sita](double size) { return sita->interval_of(size); });
     }
   }
-  const RunResult result = server.run(trace, replication_seed(replication));
+  const RunResult result = server.run(trace, seed);
   if (config_.audit.enabled) sim::throw_if_failed(*result.audit);
   return summarize(result);
 }

@@ -30,6 +30,7 @@
 #include "core/policy.hpp"
 #include "core/recovery.hpp"
 #include "sim/audit.hpp"
+#include "sim/control_plane.hpp"
 #include "sim/faults.hpp"
 #include "stats/confidence.hpp"
 #include "workload/catalog.hpp"
@@ -111,11 +112,18 @@ struct ExperimentConfig {
   sim::FaultConfig faults;
   /// What happens to a job in service when its host fails.
   RecoveryMode recovery = RecoveryMode::kResubmit;
+  /// Degraded-information control plane (sim/control_plane.hpp). Disabled
+  /// by default; when control.enabled is false every run is bit-identical
+  /// to a build without the control plane.
+  sim::ControlPlaneConfig control;
   /// Test seam: invoked at the top of every run_replication with
-  /// (policy, rho, replication). A throw here behaves exactly like a
-  /// replication failing mid-run — used to exercise sweep failure
-  /// isolation. Leave empty in real experiments.
-  std::function<void(PolicyKind, double, std::size_t)> replication_probe;
+  /// (policy, rho, replication, seed) — `seed` is the simulation seed the
+  /// replication will run under (it differs from replication_seed(r) on a
+  /// retried replication, see SweepOptions::retry_seed_offset). A throw
+  /// here behaves exactly like a replication failing mid-run — used to
+  /// exercise sweep failure isolation. Leave empty in real experiments.
+  std::function<void(PolicyKind, double, std::size_t, std::uint64_t)>
+      replication_probe;
 };
 
 /// One replication (or plan step) that threw during a hardened sweep
@@ -130,6 +138,9 @@ struct ReplicationFailure {
   std::string error;            ///< what() of the first failure
   bool retried = false;         ///< a retry was attempted
   bool recovered = false;       ///< the retry succeeded
+  /// Simulation seed the retry ran under (0 when no retry was attempted).
+  /// Differs from `seed` unless SweepOptions::retry_seed_offset is 0.
+  std::uint64_t retry_seed = 0;
 };
 
 /// One (policy, load) measurement.
@@ -173,6 +184,15 @@ struct SweepOptions {
   /// recording it. A recovered retry contributes its summary normally and
   /// is still logged (retried + recovered) for the experiment record.
   bool retry_failed_once = false;
+  /// Replication-index offset the retry runs under: the rerun uses
+  /// replication index r + retry_seed_offset, giving it a fresh simulation
+  /// seed AND a fresh arrival stream. A bitwise-identical rerun cannot
+  /// recover from a deterministic failure, so the offset must be nonzero to
+  /// make retry_failed_once meaningful; it must also exceed the replication
+  /// count so retry indices never collide with sibling replications. 0
+  /// restores the historical same-seed retry (useful only against
+  /// environmental flakes such as OOM).
+  std::size_t retry_seed_offset = 1000000;
 };
 
 /// Fixture binding a workload to the experiment methodology.
@@ -200,6 +220,15 @@ class Workbench {
   /// planned point. Deterministic in (seed, rho, replication) only.
   [[nodiscard]] MetricsSummary run_replication(const PointPlan& plan,
                                                std::size_t replication) const;
+
+  /// Retry seam: like run_replication, but derives the simulation seed and
+  /// the arrival stream from `seed_index` instead of `replication` (the
+  /// sweep runner passes r + SweepOptions::retry_seed_offset so a retry is
+  /// a genuinely different draw, not a bitwise-identical rerun).
+  /// `replication` must still be a valid replication index.
+  [[nodiscard]] MetricsSummary run_replication(const PointPlan& plan,
+                                               std::size_t replication,
+                                               std::size_t seed_index) const;
 
   /// Assembles the point from its per-replication summaries (averaging +
   /// t-interval), exactly as run_point does.

@@ -29,6 +29,15 @@ MetricsSummary summarize(const RunResult& result) {
     slowdowns.push_back(s);
   }
   m.jobs = slowdown.count();
+  if (result.control) {
+    const sim::ControlStats& c = *result.control;
+    m.mean_snapshot_age = c.mean_snapshot_age();
+    m.max_snapshot_age = c.snapshot_age_max;
+    m.rpc_retries = c.retries;
+    m.rpc_timeouts = c.timeouts;
+    m.fallback_activations = c.fallback_activations();
+    m.misroute_rate = c.misroute_rate();
+  }
   if (slowdowns.empty()) return m;  // every job failed
   m.mean_slowdown = slowdown.mean();
   m.var_slowdown = slowdown.variance_sample();
@@ -219,6 +228,40 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
   if (result.host_stats.size() != result.hosts) {
     complain("host_stats size does not match the host count");
   }
+  if (result.control) {
+    // Control-plane counter identities: retries reconcile with the RPC
+    // loss draws, and every loss is accounted for by a timeout, a chain
+    // cancellation, or a chain still outstanding at the end of the run.
+    const sim::ControlStats& c = *result.control;
+    const auto tag = std::string("control stats: ");
+    if (c.probes_lost > c.probes_sent) {
+      complain(tag + "more probes lost than sent");
+    }
+    if (c.requests_sent != c.rpc_dispatches + c.retries) {
+      complain(tag + "requests_sent != rpc_dispatches + retries");
+    }
+    if (c.requests_lost + c.acks_lost !=
+        c.timeouts + c.cancelled + c.chains_outstanding) {
+      complain(tag +
+               "losses do not reconcile with timeouts + cancelled + "
+               "outstanding chains");
+    }
+    if (c.timeouts != c.retries + c.reconciled + c.escalations_exhausted +
+                          c.forced_placements) {
+      complain(tag +
+               "timeouts do not reconcile with retries + reconciled + "
+               "escalations + forced placements");
+    }
+    if (c.misrouted > c.oracle_comparisons) {
+      complain(tag + "more misroutes than oracle comparisons");
+    }
+    if (c.duplicates_suppressed + c.requests_lost > c.requests_sent) {
+      complain(tag + "more RPC outcomes than sends");
+    }
+    if (c.snapshot_age_sum < 0.0 || c.snapshot_age_max < 0.0) {
+      complain(tag + "negative snapshot age accounting");
+    }
+  }
   return problems;
 }
 
@@ -239,6 +282,12 @@ MetricsSummary average_summaries(const std::vector<MetricsSummary>& reps) {
     avg.p50_slowdown += r.p50_slowdown / n;
     avg.p95_slowdown += r.p95_slowdown / n;
     avg.p99_slowdown += r.p99_slowdown / n;
+    avg.mean_snapshot_age += r.mean_snapshot_age / n;
+    avg.max_snapshot_age = std::max(avg.max_snapshot_age, r.max_snapshot_age);
+    avg.rpc_retries += r.rpc_retries;
+    avg.rpc_timeouts += r.rpc_timeouts;
+    avg.fallback_activations += r.fallback_activations;
+    avg.misroute_rate += r.misroute_rate / n;
   }
   return avg;
 }

@@ -27,6 +27,13 @@ struct MetricsSummary {
   double p50_slowdown = 0.0;
   double p95_slowdown = 0.0;
   double p99_slowdown = 0.0;
+  // Control-plane telemetry (all zero when the control plane is off).
+  double mean_snapshot_age = 0.0;  ///< dispatch-weighted snapshot staleness
+  double max_snapshot_age = 0.0;
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t rpc_timeouts = 0;
+  std::uint64_t fallback_activations = 0;  ///< stale + exhausted + forced
+  double misroute_rate = 0.0;  ///< vs the perfect-information oracle
 };
 
 /// Computes the summary over all records of a run.

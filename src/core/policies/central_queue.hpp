@@ -23,6 +23,13 @@ class CentralQueuePolicy final : public Policy {
                                         const ServerView& view) override;
 
   [[nodiscard]] std::string name() const override { return "Central-Queue"; }
+
+  /// Holds jobs instead of routing them, so there is nothing to degrade:
+  /// the empty chain sends an exhausted dispatch straight to forced
+  /// placement (which cannot happen — assign never names a host).
+  [[nodiscard]] DegradedInfo degraded_info() const override {
+    return DegradedInfo{false, true, {}};
+  }
 };
 
 }  // namespace distserv::core

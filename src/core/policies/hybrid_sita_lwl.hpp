@@ -28,6 +28,13 @@ class HybridSitaLwlPolicy final : public Policy {
   [[nodiscard]] std::string name() const override { return label_; }
 
   [[nodiscard]] double cutoff() const noexcept { return cutoff_; }
+
+  /// LWL within the group: state-sensitive, pure in (job, view), and
+  /// degrades like LWL through Power-of-2 to Random.
+  [[nodiscard]] DegradedInfo degraded_info() const override {
+    return DegradedInfo{
+        true, true, {FallbackKind::kPowerOfTwo, FallbackKind::kRandom}};
+  }
   [[nodiscard]] std::size_t short_hosts() const noexcept {
     return short_hosts_;
   }

@@ -16,6 +16,13 @@ class LeastWorkLeftPolicy final : public Policy {
   [[nodiscard]] std::optional<HostId> assign(const workload::Job& job,
                                              const ServerView& view) override;
   [[nodiscard]] std::string name() const override { return "Least-Work-Left"; }
+
+  /// Work-left argmin: misled by stale work estimates, pure in (job, view),
+  /// and degrades naturally through Power-of-2 to Random.
+  [[nodiscard]] DegradedInfo degraded_info() const override {
+    return DegradedInfo{
+        true, true, {FallbackKind::kPowerOfTwo, FallbackKind::kRandom}};
+  }
 };
 
 }  // namespace distserv::core

@@ -29,6 +29,13 @@ class NoisyLeastWorkLeftPolicy final : public Policy {
 
   [[nodiscard]] double sigma() const noexcept { return sigma_; }
 
+  /// Ranks hosts by (noisy) work left — state-sensitive — and draws its
+  /// noise factors from its own RNG, so the oracle must not re-run it.
+  [[nodiscard]] DegradedInfo degraded_info() const override {
+    return DegradedInfo{
+        true, false, {FallbackKind::kPowerOfTwo, FallbackKind::kRandom}};
+  }
+
  private:
   double sigma_;
   dist::Rng rng_{0};

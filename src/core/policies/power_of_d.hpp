@@ -29,6 +29,12 @@ class PowerOfDPolicy final : public Policy {
 
   [[nodiscard]] std::size_t d() const noexcept { return d_; }
 
+  /// Probes read queue/work state (stale snapshots mislead it) and the
+  /// probe set is drawn from its own RNG (not oracle-safe).
+  [[nodiscard]] DegradedInfo degraded_info() const override {
+    return DegradedInfo{true, false, {FallbackKind::kRandom}};
+  }
+
  private:
   std::size_t d_;
   Criterion criterion_;

@@ -19,6 +19,12 @@ class RandomPolicy final : public Policy {
                                              const ServerView& view) override;
   [[nodiscard]] std::string name() const override { return "Random"; }
 
+  /// State-free (no snapshot can mislead it) but draws its own RNG, so the
+  /// oracle must not re-run assign(). Fallback is Random itself.
+  [[nodiscard]] DegradedInfo degraded_info() const override {
+    return DegradedInfo{false, false, {FallbackKind::kRandom}};
+  }
+
  private:
   dist::Rng rng_{0};
   std::size_t hosts_ = 0;

@@ -7,18 +7,24 @@ namespace distserv::core {
 void RoundRobinPolicy::reset(std::size_t hosts, std::uint64_t /*seed*/) {
   DS_EXPECTS(hosts >= 1);
   hosts_ = hosts;
-  next_ = 0;
+  last_ = hosts - 1;  // the first scan starts at host 0
 }
 
 std::optional<HostId> RoundRobinPolicy::assign(const workload::Job& /*job*/,
                                                const ServerView& view) {
   DS_EXPECTS(hosts_ >= 1);
-  // Advance the wheel past down hosts; the emitted sequence over the up
-  // hosts is the plain round-robin order on them.
-  for (std::size_t probe = 0; probe < hosts_; ++probe) {
-    const HostId host = static_cast<HostId>(next_);
-    next_ = (next_ + 1) % hosts_;
-    if (view.host_up(host)) return host;
+  // Scan from the successor of the last dispatched host, skipping down
+  // hosts. Anchoring on the last *dispatch* (instead of free-running a
+  // counter) keeps the rotation fair across failures: a host that was
+  // skipped while down re-enters at its normal place in the wheel once it
+  // recovers, with no permanent skew toward low-index hosts.
+  for (std::size_t probe = 1; probe <= hosts_; ++probe) {
+    const std::size_t slot = (last_ + probe) % hosts_;
+    const HostId host = static_cast<HostId>(slot);
+    if (view.host_up(host)) {
+      last_ = slot;
+      return host;
+    }
   }
   return std::nullopt;  // every host is down: hold centrally
 }

@@ -15,9 +15,18 @@ class RoundRobinPolicy final : public Policy {
                                              const ServerView& view) override;
   [[nodiscard]] std::string name() const override { return "Round-Robin"; }
 
+  /// Counter-based, so stale queue state cannot mislead it; assign advances
+  /// the counter (not pure). Falls back to Random.
+  [[nodiscard]] DegradedInfo degraded_info() const override {
+    return DegradedInfo{false, false, {FallbackKind::kRandom}};
+  }
+
  private:
   std::size_t hosts_ = 0;
-  std::size_t next_ = 0;
+  /// The host the previous job was sent to; the rotation resumes scanning
+  /// at last_ + 1, so a host that was down and recovered slots back into
+  /// its fair turn instead of being skipped forever.
+  std::size_t last_ = 0;
 };
 
 }  // namespace distserv::core

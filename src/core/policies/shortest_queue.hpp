@@ -14,6 +14,13 @@ class ShortestQueuePolicy final : public Policy {
   [[nodiscard]] std::optional<HostId> assign(const workload::Job& job,
                                              const ServerView& view) override;
   [[nodiscard]] std::string name() const override { return "Shortest-Queue"; }
+
+  /// Queue-count argmin: misled by stale counts, pure in (job, view), and
+  /// degrades naturally through Power-of-2 to Random.
+  [[nodiscard]] DegradedInfo degraded_info() const override {
+    return DegradedInfo{
+        true, true, {FallbackKind::kPowerOfTwo, FallbackKind::kRandom}};
+  }
 };
 
 }  // namespace distserv::core

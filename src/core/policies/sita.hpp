@@ -55,6 +55,15 @@ class SitaPolicy final : public Policy {
   /// The size interval index for a given size (no classification error).
   [[nodiscard]] HostId interval_of(double size) const noexcept;
 
+  /// Size-based, so stale queue state cannot mislead it; pure only without
+  /// classification error (the error draw consumes RNG). Falls back to a
+  /// random host *near the failed interval*, keeping the job close to its
+  /// size class.
+  [[nodiscard]] DegradedInfo degraded_info() const override {
+    return DegradedInfo{
+        false, error_rate_ == 0.0, {FallbackKind::kRandomInRange}};
+  }
+
  private:
   /// The up host nearest to `host` by interval index (ties prefer the
   /// smaller-size side), or nullopt when every host is down. Used to remap

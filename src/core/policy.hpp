@@ -10,11 +10,46 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
 #include "workload/job.hpp"
 
 namespace distserv::core {
+
+/// One level of a policy's fallback chain: the cheap routing rule the
+/// dispatcher substitutes when it cannot execute the policy proper (dispatch
+/// retry budget exhausted, or snapshot staleness past the configured bound).
+/// Fallbacks route on *live* liveness only — they are what a dispatcher can
+/// do without trusting its state cache.
+enum class FallbackKind {
+  /// Sample two distinct up hosts, take the one with less remaining work.
+  kPowerOfTwo,
+  /// Uniform over up hosts.
+  kRandom,
+  /// Uniform over up hosts adjacent (by index) to the failed target — the
+  /// natural degradation for range-partitioned policies like SITA, which
+  /// keeps the job near its size class.
+  kRandomInRange,
+};
+
+/// What the control plane (sim/control_plane.hpp) needs to know about a
+/// policy to degrade it gracefully.
+struct DegradedInfo {
+  /// True if assign() reads queue lengths or work left, so a stale snapshot
+  /// can mislead it (Shortest-Queue, LWL, ...). Size- or counter-based
+  /// policies (SITA, Round-Robin, Random) are insensitive and never hit the
+  /// staleness bound.
+  bool state_sensitive = false;
+  /// True if assign() is a pure function of (job, view) — no internal state
+  /// advanced, no RNG drawn — so the misrouting oracle may re-evaluate it
+  /// against live state without perturbing the run.
+  bool assign_pure = false;
+  /// Escalation levels after the policy itself, cheapest last. Empty means
+  /// no degraded routing exists (Central-Queue: jobs are held, not routed)
+  /// and exhausted dispatches go straight to forced placement.
+  std::vector<FallbackKind> fallback_chain;
+};
 
 /// Read-only view of the server state exposed to policies. Everything a
 /// real dispatcher could know: queue lengths, remaining work (assuming
@@ -60,6 +95,13 @@ class Policy {
 
   /// Stable identifier, e.g. "SITA-E".
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// How the control plane should degrade this policy. The default is the
+  /// most conservative stateless description: not state-sensitive, not
+  /// provably pure, fall back to Random.
+  [[nodiscard]] virtual DegradedInfo degraded_info() const {
+    return DegradedInfo{false, false, {FallbackKind::kRandom}};
+  }
 };
 
 using PolicyPtr = std::unique_ptr<Policy>;

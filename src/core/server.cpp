@@ -42,6 +42,34 @@ bool DistributedServer::host_up(HostId host) const {
 
 double DistributedServer::now() const { return sim_.now(); }
 
+std::size_t DistributedServer::SnapshotView::host_count() const {
+  return server_->hosts_count_;
+}
+
+std::size_t DistributedServer::SnapshotView::queue_length(HostId host) const {
+  DS_EXPECTS(host < server_->snapshot_.hosts.size());
+  return server_->snapshot_.hosts[host].queue_length;
+}
+
+double DistributedServer::SnapshotView::work_left(HostId host) const {
+  // The raw probed value: a snapshot does not decay the work a host has
+  // served since the probe — that is exactly the staleness being modeled.
+  DS_EXPECTS(host < server_->snapshot_.hosts.size());
+  return server_->snapshot_.hosts[host].work_left;
+}
+
+bool DistributedServer::SnapshotView::host_idle(HostId host) const {
+  DS_EXPECTS(host < server_->snapshot_.hosts.size());
+  return server_->snapshot_.hosts[host].idle;
+}
+
+bool DistributedServer::SnapshotView::host_up(HostId host) const {
+  DS_EXPECTS(host < server_->snapshot_.hosts.size());
+  return server_->snapshot_.hosts[host].up;
+}
+
+double DistributedServer::SnapshotView::now() const { return server_->now(); }
+
 void DistributedServer::enable_audit(const sim::AuditConfig& config) {
   if (config.enabled) {
     auditor_ = std::make_unique<sim::QueueingAuditor>(config);
@@ -55,6 +83,11 @@ void DistributedServer::enable_faults(const sim::FaultConfig& config,
   faults_enabled_ = config.enabled;
   fault_config_ = config;
   recovery_ = recovery;
+}
+
+void DistributedServer::enable_control(const sim::ControlPlaneConfig& config) {
+  control_enabled_ = config.enabled;
+  control_config_ = config;
 }
 
 RunResult DistributedServer::run(const workload::Trace& trace,
@@ -76,8 +109,10 @@ RunResult DistributedServer::run(const workload::Trace& trace,
   policy_->reset(hosts_count_, seed);
 
   // Fault events are scheduled before the first arrival so a t=0 outage
-  // precedes any t=0 arrival in the (time, sequence)-ordered event list.
+  // precedes any t=0 arrival in the (time, sequence)-ordered event list;
+  // probe events follow faults so a t=0 probe observes the t=0 outage.
   if (faults_enabled_) begin_faults(seed);
+  if (control_enabled_) begin_control(seed);
   // Arrivals are scheduled lazily — one pending arrival event at a time —
   // so the event list stays O(hosts) instead of O(trace).
   schedule_next_arrival();
@@ -104,6 +139,16 @@ RunResult DistributedServer::run(const workload::Trace& trace,
   DS_ASSERT(central_queue_.empty());
   result.events_executed = sim_.executed();
   result.events_pending = sim_.pending();
+  if (control_enabled_) {
+    // A chain can outlive its job only through ack losses — the job itself
+    // was placed (and resolved); an unplaced job would still be running the
+    // simulation through its retry timeouts.
+    for ([[maybe_unused]] const auto& [id, p] : pending_) {
+      DS_ASSERT(p.enqueued);
+    }
+    control_stats_.chains_outstanding = pending_.size();
+    result.control = control_stats_;
+  }
   if (auditor_) result.audit = auditor_->finalize(sim_.now());
   records_.clear();
   trace_jobs_ = nullptr;
@@ -126,13 +171,275 @@ void DistributedServer::on_arrival(const workload::Job& job) {
 }
 
 void DistributedServer::route(const workload::Job& job) {
-  const std::optional<HostId> choice = policy_->assign(job, *this);
-  if (choice) {
-    DS_ASSERT(*choice < hosts_count_);
-    if (auditor_) auditor_->on_dispatch(job.id, *choice);
-    dispatch_to_host(*choice, job);
+  if (!control_enabled_) {
+    // Perfect-information fast path: byte-for-byte the pre-control-plane
+    // behavior (the determinism contract depends on it).
+    const std::optional<HostId> choice = policy_->assign(job, *this);
+    if (choice) {
+      DS_ASSERT(*choice < hosts_count_);
+      if (auditor_) auditor_->on_dispatch(job.id, *choice);
+      dispatch_to_host(*choice, job);
+      return;
+    }
+    hold_centrally(job);
     return;
   }
+  // Degraded information: a state-sensitive policy is never fed a snapshot
+  // older than the configured bound — escalate to its first fallback
+  // instead of routing on state that stale.
+  std::uint32_t level = 0;
+  if (control_config_.snapshots_enabled() &&
+      control_config_.staleness_bound > 0.0 && degraded_.state_sensitive &&
+      !degraded_.fallback_chain.empty() &&
+      snapshot_.max_age(sim_.now()) > control_config_.staleness_bound) {
+    ++control_stats_.escalations_stale;
+    if (auditor_) {
+      auditor_->on_fallback(job.id, 0, 1,
+                            sim::QueueingAuditor::FallbackReason::kStale,
+                            sim_.now());
+    }
+    level = 1;
+  }
+  route_at_level(job, level, std::nullopt);
+}
+
+void DistributedServer::route_at_level(const workload::Job& job,
+                                       std::uint32_t level,
+                                       std::optional<HostId> hint) {
+  const double now = sim_.now();
+  double age = 0.0;
+  if (control_config_.snapshots_enabled()) {
+    age = snapshot_.max_age(now);
+    ++control_stats_.routed;
+    control_stats_.snapshot_age_sum += age;
+    control_stats_.snapshot_age_max =
+        std::max(control_stats_.snapshot_age_max, age);
+  }
+  if (auditor_) {
+    auditor_->on_control_route(job.id, now, age,
+                               control_config_.staleness_bound,
+                               degraded_.state_sensitive, level);
+  }
+  std::optional<HostId> choice;
+  if (level == 0) {
+    choice = policy_->assign(job, policy_view());
+    // Misrouting oracle: for pure policies, re-evaluating on live state is
+    // side-effect free and tells us whether staleness changed the decision.
+    if (choice && control_config_.snapshots_enabled() &&
+        degraded_.assign_pure) {
+      ++control_stats_.oracle_comparisons;
+      const std::optional<HostId> live = policy_->assign(job, *this);
+      if (!live || *live != *choice) ++control_stats_.misrouted;
+    }
+  } else {
+    const std::optional<FallbackKind> kind = fallback_for_level(level);
+    DS_ASSERT(kind.has_value());
+    choice = assign_fallback(*kind, hint);
+  }
+  if (choice) {
+    DS_ASSERT(*choice < hosts_count_);
+    commit_route(job, *choice, level);
+    return;
+  }
+  // The policy declined (Central-Queue) or no up host exists at this
+  // fallback level: the dispatcher keeps the job.
+  pending_.erase(job.id);
+  hold_centrally(job);
+}
+
+const ServerView& DistributedServer::policy_view() const {
+  if (control_config_.snapshots_enabled()) return snapshot_view_;
+  return *this;
+}
+
+std::optional<FallbackKind> DistributedServer::fallback_for_level(
+    std::uint32_t level) const {
+  DS_EXPECTS(level >= 1);
+  const std::vector<FallbackKind>& chain = degraded_.fallback_chain;
+  switch (control_config_.fallback) {
+    case sim::FallbackMode::kChain:
+      if (level - 1 < chain.size()) return chain[level - 1];
+      return std::nullopt;
+    case sim::FallbackMode::kTerminal:
+      if (level == 1 && !chain.empty()) return chain.back();
+      return std::nullopt;
+    case sim::FallbackMode::kNone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<HostId> DistributedServer::assign_fallback(
+    FallbackKind kind, std::optional<HostId> hint) {
+  // Fallbacks route on *live* liveness: they model what the dispatcher can
+  // do without trusting its (stale, possibly wrong) state cache.
+  up_scratch_.clear();
+  if (kind == FallbackKind::kRandomInRange && hint) {
+    for (HostId h = 0; h < hosts_count_; ++h) {
+      const HostId lo = *hint > 0 ? *hint - 1 : 0;
+      if (h >= lo && h <= *hint + 1 && hosts_[h].up) up_scratch_.push_back(h);
+    }
+  }
+  if (up_scratch_.empty()) {
+    for (HostId h = 0; h < hosts_count_; ++h) {
+      if (hosts_[h].up) up_scratch_.push_back(h);
+    }
+  }
+  if (up_scratch_.empty()) return std::nullopt;
+  dist::Rng& rng = control_.fallback_rng();
+  switch (kind) {
+    case FallbackKind::kPowerOfTwo: {
+      if (up_scratch_.size() == 1) return up_scratch_[0];
+      const std::size_t i = rng.below(up_scratch_.size());
+      std::size_t j = rng.below(up_scratch_.size() - 1);
+      if (j >= i) ++j;
+      const HostId a = up_scratch_[i];
+      const HostId b = up_scratch_[j];
+      if (work_left(a) < work_left(b)) return a;
+      if (work_left(b) < work_left(a)) return b;
+      return std::min(a, b);  // tie: lower index, order-independent
+    }
+    case FallbackKind::kRandom:
+    case FallbackKind::kRandomInRange:
+      return up_scratch_[rng.below(up_scratch_.size())];
+  }
+  return std::nullopt;
+}
+
+void DistributedServer::commit_route(const workload::Job& job, HostId target,
+                                     std::uint32_t level) {
+  if (!control_config_.rpc_enabled()) {
+    if (auditor_) auditor_->on_dispatch(job.id, target);
+    dispatch_to_host(target, job);
+    return;
+  }
+  ++control_stats_.rpc_dispatches;
+  // Fresh chains insert; escalated chains overwrite their own entry. Either
+  // way the job cannot already be placed (escalation requires !enqueued,
+  // and a resubmission cancelled its old chain first).
+  PendingDispatch& p = pending_[job.id];
+  DS_ASSERT(!p.enqueued);
+  p = PendingDispatch{job, target, 0, level, false, ++rpc_epoch_};
+  send_dispatch(job.id);
+}
+
+void DistributedServer::send_dispatch(workload::JobId id) {
+  PendingDispatch& p = pending_.at(id);
+  const double now = sim_.now();
+  ++control_stats_.requests_sent;
+  if (auditor_) auditor_->on_rpc_send(id, p.target, p.attempt, now);
+  bool lost = control_.request_lost();
+  // A down host has no receiver: the request is lost regardless of the
+  // draw (the draw is still consumed, keeping the stream aligned).
+  if (!hosts_[p.target].up) lost = true;
+  if (lost) {
+    ++control_stats_.requests_lost;
+    if (auditor_) {
+      auditor_->on_rpc_outcome(id, sim::QueueingAuditor::RpcOutcome::kRequestLost,
+                               now);
+    }
+    schedule_rpc_timeout(id);
+    return;
+  }
+  if (p.enqueued) {
+    // The job id is the idempotency key: a re-delivered dispatch for an
+    // already placed job must not enqueue it twice.
+    ++control_stats_.duplicates_suppressed;
+    if (auditor_) {
+      auditor_->on_rpc_outcome(id, sim::QueueingAuditor::RpcOutcome::kDuplicate,
+                               now);
+    }
+  } else {
+    p.enqueued = true;
+    if (auditor_) auditor_->on_dispatch(id, p.target);
+    dispatch_to_host(p.target, p.job);
+    if (auditor_) {
+      auditor_->on_rpc_outcome(id, sim::QueueingAuditor::RpcOutcome::kDelivered,
+                               now);
+    }
+  }
+  if (control_.ack_lost()) {
+    ++control_stats_.acks_lost;
+    if (auditor_) {
+      auditor_->on_rpc_outcome(id, sim::QueueingAuditor::RpcOutcome::kAckLost,
+                               now);
+    }
+    schedule_rpc_timeout(id);
+    return;
+  }
+  pending_.erase(id);  // acked: the chain is resolved
+}
+
+void DistributedServer::schedule_rpc_timeout(workload::JobId id) {
+  const PendingDispatch& p = pending_.at(id);
+  const double delay = control_config_.rpc_timeout + control_.backoff(p.attempt);
+  const std::uint64_t epoch = p.epoch;
+  sim_.schedule_in(delay, [this, id, epoch] { rpc_timeout_fired(id, epoch); });
+}
+
+void DistributedServer::rpc_timeout_fired(workload::JobId id,
+                                          std::uint64_t epoch) {
+  const auto it = pending_.find(id);
+  // A mismatched epoch marks a cancelled chain (the job was interrupted
+  // and resubmitted; its new chain has a fresh epoch).
+  if (it == pending_.end() || it->second.epoch != epoch) return;
+  const double now = sim_.now();
+  ++control_stats_.timeouts;
+  if (auditor_) {
+    auditor_->on_rpc_outcome(id, sim::QueueingAuditor::RpcOutcome::kTimeout,
+                             now);
+  }
+  PendingDispatch& p = it->second;
+  if (p.attempt < control_config_.max_retries) {
+    ++p.attempt;
+    ++control_stats_.retries;
+    send_dispatch(id);
+    return;
+  }
+  // Retry budget exhausted.
+  if (p.enqueued) {
+    // Only acks were lost; the idempotency key proves the job is placed.
+    ++control_stats_.reconciled;
+    pending_.erase(it);
+    return;
+  }
+  const std::uint32_t next_level = p.level + 1;
+  if (fallback_for_level(next_level)) {
+    ++control_stats_.escalations_exhausted;
+    if (auditor_) {
+      auditor_->on_fallback(id, p.level, next_level,
+                            sim::QueueingAuditor::FallbackReason::kExhausted,
+                            now);
+    }
+    const workload::Job job = p.job;
+    const HostId failed = p.target;
+    route_at_level(job, next_level, failed);
+    return;
+  }
+  ++control_stats_.forced_placements;
+  if (auditor_) {
+    auditor_->on_fallback(id, p.level, next_level,
+                          sim::QueueingAuditor::FallbackReason::kForced, now);
+  }
+  const workload::Job job = p.job;
+  pending_.erase(it);
+  force_place(job);
+}
+
+void DistributedServer::force_place(const workload::Job& job) {
+  // The reliable last resort (an operator walking to the machine): place on
+  // a uniformly random live up host, or hold centrally when none is up.
+  const std::optional<HostId> pick =
+      assign_fallback(FallbackKind::kRandom, std::nullopt);
+  if (pick) {
+    if (auditor_) auditor_->on_dispatch(job.id, *pick);
+    dispatch_to_host(*pick, job);
+    return;
+  }
+  hold_centrally(job);
+}
+
+void DistributedServer::hold_centrally(const workload::Job& job) {
   // Central queue: start immediately if some host is idle and up, else hold
   // (when every host is down, all jobs wait here until a repair).
   for (HostId h = 0; h < hosts_count_; ++h) {
@@ -228,10 +535,45 @@ void DistributedServer::feed_idle_host(HostId host) {
 
 void DistributedServer::note_job_done() {
   ++jobs_done_;
-  // Under faults the event list can hold failure/repair events far beyond
-  // the last job; stop as soon as every job is resolved instead of
-  // simulating an empty system through them.
-  if (faults_enabled_ && all_jobs_done()) sim_.stop();
+  // Under faults or the control plane the event list can hold
+  // failure/repair/probe/timeout events far beyond the last job; stop as
+  // soon as every job is resolved instead of simulating an empty system
+  // through them.
+  if ((faults_enabled_ || control_enabled_) && all_jobs_done()) sim_.stop();
+}
+
+void DistributedServer::begin_control(std::uint64_t seed) {
+  control_ = sim::ControlPlane(control_config_, hosts_count_, seed);
+  control_stats_ = sim::ControlStats{};
+  pending_.clear();
+  rpc_epoch_ = 0;
+  degraded_ = policy_->degraded_info();
+  // The dispatcher starts with a fresh t=0 observation of the empty system
+  // (it booted the hosts; it knows they are empty).
+  snapshot_.hosts.assign(hosts_count_, sim::HostObservation{});
+  if (control_config_.snapshots_enabled()) {
+    for (HostId h = 0; h < hosts_count_; ++h) {
+      sim_.schedule_at(control_.first_probe_at(h),
+                       [this, h] { probe_fired(h); });
+    }
+  }
+}
+
+void DistributedServer::probe_fired(HostId host) {
+  if (all_jobs_done()) return;  // run is winding down; stop the probe chain
+  const double t = sim_.now();
+  ++control_stats_.probes_sent;
+  const bool lost = control_.probe_lost(host);
+  if (lost) {
+    ++control_stats_.probes_lost;  // the old observation stays in place
+  } else {
+    snapshot_.hosts[host] =
+        sim::HostObservation{queue_length(host), work_left(host),
+                             host_idle(host), hosts_[host].up, t};
+  }
+  if (auditor_) auditor_->on_probe(host, t, lost);
+  sim_.schedule_in(control_config_.probe_period,
+                   [this, host] { probe_fired(host); });
 }
 
 void DistributedServer::begin_faults(std::uint64_t seed) {
@@ -311,6 +653,16 @@ void DistributedServer::interrupt_running(HostId host) {
       h.queued_work += job.size;
       break;
     case RecoveryMode::kResubmit:
+      // A live RPC chain for this job (an ack-loss retry still in flight)
+      // is moot once the job leaves the host: cancel it so the resubmission
+      // opens a fresh chain. The orphaned timeout event is epoch-fenced.
+      if (control_enabled_ && pending_.erase(id) > 0) {
+        ++control_stats_.cancelled;
+        if (auditor_) {
+          auditor_->on_rpc_outcome(
+              id, sim::QueueingAuditor::RpcOutcome::kCancelled, t);
+        }
+      }
       if (auditor_) {
         auditor_->on_interrupt(
             id, host, t, sim::QueueingAuditor::InterruptResolution::kResubmitted);
@@ -351,6 +703,15 @@ RunResult simulate_with_faults(Policy& policy, const workload::Trace& trace,
                                RecoveryMode recovery, std::uint64_t seed) {
   DistributedServer server(hosts, policy);
   server.enable_faults(faults, recovery);
+  return server.run(trace, seed);
+}
+
+RunResult simulate_with_control(Policy& policy, const workload::Trace& trace,
+                                std::size_t hosts,
+                                const sim::ControlPlaneConfig& control,
+                                std::uint64_t seed) {
+  DistributedServer server(hosts, policy);
+  server.enable_control(control);
   return server.run(trace, seed);
 }
 

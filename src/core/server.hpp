@@ -12,10 +12,14 @@
 #include <optional>
 #include <vector>
 
+#include <cstdint>
+#include <unordered_map>
+
 #include "core/policy.hpp"
 #include "core/recovery.hpp"
 #include "core/types.hpp"
 #include "sim/audit.hpp"
+#include "sim/control_plane.hpp"
 #include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 #include "workload/trace.hpp"
@@ -31,14 +35,18 @@ struct RunResult {
   double makespan = 0.0;  ///< completion time of the last job
   std::uint64_t events_executed = 0;
   /// Events still pending when the run returned; 0 for a drained run
-  /// without faults. With faults enabled the run stops at the last job
-  /// outcome and pending failure/repair events beyond it remain here.
+  /// without faults or a control plane. With either enabled the run stops
+  /// at the last job outcome and pending failure/repair/probe/RPC-timeout
+  /// events beyond it remain here.
   std::uint64_t events_pending = 0;
   // Failure tallies (zero when the fault model is disabled).
   std::uint64_t jobs_failed = 0;    ///< records with failed == true
   std::uint64_t interruptions = 0;  ///< in-service jobs cut by failures
   /// Filled when the run was audited (see DistributedServer::enable_audit).
   std::optional<sim::AuditReport> audit;
+  /// Filled when the degraded-information control plane was enabled (see
+  /// DistributedServer::enable_control).
+  std::optional<sim::ControlStats> control;
 };
 
 /// One simulation of one trace under one policy.
@@ -72,6 +80,15 @@ class DistributedServer final : public ServerView {
   void enable_faults(const sim::FaultConfig& config,
                      RecoveryMode recovery = RecoveryMode::kResubmit);
 
+  /// Turns the degraded-information control plane (sim/control_plane.hpp)
+  /// on (config.enabled) or off for subsequent runs. When on, policies read
+  /// probe-refreshed snapshots instead of live state, dispatches travel
+  /// over a lossy RPC path with timeout/retry/backoff and fallback
+  /// escalation, and ControlStats land in RunResult::control. Control
+  /// randomness lives on its own RNG stream, so runs with the control
+  /// plane disabled are bit-identical to a server without this call.
+  void enable_control(const sim::ControlPlaneConfig& config);
+
   // ServerView interface (used by policies during run()).
   [[nodiscard]] std::size_t host_count() const override;
   [[nodiscard]] std::size_t queue_length(HostId host) const override;
@@ -99,10 +116,73 @@ class DistributedServer final : public ServerView {
     double service_start = 0.0;   ///< when the current service began
   };
 
+  /// ServerView over the dispatcher's probe-refreshed snapshot: per-host
+  /// observations come from the snapshot (possibly stale), host_count and
+  /// the clock stay live. Installed as the policy's view when snapshots
+  /// are enabled.
+  class SnapshotView final : public ServerView {
+   public:
+    explicit SnapshotView(const DistributedServer* server) : server_(server) {}
+    [[nodiscard]] std::size_t host_count() const override;
+    [[nodiscard]] std::size_t queue_length(HostId host) const override;
+    [[nodiscard]] double work_left(HostId host) const override;
+    [[nodiscard]] bool host_idle(HostId host) const override;
+    [[nodiscard]] bool host_up(HostId host) const override;
+    [[nodiscard]] double now() const override;
+
+   private:
+    const DistributedServer* server_;
+  };
+
+  /// One in-flight dispatch RPC chain (rpc_timeout > 0 only). The job id
+  /// doubles as the idempotency key: `enqueued` records whether any send
+  /// of this chain was actually delivered to a host.
+  struct PendingDispatch {
+    workload::Job job;
+    HostId target = 0;
+    std::uint32_t attempt = 0;  ///< 0 = initial send of this level
+    std::uint32_t level = 0;    ///< 0 = the policy proper, >0 = fallbacks
+    bool enqueued = false;
+    /// Chain identity; a timeout event whose captured epoch no longer
+    /// matches belongs to a cancelled chain (interrupt resubmission) and
+    /// is ignored (the kernel has no event cancellation).
+    std::uint64_t epoch = 0;
+  };
+
   void schedule_next_arrival();
   void on_arrival(const workload::Job& job);
   /// Policy routing shared by fresh arrivals and resubmitted jobs.
   void route(const workload::Job& job);
+  /// Routing at one escalation level: 0 = the policy proper, level k > 0 =
+  /// the k-th fallback. `hint` is the failed target (for range fallbacks).
+  void route_at_level(const workload::Job& job, std::uint32_t level,
+                      std::optional<HostId> hint);
+  /// The view assign() reads: the snapshot when snapshots are on, else live.
+  [[nodiscard]] const ServerView& policy_view() const;
+  /// The fallback rule for escalation level `level` >= 1 under the
+  /// configured FallbackMode, or nullopt when the chain is exhausted.
+  [[nodiscard]] std::optional<FallbackKind> fallback_for_level(
+      std::uint32_t level) const;
+  /// Executes one fallback rule on live liveness (and live work for
+  /// Power-of-2), drawing from the control stream. nullopt = no up host.
+  [[nodiscard]] std::optional<HostId> assign_fallback(
+      FallbackKind kind, std::optional<HostId> hint);
+  /// Hands a routed job to `target`: directly when RPCs are reliable, else
+  /// opens an RPC chain at `level`.
+  void commit_route(const workload::Job& job, HostId target,
+                    std::uint32_t level);
+  /// Sends (or resends) the pending dispatch of `id` over the lossy path.
+  void send_dispatch(workload::JobId id);
+  void schedule_rpc_timeout(workload::JobId id);
+  void rpc_timeout_fired(workload::JobId id, std::uint64_t epoch);
+  /// Chain exhausted: place reliably on a random live up host (or hold).
+  void force_place(const workload::Job& job);
+  /// The policy declined (or no fallback host exists): start on an idle up
+  /// host now, else wait in the dispatcher's central queue.
+  void hold_centrally(const workload::Job& job);
+  // Control-plane event handlers.
+  void begin_control(std::uint64_t seed);
+  void probe_fired(HostId host);
   void dispatch_to_host(HostId host, const workload::Job& job);
   void start_service(HostId host, const workload::Job& job,
                      sim::QueueingAuditor::StartSource source);
@@ -138,6 +218,17 @@ class DistributedServer final : public ServerView {
   sim::FaultProcess fault_process_;
   std::size_t jobs_done_ = 0;
   std::uint64_t interruptions_ = 0;
+  // Control plane (inert unless enable_control turned it on).
+  bool control_enabled_ = false;
+  sim::ControlPlaneConfig control_config_;
+  sim::ControlPlane control_;
+  sim::StateSnapshot snapshot_;
+  sim::ControlStats control_stats_;
+  SnapshotView snapshot_view_{this};
+  DegradedInfo degraded_;
+  std::unordered_map<workload::JobId, PendingDispatch> pending_;
+  std::uint64_t rpc_epoch_ = 0;
+  std::vector<HostId> up_scratch_;  ///< fallback candidate set, reused
 };
 
 /// Convenience: run `trace` on `hosts` hosts under `policy`.
@@ -160,5 +251,11 @@ class DistributedServer final : public ServerView {
                                              const sim::FaultConfig& faults,
                                              RecoveryMode recovery,
                                              std::uint64_t seed = 1);
+
+/// Degraded-information convenience run: like simulate, but with the
+/// control plane `control`; ControlStats land in RunResult::control.
+[[nodiscard]] RunResult simulate_with_control(
+    Policy& policy, const workload::Trace& trace, std::size_t hosts,
+    const sim::ControlPlaneConfig& control, std::uint64_t seed = 1);
 
 }  // namespace distserv::core

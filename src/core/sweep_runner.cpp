@@ -104,13 +104,19 @@ std::vector<ExperimentPoint> run_sweep(const Workbench& workbench,
       f.seed = workbench.replication_seed(r);
       f.error = e.what();
       if (options.retry_failed_once) {
+        // Retry under an offset replication index: a fresh simulation seed
+        // and a fresh arrival stream. Rerunning the identical seed would
+        // reproduce any deterministic failure bit-for-bit and can only
+        // "recover" from environmental flakes — offset 0 opts into that.
+        const std::size_t retry_index = r + options.retry_seed_offset;
         f.retried = true;
+        f.retry_seed = workbench.replication_seed(retry_index);
         try {
-          summaries[i][r] = workbench.run_replication(plans[i], r);
+          summaries[i][r] = workbench.run_replication(plans[i], r, retry_index);
           done[i][r] = 1;
           f.recovered = true;
         } catch (const std::exception&) {
-          // Keep the first error: the retry reproduced the failure.
+          // Keep the first error: the retry failed too.
         }
       }
       failures[i][r] = std::move(f);

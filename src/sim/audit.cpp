@@ -31,6 +31,17 @@ std::string AuditReport::to_string() const {
     out << " host_downs=" << host_downs << " host_ups=" << host_ups
         << " interruptions=" << interruptions << " abandoned=" << abandoned;
   }
+  if (probes + control_routes + rpc_sends > 0) {
+    out << " probes=" << probes << " probe_losses=" << probe_losses
+        << " control_routes=" << control_routes << " rpc_sends=" << rpc_sends
+        << " rpc_deliveries=" << rpc_deliveries
+        << " rpc_duplicates=" << rpc_duplicates
+        << " rpc_request_losses=" << rpc_request_losses
+        << " rpc_ack_losses=" << rpc_ack_losses
+        << " rpc_timeouts=" << rpc_timeouts << " rpc_cancels=" << rpc_cancels
+        << " fallbacks=" << fallbacks
+        << " stale_escalations=" << stale_escalations;
+  }
   for (const AuditViolation& v : violations) {
     out << "\n  [" << v.invariant << "] t=" << v.time << " " << v.detail;
   }
@@ -431,8 +442,10 @@ void QueueingAuditor::on_interrupt(JobId id, HostIndex host, Time t,
       break;
     case InterruptResolution::kResubmitted:
       // The job leaves this host and is the dispatcher's problem again —
-      // exactly the arrival state.
+      // exactly the arrival state. Its next dispatch RPC chain starts
+      // fresh, so a second delivery is legitimate.
       job->state = JobState::kArrived;
+      job->rpc_placed = false;
       advance_host_integral(*h, t);
       if (h->n == 0) {
         violate("state-machine", t,
@@ -465,6 +478,115 @@ void QueueingAuditor::on_interrupt(JobId id, HostIndex host, Time t,
       break;
   }
   settled_dirty_ = true;
+}
+
+void QueueingAuditor::on_probe(HostIndex host, Time t, bool lost) {
+  ++report_.probes;
+  HostShadow* h = find_host(host, "on_probe", t);
+  if (h == nullptr) return;
+  if (lost) {
+    ++report_.probe_losses;
+    return;  // the previous observation stays in place
+  }
+  if (t + config_.time_tol < h->last_probe) {
+    violate("event-monotonicity", t,
+            describe_host(host) + " probed in the past");
+  }
+  h->last_probe = t;
+}
+
+void QueueingAuditor::on_control_route(JobId id, Time t, double age,
+                                       double bound, bool stale_sensitive,
+                                       std::uint32_t level) {
+  ++report_.control_routes;
+  if (find_job(id, "on_control_route", t) == nullptr) return;
+  // Shadow recomputation: the oldest successful probe over all hosts must
+  // reproduce the snapshot age the server claims it routed under. Before
+  // the first probe the shadow cannot distinguish snapshots-disabled
+  // (reported age 0) from all-observations-at-t=0, so the check only arms
+  // once a probe has been seen.
+  if (report_.probes > 0) {
+    Time oldest = t;
+    for (const HostShadow& h : hosts_) {
+      oldest = std::min(oldest, h.last_probe);
+    }
+    const double expected = t - oldest;
+    if (!stats::close(age, expected, config_.accounting_rtol,
+                      config_.time_tol)) {
+      std::ostringstream detail;
+      detail << describe_job(id) << " routed under reported snapshot age "
+             << age << ", probe stream implies " << expected;
+      violate("snapshot-age", t, detail.str());
+    }
+  }
+  if (level == 0 && stale_sensitive && bound > 0.0 &&
+      age > bound + config_.time_tol) {
+    std::ostringstream detail;
+    detail << describe_job(id) << " routed by a state-sensitive policy from "
+           << "a snapshot aged " << age << " past the bound " << bound
+           << " without falling back";
+    violate("stale-dispatch", t, detail.str());
+  }
+}
+
+void QueueingAuditor::on_rpc_send(JobId id, HostIndex host,
+                                  std::uint32_t attempt, Time t) {
+  ++report_.rpc_sends;
+  if (find_job(id, "on_rpc_send", t) == nullptr) return;
+  if (find_host(host, "on_rpc_send", t) == nullptr) return;
+  (void)attempt;
+}
+
+void QueueingAuditor::on_rpc_outcome(JobId id, RpcOutcome outcome, Time t) {
+  JobShadow* job = find_job(id, "on_rpc_outcome", t);
+  switch (outcome) {
+    case RpcOutcome::kDelivered:
+      ++report_.rpc_deliveries;
+      if (job != nullptr) {
+        if (job->rpc_placed) {
+          violate("at-most-once-enqueue", t,
+                  describe_job(id) +
+                      " delivered twice without duplicate suppression");
+        }
+        job->rpc_placed = true;
+      }
+      break;
+    case RpcOutcome::kDuplicate:
+      ++report_.rpc_duplicates;
+      if (job != nullptr && !job->rpc_placed) {
+        violate("at-most-once-enqueue", t,
+                describe_job(id) +
+                    " duplicate-suppressed but was never placed");
+      }
+      break;
+    case RpcOutcome::kRequestLost:
+      ++report_.rpc_request_losses;
+      break;
+    case RpcOutcome::kAckLost:
+      ++report_.rpc_ack_losses;
+      break;
+    case RpcOutcome::kTimeout:
+      ++report_.rpc_timeouts;
+      break;
+    case RpcOutcome::kCancelled:
+      ++report_.rpc_cancels;
+      break;
+  }
+}
+
+void QueueingAuditor::on_fallback(JobId id, std::uint32_t from_level,
+                                  std::uint32_t to_level,
+                                  FallbackReason reason, Time t) {
+  ++report_.fallbacks;
+  if (reason == FallbackReason::kStale) ++report_.stale_escalations;
+  if (find_job(id, "on_fallback", t) == nullptr) return;
+  if (to_level != from_level + 1) {
+    std::ostringstream detail;
+    detail << describe_job(id) << " escalated from fallback level "
+           << from_level << " to " << to_level
+           << " (the chain must advance one level at a time)";
+    violate("fallback-chain", t, detail.str());
+  }
 }
 
 AuditReport QueueingAuditor::finalize(Time end) {
@@ -533,6 +655,30 @@ AuditReport QueueingAuditor::finalize(Time end) {
     detail << "system integral of jobs-in-system " << system_n_integral_
            << " != summed response " << system_sojourn_sum_;
     violate("littles-law", end, detail.str());
+  }
+  // RPC accounting: every send resolves exactly one way, and every timeout
+  // traces back to a loss (request or ack). Holds at drain because the
+  // server never finishes with a dispatch still in flight.
+  if (report_.rpc_sends != report_.rpc_deliveries + report_.rpc_duplicates +
+                               report_.rpc_request_losses) {
+    violate("rpc-accounting", end,
+            std::to_string(report_.rpc_sends) + " RPC send(s) but " +
+                std::to_string(report_.rpc_deliveries) + " delivery(ies) + " +
+                std::to_string(report_.rpc_duplicates) + " duplicate(s) + " +
+                std::to_string(report_.rpc_request_losses) +
+                " request loss(es)");
+  }
+  // Each loss schedules one timeout, which fires, is orphaned by a chain
+  // cancellation, or is still pending when the run stops at the last job
+  // outcome — so timeouts + cancels can fall short of losses, never exceed.
+  if (report_.rpc_timeouts + report_.rpc_cancels >
+      report_.rpc_request_losses + report_.rpc_ack_losses) {
+    violate("rpc-accounting", end,
+            std::to_string(report_.rpc_timeouts) + " timeout(s) + " +
+                std::to_string(report_.rpc_cancels) + " cancel(s) exceed " +
+                std::to_string(report_.rpc_request_losses) +
+                " request loss(es) + " +
+                std::to_string(report_.rpc_ack_losses) + " ack loss(es)");
   }
   report_.finalized = true;
   return report_;

@@ -26,6 +26,19 @@
 //                            a job; interruptions happen only to the job in
 //                            service on a host that just went down; up/down
 //                            transitions strictly alternate.
+// Control-plane invariants (sim/control_plane.hpp; inert without it):
+//   * stale-dispatch       — a state-sensitive policy never routes at its
+//                            primary level from a snapshot older than the
+//                            declared staleness bound (it must fall back);
+//   * snapshot-age         — the snapshot age reported at each routing
+//                            decision matches the age recomputed from the
+//                            observed probe stream (shadow recomputation);
+//   * at-most-once-enqueue — a re-delivered dispatch for an already placed
+//                            job must be suppressed by the idempotency key:
+//                            a second non-duplicate delivery, or a duplicate
+//                            claim for a never-placed job, is a violation;
+//   * fallback-chain       — escalations walk strictly forward through the
+//                            fallback chain, one level at a time.
 // And at finalize (drain):
 //   * job-conservation     — arrived == completed + abandoned, every queue
 //                            empty, every host idle;
@@ -35,7 +48,11 @@
 //                            (equivalently L = lambda * W over the run);
 //   * utilization          — each host's integrated busy time equals the
 //                            summed sizes of the jobs it completed plus the
-//                            partial work discarded at interruptions.
+//                            partial work discarded at interruptions;
+//   * rpc-accounting       — every RPC send has exactly one request outcome
+//                            (delivered, duplicate, or lost), and every
+//                            timeout traces back to a lost request or a
+//                            lost ack.
 #pragma once
 
 #include <cstdint>
@@ -87,6 +104,19 @@ struct AuditReport {
   std::uint64_t host_ups = 0;      ///< down -> up transitions observed
   std::uint64_t interruptions = 0; ///< in-service jobs cut by failures
   std::uint64_t abandoned = 0;     ///< jobs dropped (RecoveryMode::kAbandon)
+  // Control-plane traffic (zero when the control plane is off).
+  std::uint64_t probes = 0;             ///< state probes observed
+  std::uint64_t probe_losses = 0;
+  std::uint64_t control_routes = 0;     ///< routing decisions under snapshots
+  std::uint64_t rpc_sends = 0;          ///< dispatch RPC sends (incl. retries)
+  std::uint64_t rpc_deliveries = 0;     ///< first deliveries (job placed)
+  std::uint64_t rpc_duplicates = 0;     ///< idempotency-suppressed deliveries
+  std::uint64_t rpc_request_losses = 0;
+  std::uint64_t rpc_ack_losses = 0;
+  std::uint64_t rpc_timeouts = 0;
+  std::uint64_t rpc_cancels = 0;        ///< chains dropped by a resubmission
+  std::uint64_t fallbacks = 0;          ///< escalations, forced included
+  std::uint64_t stale_escalations = 0;  ///< triggered by the staleness bound
   bool finalized = false;         ///< drain-time checks ran
 
   [[nodiscard]] bool ok() const noexcept {
@@ -128,6 +158,23 @@ class QueueingAuditor {
     kAbandoned,     ///< dropped; leaves the system without completing
   };
 
+  /// Outcome of one dispatch RPC event (control plane).
+  enum class RpcOutcome {
+    kDelivered,    ///< request arrived; the job was placed
+    kDuplicate,    ///< request arrived for an already placed job: suppressed
+    kRequestLost,  ///< request lost in flight; nothing placed
+    kAckLost,      ///< placed, but the ack never made it back
+    kTimeout,      ///< the dispatcher's timeout for a loss fired
+    kCancelled,    ///< chain dropped: the job was interrupted and resubmitted
+  };
+
+  /// Why the dispatcher escalated to a fallback level.
+  enum class FallbackReason {
+    kStale,      ///< snapshot older than the policy's staleness bound
+    kExhausted,  ///< retry budget exhausted with the job unplaced
+    kForced,     ///< fallback chain exhausted too: reliable forced placement
+  };
+
   explicit QueueingAuditor(AuditConfig config);
 
   /// Installs an oracle mapping job size -> expected host (SITA cutoff
@@ -158,6 +205,23 @@ class QueueingAuditor {
   void on_host_up(HostIndex host, Time t);
   void on_interrupt(JobId id, HostIndex host, Time t,
                     InterruptResolution resolution);
+  // Control-plane hooks (sim/control_plane.hpp). A probe observed `host`
+  // at `t` (or was lost); the shadow probe times feed the snapshot-age
+  // recomputation.
+  void on_probe(HostIndex host, Time t, bool lost);
+  /// A routing decision was made under snapshots: `age` is the snapshot's
+  /// max_age the server used, `bound` the active staleness bound (0 =
+  /// unbounded), `stale_sensitive` whether the primary policy declares
+  /// state sensitivity, and `level` the fallback level that routed (0 =
+  /// primary). Checks stale-dispatch and the snapshot-age shadow.
+  void on_control_route(JobId id, Time t, double age, double bound,
+                        bool stale_sensitive, std::uint32_t level);
+  void on_rpc_send(JobId id, HostIndex host, std::uint32_t attempt, Time t);
+  /// One RPC event for `id` (see RpcOutcome). Checks at-most-once-enqueue
+  /// via the job's placed flag.
+  void on_rpc_outcome(JobId id, RpcOutcome outcome, Time t);
+  void on_fallback(JobId id, std::uint32_t from_level, std::uint32_t to_level,
+                   FallbackReason reason, Time t);
 
   /// Runs the drain-time checks (job conservation, Little's law,
   /// utilization accounting) and returns the completed report. The auditor
@@ -185,12 +249,16 @@ class QueueingAuditor {
     Time joined_host = 0.0;  ///< when it became this host's responsibility
     JobState state = JobState::kArrived;
     HostIndex host = 0;
+    /// An RPC delivery placed this job (cleared on resubmit): the
+    /// idempotency key's shadow for the at-most-once-enqueue check.
+    bool rpc_placed = false;
   };
 
   struct HostShadow {
     std::deque<JobId> queue;  ///< waiting jobs, excluding the one in service
     bool busy = false;
     bool up = true;           ///< mirrors the failure model's host state
+    Time last_probe = 0.0;    ///< last successful control-plane probe
     JobId running = 0;
     Time service_start = 0.0;
     // Accounting integrals for the drain-time identities.

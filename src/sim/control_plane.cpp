@@ -1,0 +1,118 @@
+#include "sim/control_plane.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::sim {
+
+namespace {
+
+constexpr std::array kAllFallbackModes = {
+    FallbackMode::kChain,
+    FallbackMode::kTerminal,
+    FallbackMode::kNone,
+};
+
+}  // namespace
+
+std::string to_string(FallbackMode mode) {
+  switch (mode) {
+    case FallbackMode::kChain: return "chain";
+    case FallbackMode::kTerminal: return "terminal";
+    case FallbackMode::kNone: return "none";
+  }
+  return "?";
+}
+
+std::optional<FallbackMode> fallback_from_string(std::string_view name) {
+  for (FallbackMode mode : kAllFallbackModes) {
+    if (util::iequals(to_string(mode), name)) return mode;
+  }
+  return std::nullopt;
+}
+
+std::span<const FallbackMode> all_fallback_modes() noexcept {
+  return kAllFallbackModes;
+}
+
+std::vector<std::string> registered_fallback_modes() {
+  std::vector<std::string> names;
+  names.reserve(kAllFallbackModes.size());
+  for (FallbackMode mode : kAllFallbackModes) {
+    names.push_back(to_string(mode));
+  }
+  return names;
+}
+
+ControlPlane::ControlPlane(const ControlPlaneConfig& config, std::size_t hosts,
+                           std::uint64_t seed)
+    : config_(config) {
+  DS_EXPECTS(hosts >= 1);
+  DS_EXPECTS(config.probe_period >= 0.0 && std::isfinite(config.probe_period));
+  DS_EXPECTS(config.probe_jitter >= 0.0 && config.probe_jitter <= 1.0);
+  DS_EXPECTS(config.probe_loss >= 0.0 && config.probe_loss < 1.0);
+  if (config.probe_loss > 0.0) DS_EXPECTS(config.probe_period > 0.0);
+  DS_EXPECTS(config.rpc_timeout >= 0.0 && std::isfinite(config.rpc_timeout));
+  DS_EXPECTS(config.rpc_loss >= 0.0 && config.rpc_loss < 1.0);
+  DS_EXPECTS(config.ack_loss >= 0.0 && config.ack_loss < 1.0);
+  if (config.rpc_loss > 0.0 || config.ack_loss > 0.0) {
+    DS_EXPECTS(config.rpc_timeout > 0.0);
+  }
+  DS_EXPECTS(config.backoff_base >= 0.0 && std::isfinite(config.backoff_base));
+  DS_EXPECTS(config.backoff_factor >= 1.0);
+  DS_EXPECTS(config.backoff_cap >= 0.0);
+  DS_EXPECTS(config.staleness_bound >= 0.0);
+  if (config.staleness_bound > 0.0) {
+    DS_EXPECTS(config.fallback != FallbackMode::kNone);
+    DS_EXPECTS(config.probe_period > 0.0);
+  }
+
+  // Per-host probe substreams plus a shared RPC/fallback stream at
+  // split(hosts), disjoint from every per-host stream.
+  dist::Rng root(seed ^ config.stream_tag);
+  probe_streams_.reserve(hosts);
+  first_probe_.reserve(hosts);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    probe_streams_.push_back(root.split(h));
+    // The phase draw comes first on the host's stream so loss draws stay
+    // aligned across jitter settings.
+    const double u =
+        config.probe_period > 0.0 ? probe_streams_.back().uniform01() : 0.0;
+    first_probe_.push_back(u * config.probe_jitter * config.probe_period);
+  }
+  rpc_stream_ = root.split(hosts);
+}
+
+Time ControlPlane::first_probe_at(std::uint32_t host) const {
+  DS_EXPECTS(host < first_probe_.size());
+  return first_probe_[host];
+}
+
+bool ControlPlane::probe_lost(std::uint32_t host) {
+  DS_EXPECTS(host < probe_streams_.size());
+  if (config_.probe_loss <= 0.0) return false;
+  return probe_streams_[host].bernoulli(config_.probe_loss);
+}
+
+bool ControlPlane::request_lost() {
+  if (config_.rpc_loss <= 0.0) return false;
+  return rpc_stream_.bernoulli(config_.rpc_loss);
+}
+
+bool ControlPlane::ack_lost() {
+  if (config_.ack_loss <= 0.0) return false;
+  return rpc_stream_.bernoulli(config_.ack_loss);
+}
+
+Time ControlPlane::backoff(std::uint32_t attempt) const {
+  if (config_.backoff_base <= 0.0) return 0.0;
+  const double raw =
+      config_.backoff_base *
+      std::pow(config_.backoff_factor, static_cast<double>(attempt));
+  return config_.backoff_cap > 0.0 ? std::min(raw, config_.backoff_cap) : raw;
+}
+
+}  // namespace distserv::sim

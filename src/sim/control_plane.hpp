@@ -1,0 +1,257 @@
+// Degraded-information control plane — deterministic stale state, probe
+// loss, and lossy dispatch RPCs between the dispatcher and its hosts.
+//
+// The paper's dynamic policies (Shortest-Queue, Least-Work-Left) assume the
+// dispatcher sees perfect, instantaneous host state. A real supercomputing
+// front-end sees neither: it sees the last *probe* of each host, probes get
+// lost, and the dispatch itself is an RPC that can time out. This module
+// models exactly that, in three parts:
+//
+//   1. Snapshot state. Policies read a StateSnapshot — per-host observations
+//      (queue length, work left, idleness, liveness) refreshed by periodic
+//      probes. Probes fire every `probe_period` per host, start at a
+//      per-host jittered phase, and are lost with probability `probe_loss`
+//      (a lost probe leaves the previous observation in place). A period of
+//      0 means continuous observation: the live view is used directly, so
+//      probe_period -> 0 recovers the perfect-information model exactly.
+//
+//   2. Dispatch RPCs. Each dispatch send is lost with probability
+//      `rpc_loss`; a delivered dispatch's acknowledgement is lost with
+//      probability `ack_loss`. Either loss fires a timeout `rpc_timeout`
+//      plus exponential backoff after the send, and the dispatcher retries
+//      up to `max_retries` times. Deliveries are idempotent: the job id is
+//      the idempotency key, so a re-delivered dispatch for an already
+//      placed job is suppressed (at-most-once enqueue). rpc_timeout of 0
+//      means reliable instantaneous RPCs (the pre-control-plane behavior).
+//
+//   3. Fallback escalation. When a retry budget is exhausted and the job
+//      was never placed, the dispatcher escalates along the policy's
+//      fallback chain (e.g. LWL -> Power-of-2 -> Random) with a fresh
+//      budget per level; when the chain is exhausted too, the job is
+//      force-placed over a reliable path. No job is ever silently dropped.
+//      A policy-declared staleness bound can also escalate *eagerly*: a
+//      state-sensitive policy is never fed a snapshot older than the bound.
+//
+// Determinism contract (mirrors sim/faults.hpp): all control-plane
+// randomness — probe loss, probe phase jitter, RPC loss draws, fallback
+// host picks — comes from a dedicated RNG stream keyed by `stream_tag`,
+// with per-host substreams for probes, completely disjoint from the
+// arrival, policy, and fault streams. A run with the control plane
+// disabled consumes exactly the same random numbers as before this
+// subsystem existed and stays bit-identical; an enabled run is
+// reproducible from (seed, ControlPlaneConfig) alone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace distserv::sim {
+
+/// How the dispatcher escalates when a dispatch retry budget is exhausted.
+enum class FallbackMode {
+  /// Walk the policy's declared fallback chain one level per exhausted
+  /// budget (e.g. LWL -> Power-of-2 -> Random), then force-place.
+  kChain,
+  /// Skip intermediate levels: go straight to the chain's terminal
+  /// (cheapest) fallback, then force-place.
+  kTerminal,
+  /// No fallback routing at all: an exhausted budget force-places on the
+  /// original target (and staleness escalation is disabled).
+  kNone,
+};
+
+/// Display name, e.g. "chain".
+[[nodiscard]] std::string to_string(FallbackMode mode);
+
+/// Inverse of to_string (case-insensitive); nullopt for unknown names.
+[[nodiscard]] std::optional<FallbackMode> fallback_from_string(
+    std::string_view name);
+
+/// Every FallbackMode, in declaration order.
+[[nodiscard]] std::span<const FallbackMode> all_fallback_modes() noexcept;
+
+/// Display names of every fallback mode, in declaration order.
+[[nodiscard]] std::vector<std::string> registered_fallback_modes();
+
+/// Control-plane knobs. Default-constructed = disabled (zero cost, and the
+/// simulation is bit-identical to a build without the subsystem).
+struct ControlPlaneConfig {
+  /// Master switch; when false the server installs no control plane at all.
+  bool enabled = false;
+  /// Seconds between state probes of one host. 0 = continuous observation
+  /// (policies read live state; the perfect-information limit).
+  double probe_period = 0.0;
+  /// Per-host phase jitter as a fraction of probe_period in [0, 1]: host h
+  /// first probes at u_h * probe_jitter * probe_period, decorrelating the
+  /// probe phases across hosts. 0 = all hosts probe in lockstep.
+  double probe_jitter = 1.0;
+  /// Probability in [0, 1) that one probe is lost (the previous
+  /// observation stays in place). Requires probe_period > 0.
+  double probe_loss = 0.0;
+  /// Dispatch RPC timeout. 0 = reliable instantaneous dispatch RPCs (loss
+  /// knobs must be 0). When > 0, a lost send or ack times out after this
+  /// delay plus backoff and is retried.
+  double rpc_timeout = 0.0;
+  /// Probability in [0, 1) that a dispatch request is lost in flight (the
+  /// job is not placed). Requires rpc_timeout > 0.
+  double rpc_loss = 0.0;
+  /// Probability in [0, 1) that a delivered dispatch's ack is lost (the
+  /// job *is* placed, but the dispatcher cannot know and retries; the
+  /// duplicate delivery is suppressed by the idempotency key). Requires
+  /// rpc_timeout > 0.
+  double ack_loss = 0.0;
+  /// Retry budget per (job, fallback level) after the initial send.
+  std::uint32_t max_retries = 3;
+  /// Backoff before retry k (0-based) = min(backoff_base * backoff_factor^k,
+  /// backoff_cap), added to rpc_timeout. backoff_base 0 disables backoff.
+  double backoff_base = 0.0;
+  double backoff_factor = 2.0;
+  double backoff_cap = 0.0;  ///< 0 = uncapped
+  /// A state-sensitive policy whose snapshot is older than this bound is
+  /// escalated to its first fallback level instead of routing on stale
+  /// state. 0 disables the bound. Requires fallback != kNone when set.
+  double staleness_bound = 0.0;
+  FallbackMode fallback = FallbackMode::kChain;
+  /// Keys the dedicated control RNG stream ("CTRL" tag); change only to run
+  /// decorrelated control-plane scenarios over one master seed.
+  std::uint64_t stream_tag = 0x4354524cULL;
+
+  /// True when policies must read snapshots instead of live state.
+  [[nodiscard]] bool snapshots_enabled() const noexcept {
+    return enabled && probe_period > 0.0;
+  }
+  /// True when dispatches travel over the lossy RPC path.
+  [[nodiscard]] bool rpc_enabled() const noexcept {
+    return enabled && rpc_timeout > 0.0;
+  }
+};
+
+/// What the dispatcher last observed about one host.
+struct HostObservation {
+  std::size_t queue_length = 0;  ///< jobs at the host, incl. in service
+  double work_left = 0.0;        ///< remaining work at observation time
+  bool idle = true;
+  bool up = true;
+  Time observed_at = 0.0;        ///< when this observation was taken
+};
+
+/// The dispatcher's (possibly stale) picture of every host. Initialized at
+/// run start with a fresh observation of the empty system.
+struct StateSnapshot {
+  std::vector<HostObservation> hosts;
+
+  /// Age of the *oldest* per-host observation at time `t` — the staleness
+  /// the bound is checked against (one unprobed host is enough to mislead
+  /// an argmin policy).
+  [[nodiscard]] Time max_age(Time t) const noexcept {
+    Time age = 0.0;
+    for (const HostObservation& o : hosts) {
+      age = std::max(age, t - o.observed_at);
+    }
+    return age;
+  }
+};
+
+/// Per-run control-plane telemetry, surfaced through RunResult.
+struct ControlStats {
+  // Probe traffic.
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_lost = 0;
+  // Dispatch RPC traffic (zero when rpc_timeout == 0).
+  std::uint64_t rpc_dispatches = 0;  ///< routing decisions sent over RPC
+  std::uint64_t requests_sent = 0;   ///< initial sends + retries
+  std::uint64_t requests_lost = 0;
+  std::uint64_t acks_lost = 0;
+  std::uint64_t timeouts = 0;  ///< timeout events that found a live chain
+  std::uint64_t retries = 0;
+  std::uint64_t duplicates_suppressed = 0;  ///< idempotency-key hits
+  /// Budget exhausted with the job already placed (only acks were lost):
+  /// resolved by the idempotency key, no re-route.
+  std::uint64_t reconciled = 0;
+  /// Chains cancelled because a host failure interrupted the job and it was
+  /// resubmitted through the dispatcher (the chain restarts from scratch).
+  std::uint64_t cancelled = 0;
+  /// Chains still awaiting a timeout when the run ended (the run stops at
+  /// the last job outcome; only already-placed chains can linger).
+  std::uint64_t chains_outstanding = 0;
+  // Fallback escalation.
+  std::uint64_t escalations_stale = 0;      ///< snapshot older than bound
+  std::uint64_t escalations_exhausted = 0;  ///< retry budget exhausted
+  std::uint64_t forced_placements = 0;      ///< chain exhausted: forced
+  // Snapshot staleness observed at routing decisions.
+  std::uint64_t routed = 0;            ///< routing decisions under snapshots
+  double snapshot_age_sum = 0.0;       ///< over routing decisions
+  double snapshot_age_max = 0.0;
+  // Misrouting vs the perfect-information oracle (pure policies only).
+  std::uint64_t oracle_comparisons = 0;
+  std::uint64_t misrouted = 0;
+
+  /// Dispatch-weighted mean snapshot age (0 without routing decisions).
+  [[nodiscard]] double mean_snapshot_age() const noexcept {
+    return routed > 0 ? snapshot_age_sum / static_cast<double>(routed) : 0.0;
+  }
+  /// Fraction of oracle comparisons where the stale snapshot picked a
+  /// different host than live state would have.
+  [[nodiscard]] double misroute_rate() const noexcept {
+    return oracle_comparisons > 0
+               ? static_cast<double>(misrouted) /
+                     static_cast<double>(oracle_comparisons)
+               : 0.0;
+  }
+  /// Every fallback activation, whatever the trigger.
+  [[nodiscard]] std::uint64_t fallback_activations() const noexcept {
+    return escalations_stale + escalations_exhausted + forced_placements;
+  }
+};
+
+/// Random-draw engine for the control plane. Owns one probe RNG substream
+/// per host, derived as Rng(seed ^ stream_tag).split(host), plus one shared
+/// RPC/fallback stream at split(hosts) — disjoint from every arrival,
+/// policy, and fault stream by construction.
+class ControlPlane {
+ public:
+  ControlPlane() = default;
+
+  /// Validates `config` (ranges, knob dependencies listed on the fields)
+  /// and derives the streams from `seed`.
+  ControlPlane(const ControlPlaneConfig& config, std::size_t hosts,
+               std::uint64_t seed);
+
+  /// Time of host `host`'s first probe: its jittered phase in
+  /// [0, probe_jitter * probe_period]. Drawn once at construction.
+  [[nodiscard]] Time first_probe_at(std::uint32_t host) const;
+
+  /// Draws whether the next probe of `host` is lost.
+  [[nodiscard]] bool probe_lost(std::uint32_t host);
+
+  /// Draws whether a dispatch request is lost in flight.
+  [[nodiscard]] bool request_lost();
+  /// Draws whether a delivered dispatch's ack is lost.
+  [[nodiscard]] bool ack_lost();
+
+  /// Backoff before 0-based retry `attempt`:
+  /// min(backoff_base * backoff_factor^attempt, backoff_cap).
+  [[nodiscard]] Time backoff(std::uint32_t attempt) const;
+
+  /// The shared stream fallback host picks draw from.
+  [[nodiscard]] dist::Rng& fallback_rng() noexcept { return rpc_stream_; }
+
+  [[nodiscard]] const ControlPlaneConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ControlPlaneConfig config_;
+  std::vector<dist::Rng> probe_streams_;
+  std::vector<Time> first_probe_;
+  dist::Rng rpc_stream_{0};
+};
+
+}  // namespace distserv::sim

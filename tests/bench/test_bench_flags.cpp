@@ -1,0 +1,107 @@
+// The shared bench flag parser: control-plane flags wire into
+// ExperimentConfig::control with the documented coupling rules, and every
+// malformed or out-of-range value exits with status 2 naming the flag
+// (strict CLI contract — a typo never silently falls back to a default).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common.hpp"
+
+namespace distserv::bench {
+namespace {
+
+BenchOptions parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench_under_test");
+  return BenchOptions::parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(BenchFlags, ControlPlaneIsOffByDefault) {
+  const BenchOptions o = parse({});
+  const core::ExperimentConfig cfg = o.experiment_config(4);
+  EXPECT_FALSE(cfg.control.enabled);
+}
+
+TEST(BenchFlags, ControlFlagsWireIntoTheExperimentConfig) {
+  const BenchOptions o = parse({"--probe-period", "12.5",
+                                "--probe-loss", "0.25",
+                                "--rpc-timeout", "2.0",
+                                "--rpc-loss", "0.1",
+                                "--ack-loss", "0.05",
+                                "--retries", "5",
+                                "--fallback", "terminal"});
+  const core::ExperimentConfig cfg = o.experiment_config(4);
+  ASSERT_TRUE(cfg.control.enabled);
+  EXPECT_DOUBLE_EQ(cfg.control.probe_period, 12.5);
+  EXPECT_DOUBLE_EQ(cfg.control.probe_loss, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.control.rpc_timeout, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.control.rpc_loss, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.control.ack_loss, 0.05);
+  EXPECT_EQ(cfg.control.max_retries, 5u);
+  EXPECT_DOUBLE_EQ(cfg.control.backoff_base, 2.0);  // anchored to timeout
+  EXPECT_EQ(cfg.control.fallback, sim::FallbackMode::kTerminal);
+}
+
+TEST(BenchFlags, SnapshotsAloneEnableTheControlPlane) {
+  const BenchOptions o = parse({"--probe-period", "3.0"});
+  const core::ExperimentConfig cfg = o.experiment_config(2);
+  ASSERT_TRUE(cfg.control.enabled);
+  EXPECT_DOUBLE_EQ(cfg.control.probe_period, 3.0);
+  EXPECT_DOUBLE_EQ(cfg.control.rpc_timeout, 0.0);
+}
+
+TEST(BenchFlags, ProbePeriodSweepingBenchAcceptsBareProbeLoss) {
+  // bench_staleness_sweep supplies the probe period per grid point, so it
+  // lifts the --probe-loss/--probe-period coupling.
+  const std::vector<const char*> args = {"bench_under_test",
+                                         "--probe-loss", "0.3"};
+  const BenchOptions o = BenchOptions::parse(
+      static_cast<int>(args.size()), args.data(), "c90", {},
+      /*sweeps_probe_period=*/true);
+  EXPECT_DOUBLE_EQ(o.probe_loss, 0.3);
+}
+
+
+
+TEST(BenchFlagsDeathTest, ProbeLossWithoutProbePeriodExits) {
+  EXPECT_EXIT(parse({"--probe-loss", "0.1"}),
+              ::testing::ExitedWithCode(2), "--probe-loss");
+}
+
+TEST(BenchFlagsDeathTest, RpcLossWithoutRpcTimeoutExits) {
+  EXPECT_EXIT(parse({"--rpc-loss", "0.1"}),
+              ::testing::ExitedWithCode(2), "--rpc-loss");
+}
+
+TEST(BenchFlagsDeathTest, AckLossWithoutRpcTimeoutExits) {
+  EXPECT_EXIT(parse({"--ack-loss", "0.1"}),
+              ::testing::ExitedWithCode(2), "--rpc-timeout");
+}
+
+TEST(BenchFlagsDeathTest, CertainProbeLossIsOutOfRange) {
+  EXPECT_EXIT(parse({"--probe-period", "1.0", "--probe-loss", "1.0"}),
+              ::testing::ExitedWithCode(2), "probe-loss");
+}
+
+TEST(BenchFlagsDeathTest, NegativeProbePeriodIsOutOfRange) {
+  EXPECT_EXIT(parse({"--probe-period", "-1.0"}),
+              ::testing::ExitedWithCode(2), "probe-period");
+}
+
+TEST(BenchFlagsDeathTest, UnknownFallbackModeExits) {
+  EXPECT_EXIT(parse({"--fallback", "panic"}),
+              ::testing::ExitedWithCode(2), "--fallback");
+}
+
+TEST(BenchFlagsDeathTest, MalformedRetriesExits) {
+  EXPECT_EXIT(parse({"--retries", "many"}),
+              ::testing::ExitedWithCode(2), "retries");
+}
+
+TEST(BenchFlagsDeathTest, MisspelledControlFlagExits) {
+  EXPECT_EXIT(parse({"--probe-perid", "1.0"}),
+              ::testing::ExitedWithCode(2), "probe-perid");
+}
+
+}  // namespace
+}  // namespace distserv::bench

@@ -1,0 +1,308 @@
+// Degraded-information control plane: config validation, RNG stream
+// determinism, backoff arithmetic, the bit-identical-when-off contract,
+// a hand-computed retry/backoff/escalation timeline, perfect-information
+// equivalence in the probe-period -> 0 limit, and the paper-facing claim
+// that state-blind SITA is unaffected by staleness while Shortest-Queue
+// and Least-Work-Left misroute.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/random.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/policies/sita.hpp"
+#include "core/server.hpp"
+#include "dist/exponential.hpp"
+#include "dist/rng.hpp"
+#include "sim/control_plane.hpp"
+#include "sim/faults.hpp"
+#include "util/contracts.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv::core {
+namespace {
+
+using workload::Job;
+
+sim::ControlPlaneConfig snapshots_only(double period) {
+  sim::ControlPlaneConfig c;
+  c.enabled = true;
+  c.probe_period = period;
+  c.probe_jitter = 0.0;
+  return c;
+}
+
+workload::Trace poisson_trace(std::size_t n, double rho, std::size_t hosts,
+                              std::uint64_t seed) {
+  dist::Rng rng(seed);
+  const dist::Exponential d = dist::Exponential::from_mean(10.0);
+  std::vector<double> sizes;
+  sizes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) sizes.push_back(d.sample(rng));
+  return workload::Trace::with_poisson_load(sizes, rho, hosts, rng);
+}
+
+// ---------------------------------------------------------------- config --
+
+TEST(ControlPlaneConfig, ValidatesItsConstraints) {
+  const auto make = [](const sim::ControlPlaneConfig& c) {
+    return sim::ControlPlane(c, /*hosts=*/2, /*seed=*/1);
+  };
+  sim::ControlPlaneConfig loss_without_probes;
+  loss_without_probes.enabled = true;
+  loss_without_probes.probe_loss = 0.1;
+  EXPECT_THROW(make(loss_without_probes), ContractViolation);
+
+  sim::ControlPlaneConfig loss_without_rpc;
+  loss_without_rpc.enabled = true;
+  loss_without_rpc.rpc_loss = 0.1;
+  EXPECT_THROW(make(loss_without_rpc), ContractViolation);
+
+  sim::ControlPlaneConfig certain_loss = snapshots_only(5.0);
+  certain_loss.probe_loss = 1.0;  // a channel that never delivers
+  EXPECT_THROW(make(certain_loss), ContractViolation);
+
+  sim::ControlPlaneConfig bound_without_fallback = snapshots_only(5.0);
+  bound_without_fallback.staleness_bound = 10.0;
+  bound_without_fallback.fallback = sim::FallbackMode::kNone;
+  EXPECT_THROW(make(bound_without_fallback), ContractViolation);
+
+  sim::ControlPlaneConfig bound_without_probes;
+  bound_without_probes.enabled = true;
+  bound_without_probes.rpc_timeout = 1.0;
+  bound_without_probes.staleness_bound = 10.0;
+  EXPECT_THROW(make(bound_without_probes), ContractViolation);
+
+  sim::ControlPlaneConfig shrinking_backoff;
+  shrinking_backoff.enabled = true;
+  shrinking_backoff.rpc_timeout = 1.0;
+  shrinking_backoff.backoff_factor = 0.5;
+  EXPECT_THROW(make(shrinking_backoff), ContractViolation);
+
+  EXPECT_NO_THROW(make(snapshots_only(5.0)));
+}
+
+TEST(ControlPlaneConfig, FallbackModeStringRoundTrip) {
+  for (sim::FallbackMode mode : sim::all_fallback_modes()) {
+    const auto parsed = sim::fallback_from_string(sim::to_string(mode));
+    ASSERT_TRUE(parsed.has_value()) << sim::to_string(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_EQ(sim::fallback_from_string("Terminal"),
+            sim::FallbackMode::kTerminal);  // case-insensitive
+  EXPECT_FALSE(sim::fallback_from_string("panic").has_value());
+  EXPECT_EQ(sim::registered_fallback_modes().size(),
+            sim::all_fallback_modes().size());
+}
+
+TEST(ControlPlane, BackoffGrowsGeometricallyUpToTheCap) {
+  sim::ControlPlaneConfig c;
+  c.enabled = true;
+  c.rpc_timeout = 1.0;
+  c.backoff_base = 1.0;
+  c.backoff_factor = 2.0;
+  c.backoff_cap = 5.0;
+  const sim::ControlPlane plane(c, 1, 1);
+  EXPECT_DOUBLE_EQ(plane.backoff(0), 1.0);
+  EXPECT_DOUBLE_EQ(plane.backoff(1), 2.0);
+  EXPECT_DOUBLE_EQ(plane.backoff(2), 4.0);
+  EXPECT_DOUBLE_EQ(plane.backoff(3), 5.0);  // capped
+  EXPECT_DOUBLE_EQ(plane.backoff(4), 5.0);
+
+  c.backoff_base = 0.0;  // no backoff: the timeout alone paces retries
+  const sim::ControlPlane flat(c, 1, 1);
+  EXPECT_DOUBLE_EQ(flat.backoff(0), 0.0);
+  EXPECT_DOUBLE_EQ(flat.backoff(7), 0.0);
+}
+
+TEST(ControlPlane, DeterministicPerSeedWithIndependentHostStreams) {
+  sim::ControlPlaneConfig c = snapshots_only(10.0);
+  c.probe_jitter = 1.0;
+  c.probe_loss = 0.3;
+  sim::ControlPlane a(c, 4, 42);
+  sim::ControlPlane b(c, 4, 42);
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    EXPECT_EQ(a.first_probe_at(h), b.first_probe_at(h));
+    EXPECT_GE(a.first_probe_at(h), 0.0);
+    EXPECT_LE(a.first_probe_at(h), 10.0);
+  }
+  // Drawing from host 0's probe stream must not perturb host 1's.
+  for (int i = 0; i < 20; ++i) (void)a.probe_lost(0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.probe_lost(1), b.probe_lost(1));
+  }
+}
+
+// ----------------------------------------------------- off == byte-equal --
+
+TEST(ControlPlane, EnabledButInertControlIsBitIdenticalToPlainRuns) {
+  // enabled=true with probe_period=0 and rpc_timeout=0 walks the degraded
+  // route path but reads live state and dispatches directly — the records
+  // must be byte-for-byte the plain-simulate() output.
+  const workload::Trace trace = poisson_trace(800, 0.7, 3, 9001);
+  ShortestQueuePolicy plain_policy, control_policy;
+  const RunResult plain = simulate(plain_policy, trace, 3, /*seed=*/7);
+  sim::ControlPlaneConfig inert;
+  inert.enabled = true;
+  const RunResult controlled =
+      simulate_with_control(control_policy, trace, 3, inert, /*seed=*/7);
+  ASSERT_TRUE(controlled.control.has_value());
+  ASSERT_EQ(plain.records.size(), controlled.records.size());
+  for (std::size_t i = 0; i < plain.records.size(); ++i) {
+    EXPECT_EQ(plain.records[i].host, controlled.records[i].host);
+    EXPECT_EQ(plain.records[i].start, controlled.records[i].start);
+    EXPECT_EQ(plain.records[i].completion, controlled.records[i].completion);
+  }
+  EXPECT_EQ(controlled.control->probes_sent, 0u);
+  EXPECT_EQ(controlled.control->rpc_dispatches, 0u);
+}
+
+TEST(ControlPlane, LosslessRpcDispatchIsBitIdenticalToPlainRuns) {
+  // RPCs with zero loss deliver synchronously: same placements, same
+  // times; only the accounting notices the RPC layer exists.
+  const workload::Trace trace = poisson_trace(600, 0.6, 2, 303);
+  LeastWorkLeftPolicy plain_policy, control_policy;
+  const RunResult plain = simulate(plain_policy, trace, 2, /*seed=*/5);
+  sim::ControlPlaneConfig rpc_only;
+  rpc_only.enabled = true;
+  rpc_only.rpc_timeout = 1.0;
+  const RunResult controlled =
+      simulate_with_control(control_policy, trace, 2, rpc_only, /*seed=*/5);
+  ASSERT_EQ(plain.records.size(), controlled.records.size());
+  for (std::size_t i = 0; i < plain.records.size(); ++i) {
+    EXPECT_EQ(plain.records[i].host, controlled.records[i].host);
+    EXPECT_EQ(plain.records[i].start, controlled.records[i].start);
+    EXPECT_EQ(plain.records[i].completion, controlled.records[i].completion);
+  }
+  ASSERT_TRUE(controlled.control.has_value());
+  const sim::ControlStats& c = *controlled.control;
+  EXPECT_EQ(c.rpc_dispatches, trace.size());
+  EXPECT_EQ(c.requests_sent, trace.size());
+  EXPECT_EQ(c.requests_lost, 0u);
+  EXPECT_EQ(c.retries, 0u);
+  EXPECT_EQ(c.timeouts, 0u);
+  EXPECT_EQ(c.duplicates_suppressed, 0u);
+}
+
+// ------------------------------------------------- hand-computed timeline --
+
+TEST(ControlPlane, RetryBackoffAndEscalationFollowTheComputedTimeline) {
+  // One job, two hosts, both probed healthy at t=0, both down when the job
+  // arrives at t=1. Shortest-Queue trusts the stale snapshot and targets
+  // host 0; the dispatch request is forced-lost against the dead host.
+  // With rpc_timeout=1, backoff 1*2^attempt, and a budget of 2 retries:
+  //   send@1  -> timeout at 1 + (1+1) = 3
+  //   retry@3 -> timeout at 3 + (1+2) = 6
+  //   retry@6 -> timeout at 6 + (1+4) = 11
+  // Host 0 is back up at t=10.6, so the t=11 exhaustion escalates to the
+  // power-of-two fallback, which sees host 0 as the only live host and
+  // delivers: the job starts at t=11 and completes at t=13.
+  const std::vector<Job> jobs = {{/*id=*/0, /*arrival=*/1.0, /*size=*/2.0}};
+  const workload::Trace trace{std::vector<Job>(jobs)};
+  ShortestQueuePolicy policy;
+  DistributedServer server(/*hosts=*/2, policy);
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  faults.outages.push_back({/*host=*/0, /*at=*/0.5, /*duration=*/10.1});
+  faults.outages.push_back({/*host=*/1, /*at=*/0.4, /*duration=*/29.6});
+  server.enable_faults(faults, RecoveryMode::kResubmit);
+  sim::ControlPlaneConfig control = snapshots_only(100.0);
+  control.rpc_timeout = 1.0;
+  control.max_retries = 2;
+  control.backoff_base = 1.0;
+  control.backoff_factor = 2.0;
+  server.enable_control(control);
+  const RunResult result = server.run(trace, /*seed=*/1);
+
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].host, 0u);
+  EXPECT_DOUBLE_EQ(result.records[0].start, 11.0);
+  EXPECT_DOUBLE_EQ(result.records[0].completion, 13.0);
+
+  ASSERT_TRUE(result.control.has_value());
+  const sim::ControlStats& c = *result.control;
+  EXPECT_EQ(c.rpc_dispatches, 2u);  // primary chain + escalated chain
+  EXPECT_EQ(c.requests_sent, 4u);
+  EXPECT_EQ(c.requests_lost, 3u);
+  EXPECT_EQ(c.timeouts, 3u);
+  EXPECT_EQ(c.retries, 2u);
+  EXPECT_EQ(c.escalations_exhausted, 1u);
+  EXPECT_EQ(c.forced_placements, 0u);
+  EXPECT_EQ(c.reconciled, 0u);
+  EXPECT_EQ(c.chains_outstanding, 0u);
+  // The stale snapshot said "up", live state said "no host": a misroute.
+  EXPECT_EQ(c.oracle_comparisons, 1u);
+  EXPECT_EQ(c.misrouted, 1u);
+  // Route accounting: the primary route at age 1 and the escalated route
+  // at age 11 (probes landed at t=0, the next wave is at t=100).
+  EXPECT_EQ(c.routed, 2u);
+  EXPECT_DOUBLE_EQ(c.snapshot_age_sum, 12.0);
+  EXPECT_DOUBLE_EQ(c.snapshot_age_max, 11.0);
+  EXPECT_EQ(c.probes_sent, 2u);
+
+  EXPECT_TRUE(validate_run(result).empty());
+}
+
+// ----------------------------------------------- perfect-information limit --
+
+TEST(ControlPlane, TinyProbePeriodMatchesPerfectInformationBaseline) {
+  // Probe period -> 0 at zero loss: the snapshot is refreshed far more
+  // often than arrivals occur, so Shortest-Queue and Least-Work-Left must
+  // reproduce their live-state mean slowdown to within a small tolerance
+  // (decisions can still differ for the rare arrival inside a refresh gap).
+  const std::size_t hosts = 4;
+  const workload::Trace trace = poisson_trace(3000, 0.7, hosts, 111);
+  const auto run_pair = [&](Policy& live_policy, Policy& snap_policy) {
+    const RunResult live = simulate(live_policy, trace, hosts, /*seed=*/3);
+    const RunResult snap = simulate_with_control(
+        snap_policy, trace, hosts, snapshots_only(0.05), /*seed=*/3);
+    const MetricsSummary live_m = summarize(live);
+    const MetricsSummary snap_m = summarize(snap);
+    EXPECT_GT(snap_m.mean_snapshot_age, 0.0);
+    EXPECT_LT(snap_m.misroute_rate, 0.02);
+    EXPECT_NEAR(snap_m.mean_slowdown, live_m.mean_slowdown,
+                0.05 * live_m.mean_slowdown);
+  };
+  ShortestQueuePolicy sq_live, sq_snap;
+  run_pair(sq_live, sq_snap);
+  LeastWorkLeftPolicy lwl_live, lwl_snap;
+  run_pair(lwl_live, lwl_snap);
+}
+
+TEST(ControlPlane, StaleSnapshotsMakeStatefulPoliciesMisroute) {
+  const std::size_t hosts = 4;
+  const workload::Trace trace = poisson_trace(2000, 0.7, hosts, 222);
+  ShortestQueuePolicy policy;
+  const RunResult result = simulate_with_control(
+      policy, trace, hosts, snapshots_only(100.0), /*seed=*/3);
+  ASSERT_TRUE(result.control.has_value());
+  EXPECT_GT(result.control->oracle_comparisons, 0u);
+  EXPECT_GT(result.control->misrouted, result.control->oracle_comparisons / 4);
+  EXPECT_TRUE(validate_run(result).empty());
+}
+
+TEST(ControlPlane, StateBlindSitaIsUnaffectedByStaleness) {
+  // The paper-facing claim: SITA routes on the job size and static
+  // cutoffs, so arbitrarily stale snapshots change nothing — placements
+  // are byte-identical and the oracle never observes a disagreement.
+  const std::size_t hosts = 2;
+  const workload::Trace trace = poisson_trace(1500, 0.6, hosts, 333);
+  SitaPolicy live_policy({10.0}, "SITA-test");
+  SitaPolicy snap_policy({10.0}, "SITA-test");
+  const RunResult live = simulate(live_policy, trace, hosts, /*seed=*/3);
+  const RunResult snap = simulate_with_control(
+      snap_policy, trace, hosts, snapshots_only(500.0), /*seed=*/3);
+  ASSERT_EQ(live.records.size(), snap.records.size());
+  for (std::size_t i = 0; i < live.records.size(); ++i) {
+    EXPECT_EQ(live.records[i].host, snap.records[i].host);
+    EXPECT_EQ(live.records[i].start, snap.records[i].start);
+    EXPECT_EQ(live.records[i].completion, snap.records[i].completion);
+  }
+  ASSERT_TRUE(snap.control.has_value());
+  EXPECT_EQ(snap.control->misrouted, 0u);
+}
+
+}  // namespace
+}  // namespace distserv::core

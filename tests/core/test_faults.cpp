@@ -349,6 +349,102 @@ TEST(Faults, InvalidConfigThrowsAtRun) {
   EXPECT_THROW((void)server.run(trace), ContractViolation);
 }
 
+TEST(Recovery, RoundRobinRotationStaysFairAcrossAFailRecoverCycle) {
+  // Twelve well-spaced small jobs on three hosts; host 1 is down while
+  // idle for the middle third. The rotation must skip host 1 while it is
+  // down and slot it back into its normal turn once it recovers — no
+  // permanent skew toward the hosts that covered for it.
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < 12; ++i) {
+    jobs.push_back(Job{i, static_cast<double>(i), 0.5});
+  }
+  const workload::Trace trace(std::move(jobs));
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  faults.outages.push_back({/*host=*/1, /*at=*/2.5, /*duration=*/4.0});
+  RoundRobinPolicy policy;
+  const RunResult r = simulate_with_faults(policy, trace, /*hosts=*/3,
+                                           faults, RecoveryMode::kResubmit);
+  ASSERT_EQ(r.records.size(), 12u);
+  // Hand-traced wheel: 0,1,2 | skip-1 era: 0,2,0,2 | host 1 back at t=6.5,
+  // scan resumes from the last dispatch (host 2): 0,1,2,0,1.
+  const std::vector<HostId> expected = {0, 1, 2, 0, 2, 0, 2, 0, 1, 2, 0, 1};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(r.records[i].host, expected[i]) << "job " << i;
+  }
+  EXPECT_EQ(r.interruptions, 0u);  // host 1 was idle when it failed
+  // Post-recovery fairness: the last rotation covers every host equally.
+  std::vector<std::size_t> counts(3, 0);
+  for (std::size_t i = 7; i < 12; ++i) ++counts[r.records[i].host];
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_TRUE(validate_run(r).empty()) << validate_run(r).front();
+}
+
+TEST(Recovery, RequeueFrontSurvivesASecondOutageMidRestart) {
+  // The restarted job is interrupted again before it can finish: size 10
+  // starting at t=0, outage at t=4 (repair t=7), restart at t=7, second
+  // outage at t=9 (repair t=11), final restart at t=11 -> completes t=21.
+  std::vector<Job> jobs = {Job{0, 0.0, 10.0}};
+  const workload::Trace trace(std::move(jobs));
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  faults.outages.push_back({/*host=*/0, /*at=*/4.0, /*duration=*/3.0});
+  faults.outages.push_back({/*host=*/0, /*at=*/9.0, /*duration=*/2.0});
+  RoundRobinPolicy policy;
+  const RunResult r = simulate_with_faults(policy, trace, /*hosts=*/1,
+                                           faults,
+                                           RecoveryMode::kRequeueFront);
+  ASSERT_EQ(r.records.size(), 1u);
+  const JobRecord& rec = r.records[0];
+  EXPECT_FALSE(rec.failed);
+  EXPECT_EQ(rec.host, 0u);
+  EXPECT_DOUBLE_EQ(rec.start, 11.0);
+  EXPECT_DOUBLE_EQ(rec.completion, 21.0);
+  EXPECT_EQ(rec.restarts, 2u);
+  EXPECT_EQ(r.interruptions, 2u);
+  const HostStats& hs = r.host_stats[0];
+  EXPECT_DOUBLE_EQ(hs.wasted_work, 6.0);  // 4 lost at t=4, 2 lost at t=9
+  EXPECT_DOUBLE_EQ(hs.busy_time, 16.0);
+  EXPECT_DOUBLE_EQ(hs.work_done, 10.0);
+  EXPECT_DOUBLE_EQ(hs.down_time, 5.0);
+  EXPECT_EQ(hs.failures, 2u);
+  EXPECT_EQ(hs.jobs_interrupted, 2u);
+  EXPECT_TRUE(validate_run(r).empty()) << validate_run(r).front();
+}
+
+TEST(Recovery, AbandonSatisfiesAuditConservationAtDrain) {
+  // Job 0 is abandoned by the outage while job 1 waits in the queue; the
+  // audit layer's job-conservation invariant must accept the abandonment
+  // as a terminal state and still account for the queued survivor.
+  std::vector<Job> jobs = {Job{0, 0.0, 10.0}, Job{1, 1.0, 2.0}};
+  const workload::Trace trace(std::move(jobs));
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  faults.outages.push_back({/*host=*/0, /*at=*/4.0, /*duration=*/3.0});
+  RoundRobinPolicy policy;
+  DistributedServer server(/*hosts=*/1, policy);
+  server.enable_faults(faults, RecoveryMode::kAbandon);
+  sim::AuditConfig audit;
+  audit.enabled = true;
+  server.enable_audit(audit);
+  const RunResult r = server.run(trace);
+  ASSERT_TRUE(r.audit.has_value());
+  EXPECT_TRUE(r.audit->ok()) << r.audit->to_string();
+  EXPECT_EQ(r.audit->arrivals, 2u);
+  EXPECT_EQ(r.audit->abandoned, 1u);
+  EXPECT_EQ(r.audit->completions, 1u);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_TRUE(r.records[0].failed);
+  EXPECT_DOUBLE_EQ(r.records[0].completion, 4.0);
+  EXPECT_FALSE(r.records[1].failed);
+  EXPECT_DOUBLE_EQ(r.records[1].start, 7.0);
+  EXPECT_DOUBLE_EQ(r.records[1].completion, 9.0);
+  EXPECT_EQ(r.jobs_failed, 1u);
+  EXPECT_TRUE(validate_run(r).empty()) << validate_run(r).front();
+}
+
 TEST(Faults, DisabledConfigIsIdenticalToNoFaultCall) {
   std::vector<double> sizes;
   dist::Rng rng(5);

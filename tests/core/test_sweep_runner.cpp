@@ -129,7 +129,8 @@ TEST(SweepRunner, DefaultModeStillRethrowsReplicationFailures) {
   ExperimentConfig cfg = small_config();
   cfg.n_jobs = 8000;
   cfg.replications = 2;
-  cfg.replication_probe = [](PolicyKind kind, double rho, std::size_t rep) {
+  cfg.replication_probe = [](PolicyKind kind, double rho, std::size_t rep,
+                             std::uint64_t) {
     if (kind == PolicyKind::kRandom && rho == 0.7 && rep == 1) {
       throw std::runtime_error("injected replication failure");
     }
@@ -147,7 +148,8 @@ TEST(SweepRunner, IsolatedFailureIsRecordedWithSeedAndSiblingsComplete) {
   ExperimentConfig cfg = small_config();
   cfg.n_jobs = 8000;
   cfg.replications = 3;
-  cfg.replication_probe = [](PolicyKind kind, double rho, std::size_t rep) {
+  cfg.replication_probe = [](PolicyKind kind, double rho, std::size_t rep,
+                             std::uint64_t) {
     if (kind == PolicyKind::kRandom && rho == 0.7 && rep == 1) {
       throw std::runtime_error("injected replication failure");
     }
@@ -189,7 +191,8 @@ TEST(SweepRunner, RetryOnceRecoversATransientFailure) {
   cfg.replications = 2;
   // Fails on first attempt only: a retry succeeds.
   auto attempts = std::make_shared<std::atomic<int>>(0);
-  cfg.replication_probe = [attempts](PolicyKind, double, std::size_t rep) {
+  cfg.replication_probe = [attempts](PolicyKind, double, std::size_t rep,
+                                     std::uint64_t) {
     if (rep == 1 && attempts->fetch_add(1) == 0) {
       throw std::runtime_error("transient failure");
     }
@@ -205,8 +208,54 @@ TEST(SweepRunner, RetryOnceRecoversATransientFailure) {
   ASSERT_EQ(points[0].failures.size(), 1u);
   EXPECT_TRUE(points[0].failures[0].retried);
   EXPECT_TRUE(points[0].failures[0].recovered);
+  // The retry ran under the offset seed and the record says so.
+  EXPECT_EQ(points[0].failures[0].retry_seed,
+            wb.replication_seed(1 + options.retry_seed_offset));
   // Recovered: the summary still covers every replication.
   EXPECT_EQ(points[0].replication_summaries.size(), cfg.replications);
+}
+
+TEST(SweepRunner, RetryUsesAFreshSeedSoDeterministicFailuresStayFailed) {
+  // A failure deterministic in the simulation seed: the probe throws
+  // whenever the replication runs under replication_seed(1). With
+  // retry_seed_offset = 0 the retry is a bitwise-identical rerun, hits the
+  // same seed, and must NOT be reported as recovered.
+  ExperimentConfig cfg = small_config();
+  cfg.n_jobs = 8000;
+  cfg.replications = 2;
+  const std::uint64_t poisoned = cfg.seed + 1;  // replication_seed(1)
+  cfg.replication_probe = [poisoned](PolicyKind, double, std::size_t,
+                                     std::uint64_t seed) {
+    if (seed == poisoned) throw std::runtime_error("seed-deterministic");
+  };
+  const Workbench wb(workload::find_workload("c90"), cfg);
+  const std::vector<PolicyKind> policies = {*policy_from_string("Random")};
+  const std::vector<double> loads = {0.6};
+
+  SweepOptions same_seed = with_threads(1);
+  same_seed.isolate_failures = true;
+  same_seed.retry_failed_once = true;
+  same_seed.retry_seed_offset = 0;  // historical same-seed retry
+  const auto stuck = wb.sweep(policies, loads, same_seed);
+  ASSERT_EQ(stuck.size(), 1u);
+  ASSERT_EQ(stuck[0].failures.size(), 1u);
+  EXPECT_TRUE(stuck[0].failures[0].retried);
+  EXPECT_FALSE(stuck[0].failures[0].recovered);
+  EXPECT_EQ(stuck[0].failures[0].retry_seed, stuck[0].failures[0].seed);
+  EXPECT_EQ(stuck[0].replication_summaries.size(), 1u);
+
+  // The default offset reruns under a different seed and recovers.
+  SweepOptions fresh_seed = with_threads(1);
+  fresh_seed.isolate_failures = true;
+  fresh_seed.retry_failed_once = true;
+  const auto recovered = wb.sweep(policies, loads, fresh_seed);
+  ASSERT_EQ(recovered.size(), 1u);
+  ASSERT_EQ(recovered[0].failures.size(), 1u);
+  EXPECT_TRUE(recovered[0].failures[0].retried);
+  EXPECT_TRUE(recovered[0].failures[0].recovered);
+  EXPECT_NE(recovered[0].failures[0].retry_seed,
+            recovered[0].failures[0].seed);
+  EXPECT_EQ(recovered[0].replication_summaries.size(), cfg.replications);
 }
 
 TEST(SweepRunner, PlanFailureIsIsolatedPerPoint) {

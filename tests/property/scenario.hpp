@@ -29,6 +29,7 @@
 #include "dist/hyperexp.hpp"
 #include "dist/rng.hpp"
 #include "dist/uniform.hpp"
+#include "sim/control_plane.hpp"
 #include "sim/faults.hpp"
 #include "workload/arrival.hpp"
 #include "workload/trace.hpp"
@@ -260,6 +261,113 @@ inline core::RunResult run_audited(FaultScenario& fs) {
   audit.enabled = true;
   server.enable_audit(audit);
   return server.run(fs.base.trace, /*seed=*/fs.base.seed ^ 0x9e3779b9);
+}
+
+/// A base scenario plus a degraded-information control plane, optionally
+/// with scheduled host outages layered on top (outages exercise the
+/// down-host request-loss path, escalation, and chain cancellation).
+struct ControlScenario {
+  Scenario base;
+  sim::ControlPlaneConfig control;
+  sim::FaultConfig faults;  ///< enabled only when outages were drawn
+  core::RecoveryMode recovery = core::RecoveryMode::kResubmit;
+};
+
+/// Expands `seed` into a control-plane scenario. At least one of the two
+/// degradation mechanisms (snapshots, dispatch RPCs) is always on, so no
+/// generated scenario is vacuously equivalent to a plain run. All config
+/// constraints (loss requires its channel, staleness bound requires
+/// snapshots and a fallback) are respected by construction.
+inline ControlScenario make_control_scenario(std::uint64_t seed) {
+  ControlScenario cs;
+  cs.base = make_scenario(seed);
+  // No expected-route oracle: stale snapshots, fallback escalation, and
+  // forced placements all legitimately route off the pure-size prediction.
+  cs.base.sita = nullptr;
+
+  dist::Rng rng = dist::Rng(seed).split(0xc0117201);
+  double mean_size = 0.0;
+  double horizon = 0.0;
+  for (const workload::Job& job : cs.base.trace.jobs()) {
+    mean_size += job.size;
+    horizon = std::max(horizon, job.arrival + job.size);
+  }
+  mean_size /= static_cast<double>(cs.base.trace.jobs().size());
+
+  cs.control.enabled = true;
+  const bool snapshots = rng.bernoulli(0.75);
+  // Guarantee at least one mechanism: RPCs are forced on when snapshots
+  // lost the draw.
+  const bool rpcs = !snapshots || rng.bernoulli(0.75);
+  if (snapshots) {
+    cs.control.probe_period = mean_size * rng.uniform(0.1, 20.0);
+    cs.control.probe_jitter = rng.uniform01();
+    if (rng.bernoulli(0.5)) cs.control.probe_loss = rng.uniform(0.05, 0.6);
+    if (rng.bernoulli(0.3)) {
+      // Staleness bound needs a fallback chain to escalate into.
+      cs.control.staleness_bound = cs.control.probe_period *
+                                   rng.uniform(0.5, 3.0);
+    }
+  }
+  if (rpcs) {
+    cs.control.rpc_timeout = mean_size * rng.uniform(0.01, 0.5);
+    if (rng.bernoulli(0.7)) cs.control.rpc_loss = rng.uniform(0.05, 0.5);
+    if (rng.bernoulli(0.4)) cs.control.ack_loss = rng.uniform(0.05, 0.3);
+    cs.control.max_retries = static_cast<std::uint32_t>(rng.below(5));
+    cs.control.backoff_base =
+        rng.bernoulli(0.5) ? cs.control.rpc_timeout : 0.0;
+    cs.control.backoff_cap = cs.control.backoff_base * 8.0;
+  }
+  if (cs.control.staleness_bound > 0.0) {
+    cs.control.fallback = rng.bernoulli(0.5) ? sim::FallbackMode::kChain
+                                             : sim::FallbackMode::kTerminal;
+  } else {
+    const auto modes = sim::all_fallback_modes();
+    cs.control.fallback = modes[rng.below(modes.size())];
+  }
+
+  if (rng.bernoulli(0.4)) {
+    // One-shot outages only: they cannot livelock the run and force the
+    // down-host dispatch-loss path deterministically.
+    cs.faults.enabled = true;
+    const auto n_outages = 1 + rng.below(3);
+    for (std::uint64_t i = 0; i < n_outages; ++i) {
+      sim::HostOutage outage;
+      outage.host = static_cast<std::uint32_t>(rng.below(cs.base.hosts));
+      outage.at = rng.uniform01() * horizon;
+      outage.duration = mean_size * rng.uniform(0.5, 8.0);
+      cs.faults.outages.push_back(outage);
+    }
+    const auto modes = core::all_recovery_modes();
+    cs.recovery = modes[rng.below(modes.size())];
+  }
+
+  cs.base.description +=
+      " control{period=" + std::to_string(cs.control.probe_period) +
+      " probe_loss=" + std::to_string(cs.control.probe_loss) +
+      " timeout=" + std::to_string(cs.control.rpc_timeout) +
+      " rpc_loss=" + std::to_string(cs.control.rpc_loss) +
+      " ack_loss=" + std::to_string(cs.control.ack_loss) +
+      " retries=" + std::to_string(cs.control.max_retries) +
+      " bound=" + std::to_string(cs.control.staleness_bound) +
+      " fallback=" + sim::to_string(cs.control.fallback) +
+      (cs.faults.enabled
+           ? " outages=" + std::to_string(cs.faults.outages.size()) +
+                 " recovery=" + core::to_string(cs.recovery)
+           : "") +
+      "}";
+  return cs;
+}
+
+/// Runs a control scenario under the audit layer (no route oracle).
+inline core::RunResult run_audited(ControlScenario& cs) {
+  core::DistributedServer server(cs.base.hosts, *cs.base.policy);
+  if (cs.faults.enabled) server.enable_faults(cs.faults, cs.recovery);
+  server.enable_control(cs.control);
+  sim::AuditConfig audit;
+  audit.enabled = true;
+  server.enable_audit(audit);
+  return server.run(cs.base.trace, /*seed=*/cs.base.seed ^ 0x9e3779b9);
 }
 
 }  // namespace distserv::proptest

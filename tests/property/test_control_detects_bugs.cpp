@@ -1,0 +1,193 @@
+// The control-plane invariants must actually catch bugs, not just pass on
+// correct runs. Each test drives a QueueingAuditor by hand with the hook
+// sequence a buggy control plane would emit — double delivery without
+// suppression, routing on a snapshot past the staleness bound, misreported
+// snapshot age, a fallback chain that skips levels, RPC sends that never
+// resolve — and asserts the precise invariant that flags it.
+#include <gtest/gtest.h>
+
+#include "sim/audit.hpp"
+
+namespace distserv::sim {
+namespace {
+
+using Source = QueueingAuditor::StartSource;
+using RpcOutcome = QueueingAuditor::RpcOutcome;
+using FallbackReason = QueueingAuditor::FallbackReason;
+
+AuditConfig enabled_config() {
+  AuditConfig config;
+  config.enabled = true;
+  return config;
+}
+
+bool has_violation(const AuditReport& report, const std::string& invariant) {
+  for (const AuditViolation& v : report.violations) {
+    if (v.invariant == invariant) return true;
+  }
+  return false;
+}
+
+// A correct degraded-information run: probes land, one job's dispatch RPC
+// loses its request once, the retry delivers, the job completes. The
+// baseline every bug test perturbs.
+TEST(ControlDetectsBugs, CleanControlSequencePasses) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_probe(0, 0.0, /*lost=*/false);
+  audit.on_probe(1, 0.0, /*lost=*/false);
+  audit.on_event(1.0);
+  audit.on_arrival(0, 1.0, 5.0);
+  audit.on_control_route(0, 1.0, /*age=*/1.0, /*bound=*/0.0,
+                         /*stale_sensitive=*/true, /*level=*/0);
+  audit.on_rpc_send(0, 0, /*attempt=*/0, 1.0);
+  audit.on_rpc_outcome(0, RpcOutcome::kRequestLost, 1.0);
+  audit.on_event(1.5);
+  audit.on_rpc_outcome(0, RpcOutcome::kTimeout, 1.5);
+  audit.on_rpc_send(0, 0, /*attempt=*/1, 1.5);
+  audit.on_rpc_outcome(0, RpcOutcome::kDelivered, 1.5);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 1.5, 5.0, Source::kDirect);
+  audit.on_event(6.5);
+  audit.on_complete(0, 0, 6.5);
+  const AuditReport report = audit.finalize(6.5);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// Injected duplicate-enqueue bug: the idempotency key fails and a retried
+// request is delivered (and enqueued) a second time.
+TEST(ControlDetectsBugs, DoubleDeliveryTripsAtMostOnceEnqueue) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 5.0);
+  audit.on_rpc_send(0, 0, 0, 0.0);
+  audit.on_rpc_outcome(0, RpcOutcome::kDelivered, 0.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 5.0, Source::kDirect);
+  // Ack lost, retry fires — the bug: the second delivery is not suppressed.
+  audit.on_rpc_outcome(0, RpcOutcome::kAckLost, 0.0);
+  audit.on_event(1.0);
+  audit.on_rpc_outcome(0, RpcOutcome::kTimeout, 1.0);
+  audit.on_rpc_send(0, 0, 1, 1.0);
+  audit.on_rpc_outcome(0, RpcOutcome::kDelivered, 1.0);
+  EXPECT_TRUE(has_violation(audit.report(), "at-most-once-enqueue"))
+      << audit.report().to_string();
+}
+
+// The inverse corruption: the server claims it suppressed a duplicate for
+// a job whose first delivery never happened.
+TEST(ControlDetectsBugs, PhantomDuplicateTripsAtMostOnceEnqueue) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 5.0);
+  audit.on_rpc_send(0, 0, 0, 0.0);
+  audit.on_rpc_outcome(0, RpcOutcome::kDuplicate, 0.0);
+  EXPECT_TRUE(has_violation(audit.report(), "at-most-once-enqueue"))
+      << audit.report().to_string();
+}
+
+// Injected stale-read bug: a state-sensitive policy routes at level 0 from
+// a snapshot older than the configured staleness bound instead of
+// escalating to its fallback.
+TEST(ControlDetectsBugs, RoutingPastTheStalenessBoundTripsStaleDispatch) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_probe(0, 0.0, /*lost=*/false);
+  audit.on_probe(1, 0.0, /*lost=*/false);
+  audit.on_event(10.0);
+  audit.on_arrival(0, 10.0, 5.0);
+  audit.on_control_route(0, 10.0, /*age=*/10.0, /*bound=*/3.0,
+                         /*stale_sensitive=*/true, /*level=*/0);
+  EXPECT_TRUE(has_violation(audit.report(), "stale-dispatch"))
+      << audit.report().to_string();
+}
+
+// A lost probe must not refresh the shadow observation: if the server then
+// reports a young snapshot age, the probe stream contradicts it.
+TEST(ControlDetectsBugs, MisreportedSnapshotAgeTripsSnapshotAge) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_probe(0, 0.0, /*lost=*/false);
+  audit.on_probe(1, 0.0, /*lost=*/false);
+  audit.on_event(8.0);
+  audit.on_probe(0, 8.0, /*lost=*/true);  // lost: host 0 stays at t=0
+  audit.on_event(9.0);
+  audit.on_arrival(0, 9.0, 2.0);
+  // Bug: the server claims the snapshot is 1.0 old, as if the lost probe
+  // had landed; the surviving observations imply age 9.0.
+  audit.on_control_route(0, 9.0, /*age=*/1.0, /*bound=*/0.0,
+                         /*stale_sensitive=*/false, /*level=*/0);
+  EXPECT_TRUE(has_violation(audit.report(), "snapshot-age"))
+      << audit.report().to_string();
+}
+
+// Fallback escalation must advance one level at a time; a chain that jumps
+// from the primary straight to level 2 skipped a configured fallback.
+TEST(ControlDetectsBugs, LevelSkippingEscalationTripsFallbackChain) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 5.0);
+  audit.on_fallback(0, /*from_level=*/0, /*to_level=*/2,
+                    FallbackReason::kExhausted, 0.0);
+  EXPECT_TRUE(has_violation(audit.report(), "fallback-chain"))
+      << audit.report().to_string();
+}
+
+// Every RPC send must resolve to exactly one outcome; a send with no
+// delivery, duplicate, or request loss leaves the books unbalanced.
+TEST(ControlDetectsBugs, UnresolvedSendTripsRpcAccounting) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 1.0);
+  audit.on_rpc_send(0, 0, 0, 0.0);
+  audit.on_rpc_outcome(0, RpcOutcome::kDelivered, 0.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 1.0, Source::kDirect);
+  audit.on_rpc_send(0, 0, 1, 0.0);  // bug: vanishes without an outcome
+  audit.on_event(1.0);
+  audit.on_complete(0, 0, 1.0);
+  const AuditReport report = audit.finalize(1.0);
+  EXPECT_TRUE(has_violation(report, "rpc-accounting"))
+      << report.to_string();
+}
+
+// A timeout with no recorded loss means the timer fired for a chain whose
+// request and ack both arrived — the loss draws and the timer disagree.
+TEST(ControlDetectsBugs, TimeoutWithoutALossTripsRpcAccounting) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 1.0);
+  audit.on_rpc_send(0, 0, 0, 0.0);
+  audit.on_rpc_outcome(0, RpcOutcome::kDelivered, 0.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 1.0, Source::kDirect);
+  audit.on_rpc_outcome(0, RpcOutcome::kTimeout, 0.5);  // bug: nothing lost
+  audit.on_event(1.0);
+  audit.on_complete(0, 0, 1.0);
+  const AuditReport report = audit.finalize(1.0);
+  EXPECT_TRUE(has_violation(report, "rpc-accounting"))
+      << report.to_string();
+}
+
+// Probing a host backwards in time is the control-plane flavor of the
+// event-monotonicity bug.
+TEST(ControlDetectsBugs, ProbeTimeTravelTripsMonotonicity) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(5.0);
+  audit.on_probe(0, 5.0, /*lost=*/false);
+  audit.on_probe(0, 4.0, /*lost=*/false);
+  EXPECT_TRUE(has_violation(audit.report(), "event-monotonicity"))
+      << audit.report().to_string();
+}
+
+}  // namespace
+}  // namespace distserv::sim

@@ -1,0 +1,111 @@
+// Control-plane property harness: seeded random scenarios with degraded
+// information layered on top — snapshot staleness, probe loss, dispatch
+// RPC loss/timeout/retry, fallback escalation, optionally scheduled host
+// outages — each run under the extended audit layer (stale-dispatch,
+// snapshot-age, at-most-once-enqueue, fallback-chain, rpc-accounting)
+// plus the offline record validator and the control counter identities.
+// A failing seed reproduces exactly through proptest::make_control_scenario.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "scenario.hpp"
+
+namespace distserv::proptest {
+namespace {
+
+constexpr std::uint64_t kControlScenarioCount = 224;
+
+TEST(ControlProperty, SeededControlScenariosPassEveryInvariant) {
+  std::uint64_t with_rpc_losses = 0;
+  std::uint64_t with_snapshots = 0;
+  std::uint64_t with_escalations = 0;
+  for (std::uint64_t seed = 1; seed <= kControlScenarioCount; ++seed) {
+    ControlScenario cs = make_control_scenario(seed);
+    const core::RunResult result = run_audited(cs);
+    ASSERT_TRUE(result.audit.has_value()) << cs.base.description;
+    EXPECT_TRUE(result.audit->ok())
+        << cs.base.description << "\n" << result.audit->to_string();
+    // No job is silently dropped: every arrival completes or is abandoned
+    // by the recovery mode — never lost inside an RPC chain.
+    EXPECT_EQ(result.audit->arrivals, cs.base.trace.size())
+        << cs.base.description;
+    EXPECT_EQ(result.audit->completions + result.audit->abandoned,
+              cs.base.trace.size())
+        << cs.base.description;
+    ASSERT_TRUE(result.control.has_value()) << cs.base.description;
+    const sim::ControlStats& c = *result.control;
+    if (c.requests_lost + c.acks_lost > 0) ++with_rpc_losses;
+    if (c.routed > 0) ++with_snapshots;
+    if (c.fallback_activations() > 0) ++with_escalations;
+  }
+  // The generator must exercise the degradation paths, not pass vacuously
+  // on scenarios where every probe lands and every RPC goes through.
+  EXPECT_GE(with_rpc_losses, kControlScenarioCount / 4);
+  EXPECT_GE(with_snapshots, kControlScenarioCount / 2);
+  EXPECT_GE(with_escalations, kControlScenarioCount / 16);
+}
+
+TEST(ControlProperty, SeededControlScenariosPassOfflineValidation) {
+  for (std::uint64_t seed = 1; seed <= kControlScenarioCount; ++seed) {
+    ControlScenario cs = make_control_scenario(seed);
+    core::DistributedServer server(cs.base.hosts, *cs.base.policy);
+    if (cs.faults.enabled) server.enable_faults(cs.faults, cs.recovery);
+    server.enable_control(cs.control);
+    const core::RunResult result =
+        server.run(cs.base.trace, /*seed=*/seed);
+    const std::vector<std::string> problems = core::validate_run(result);
+    EXPECT_TRUE(problems.empty())
+        << cs.base.description << "\nfirst problem: "
+        << (problems.empty() ? "" : problems.front());
+  }
+}
+
+TEST(ControlProperty, AuditDoesNotPerturbControlResults) {
+  for (std::uint64_t seed : {3u, 58u, 121u, 199u}) {
+    ControlScenario audited = make_control_scenario(seed);
+    ControlScenario plain = make_control_scenario(seed);
+    const core::RunResult with_audit = run_audited(audited);
+    core::DistributedServer server(plain.base.hosts, *plain.base.policy);
+    if (plain.faults.enabled) {
+      server.enable_faults(plain.faults, plain.recovery);
+    }
+    server.enable_control(plain.control);
+    const core::RunResult without =
+        server.run(plain.base.trace, /*seed=*/seed ^ 0x9e3779b9);
+    ASSERT_EQ(with_audit.records.size(), without.records.size());
+    for (std::size_t i = 0; i < without.records.size(); ++i) {
+      EXPECT_EQ(with_audit.records[i].host, without.records[i].host);
+      EXPECT_EQ(with_audit.records[i].start, without.records[i].start);
+      EXPECT_EQ(with_audit.records[i].completion,
+                without.records[i].completion);
+    }
+    ASSERT_TRUE(with_audit.control && without.control);
+    EXPECT_EQ(with_audit.control->requests_sent,
+              without.control->requests_sent);
+    EXPECT_EQ(with_audit.control->timeouts, without.control->timeouts);
+  }
+}
+
+TEST(ControlProperty, ReplayingASeedIsBitIdentical) {
+  for (std::uint64_t seed : {11u, 90u, 170u}) {
+    ControlScenario first = make_control_scenario(seed);
+    ControlScenario second = make_control_scenario(seed);
+    const core::RunResult a = run_audited(first);
+    const core::RunResult b = run_audited(second);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+      EXPECT_EQ(a.records[i].host, b.records[i].host);
+      EXPECT_EQ(a.records[i].start, b.records[i].start);
+      EXPECT_EQ(a.records[i].completion, b.records[i].completion);
+    }
+    ASSERT_TRUE(a.control && b.control);
+    EXPECT_EQ(a.control->probes_sent, b.control->probes_sent);
+    EXPECT_EQ(a.control->probes_lost, b.control->probes_lost);
+    EXPECT_EQ(a.control->requests_sent, b.control->requests_sent);
+    EXPECT_EQ(a.control->retries, b.control->retries);
+    EXPECT_EQ(a.control->snapshot_age_sum, b.control->snapshot_age_sum);
+  }
+}
+
+}  // namespace
+}  // namespace distserv::proptest
