@@ -1,11 +1,35 @@
-// Microbenchmarks (google-benchmark): raw performance of the simulation
-// substrate. Not a paper artifact — these quantify that the event engine
-// and policies are fast enough that every figure regenerates in seconds.
+// Microbenchmarks + the tracked end-to-end throughput suite.
+//
+// Two modes:
+//
+//   (default)        google-benchmark microbenchmarks: raw performance of
+//                    the typed event queue, the RNG, the service-time
+//                    sampler, and representative server runs.
+//
+//   --json <path>    the perf-regression harness: times end-to-end
+//                    simulation throughput (jobs/sec) for each policy at
+//                    h ∈ {2, 8, 32} with the fault model and the control
+//                    plane off/on, plus the event-queue schedule+pop rate,
+//                    and writes one flat JSON report. scripts/perf_check.sh
+//                    compares such a report against the committed baseline
+//                    BENCH_simulator.json with a tolerance band.
+//                    Extra flags: --jobs N (default 20000 per run),
+//                    --reps N (default 3, best-of).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "core/policies/least_work_left.hpp"
 #include "core/policies/random.hpp"
+#include "core/policies/round_robin.hpp"
+#include "core/policies/shortest_queue.hpp"
 #include "core/policies/sita.hpp"
 #include "core/server.hpp"
 #include "dist/rng.hpp"
@@ -16,6 +40,10 @@ namespace {
 
 using namespace distserv;
 
+// ---------------------------------------------------------------------------
+// google-benchmark microbenchmarks
+// ---------------------------------------------------------------------------
+
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   dist::Rng rng(1);
@@ -24,7 +52,8 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   for (std::size_t i = 0; i < n; ++i) times.push_back(rng.uniform01() * 1e6);
   for (auto _ : state) {
     sim::EventQueue q;
-    for (double t : times) q.schedule(t, [] {});
+    q.reserve(n);
+    for (double t : times) q.schedule(t, sim::Event::timer());
     double last = 0.0;
     while (!q.empty()) last = q.pop().time;
     benchmark::DoNotOptimize(last);
@@ -33,6 +62,26 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(65536);
+
+// The simulation's actual queue shape: a near-constant pending set with
+// schedule-one/pop-one churn (lazy arrivals keep the event list O(hosts)).
+void BM_EventQueueSteadyStateChurn(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue q;
+  q.reserve(pending);
+  dist::Rng rng(2);
+  double t = 0.0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    q.schedule(t += rng.uniform01(), sim::Event::timer());
+  }
+  for (auto _ : state) {
+    const sim::Event e = q.pop();
+    q.schedule(e.time + rng.uniform01() * static_cast<double>(pending),
+               sim::Event::timer());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueSteadyStateChurn)->Arg(16)->Arg(256);
 
 void BM_RngUniform(benchmark::State& state) {
   dist::Rng rng(7);
@@ -105,4 +154,218 @@ void BM_ServerLwl2HostsAudited(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerLwl2HostsAudited)->Arg(10000)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --json mode: the tracked end-to-end throughput suite
+// ---------------------------------------------------------------------------
+
+struct ThroughputResult {
+  std::string name;
+  double throughput = 0.0;  ///< jobs/sec (e2e) or events/sec (micro)
+};
+
+enum class Mode { kPlain, kFaults, kControl };
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kPlain: return "plain";
+    case Mode::kFaults: return "faults";
+    case Mode::kControl: return "control";
+  }
+  return "?";
+}
+
+/// Policies the suite tracks. SITA-E cutoffs are per-trace size quantiles
+/// (equal-count splits) — representative routing work, derived
+/// deterministically from the trace itself.
+core::PolicyPtr make_tracked_policy(const std::string& name,
+                                    const workload::Trace& trace,
+                                    std::size_t hosts) {
+  if (name == "Random") return std::make_unique<core::RandomPolicy>();
+  if (name == "Round-Robin") return std::make_unique<core::RoundRobinPolicy>();
+  if (name == "Shortest-Queue") {
+    return std::make_unique<core::ShortestQueuePolicy>();
+  }
+  if (name == "Least-Work-Left") {
+    return std::make_unique<core::LeastWorkLeftPolicy>();
+  }
+  if (name == "SITA-E") {
+    std::vector<double> sizes;
+    sizes.reserve(trace.size());
+    for (const workload::Job& j : trace.jobs()) sizes.push_back(j.size);
+    std::sort(sizes.begin(), sizes.end());
+    std::vector<double> cutoffs;
+    cutoffs.reserve(hosts - 1);
+    for (std::size_t i = 1; i < hosts; ++i) {
+      cutoffs.push_back(sizes[i * sizes.size() / hosts]);
+    }
+    // Quantile ties would violate the strictly-increasing contract; nudge.
+    for (std::size_t i = 1; i < cutoffs.size(); ++i) {
+      if (cutoffs[i] <= cutoffs[i - 1]) cutoffs[i] = cutoffs[i - 1] * 1.0001;
+    }
+    return std::make_unique<core::SitaPolicy>(cutoffs, "SITA-E");
+  }
+  std::fprintf(stderr, "unknown tracked policy %s\n", name.c_str());
+  std::exit(2);
+}
+
+double time_one_run(core::Policy& policy, const workload::Trace& trace,
+                    std::size_t hosts, Mode mode) {
+  // Fault and control time constants scale with the trace's mean
+  // interarrival gap, so the event volume they add is proportional to the
+  // job count — not to the workload's (arbitrary) time unit. With the c90
+  // trace's multi-thousand-second mean size, absolute constants like
+  // "probe every 20s" would drown the run in probe events.
+  const double duration =
+      trace.jobs().back().arrival - trace.jobs().front().arrival;
+  const double gap = duration / static_cast<double>(trace.size() - 1);
+  core::DistributedServer server(hosts, policy);
+  if (mode == Mode::kFaults) {
+    sim::FaultConfig faults;
+    faults.enabled = true;
+    faults.mtbf = 1000.0 * gap;
+    faults.mttr = 20.0 * gap;
+    server.enable_faults(faults, core::RecoveryMode::kResubmit);
+  }
+  if (mode == Mode::kControl) {
+    sim::ControlPlaneConfig control;
+    control.enabled = true;
+    control.probe_period = 5.0 * gap;
+    control.probe_loss = 0.1;
+    control.rpc_timeout = 1.0 * gap;
+    control.rpc_loss = 0.05;
+    control.ack_loss = 0.05;
+    control.max_retries = 2;
+    control.backoff_base = 0.5 * gap;
+    control.backoff_cap = 4.0 * gap;
+    server.enable_control(control);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::RunResult r = server.run(trace, /*seed=*/1);
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(r.makespan);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::vector<ThroughputResult> run_throughput_suite(std::size_t jobs,
+                                                   std::size_t reps) {
+  const std::vector<std::string> policies = {
+      "Random", "Round-Robin", "Shortest-Queue", "Least-Work-Left", "SITA-E"};
+  const std::vector<std::size_t> host_counts = {2, 8, 32};
+  const std::vector<Mode> modes = {Mode::kPlain, Mode::kFaults,
+                                   Mode::kControl};
+  std::vector<ThroughputResult> results;
+
+  // The event-queue micro number first: the 2x-over-std::function gate.
+  {
+    constexpr std::size_t kN = 65536;
+    dist::Rng rng(1);
+    std::vector<double> times;
+    times.reserve(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      times.push_back(rng.uniform01() * 1e6);
+    }
+    double best = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      sim::EventQueue q;
+      q.reserve(kN);
+      for (double t : times) q.schedule(t, sim::Event::timer());
+      double last = 0.0;
+      while (!q.empty()) last = q.pop().time;
+      benchmark::DoNotOptimize(last);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      best = std::max(best, static_cast<double>(kN) / secs);
+    }
+    results.push_back({"micro/event_queue_schedule_pop/65536", best});
+  }
+
+  for (std::size_t hosts : host_counts) {
+    const workload::Trace trace = workload::make_trace(
+        workload::find_workload("c90"), 0.7, hosts, /*seed=*/3, jobs);
+    for (const std::string& name : policies) {
+      const core::PolicyPtr policy = make_tracked_policy(name, trace, hosts);
+      for (Mode mode : modes) {
+        double best = 0.0;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          const double secs = time_one_run(*policy, trace, hosts, mode);
+          best = std::max(best, static_cast<double>(jobs) / secs);
+        }
+        results.push_back({"e2e/" + name + "/h" + std::to_string(hosts) +
+                               "/" + mode_name(mode),
+                           best});
+      }
+    }
+  }
+  return results;
+}
+
+void write_json(const std::string& path,
+                const std::vector<ThroughputResult>& results,
+                std::size_t jobs, std::size_t reps) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n  \"schema\": 1,\n  \"jobs\": %zu,\n  \"reps\": %zu,\n",
+               jobs, reps);
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"throughput\": %.1f}%s\n",
+                 results[i].name.c_str(), results[i].throughput,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::size_t jobs = 20000;
+  std::size_t reps = 3;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json_path = need_value("--json");
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::strtoull(
+          need_value("--jobs"), nullptr, 10));
+    } else if (arg == "--reps") {
+      reps = static_cast<std::size_t>(std::strtoull(
+          need_value("--reps"), nullptr, 10));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (jobs < 100 || reps < 1) {
+    std::fprintf(stderr, "--jobs must be >= 100 and --reps >= 1\n");
+    return 2;
+  }
+  if (!json_path.empty()) {
+    const std::vector<ThroughputResult> results =
+        run_throughput_suite(jobs, reps);
+    write_json(json_path, results, jobs, reps);
+    std::printf("wrote %zu benchmark results to %s\n", results.size(),
+                json_path.c_str());
+    return 0;
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

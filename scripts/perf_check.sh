@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Performance regression gate.
+#
+# Runs the bench_micro_simulator throughput suite (--json mode: end-to-end
+# jobs/sec per policy at h in {2,8,32} with faults/control off and on, plus
+# the event-queue schedule+pop rate) and compares every benchmark against
+# the checked-in baseline BENCH_simulator.json:
+#
+#   ratio = fresh_throughput / baseline_throughput
+#   ratio <  FAIL_RATIO (default 0.70, a >30% regression)  -> fail
+#   ratio <  WARN_RATIO (default 0.90, a 10-30% regression) -> warn
+#
+# The fresh run uses the job count and repetition count recorded in the
+# baseline, so the comparison is always like-for-like. Baselines are
+# machine-relative: after an intentional perf change (or on a new reference
+# machine) regenerate with
+#
+#   bench_micro_simulator --json BENCH_simulator.json
+#
+# Usage: scripts/perf_check.sh [bench-binary] [baseline.json] [fresh.json]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH_BIN="${1:-$ROOT/build/bench/bench_micro_simulator}"
+BASELINE="${2:-$ROOT/BENCH_simulator.json}"
+FRESH="${3:-$ROOT/build/BENCH_simulator_fresh.json}"
+FAIL_RATIO="${FAIL_RATIO:-0.70}"
+WARN_RATIO="${WARN_RATIO:-0.90}"
+
+if [[ ! -x "$BENCH_BIN" ]]; then
+  echo "perf_check: bench binary not found at $BENCH_BIN" >&2
+  echo "perf_check: build it with: cmake --build build --target bench_micro_simulator" >&2
+  exit 2
+fi
+if [[ ! -f "$BASELINE" ]]; then
+  echo "perf_check: baseline not found at $BASELINE" >&2
+  exit 2
+fi
+
+PYTHON="${PYTHON:-python3}"
+
+read -r JOBS REPS < <("$PYTHON" - "$BASELINE" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+print(base.get("jobs", 20000), base.get("reps", 3))
+EOF
+)
+
+echo "perf_check: running throughput suite (jobs=$JOBS reps=$REPS)"
+"$BENCH_BIN" --json "$FRESH" --jobs "$JOBS" --reps "$REPS"
+
+"$PYTHON" - "$BASELINE" "$FRESH" "$FAIL_RATIO" "$WARN_RATIO" <<'EOF'
+import json
+import sys
+
+baseline_path, fresh_path, fail_ratio, warn_ratio = sys.argv[1:5]
+fail_ratio = float(fail_ratio)
+warn_ratio = float(warn_ratio)
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: float(b["throughput"]) for b in doc["benchmarks"]}
+
+base = load(baseline_path)
+fresh = load(fresh_path)
+
+missing = sorted(set(base) - set(fresh))
+extra = sorted(set(fresh) - set(base))
+failures = []
+warnings = []
+
+width = max(len(n) for n in base) if base else 0
+print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  ratio")
+for name in sorted(base):
+    if name not in fresh:
+        continue
+    b, f = base[name], fresh[name]
+    ratio = f / b if b > 0 else float("inf")
+    mark = ""
+    if ratio < fail_ratio:
+        mark = "  << FAIL"
+        failures.append((name, ratio))
+    elif ratio < warn_ratio:
+        mark = "  <- warn"
+        warnings.append((name, ratio))
+    print(f"{name:<{width}}  {b:>12.0f}  {f:>12.0f}  {ratio:5.2f}x{mark}")
+
+for name in missing:
+    failures.append((name, 0.0))
+    print(f"{name:<{width}}  missing from fresh run  << FAIL")
+for name in extra:
+    print(f"{name:<{width}}  (new benchmark, no baseline entry)")
+
+if warnings:
+    for name, ratio in warnings:
+        # GitHub Actions annotation; plain text anywhere else.
+        print(f"::warning title=perf regression 10-30%::{name} at {ratio:.2f}x baseline")
+if failures:
+    for name, ratio in failures:
+        print(f"::error title=perf regression >30%::{name} at {ratio:.2f}x baseline")
+    print(f"perf_check: FAILED ({len(failures)} benchmark(s) below {fail_ratio:.2f}x)")
+    sys.exit(1)
+print(f"perf_check: OK ({len(base)} benchmarks, {len(warnings)} warning(s))")
+EOF

@@ -109,6 +109,12 @@ Workbench::Workbench(const workload::WorkloadSpec& spec,
 
 workload::Trace Workbench::make_eval_trace(double rho,
                                            std::size_t replication) const {
+  return make_eval_trace(rho, replication, {});
+}
+
+workload::Trace Workbench::make_eval_trace(
+    double rho, std::size_t replication,
+    std::vector<workload::Job>&& buffer) const {
   dist::Rng rng =
       dist::Rng(config_.seed).split(point_stream(rho, replication));
   const double mean = util::compensated_sum(eval_sizes_) /
@@ -117,24 +123,28 @@ workload::Trace Workbench::make_eval_trace(double rho,
   switch (config_.arrivals) {
     case ArrivalKind::kPoisson: {
       workload::PoissonArrivals arrivals(lambda);
-      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng);
+      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng,
+                                            std::move(buffer));
     }
     case ArrivalKind::kBursty: {
       workload::Mmpp2Arrivals arrivals =
           workload::Mmpp2Arrivals::with_burstiness(
               lambda, config_.burst_ratio, config_.burst_time_fraction,
               config_.mean_cycle_arrivals);
-      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng);
+      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng,
+                                            std::move(buffer));
     }
     case ArrivalKind::kDiurnal: {
       workload::DiurnalArrivals arrivals(lambda, config_.diurnal_amplitude,
                                          config_.diurnal_period);
-      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng);
+      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng,
+                                            std::move(buffer));
     }
   }
   DS_ASSERT(false && "unhandled ArrivalKind");
   workload::PoissonArrivals fallback(lambda);
-  return workload::Trace::with_arrivals(eval_sizes_, fallback, rng);
+  return workload::Trace::with_arrivals(eval_sizes_, fallback, rng,
+                                        std::move(buffer));
 }
 
 Workbench::PointPlan Workbench::plan_point(PolicyKind kind, double rho) const {
@@ -264,6 +274,14 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
 MetricsSummary Workbench::run_replication(const PointPlan& plan,
                                           std::size_t replication,
                                           std::size_t seed_index) const {
+  ReplicationWorkspace workspace;
+  return run_replication(plan, replication, seed_index, workspace);
+}
+
+MetricsSummary Workbench::run_replication(const PointPlan& plan,
+                                          std::size_t replication,
+                                          std::size_t seed_index,
+                                          ReplicationWorkspace& ws) const {
   DS_EXPECTS(replication < config_.replications);
   DS_EXPECTS(plan.make_policy != nullptr);
   const std::uint64_t seed = replication_seed(seed_index);
@@ -272,7 +290,8 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
                               seed);
   }
   const PolicyPtr policy = plan.make_policy();
-  const workload::Trace trace = make_eval_trace(plan.point.rho, seed_index);
+  workload::Trace trace = make_eval_trace(plan.point.rho, seed_index,
+                                          std::move(ws.job_buffer));
   DistributedServer server(config_.hosts, *policy);
   if (config_.faults.enabled) {
     server.enable_faults(config_.faults, config_.recovery);
@@ -294,6 +313,7 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
     }
   }
   const RunResult result = server.run(trace, seed);
+  ws.job_buffer = std::move(trace).take_jobs();  // recycle for the next call
   if (config_.audit.enabled) sim::throw_if_failed(*result.audit);
   return summarize(result);
 }
@@ -333,8 +353,9 @@ ExperimentPoint Workbench::run_point(PolicyKind kind, double rho) const {
   const PointPlan plan = plan_point(kind, rho);
   std::vector<MetricsSummary> summaries;
   summaries.reserve(config_.replications);
+  ReplicationWorkspace workspace;  // trace storage shared across reps
   for (std::size_t rep = 0; rep < config_.replications; ++rep) {
-    summaries.push_back(run_replication(plan, rep));
+    summaries.push_back(run_replication(plan, rep, rep, workspace));
   }
   return finalize_point(plan, std::move(summaries));
 }

@@ -210,6 +210,15 @@ class Workbench {
     std::function<PolicyPtr()> make_policy;
   };
 
+  /// Reusable per-caller scratch storage for run_replication. One
+  /// workspace per thread (NOT shared across threads) turns the
+  /// per-replication trace build into a zero-allocation refill once its
+  /// buffer is warm. Passing a fresh workspace is always correct — reuse
+  /// is purely an allocation optimization; results are bit-identical.
+  struct ReplicationWorkspace {
+    std::vector<workload::Job> job_buffer;
+  };
+
   /// Runs one policy at one system load (all replications, inline).
   [[nodiscard]] ExperimentPoint run_point(PolicyKind kind, double rho) const;
 
@@ -229,6 +238,12 @@ class Workbench {
   [[nodiscard]] MetricsSummary run_replication(const PointPlan& plan,
                                                std::size_t replication,
                                                std::size_t seed_index) const;
+
+  /// Allocation-lean variant: recycles `workspace` buffers across calls
+  /// from the same thread. Bit-identical to the overloads above.
+  [[nodiscard]] MetricsSummary run_replication(
+      const PointPlan& plan, std::size_t replication, std::size_t seed_index,
+      ReplicationWorkspace& workspace) const;
 
   /// Assembles the point from its per-replication summaries (averaging +
   /// t-interval), exactly as run_point does.
@@ -279,6 +294,11 @@ class Workbench {
   /// Evaluation trace for one replication at one load.
   [[nodiscard]] workload::Trace make_eval_trace(double rho,
                                                 std::size_t replication) const;
+
+  /// As above, recycling `buffer` for the job vector.
+  [[nodiscard]] workload::Trace make_eval_trace(
+      double rho, std::size_t replication,
+      std::vector<workload::Job>&& buffer) const;
 
   workload::WorkloadSpec spec_;
   ExperimentConfig config_;

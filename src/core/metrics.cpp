@@ -125,6 +125,12 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
   std::uint64_t failed_records = 0;
   std::uint64_t total_restarts = 0;
   std::vector<std::vector<const JobRecord*>> by_host(result.hosts);
+  if (result.hosts > 0) {
+    // Balanced policies land ~records/hosts per host; double it so even a
+    // heavily skewed assignment (SITA short-host) rarely reallocates.
+    const std::size_t expect = 2 * result.records.size() / result.hosts + 1;
+    for (auto& v : by_host) v.reserve(expect);
+  }
   for (std::size_t i = 0; i < result.records.size(); ++i) {
     const JobRecord& r = result.records[i];
     std::ostringstream tag;

@@ -56,27 +56,50 @@ void PsServer::schedule_departure(HostId host) {
       [](const Active& a, const Active& b) { return a.remaining < b.remaining; });
   const double dt =
       next->remaining * static_cast<double>(h.active.size());
-  const std::uint64_t epoch = h.epoch;
-  sim_.schedule_in(dt, [this, host, epoch] {
-    Host& hh = hosts_[host];
-    if (hh.epoch != epoch) return;  // superseded by a later arrival
-    age(host);
-    const auto it = std::min_element(
-        hh.active.begin(), hh.active.end(),
-        [](const Active& a, const Active& b) {
-          return a.remaining < b.remaining;
-        });
-    DS_ASSERT(it != hh.active.end());
-    // The scheduled completer's residual is zero up to accumulated aging
-    // round-off (proportional to how much work the host processed).
-    DS_ASSERT(it->remaining <= 1e-3 + 1e-9 * sim_.now());
-    JobRecord& rec = records_[it->id];
-    rec.completion = sim_.now();
-    hh.stats.jobs_completed += 1;
-    hh.stats.work_done += rec.size;
-    hh.active.erase(it);
-    schedule_departure(host);
-  });
+  sim_.schedule_in(dt, sim::Event::departure(host, /*job=*/0, h.epoch));
+}
+
+void PsServer::on_departure(HostId host, std::uint64_t epoch) {
+  Host& hh = hosts_[host];
+  if (hh.epoch != epoch) return;  // superseded by a later arrival
+  age(host);
+  const auto it = std::min_element(
+      hh.active.begin(), hh.active.end(),
+      [](const Active& a, const Active& b) {
+        return a.remaining < b.remaining;
+      });
+  DS_ASSERT(it != hh.active.end());
+  // The scheduled completer's residual is zero up to accumulated aging
+  // round-off (proportional to how much work the host processed).
+  DS_ASSERT(it->remaining <= 1e-3 + 1e-9 * sim_.now());
+  JobRecord& rec = records_[it->id];
+  rec.completion = sim_.now();
+  hh.stats.jobs_completed += 1;
+  hh.stats.work_done += rec.size;
+  hh.active.erase(it);
+  schedule_departure(host);
+}
+
+void PsServer::on_event(const sim::Event& event) {
+  switch (event.kind) {
+    case sim::EventKind::kArrival: {
+      const workload::Job job = (*trace_jobs_)[next_arrival_index_++];
+      schedule_next_arrival();
+      on_arrival(job);
+      return;
+    }
+    case sim::EventKind::kDeparture:
+      on_departure(event.host, event.epoch);
+      return;
+    default:
+      DS_ASSERT(false && "unexpected event kind");
+  }
+}
+
+void PsServer::schedule_next_arrival() {
+  if (next_arrival_index_ >= trace_jobs_->size()) return;
+  const workload::Job& next = (*trace_jobs_)[next_arrival_index_];
+  sim_.schedule_at(next.arrival, sim::Event::arrival());
 }
 
 void PsServer::on_arrival(const workload::Job& job) {
@@ -105,17 +128,9 @@ RunResult PsServer::run(const workload::Trace& trace, std::uint64_t seed) {
   next_arrival_index_ = 0;
   policy_->reset(hosts_count_, seed);
 
-  std::function<void()> schedule_next = [&] {
-    if (next_arrival_index_ >= trace_jobs_->size()) return;
-    const workload::Job& next = (*trace_jobs_)[next_arrival_index_];
-    sim_.schedule_at(next.arrival, [this, &schedule_next] {
-      const workload::Job job = (*trace_jobs_)[next_arrival_index_++];
-      schedule_next();
-      on_arrival(job);
-    });
-  };
-  schedule_next();
-  sim_.run();
+  sim_.reserve(hosts_count_ + 8);
+  schedule_next_arrival();
+  sim_.run(*this);
 
   RunResult result;
   result.hosts = hosts_count_;

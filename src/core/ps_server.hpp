@@ -24,7 +24,7 @@
 namespace distserv::core {
 
 /// Distributed server whose hosts are processor-sharing instead of FCFS.
-class PsServer final : public ServerView {
+class PsServer final : public ServerView, private sim::EventHandler {
  public:
   /// `policy` must dispatch immediately (central queue is meaningless under
   /// PS — there is no "idle until free" state to wait for).
@@ -55,11 +55,16 @@ class PsServer final : public ServerView {
     HostStats stats;
   };
 
+  /// Typed event dispatch (arrivals and epoch-fenced departures).
+  void on_event(const sim::Event& event) override;
+
   /// Ages all remaining times at `host` to the current instant.
   void age(HostId host);
   /// (Re)schedules the host's next departure event.
   void schedule_departure(HostId host);
+  void schedule_next_arrival();
   void on_arrival(const workload::Job& job);
+  void on_departure(HostId host, std::uint64_t epoch);
 
   std::size_t hosts_count_;
   Policy* policy_;

@@ -108,6 +108,11 @@ RunResult DistributedServer::run(const workload::Trace& trace,
   interruptions_ = 0;
   policy_->reset(hosts_count_, seed);
 
+  // The event list holds at most one arrival plus, per host, a pending
+  // completion, failure, repair, and probe, plus in-flight RPC timeouts;
+  // pre-sizing it keeps the steady-state loop allocation-free.
+  sim_.reserve(4 * hosts_count_ + 16);
+
   // Fault events are scheduled before the first arrival so a t=0 outage
   // precedes any t=0 arrival in the (time, sequence)-ordered event list;
   // probe events follow faults so a t=0 probe observes the t=0 outage.
@@ -116,7 +121,7 @@ RunResult DistributedServer::run(const workload::Trace& trace,
   // Arrivals are scheduled lazily — one pending arrival event at a time —
   // so the event list stays O(hosts) instead of O(trace).
   schedule_next_arrival();
-  sim_.run();
+  sim_.run(*this);
 
   RunResult result;
   result.records = std::move(records_);
@@ -155,14 +160,46 @@ RunResult DistributedServer::run(const workload::Trace& trace,
   return result;
 }
 
+void DistributedServer::on_event(const sim::Event& event) {
+  switch (event.kind) {
+    case sim::EventKind::kArrival: {
+      const workload::Job job = (*trace_jobs_)[next_arrival_index_++];
+      schedule_next_arrival();
+      on_arrival(job);
+      return;
+    }
+    case sim::EventKind::kDeparture:
+      on_completion(event.host, event.id, event.epoch);
+      return;
+    case sim::EventKind::kHostFail:
+      // Renewal failures draw their repair duration at fire time (keeping
+      // the per-host fault stream aligned); scheduled outages carry theirs.
+      if (event.flag) {
+        fault_down(event.host, fault_process_.next_downtime(event.host),
+                   /*renewal=*/true);
+      } else {
+        fault_down(event.host, event.value, /*renewal=*/false);
+      }
+      return;
+    case sim::EventKind::kHostRepair:
+      fault_up(event.host, event.flag);
+      return;
+    case sim::EventKind::kProbe:
+      probe_fired(event.host);
+      return;
+    case sim::EventKind::kRpcTimeout:
+      rpc_timeout_fired(event.id, event.epoch);
+      return;
+    case sim::EventKind::kTimer:
+      break;
+  }
+  DS_ASSERT(false && "unexpected event kind");
+}
+
 void DistributedServer::schedule_next_arrival() {
   if (next_arrival_index_ >= trace_jobs_->size()) return;
   const workload::Job& next = (*trace_jobs_)[next_arrival_index_];
-  sim_.schedule_at(next.arrival, [this] {
-    const workload::Job job = (*trace_jobs_)[next_arrival_index_++];
-    schedule_next_arrival();
-    on_arrival(job);
-  });
+  sim_.schedule_at(next.arrival, sim::Event::arrival());
 }
 
 void DistributedServer::on_arrival(const workload::Job& job) {
@@ -373,8 +410,7 @@ void DistributedServer::send_dispatch(workload::JobId id) {
 void DistributedServer::schedule_rpc_timeout(workload::JobId id) {
   const PendingDispatch& p = pending_.at(id);
   const double delay = control_config_.rpc_timeout + control_.backoff(p.attempt);
-  const std::uint64_t epoch = p.epoch;
-  sim_.schedule_in(delay, [this, id, epoch] { rpc_timeout_fired(id, epoch); });
+  sim_.schedule_in(delay, sim::Event::rpc_timeout(id, p.epoch));
 }
 
 void DistributedServer::rpc_timeout_fired(workload::JobId id,
@@ -488,10 +524,8 @@ void DistributedServer::start_service(HostId host, const workload::Job& job,
   rec.host = host;
   rec.start = start;
   rec.completion = completion;
-  const workload::JobId id = job.id;
-  const std::uint64_t epoch = h.service_epoch;
   sim_.schedule_at(completion,
-                   [this, host, id, epoch] { on_completion(host, id, epoch); });
+                   sim::Event::departure(host, job.id, h.service_epoch));
 }
 
 void DistributedServer::on_completion(HostId host, workload::JobId id,
@@ -553,8 +587,7 @@ void DistributedServer::begin_control(std::uint64_t seed) {
   snapshot_.hosts.assign(hosts_count_, sim::HostObservation{});
   if (control_config_.snapshots_enabled()) {
     for (HostId h = 0; h < hosts_count_; ++h) {
-      sim_.schedule_at(control_.first_probe_at(h),
-                       [this, h] { probe_fired(h); });
+      sim_.schedule_at(control_.first_probe_at(h), sim::Event::probe(h));
     }
   }
 }
@@ -572,18 +605,15 @@ void DistributedServer::probe_fired(HostId host) {
                              host_idle(host), hosts_[host].up, t};
   }
   if (auditor_) auditor_->on_probe(host, t, lost);
-  sim_.schedule_in(control_config_.probe_period,
-                   [this, host] { probe_fired(host); });
+  sim_.schedule_in(control_config_.probe_period, sim::Event::probe(host));
 }
 
 void DistributedServer::begin_faults(std::uint64_t seed) {
   fault_process_ = sim::FaultProcess(fault_config_, hosts_count_, seed);
   for (const sim::HostOutage& outage : fault_config_.outages) {
-    const HostId host = outage.host;
-    const double duration = outage.duration;
-    sim_.schedule_at(outage.at, [this, host, duration] {
-      fault_down(host, duration, /*renewal=*/false);
-    });
+    sim_.schedule_at(
+        outage.at,
+        sim::Event::host_fail(outage.host, outage.duration, /*renewal=*/false));
   }
   if (fault_process_.renewal_enabled()) {
     for (HostId h = 0; h < hosts_count_; ++h) {
@@ -593,9 +623,8 @@ void DistributedServer::begin_faults(std::uint64_t seed) {
 }
 
 void DistributedServer::schedule_failure(HostId host, double delay) {
-  sim_.schedule_in(delay, [this, host] {
-    fault_down(host, fault_process_.next_downtime(host), /*renewal=*/true);
-  });
+  sim_.schedule_in(delay,
+                   sim::Event::host_fail(host, 0.0, /*renewal=*/true));
 }
 
 void DistributedServer::fault_down(HostId host, double duration, bool renewal) {
@@ -609,7 +638,7 @@ void DistributedServer::fault_down(HostId host, double duration, bool renewal) {
     if (auditor_) auditor_->on_host_down(host, sim_.now());
     if (h.busy) interrupt_running(host);
   }
-  sim_.schedule_in(duration, [this, host, renewal] { fault_up(host, renewal); });
+  sim_.schedule_in(duration, sim::Event::host_repair(host, renewal));
 }
 
 void DistributedServer::fault_up(HostId host, bool renewal) {

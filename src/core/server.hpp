@@ -50,7 +50,13 @@ struct RunResult {
 };
 
 /// One simulation of one trace under one policy.
-class DistributedServer final : public ServerView {
+///
+/// Implements sim::EventHandler: the event loop delivers typed POD events
+/// (arrival, departure, failure, repair, probe, RPC timeout) and on_event
+/// dispatches them with a switch — no per-event closures, no per-event
+/// heap allocation.
+class DistributedServer final : public ServerView,
+                                private sim::EventHandler {
  public:
   /// `policy` must outlive the server. Requires hosts >= 1.
   DistributedServer(std::size_t hosts, Policy& policy);
@@ -148,6 +154,9 @@ class DistributedServer final : public ServerView {
     /// is ignored (the kernel has no event cancellation).
     std::uint64_t epoch = 0;
   };
+
+  /// Typed event dispatch (the simulation's inner loop).
+  void on_event(const sim::Event& event) override;
 
   void schedule_next_arrival();
   void on_arrival(const workload::Job& job);

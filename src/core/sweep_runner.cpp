@@ -88,14 +88,17 @@ std::vector<ExperimentPoint> run_sweep(const Workbench& workbench,
 
   // Runs one (point, replication). Hardened mode records the failure —
   // with the seed the replication ran under — and optionally retries once.
+  // The workspace recycles trace storage across every task this thread
+  // runs; reuse cannot change results (see ReplicationWorkspace).
   const auto run_one = [&](std::size_t i, std::size_t r) {
+    thread_local Workbench::ReplicationWorkspace workspace;
     if (!options.isolate_failures) {
-      summaries[i][r] = workbench.run_replication(plans[i], r);
+      summaries[i][r] = workbench.run_replication(plans[i], r, r, workspace);
       done[i][r] = 1;
       return;
     }
     try {
-      summaries[i][r] = workbench.run_replication(plans[i], r);
+      summaries[i][r] = workbench.run_replication(plans[i], r, r, workspace);
       done[i][r] = 1;
       return;
     } catch (const std::exception& e) {
@@ -112,7 +115,8 @@ std::vector<ExperimentPoint> run_sweep(const Workbench& workbench,
         f.retried = true;
         f.retry_seed = workbench.replication_seed(retry_index);
         try {
-          summaries[i][r] = workbench.run_replication(plans[i], r, retry_index);
+          summaries[i][r] =
+              workbench.run_replication(plans[i], r, retry_index, workspace);
           done[i][r] = 1;
           f.recovered = true;
         } catch (const std::exception&) {

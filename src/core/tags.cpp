@@ -20,88 +20,137 @@ TagsServer::TagsServer(std::vector<double> cutoffs)
   }
 }
 
-RunResult TagsServer::run(const workload::Trace& trace) {
-  DS_EXPECTS(!trace.empty());
-  const std::size_t h = host_count();
+namespace {
 
+/// The TAGS event model: typed arrivals plus per-host service-budget
+/// expiries (a "departure" either completes the job or kills and restarts
+/// it from scratch at the next host).
+class TagsSim final : public sim::EventHandler {
+ public:
   struct Host {
     std::deque<workload::Job> queue;
     bool busy = false;
+    workload::Job running{};    ///< job in service (valid while busy)
+    double budget = 0.0;        ///< service granted this visit
+    bool completes = false;     ///< true when `running` finishes here
     HostStats stats;
   };
 
-  sim::Simulator sim;
-  std::vector<Host> hosts(h);
-  std::vector<JobRecord> records(trace.size());
-  std::size_t next_arrival = 0;
+  TagsSim(const workload::Trace& trace, const std::vector<double>& cutoffs,
+          std::size_t host_count)
+      : trace_(trace),
+        cutoffs_(cutoffs),
+        host_count_(host_count),
+        hosts_(host_count),
+        records_(trace.size()) {}
 
-  // Forward declarations via std::function to allow mutual recursion.
-  std::function<void(HostId)> feed;
-  std::function<void(HostId, workload::Job)> enqueue;
+  void run() {
+    sim_.reserve(host_count_ + 8);
+    schedule_next_arrival();
+    sim_.run(*this);
+  }
 
-  auto start_service = [&](HostId host, const workload::Job& job) {
-    Host& hs = hosts[host];
+  void on_event(const sim::Event& event) override {
+    switch (event.kind) {
+      case sim::EventKind::kArrival: {
+        const workload::Job job = trace_.jobs()[next_arrival_++];
+        schedule_next_arrival();
+        enqueue(0, job);
+        return;
+      }
+      case sim::EventKind::kDeparture:
+        on_budget_expired(event.host);
+        return;
+      default:
+        DS_ASSERT(false && "unexpected event kind");
+    }
+  }
+
+  sim::Simulator& sim() noexcept { return sim_; }
+  std::vector<Host>& hosts() noexcept { return hosts_; }
+  std::vector<JobRecord>& records() noexcept { return records_; }
+
+ private:
+  void schedule_next_arrival() {
+    if (next_arrival_ >= trace_.size()) return;
+    sim_.schedule_at(trace_.jobs()[next_arrival_].arrival,
+                     sim::Event::arrival());
+  }
+
+  void start_service(HostId host, const workload::Job& job) {
+    Host& hs = hosts_[host];
     DS_ASSERT(!hs.busy);
     hs.busy = true;
-    const bool final_host = host + 1 == h;
-    const double budget =
-        final_host ? job.size : std::min(job.size, cutoffs_[host]);
-    const bool completes = final_host || job.size <= cutoffs_[host];
-    const double now = sim.now();
-    JobRecord& rec = records[job.id];
+    const bool final_host = host + 1 == host_count_;
+    hs.running = job;
+    hs.budget = final_host ? job.size : std::min(job.size, cutoffs_[host]);
+    hs.completes = final_host || job.size <= cutoffs_[host];
+    JobRecord& rec = records_[job.id];
     if (rec.size == 0.0) {
       // First time this job receives service anywhere.
       rec.id = job.id;
       rec.arrival = job.arrival;
       rec.size = job.size;
-      rec.start = now;
+      rec.start = sim_.now();
     }
-    sim.schedule_in(budget, [&, host, job, completes, budget] {
-      Host& me = hosts[host];
-      me.busy = false;
-      me.stats.busy_time += budget;
-      if (completes) {
-        JobRecord& r = records[job.id];
-        r.host = host;
-        r.completion = sim.now();
-        me.stats.jobs_completed += 1;
-        me.stats.work_done += budget;
-      } else {
-        // Killed: restart from scratch at the next host.
-        enqueue(host + 1, job);
-      }
-      feed(host);
-    });
-  };
+    sim_.schedule_in(hs.budget, sim::Event::departure(host, job.id, 0));
+  }
 
-  enqueue = [&](HostId host, workload::Job job) {
-    Host& hs = hosts[host];
+  void on_budget_expired(HostId host) {
+    Host& me = hosts_[host];
+    DS_ASSERT(me.busy);
+    me.busy = false;
+    me.stats.busy_time += me.budget;
+    if (me.completes) {
+      JobRecord& r = records_[me.running.id];
+      r.host = host;
+      r.completion = sim_.now();
+      me.stats.jobs_completed += 1;
+      me.stats.work_done += me.budget;
+    } else {
+      // Killed: restart from scratch at the next host.
+      enqueue(host + 1, me.running);
+    }
+    feed(host);
+  }
+
+  void enqueue(HostId host, const workload::Job& job) {
+    Host& hs = hosts_[host];
     if (!hs.busy && hs.queue.empty()) {
       start_service(host, job);
     } else {
-      hs.queue.push_back(std::move(job));
+      hs.queue.push_back(job);
     }
-  };
+  }
 
-  feed = [&](HostId host) {
-    Host& hs = hosts[host];
+  void feed(HostId host) {
+    Host& hs = hosts_[host];
     if (hs.busy || hs.queue.empty()) return;
     const workload::Job job = hs.queue.front();
     hs.queue.pop_front();
     start_service(host, job);
-  };
+  }
 
-  std::function<void()> schedule_next = [&] {
-    if (next_arrival >= trace.size()) return;
-    const workload::Job& job = trace.jobs()[next_arrival];
-    sim.schedule_at(job.arrival, [&, job] {
-      ++next_arrival;
-      schedule_next();
-      enqueue(0, job);
-    });
-  };
-  schedule_next();
-  sim.run();
+  const workload::Trace& trace_;
+  const std::vector<double>& cutoffs_;
+  std::size_t host_count_;
+  sim::Simulator sim_;
+  std::vector<Host> hosts_;
+  std::vector<JobRecord> records_;
+  std::size_t next_arrival_ = 0;
+};
+
+}  // namespace
+
+RunResult TagsServer::run(const workload::Trace& trace) {
+  DS_EXPECTS(!trace.empty());
+  const std::size_t h = host_count();
+
+  TagsSim model(trace, cutoffs_, h);
+  model.run();
+  sim::Simulator& sim = model.sim();
+  std::vector<TagsSim::Host>& hosts = model.hosts();
+  std::vector<JobRecord>& records = model.records();
 
   RunResult result;
   result.hosts = h;
@@ -111,7 +160,8 @@ RunResult TagsServer::run(const workload::Trace& trace) {
     makespan = std::max(makespan, r.completion);
   }
   result.makespan = makespan;
-  for (Host& hs : hosts) {
+  result.host_stats.reserve(hosts.size());
+  for (TagsSim::Host& hs : hosts) {
     DS_ASSERT(!hs.busy && hs.queue.empty());
     hs.stats.utilization = makespan > 0.0 ? hs.stats.busy_time / makespan : 0.0;
     result.host_stats.push_back(hs.stats);

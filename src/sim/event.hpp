@@ -1,0 +1,117 @@
+// The typed simulation event and its handler interface.
+//
+// Events used to be type-erased closures (std::function<void()>), which put
+// a heap allocation and an indirect call on the hottest path in the whole
+// system — the event loop executes one closure per arrival, departure,
+// probe, failure, repair, and RPC timeout. An Event is now a small
+// trivially-copyable record: a (time, sequence) ordering key, a kind tag,
+// and three fixed payload slots that each kind interprets for itself. The
+// model dispatches on the kind with a switch (see
+// DistributedServer::on_event), so scheduling an event allocates nothing
+// and firing one is a single virtual call into the owning model.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace distserv::sim {
+
+/// Simulation time in seconds (traces are in seconds of service demand).
+using Time = double;
+
+/// What an event means. The payload slots each kind reads are listed here;
+/// unused slots stay at their zero defaults.
+enum class EventKind : std::uint8_t {
+  kArrival,     ///< next trace arrival is due (no payload; models keep the
+                ///< arrival cursor themselves)
+  kDeparture,   ///< service completion: host, id = job, epoch = service epoch
+  kHostFail,    ///< host goes down: host, flag = renewal-process failure
+                ///< (duration drawn at fire time), else value = duration
+  kHostRepair,  ///< outage ends: host, flag = renewal (reschedules the chain)
+  kProbe,       ///< control-plane state probe of `host` is due
+  kRpcTimeout,  ///< dispatch RPC timeout: id = job, epoch = chain epoch
+  kTimer,       ///< generic timer for other simulator clients (tests, ad-hoc
+                ///< models): id/epoch/value/host mean whatever they schedule
+};
+
+/// One future event. POD by design: the event list stores these by value
+/// and never touches the heap per event.
+struct Event {
+  Time time = 0.0;           ///< absolute fire time (set by the queue)
+  std::uint64_t sequence = 0;  ///< scheduling order, ties broken FIFO
+  std::uint64_t id = 0;      ///< job id (departures, RPC timeouts)
+  std::uint64_t epoch = 0;   ///< invalidation fence (see EventKind)
+  double value = 0.0;        ///< duration payload (scheduled outages)
+  std::uint32_t host = 0;    ///< host index, where applicable
+  EventKind kind = EventKind::kTimer;
+  bool flag = false;         ///< kind-specific bit (renewal-process events)
+
+  // Named constructors, so call sites read like the closures they replaced.
+  [[nodiscard]] static Event arrival() noexcept {
+    Event e;
+    e.kind = EventKind::kArrival;
+    return e;
+  }
+  [[nodiscard]] static Event departure(std::uint32_t host, std::uint64_t job,
+                                       std::uint64_t epoch) noexcept {
+    Event e;
+    e.kind = EventKind::kDeparture;
+    e.host = host;
+    e.id = job;
+    e.epoch = epoch;
+    return e;
+  }
+  [[nodiscard]] static Event host_fail(std::uint32_t host, double duration,
+                                       bool renewal) noexcept {
+    Event e;
+    e.kind = EventKind::kHostFail;
+    e.host = host;
+    e.value = duration;
+    e.flag = renewal;
+    return e;
+  }
+  [[nodiscard]] static Event host_repair(std::uint32_t host,
+                                         bool renewal) noexcept {
+    Event e;
+    e.kind = EventKind::kHostRepair;
+    e.host = host;
+    e.flag = renewal;
+    return e;
+  }
+  [[nodiscard]] static Event probe(std::uint32_t host) noexcept {
+    Event e;
+    e.kind = EventKind::kProbe;
+    e.host = host;
+    return e;
+  }
+  [[nodiscard]] static Event rpc_timeout(std::uint64_t job,
+                                         std::uint64_t epoch) noexcept {
+    Event e;
+    e.kind = EventKind::kRpcTimeout;
+    e.id = job;
+    e.epoch = epoch;
+    return e;
+  }
+  [[nodiscard]] static Event timer(std::uint64_t id = 0) noexcept {
+    Event e;
+    e.kind = EventKind::kTimer;
+    e.id = id;
+    return e;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<Event>,
+              "the event list relies on Events being memcpy-safe");
+
+/// Receiver of fired events: the simulation model implements one switch
+/// over EventKind. Non-virtual destructor on purpose — handlers are never
+/// owned (or deleted) through this interface.
+class EventHandler {
+ public:
+  virtual void on_event(const Event& event) = 0;
+
+ protected:
+  ~EventHandler() = default;
+};
+
+}  // namespace distserv::sim

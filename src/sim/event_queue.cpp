@@ -1,34 +1,96 @@
 #include "sim/event_queue.hpp"
 
 #include <cmath>
-#include <utility>
+#include <cstring>
 
 #include "util/contracts.hpp"
 
 namespace distserv::sim {
 
-void EventQueue::schedule(Time t, std::function<void()> action) {
+void EventQueue::sift_up(std::size_t hole, const Node& node) noexcept {
+  const auto k = node.key();
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kArity;
+    if (k >= heap_[parent].key()) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = node;
+}
+
+void EventQueue::sift_down(std::size_t hole, const Node& node) noexcept {
+  // Sift-to-leaf: drop the hole all the way down along min children
+  // without comparing against `node`, then sift `node` up from the leaf.
+  // `node` came from the heap's last slot, so it almost always belongs
+  // near the bottom — this saves one compare per level on the dominant
+  // path.
+  const std::size_t n = heap_.size();
+  const std::size_t start = hole;
+  for (;;) {
+    const std::size_t first = kArity * hole + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    auto best_key = heap_[first].key();
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      const auto ck = heap_[c].key();
+      if (ck < best_key) {
+        best = c;
+        best_key = ck;
+      }
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  // Sift up, but never above the original hole.
+  const auto k = node.key();
+  while (hole > start) {
+    const std::size_t parent = (hole - 1) / kArity;
+    if (k >= heap_[parent].key()) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = node;
+}
+
+void EventQueue::schedule(Time t, Event event) {
   DS_EXPECTS(std::isfinite(t) && t >= 0.0);
-  DS_EXPECTS(static_cast<bool>(action));
-  heap_.push(Event{t, next_sequence_++, std::move(action)});
+  event.time = t;
+  event.sequence = next_sequence_++;
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(event);
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+    pool_[slot] = event;
+  }
+  Node node;
+  static_assert(sizeof(node.time_bits) == sizeof(event.time));
+  std::memcpy(&node.time_bits, &event.time, sizeof(node.time_bits));
+  node.sequence = event.sequence;
+  node.slot = slot;
+  heap_.push_back(node);  // Placeholder; sift_up writes the real slot.
+  sift_up(heap_.size() - 1, node);
 }
 
 Time EventQueue::next_time() const {
   DS_EXPECTS(!heap_.empty());
-  return heap_.top().time;
+  Time t;
+  std::memcpy(&t, &heap_.front().time_bits, sizeof(t));
+  return t;
 }
 
 Event EventQueue::pop() {
   DS_EXPECTS(!heap_.empty());
-  // std::priority_queue::top() is const; the move is safe because we pop
-  // immediately after.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  return ev;
-}
-
-void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  const Node root = heap_.front();
+  const Event event = pool_[root.slot];
+  free_.push_back(root.slot);
+  const Node moved = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0, moved);
+  return event;
 }
 
 }  // namespace distserv::sim

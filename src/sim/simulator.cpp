@@ -4,40 +4,40 @@
 
 namespace distserv::sim {
 
-void Simulator::schedule_at(Time t, std::function<void()> action) {
+void Simulator::schedule_at(Time t, const Event& event) {
   DS_EXPECTS(t >= now_);
-  queue_.schedule(t, std::move(action));
+  queue_.schedule(t, event);
 }
 
-void Simulator::schedule_in(Time delay, std::function<void()> action) {
+void Simulator::schedule_in(Time delay, const Event& event) {
   DS_EXPECTS(delay >= 0.0);
-  queue_.schedule(now_ + delay, std::move(action));
+  queue_.schedule(now_ + delay, event);
 }
 
-std::uint64_t Simulator::run() {
+std::uint64_t Simulator::run(EventHandler& handler) {
   stopped_ = false;
   std::uint64_t n = 0;
   while (!queue_.empty() && !stopped_) {
-    Event ev = queue_.pop();
-    DS_ASSERT(ev.time >= now_);
-    now_ = ev.time;
-    if (observer_) observer_(ev.time);
-    ev.action();
+    const Event event = queue_.pop();
+    DS_ASSERT(event.time >= now_);
+    now_ = event.time;
+    if (observer_) observer_(event.time);
+    handler.on_event(event);
     ++n;
   }
   executed_ += n;
   return n;
 }
 
-std::uint64_t Simulator::run_until(Time horizon) {
+std::uint64_t Simulator::run_until(Time horizon, EventHandler& handler) {
   DS_EXPECTS(horizon >= now_);
   stopped_ = false;
   std::uint64_t n = 0;
   while (!queue_.empty() && !stopped_ && queue_.next_time() <= horizon) {
-    Event ev = queue_.pop();
-    now_ = ev.time;
-    if (observer_) observer_(ev.time);
-    ev.action();
+    const Event event = queue_.pop();
+    now_ = event.time;
+    if (observer_) observer_(event.time);
+    handler.on_event(event);
     ++n;
   }
   if (!stopped_) now_ = horizon;

@@ -1,9 +1,11 @@
 // The discrete-event simulation driver: a clock plus a future-event list.
 //
-// Model code schedules actions at absolute or relative times; run() pops
-// events in (time, sequence) order and advances the clock. Time never moves
-// backwards — scheduling in the past is a contract violation, which has
-// caught every causality bug in the server model during development.
+// Model code schedules typed events at absolute or relative times; run()
+// pops them in (time, sequence) order, advances the clock, and hands each
+// one to the model's EventHandler, which dispatches on EventKind with a
+// switch. Time never moves backwards — scheduling in the past is a
+// contract violation, which has caught every causality bug in the server
+// model during development.
 #pragma once
 
 #include <cstdint>
@@ -19,19 +21,20 @@ class Simulator {
   /// Current simulation time.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
-  /// Schedules `action` at absolute time `t` >= now().
-  void schedule_at(Time t, std::function<void()> action);
+  /// Schedules `event` at absolute time `t` >= now().
+  void schedule_at(Time t, const Event& event);
 
-  /// Schedules `action` `delay` >= 0 seconds from now.
-  void schedule_in(Time delay, std::function<void()> action);
+  /// Schedules `event` `delay` >= 0 seconds from now.
+  void schedule_in(Time delay, const Event& event);
 
-  /// Runs until the event list is empty or stop() is called.
-  /// Returns the number of events executed by this call.
-  std::uint64_t run();
+  /// Runs until the event list is empty or stop() is called, delivering
+  /// every event to `handler`. Returns the number of events executed by
+  /// this call.
+  std::uint64_t run(EventHandler& handler);
 
   /// Runs events with time <= `horizon`, then stops with now() == horizon
   /// (unless the queue empties first, leaving now() at the last event).
-  std::uint64_t run_until(Time horizon);
+  std::uint64_t run_until(Time horizon, EventHandler& handler);
 
   /// Requests that run() return after the current event completes.
   void stop() noexcept { stopped_ = true; }
@@ -39,12 +42,21 @@ class Simulator {
   /// Number of events pending.
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
+  /// Pre-sizes the event list for `n` concurrently pending events, so a
+  /// steady-state run never allocates per event.
+  void reserve(std::size_t n) { queue_.reserve(n); }
+
+  /// Capacity of the event list's backing storage (no-allocation tests).
+  [[nodiscard]] std::size_t pending_capacity() const noexcept {
+    return queue_.capacity();
+  }
+
   /// Total events executed over the simulator's lifetime.
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
-  /// Installs a hook invoked with each event's time just before its action
-  /// runs (the audit layer's monotonicity probe). Pass nullptr to remove.
-  /// Costs one branch per event when unset.
+  /// Installs a hook invoked with each event's time just before it is
+  /// delivered (the audit layer's monotonicity probe). Pass nullptr to
+  /// remove. Costs one branch per event when unset.
   void set_observer(std::function<void(Time)> observer) {
     observer_ = std::move(observer);
   }

@@ -21,7 +21,14 @@ Trace::Trace(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
 
 Trace Trace::with_arrivals(std::span<const double> sizes,
                            ArrivalProcess& arrivals, dist::Rng& rng) {
-  std::vector<Job> jobs;
+  return with_arrivals(sizes, arrivals, rng, {});
+}
+
+Trace Trace::with_arrivals(std::span<const double> sizes,
+                           ArrivalProcess& arrivals, dist::Rng& rng,
+                           std::vector<Job>&& buffer) {
+  std::vector<Job> jobs = std::move(buffer);
+  jobs.clear();
   jobs.reserve(sizes.size());
   double t = 0.0;
   for (std::size_t i = 0; i < sizes.size(); ++i) {

@@ -46,6 +46,13 @@ class Trace {
   static Trace with_arrivals(std::span<const double> sizes,
                              ArrivalProcess& arrivals, dist::Rng& rng);
 
+  /// As above, but recycles `buffer`'s storage for the job vector — a
+  /// replication loop that round-trips the buffer through take_jobs()
+  /// allocates the trace exactly once, not once per replication.
+  static Trace with_arrivals(std::span<const double> sizes,
+                             ArrivalProcess& arrivals, dist::Rng& rng,
+                             std::vector<Job>&& buffer);
+
   /// Builds a trace with Poisson arrivals tuned so that a distributed server
   /// with `hosts` hosts sees system load `rho` (lambda = rho*hosts/mean).
   /// Requires 0 < rho and hosts >= 1.
@@ -53,6 +60,12 @@ class Trace {
                                  std::size_t hosts, dist::Rng& rng);
 
   [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
+
+  /// Steals the job vector (leaving the trace empty) so its storage can be
+  /// recycled into the next with_arrivals call.
+  [[nodiscard]] std::vector<Job> take_jobs() && noexcept {
+    return std::move(jobs_);
+  }
   [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
   [[nodiscard]] bool empty() const noexcept { return jobs_.empty(); }
 

@@ -1,0 +1,133 @@
+// Golden-record equivalence tests for the event engine.
+//
+// Three seeded scenarios — plain, fault-injected, and degraded-information —
+// have their per-job completion times committed as fixtures under
+// tests/golden/, recorded from the type-erased std::function engine the
+// typed event engine replaced. The typed engine must reproduce every
+// completion time *bit-identically*: the fixtures are written and compared
+// as C99 hex-float literals, so even a 1-ulp drift in event ordering or
+// time arithmetic fails the test.
+//
+// To regenerate after an INTENTIONAL semantic change (note it in
+// EXPERIMENTS.md):   DISTSERV_UPDATE_GOLDEN=1 ./test_golden_engine
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/server.hpp"
+#include "dist/bounded_pareto.hpp"
+#include "dist/rng.hpp"
+#include "sim/control_plane.hpp"
+#include "sim/faults.hpp"
+#include "workload/arrival.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv {
+namespace {
+
+#ifndef DISTSERV_GOLDEN_DIR
+#error "DISTSERV_GOLDEN_DIR must point at tests/golden"
+#endif
+
+constexpr std::size_t kJobs = 4000;
+constexpr std::size_t kHosts = 4;
+
+/// The shared workload: bounded-Pareto sizes (alpha 1.5, range [1, 1e3])
+/// under Poisson arrivals at system load 0.7. `stream` decorrelates the
+/// three scenarios.
+workload::Trace make_golden_trace(std::uint64_t stream) {
+  dist::Rng rng = dist::Rng(20260805).split(stream);
+  const dist::BoundedPareto sizes_dist(1.5, 1.0, 1e3);
+  std::vector<double> sizes;
+  sizes.reserve(kJobs);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    sizes.push_back(sizes_dist.sample(rng));
+    mean += sizes.back();
+  }
+  mean /= static_cast<double>(kJobs);
+  const double lambda = 0.7 * static_cast<double>(kHosts) / mean;
+  workload::PoissonArrivals arrivals(lambda);
+  return workload::Trace::with_arrivals(sizes, arrivals, rng);
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(DISTSERV_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+/// Compares `result` against the committed fixture (or rewrites it when
+/// DISTSERV_UPDATE_GOLDEN is set). Completion times are round-tripped
+/// through "%a" hex-float formatting, which is exact for doubles.
+void check_against_fixture(const std::string& name,
+                           const core::RunResult& result) {
+  const std::string path = fixture_path(name);
+  if (std::getenv("DISTSERV_UPDATE_GOLDEN") != nullptr) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    for (const core::JobRecord& r : result.records) {
+      std::fprintf(f, "%a\n", r.completion);
+    }
+    std::fclose(f);
+    GTEST_SKIP() << "rewrote " << path;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr) << "missing fixture " << path
+                        << " (run with DISTSERV_UPDATE_GOLDEN=1)";
+  std::vector<double> expected;
+  expected.reserve(result.records.size());
+  double v = 0.0;
+  while (std::fscanf(f, "%la", &v) == 1) expected.push_back(v);
+  std::fclose(f);
+  ASSERT_EQ(expected.size(), result.records.size()) << name;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Bitwise equality, expressed through the exact hex-float round-trip.
+    ASSERT_EQ(result.records[i].completion, expected[i])
+        << name << ": job " << i << " completion drifted";
+  }
+}
+
+TEST(GoldenEngine, PlainScenarioIsBitIdentical) {
+  const workload::Trace trace = make_golden_trace(1);
+  core::LeastWorkLeftPolicy lwl;
+  const core::RunResult result = core::simulate(lwl, trace, kHosts, 11);
+  check_against_fixture("plain_lwl_h4", result);
+}
+
+TEST(GoldenEngine, FaultScenarioIsBitIdentical) {
+  const workload::Trace trace = make_golden_trace(2);
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  faults.mtbf = 5000.0;
+  faults.mttr = 100.0;
+  core::ShortestQueuePolicy sq;
+  const core::RunResult result = core::simulate_with_faults(
+      sq, trace, kHosts, faults, core::RecoveryMode::kResubmit, 13);
+  check_against_fixture("faults_sq_h4", result);
+}
+
+TEST(GoldenEngine, ControlScenarioIsBitIdentical) {
+  const workload::Trace trace = make_golden_trace(3);
+  sim::ControlPlaneConfig control;
+  control.enabled = true;
+  control.probe_period = 20.0;
+  control.probe_loss = 0.1;
+  control.rpc_timeout = 1.0;
+  control.rpc_loss = 0.05;
+  control.ack_loss = 0.05;
+  control.max_retries = 2;
+  control.backoff_base = 0.5;
+  control.backoff_cap = 4.0;
+  control.staleness_bound = 100.0;
+  core::LeastWorkLeftPolicy lwl;
+  const core::RunResult result =
+      core::simulate_with_control(lwl, trace, kHosts, control, 17);
+  check_against_fixture("control_lwl_h4", result);
+}
+
+}  // namespace
+}  // namespace distserv

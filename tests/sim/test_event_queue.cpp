@@ -1,5 +1,7 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,38 +13,69 @@ namespace {
 
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue q;
-  std::vector<int> order;
-  q.schedule(3.0, [&] { order.push_back(3); });
-  q.schedule(1.0, [&] { order.push_back(1); });
-  q.schedule(2.0, [&] { order.push_back(2); });
-  while (!q.empty()) q.pop().action();
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  q.schedule(3.0, Event::timer(3));
+  q.schedule(1.0, Event::timer(1));
+  q.schedule(2.0, Event::timer(2));
+  std::vector<std::uint64_t> order;
+  while (!q.empty()) order.push_back(q.pop().id);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3}));
 }
 
 TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
   EventQueue q;
-  std::vector<int> order;
-  for (int i = 0; i < 10; ++i) {
-    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  for (std::uint64_t i = 0; i < 10; ++i) q.schedule(5.0, Event::timer(i));
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(q.pop().id, i);
+}
+
+TEST(EventQueue, SimultaneousEventsKeepScheduleOrderUnderInterleaving) {
+  // The explicit vector heap must preserve the FIFO tie-break even when
+  // equal-time events are interleaved with earlier/later ones and the heap
+  // is repeatedly reshaped by pops — the exact pattern a simulation
+  // produces when many hosts act at one instant.
+  EventQueue q;
+  std::vector<std::uint64_t> fired;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    q.schedule(10.0, Event::timer(i));        // the contested instant
+    q.schedule(5.0 + 0.01 * static_cast<double>(i), Event::timer(1000 + i));
+    q.schedule(20.0, Event::timer(2000 + i));
   }
-  while (!q.empty()) q.pop().action();
-  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+  // Drain the early events, reshaping the heap under the t=10 cohort.
+  while (!q.empty() && q.next_time() < 10.0) (void)q.pop();
+  while (!q.empty() && q.next_time() == 10.0) fired.push_back(q.pop().id);
+  ASSERT_EQ(fired.size(), 64u);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(fired[i], i) << "equal-time events left scheduling order";
+  }
+  // And the t=20 cohort also fires in scheduling order.
+  std::uint64_t expected = 2000;
+  while (!q.empty()) EXPECT_EQ(q.pop().id, expected++);
+}
+
+TEST(EventQueue, PopReturnsFullPayload) {
+  EventQueue q;
+  q.schedule(1.5, Event::departure(/*host=*/7, /*job=*/42, /*epoch=*/9));
+  const Event e = q.pop();
+  EXPECT_EQ(e.kind, EventKind::kDeparture);
+  EXPECT_EQ(e.host, 7u);
+  EXPECT_EQ(e.id, 42u);
+  EXPECT_EQ(e.epoch, 9u);
+  EXPECT_DOUBLE_EQ(e.time, 1.5);
 }
 
 TEST(EventQueue, NextTimePeeksWithoutPopping) {
   EventQueue q;
-  q.schedule(7.0, [] {});
-  q.schedule(4.0, [] {});
+  q.schedule(7.0, Event::timer());
+  q.schedule(4.0, Event::timer());
   EXPECT_DOUBLE_EQ(q.next_time(), 4.0);
   EXPECT_EQ(q.size(), 2u);
 }
 
 TEST(EventQueue, RejectsInvalidSchedules) {
   EventQueue q;
-  EXPECT_THROW(q.schedule(-1.0, [] {}), ContractViolation);
-  EXPECT_THROW(q.schedule(std::numeric_limits<double>::infinity(), [] {}),
-               ContractViolation);
-  EXPECT_THROW(q.schedule(1.0, std::function<void()>{}), ContractViolation);
+  EXPECT_THROW(q.schedule(-1.0, Event::timer()), ContractViolation);
+  EXPECT_THROW(
+      q.schedule(std::numeric_limits<double>::infinity(), Event::timer()),
+      ContractViolation);
 }
 
 TEST(EventQueue, PopAndPeekOnEmptyAreErrors) {
@@ -53,8 +86,8 @@ TEST(EventQueue, PopAndPeekOnEmptyAreErrors) {
 
 TEST(EventQueue, ClearDropsEverything) {
   EventQueue q;
-  q.schedule(1.0, [] {});
-  q.schedule(2.0, [] {});
+  q.schedule(1.0, Event::timer());
+  q.schedule(2.0, Event::timer());
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
@@ -62,25 +95,41 @@ TEST(EventQueue, ClearDropsEverything) {
 
 TEST(EventQueue, ScheduledCountIsMonotone) {
   EventQueue q;
-  q.schedule(1.0, [] {});
-  q.schedule(2.0, [] {});
+  q.schedule(1.0, Event::timer());
+  q.schedule(2.0, Event::timer());
   (void)q.pop();
   q.clear();
-  q.schedule(3.0, [] {});
+  q.schedule(3.0, Event::timer());
   EXPECT_EQ(q.scheduled_count(), 3u);
 }
 
 TEST(EventQueue, StressOrderingWithManyEvents) {
   EventQueue q;
-  std::vector<double> times;
-  // Insert in a scrambled deterministic order.
   for (int i = 0; i < 5000; ++i) {
     const double t = static_cast<double>((i * 7919) % 104729);
-    q.schedule(t, [&times, t] { times.push_back(t); });
+    q.schedule(t, Event::timer());
   }
-  while (!q.empty()) q.pop().action();
+  std::vector<double> times;
+  while (!q.empty()) times.push_back(q.pop().time);
   EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
   EXPECT_EQ(times.size(), 5000u);
+}
+
+TEST(EventQueue, SteadyStateChurnNeverGrowsCapacity) {
+  // A schedule-one/pop-one steady state — the shape of an M/M/1 run with
+  // lazy arrival scheduling — must reuse the backing vector: the capacity
+  // after warm-up stays constant while scheduled_count keeps climbing.
+  EventQueue q;
+  q.reserve(4);
+  double t = 0.0;
+  for (int i = 0; i < 8; ++i) q.schedule(t += 1.0, Event::timer());
+  const std::size_t warm_capacity = q.capacity();
+  for (int i = 0; i < 100000; ++i) {
+    const Event e = q.pop();
+    q.schedule(e.time + 8.0, Event::timer());
+  }
+  EXPECT_EQ(q.capacity(), warm_capacity);
+  EXPECT_EQ(q.scheduled_count(), 100008u);
 }
 
 }  // namespace

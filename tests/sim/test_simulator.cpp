@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -9,13 +10,26 @@
 namespace distserv::sim {
 namespace {
 
+/// Test-only handler: routes every delivered event through a std::function
+/// (closures are fine off the hot path; production models switch on kind).
+class CallbackHandler final : public EventHandler {
+ public:
+  explicit CallbackHandler(std::function<void(const Event&)> fn)
+      : fn_(std::move(fn)) {}
+  void on_event(const Event& event) override { fn_(event); }
+
+ private:
+  std::function<void(const Event&)> fn_;
+};
+
 TEST(Simulator, ClockAdvancesWithEvents) {
   Simulator sim;
   std::vector<double> observed;
-  sim.schedule_at(2.0, [&] { observed.push_back(sim.now()); });
-  sim.schedule_at(5.0, [&] { observed.push_back(sim.now()); });
+  CallbackHandler h([&](const Event&) { observed.push_back(sim.now()); });
+  sim.schedule_at(2.0, Event::timer());
+  sim.schedule_at(5.0, Event::timer());
   EXPECT_DOUBLE_EQ(sim.now(), 0.0);
-  const auto n = sim.run();
+  const auto n = sim.run(h);
   EXPECT_EQ(n, 2u);
   EXPECT_EQ(observed, (std::vector<double>{2.0, 5.0}));
   EXPECT_DOUBLE_EQ(sim.now(), 5.0);
@@ -24,30 +38,36 @@ TEST(Simulator, ClockAdvancesWithEvents) {
 TEST(Simulator, ScheduleInIsRelative) {
   Simulator sim;
   double fired_at = -1.0;
-  sim.schedule_at(10.0, [&] {
-    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  CallbackHandler h([&](const Event& e) {
+    if (e.id == 0) {
+      sim.schedule_in(2.5, Event::timer(1));
+    } else {
+      fired_at = sim.now();
+    }
   });
-  sim.run();
+  sim.schedule_at(10.0, Event::timer(0));
+  sim.run(h);
   EXPECT_DOUBLE_EQ(fired_at, 12.5);
 }
 
 TEST(Simulator, SchedulingInThePastIsAnError) {
   Simulator sim;
-  sim.schedule_at(5.0, [&] {
-    EXPECT_THROW(sim.schedule_at(4.0, [] {}), ContractViolation);
-    EXPECT_THROW(sim.schedule_in(-1.0, [] {}), ContractViolation);
+  CallbackHandler h([&](const Event&) {
+    EXPECT_THROW(sim.schedule_at(4.0, Event::timer()), ContractViolation);
+    EXPECT_THROW(sim.schedule_in(-1.0, Event::timer()), ContractViolation);
   });
-  sim.run();
+  sim.schedule_at(5.0, Event::timer());
+  sim.run(h);
 }
 
 TEST(Simulator, EventsCanCascade) {
   Simulator sim;
   int count = 0;
-  std::function<void()> chain = [&] {
-    if (++count < 100) sim.schedule_in(1.0, chain);
-  };
-  sim.schedule_at(0.0, chain);
-  sim.run();
+  CallbackHandler h([&](const Event&) {
+    if (++count < 100) sim.schedule_in(1.0, Event::timer());
+  });
+  sim.schedule_at(0.0, Event::timer());
+  sim.run(h);
   EXPECT_EQ(count, 100);
   EXPECT_DOUBLE_EQ(sim.now(), 99.0);
 }
@@ -55,47 +75,71 @@ TEST(Simulator, EventsCanCascade) {
 TEST(Simulator, StopHaltsTheRun) {
   Simulator sim;
   int fired = 0;
+  CallbackHandler h([&](const Event&) {
+    ++fired;
+    if (fired == 3) sim.stop();
+  });
   for (int i = 1; i <= 10; ++i) {
-    sim.schedule_at(static_cast<double>(i), [&] {
-      ++fired;
-      if (fired == 3) sim.stop();
-    });
+    sim.schedule_at(static_cast<double>(i), Event::timer());
   }
-  sim.run();
+  sim.run(h);
   EXPECT_EQ(fired, 3);
   EXPECT_EQ(sim.pending(), 7u);
   // run() again resumes.
-  sim.run();
+  sim.run(h);
   EXPECT_EQ(fired, 10);
 }
 
 TEST(Simulator, RunUntilStopsAtHorizon) {
   Simulator sim;
   int fired = 0;
+  CallbackHandler h([&](const Event&) { ++fired; });
   for (int i = 1; i <= 10; ++i) {
-    sim.schedule_at(static_cast<double>(i), [&] { ++fired; });
+    sim.schedule_at(static_cast<double>(i), Event::timer());
   }
-  const auto n = sim.run_until(5.5);
+  const auto n = sim.run_until(5.5, h);
   EXPECT_EQ(n, 5u);
   EXPECT_DOUBLE_EQ(sim.now(), 5.5);
   EXPECT_EQ(sim.pending(), 5u);
-  sim.run();
+  sim.run(h);
   EXPECT_EQ(fired, 10);
 }
 
 TEST(Simulator, RunUntilOnEmptyQueueAdvancesClock) {
   Simulator sim;
-  sim.run_until(42.0);
+  CallbackHandler h([](const Event&) {});
+  sim.run_until(42.0, h);
   EXPECT_DOUBLE_EQ(sim.now(), 42.0);
 }
 
 TEST(Simulator, ExecutedCountsAcrossRuns) {
   Simulator sim;
-  sim.schedule_at(1.0, [] {});
-  sim.run();
-  sim.schedule_at(2.0, [] {});
-  sim.run();
+  CallbackHandler h([](const Event&) {});
+  sim.schedule_at(1.0, Event::timer());
+  sim.run(h);
+  sim.schedule_at(2.0, Event::timer());
+  sim.run(h);
   EXPECT_EQ(sim.executed(), 2u);
+}
+
+TEST(Simulator, DeliversEventPayloadsIntact) {
+  Simulator sim;
+  std::vector<Event> seen;
+  CallbackHandler h([&](const Event& e) { seen.push_back(e); });
+  sim.schedule_at(1.0, Event::departure(3, 17, 5));
+  sim.schedule_at(1.0, Event::host_fail(2, 7.5, /*renewal=*/false));
+  sim.run(h);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].kind, EventKind::kDeparture);
+  EXPECT_EQ(seen[0].host, 3u);
+  EXPECT_EQ(seen[0].id, 17u);
+  EXPECT_EQ(seen[0].epoch, 5u);
+  EXPECT_EQ(seen[1].kind, EventKind::kHostFail);
+  EXPECT_EQ(seen[1].host, 2u);
+  EXPECT_DOUBLE_EQ(seen[1].value, 7.5);
+  EXPECT_FALSE(seen[1].flag);
+  // Sequence numbers reflect scheduling order (the FIFO tie-break).
+  EXPECT_LT(seen[0].sequence, seen[1].sequence);
 }
 
 }  // namespace
