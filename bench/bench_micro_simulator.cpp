@@ -8,7 +8,7 @@
 //
 //   --json <path>    the perf-regression harness: times end-to-end
 //                    simulation throughput (jobs/sec) for each policy at
-//                    h ∈ {2, 8, 32} with the fault model and the control
+//                    h ∈ {2, 8, 32, 1024} with the fault model and the control
 //                    plane off/on, plus the event-queue schedule+pop rate,
 //                    and writes one flat JSON report. scripts/perf_check.sh
 //                    compares such a report against the committed baseline
@@ -220,16 +220,31 @@ double time_one_run(core::Policy& policy, const workload::Trace& trace,
   const double gap = duration / static_cast<double>(trace.size() - 1);
   core::DistributedServer server(hosts, policy);
   if (mode == Mode::kFaults) {
+    // Fault constants scale with the PER-HOST service scale (the fleet gap
+    // times h), not the fleet-wide arrival gap. The fleet gap shrinks as
+    // 1/h while the job-size tail does not, so mtbf = 1000 * gap at h = 32
+    // put the largest c90 jobs beyond a host's MTBF: under kResubmit they
+    // restarted from scratch on every failure (thousands of interruptions),
+    // stretching the simulated makespan ~170x and with it the renewal
+    // fail/repair event volume — the Random/h32/faults "throughput cliff"
+    // in earlier baselines was this event churn, not dispatch cost.
+    const double host_gap = gap * static_cast<double>(hosts);
     sim::FaultConfig faults;
     faults.enabled = true;
-    faults.mtbf = 1000.0 * gap;
-    faults.mttr = 20.0 * gap;
+    faults.mtbf = 1000.0 * host_gap;
+    faults.mttr = 20.0 * host_gap;
     server.enable_faults(faults, core::RecoveryMode::kResubmit);
   }
   if (mode == Mode::kControl) {
+    // Probes are per-host, so their cadence scales with the per-host gap
+    // (gap * h): one fleet-wide probe per 5 arrivals at every h. A period
+    // of 5 * gap would mean h/5 probe events per job — linear in h, which
+    // is what sank the h = 32 control numbers in earlier baselines. RPC
+    // constants are per-dispatch (already proportional to jobs) and stay
+    // on the fleet gap.
     sim::ControlPlaneConfig control;
     control.enabled = true;
-    control.probe_period = 5.0 * gap;
+    control.probe_period = 5.0 * gap * static_cast<double>(hosts);
     control.probe_loss = 0.1;
     control.rpc_timeout = 1.0 * gap;
     control.rpc_loss = 0.05;
@@ -250,7 +265,7 @@ std::vector<ThroughputResult> run_throughput_suite(std::size_t jobs,
                                                    std::size_t reps) {
   const std::vector<std::string> policies = {
       "Random", "Round-Robin", "Shortest-Queue", "Least-Work-Left", "SITA-E"};
-  const std::vector<std::size_t> host_counts = {2, 8, 32};
+  const std::vector<std::size_t> host_counts = {2, 8, 32, 1024};
   const std::vector<Mode> modes = {Mode::kPlain, Mode::kFaults,
                                    Mode::kControl};
   std::vector<ThroughputResult> results;

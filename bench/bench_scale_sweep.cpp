@@ -1,0 +1,193 @@
+// Scaling sweep — the h = 1k-10k regime the HostStateTable redesign makes
+// first-class.
+//
+// For each host count h (default 32, 128, 1024, 4096) and each tracked
+// policy, runs one trace at fixed system load and reports three panels:
+//
+//   * mean slowdown          — the paper's metric, sanity that large-h runs
+//                              stay in the regime the policy analysis expects;
+//   * run wall ns/job        — end-to-end simulation cost per job;
+//   * dispatch ns/job        — time inside Policy::assign alone, measured by
+//                              a timing shim around the policy. This is the
+//                              number the O(log h) argmin indices bound: it
+//                              should stay near-flat as h grows, where the
+//                              old per-host virtual getter scans grew
+//                              linearly. The shim's clock reads add a few
+//                              tens of ns per job — constant across h, so
+//                              the scaling shape is unaffected.
+//
+// Extra flags: --hosts a,b,c (host counts), --load R (system load, 0.7).
+// SITA-E cutoffs are per-trace size quantiles (equal-count splits), as in
+// the tracked throughput suite (bench_micro_simulator --json).
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/metrics.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/random.hpp"
+#include "core/policies/round_robin.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/policies/sita.hpp"
+#include "core/server.hpp"
+#include "workload/catalog.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace distserv;
+
+/// Forwards to an inner policy, accumulating wall time spent in assign().
+class TimedPolicy final : public core::Policy {
+ public:
+  explicit TimedPolicy(core::Policy& inner) : inner_(inner) {}
+
+  void reset(std::size_t hosts, std::uint64_t seed) override {
+    inner_.reset(hosts, seed);
+  }
+  std::optional<core::HostId> assign(const workload::Job& job,
+                                     const core::ServerView& view) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::optional<core::HostId> r = inner_.assign(job, view);
+    assign_ns_ += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return r;
+  }
+  std::size_t select_next(const std::deque<workload::Job>& held,
+                          core::HostId host,
+                          const core::ServerView& view) override {
+    return inner_.select_next(held, host, view);
+  }
+  std::string name() const override { return inner_.name(); }
+  core::DegradedInfo degraded_info() const override {
+    return inner_.degraded_info();
+  }
+
+  [[nodiscard]] double assign_ns() const noexcept { return assign_ns_; }
+  void clear() noexcept { assign_ns_ = 0.0; }
+
+ private:
+  core::Policy& inner_;
+  double assign_ns_ = 0.0;
+};
+
+core::PolicyPtr make_policy(const std::string& name,
+                            const workload::Trace& trace, std::size_t hosts) {
+  if (name == "Random") return std::make_unique<core::RandomPolicy>();
+  if (name == "Round-Robin") return std::make_unique<core::RoundRobinPolicy>();
+  if (name == "Shortest-Queue") {
+    return std::make_unique<core::ShortestQueuePolicy>();
+  }
+  if (name == "Least-Work-Left") {
+    return std::make_unique<core::LeastWorkLeftPolicy>();
+  }
+  if (name == "SITA-E") {
+    std::vector<double> sizes;
+    sizes.reserve(trace.size());
+    for (const workload::Job& j : trace.jobs()) sizes.push_back(j.size);
+    std::sort(sizes.begin(), sizes.end());
+    std::vector<double> cutoffs;
+    cutoffs.reserve(hosts - 1);
+    for (std::size_t i = 1; i < hosts; ++i) {
+      cutoffs.push_back(sizes[i * sizes.size() / hosts]);
+    }
+    for (std::size_t i = 1; i < cutoffs.size(); ++i) {
+      if (cutoffs[i] <= cutoffs[i - 1]) cutoffs[i] = cutoffs[i - 1] * 1.0001;
+    }
+    return std::make_unique<core::SitaPolicy>(cutoffs, "SITA-E");
+  }
+  std::cerr << "bench_scale_sweep: unknown policy '" << name
+            << "' (Random | Round-Robin | Shortest-Queue | Least-Work-Left"
+               " | SITA-E)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = bench::BenchOptions::parse(argc, argv, "c90", {"hosts", "load"});
+  const util::Cli cli(argc, argv);
+  const double rho = cli.get_double_in("load", 0.7, 0.01, 0.99);
+  std::vector<double> host_counts;
+  const std::string hosts_csv = cli.get_string("hosts", "32,128,1024,4096");
+  for (const auto part : util::split(hosts_csv, ',')) {
+    const std::string token{util::trim(part)};
+    if (token.empty()) continue;
+    char* end = nullptr;
+    const unsigned long h = std::strtoul(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || h < 2) {
+      std::cerr << "bench_scale_sweep: --hosts entry '" << token
+                << "' is not an integer >= 2\n";
+      return 2;
+    }
+    host_counts.push_back(static_cast<double>(h));
+  }
+  std::vector<std::string> policies = {"Random", "Round-Robin",
+                                       "Shortest-Queue", "Least-Work-Left",
+                                       "SITA-E"};
+  if (!opts.policies.empty()) {
+    policies.clear();
+    for (const auto part : util::split(opts.policies, ',')) {
+      if (!util::trim(part).empty()) {
+        policies.emplace_back(util::trim(part));
+      }
+    }
+  }
+  bench::print_header(
+      "Scaling sweep: slowdown and dispatch cost vs host count at load " +
+          util::format_sig(rho, 2),
+      "Expected shape: dispatch ns/job near-flat in h for every policy "
+      "(O(log h) argmin indices / O(1) bit tests), run ns/job dominated by "
+      "event handling, slowdown per the policy analysis.",
+      opts);
+
+  std::vector<bench::Series> slowdown(policies.size());
+  std::vector<bench::Series> run_ns(policies.size());
+  std::vector<bench::Series> assign_ns(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    slowdown[p].name = run_ns[p].name = assign_ns[p].name = policies[p];
+  }
+
+  for (const double h_d : host_counts) {
+    const auto hosts = static_cast<std::size_t>(h_d);
+    const workload::Trace trace =
+        workload::make_trace(workload::find_workload(opts.workload), rho,
+                             hosts, opts.seed, opts.jobs);
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const core::PolicyPtr policy = make_policy(policies[p], trace, hosts);
+      double best_run_ns = 0.0, best_assign_ns = 0.0, mean_slowdown = 0.0;
+      for (std::size_t rep = 0; rep < opts.reps; ++rep) {
+        TimedPolicy timed(*policy);
+        core::DistributedServer server(hosts, timed);
+        const auto t0 = std::chrono::steady_clock::now();
+        const core::RunResult r = server.run(trace, opts.seed);
+        const double wall_ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        mean_slowdown = core::summarize(r).mean_slowdown;
+        const double per_job = wall_ns / static_cast<double>(opts.jobs);
+        if (rep == 0 || per_job < best_run_ns) best_run_ns = per_job;
+        const double apj = timed.assign_ns() / static_cast<double>(opts.jobs);
+        if (rep == 0 || apj < best_assign_ns) best_assign_ns = apj;
+      }
+      slowdown[p].values.push_back(mean_slowdown);
+      run_ns[p].values.push_back(best_run_ns);
+      assign_ns[p].values.push_back(best_assign_ns);
+    }
+  }
+
+  bench::print_panel("Scale sweep: mean slowdown vs hosts", "hosts",
+                     host_counts, slowdown, opts.csv);
+  bench::print_panel("Scale sweep: run wall ns/job vs hosts", "hosts",
+                     host_counts, run_ns, opts.csv);
+  bench::print_panel("Scale sweep: dispatch (assign) ns/job vs hosts",
+                     "hosts", host_counts, assign_ns, opts.csv);
+  return 0;
+}

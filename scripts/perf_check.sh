@@ -2,13 +2,22 @@
 # Performance regression gate.
 #
 # Runs the bench_micro_simulator throughput suite (--json mode: end-to-end
-# jobs/sec per policy at h in {2,8,32} with faults/control off and on, plus
-# the event-queue schedule+pop rate) and compares every benchmark against
-# the checked-in baseline BENCH_simulator.json:
+# jobs/sec per policy at h in {2,8,32,1024} with faults/control off and on,
+# plus the event-queue schedule+pop rate) and compares every benchmark
+# against the checked-in baseline BENCH_simulator.json:
 #
 #   ratio = fresh_throughput / baseline_throughput
 #   ratio <  FAIL_RATIO (default 0.70, a >30% regression)  -> fail
 #   ratio <  WARN_RATIO (default 0.90, a 10-30% regression) -> warn
+#
+# Beyond the per-benchmark gate, the e2e rows are also checked for per-h
+# SCALING regressions: for each (policy, mode), the fresh/baseline ratio at
+# the largest h is compared against the ratio at the smallest h. Uniform
+# machine slowdown cancels in that comparison, so a drop below SCALE_RATIO
+# (default 0.75) means dispatch cost grew with h relative to the baseline —
+# exactly the h-superlinearity the HostStateTable indices exist to prevent.
+# Scaling drift warns; it fails only the per-benchmark gate if absolute
+# throughput also fell.
 #
 # The fresh run uses the job count and repetition count recorded in the
 # baseline, so the comparison is always like-for-like. Baselines are
@@ -26,6 +35,7 @@ BASELINE="${2:-$ROOT/BENCH_simulator.json}"
 FRESH="${3:-$ROOT/build/BENCH_simulator_fresh.json}"
 FAIL_RATIO="${FAIL_RATIO:-0.70}"
 WARN_RATIO="${WARN_RATIO:-0.90}"
+SCALE_RATIO="${SCALE_RATIO:-0.75}"
 
 if [[ ! -x "$BENCH_BIN" ]]; then
   echo "perf_check: bench binary not found at $BENCH_BIN" >&2
@@ -50,13 +60,15 @@ EOF
 echo "perf_check: running throughput suite (jobs=$JOBS reps=$REPS)"
 "$BENCH_BIN" --json "$FRESH" --jobs "$JOBS" --reps "$REPS"
 
-"$PYTHON" - "$BASELINE" "$FRESH" "$FAIL_RATIO" "$WARN_RATIO" <<'EOF'
+"$PYTHON" - "$BASELINE" "$FRESH" "$FAIL_RATIO" "$WARN_RATIO" "$SCALE_RATIO" <<'EOF'
 import json
+import re
 import sys
 
-baseline_path, fresh_path, fail_ratio, warn_ratio = sys.argv[1:5]
+baseline_path, fresh_path, fail_ratio, warn_ratio, scale_ratio = sys.argv[1:6]
 fail_ratio = float(fail_ratio)
 warn_ratio = float(warn_ratio)
+scale_ratio = float(scale_ratio)
 
 def load(path):
     with open(path) as f:
@@ -93,6 +105,31 @@ for name in missing:
 for name in extra:
     print(f"{name:<{width}}  (new benchmark, no baseline entry)")
 
+# Per-h scaling check: normalized ratios cancel uniform machine drift, so
+# small-h vs large-h divergence isolates h-dependent cost growth.
+series = {}  # (policy, mode) -> {h: fresh/base}
+for name in base:
+    m = re.fullmatch(r"e2e/(.+)/h(\d+)/(\w+)", name)
+    if not m or name not in fresh or base[name] <= 0:
+        continue
+    series.setdefault((m.group(1), m.group(3)), {})[int(m.group(2))] = (
+        fresh[name] / base[name]
+    )
+scale_warnings = []
+for (policy, mode), by_h in sorted(series.items()):
+    if len(by_h) < 2:
+        continue
+    h_lo, h_hi = min(by_h), max(by_h)
+    rel = by_h[h_hi] / by_h[h_lo]
+    if rel < scale_ratio:
+        scale_warnings.append((policy, mode, h_lo, h_hi, rel))
+for policy, mode, h_lo, h_hi, rel in scale_warnings:
+    print(
+        f"::warning title=per-h scaling regression::e2e/{policy}/{mode}: "
+        f"h{h_hi} ratio is {rel:.2f}x the h{h_lo} ratio "
+        f"(dispatch cost growing with h vs baseline)"
+    )
+
 if warnings:
     for name, ratio in warnings:
         # GitHub Actions annotation; plain text anywhere else.
@@ -102,5 +139,8 @@ if failures:
         print(f"::error title=perf regression >30%::{name} at {ratio:.2f}x baseline")
     print(f"perf_check: FAILED ({len(failures)} benchmark(s) below {fail_ratio:.2f}x)")
     sys.exit(1)
-print(f"perf_check: OK ({len(base)} benchmarks, {len(warnings)} warning(s))")
+print(
+    f"perf_check: OK ({len(base)} benchmarks, {len(warnings)} warning(s), "
+    f"{len(scale_warnings)} scaling warning(s))"
+)
 EOF

@@ -1,0 +1,302 @@
+#include "core/host_state.hpp"
+
+#include <bit>
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+namespace {
+
+/// Lowest set bit index of a non-zero word.
+inline std::uint32_t ctz64(std::uint64_t word) {
+  return static_cast<std::uint32_t>(std::countr_zero(word));
+}
+
+inline std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
+
+}  // namespace
+
+// --- HostBitset ---
+
+void HostBitset::reset(std::size_t n, bool value) {
+  n_ = n;
+  const std::size_t w = words_for(n);
+  words_.assign(w, value ? ~std::uint64_t{0} : 0);
+  if (value && (n & 63) != 0) {
+    // Clear the tail bits past n so count/first_set never see ghosts.
+    words_.back() = (std::uint64_t{1} << (n & 63)) - 1;
+  }
+  summary_.assign(words_for(w), 0);
+  if (value) {
+    for (std::size_t i = 0; i < w; ++i) {
+      summary_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+  }
+  count_ = value ? n : 0;
+}
+
+void HostBitset::set(std::size_t i, bool value) {
+  DS_EXPECTS(i < n_);
+  const std::size_t w = i >> 6;
+  const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+  const bool old = (words_[w] & mask) != 0;
+  if (old == value) return;
+  if (value) {
+    words_[w] |= mask;
+    summary_[w >> 6] |= std::uint64_t{1} << (w & 63);
+    ++count_;
+  } else {
+    words_[w] &= ~mask;
+    if (words_[w] == 0) summary_[w >> 6] &= ~(std::uint64_t{1} << (w & 63));
+    --count_;
+  }
+}
+
+std::optional<std::uint32_t> HostBitset::first_set() const {
+  for (std::size_t s = 0; s < summary_.size(); ++s) {
+    if (summary_[s] == 0) continue;
+    const std::size_t w = (s << 6) + ctz64(summary_[s]);
+    return static_cast<std::uint32_t>((w << 6) + ctz64(words_[w]));
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> HostBitset::first_set_in(std::uint32_t lo,
+                                                      std::uint32_t hi) const {
+  if (lo >= hi || lo >= n_) return std::nullopt;
+  // Partial first word, then summary-guided jump to the next set word.
+  std::size_t w = lo >> 6;
+  std::uint64_t bits = words_[w] & ~((std::uint64_t{1} << (lo & 63)) - 1);
+  if (bits == 0) {
+    std::size_t s = (w + 1) >> 6;
+    if (s >= summary_.size()) return std::nullopt;
+    std::uint64_t rest =
+        summary_[s] & ~((std::uint64_t{1} << ((w + 1) & 63)) - 1);
+    while (rest == 0) {
+      if (++s >= summary_.size()) return std::nullopt;
+      rest = summary_[s];
+    }
+    w = (s << 6) + ctz64(rest);
+    bits = words_[w];
+  }
+  const auto idx = static_cast<std::uint32_t>((w << 6) + ctz64(bits));
+  return idx < hi ? std::optional<std::uint32_t>{idx} : std::nullopt;
+}
+
+std::uint32_t HostBitset::select(std::size_t k) const {
+  DS_EXPECTS(k < count_);
+  for (std::size_t w = 0;; ++w) {
+    const auto pop =
+        static_cast<std::size_t>(std::popcount(words_[w]));
+    if (k >= pop) {
+      k -= pop;
+      continue;
+    }
+    std::uint64_t bits = words_[w];
+    while (k > 0) {
+      bits &= bits - 1;  // drop the lowest set bit
+      --k;
+    }
+    return static_cast<std::uint32_t>((w << 6) + ctz64(bits));
+  }
+}
+
+// --- ArgminTree ---
+
+void ArgminTree::reset(std::size_t n) {
+  n_ = n;
+  base_ = 1;
+  while (base_ < n_) base_ <<= 1;
+  nodes_.assign(2 * base_, Node{});
+  for (std::size_t i = 0; i < base_; ++i) {
+    nodes_[base_ + i].idx = static_cast<std::uint32_t>(i);
+  }
+  // All keys are kAbsent, so internal nodes resolve to their lower-index
+  // child; seed them so the idx invariant holds from the start.
+  for (std::size_t i = base_ - 1; i >= 1; --i) {
+    nodes_[i] = nodes_[2 * i];
+  }
+}
+
+void ArgminTree::set(std::size_t i, double key) {
+  DS_EXPECTS(i < n_);
+  std::size_t node = base_ + i;
+  if (nodes_[node].key == key) return;
+  nodes_[node].key = key;
+  for (node >>= 1; node >= 1; node >>= 1) {
+    const Node& l = nodes_[2 * node];
+    const Node& r = nodes_[2 * node + 1];
+    nodes_[node] = wins(l, r) ? l : r;
+  }
+}
+
+std::optional<std::uint32_t> ArgminTree::argmin() const {
+  if (n_ == 0 || nodes_[1].key == kAbsent) return std::nullopt;
+  return nodes_[1].idx;
+}
+
+std::optional<std::uint32_t> ArgminTree::argmin_in(std::uint32_t lo,
+                                                   std::uint32_t hi) const {
+  if (hi > n_) hi = static_cast<std::uint32_t>(n_);
+  if (lo >= hi) return std::nullopt;
+  // Standard bottom-up range fold; the (key, idx) lexicographic comparator
+  // makes the fold order irrelevant, so ties still break to lowest index.
+  Node best{kAbsent, std::numeric_limits<std::uint32_t>::max()};
+  std::size_t l = base_ + lo;
+  std::size_t r = base_ + hi;
+  while (l < r) {
+    if (l & 1) {
+      if (wins(nodes_[l], best)) best = nodes_[l];
+      ++l;
+    }
+    if (r & 1) {
+      --r;
+      if (wins(nodes_[r], best)) best = nodes_[r];
+    }
+    l >>= 1;
+    r >>= 1;
+  }
+  if (best.key == kAbsent) return std::nullopt;
+  return best.idx;
+}
+
+// --- HostStateTable ---
+
+void HostStateTable::reset(std::size_t hosts, Semantics semantics, double t0) {
+  DS_EXPECTS(hosts >= 1);
+  semantics_ = semantics;
+  queue_len_.assign(hosts, 0);
+  work_ref_.assign(hosts, 0.0);
+  work_amt_.assign(hosts, 0.0);
+  busy_.assign(hosts, 0);
+  idle_.assign(hosts, 1);
+  observed_time_.assign(hosts, t0);
+  up_.reset(hosts, true);
+  idle_up_.reset(hosts, true);
+  dirty_.clear();
+  dirty_.reserve(hosts);  // dedup bounds the list at one entry per host
+  dirty_flag_.assign(hosts, 0);
+  queue_tree_.reset(hosts);
+  work_tree_.reset(hosts);
+  observed_at_.reset(hosts);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    queue_tree_.set(h, 0.0);
+    if (semantics_ == Semantics::kObserved) {
+      work_tree_.set(h, 0.0);  // every up host ranks by its frozen value
+      observed_at_.set(h, t0);
+    }
+    // kLive: idle hosts are resolved through the idle-bitset, not the work
+    // tree (their zero cannot live in the absolute-key space), so the work
+    // tree starts empty.
+  }
+}
+
+void HostStateTable::set_live(HostId h, bool busy, double completion,
+                              double queued_work, std::uint32_t queue_len) {
+  DS_EXPECTS(semantics_ == Semantics::kLive);
+  DS_EXPECTS(h < size());
+  busy_[h] = busy ? 1 : 0;
+  work_ref_[h] = busy ? completion : 0.0;
+  work_amt_[h] = queued_work;
+  queue_len_[h] = queue_len;
+  idle_[h] = (!busy && queue_len == 0) ? 1 : 0;
+  mark_dirty(h);
+}
+
+void HostStateTable::set_observation(HostId h, std::uint32_t queue_len,
+                                     double work_left, bool idle, double at) {
+  DS_EXPECTS(semantics_ == Semantics::kObserved);
+  DS_EXPECTS(h < size());
+  busy_[h] = idle ? 0 : 1;
+  work_ref_[h] = 0.0;
+  work_amt_[h] = work_left;
+  queue_len_[h] = queue_len;
+  idle_[h] = idle ? 1 : 0;
+  observed_time_[h] = at;
+  mark_dirty(h);
+}
+
+void HostStateTable::set_up(HostId h, bool up) {
+  DS_EXPECTS(h < size());
+  up_.set(h, up);
+  mark_dirty(h);
+}
+
+double HostStateTable::max_age(double t) const {
+  flush();
+  const std::optional<std::uint32_t> oldest = observed_at_.argmin();
+  if (!oldest) return 0.0;
+  // max over hosts of (t - observed_at_i) equals t - min observed_at_i
+  // exactly: correctly-rounded subtraction is monotone in its subtrahend.
+  const double age = t - observed_at_.key(*oldest);
+  return age > 0.0 ? age : 0.0;
+}
+
+void HostStateTable::mark_dirty(HostId h) {
+  if (dirty_flag_[h] != 0) return;
+  dirty_flag_[h] = 1;
+  dirty_.push_back(h);
+}
+
+void HostStateTable::flush() const {
+  for (const std::uint32_t h : dirty_) {
+    refresh_idle(h);
+    refresh_queue_key(h);
+    refresh_work_key(h);
+    if (semantics_ == Semantics::kObserved) {
+      observed_at_.set(h, observed_time_[h]);
+    }
+    dirty_flag_[h] = 0;
+  }
+  dirty_.clear();
+}
+
+void HostStateTable::refresh_idle(HostId h) const {
+  idle_up_.set(h, idle_[h] != 0 && up_.test(h));
+}
+
+void HostStateTable::refresh_queue_key(HostId h) const {
+  queue_tree_.set(h, up_.test(h) ? static_cast<double>(queue_len_[h])
+                                 : ArgminTree::kAbsent);
+}
+
+void HostStateTable::refresh_work_key(HostId h) const {
+  if (!up_.test(h)) {
+    work_tree_.set(h, ArgminTree::kAbsent);
+    return;
+  }
+  if (semantics_ == Semantics::kObserved) {
+    // Frozen values rank directly (the raw stored value, matching what a
+    // per-host scan of the snapshot would have compared).
+    work_tree_.set(h, work_amt_[h]);
+    return;
+  }
+  // kLive: only busy hosts carry a time-invariant absolute key — the
+  // instant their whole backlog clears. Idle hosts (work 0) are resolved
+  // via the idle-bitset at query time; a host that is neither (up, not
+  // busy, jobs queued) exists only transiently inside event processing and
+  // is never policy-visible, so it carries no key either.
+  work_tree_.set(h, busy_[h] != 0
+                        ? work_ref_[h] +
+                              (work_amt_[h] > 0.0 ? work_amt_[h] : 0.0)
+                        : ArgminTree::kAbsent);
+}
+
+std::optional<HostId> HostStateTable::resolve_work_argmin(
+    std::optional<std::uint32_t> idle_cand,
+    std::optional<std::uint32_t> tree_cand, double now) const {
+  if (semantics_ == Semantics::kObserved) return tree_cand;
+  if (!idle_cand) return tree_cand;
+  if (!tree_cand) return idle_cand;
+  // An idle host observes work 0, the minimum. A busy host ties only when
+  // its backlog clears exactly at `now` — re-evaluate with the original
+  // read formula and apply the scan's lowest-index rule; otherwise the
+  // idle host wins outright (0 < any positive work).
+  if (work_left(*tree_cand, now) == 0.0) {
+    return std::min(*idle_cand, *tree_cand);
+  }
+  return idle_cand;
+}
+
+}  // namespace distserv::core

@@ -1,0 +1,285 @@
+// Structure-of-arrays host state with O(log h) argmin indices — the
+// policy-facing view of the fleet, designed so h in the thousands is a
+// first-class regime.
+//
+// Before this table existed, every state-sensitive policy (Shortest-Queue,
+// Least-Work-Left, ...) scanned all h hosts through per-host virtual
+// getters on ServerView — O(h) virtual calls per arrival, which is why the
+// committed throughput baseline sagged h2 -> h8 -> h32 and h = 1024 was
+// unusable. HostStateTable keeps the observable state in contiguous arrays
+// (queue lengths, work backlogs, an up-bitset) and maintains two tournament
+// (segment-tree) indices — argmin queue length over up hosts, and argmin
+// work left over up hosts — incrementally, O(log h) amortized per enqueue,
+// departure, or fault transition. Dispatch for the argmin policies is then
+// O(log h) per arrival; liveness checks for Random/Round-Robin/SITA/
+// Power-of-d are O(1) bit tests on the up-bitset.
+//
+// Index maintenance is LAZY: a mutation records the host on a dirty list
+// (O(1), deduplicated) and the next tournament query repairs the affected
+// leaves before answering. Policies that never consult a tournament
+// (Random, Round-Robin, SITA, Power-of-d) therefore pay nothing for the
+// indices; argmin policies pay the same O(log h) per mutation they would
+// under eager maintenance, just deferred to their next query. The bitsets
+// and raw arrays are always current — only the trees defer. Consequence:
+// const queries repair shared index state, so a table must not be queried
+// from multiple threads concurrently (each simulation owns its table and
+// is single-threaded; sweeps parallelize over whole simulations).
+//
+// Two semantics for "work left", selected at reset():
+//
+//   * kLive — the table mirrors a running DistributedServer. A busy host's
+//     remaining work decays continuously with the clock, so the table
+//     stores the *absolute* backlog-clearing key (completion time of the
+//     running job plus queued work) which is time-invariant between events,
+//     and work_left(h, now) subtracts `now` on read. The work tournament
+//     ranks busy hosts by that absolute key; idle hosts (work 0, the
+//     minimum) are resolved through the idle-bitset at query time, so the
+//     argmin matches the classical linear scan — lowest index on ties —
+//     exactly (see argmin_work()).
+//
+//   * kObserved — the table holds frozen per-host observations (a control
+//     plane's probe-refreshed snapshot, a test stub's scripted state). Work
+//     values do not decay; work_left(h, now) returns the stored value
+//     verbatim and the work tournament ranks the values directly. The table
+//     also tracks each observation's timestamp with an incremental
+//     min-index, so snapshot staleness (max_age) is O(1) per query instead
+//     of an O(h) rescan per routing decision.
+//
+// Determinism: every query reproduces the decision the replaced O(h) scans
+// made, including lowest-index tie-breaks, which the golden-record fixtures
+// pin bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace distserv::core {
+
+/// Fixed-size bitset over hosts with a one-level summary for fast
+/// first-set queries and a maintained popcount. The summary word i marks
+/// which 64-bit payload words are non-zero, so first_set() touches
+/// O(h/4096) summary words plus two payload words.
+class HostBitset {
+ public:
+  void reset(std::size_t n, bool value);
+  void set(std::size_t i, bool value);
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  /// Number of set bits (maintained incrementally, O(1)).
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool any() const noexcept { return count_ > 0; }
+
+  /// Lowest set index, or nullopt when empty.
+  [[nodiscard]] std::optional<std::uint32_t> first_set() const;
+  /// Lowest set index in [lo, hi), or nullopt.
+  [[nodiscard]] std::optional<std::uint32_t> first_set_in(
+      std::uint32_t lo, std::uint32_t hi) const;
+  /// The k-th set index (0-based, k < count()), by prefix popcount.
+  [[nodiscard]] std::uint32_t select(std::size_t k) const;
+
+  /// Raw payload words, low bit = host 0 (bulk consumers, tests).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint64_t> summary_;  ///< bit i = words_[i] != 0
+};
+
+/// Tournament (segment) tree over doubles: point update and argmin query in
+/// O(log n), with deterministic lowest-index tie-breaks. Absent entries
+/// (down hosts, idle hosts in live mode) carry +infinity and never win.
+class ArgminTree {
+ public:
+  static constexpr double kAbsent = std::numeric_limits<double>::infinity();
+
+  void reset(std::size_t n);
+  /// Sets leaf `i` to `key` (kAbsent removes it) and repairs the path to
+  /// the root. No-op when the key is unchanged.
+  void set(std::size_t i, double key);
+  [[nodiscard]] double key(std::size_t i) const { return nodes_[base_ + i].key; }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Index of the minimum key (lowest index on ties), or nullopt when every
+  /// leaf is absent. O(1): the root holds the answer.
+  [[nodiscard]] std::optional<std::uint32_t> argmin() const;
+  /// argmin restricted to [lo, hi), O(log n).
+  [[nodiscard]] std::optional<std::uint32_t> argmin_in(std::uint32_t lo,
+                                                       std::uint32_t hi) const;
+
+ private:
+  struct Node {
+    double key = kAbsent;
+    std::uint32_t idx = 0;
+  };
+  /// True when `a` beats `b` (smaller key, or equal key and lower index).
+  [[nodiscard]] static bool wins(const Node& a, const Node& b) noexcept {
+    return a.key < b.key || (a.key == b.key && a.idx < b.idx);
+  }
+
+  std::size_t n_ = 0;
+  std::size_t base_ = 1;          ///< leaves live at [base_, base_ + n_)
+  std::vector<Node> nodes_;       ///< 2 * base_ slots, heap layout
+};
+
+/// The SoA host-state table described at the top of this file.
+class HostStateTable {
+ public:
+  enum class Semantics {
+    kLive,      ///< mirrors a running server; work decays with the clock
+    kObserved,  ///< frozen observations (snapshots, test stubs)
+  };
+
+  /// Re-initializes for `hosts` hosts: all up, idle, zero work, zero queue,
+  /// observation timestamps at `t0`. Allocates only on growth; a table
+  /// reset to the same size is allocation-free (steady-state runs reuse it).
+  void reset(std::size_t hosts, Semantics semantics, double t0 = 0.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return queue_len_.size(); }
+  [[nodiscard]] Semantics semantics() const noexcept { return semantics_; }
+
+  // --- mutators (each marks the host dirty; the indices repair lazily,
+  //     O(log h) amortized, at the next tournament query) ---
+
+  /// Publishes a live host's scheduling state: `busy` with the running
+  /// job's absolute completion time `completion` plus `queued_work` behind
+  /// it, and `queue_len` jobs in system (running included). kLive only.
+  void set_live(HostId h, bool busy, double completion, double queued_work,
+                std::uint32_t queue_len);
+  /// Publishes one frozen observation of host `h` taken at time `at`.
+  /// kObserved only.
+  void set_observation(HostId h, std::uint32_t queue_len, double work_left,
+                       bool idle, double at);
+  /// Up/down transition (fault model, probe-observed liveness).
+  void set_up(HostId h, bool up);
+
+  // --- per-host reads (O(1)) ---
+
+  [[nodiscard]] std::uint32_t queue_length(HostId h) const {
+    return queue_len_[h];
+  }
+  /// Remaining work observable at `now` — live: residual of the running
+  /// job plus queued sizes (clamped against accumulator drift); observed:
+  /// the stored value (a snapshot does not decay, that is the staleness
+  /// being modeled).
+  [[nodiscard]] double work_left(HostId h, double now) const {
+    // A frozen observation is returned verbatim — raw, unclamped — so that
+    // snapshot-driven decisions compare exactly the values that were
+    // published, as the old SnapshotView did.
+    if (semantics_ == Semantics::kObserved) return work_amt_[h];
+    if (busy_[h] != 0) {
+      const double residual = work_ref_[h] - now;
+      return (residual > 0.0 ? residual : 0.0) +
+             (work_amt_[h] > 0.0 ? work_amt_[h] : 0.0);
+    }
+    return work_amt_[h] > 0.0 ? work_amt_[h] : 0.0;
+  }
+  [[nodiscard]] bool up(HostId h) const { return up_.test(h); }
+  [[nodiscard]] bool idle(HostId h) const { return idle_[h] != 0; }
+  [[nodiscard]] bool busy(HostId h) const { return busy_[h] != 0; }
+
+  // --- bulk accessors (span-style, for vectorizable policy scans) ---
+
+  [[nodiscard]] std::span<const std::uint32_t> queue_lengths() const noexcept {
+    return queue_len_;
+  }
+  [[nodiscard]] const HostBitset& up_bits() const noexcept { return up_; }
+  [[nodiscard]] std::size_t up_count() const noexcept { return up_.count(); }
+  [[nodiscard]] bool all_up() const noexcept { return up_.count() == size(); }
+  /// The k-th up host by index (0-based, k < up_count()) — Random's
+  /// degraded path draws below(up_count()) and selects, reproducing the
+  /// old rebuild-a-live-vector draws exactly without the O(h) rebuild.
+  [[nodiscard]] HostId kth_up(std::size_t k) const { return up_.select(k); }
+
+  // --- tournament queries ---
+
+  /// Host with the fewest jobs in system among up hosts (lowest index on
+  /// ties), or nullopt when every host is down. O(1).
+  [[nodiscard]] std::optional<HostId> argmin_queue_len() const {
+    flush();
+    return queue_tree_.argmin();
+  }
+  /// argmin_queue_len restricted to hosts [lo, hi). O(log h).
+  [[nodiscard]] std::optional<HostId> argmin_queue_len_in(HostId lo,
+                                                          HostId hi) const {
+    flush();
+    return queue_tree_.argmin_in(lo, hi);
+  }
+  /// Host with the least remaining work among up hosts at `now` (lowest
+  /// index on ties), or nullopt when every host is down. O(log h) —
+  /// bit-identical to the linear scan it replaces: in live mode idle hosts
+  /// (work 0) win over busy hosts unless a busy host's backlog clears
+  /// exactly at `now`, in which case the lowest index wins the tie.
+  [[nodiscard]] std::optional<HostId> argmin_work(double now) const {
+    flush();
+    return resolve_work_argmin(idle_up_.first_set(), work_tree_.argmin(), now);
+  }
+  /// argmin_work restricted to hosts [lo, hi). O(log h).
+  [[nodiscard]] std::optional<HostId> argmin_work_in(HostId lo, HostId hi,
+                                                     double now) const {
+    flush();
+    return resolve_work_argmin(idle_up_.first_set_in(lo, hi),
+                               work_tree_.argmin_in(lo, hi), now);
+  }
+  /// Lowest-index host that is idle and up (the central-queue pull and
+  /// direct-start scan), or nullopt. O(h/4096).
+  [[nodiscard]] std::optional<HostId> first_idle_up() const {
+    flush();
+    return idle_up_.first_set();
+  }
+
+  // --- observation age (kObserved; the snapshot-staleness index) ---
+
+  /// Age of the oldest per-host observation at time `t` — one unprobed
+  /// host is enough to mislead an argmin policy, so staleness is the max
+  /// over hosts. O(1) via the min-timestamp tournament.
+  [[nodiscard]] double max_age(double t) const;
+
+ private:
+  void mark_dirty(HostId h);
+  /// Repairs every dirty host's tree keys; called by tournament queries.
+  void flush() const;
+  void refresh_work_key(HostId h) const;
+  void refresh_queue_key(HostId h) const;
+  void refresh_idle(HostId h) const;
+  [[nodiscard]] std::optional<HostId> resolve_work_argmin(
+      std::optional<std::uint32_t> idle_cand,
+      std::optional<std::uint32_t> tree_cand, double now) const;
+
+  Semantics semantics_ = Semantics::kObserved;
+  std::vector<std::uint32_t> queue_len_;
+  /// Live busy hosts: absolute completion time of the running job.
+  /// Otherwise 0 (unused).
+  std::vector<double> work_ref_;
+  /// Live: sum of queued sizes behind the running job (an add/subtract
+  /// accumulator — reads clamp its tiny negative drift). Observed: the
+  /// frozen work-left value.
+  std::vector<double> work_amt_;
+  std::vector<std::uint8_t> busy_;
+  std::vector<std::uint8_t> idle_;
+  /// Raw per-host observation timestamps (kObserved; feeds observed_at_).
+  std::vector<double> observed_time_;
+  HostBitset up_;
+  // Lazily-repaired index state (see flush()); mutable because const
+  // tournament queries complete the deferred repairs.
+  /// idle AND up (live-mode work argmin, central pulls). Lazy like the
+  /// trees: every reader flushes first.
+  mutable HostBitset idle_up_;
+  mutable std::vector<std::uint32_t> dirty_;      ///< hosts awaiting repair
+  mutable std::vector<std::uint8_t> dirty_flag_;  ///< dedup for dirty_
+  mutable ArgminTree queue_tree_;  ///< key: queue length, over up hosts
+  mutable ArgminTree work_tree_;   ///< key: see refresh_work_key(), up hosts
+  mutable ArgminTree observed_at_; ///< key: observation timestamp (kObserved)
+};
+
+}  // namespace distserv::core

@@ -23,28 +23,19 @@ void HybridSitaLwlPolicy::reset(std::size_t hosts, std::uint64_t seed) {
 
 std::optional<HostId> HybridSitaLwlPolicy::assign(const workload::Job& job,
                                                   const ServerView& view) {
-  // LWL restricted to the up hosts of a range; nullopt if none are up.
-  const auto lwl_over = [&view](HostId lo, HostId hi) {
-    std::optional<HostId> best;
-    double best_work = 0.0;
-    for (HostId h = lo; h < hi; ++h) {
-      if (!view.host_up(h)) continue;
-      const double work = view.work_left(h);
-      if (!best || work < best_work) {
-        best = h;
-        best_work = work;
-      }
-    }
-    return best;
-  };
+  // LWL restricted to the job's group via the work-left index's range
+  // argmin — O(log h) replacing the O(group) scan; ties break to the
+  // lowest index as before.
+  const HostStateTable& hosts = view.hosts();
+  const double now = view.now();
   const bool is_short = job.size <= cutoff_;
   const HostId lo = is_short ? 0 : static_cast<HostId>(short_hosts_);
   const HostId hi = is_short ? static_cast<HostId>(short_hosts_)
-                             : static_cast<HostId>(view.host_count());
-  std::optional<HostId> best = lwl_over(lo, hi);
+                             : static_cast<HostId>(hosts.size());
+  std::optional<HostId> best = hosts.argmin_work_in(lo, hi, now);
   // If the job's whole group is down, fall back to LWL over every up host
   // (the other group absorbs the range), else hold centrally.
-  if (!best) best = lwl_over(0, static_cast<HostId>(view.host_count()));
+  if (!best) best = hosts.argmin_work(now);
   return best;
 }
 

@@ -4,18 +4,10 @@ namespace distserv::core {
 
 std::optional<HostId> LeastWorkLeftPolicy::assign(const workload::Job& /*job*/,
                                                   const ServerView& view) {
-  // Argmin over the up hosts; ties break to the lowest index as before.
-  std::optional<HostId> best;
-  double best_work = 0.0;
-  for (HostId h = 0; h < view.host_count(); ++h) {
-    if (!view.host_up(h)) continue;
-    const double work = view.work_left(h);
-    if (!best || work < best_work) {
-      best = h;
-      best_work = work;
-    }
-  }
-  return best;  // nullopt when every host is down: hold centrally
+  // Argmin over the up hosts via the incrementally maintained work-left
+  // index — O(log h) replacing the O(h) per-arrival scan. Ties still break
+  // to the lowest index; nullopt when every host is down (hold centrally).
+  return view.hosts().argmin_work(view.now());
 }
 
 }  // namespace distserv::core

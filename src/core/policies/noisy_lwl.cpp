@@ -19,16 +19,23 @@ void NoisyLeastWorkLeftPolicy::reset(std::size_t hosts, std::uint64_t seed) {
 
 std::optional<HostId> NoisyLeastWorkLeftPolicy::assign(
     const workload::Job& /*job*/, const ServerView& view) {
+  const HostStateTable& hosts = view.hosts();
+  const double now = view.now();
+  // sigma = 0 is exact LWL: no noise draw per host, so the O(log h) argmin
+  // index applies directly.
+  if (sigma_ == 0.0) return hosts.argmin_work(now);
+  // With noise, each up host with non-zero truth consumes one normal draw
+  // in index order — the draw sequence is part of the determinism
+  // contract, so this stays a bulk scan over the table (contiguous reads,
+  // no virtual calls), not an index query.
   std::optional<HostId> best;
   double best_observed = 0.0;
-  for (HostId h = 0; h < view.host_count(); ++h) {
-    if (!view.host_up(h)) continue;  // down hosts are observably down
-    const double truth = view.work_left(h);
+  for (HostId h = 0; h < hosts.size(); ++h) {
+    if (!hosts.up(h)) continue;  // down hosts are observably down
+    const double truth = hosts.work_left(h, now);
     // Idle hosts are observably idle regardless of estimate quality.
     const double observed =
-        (truth == 0.0 || sigma_ == 0.0)
-            ? truth
-            : truth * std::exp(sigma_ * rng_.normal());
+        truth == 0.0 ? truth : truth * std::exp(sigma_ * rng_.normal());
     if (!best || observed < best_observed) {
       best = h;
       best_observed = observed;

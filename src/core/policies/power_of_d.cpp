@@ -20,11 +20,10 @@ void PowerOfDPolicy::reset(std::size_t hosts, std::uint64_t seed) {
 
 std::optional<HostId> PowerOfDPolicy::assign(const workload::Job& /*job*/,
                                              const ServerView& view) {
-  const std::size_t h = view.host_count();
-  std::size_t up = 0;
-  for (HostId host = 0; host < h; ++host) {
-    if (view.host_up(host)) ++up;
-  }
+  const HostStateTable& hosts = view.hosts();
+  const std::size_t h = hosts.size();
+  const double now = view.now();
+  const std::size_t up = hosts.up_count();  // maintained count, O(1)
   if (up == 0) return std::nullopt;  // every host is down: hold centrally
   const std::size_t probes = std::min(d_, up);
   // Sample `probes` distinct up hosts by rejection over indices. With all
@@ -34,7 +33,7 @@ std::optional<HostId> PowerOfDPolicy::assign(const workload::Job& /*job*/,
   for (std::size_t i = 0; i < probes; ++i) {
     while (true) {
       const auto candidate = static_cast<HostId>(rng_.below(h));
-      if (view.host_up(candidate) &&
+      if (hosts.up(candidate) &&
           std::find(scratch_.begin(), scratch_.end(), candidate) ==
               scratch_.end()) {
         scratch_.push_back(candidate);
@@ -48,8 +47,8 @@ std::optional<HostId> PowerOfDPolicy::assign(const workload::Job& /*job*/,
   for (HostId candidate : scratch_) {
     const double score =
         criterion_ == Criterion::kWorkLeft
-            ? view.work_left(candidate)
-            : static_cast<double>(view.queue_length(candidate));
+            ? hosts.work_left(candidate, now)
+            : static_cast<double>(hosts.queue_length(candidate));
     if (first || score < best_score ||
         (score == best_score && candidate < best)) {
       best = candidate;

@@ -13,24 +13,17 @@ void RandomPolicy::reset(std::size_t hosts, std::uint64_t seed) {
 std::optional<HostId> RandomPolicy::assign(const workload::Job& /*job*/,
                                            const ServerView& view) {
   DS_EXPECTS(hosts_ >= 1);
-  bool all_up = true;
-  for (HostId h = 0; h < hosts_; ++h) {
-    if (!view.host_up(h)) {
-      all_up = false;
-      break;
-    }
-  }
+  const HostStateTable& hosts = view.hosts();
   // Healthy path: one draw over all hosts, exactly as without faults.
-  if (all_up) return static_cast<HostId>(rng_.below(hosts_));
-  // Degraded path: uniform over the up hosts only. Drawing below(live) —
-  // not rejection sampling — makes "last host down forever" consume the
-  // same stream as an (h-1)-host run, which the metamorphic law exploits.
-  live_.clear();
-  for (HostId h = 0; h < hosts_; ++h) {
-    if (view.host_up(h)) live_.push_back(h);
-  }
-  if (live_.empty()) return std::nullopt;  // hold centrally
-  return live_[rng_.below(live_.size())];
+  if (hosts.all_up()) return static_cast<HostId>(rng_.below(hosts_));
+  // Degraded path: uniform over the up hosts only — draw a rank below the
+  // up-count and select it from the bitset, consuming the same stream as
+  // the old rebuild-a-live-vector code (below(live), not rejection
+  // sampling, so "last host down forever" matches an (h-1)-host run,
+  // which the metamorphic law exploits) without its O(h) rebuild.
+  const std::size_t live = hosts.up_count();
+  if (live == 0) return std::nullopt;  // hold centrally
+  return hosts.kth_up(rng_.below(live));
 }
 
 }  // namespace distserv::core

@@ -3,8 +3,6 @@
 // and nothing else — the paper's weakest baseline.
 #pragma once
 
-#include <vector>
-
 #include "core/policy.hpp"
 #include "dist/rng.hpp"
 
@@ -28,7 +26,6 @@ class RandomPolicy final : public Policy {
  private:
   dist::Rng rng_{0};
   std::size_t hosts_ = 0;
-  std::vector<HostId> live_;  ///< scratch: up hosts during degraded assign
 };
 
 }  // namespace distserv::core

@@ -14,16 +14,17 @@ std::optional<HostId> RoundRobinPolicy::assign(const workload::Job& /*job*/,
                                                const ServerView& view) {
   DS_EXPECTS(hosts_ >= 1);
   // Scan from the successor of the last dispatched host, skipping down
-  // hosts. Anchoring on the last *dispatch* (instead of free-running a
-  // counter) keeps the rotation fair across failures: a host that was
-  // skipped while down re-enters at its normal place in the wheel once it
-  // recovers, with no permanent skew toward low-index hosts.
+  // hosts (an O(1) bit test each; with all hosts up the first probe hits).
+  // Anchoring on the last *dispatch* (instead of free-running a counter)
+  // keeps the rotation fair across failures: a host that was skipped while
+  // down re-enters at its normal place in the wheel once it recovers, with
+  // no permanent skew toward low-index hosts.
+  const HostBitset& up = view.hosts().up_bits();
   for (std::size_t probe = 1; probe <= hosts_; ++probe) {
     const std::size_t slot = (last_ + probe) % hosts_;
-    const HostId host = static_cast<HostId>(slot);
-    if (view.host_up(host)) {
+    if (up.test(slot)) {
       last_ = slot;
-      return host;
+      return static_cast<HostId>(slot);
     }
   }
   return std::nullopt;  // every host is down: hold centrally

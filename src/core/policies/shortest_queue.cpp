@@ -4,18 +4,10 @@ namespace distserv::core {
 
 std::optional<HostId> ShortestQueuePolicy::assign(const workload::Job& /*job*/,
                                                   const ServerView& view) {
-  // Argmin over the up hosts; ties break to the lowest index as before.
-  std::optional<HostId> best;
-  std::size_t best_len = 0;
-  for (HostId h = 0; h < view.host_count(); ++h) {
-    if (!view.host_up(h)) continue;
-    const std::size_t len = view.queue_length(h);
-    if (!best || len < best_len) {
-      best = h;
-      best_len = len;
-    }
-  }
-  return best;  // nullopt when every host is down: hold centrally
+  // Argmin over the up hosts via the incrementally maintained queue-length
+  // index — replaces the O(h) per-arrival scan. Ties still break to the
+  // lowest index; nullopt when every host is down (hold centrally).
+  return view.hosts().argmin_queue_len();
 }
 
 }  // namespace distserv::core

@@ -35,22 +35,24 @@ HostId SitaPolicy::interval_of(double size) const noexcept {
 
 std::optional<HostId> SitaPolicy::nearest_up(HostId host,
                                              const ServerView& view) {
-  if (view.host_up(host)) return host;
-  const auto h = static_cast<HostId>(view.host_count());
+  const HostBitset& up = view.hosts().up_bits();
+  if (up.test(host)) return host;
+  if (!up.any()) return std::nullopt;  // every host is down: hold centrally
+  const auto h = static_cast<HostId>(up.size());
   // Nearest by interval index: the adjacent size ranges are the closest in
   // job-size terms. Ties prefer the smaller-size side (lower index).
   for (HostId delta = 1; delta < h; ++delta) {
-    if (host >= delta && view.host_up(host - delta)) return host - delta;
-    if (host + delta < h && view.host_up(host + delta)) return host + delta;
+    if (host >= delta && up.test(host - delta)) return host - delta;
+    if (host + delta < h && up.test(host + delta)) return host + delta;
   }
-  return std::nullopt;  // every host is down: hold centrally
+  return std::nullopt;
 }
 
 std::optional<HostId> SitaPolicy::assign(const workload::Job& job,
                                          const ServerView& view) {
   HostId host = interval_of(job.size);
   if (error_rate_ > 0.0 && rng_.bernoulli(error_rate_)) {
-    const std::size_t h = view.host_count();
+    const std::size_t h = view.hosts().size();
     if (error_model_ == ErrorModel::kUniform) {
       // Misclassification: a uniformly random *other* interval.
       const auto offset = 1 + rng_.below(h - 1);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/host_state.hpp"
 #include "core/types.hpp"
 #include "workload/job.hpp"
 
@@ -53,25 +54,53 @@ struct DegradedInfo {
 
 /// Read-only view of the server state exposed to policies. Everything a
 /// real dispatcher could know: queue lengths, remaining work (assuming
-/// perfect runtime estimates, as the paper does), idleness, and the clock.
+/// perfect runtime estimates, as the paper does), idleness, liveness, and
+/// the clock — all carried by one structure-of-arrays HostStateTable with
+/// incrementally maintained argmin indices, so state-sensitive policies
+/// dispatch in O(log h) instead of scanning h virtual getters per arrival.
 class ServerView {
  public:
   virtual ~ServerView() = default;
 
-  [[nodiscard]] virtual std::size_t host_count() const = 0;
-  /// Jobs at the host, including the one in service.
-  [[nodiscard]] virtual std::size_t queue_length(HostId host) const = 0;
-  /// Remaining work at the host: residual of the running job plus the sizes
-  /// of all queued jobs.
-  [[nodiscard]] virtual double work_left(HostId host) const = 0;
-  /// True if the host is neither serving nor holding any job.
-  [[nodiscard]] virtual bool host_idle(HostId host) const = 0;
-  /// True if the host is operational. Defaults to true: only views backed
-  /// by a failure model (sim/faults.hpp via DistributedServer) override
-  /// this. Policies must never route to a down host.
-  [[nodiscard]] virtual bool host_up(HostId /*host*/) const { return true; }
+  /// The host-state table (see core/host_state.hpp): bulk span accessors,
+  /// the up-bitset, and the argmin queue-length / argmin work-left indices.
+  [[nodiscard]] virtual const HostStateTable& hosts() const = 0;
   /// Current simulation time.
   [[nodiscard]] virtual double now() const = 0;
+
+  // --- Deprecated per-host adapter shims -------------------------------
+  // The pre-HostStateTable API: one virtual call per host per read, which
+  // made every argmin policy O(h) per arrival. Kept for one release as
+  // thin non-virtual adapters so out-of-tree policies keep compiling;
+  // every in-tree caller now reads hosts() directly. Scheduled for
+  // removal — migrate to hosts().
+
+  [[deprecated("use hosts().size()")]] [[nodiscard]] std::size_t host_count()
+      const {
+    return hosts().size();
+  }
+  /// Jobs at the host, including the one in service.
+  [[deprecated("use hosts().queue_length(host)")]] [[nodiscard]] std::size_t
+  queue_length(HostId host) const {
+    return hosts().queue_length(host);
+  }
+  /// Remaining work at the host: residual of the running job plus the sizes
+  /// of all queued jobs.
+  [[deprecated("use hosts().work_left(host, now())")]] [[nodiscard]] double
+  work_left(HostId host) const {
+    return hosts().work_left(host, now());
+  }
+  /// True if the host is neither serving nor holding any job.
+  [[deprecated("use hosts().idle(host)")]] [[nodiscard]] bool host_idle(
+      HostId host) const {
+    return hosts().idle(host);
+  }
+  /// True if the host is operational. Policies must never route to a down
+  /// host.
+  [[deprecated("use hosts().up(host)")]] [[nodiscard]] bool host_up(
+      HostId host) const {
+    return hosts().up(host);
+  }
 };
 
 /// A task assignment rule.

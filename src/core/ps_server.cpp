@@ -11,26 +11,28 @@ PsServer::PsServer(std::size_t hosts, Policy& policy)
   DS_EXPECTS(hosts >= 1);
 }
 
-std::size_t PsServer::host_count() const { return hosts_count_; }
-
-std::size_t PsServer::queue_length(HostId host) const {
-  DS_EXPECTS(host < hosts_.size());
-  return hosts_[host].active.size();
-}
-
-double PsServer::work_left(HostId host) const {
+double PsServer::host_work_left(HostId host, double t) const {
   DS_EXPECTS(host < hosts_.size());
   const Host& h = hosts_[host];
   // Remaining work as of last_update, minus what was shared out since.
   double total = 0.0;
   for (const Active& a : h.active) total += a.remaining;
-  const double elapsed = sim_.now() - h.last_update;
+  const double elapsed = t - h.last_update;
   return std::max(total - elapsed, 0.0);
 }
 
-bool PsServer::host_idle(HostId host) const {
-  DS_EXPECTS(host < hosts_.size());
-  return hosts_[host].active.empty();
+const HostStateTable& PsServer::hosts() const {
+  const double t = sim_.now();
+  if (table_time_ != t || table_version_ != version_) {
+    for (HostId h = 0; h < hosts_count_; ++h) {
+      table_.set_observation(
+          h, static_cast<std::uint32_t>(hosts_[h].active.size()),
+          host_work_left(h, t), hosts_[h].active.empty(), t);
+    }
+    table_time_ = t;
+    table_version_ = version_;
+  }
+  return table_;
 }
 
 double PsServer::now() const { return sim_.now(); }
@@ -77,6 +79,7 @@ void PsServer::on_departure(HostId host, std::uint64_t epoch) {
   hh.stats.jobs_completed += 1;
   hh.stats.work_done += rec.size;
   hh.active.erase(it);
+  ++version_;
   schedule_departure(host);
 }
 
@@ -110,6 +113,7 @@ void PsServer::on_arrival(const workload::Job& job) {
   age(*choice);
   Host& h = hosts_[*choice];
   h.active.push_back(Active{job.id, job.size});
+  ++version_;
   JobRecord& rec = records_[job.id];
   rec.id = job.id;
   rec.arrival = job.arrival;
@@ -123,6 +127,10 @@ RunResult PsServer::run(const workload::Trace& trace, std::uint64_t seed) {
   DS_EXPECTS(!trace.empty());
   sim_ = sim::Simulator();
   hosts_.assign(hosts_count_, Host{});
+  table_.reset(hosts_count_, HostStateTable::Semantics::kObserved);
+  version_ = 0;
+  table_time_ = 0.0;
+  table_version_ = 0;
   records_.assign(trace.size(), JobRecord{});
   trace_jobs_ = &trace.jobs();
   next_arrival_index_ = 0;

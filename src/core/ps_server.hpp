@@ -36,11 +36,12 @@ class PsServer final : public ServerView, private sim::EventHandler {
   [[nodiscard]] RunResult run(const workload::Trace& trace,
                               std::uint64_t seed = 1);
 
-  // ServerView interface.
-  [[nodiscard]] std::size_t host_count() const override;
-  [[nodiscard]] std::size_t queue_length(HostId host) const override;
-  [[nodiscard]] double work_left(HostId host) const override;
-  [[nodiscard]] bool host_idle(HostId host) const override;
+  // ServerView interface. Unlike the FCFS server's incrementally maintained
+  // live table, a PS host's remaining work decays continuously (shared among
+  // its active jobs), so hosts() lazily rebuilds an observed-semantics table
+  // at the current instant, cached by (time, mutation count) — policies that
+  // read the view several times in one decision pay for one rebuild.
+  [[nodiscard]] const HostStateTable& hosts() const override;
   [[nodiscard]] double now() const override;
 
  private:
@@ -58,6 +59,9 @@ class PsServer final : public ServerView, private sim::EventHandler {
   /// Typed event dispatch (arrivals and epoch-fenced departures).
   void on_event(const sim::Event& event) override;
 
+  /// Remaining work at `host` as of time `t` (sum of remainders at
+  /// last_update minus what was shared out since, clamped at 0).
+  [[nodiscard]] double host_work_left(HostId host, double t) const;
   /// Ages all remaining times at `host` to the current instant.
   void age(HostId host);
   /// (Re)schedules the host's next departure event.
@@ -73,6 +77,11 @@ class PsServer final : public ServerView, private sim::EventHandler {
   std::vector<JobRecord> records_;
   const std::vector<workload::Job>* trace_jobs_ = nullptr;
   std::size_t next_arrival_index_ = 0;
+  std::uint64_t version_ = 0;  ///< bumped on every active-set mutation
+  // hosts() rebuild cache (see the ServerView comment above).
+  mutable HostStateTable table_;
+  mutable double table_time_ = 0.0;
+  mutable std::uint64_t table_version_ = 0;
 };
 
 }  // namespace distserv::core

@@ -11,61 +11,17 @@ DistributedServer::DistributedServer(std::size_t hosts, Policy& policy)
   DS_EXPECTS(hosts >= 1);
 }
 
-std::size_t DistributedServer::host_count() const { return hosts_count_; }
-
-std::size_t DistributedServer::queue_length(HostId host) const {
-  DS_EXPECTS(host < hosts_.size());
-  const Host& h = hosts_[host];
-  return h.queue.size() + (h.busy ? 1 : 0);
-}
-
-double DistributedServer::work_left(HostId host) const {
-  DS_EXPECTS(host < hosts_.size());
-  const Host& h = hosts_[host];
-  const double residual = h.busy ? (h.current_completion - sim_.now()) : 0.0;
-  DS_ASSERT(residual >= -1e-9);
-  // queued_work is an add/subtract accumulator; clamp the tiny negative
-  // drift it can pick up so policies never observe negative work.
-  return std::max(residual, 0.0) + std::max(h.queued_work, 0.0);
-}
-
-bool DistributedServer::host_idle(HostId host) const {
-  DS_EXPECTS(host < hosts_.size());
-  const Host& h = hosts_[host];
-  return !h.busy && h.queue.empty();
-}
-
-bool DistributedServer::host_up(HostId host) const {
-  DS_EXPECTS(host < hosts_.size());
-  return hosts_[host].up;
-}
-
 double DistributedServer::now() const { return sim_.now(); }
 
-std::size_t DistributedServer::SnapshotView::host_count() const {
-  return server_->hosts_count_;
+void DistributedServer::publish_host(HostId host) {
+  const Host& h = hosts_[host];
+  live_table_.set_live(
+      host, h.busy, h.current_completion, h.queued_work,
+      static_cast<std::uint32_t>(h.queue.size() + (h.busy ? 1 : 0)));
 }
 
-std::size_t DistributedServer::SnapshotView::queue_length(HostId host) const {
-  DS_EXPECTS(host < server_->snapshot_.hosts.size());
-  return server_->snapshot_.hosts[host].queue_length;
-}
-
-double DistributedServer::SnapshotView::work_left(HostId host) const {
-  // The raw probed value: a snapshot does not decay the work a host has
-  // served since the probe — that is exactly the staleness being modeled.
-  DS_EXPECTS(host < server_->snapshot_.hosts.size());
-  return server_->snapshot_.hosts[host].work_left;
-}
-
-bool DistributedServer::SnapshotView::host_idle(HostId host) const {
-  DS_EXPECTS(host < server_->snapshot_.hosts.size());
-  return server_->snapshot_.hosts[host].idle;
-}
-
-bool DistributedServer::SnapshotView::host_up(HostId host) const {
-  DS_EXPECTS(host < server_->snapshot_.hosts.size());
-  return server_->snapshot_.hosts[host].up;
+const HostStateTable& DistributedServer::SnapshotView::hosts() const {
+  return server_->snapshot_table_;
 }
 
 double DistributedServer::SnapshotView::now() const { return server_->now(); }
@@ -100,6 +56,7 @@ RunResult DistributedServer::run(const workload::Trace& trace,
         [audit = auditor_.get()](sim::Time t) { audit->on_event(t); });
   }
   hosts_.assign(hosts_count_, Host{});
+  live_table_.reset(hosts_count_, HostStateTable::Semantics::kLive);
   central_queue_.clear();
   records_.assign(trace.size(), JobRecord{});
   trace_jobs_ = &trace.jobs();
@@ -228,7 +185,7 @@ void DistributedServer::route(const workload::Job& job) {
   if (control_config_.snapshots_enabled() &&
       control_config_.staleness_bound > 0.0 && degraded_.state_sensitive &&
       !degraded_.fallback_chain.empty() &&
-      snapshot_.max_age(sim_.now()) > control_config_.staleness_bound) {
+      snapshot_table_.max_age(sim_.now()) > control_config_.staleness_bound) {
     ++control_stats_.escalations_stale;
     if (auditor_) {
       auditor_->on_fallback(job.id, 0, 1,
@@ -246,7 +203,7 @@ void DistributedServer::route_at_level(const workload::Job& job,
   const double now = sim_.now();
   double age = 0.0;
   if (control_config_.snapshots_enabled()) {
-    age = snapshot_.max_age(now);
+    age = snapshot_table_.max_age(now);
     ++control_stats_.routed;
     control_stats_.snapshot_age_sum += age;
     control_stats_.snapshot_age_max =
@@ -309,36 +266,45 @@ std::optional<FallbackKind> DistributedServer::fallback_for_level(
 std::optional<HostId> DistributedServer::assign_fallback(
     FallbackKind kind, std::optional<HostId> hint) {
   // Fallbacks route on *live* liveness: they model what the dispatcher can
-  // do without trusting its (stale, possibly wrong) state cache.
-  up_scratch_.clear();
-  if (kind == FallbackKind::kRandomInRange && hint) {
-    for (HostId h = 0; h < hosts_count_; ++h) {
-      const HostId lo = *hint > 0 ? *hint - 1 : 0;
-      if (h >= lo && h <= *hint + 1 && hosts_[h].up) up_scratch_.push_back(h);
-    }
-  }
-  if (up_scratch_.empty()) {
-    for (HostId h = 0; h < hosts_count_; ++h) {
-      if (hosts_[h].up) up_scratch_.push_back(h);
-    }
-  }
-  if (up_scratch_.empty()) return std::nullopt;
+  // do without trusting its (stale, possibly wrong) state cache. Draws are
+  // rank-based (below(up_count) then k-th up host), which consumes the
+  // control stream exactly as the old build-a-candidate-vector code did,
+  // without the O(h) rebuild per fallback.
+  const HostBitset& up = live_table_.up_bits();
   dist::Rng& rng = control_.fallback_rng();
+  if (kind == FallbackKind::kRandomInRange && hint) {
+    // The candidate window is at most three hosts around the failed
+    // target; gather it directly off the bitset (falls through to the
+    // all-hosts draw when the whole window is down).
+    const std::size_t lo = *hint > 0 ? *hint - 1 : 0;
+    const std::size_t hi = std::min<std::size_t>(*hint + 2, hosts_count_);
+    HostId window[3];
+    std::size_t count = 0;
+    for (std::size_t h = lo; h < hi; ++h) {
+      if (up.test(h)) window[count++] = static_cast<HostId>(h);
+    }
+    if (count > 0) return window[rng.below(count)];
+  }
+  const std::size_t live = up.count();
+  if (live == 0) return std::nullopt;
   switch (kind) {
     case FallbackKind::kPowerOfTwo: {
-      if (up_scratch_.size() == 1) return up_scratch_[0];
-      const std::size_t i = rng.below(up_scratch_.size());
-      std::size_t j = rng.below(up_scratch_.size() - 1);
+      if (live == 1) return live_table_.kth_up(0);
+      const std::size_t i = rng.below(live);
+      std::size_t j = rng.below(live - 1);
       if (j >= i) ++j;
-      const HostId a = up_scratch_[i];
-      const HostId b = up_scratch_[j];
-      if (work_left(a) < work_left(b)) return a;
-      if (work_left(b) < work_left(a)) return b;
+      const HostId a = live_table_.kth_up(i);
+      const HostId b = live_table_.kth_up(j);
+      const double now = sim_.now();
+      const double wa = live_table_.work_left(a, now);
+      const double wb = live_table_.work_left(b, now);
+      if (wa < wb) return a;
+      if (wb < wa) return b;
       return std::min(a, b);  // tie: lower index, order-independent
     }
     case FallbackKind::kRandom:
     case FallbackKind::kRandomInRange:
-      return up_scratch_[rng.below(up_scratch_.size())];
+      return live_table_.kth_up(rng.below(live));
   }
   return std::nullopt;
 }
@@ -476,13 +442,12 @@ void DistributedServer::force_place(const workload::Job& job) {
 }
 
 void DistributedServer::hold_centrally(const workload::Job& job) {
-  // Central queue: start immediately if some host is idle and up, else hold
+  // Central queue: start immediately if some host is idle and up (lowest
+  // index, via the idle∧up bitset instead of an O(h) scan), else hold
   // (when every host is down, all jobs wait here until a repair).
-  for (HostId h = 0; h < hosts_count_; ++h) {
-    if (host_idle(h) && hosts_[h].up) {
-      start_service(h, job, sim::QueueingAuditor::StartSource::kDirect);
-      return;
-    }
+  if (const std::optional<HostId> h = live_table_.first_idle_up()) {
+    start_service(*h, job, sim::QueueingAuditor::StartSource::kDirect);
+    return;
   }
   if (auditor_) auditor_->on_hold(job.id);
   central_queue_.push_back(job);
@@ -499,6 +464,7 @@ void DistributedServer::dispatch_to_host(HostId host, const workload::Job& job) 
     if (auditor_) auditor_->on_enqueue(job.id, host);
     h.queue.push_back(job);
     h.queued_work += job.size;
+    publish_host(host);
   }
 }
 
@@ -524,6 +490,7 @@ void DistributedServer::start_service(HostId host, const workload::Job& job,
   rec.host = host;
   rec.start = start;
   rec.completion = completion;
+  publish_host(host);
   sim_.schedule_at(completion,
                    sim::Event::departure(host, job.id, h.service_epoch));
 }
@@ -537,6 +504,7 @@ void DistributedServer::on_completion(HostId host, workload::JobId id,
   DS_ASSERT(h.running == id);
   if (auditor_) auditor_->on_complete(id, host, sim_.now());
   h.busy = false;
+  publish_host(host);
   const JobRecord& rec = records_[id];
   h.stats.jobs_completed += 1;
   h.stats.busy_time += rec.size;
@@ -553,6 +521,8 @@ void DistributedServer::feed_idle_host(HostId host) {
     h.queue.pop_front();
     h.queued_work -= next.size;
     if (h.queue.empty()) h.queued_work = 0.0;  // kill accumulator drift
+    // start_service publishes the final state; no intermediate publish —
+    // no policy or auditor read happens between the pop and the start.
     start_service(host, next, sim::QueueingAuditor::StartSource::kHostQueue);
     return;
   }
@@ -584,7 +554,7 @@ void DistributedServer::begin_control(std::uint64_t seed) {
   degraded_ = policy_->degraded_info();
   // The dispatcher starts with a fresh t=0 observation of the empty system
   // (it booted the hosts; it knows they are empty).
-  snapshot_.hosts.assign(hosts_count_, sim::HostObservation{});
+  snapshot_table_.reset(hosts_count_, HostStateTable::Semantics::kObserved);
   if (control_config_.snapshots_enabled()) {
     for (HostId h = 0; h < hosts_count_; ++h) {
       sim_.schedule_at(control_.first_probe_at(h), sim::Event::probe(h));
@@ -600,9 +570,10 @@ void DistributedServer::probe_fired(HostId host) {
   if (lost) {
     ++control_stats_.probes_lost;  // the old observation stays in place
   } else {
-    snapshot_.hosts[host] =
-        sim::HostObservation{queue_length(host), work_left(host),
-                             host_idle(host), hosts_[host].up, t};
+    snapshot_table_.set_up(host, live_table_.up(host));
+    snapshot_table_.set_observation(host, live_table_.queue_length(host),
+                                    live_table_.work_left(host, t),
+                                    live_table_.idle(host), t);
   }
   if (auditor_) auditor_->on_probe(host, t, lost);
   sim_.schedule_in(control_config_.probe_period, sim::Event::probe(host));
@@ -633,6 +604,9 @@ void DistributedServer::fault_down(HostId host, double duration, bool renewal) {
   ++h.down_depth;
   if (h.down_depth == 1) {
     h.up = false;
+    // Published before the interruption: a resubmitted job re-enters the
+    // policy, which must already see this host as down.
+    live_table_.set_up(host, false);
     h.down_since = sim_.now();
     h.stats.failures += 1;
     if (auditor_) auditor_->on_host_down(host, sim_.now());
@@ -647,6 +621,7 @@ void DistributedServer::fault_up(HostId host, bool renewal) {
   --h.down_depth;
   if (h.down_depth == 0) {
     h.up = true;
+    live_table_.set_up(host, true);
     h.stats.down_time += sim_.now() - h.down_since;
     if (auditor_) auditor_->on_host_up(host, sim_.now());
     feed_idle_host(host);
@@ -671,6 +646,7 @@ void DistributedServer::interrupt_running(HostId host) {
   rec.restarts += 1;
   ++h.service_epoch;  // orphan the pending completion event
   h.busy = false;
+  publish_host(host);  // before kResubmit's route(): the policy reads it
   const workload::Job job{id, rec.arrival, rec.size};
   switch (recovery_) {
     case RecoveryMode::kRequeueFront:
@@ -680,6 +656,7 @@ void DistributedServer::interrupt_running(HostId host) {
       }
       h.queue.push_front(job);
       h.queued_work += job.size;
+      publish_host(host);
       break;
     case RecoveryMode::kResubmit:
       // A live RPC chain for this job (an ack-loss retry still in flight)

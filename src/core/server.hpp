@@ -95,12 +95,11 @@ class DistributedServer final : public ServerView,
   /// plane disabled are bit-identical to a server without this call.
   void enable_control(const sim::ControlPlaneConfig& config);
 
-  // ServerView interface (used by policies during run()).
-  [[nodiscard]] std::size_t host_count() const override;
-  [[nodiscard]] std::size_t queue_length(HostId host) const override;
-  [[nodiscard]] double work_left(HostId host) const override;
-  [[nodiscard]] bool host_idle(HostId host) const override;
-  [[nodiscard]] bool host_up(HostId host) const override;
+  // ServerView interface (used by policies during run()): the live host
+  // table, maintained in lockstep with every host mutation.
+  [[nodiscard]] const HostStateTable& hosts() const override {
+    return live_table_;
+  }
   [[nodiscard]] double now() const override;
 
  private:
@@ -122,18 +121,14 @@ class DistributedServer final : public ServerView,
     double service_start = 0.0;   ///< when the current service began
   };
 
-  /// ServerView over the dispatcher's probe-refreshed snapshot: per-host
-  /// observations come from the snapshot (possibly stale), host_count and
-  /// the clock stay live. Installed as the policy's view when snapshots
-  /// are enabled.
+  /// ServerView over the dispatcher's probe-refreshed snapshot table:
+  /// per-host observations are frozen probe results (possibly stale), the
+  /// clock stays live. Installed as the policy's view when snapshots are
+  /// enabled.
   class SnapshotView final : public ServerView {
    public:
     explicit SnapshotView(const DistributedServer* server) : server_(server) {}
-    [[nodiscard]] std::size_t host_count() const override;
-    [[nodiscard]] std::size_t queue_length(HostId host) const override;
-    [[nodiscard]] double work_left(HostId host) const override;
-    [[nodiscard]] bool host_idle(HostId host) const override;
-    [[nodiscard]] bool host_up(HostId host) const override;
+    [[nodiscard]] const HostStateTable& hosts() const override;
     [[nodiscard]] double now() const override;
 
    private:
@@ -203,6 +198,10 @@ class DistributedServer final : public ServerView,
   void fault_down(HostId host, double duration, bool renewal);
   void fault_up(HostId host, bool renewal);
   void interrupt_running(HostId host);
+  /// Re-publishes hosts_[host]'s scheduling state into the live table
+  /// (O(log h) index repair). Must run after every queue/busy mutation and
+  /// before the next policy or auditor read.
+  void publish_host(HostId host);
   /// Counts a job outcome (completion or abandonment); under faults the
   /// run stops here once every job is accounted for, leaving any pending
   /// failure/repair events unexecuted.
@@ -216,6 +215,8 @@ class DistributedServer final : public ServerView,
   sim::Simulator sim_;
   std::unique_ptr<sim::QueueingAuditor> auditor_;
   std::vector<Host> hosts_;
+  /// SoA mirror of hosts_ with the argmin indices — what policies read.
+  HostStateTable live_table_;
   std::deque<workload::Job> central_queue_;
   std::vector<JobRecord> records_;
   const std::vector<workload::Job>* trace_jobs_ = nullptr;
@@ -231,13 +232,15 @@ class DistributedServer final : public ServerView,
   bool control_enabled_ = false;
   sim::ControlPlaneConfig control_config_;
   sim::ControlPlane control_;
-  sim::StateSnapshot snapshot_;
+  /// Probe-refreshed kObserved table (the dispatcher's state cache); its
+  /// incremental min-timestamp index makes the per-route staleness check
+  /// O(1) instead of an O(h) rescan.
+  HostStateTable snapshot_table_;
   sim::ControlStats control_stats_;
   SnapshotView snapshot_view_{this};
   DegradedInfo degraded_;
   std::unordered_map<workload::JobId, PendingDispatch> pending_;
   std::uint64_t rpc_epoch_ = 0;
-  std::vector<HostId> up_scratch_;  ///< fallback candidate set, reused
 };
 
 /// Convenience: run `trace` on `hosts` hosts under `policy`.

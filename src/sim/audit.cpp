@@ -81,6 +81,27 @@ void QueueingAuditor::begin_run(std::size_t hosts) {
   system_n_changed_ = 0.0;
   last_event_ = 0.0;
   settled_dirty_ = false;
+  idle_up_hosts_ = hosts;  // every host starts up, idle, queue empty
+  idle_with_queue_ = 0;
+  down_busy_ = 0;
+}
+
+void QueueingAuditor::settle_sub(const HostShadow& h) {
+  if (h.up && !h.busy) {
+    --idle_up_hosts_;
+    if (!h.queue.empty()) --idle_with_queue_;
+  } else if (!h.up && h.busy) {
+    --down_busy_;
+  }
+}
+
+void QueueingAuditor::settle_add(const HostShadow& h) {
+  if (h.up && !h.busy) {
+    ++idle_up_hosts_;
+    if (!h.queue.empty()) ++idle_with_queue_;
+  } else if (!h.up && h.busy) {
+    ++down_busy_;
+  }
 }
 
 void QueueingAuditor::violate(const char* invariant, Time t,
@@ -108,6 +129,16 @@ void QueueingAuditor::check_settled(Time t) {
   // host is idle. (Within one event's action transient states are fine.)
   // Down hosts are exempt from both idleness checks — their queues lawfully
   // wait out the repair — but may never be in service.
+  //
+  // The maintained counters decide in O(1) whether any violation exists;
+  // the O(h) scan below runs only to attribute it host by host. This is
+  // what keeps the audited fast path flat in h (the scan used to run on
+  // every time-advancing event).
+  if (idle_with_queue_ == 0 && down_busy_ == 0 &&
+      (idle_up_hosts_ == 0 || central_held_ == 0)) {
+    settled_dirty_ = false;
+    return;
+  }
   bool any_idle = false;
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     const HostShadow& h = hosts_[i];
@@ -248,7 +279,9 @@ void QueueingAuditor::on_enqueue(JobId id, HostIndex host) {
   job->state = JobState::kQueued;
   job->host = host;
   job->joined_host = t;
+  settle_sub(*h);
   h->queue.push_back(id);
+  settle_add(*h);
   advance_host_integral(*h, t);
   ++h->n;
   settled_dirty_ = true;
@@ -260,6 +293,7 @@ void QueueingAuditor::on_start(JobId id, HostIndex host, Time t, double size,
   JobShadow* job = find_job(id, "on_start", t);
   HostShadow* h = find_host(host, "on_start", t);
   if (job == nullptr || h == nullptr) return;
+  settle_sub(*h);  // busy and possibly the queue mutate below
   if (!stats::close(job->size, size, 0.0, 0.0)) {
     violate("state-machine", t,
             describe_job(id) + " starts with size " + std::to_string(size) +
@@ -338,6 +372,7 @@ void QueueingAuditor::on_start(JobId id, HostIndex host, Time t, double size,
   h->busy = true;
   h->running = id;
   h->service_start = t;
+  settle_add(*h);
   settled_dirty_ = true;
 }
 
@@ -364,7 +399,9 @@ void QueueingAuditor::on_complete(JobId id, HostIndex host, Time t) {
            << job->size << ")";
     violate("service-time", t, detail.str());
   }
+  settle_sub(*h);
   h->busy = false;
+  settle_add(*h);
   h->busy_integral += t - h->service_start;
   h->work_completed += job->size;
   advance_host_integral(*h, t);
@@ -394,7 +431,9 @@ void QueueingAuditor::on_host_down(HostIndex host, Time t) {
     violate("failure-semantics", t,
             describe_host(host) + " went down while already down");
   }
+  settle_sub(*h);
   h->up = false;
+  settle_add(*h);
   settled_dirty_ = true;
 }
 
@@ -406,7 +445,9 @@ void QueueingAuditor::on_host_up(HostIndex host, Time t) {
     violate("failure-semantics", t,
             describe_host(host) + " repaired while already up");
   }
+  settle_sub(*h);
   h->up = true;
+  settle_add(*h);
   settled_dirty_ = true;
 }
 
@@ -431,6 +472,7 @@ void QueueingAuditor::on_interrupt(JobId id, HostIndex host, Time t,
   const double partial = t - h->service_start;
   h->busy_integral += partial;
   h->wasted_work += partial;
+  settle_sub(*h);  // busy and possibly the queue mutate below
   h->busy = false;
   switch (resolution) {
     case InterruptResolution::kRequeuedFront:
@@ -477,6 +519,7 @@ void QueueingAuditor::on_interrupt(JobId id, HostIndex host, Time t,
       system_sojourn_sum_ += t - job->arrival;
       break;
   }
+  settle_add(*h);
   settled_dirty_ = true;
 }
 

@@ -275,7 +275,14 @@ class QueueingAuditor {
   void violate(const char* invariant, Time t, std::string detail);
   void advance_host_integral(HostShadow& h, Time t);
   void advance_system_integral(Time t);
+  /// Remove (settle_sub) / restore (settle_add) one host's contribution to
+  /// the settled-check counters; every busy/up/queue mutation of a host
+  /// shadow is bracketed by the pair.
+  void settle_sub(const HostShadow& h);
+  void settle_add(const HostShadow& h);
   /// The settled-state conservation checks run when time strictly advances.
+  /// O(1) in the clean case via the maintained counters; the O(h) scan runs
+  /// only when a counter implies a violation (to emit its full detail).
   void check_settled(Time t);
   JobShadow* find_job(JobId id, const char* hook, Time t);
   HostShadow* find_host(HostIndex host, const char* hook, Time t);
@@ -292,6 +299,10 @@ class QueueingAuditor {
   Time system_n_changed_ = 0.0;
   Time last_event_ = 0.0;
   bool settled_dirty_ = false;  ///< state changed since last settled check
+  // Settled-check counters (see check_settled).
+  std::size_t idle_up_hosts_ = 0;    ///< hosts with up && !busy
+  std::size_t idle_with_queue_ = 0;  ///< up && !busy && queue non-empty
+  std::size_t down_busy_ = 0;        ///< !up && busy
 };
 
 }  // namespace distserv::sim

@@ -7,7 +7,8 @@
 // lost, and the dispatch itself is an RPC that can time out. This module
 // models exactly that, in three parts:
 //
-//   1. Snapshot state. Policies read a StateSnapshot — per-host observations
+//   1. Snapshot state. Policies read a probe-refreshed snapshot table (a
+//      core::HostStateTable in kObserved semantics) — per-host observations
 //      (queue length, work left, idleness, liveness) refreshed by periodic
 //      probes. Probes fire every `probe_period` per host, start at a
 //      per-host jittered phase, and are lost with probability `probe_loss`
@@ -133,31 +134,10 @@ struct ControlPlaneConfig {
   }
 };
 
-/// What the dispatcher last observed about one host.
-struct HostObservation {
-  std::size_t queue_length = 0;  ///< jobs at the host, incl. in service
-  double work_left = 0.0;        ///< remaining work at observation time
-  bool idle = true;
-  bool up = true;
-  Time observed_at = 0.0;        ///< when this observation was taken
-};
-
-/// The dispatcher's (possibly stale) picture of every host. Initialized at
-/// run start with a fresh observation of the empty system.
-struct StateSnapshot {
-  std::vector<HostObservation> hosts;
-
-  /// Age of the *oldest* per-host observation at time `t` — the staleness
-  /// the bound is checked against (one unprobed host is enough to mislead
-  /// an argmin policy).
-  [[nodiscard]] Time max_age(Time t) const noexcept {
-    Time age = 0.0;
-    for (const HostObservation& o : hosts) {
-      age = std::max(age, t - o.observed_at);
-    }
-    return age;
-  }
-};
+// (The dispatcher's per-host observation store used to live here as
+// HostObservation/StateSnapshot; it is now a core::HostStateTable in
+// kObserved semantics, whose incremental min-timestamp index makes the
+// per-route max_age staleness check O(1) instead of an O(h) rescan.)
 
 /// Per-run control-plane telemetry, surfaced through RunResult.
 struct ControlStats {

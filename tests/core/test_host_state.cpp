@@ -1,0 +1,390 @@
+// Property harness for the SoA host-state table: every tournament query is
+// checked against a brute-force O(h) oracle over randomized op sequences, in
+// both semantics, at sizes that cross the bitset word, summary, and tree
+// power-of-two boundaries. The oracle IS the replaced linear scan — these
+// tests pin that HostStateTable reproduces it decision-for-decision,
+// including lowest-index tie-breaks.
+#include "core/host_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "dist/rng.hpp"
+
+namespace distserv::core {
+namespace {
+
+constexpr std::size_t kSizes[] = {1, 2, 3, 5, 64, 65, 127, 1000};
+
+// ---------------------------------------------------------------------------
+// HostBitset vs a plain std::vector<bool> oracle.
+
+TEST(HostBitset, MatchesOracleUnderRandomFlips) {
+  dist::Rng rng(0xB175ULL);
+  for (std::size_t n : kSizes) {
+    HostBitset bits;
+    bits.reset(n, false);
+    std::vector<bool> oracle(n, false);
+    for (int step = 0; step < 600; ++step) {
+      const std::size_t i = rng.below(n);
+      const bool v = rng.bernoulli(0.5);
+      bits.set(i, v);
+      oracle[i] = v;
+
+      const std::size_t count =
+          static_cast<std::size_t>(std::count(oracle.begin(), oracle.end(), true));
+      ASSERT_EQ(bits.count(), count);
+      ASSERT_EQ(bits.any(), count > 0);
+
+      // first_set.
+      std::optional<std::uint32_t> first;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (oracle[j]) { first = static_cast<std::uint32_t>(j); break; }
+      }
+      ASSERT_EQ(bits.first_set(), first);
+
+      // first_set_in over a random window (possibly empty).
+      const std::uint32_t a = static_cast<std::uint32_t>(rng.below(n + 1));
+      const std::uint32_t b = static_cast<std::uint32_t>(rng.below(n + 1));
+      const std::uint32_t lo = std::min(a, b), hi = std::max(a, b);
+      std::optional<std::uint32_t> first_in;
+      for (std::uint32_t j = lo; j < hi; ++j) {
+        if (oracle[j]) { first_in = j; break; }
+      }
+      ASSERT_EQ(bits.first_set_in(lo, hi), first_in);
+
+      // select(k) enumerates the set bits in order.
+      std::size_t k = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!oracle[j]) continue;
+        ASSERT_EQ(bits.select(k), static_cast<std::uint32_t>(j));
+        ++k;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ArgminTree vs a linear scan.
+
+TEST(ArgminTree, MatchesLinearScanUnderRandomUpdates) {
+  dist::Rng rng(0x7EEEULL);
+  for (std::size_t n : kSizes) {
+    ArgminTree tree;
+    tree.reset(n);
+    std::vector<double> keys(n, ArgminTree::kAbsent);
+    for (int step = 0; step < 600; ++step) {
+      const std::size_t i = rng.below(n);
+      // Mix absences with a coarse grid of values so ties are frequent.
+      const double key = rng.bernoulli(0.3)
+                             ? ArgminTree::kAbsent
+                             : static_cast<double>(rng.below(8));
+      tree.set(i, key);
+      keys[i] = key;
+
+      std::optional<std::uint32_t> best;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (keys[j] == ArgminTree::kAbsent) continue;
+        if (!best || keys[j] < keys[*best]) best = static_cast<std::uint32_t>(j);
+      }
+      ASSERT_EQ(tree.argmin(), best);
+
+      const std::uint32_t a = static_cast<std::uint32_t>(rng.below(n + 1));
+      const std::uint32_t b = static_cast<std::uint32_t>(rng.below(n + 1));
+      const std::uint32_t lo = std::min(a, b), hi = std::max(a, b);
+      std::optional<std::uint32_t> best_in;
+      for (std::uint32_t j = lo; j < hi; ++j) {
+        if (keys[j] == ArgminTree::kAbsent) continue;
+        if (!best_in || keys[j] < keys[*best_in]) best_in = j;
+      }
+      ASSERT_EQ(tree.argmin_in(lo, hi), best_in);
+    }
+  }
+}
+
+TEST(ArgminTree, TiesResolveToLowestIndex) {
+  ArgminTree tree;
+  tree.reset(7);
+  for (std::size_t i = 0; i < 7; ++i) tree.set(i, 3.0);
+  EXPECT_EQ(tree.argmin(), std::optional<std::uint32_t>(0));
+  tree.set(0, ArgminTree::kAbsent);
+  EXPECT_EQ(tree.argmin(), std::optional<std::uint32_t>(1));
+  tree.set(4, 1.0);
+  tree.set(6, 1.0);
+  EXPECT_EQ(tree.argmin(), std::optional<std::uint32_t>(4));
+  EXPECT_EQ(tree.argmin_in(5, 7), std::optional<std::uint32_t>(6));
+}
+
+// ---------------------------------------------------------------------------
+// HostStateTable, observed semantics: scripted frozen observations.
+// The oracle replicates the classical scans the policies used to run.
+
+struct ObservedOracle {
+  std::vector<std::uint32_t> len;
+  std::vector<double> work;
+  std::vector<bool> idle;
+  std::vector<bool> up;
+  std::vector<double> at;
+
+  std::optional<HostId> argmin_queue(std::uint32_t lo, std::uint32_t hi) const {
+    std::optional<HostId> best;
+    for (std::uint32_t h = lo; h < hi; ++h) {
+      if (!up[h]) continue;
+      if (!best || len[h] < len[*best]) best = h;
+    }
+    return best;
+  }
+  std::optional<HostId> argmin_work(std::uint32_t lo, std::uint32_t hi) const {
+    std::optional<HostId> best;
+    for (std::uint32_t h = lo; h < hi; ++h) {
+      if (!up[h]) continue;
+      if (!best || work[h] < work[*best]) best = h;
+    }
+    return best;
+  }
+  std::optional<HostId> first_idle_up() const {
+    for (std::uint32_t h = 0; h < up.size(); ++h) {
+      if (up[h] && idle[h]) return h;
+    }
+    return std::nullopt;
+  }
+  double max_age(double t) const {
+    double age = 0.0;
+    for (double a : at) age = std::max(age, t - a);
+    return age;
+  }
+};
+
+TEST(HostStateTableObserved, MatchesOracleUnderRandomObservations) {
+  dist::Rng rng(0x0B5EULL);
+  for (std::size_t n : kSizes) {
+    HostStateTable table;
+    table.reset(n, HostStateTable::Semantics::kObserved);
+    ObservedOracle o;
+    o.len.assign(n, 0);
+    o.work.assign(n, 0.0);
+    o.idle.assign(n, true);
+    o.up.assign(n, true);
+    o.at.assign(n, 0.0);
+    double t = 0.0;
+    for (int step = 0; step < 500; ++step) {
+      t += rng.uniform01();
+      const HostId h = static_cast<HostId>(rng.below(n));
+      if (rng.bernoulli(0.15)) {
+        const bool up = rng.bernoulli(0.7);
+        table.set_up(h, up);
+        o.up[h] = up;
+      } else {
+        const auto len = static_cast<std::uint32_t>(rng.below(5));
+        // Coarse work grid so work ties happen; idle decoupled from work to
+        // exercise the frozen-value paths.
+        const double work = static_cast<double>(rng.below(4));
+        const bool idle = len == 0;
+        table.set_observation(h, len, work, idle, t);
+        o.len[h] = len;
+        o.work[h] = work;
+        o.idle[h] = idle;
+        o.at[h] = t;
+      }
+
+      ASSERT_EQ(table.argmin_queue_len(),
+                o.argmin_queue(0, static_cast<std::uint32_t>(n)));
+      ASSERT_EQ(table.argmin_work(t),
+                o.argmin_work(0, static_cast<std::uint32_t>(n)));
+      ASSERT_EQ(table.first_idle_up(), o.first_idle_up());
+      ASSERT_NEAR(table.max_age(t), o.max_age(t), 1e-12);
+
+      const std::uint32_t a = static_cast<std::uint32_t>(rng.below(n + 1));
+      const std::uint32_t b = static_cast<std::uint32_t>(rng.below(n + 1));
+      const std::uint32_t lo = std::min(a, b), hi = std::max(a, b);
+      ASSERT_EQ(table.argmin_queue_len_in(lo, hi), o.argmin_queue(lo, hi));
+      ASSERT_EQ(table.argmin_work_in(lo, hi, t), o.argmin_work(lo, hi));
+
+      // Per-host reads round-trip the raw observation.
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(table.queue_length(j), o.len[j]);
+        ASSERT_EQ(table.work_left(j, t), o.work[j]);
+        ASSERT_EQ(table.up(j), o.up[j]);
+        ASSERT_EQ(table.idle(j), o.idle[j]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HostStateTable, live semantics. The generator only produces *reachable*
+// server states: a busy host's running job completes at or after `now`, and
+// queued work is a sum of job sizes (non-negative). The oracle evaluates
+// work_left exactly as the table's read path does, so the comparison is
+// bit-exact, completion == now ties included.
+
+struct LiveHost {
+  bool busy = false;
+  double completion = 0.0;  // absolute, >= now while busy
+  double queued = 0.0;
+  std::uint32_t len = 0;
+  bool up = true;
+};
+
+double live_work(const LiveHost& h, double now) {
+  if (!h.busy) return h.queued > 0.0 ? h.queued : 0.0;
+  const double residual = h.completion - now;
+  return (residual > 0.0 ? residual : 0.0) + (h.queued > 0.0 ? h.queued : 0.0);
+}
+
+TEST(HostStateTableLive, MatchesLinearScanOnReachableStates) {
+  dist::Rng rng(0x11FEULL);
+  for (std::size_t n : kSizes) {
+    HostStateTable table;
+    table.reset(n, HostStateTable::Semantics::kLive);
+    std::vector<LiveHost> o(n);
+    double now = 0.0;
+    for (int step = 0; step < 500; ++step) {
+      // Advance the clock, but never past a busy host's completion — in a
+      // real run that departure would have fired first, and letting `now`
+      // pass it would fabricate an unreachable state where the absolute
+      // work key no longer orders like the clamped work read. Landing
+      // exactly ON the earliest completion (sometimes) pins the
+      // completion == now tie that resolve_work_argmin special-cases.
+      double earliest = std::numeric_limits<double>::infinity();
+      for (const LiveHost& host : o) {
+        if (host.busy) earliest = std::min(earliest, host.completion);
+      }
+      const double stepped = now + rng.uniform01();
+      now = (earliest < stepped && rng.bernoulli(0.75)) ? earliest
+                                                        : std::min(stepped, earliest);
+      const HostId h = static_cast<HostId>(rng.below(n));
+      if (rng.bernoulli(0.12)) {
+        const bool up = rng.bernoulli(0.7);
+        table.set_up(h, up);
+        o[h].up = up;
+      } else {
+        LiveHost& host = o[h];
+        host.busy = rng.bernoulli(0.6);
+        if (host.busy) {
+          // Completion at or after now; bernoulli branch pins the exact
+          // completion == now tie the resolve path special-cases.
+          host.completion =
+              rng.bernoulli(0.2) ? now : now + static_cast<double>(rng.below(4));
+          host.queued = static_cast<double>(rng.below(3));
+          host.len = 1 + static_cast<std::uint32_t>(rng.below(3));
+        } else {
+          host.completion = 0.0;
+          host.queued = 0.0;
+          host.len = 0;
+        }
+        table.set_live(h, host.busy, host.completion, host.queued, host.len);
+      }
+
+      // Oracle: the classical lowest-index-on-ties scans.
+      std::optional<HostId> best_q, best_w, first_idle;
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (!o[j].up) continue;
+        if (!best_q || o[j].len < o[*best_q].len) best_q = j;
+        if (!best_w || live_work(o[j], now) < live_work(o[*best_w], now))
+          best_w = j;
+        if (!first_idle && !o[j].busy) first_idle = j;
+      }
+      ASSERT_EQ(table.argmin_queue_len(), best_q) << "n=" << n << " step=" << step;
+      ASSERT_EQ(table.argmin_work(now), best_w) << "n=" << n << " step=" << step;
+      ASSERT_EQ(table.first_idle_up(), first_idle);
+
+      const std::uint32_t a = static_cast<std::uint32_t>(rng.below(n + 1));
+      const std::uint32_t b = static_cast<std::uint32_t>(rng.below(n + 1));
+      const std::uint32_t lo = std::min(a, b), hi = std::max(a, b);
+      std::optional<HostId> best_w_in;
+      for (std::uint32_t j = lo; j < hi; ++j) {
+        if (!o[j].up) continue;
+        if (!best_w_in || live_work(o[j], now) < live_work(o[*best_w_in], now))
+          best_w_in = j;
+      }
+      ASSERT_EQ(table.argmin_work_in(lo, hi, now), best_w_in);
+
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(table.work_left(j, now), live_work(o[j], now));
+        ASSERT_EQ(table.queue_length(j), o[j].len);
+        ASSERT_EQ(table.idle(j), !o[j].busy);
+      }
+
+      // up_count / kth_up enumerate the up set in index order.
+      std::size_t up_count = 0;
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (!o[j].up) continue;
+        ASSERT_EQ(table.kth_up(up_count), j);
+        ++up_count;
+      }
+      ASSERT_EQ(table.up_count(), up_count);
+      ASSERT_EQ(table.all_up(), up_count == n);
+    }
+  }
+}
+
+TEST(HostStateTableLive, ArgminTieBreaksAreLowestIndex) {
+  // Three idle hosts, all work 0: host 0 wins. Knock hosts out one by one.
+  HostStateTable table;
+  table.reset(4, HostStateTable::Semantics::kLive);
+  EXPECT_EQ(table.argmin_work(0.0), std::optional<HostId>(0));
+  EXPECT_EQ(table.argmin_queue_len(), std::optional<HostId>(0));
+  table.set_up(0, false);
+  EXPECT_EQ(table.argmin_work(0.0), std::optional<HostId>(1));
+  // A busy host whose backlog clears exactly now reads work 0 — it still
+  // loses the tie to a lower-indexed idle host, and wins against a
+  // higher-indexed one, exactly as the linear scan decided.
+  table.set_live(1, true, 5.0, 0.0, 1);
+  EXPECT_EQ(table.work_left(1, 5.0), 0.0);
+  EXPECT_EQ(table.argmin_work(5.0), std::optional<HostId>(1));
+  table.set_up(2, false);
+  table.set_up(3, false);
+  EXPECT_EQ(table.argmin_work(5.0), std::optional<HostId>(1));
+  table.set_up(0, true);
+  EXPECT_EQ(table.argmin_work(5.0), std::optional<HostId>(0));
+  // Every host down: no candidate.
+  table.set_up(0, false);
+  table.set_up(1, false);
+  EXPECT_EQ(table.argmin_work(5.0), std::nullopt);
+  EXPECT_EQ(table.argmin_queue_len(), std::nullopt);
+  EXPECT_EQ(table.first_idle_up(), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// The deprecated per-host ServerView shims forward to the table — kept one
+// release for out-of-tree policies.
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(ServerViewShims, ForwardToHostStateTable) {
+  class StubView final : public ServerView {
+   public:
+    StubView() {
+      table_.reset(3, HostStateTable::Semantics::kObserved);
+      table_.set_observation(0, 2, 7.5, false, 0.0);
+      table_.set_observation(1, 0, 0.0, true, 0.0);
+      table_.set_up(2, false);
+    }
+    const HostStateTable& hosts() const override { return table_; }
+    double now() const override { return 4.0; }
+
+   private:
+    HostStateTable table_;
+  };
+  StubView view;
+  EXPECT_EQ(view.host_count(), 3u);
+  EXPECT_EQ(view.queue_length(0), 2u);
+  EXPECT_DOUBLE_EQ(view.work_left(0), 7.5);
+  EXPECT_FALSE(view.host_idle(0));
+  EXPECT_TRUE(view.host_idle(1));
+  EXPECT_TRUE(view.host_up(1));
+  EXPECT_FALSE(view.host_up(2));
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace distserv::core

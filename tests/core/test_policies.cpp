@@ -19,21 +19,29 @@ namespace {
 
 using workload::Job;
 
-/// Scriptable view for policy unit tests.
+/// Scriptable view for policy unit tests: tests script lens_/work_ directly
+/// and hosts() projects them into an observed-semantics table on each read.
 class StubView final : public ServerView {
  public:
-  explicit StubView(std::size_t hosts) : lens_(hosts, 0), work_(hosts, 0.0) {}
+  explicit StubView(std::size_t hosts) : lens_(hosts, 0), work_(hosts, 0.0) {
+    table_.reset(hosts, HostStateTable::Semantics::kObserved);
+  }
 
-  std::size_t host_count() const override { return lens_.size(); }
-  std::size_t queue_length(HostId h) const override { return lens_[h]; }
-  double work_left(HostId h) const override { return work_[h]; }
-  bool host_idle(HostId h) const override {
-    return lens_[h] == 0 && work_[h] == 0.0;
+  const HostStateTable& hosts() const override {
+    for (HostId h = 0; h < lens_.size(); ++h) {
+      table_.set_observation(h, static_cast<std::uint32_t>(lens_[h]),
+                             work_[h], lens_[h] == 0 && work_[h] == 0.0,
+                             /*at=*/0.0);
+    }
+    return table_;
   }
   double now() const override { return 0.0; }
 
   std::vector<std::size_t> lens_;
   std::vector<double> work_;
+
+ private:
+  mutable HostStateTable table_;
 };
 
 Job job(double size) { return Job{0, 0.0, size}; }

@@ -153,10 +153,11 @@ TEST(PsServer, ViewReportsSharedState) {
                                  const ServerView& view) override {
       if (job.id == 1) {
         // Job 0 (size 10) arrived at t=0; we are at t=2: 8 left.
-        EXPECT_NEAR(view.work_left(0), 8.0, 1e-9);
-        EXPECT_EQ(view.queue_length(0), 1u);
-        EXPECT_FALSE(view.host_idle(0));
-        EXPECT_TRUE(view.host_idle(1));
+        const HostStateTable& hosts = view.hosts();
+        EXPECT_NEAR(hosts.work_left(0, view.now()), 8.0, 1e-9);
+        EXPECT_EQ(hosts.queue_length(0), 1u);
+        EXPECT_FALSE(hosts.idle(0));
+        EXPECT_TRUE(hosts.idle(1));
       }
       return 0;
     }
