@@ -1,0 +1,156 @@
+// Streaming-scale demonstrator: bounded-memory runs of 10^7..10^9 jobs.
+//
+// Jobs are drawn on the fly (workload::SyntheticSource — one interarrival
+// gap and one size per pull, no materialised trace) and folded into the
+// streaming summary (core/stream_metrics.hpp) as they complete, so RSS is
+// O(hosts + sketch) no matter how long the run is. With --swf PATH the jobs
+// come from a chunked archive-log reader (workload::SwfStreamSource)
+// instead. CI runs this with --rss-limit-mb as the memory-plateau gate.
+//
+// Flags:
+//   --jobs N          synthetic jobs to stream (default 10000000)
+//   --hosts H         host count (default 4)
+//   --rho R           system load (default 0.7)
+//   --policy NAME     Random | Round-Robin | Shortest-Queue |
+//                     Least-Work-Left | Central-Queue (default LWL)
+//   --workload W      c90 | j90 | ctc service distribution (default c90)
+//   --seed S          master seed (default 1)
+//   --eps E           quantile-sketch rank-error bound (default 1e-3)
+//   --rss-limit-mb M  exit 1 if peak RSS exceeds M MB (0 = no check)
+//   --swf PATH        replay an SWF archive log instead of synthesising
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/policies/central_queue.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/random.hpp"
+#include "core/policies/round_robin.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/server.hpp"
+#include "dist/rng.hpp"
+#include "util/cli.hpp"
+#include "workload/arrival.hpp"
+#include "workload/catalog.hpp"
+#include "workload/job_source.hpp"
+#include "workload/swf_stream.hpp"
+
+namespace {
+
+using namespace distserv;
+
+std::unique_ptr<core::Policy> make_policy(const std::string& name) {
+  const auto kind = core::policy_from_string(name);
+  if (kind) {
+    switch (*kind) {
+      case core::PolicyKind::kRandom:
+        return std::make_unique<core::RandomPolicy>();
+      case core::PolicyKind::kRoundRobin:
+        return std::make_unique<core::RoundRobinPolicy>();
+      case core::PolicyKind::kShortestQueue:
+        return std::make_unique<core::ShortestQueuePolicy>();
+      case core::PolicyKind::kLeastWorkLeft:
+        return std::make_unique<core::LeastWorkLeftPolicy>();
+      case core::PolicyKind::kCentralQueue:
+        return std::make_unique<core::CentralQueuePolicy>();
+      default:
+        break;  // SITA flavors need cutoff derivation; not streamable here
+    }
+  }
+  std::cerr << "--policy '" << name
+            << "': expected Random | Round-Robin | Shortest-Queue | "
+               "Least-Work-Left | Central-Queue\n";
+  std::exit(2);
+}
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KB on Linux
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  std::uint64_t jobs = 0;
+  std::size_t hosts = 0;
+  double rho = 0.0, eps = 0.0, rss_limit = 0.0;
+  std::uint64_t seed = 1;
+  std::string policy_name, workload_name, swf_path;
+  try {
+    const std::string_view known[] = {"jobs", "hosts", "rho",  "policy",
+                                      "workload", "seed", "eps",
+                                      "rss-limit-mb", "swf"};
+    cli.require_known(known);
+    jobs = static_cast<std::uint64_t>(
+        cli.get_int_in("jobs", 10000000, 1, 2000000000));
+    hosts = static_cast<std::size_t>(cli.get_int_in("hosts", 4, 1, 4096));
+    rho = cli.get_double_in("rho", 0.7, 0.01, 0.99);
+    policy_name = cli.get_string("policy", "Least-Work-Left");
+    workload_name = cli.get_string("workload", "c90");
+    seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    eps = cli.get_double_in("eps", 1e-3, 1e-6, 0.4);
+    rss_limit = cli.get_double_in("rss-limit-mb", 0.0, 0.0, 1e9);
+    swf_path = cli.get_string("swf", "");
+  } catch (const util::CliError& e) {
+    std::cerr << cli.program() << ": " << e.what() << "\n";
+    return 2;
+  }
+
+  const std::unique_ptr<core::Policy> policy = make_policy(policy_name);
+  core::DistributedServer server(hosts, *policy);
+  core::StreamOptions options;
+  options.sketch_eps = eps;
+
+  const workload::WorkloadSpec& spec = workload::find_workload(workload_name);
+  const dist::BoundedParetoMixture& sizes = workload::service_distribution(spec);
+  const double lambda = rho * static_cast<double>(hosts) / sizes.mean();
+  workload::PoissonArrivals arrivals(lambda);
+  dist::Rng rng = dist::Rng(seed).split(1);
+
+  std::cout << "stream-scale: policy=" << policy_name << " hosts=" << hosts
+            << " rho=" << rho << " eps=" << eps << " seed=" << seed;
+  if (swf_path.empty()) {
+    std::cout << " workload=" << spec.name << " jobs=" << jobs << "\n";
+  } else {
+    std::cout << " swf=" << swf_path << "\n";
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  core::RunResult result;
+  if (swf_path.empty()) {
+    workload::SyntheticSource source(jobs, sizes, arrivals, rng);
+    result = server.run_stream(source, seed, std::move(options));
+  } else {
+    workload::SwfStreamSource source(swf_path);
+    result = server.run_stream(source, seed, std::move(options));
+    std::cout << source.summary() << "\n";
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+
+  const core::StreamSummary& s = *result.stream;
+  const double rss = peak_rss_mb();
+  std::cout.precision(6);
+  std::cout << "jobs          " << s.jobs() << "\n"
+            << "wall_s        " << wall << "\n"
+            << "jobs_per_s    " << static_cast<double>(s.jobs()) / wall << "\n"
+            << "makespan      " << result.makespan << "\n"
+            << "mean_slowdown " << s.slowdown().mean() << "\n"
+            << "p50_slowdown  " << s.slowdown_quantile(0.5) << "\n"
+            << "p95_slowdown  " << s.slowdown_quantile(0.95) << "\n"
+            << "p99_slowdown  " << s.slowdown_quantile(0.99) << "\n"
+            << "peak_rss_mb   " << rss << "\n";
+  if (rss_limit > 0.0 && rss > rss_limit) {
+    std::cerr << "FAIL: peak RSS " << rss << " MB exceeds limit " << rss_limit
+              << " MB\n";
+    return 1;
+  }
+  return 0;
+}

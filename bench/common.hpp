@@ -33,6 +33,9 @@
 //                            --rpc-timeout > 0)
 //   --retries N              RPC retry budget before fallback escalation
 //   --fallback MODE          chain | terminal | none
+//   --stream                 bounded-memory replications: jobs pulled from
+//                            a streaming source, metrics folded into a
+//                            quantile sketch (no per-job records)
 //
 // Flags are validated strictly: an unknown flag, a malformed number, or an
 // out-of-range value prints an error naming the flag and exits with status
@@ -114,6 +117,7 @@ struct BenchOptions {
   double ack_loss = 0.0;      ///< --ack-loss
   std::uint32_t retries = 3;  ///< --retries: RPC budget before escalation
   sim::FallbackMode fallback = sim::FallbackMode::kChain;
+  bool stream = false;        ///< --stream: bounded-memory replications
 
   /// Parses and validates argv. `extra_known` lists bench-specific flags
   /// beyond the common set; anything else (or a malformed/out-of-range
@@ -133,7 +137,7 @@ struct BenchOptions {
           "threads",      "policies",   "csv",         "audit",
           "mtbf",         "mttr",       "recovery",    "probe-period",
           "probe-loss",   "rpc-timeout", "rpc-loss",   "ack-loss",
-          "retries",      "fallback"};
+          "retries",      "fallback",    "stream"};
       known.insert(known.end(), extra_known.begin(), extra_known.end());
       cli.require_known(known);
       o.workload = cli.get_string("workload", std::move(default_workload));
@@ -184,6 +188,7 @@ struct BenchOptions {
                              "' (chain | terminal | none)");
       }
       o.fallback = *fb_mode;
+      o.stream = cli.has("stream");
     } catch (const util::CliError& e) {
       std::cerr << cli.program() << ": " << e.what() << "\n";
       std::exit(2);
@@ -216,6 +221,7 @@ struct BenchOptions {
       cfg.control.backoff_base = rpc_timeout;  // first retry waits 2x timeout
       cfg.control.fallback = fallback;
     }
+    cfg.stream = stream;
     return cfg;
   }
 
@@ -271,7 +277,8 @@ inline void print_header(const std::string& artifact,
             << "workload=" << o.workload << " jobs=" << o.jobs
             << " reps=" << o.reps << " seed=" << o.seed
             << " threads=" << o.threads
-            << (o.audit ? " audit=on" : "");
+            << (o.audit ? " audit=on" : "")
+            << (o.stream ? " stream=on" : "");
   if (o.mtbf > 0.0) {
     std::cout << " mtbf=" << o.mtbf << " mttr=" << o.mttr
               << " recovery=" << core::to_string(o.recovery);

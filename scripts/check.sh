@@ -11,6 +11,9 @@
 #   4. Rerun the control slice (`ctest -L control`): the degraded-
 #      information control-plane unit tests, bench flag parsing, and the
 #      control fuzz harness (>= 200 seeded stale-state/RPC-loss scenarios).
+#   4b. Rerun the streaming slice (`ctest -L streaming`): the JobSource
+#      contract/equivalence wall, SWF chunk fuzzing, sketch accuracy
+#      properties, and the bounded-memory allocation plateau.
 #   5. Configure a second tree with -DDISTSERV_TSAN=ON (benches/examples
 #      off), build the sweep-runner determinism tests and the fault fuzz
 #      harness, and run every test carrying the `tsan` ctest label plus
@@ -45,6 +48,9 @@ ctest --test-dir "$BUILD_DIR" -L faults --output-on-failure
 echo "== control: ctest -L control =="
 ctest --test-dir "$BUILD_DIR" -L control --output-on-failure
 
+echo "== streaming: ctest -L streaming =="
+ctest --test-dir "$BUILD_DIR" -L streaming --output-on-failure
+
 echo "== tsan: configure + build (determinism + fault fuzz tests) =="
 cmake -B "$TSAN_DIR" -S . \
   -DDISTSERV_TSAN=ON \
@@ -66,9 +72,9 @@ cmake -B "$UBSAN_DIR" -S . \
   -DDISTSERV_BUILD_EXAMPLES=OFF
 cmake --build "$UBSAN_DIR" -j "$(nproc)" \
   --target test_faults test_fault_property test_control \
-  test_control_property test_bench_flags
+  test_control_property test_bench_flags test_streaming test_stream_alloc
 
-echo "== ubsan: ctest -L 'faults|control' =="
-ctest --test-dir "$UBSAN_DIR" -L 'faults|control' --output-on-failure
+echo "== ubsan: ctest -L 'faults|control|streaming' =="
+ctest --test-dir "$UBSAN_DIR" -L 'faults|control|streaming' --output-on-failure
 
 echo "All checks passed."

@@ -117,34 +117,33 @@ workload::Trace Workbench::make_eval_trace(
     std::vector<workload::Job>&& buffer) const {
   dist::Rng rng =
       dist::Rng(config_.seed).split(point_stream(rho, replication));
+  const auto arrivals = make_arrival_process(eval_lambda(rho));
+  return workload::Trace::with_arrivals(eval_sizes_, *arrivals, rng,
+                                        std::move(buffer));
+}
+
+double Workbench::eval_lambda(double rho) const {
   const double mean = util::compensated_sum(eval_sizes_) /
                       static_cast<double>(eval_sizes_.size());
-  const double lambda = rho * static_cast<double>(config_.hosts) / mean;
+  return rho * static_cast<double>(config_.hosts) / mean;
+}
+
+std::unique_ptr<workload::ArrivalProcess> Workbench::make_arrival_process(
+    double lambda) const {
   switch (config_.arrivals) {
-    case ArrivalKind::kPoisson: {
-      workload::PoissonArrivals arrivals(lambda);
-      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng,
-                                            std::move(buffer));
-    }
-    case ArrivalKind::kBursty: {
-      workload::Mmpp2Arrivals arrivals =
+    case ArrivalKind::kPoisson:
+      return std::make_unique<workload::PoissonArrivals>(lambda);
+    case ArrivalKind::kBursty:
+      return std::make_unique<workload::Mmpp2Arrivals>(
           workload::Mmpp2Arrivals::with_burstiness(
               lambda, config_.burst_ratio, config_.burst_time_fraction,
-              config_.mean_cycle_arrivals);
-      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng,
-                                            std::move(buffer));
-    }
-    case ArrivalKind::kDiurnal: {
-      workload::DiurnalArrivals arrivals(lambda, config_.diurnal_amplitude,
-                                         config_.diurnal_period);
-      return workload::Trace::with_arrivals(eval_sizes_, arrivals, rng,
-                                            std::move(buffer));
-    }
+              config_.mean_cycle_arrivals));
+    case ArrivalKind::kDiurnal:
+      return std::make_unique<workload::DiurnalArrivals>(
+          lambda, config_.diurnal_amplitude, config_.diurnal_period);
   }
   DS_ASSERT(false && "unhandled ArrivalKind");
-  workload::PoissonArrivals fallback(lambda);
-  return workload::Trace::with_arrivals(eval_sizes_, fallback, rng,
-                                        std::move(buffer));
+  return std::make_unique<workload::PoissonArrivals>(lambda);
 }
 
 Workbench::PointPlan Workbench::plan_point(PolicyKind kind, double rho) const {
@@ -290,8 +289,6 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
                               seed);
   }
   const PolicyPtr policy = plan.make_policy();
-  workload::Trace trace = make_eval_trace(plan.point.rho, seed_index,
-                                          std::move(ws.job_buffer));
   DistributedServer server(config_.hosts, *policy);
   if (config_.faults.enabled) {
     server.enable_faults(config_.faults, config_.recovery);
@@ -300,7 +297,11 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
     server.enable_control(config_.control);
   }
   if (config_.audit.enabled) {
-    server.enable_audit(config_.audit);
+    // A streaming replication must not hoard per-job shadows in the audit
+    // layer; bounded mode keeps the map O(jobs in flight).
+    sim::AuditConfig audit = config_.audit;
+    if (config_.stream) audit.bounded_shadow = true;
+    server.enable_audit(audit);
     // SITA routing is a pure function of job size when classification is
     // perfect — unless faults or the control plane are on, where a dead
     // interval's jobs get remapped to live neighbors (or a fallback level
@@ -312,8 +313,24 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
           [sita](double size) { return sita->interval_of(size); });
     }
   }
-  const RunResult result = server.run(trace, seed);
-  ws.job_buffer = std::move(trace).take_jobs();  // recycle for the next call
+  RunResult result;
+  if (config_.stream) {
+    // Same (seed, load, replication)-keyed rng and the same one-gap-per-job
+    // draw order as make_eval_trace, so the streaming run is bit-identical
+    // to the materialised one — no trace is ever built.
+    dist::Rng rng = dist::Rng(config_.seed)
+                        .split(point_stream(plan.point.rho, seed_index));
+    const auto arrivals = make_arrival_process(eval_lambda(plan.point.rho));
+    workload::GeneratedSource source(eval_sizes_, *arrivals, rng);
+    StreamOptions options;
+    options.sketch_eps = config_.sketch_eps;
+    result = server.run_stream(source, seed, std::move(options));
+  } else {
+    workload::Trace trace = make_eval_trace(plan.point.rho, seed_index,
+                                            std::move(ws.job_buffer));
+    result = server.run(trace, seed);
+    ws.job_buffer = std::move(trace).take_jobs();  // recycle for later calls
+  }
   if (config_.audit.enabled) sim::throw_if_failed(*result.audit);
   return summarize(result);
 }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -100,6 +101,17 @@ struct ExperimentConfig {
   // Diurnal NHPP shape for ArrivalKind::kDiurnal.
   double diurnal_amplitude = 0.8;
   double diurnal_period = 86400.0;
+  /// Streaming replications: pull jobs from a workload::GeneratedSource
+  /// instead of materialising the evaluation trace, and summarize from the
+  /// streaming accumulators (DistributedServer::run_stream) — O(hosts +
+  /// sketch) memory per replication. Completion times, means, and variances
+  /// are bit-identical to the materialised path (the source replays the
+  /// exact draw sequence of Trace::with_arrivals); slowdown quantiles are
+  /// ε-approximate. When the audit layer is also enabled it runs in
+  /// bounded-shadow mode (sim::AuditConfig::bounded_shadow).
+  bool stream = false;
+  /// Rank-error bound for the streaming slowdown-quantile sketch.
+  double sketch_eps = 1e-3;
   /// Audit layer (sim/audit.hpp). When enabled, every replication runs
   /// under full invariant checking — a SITA expected-route oracle is
   /// attached automatically when the policy's routing is deterministic
@@ -299,6 +311,14 @@ class Workbench {
   [[nodiscard]] workload::Trace make_eval_trace(
       double rho, std::size_t replication,
       std::vector<workload::Job>&& buffer) const;
+
+  /// Arrival rate lambda giving system load `rho` over the eval sizes.
+  [[nodiscard]] double eval_lambda(double rho) const;
+
+  /// Builds the configured arrival process at rate `lambda` — the single
+  /// construction point shared by the materialised and streaming paths.
+  [[nodiscard]] std::unique_ptr<workload::ArrivalProcess>
+  make_arrival_process(double lambda) const;
 
   workload::WorkloadSpec spec_;
   ExperimentConfig config_;

@@ -11,7 +11,43 @@
 
 namespace distserv::core {
 
+namespace {
+void fill_control_telemetry(MetricsSummary& m, const RunResult& result) {
+  if (!result.control) return;
+  const sim::ControlStats& c = *result.control;
+  m.mean_snapshot_age = c.mean_snapshot_age();
+  m.max_snapshot_age = c.snapshot_age_max;
+  m.rpc_retries = c.retries;
+  m.rpc_timeouts = c.timeouts;
+  m.fallback_activations = c.fallback_activations();
+  m.misroute_rate = c.misroute_rate();
+}
+}  // namespace
+
 MetricsSummary summarize(const RunResult& result) {
+  if (result.stream) {
+    // Streaming run: the per-record fold below already happened online, in
+    // completion order, into the same Welford accumulators — means and
+    // variances are identical to the exact path; quantiles come from the
+    // GK sketch with its ±ε rank guarantee.
+    const StreamSummary& s = *result.stream;
+    MetricsSummary m;
+    m.jobs = s.jobs();
+    m.jobs_failed = s.jobs_failed();
+    fill_control_telemetry(m, result);
+    if (s.jobs() == 0) return m;  // every job failed
+    m.mean_slowdown = s.slowdown().mean();
+    m.var_slowdown = s.slowdown().variance_sample();
+    m.mean_response = s.response().mean();
+    m.var_response = s.response().variance_sample();
+    m.mean_waiting = s.waiting().mean();
+    m.var_waiting = s.waiting().variance_sample();
+    m.max_slowdown = s.slowdown().max();
+    m.p50_slowdown = s.slowdown_quantile(0.5);
+    m.p95_slowdown = s.slowdown_quantile(0.95);
+    m.p99_slowdown = s.slowdown_quantile(0.99);
+    return m;
+  }
   DS_EXPECTS(!result.records.empty());
   stats::Welford slowdown, response, waiting;
   std::vector<double> slowdowns;
@@ -29,15 +65,7 @@ MetricsSummary summarize(const RunResult& result) {
     slowdowns.push_back(s);
   }
   m.jobs = slowdown.count();
-  if (result.control) {
-    const sim::ControlStats& c = *result.control;
-    m.mean_snapshot_age = c.mean_snapshot_age();
-    m.max_snapshot_age = c.snapshot_age_max;
-    m.rpc_retries = c.retries;
-    m.rpc_timeouts = c.timeouts;
-    m.fallback_activations = c.fallback_activations();
-    m.misroute_rate = c.misroute_rate();
-  }
+  fill_control_telemetry(m, result);
   if (slowdowns.empty()) return m;  // every job failed
   m.mean_slowdown = slowdown.mean();
   m.var_slowdown = slowdown.variance_sample();

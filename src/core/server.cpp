@@ -49,6 +49,24 @@ void DistributedServer::enable_control(const sim::ControlPlaneConfig& config) {
 RunResult DistributedServer::run(const workload::Trace& trace,
                                  std::uint64_t seed) {
   DS_EXPECTS(!trace.empty());
+  workload::TraceSource source(trace);
+  return run_source(source, seed, nullptr);
+}
+
+RunResult DistributedServer::run(workload::JobSource& source,
+                                 std::uint64_t seed) {
+  return run_source(source, seed, nullptr);
+}
+
+RunResult DistributedServer::run_stream(workload::JobSource& source,
+                                        std::uint64_t seed,
+                                        StreamOptions options) {
+  return run_source(source, seed, &options);
+}
+
+RunResult DistributedServer::run_source(workload::JobSource& source,
+                                        std::uint64_t seed,
+                                        const StreamOptions* stream) {
   sim_ = sim::Simulator();
   if (auditor_) {
     auditor_->begin_run(hosts_count_);
@@ -58,9 +76,20 @@ RunResult DistributedServer::run(const workload::Trace& trace,
   hosts_.assign(hosts_count_, Host{});
   live_table_.reset(hosts_count_, HostStateTable::Semantics::kLive);
   central_queue_.clear();
-  records_.assign(trace.size(), JobRecord{});
-  trace_jobs_ = &trace.jobs();
-  next_arrival_index_ = 0;
+  record_mode_ = (stream == nullptr);
+  stream_options_ = stream;
+  records_.clear();
+  if (record_mode_) {
+    if (const auto hint = source.size_hint()) records_.reserve(*hint);
+  } else {
+    stream_summary_ = StreamSummary(stream->sketch_eps);
+  }
+  source_ = &source;
+  have_pending_arrival_ = false;
+  jobs_arrived_ = 0;
+  restarts_.clear();
+  max_completion_ = 0.0;
+  jobs_failed_ = 0;
   jobs_done_ = 0;
   interruptions_ = 0;
   policy_->reset(hosts_count_, seed);
@@ -76,20 +105,18 @@ RunResult DistributedServer::run(const workload::Trace& trace,
   if (faults_enabled_) begin_faults(seed);
   if (control_enabled_) begin_control(seed);
   // Arrivals are scheduled lazily — one pending arrival event at a time —
-  // so the event list stays O(hosts) instead of O(trace).
+  // so the event list stays O(hosts) instead of O(stream).
   schedule_next_arrival();
+  DS_EXPECTS(have_pending_arrival_);  // the source must yield >= 1 job
   sim_.run(*this);
 
   RunResult result;
   result.records = std::move(records_);
   result.hosts = hosts_count_;
   result.host_stats.reserve(hosts_.size());
-  double makespan = 0.0;
-  for (const JobRecord& r : result.records) {
-    makespan = std::max(makespan, r.completion);
-    if (r.failed) ++result.jobs_failed;
-  }
+  const double makespan = max_completion_;
   result.makespan = makespan;
+  result.jobs_failed = jobs_failed_;
   result.interruptions = interruptions_;
   for (Host& h : hosts_) {
     DS_ASSERT(!h.busy && h.queue.empty());  // every job must be resolved
@@ -111,16 +138,22 @@ RunResult DistributedServer::run(const workload::Trace& trace,
     control_stats_.chains_outstanding = pending_.size();
     result.control = control_stats_;
   }
+  if (!record_mode_) result.stream = std::move(stream_summary_);
   if (auditor_) result.audit = auditor_->finalize(sim_.now());
   records_.clear();
-  trace_jobs_ = nullptr;
+  source_ = nullptr;
+  stream_options_ = nullptr;
   return result;
 }
 
 void DistributedServer::on_event(const sim::Event& event) {
   switch (event.kind) {
     case sim::EventKind::kArrival: {
-      const workload::Job job = (*trace_jobs_)[next_arrival_index_++];
+      const workload::Job job = pending_arrival_;
+      have_pending_arrival_ = false;
+      DS_ASSERT(job.id == jobs_arrived_);  // sources emit sequential ids
+      ++jobs_arrived_;
+      if (record_mode_) records_.emplace_back();
       schedule_next_arrival();
       on_arrival(job);
       return;
@@ -154,9 +187,15 @@ void DistributedServer::on_event(const sim::Event& event) {
 }
 
 void DistributedServer::schedule_next_arrival() {
-  if (next_arrival_index_ >= trace_jobs_->size()) return;
-  const workload::Job& next = (*trace_jobs_)[next_arrival_index_];
-  sim_.schedule_at(next.arrival, sim::Event::arrival());
+  const std::optional<workload::Job> next = source_->next();
+  if (!next) return;
+  // The JobSource contract, cheap enough to check per pull: nondecreasing
+  // arrivals (now() is the previous arrival time while this runs inside the
+  // arrival event) and a positive finite size.
+  DS_ASSERT(next->arrival >= sim_.now() && next->size > 0.0);
+  pending_arrival_ = *next;
+  have_pending_arrival_ = true;
+  sim_.schedule_at(next->arrival, sim::Event::arrival());
 }
 
 void DistributedServer::on_arrival(const workload::Job& job) {
@@ -480,16 +519,18 @@ void DistributedServer::start_service(HostId host, const workload::Job& job,
   const double start = sim_.now();
   const double completion = start + job.size;
   h.current_completion = completion;
-  h.running = job.id;
+  h.running_job = job;
   h.service_start = start;
   ++h.service_epoch;
-  JobRecord& rec = records_[job.id];
-  rec.id = job.id;
-  rec.arrival = job.arrival;
-  rec.size = job.size;
-  rec.host = host;
-  rec.start = start;
-  rec.completion = completion;
+  if (record_mode_) {
+    JobRecord& rec = records_[job.id];
+    rec.id = job.id;
+    rec.arrival = job.arrival;
+    rec.size = job.size;
+    rec.host = host;
+    rec.start = start;
+    rec.completion = completion;
+  }
   publish_host(host);
   sim_.schedule_at(completion,
                    sim::Event::departure(host, job.id, h.service_epoch));
@@ -501,14 +542,35 @@ void DistributedServer::on_completion(HostId host, workload::JobId id,
   // A failure interrupted this service: the completion event is stale (the
   // kernel has no cancellation, so epochs invalidate orphaned events).
   if (!h.busy || h.service_epoch != epoch) return;
-  DS_ASSERT(h.running == id);
-  if (auditor_) auditor_->on_complete(id, host, sim_.now());
+  DS_ASSERT(h.running_job.id == id);
+  const double t = sim_.now();
+  if (auditor_) auditor_->on_complete(id, host, t);
   h.busy = false;
   publish_host(host);
-  const JobRecord& rec = records_[id];
+  const double size = h.running_job.size;
   h.stats.jobs_completed += 1;
-  h.stats.busy_time += rec.size;
-  h.stats.work_done += rec.size;
+  h.stats.busy_time += size;
+  h.stats.work_done += size;
+  // The departure event fires at exactly the scheduled completion time, so
+  // this matches the record-mode rec.completion bit for bit.
+  max_completion_ = std::max(max_completion_, t);
+  if (!record_mode_) {
+    JobRecord rec;
+    rec.id = id;
+    rec.arrival = h.running_job.arrival;
+    rec.size = size;
+    rec.host = host;
+    rec.start = h.service_start;
+    rec.completion = t;
+    if (!restarts_.empty()) {
+      if (const auto it = restarts_.find(id); it != restarts_.end()) {
+        rec.restarts = it->second;
+        restarts_.erase(it);
+      }
+    }
+    stream_summary_.add(rec);
+    if (stream_options_->record_sink) stream_options_->record_sink(rec);
+  }
   note_job_done();
   feed_idle_host(host);
 }
@@ -635,19 +697,22 @@ void DistributedServer::fault_up(HostId host, bool renewal) {
 void DistributedServer::interrupt_running(HostId host) {
   Host& h = hosts_[host];
   DS_ASSERT(h.busy);
-  const workload::JobId id = h.running;
-  JobRecord& rec = records_[id];
+  const workload::Job job = h.running_job;
+  const workload::JobId id = job.id;
   const double t = sim_.now();
   const double partial = t - h.service_start;
   h.stats.busy_time += partial;
   h.stats.wasted_work += partial;
   h.stats.jobs_interrupted += 1;
   ++interruptions_;
-  rec.restarts += 1;
+  if (record_mode_) {
+    records_[id].restarts += 1;
+  } else {
+    ++restarts_[id];
+  }
   ++h.service_epoch;  // orphan the pending completion event
   h.busy = false;
   publish_host(host);  // before kResubmit's route(): the policy reads it
-  const workload::Job job{id, rec.arrival, rec.size};
   switch (recovery_) {
     case RecoveryMode::kRequeueFront:
       if (auditor_) {
@@ -682,8 +747,27 @@ void DistributedServer::interrupt_running(HostId host) {
         auditor_->on_interrupt(
             id, host, t, sim::QueueingAuditor::InterruptResolution::kAbandoned);
       }
-      rec.failed = true;
-      rec.completion = t;
+      ++jobs_failed_;
+      max_completion_ = std::max(max_completion_, t);
+      if (record_mode_) {
+        JobRecord& rec = records_[id];
+        rec.failed = true;
+        rec.completion = t;
+      } else {
+        JobRecord rec;
+        rec.id = id;
+        rec.arrival = job.arrival;
+        rec.size = job.size;
+        rec.host = host;
+        rec.start = h.service_start;
+        rec.completion = t;
+        rec.failed = true;
+        const auto it = restarts_.find(id);  // inserted above, so present
+        rec.restarts = it->second;
+        restarts_.erase(it);
+        stream_summary_.add(rec);
+        if (stream_options_->record_sink) stream_options_->record_sink(rec);
+      }
       note_job_done();
       break;
   }

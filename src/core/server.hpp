@@ -17,11 +17,13 @@
 
 #include "core/policy.hpp"
 #include "core/recovery.hpp"
+#include "core/stream_metrics.hpp"
 #include "core/types.hpp"
 #include "sim/audit.hpp"
 #include "sim/control_plane.hpp"
 #include "sim/faults.hpp"
 #include "sim/simulator.hpp"
+#include "workload/job_source.hpp"
 #include "workload/trace.hpp"
 
 namespace distserv::core {
@@ -29,6 +31,7 @@ namespace distserv::core {
 /// Everything a run produces.
 struct RunResult {
   /// Per-job records, indexed by job id (same order as the input trace).
+  /// Empty for streaming runs (run_stream), which fill `stream` instead.
   std::vector<JobRecord> records;
   std::vector<HostStats> host_stats;
   std::size_t hosts = 0;
@@ -47,6 +50,9 @@ struct RunResult {
   /// Filled when the degraded-information control plane was enabled (see
   /// DistributedServer::enable_control).
   std::optional<sim::ControlStats> control;
+  /// Filled for streaming runs (run_stream): the bounded-memory metric
+  /// state that stands in for `records`, which is then empty.
+  std::optional<StreamSummary> stream;
 };
 
 /// One simulation of one trace under one policy.
@@ -66,6 +72,22 @@ class DistributedServer final : public ServerView,
   /// repeatedly; each call is an independent run.
   [[nodiscard]] RunResult run(const workload::Trace& trace,
                               std::uint64_t seed = 1);
+
+  /// Like run(trace), but pulls jobs on demand from `source` (which must
+  /// yield at least one job and satisfy the JobSource contract). Per-job
+  /// records are still materialised — O(jobs) memory.
+  [[nodiscard]] RunResult run(workload::JobSource& source,
+                              std::uint64_t seed = 1);
+
+  /// Bounded-memory run: jobs are pulled on demand and metrics are folded
+  /// into a StreamSummary the moment each job resolves — no per-job record
+  /// is ever stored, so memory stays O(hosts + sketch) regardless of
+  /// stream length. Completion times are bit-identical to the materialised
+  /// path over the same job sequence; RunResult::records is empty and
+  /// RunResult::stream is filled instead.
+  [[nodiscard]] RunResult run_stream(workload::JobSource& source,
+                                     std::uint64_t seed = 1,
+                                     StreamOptions options = {});
 
   /// Turns the audit layer on (config.enabled) or off for subsequent runs.
   /// When on, every queueing invariant is verified online and the report
@@ -117,7 +139,7 @@ class DistributedServer final : public ServerView,
     /// completion event is valid only if its captured epoch still matches
     /// (the kernel has no event cancellation).
     std::uint64_t service_epoch = 0;
-    workload::JobId running = 0;  ///< id in service (valid while busy)
+    workload::Job running_job{};  ///< job in service (valid while busy)
     double service_start = 0.0;   ///< when the current service began
   };
 
@@ -153,6 +175,13 @@ class DistributedServer final : public ServerView,
   /// Typed event dispatch (the simulation's inner loop).
   void on_event(const sim::Event& event) override;
 
+  /// The shared engine behind run/run_stream: record mode when `stream` is
+  /// null (per-job records materialised), streaming mode otherwise.
+  [[nodiscard]] RunResult run_source(workload::JobSource& source,
+                                     std::uint64_t seed,
+                                     const StreamOptions* stream);
+  /// Pulls the next job from the source (eagerly, so exhaustion is known
+  /// the moment the last job arrives) and schedules its arrival event.
   void schedule_next_arrival();
   void on_arrival(const workload::Job& job);
   /// Policy routing shared by fresh arrivals and resubmitted jobs.
@@ -207,7 +236,9 @@ class DistributedServer final : public ServerView,
   /// failure/repair events unexecuted.
   void note_job_done();
   [[nodiscard]] bool all_jobs_done() const noexcept {
-    return jobs_done_ == records_.size();
+    // The pending arrival is pulled eagerly, so no pending arrival means
+    // the source is exhausted: every job that will ever exist has arrived.
+    return !have_pending_arrival_ && jobs_done_ == jobs_arrived_;
   }
 
   std::size_t hosts_count_;
@@ -218,15 +249,28 @@ class DistributedServer final : public ServerView,
   /// SoA mirror of hosts_ with the argmin indices — what policies read.
   HostStateTable live_table_;
   std::deque<workload::Job> central_queue_;
+  /// Per-job records, filled in record mode only (empty while streaming).
   std::vector<JobRecord> records_;
-  const std::vector<workload::Job>* trace_jobs_ = nullptr;
-  std::size_t next_arrival_index_ = 0;
+  workload::JobSource* source_ = nullptr;  ///< valid during run_source only
+  workload::Job pending_arrival_{};  ///< pulled but not yet arrived
+  bool have_pending_arrival_ = false;
+  std::uint64_t jobs_arrived_ = 0;
+  bool record_mode_ = true;
+  const StreamOptions* stream_options_ = nullptr;  ///< streaming mode only
+  StreamSummary stream_summary_;
+  /// Online result counters (both modes), replacing post-run record scans.
+  double max_completion_ = 0.0;
+  std::uint64_t jobs_failed_ = 0;
+  /// Streaming-mode restart counts for jobs interrupted at least once —
+  /// O(currently interrupted jobs), erased when the job resolves (record
+  /// mode keeps restarts on the records instead).
+  std::unordered_map<workload::JobId, std::uint32_t> restarts_;
   // Fault model (inert unless enable_faults turned it on).
   bool faults_enabled_ = false;
   sim::FaultConfig fault_config_;
   RecoveryMode recovery_ = RecoveryMode::kResubmit;
   sim::FaultProcess fault_process_;
-  std::size_t jobs_done_ = 0;
+  std::uint64_t jobs_done_ = 0;
   std::uint64_t interruptions_ = 0;
   // Control plane (inert unless enable_control turned it on).
   bool control_enabled_ = false;

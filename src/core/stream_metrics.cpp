@@ -1,0 +1,17 @@
+#include "core/stream_metrics.hpp"
+
+namespace distserv::core {
+
+void StreamSummary::add(const JobRecord& rec) {
+  if (rec.failed) {
+    ++failed_;  // abandoned: no completion, so no statistics
+    return;
+  }
+  const double s = rec.slowdown();
+  slowdown_.add(s);
+  response_.add(rec.response());
+  waiting_.add(rec.waiting());
+  slowdown_sketch_.add(s);
+}
+
+}  // namespace distserv::core

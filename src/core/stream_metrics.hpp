@@ -1,0 +1,73 @@
+// Streaming per-job metric accumulation for bounded-memory runs.
+//
+// The materialised path stores one JobRecord per job and summarizes after
+// the fact (core/metrics.hpp) — O(n) memory, exact quantiles. The streaming
+// path folds each record into Welford accumulators plus an ε-approximate GK
+// quantile sketch (stats/gk_quantile.hpp) the moment the job completes, so
+// a 10^9-job run holds O(1/ε · log εn) metric state. summarize() consumes
+// either representation through the same MetricsSummary surface; means and
+// variances are identical to the exact path (same Welford fold in the same
+// order), quantiles carry the sketch's ±εn rank guarantee.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/types.hpp"
+#include "stats/gk_quantile.hpp"
+#include "stats/welford.hpp"
+
+namespace distserv::core {
+
+/// Options for DistributedServer::run_stream.
+struct StreamOptions {
+  /// Rank-error bound for the slowdown quantile sketch.
+  double sketch_eps = 1e-3;
+  /// Optional per-job tap, invoked with each job's final record in
+  /// completion order (failed jobs included). Tests use it to compare the
+  /// streaming path against materialised records without storing anything
+  /// in the server.
+  std::function<void(const JobRecord&)> record_sink;
+};
+
+/// Running metric state for a streaming run; the bounded-memory stand-in
+/// for RunResult::records. Abandoned jobs count in jobs_failed and touch no
+/// statistic, exactly like summarize() over records.
+class StreamSummary {
+ public:
+  StreamSummary() : StreamSummary(1e-3) {}
+  explicit StreamSummary(double sketch_eps) : slowdown_sketch_(sketch_eps) {}
+
+  /// Folds one finished job in. Call once per job, in completion order.
+  void add(const JobRecord& rec);
+
+  [[nodiscard]] std::uint64_t jobs() const noexcept {
+    return slowdown_.count();
+  }
+  [[nodiscard]] std::uint64_t jobs_failed() const noexcept { return failed_; }
+  [[nodiscard]] const stats::Welford& slowdown() const noexcept {
+    return slowdown_;
+  }
+  [[nodiscard]] const stats::Welford& response() const noexcept {
+    return response_;
+  }
+  [[nodiscard]] const stats::Welford& waiting() const noexcept {
+    return waiting_;
+  }
+  /// ε-approximate slowdown quantile. Requires jobs() > 0.
+  [[nodiscard]] double slowdown_quantile(double q) const {
+    return slowdown_sketch_.quantile(q);
+  }
+  [[nodiscard]] double sketch_eps() const noexcept {
+    return slowdown_sketch_.eps();
+  }
+
+ private:
+  stats::Welford slowdown_;
+  stats::Welford response_;
+  stats::Welford waiting_;
+  stats::GkQuantile slowdown_sketch_;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace distserv::core

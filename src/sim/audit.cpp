@@ -421,6 +421,10 @@ void QueueingAuditor::on_complete(JobId id, HostIndex host, Time t) {
   system_sojourn_sum_ += t - job->arrival;
   job->state = JobState::kCompleted;
   settled_dirty_ = true;
+  // Bounded mode: the job is resolved, drop its shadow. RPC-placed shadows
+  // stay — a late duplicate delivery or an orphaned ack-loss timeout still
+  // looks this id up, and must find a placed job, not an unknown one.
+  if (config_.bounded_shadow && !job->rpc_placed) jobs_.erase(id);
 }
 
 void QueueingAuditor::on_host_down(HostIndex host, Time t) {
@@ -521,6 +525,12 @@ void QueueingAuditor::on_interrupt(JobId id, HostIndex host, Time t,
   }
   settle_add(*h);
   settled_dirty_ = true;
+  // Bounded mode: an abandoned job is resolved for good; same RPC-placed
+  // retention rule as on_complete.
+  if (config_.bounded_shadow && resolution == InterruptResolution::kAbandoned &&
+      !job->rpc_placed) {
+    jobs_.erase(id);
+  }
 }
 
 void QueueingAuditor::on_probe(HostIndex host, Time t, bool lost) {

@@ -80,6 +80,17 @@ struct AuditConfig {
   /// Violations recorded verbatim in the report; further ones are only
   /// counted. Keeps a badly broken run from hoarding memory.
   std::size_t max_recorded_violations = 32;
+  /// Forget a job's shadow the moment it resolves (completes or is
+  /// abandoned), keeping the shadow map O(jobs in flight) instead of
+  /// O(jobs) — required for streaming runs, where the audit layer must not
+  /// reintroduce the per-job memory the server just shed. Shadows of
+  /// RPC-placed jobs are retained either way: a late duplicate delivery or
+  /// orphaned timeout still looks them up, and erasing them would turn
+  /// those legitimate events into spurious unknown-job violations. The
+  /// conservation and Little's-law checks already run on running counters
+  /// and integrals, so finalize() loses nothing but the stuck-job scan's
+  /// view of resolved jobs (which it never flags anyway).
+  bool bounded_shadow = false;
 };
 
 /// One broken invariant, with enough context to reproduce it.

@@ -1,0 +1,95 @@
+#include "stats/gk_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace distserv::stats {
+
+GkQuantile::GkQuantile(double eps) : eps_(eps) {
+  DS_EXPECTS(eps > 0.0 && eps < 0.5);
+  buffer_cap_ = std::max<std::size_t>(
+      static_cast<std::size_t>(1.0 / (2.0 * eps)), 16);
+  buffer_.reserve(buffer_cap_);
+}
+
+void GkQuantile::add(double x) {
+  DS_EXPECTS(!std::isnan(x));
+  ++n_;
+  buffer_.push_back(x);
+  if (buffer_.size() >= buffer_cap_) flush();
+}
+
+std::size_t GkQuantile::summary_size() const {
+  flush();
+  return entries_.size();
+}
+
+void GkQuantile::flush() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  // Caps computed at the current n are valid forever: n only grows, so
+  // every tuple keeps g + delta <= floor(2*eps*n) at all later queries.
+  const auto cap = static_cast<std::uint64_t>(
+      2.0 * eps_ * static_cast<double>(n_));
+  const std::uint64_t interior_delta = cap >= 1 ? cap - 1 : 0;
+  scratch_.clear();
+  scratch_.reserve(entries_.size() + buffer_.size());
+  std::size_t i = 0;
+  for (const double v : buffer_) {
+    while (i < entries_.size() && entries_[i].v <= v) {
+      scratch_.push_back(entries_[i++]);
+    }
+    // Processing the buffer in sorted order mimics one-at-a-time GK
+    // insertion: an element landing before everything seen so far is the
+    // new minimum at its insertion instant (rank exactly known, delta 0),
+    // and likewise past the summary's end for the new maximum.
+    const bool extreme = scratch_.empty() || i == entries_.size();
+    scratch_.push_back(Entry{v, 1, extreme ? 0 : interior_delta});
+  }
+  while (i < entries_.size()) scratch_.push_back(entries_[i++]);
+  entries_.swap(scratch_);
+  buffer_.clear();
+  compress(cap);
+}
+
+void GkQuantile::compress(std::uint64_t cap) const {
+  if (entries_.size() <= 2) return;
+  // Backward pass absorbing entry k into its right survivor j whenever the
+  // merged tuple keeps the invariant; the first and last entries pin the
+  // exact min/max and are never absorbed. g == 0 marks a tombstone (every
+  // live tuple has g >= 1).
+  std::size_t j = entries_.size() - 1;
+  for (std::size_t k = entries_.size() - 1; k-- > 1;) {
+    if (entries_[k].g + entries_[j].g + entries_[j].delta <= cap) {
+      entries_[j].g += entries_[k].g;
+      entries_[k].g = 0;
+    } else {
+      j = k;
+    }
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [](const Entry& e) { return e.g == 0; }),
+                 entries_.end());
+}
+
+double GkQuantile::quantile(double q) const {
+  flush();
+  DS_EXPECTS(n_ > 0);
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n_);
+  const double tol = eps_ * static_cast<double>(n_);
+  // Return the last entry whose rmax stays within target + tol; the GK
+  // invariant makes its true rank land in [target - tol, target + tol].
+  std::uint64_t rmin = 0;
+  double prev = entries_.front().v;
+  for (const Entry& e : entries_) {
+    rmin += e.g;
+    if (static_cast<double>(rmin + e.delta) > target + tol) return prev;
+    prev = e.v;
+  }
+  return entries_.back().v;
+}
+
+}  // namespace distserv::stats

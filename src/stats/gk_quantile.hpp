@@ -1,0 +1,62 @@
+// Greenwald–Khanna ε-approximate streaming quantiles.
+//
+// Billion-job streaming runs (workload::JobSource) cannot keep a per-job
+// slowdown vector for the exact nearest-rank quantiles in stats/quantile.hpp.
+// This sketch keeps a summary of O((1/ε)·log(εn)) tuples (value, g, Δ)
+// maintaining the GK invariant g + Δ <= floor(2εn), which guarantees every
+// reported q-quantile has true rank within εn of q·n — a deterministic bound,
+// independent of the input distribution (heavy tails included).
+//
+// Inserts are buffered (one sorted merge per ~1/(2ε) adds) so the amortized
+// per-observation cost is O(log(1/ε)) comparisons plus an O(s) share of the
+// merge, and the only allocations are the geometric growth of the summary
+// and its reusable scratch vector — the streaming server's bounded-memory
+// regression test (tests/sim/test_stream_alloc.cpp) depends on that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace distserv::stats {
+
+/// Streaming ε-approximate quantile summary (Greenwald–Khanna 2001).
+class GkQuantile {
+ public:
+  /// Requires 0 < eps < 0.5. Memory grows with 1/eps; 1e-3 keeps the
+  /// summary under ~a quarter MB at 10^9 observations.
+  explicit GkQuantile(double eps = 1e-3);
+
+  /// Adds one observation. Amortized cost: see header comment.
+  void add(double x);
+
+  /// Value whose rank is within eps*count() of q*count(). Requires
+  /// count() > 0; q is clamped to [0, 1] (0 = min, 1 = max, exactly).
+  /// Logically const: flushes the insert buffer into the summary.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+  /// Tuples currently held (post-flush; for memory-bound tests).
+  [[nodiscard]] std::size_t summary_size() const;
+
+ private:
+  struct Entry {
+    double v = 0.0;           ///< observed value
+    std::uint64_t g = 0;      ///< rmin(this) - rmin(previous)
+    std::uint64_t delta = 0;  ///< rmax(this) - rmin(this)
+  };
+
+  void flush() const;
+  void compress(std::uint64_t cap) const;
+
+  double eps_;
+  std::size_t buffer_cap_;
+  std::uint64_t n_ = 0;
+  // The flush that folds buffered inserts into the summary is an
+  // implementation detail of the logically-const queries, hence mutable.
+  mutable std::vector<Entry> entries_;   ///< sorted by v
+  mutable std::vector<Entry> scratch_;   ///< merge target, recycled
+  mutable std::vector<double> buffer_;   ///< pending inserts
+};
+
+}  // namespace distserv::stats

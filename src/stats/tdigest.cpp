@@ -1,0 +1,109 @@
+#include "stats/tdigest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace distserv::stats {
+
+namespace {
+constexpr std::size_t kBufferCap = 512;
+constexpr double kPi = 3.141592653589793238462643383279502884;
+}  // namespace
+
+TDigest::TDigest(double compression) : compression_(compression) {
+  DS_EXPECTS(compression >= 10.0);
+  buffer_.reserve(kBufferCap);
+}
+
+double TDigest::k_scale(double q) const {
+  return compression_ / (2.0 * kPi) * std::asin(2.0 * q - 1.0);
+}
+
+void TDigest::add(double x) {
+  DS_EXPECTS(!std::isnan(x));
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  buffer_.push_back(x);
+  if (buffer_.size() >= kBufferCap) flush();
+}
+
+std::size_t TDigest::centroid_count() const {
+  flush();
+  return centroids_.size();
+}
+
+void TDigest::flush() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  const double total = total_ + static_cast<double>(buffer_.size());
+  // Two-pointer walk over (existing centroids, sorted buffer), greedily
+  // re-clustering under the k1 size limit: a neighbor joins the current
+  // centroid while the merged span covers less than one k-unit.
+  std::size_t ci = 0;
+  std::size_t bi = 0;
+  const auto next_candidate = [&]() -> Centroid {
+    if (ci < centroids_.size() &&
+        (bi >= buffer_.size() || centroids_[ci].mean <= buffer_[bi])) {
+      return centroids_[ci++];
+    }
+    return Centroid{buffer_[bi++], 1.0};
+  };
+  const std::size_t m = centroids_.size() + buffer_.size();
+  scratch_.clear();
+  Centroid cur = next_candidate();
+  double emitted = 0.0;  // weight fully emitted before cur
+  double k_left = k_scale(0.0);
+  for (std::size_t idx = 1; idx < m; ++idx) {
+    const Centroid nxt = next_candidate();
+    const double q_merged = (emitted + cur.weight + nxt.weight) / total;
+    if (k_scale(q_merged) - k_left <= 1.0) {
+      cur.mean +=
+          (nxt.mean - cur.mean) * (nxt.weight / (cur.weight + nxt.weight));
+      cur.weight += nxt.weight;
+    } else {
+      scratch_.push_back(cur);
+      emitted += cur.weight;
+      k_left = k_scale(emitted / total);
+      cur = nxt;
+    }
+  }
+  scratch_.push_back(cur);
+  centroids_.swap(scratch_);
+  total_ = total;
+  buffer_.clear();
+}
+
+double TDigest::quantile(double q) const {
+  flush();
+  DS_EXPECTS(n_ > 0);
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * total_;
+  // Piecewise-linear through the centroid midpoints, anchored at the exact
+  // extremes: (0, min) .. (w1/2, m1) .. (total - wk/2, mk) .. (total, max).
+  double cum = 0.0;
+  double prev_pos = 0.0;
+  double prev_mean = min_;
+  for (const Centroid& c : centroids_) {
+    const double mid = cum + c.weight / 2.0;
+    if (target < mid) {
+      const double t = (target - prev_pos) / (mid - prev_pos);
+      return prev_mean + t * (c.mean - prev_mean);
+    }
+    prev_pos = mid;
+    prev_mean = c.mean;
+    cum += c.weight;
+  }
+  const double t = (target - prev_pos) / (total_ - prev_pos);
+  return prev_mean + t * (max_ - prev_mean);
+}
+
+}  // namespace distserv::stats

@@ -1,0 +1,63 @@
+// Merging t-digest: streaming quantiles with relative accuracy at the tails.
+//
+// Complements the GK sketch (stats/gk_quantile.hpp): GK gives a hard
+// distribution-free rank bound ε·n uniformly over q, while the t-digest's
+// k1 scale function concentrates centroids near q = 0 and q = 1, so extreme
+// quantiles (p99, p999 slowdown under heavy-tailed sizes) come out far
+// tighter for the same memory. No deterministic worst-case bound, which is
+// why the streaming server reports through GK and the t-digest ships as the
+// tail-accurate alternative (both are covered by the sketch property tests).
+//
+// This is the buffer-and-merge variant of Dunning & Ertl: incoming points
+// collect in a buffer and are periodically sort-merged with the existing
+// centroids under the k1 size limit, giving amortized O(log n) adds and
+// O(compression) centroids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace distserv::stats {
+
+/// Streaming quantile digest (Dunning & Ertl), merging variant, k1 scale.
+class TDigest {
+ public:
+  /// `compression` (δ) bounds the centroid count (~2δ); 100–500 is the
+  /// practical range. Requires compression >= 10.
+  explicit TDigest(double compression = 200.0);
+
+  /// Adds one observation.
+  void add(double x);
+
+  /// Interpolated q-quantile estimate. Requires count() > 0; q clamped to
+  /// [0, 1] (exact min/max at the ends). Logically const: flushes the
+  /// insert buffer.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double compression() const noexcept { return compression_; }
+  /// Centroids currently held (post-flush; for memory-bound tests).
+  [[nodiscard]] std::size_t centroid_count() const;
+
+ private:
+  struct Centroid {
+    double mean = 0.0;
+    double weight = 0.0;
+  };
+
+  void flush() const;
+  [[nodiscard]] double k_scale(double q) const;
+
+  double compression_;
+  std::uint64_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  // Flushing buffered inserts is an implementation detail of the
+  // logically-const queries, hence mutable.
+  mutable std::vector<Centroid> centroids_;  ///< sorted by mean
+  mutable std::vector<Centroid> scratch_;    ///< merge target, recycled
+  mutable std::vector<double> buffer_;       ///< pending inserts
+  mutable double total_ = 0.0;               ///< weight in centroids_
+};
+
+}  // namespace distserv::stats

@@ -1,0 +1,113 @@
+// Pull-based job streams: the bounded-memory alternative to Trace.
+//
+// A Trace materialises every job of a run in one vector, capping run length
+// at what RAM holds. A JobSource hands out the next job on demand, so the
+// simulator (core/server.hpp: DistributedServer::run_stream) can consume a
+// 10^9-job workload while holding O(hosts) state — the event list already
+// carries at most one pending arrival at a time, making the source the only
+// O(n) piece left to remove.
+//
+// Contract every source must satisfy (asserted by the server):
+//   * ids are emitted sequentially: 0, 1, 2, ... in emission order;
+//   * arrivals are nondecreasing in emission order;
+//   * sizes are strictly positive and finite, arrivals nonnegative.
+//
+// Implementations here: TraceSource (adapter over a materialised Trace),
+// GeneratedSource (fixed sizes + arrivals drawn per job — draw-for-draw
+// identical to Trace::with_arrivals), SyntheticSource (sizes AND arrivals
+// drawn per job, for runs longer than any size vector). The chunked SWF
+// file reader lives in workload/swf_stream.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "dist/distribution.hpp"
+#include "dist/rng.hpp"
+#include "workload/job.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv::workload {
+
+class ArrivalProcess;  // arrival.hpp
+
+/// One job at a time, on demand. See the header comment for the contract.
+class JobSource {
+ public:
+  virtual ~JobSource() = default;
+
+  /// The next job, or nullopt when the stream is exhausted (it stays
+  /// exhausted: further calls keep returning nullopt).
+  [[nodiscard]] virtual std::optional<Job> next() = 0;
+
+  /// Total job count when known up front (reservation hint); nullopt for
+  /// open-ended streams (e.g. an SWF file of unknown length).
+  [[nodiscard]] virtual std::optional<std::uint64_t> size_hint() const {
+    return std::nullopt;
+  }
+};
+
+/// Streams an existing Trace in order. The trace must outlive the source.
+class TraceSource final : public JobSource {
+ public:
+  explicit TraceSource(const Trace& trace) : trace_(&trace) {}
+
+  [[nodiscard]] std::optional<Job> next() override;
+  [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
+    return trace_->size();
+  }
+
+ private:
+  const Trace* trace_;
+  std::size_t index_ = 0;
+};
+
+/// Streams a fixed size sequence with arrivals drawn one gap per job —
+/// exactly the draws Trace::with_arrivals makes, so a streaming run over a
+/// GeneratedSource is bit-identical to the materialised run over the trace
+/// built from the same (sizes, arrivals, rng) triple. The spanned storage,
+/// process, and rng must outlive the source.
+class GeneratedSource final : public JobSource {
+ public:
+  GeneratedSource(std::span<const double> sizes, ArrivalProcess& arrivals,
+                  dist::Rng& rng);
+
+  [[nodiscard]] std::optional<Job> next() override;
+  [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
+    return sizes_.size();
+  }
+
+ private:
+  std::span<const double> sizes_;
+  ArrivalProcess* arrivals_;
+  dist::Rng* rng_;
+  std::size_t index_ = 0;
+  double clock_ = 0.0;
+};
+
+/// Draws `count` jobs entirely on the fly — one interarrival gap and one
+/// size per next() — so a 10^9-job run needs no size vector at all. Draw
+/// order per job: gap first, then size. The distribution, process, and rng
+/// must outlive the source.
+class SyntheticSource final : public JobSource {
+ public:
+  /// Requires count >= 1.
+  SyntheticSource(std::uint64_t count, const dist::Distribution& sizes,
+                  ArrivalProcess& arrivals, dist::Rng& rng);
+
+  [[nodiscard]] std::optional<Job> next() override;
+  [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
+    return count_;
+  }
+
+ private:
+  std::uint64_t count_;
+  const dist::Distribution* sizes_;
+  ArrivalProcess* arrivals_;
+  dist::Rng* rng_;
+  std::uint64_t emitted_ = 0;
+  double clock_ = 0.0;
+};
+
+}  // namespace distserv::workload

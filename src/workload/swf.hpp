@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "workload/trace.hpp"
 
@@ -53,6 +54,29 @@ struct SwfReadResult {
   /// One-line diagnostic, e.g. "swf: 4 jobs from 7 lines (5 parsed, ...)".
   [[nodiscard]] std::string summary() const;
 };
+
+/// Classification of one SWF line by the shared line parser.
+enum class SwfLineKind {
+  kSkip,       ///< blank line or ';' comment: counted in lines_total only
+  kMalformed,  ///< short / unparseable / corrupt-valued line
+  kFiltered,   ///< parsed fine but rejected by the filter
+  kJob,        ///< parsed and kept: submit/runtime below are valid
+};
+
+/// One classified SWF line.
+struct SwfParsedLine {
+  SwfLineKind kind = SwfLineKind::kSkip;
+  double submit = 0.0;   ///< valid when kind == kJob
+  double runtime = 0.0;  ///< valid when kind == kJob
+};
+
+/// Classifies one raw SWF line (a trailing '\r' is tolerated, as getline
+/// leaves one on CRLF input). The single source of truth for the format:
+/// read_swf and the chunked SwfStreamSource (workload/swf_stream.hpp) both
+/// parse through here, which is what makes their diagnostics agree on any
+/// input, byte for byte.
+[[nodiscard]] SwfParsedLine parse_swf_line(std::string_view line,
+                                           const SwfFilter& filter);
 
 /// Parses SWF text. Malformed lines are counted, not fatal.
 /// Job arrival = submit time (field 2), size = run time (field 4).

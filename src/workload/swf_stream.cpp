@@ -1,0 +1,122 @@
+#include "workload/swf_stream.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace distserv::workload {
+
+namespace {
+std::unique_ptr<std::istream> open_file(const std::string& path) {
+  auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+  DS_EXPECTS(in->good());
+  return in;
+}
+}  // namespace
+
+SwfStreamSource::SwfStreamSource(const std::string& path,
+                                 const SwfFilter& filter,
+                                 std::size_t chunk_bytes)
+    : SwfStreamSource(open_file(path), filter, chunk_bytes) {}
+
+SwfStreamSource::SwfStreamSource(std::unique_ptr<std::istream> in,
+                                 const SwfFilter& filter,
+                                 std::size_t chunk_bytes)
+    : in_(std::move(in)), filter_(filter), chunk_bytes_(chunk_bytes) {
+  DS_EXPECTS(in_ != nullptr);
+  DS_EXPECTS(chunk_bytes_ >= 1);
+  chunk_.reserve(chunk_bytes_);
+}
+
+bool SwfStreamSource::refill() {
+  if (eof_) return false;
+  chunk_.resize(chunk_bytes_);
+  in_->read(chunk_.data(), static_cast<std::streamsize>(chunk_bytes_));
+  const auto got = static_cast<std::size_t>(in_->gcount());
+  chunk_.resize(got);
+  pos_ = 0;
+  if (got < chunk_bytes_) eof_ = true;
+  return got > 0;
+}
+
+std::optional<Job> SwfStreamSource::pump() {
+  // One iteration per buffered line; refills between chunks. Mirrors the
+  // getline loop in read_swf: '\n' is stripped (a '\r' before it is left
+  // for parse_swf_line's trim, like getline), a final unterminated line
+  // still counts, and a trailing newline adds no phantom empty line.
+  for (;;) {
+    if (pos_ >= chunk_.size() && !refill()) {
+      // Input exhausted; flush the carried partial line, if any.
+      done_ = true;
+      if (carry_.empty()) return std::nullopt;
+      const std::string line = std::exchange(carry_, {});
+      ++lines_total_;
+      const SwfParsedLine parsed = parse_swf_line(line, filter_);
+      switch (parsed.kind) {
+        case SwfLineKind::kSkip:
+          return std::nullopt;
+        case SwfLineKind::kMalformed:
+          ++lines_malformed_;
+          return std::nullopt;
+        case SwfLineKind::kFiltered:
+          ++lines_parsed_;
+          ++lines_filtered_;
+          return std::nullopt;
+        case SwfLineKind::kJob:
+          ++lines_parsed_;
+          return Job{next_id_++, parsed.submit, parsed.runtime};
+      }
+      DS_ASSERT(false);  // unreachable: every kind returns above
+      return std::nullopt;
+    }
+    const std::size_t nl = chunk_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      // Record split across the chunk boundary: stash and read on.
+      carry_.append(chunk_, pos_, chunk_.size() - pos_);
+      pos_ = chunk_.size();
+      continue;
+    }
+    std::string_view line(chunk_.data() + pos_, nl - pos_);
+    std::string joined;
+    if (!carry_.empty()) {
+      joined = std::exchange(carry_, {});
+      joined.append(line);
+      line = joined;
+    }
+    pos_ = nl + 1;
+    ++lines_total_;
+    const SwfParsedLine parsed = parse_swf_line(line, filter_);
+    switch (parsed.kind) {
+      case SwfLineKind::kSkip:
+        continue;
+      case SwfLineKind::kMalformed:
+        ++lines_malformed_;
+        continue;
+      case SwfLineKind::kFiltered:
+        ++lines_parsed_;
+        ++lines_filtered_;
+        continue;
+      case SwfLineKind::kJob:
+        ++lines_parsed_;
+        return Job{next_id_++, parsed.submit, parsed.runtime};
+    }
+  }
+}
+
+std::optional<Job> SwfStreamSource::next() {
+  if (done_) return std::nullopt;
+  return pump();
+}
+
+std::string SwfStreamSource::summary() const {
+  std::ostringstream out;
+  out << "swf: " << next_id_ << " jobs from " << lines_total_ << " lines ("
+      << lines_parsed_ << " parsed, " << lines_filtered_ << " filtered, "
+      << lines_malformed_ << " malformed)";
+  return out.str();
+}
+
+}  // namespace distserv::workload

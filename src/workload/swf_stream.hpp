@@ -1,0 +1,90 @@
+// Chunked SWF reader: a JobSource over an archive log of any size.
+//
+// read_swf (workload/swf.hpp) materialises the whole log as a Trace, so a
+// multi-gigabyte archive file costs multi-gigabyte RSS. SwfStreamSource
+// reads the file in fixed-size chunks, carries the partial line at each
+// chunk boundary over to the next read, and emits one Job per kept record —
+// peak memory is one chunk plus one line, independent of file length.
+//
+// Every line is classified by the same parse_swf_line used by read_swf, so
+// on any input the streaming counters (lines_total/parsed/filtered/
+// malformed) and summary() match SwfReadResult byte for byte. Jobs are
+// emitted in file order with sequential ids; SWF logs are sorted by submit
+// time, so the JobSource arrival-monotonicity contract holds for any
+// archive log (the server asserts it either way).
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <memory>
+#include <string>
+
+#include "workload/job_source.hpp"
+#include "workload/swf.hpp"
+
+namespace distserv::workload {
+
+/// Streams jobs out of an SWF log without materialising it.
+class SwfStreamSource final : public JobSource {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  /// Opens `path` for reading. Throws ContractViolation if unreadable.
+  /// Requires chunk_bytes >= 1.
+  explicit SwfStreamSource(const std::string& path,
+                           const SwfFilter& filter = {},
+                           std::size_t chunk_bytes = kDefaultChunkBytes);
+
+  /// Takes ownership of an already-open stream (tests feed string streams
+  /// through here). Requires in != nullptr and chunk_bytes >= 1.
+  explicit SwfStreamSource(std::unique_ptr<std::istream> in,
+                           const SwfFilter& filter = {},
+                           std::size_t chunk_bytes = kDefaultChunkBytes);
+
+  [[nodiscard]] std::optional<Job> next() override;
+  // size_hint stays nullopt: the file length is unknown without a full scan.
+
+  /// Counters over the lines consumed SO FAR — totals only once next() has
+  /// returned nullopt. Identical semantics to SwfReadResult's fields.
+  [[nodiscard]] std::size_t lines_total() const noexcept {
+    return lines_total_;
+  }
+  [[nodiscard]] std::size_t lines_parsed() const noexcept {
+    return lines_parsed_;
+  }
+  [[nodiscard]] std::size_t lines_filtered() const noexcept {
+    return lines_filtered_;
+  }
+  [[nodiscard]] std::size_t lines_malformed() const noexcept {
+    return lines_malformed_;
+  }
+  [[nodiscard]] std::uint64_t jobs_emitted() const noexcept { return next_id_; }
+
+  /// True when no line was skipped as malformed (so far).
+  [[nodiscard]] bool clean() const noexcept { return lines_malformed_ == 0; }
+  /// Same format as SwfReadResult::summary, with jobs emitted so far in
+  /// place of the trace size.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  /// Consumes buffered lines until one yields a job or input is exhausted.
+  [[nodiscard]] std::optional<Job> pump();
+  /// Reads the next chunk into chunk_; false at EOF.
+  bool refill();
+
+  std::unique_ptr<std::istream> in_;
+  SwfFilter filter_;
+  std::size_t chunk_bytes_;
+  std::string chunk_;    ///< raw bytes of the current chunk
+  std::size_t pos_ = 0;  ///< cursor into chunk_
+  std::string carry_;    ///< partial line carried across a chunk boundary
+  bool eof_ = false;
+  bool done_ = false;
+  std::uint64_t next_id_ = 0;
+  std::size_t lines_total_ = 0;
+  std::size_t lines_parsed_ = 0;
+  std::size_t lines_filtered_ = 0;
+  std::size_t lines_malformed_ = 0;
+};
+
+}  // namespace distserv::workload

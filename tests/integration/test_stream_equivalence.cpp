@@ -1,0 +1,350 @@
+// The streaming equivalence wall: run_stream must be a bit-identical
+// re-expression of the materialised run() on the same job sequence.
+//
+// The three golden scenarios (plain, fault-injected, degraded-information —
+// the same seeds and configs as test_golden_records.cpp) are each run twice:
+// once materialised (per-job records) and once streaming (TraceSource +
+// StreamOptions::record_sink tapping every record as it resolves). Every
+// per-job field must match bitwise, and the streaming completions must also
+// reproduce the committed fixtures under tests/golden/ directly — so the
+// streaming path is pinned to the exact doubles recorded from the original
+// engine, not merely to whatever run() happens to produce today.
+//
+// On top of the trace adapter, the generator path (GeneratedSource) is
+// proven draw-for-draw identical to Trace::with_arrivals, and the chunked
+// SWF reader (SwfStreamSource) is proven job-for-job identical to read_swf
+// on the same bytes — closing the loop for every JobSource implementation.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/server.hpp"
+#include "dist/bounded_pareto.hpp"
+#include "dist/rng.hpp"
+#include "sim/audit.hpp"
+#include "sim/control_plane.hpp"
+#include "sim/faults.hpp"
+#include "workload/arrival.hpp"
+#include "workload/job_source.hpp"
+#include "workload/swf.hpp"
+#include "workload/swf_stream.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv {
+namespace {
+
+#ifndef DISTSERV_GOLDEN_DIR
+#error "DISTSERV_GOLDEN_DIR must point at tests/golden"
+#endif
+
+constexpr std::size_t kJobs = 4000;
+constexpr std::size_t kHosts = 4;
+
+/// Exactly the golden workload of test_golden_records.cpp: bounded-Pareto
+/// sizes (alpha 1.5, range [1, 1e3]) under Poisson arrivals at load 0.7.
+workload::Trace make_golden_trace(std::uint64_t stream) {
+  dist::Rng rng = dist::Rng(20260805).split(stream);
+  const dist::BoundedPareto sizes_dist(1.5, 1.0, 1e3);
+  std::vector<double> sizes;
+  sizes.reserve(kJobs);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    sizes.push_back(sizes_dist.sample(rng));
+    mean += sizes.back();
+  }
+  mean /= static_cast<double>(kJobs);
+  const double lambda = 0.7 * static_cast<double>(kHosts) / mean;
+  workload::PoissonArrivals arrivals(lambda);
+  return workload::Trace::with_arrivals(sizes, arrivals, rng);
+}
+
+/// Runs `server` in streaming mode over `source`, collecting every record
+/// the sink taps, re-indexed by job id (sinks fire in resolution order).
+std::pair<core::RunResult, std::vector<core::JobRecord>> run_streamed(
+    core::DistributedServer& server, workload::JobSource& source,
+    std::uint64_t seed, std::size_t expected_jobs) {
+  std::vector<core::JobRecord> by_id(expected_jobs);
+  std::vector<bool> seen(expected_jobs, false);
+  core::StreamOptions options;
+  options.record_sink = [&](const core::JobRecord& rec) {
+    ASSERT_LT(rec.id, expected_jobs);
+    ASSERT_FALSE(seen[rec.id]) << "job " << rec.id << " resolved twice";
+    seen[rec.id] = true;
+    by_id[rec.id] = rec;
+  };
+  core::RunResult result = server.run_stream(source, seed, std::move(options));
+  for (std::size_t i = 0; i < expected_jobs; ++i) {
+    EXPECT_TRUE(seen[i]) << "job " << i << " never reached the sink";
+  }
+  return {std::move(result), std::move(by_id)};
+}
+
+/// Bitwise per-job equality between the materialised records and the
+/// sink-tapped streaming records.
+void expect_records_identical(const std::vector<core::JobRecord>& materialised,
+                              const std::vector<core::JobRecord>& streamed) {
+  ASSERT_EQ(materialised.size(), streamed.size());
+  for (std::size_t i = 0; i < materialised.size(); ++i) {
+    const core::JobRecord& m = materialised[i];
+    const core::JobRecord& s = streamed[i];
+    ASSERT_EQ(m.id, s.id) << "job " << i;
+    ASSERT_EQ(m.arrival, s.arrival) << "job " << i;
+    ASSERT_EQ(m.size, s.size) << "job " << i;
+    ASSERT_EQ(m.host, s.host) << "job " << i;
+    ASSERT_EQ(m.start, s.start) << "job " << i;
+    ASSERT_EQ(m.completion, s.completion) << "job " << i;
+    ASSERT_EQ(m.failed, s.failed) << "job " << i;
+    ASSERT_EQ(m.restarts, s.restarts) << "job " << i;
+  }
+}
+
+/// The streaming records must ALSO reproduce the committed golden fixture —
+/// the same hex-float files the materialised engine is pinned to.
+void expect_matches_fixture(const std::string& name,
+                            const std::vector<core::JobRecord>& streamed) {
+  const std::string path = std::string(DISTSERV_GOLDEN_DIR) + "/" + name +
+                           ".txt";
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr) << "missing fixture " << path;
+  std::vector<double> expected;
+  expected.reserve(streamed.size());
+  double v = 0.0;
+  while (std::fscanf(f, "%la", &v) == 1) expected.push_back(v);
+  std::fclose(f);
+  ASSERT_EQ(expected.size(), streamed.size()) << name;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(streamed[i].completion, expected[i])
+        << name << ": streamed job " << i << " completion drifted";
+  }
+}
+
+/// Shared scenario driver: materialised run vs streaming run over a
+/// TraceSource of the same trace, plus the fixture cross-check.
+void check_scenario(core::DistributedServer& server,
+                    const workload::Trace& trace, std::uint64_t seed,
+                    const std::string& fixture) {
+  const core::RunResult materialised = server.run(trace, seed);
+  workload::TraceSource source(trace);
+  const auto [streamed, records] =
+      run_streamed(server, source, seed, trace.size());
+
+  expect_records_identical(materialised.records, records);
+  expect_matches_fixture(fixture, records);
+
+  // Run-level aggregates agree too.
+  EXPECT_TRUE(streamed.records.empty());
+  ASSERT_TRUE(streamed.stream.has_value());
+  EXPECT_EQ(streamed.stream->jobs() + streamed.stream->jobs_failed(),
+            trace.size());
+  EXPECT_EQ(streamed.makespan, materialised.makespan);
+  EXPECT_EQ(streamed.jobs_failed, materialised.jobs_failed);
+  EXPECT_EQ(streamed.interruptions, materialised.interruptions);
+  EXPECT_EQ(streamed.events_executed, materialised.events_executed);
+}
+
+TEST(StreamEquivalence, PlainScenarioBitIdentical) {
+  const workload::Trace trace = make_golden_trace(1);
+  core::LeastWorkLeftPolicy lwl;
+  core::DistributedServer server(kHosts, lwl);
+  check_scenario(server, trace, 11, "plain_lwl_h4");
+}
+
+TEST(StreamEquivalence, FaultScenarioBitIdentical) {
+  const workload::Trace trace = make_golden_trace(2);
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  faults.mtbf = 5000.0;
+  faults.mttr = 100.0;
+  core::ShortestQueuePolicy sq;
+  core::DistributedServer server(kHosts, sq);
+  server.enable_faults(faults, core::RecoveryMode::kResubmit);
+  check_scenario(server, trace, 13, "faults_sq_h4");
+}
+
+TEST(StreamEquivalence, ControlScenarioBitIdentical) {
+  const workload::Trace trace = make_golden_trace(3);
+  sim::ControlPlaneConfig control;
+  control.enabled = true;
+  control.probe_period = 20.0;
+  control.probe_loss = 0.1;
+  control.rpc_timeout = 1.0;
+  control.rpc_loss = 0.05;
+  control.ack_loss = 0.05;
+  control.max_retries = 2;
+  control.backoff_base = 0.5;
+  control.backoff_cap = 4.0;
+  control.staleness_bound = 100.0;
+  core::LeastWorkLeftPolicy lwl;
+  core::DistributedServer server(kHosts, lwl);
+  server.enable_control(control);
+  check_scenario(server, trace, 17, "control_lwl_h4");
+}
+
+TEST(StreamEquivalence, AuditedStreamingRunPassesWithBoundedShadows) {
+  // The bounded-shadow audit (sim::AuditConfig::bounded_shadow) must verify
+  // the same invariants the unbounded shadow map does, on the same run,
+  // without changing a single completion time.
+  const workload::Trace trace = make_golden_trace(1);
+  core::LeastWorkLeftPolicy lwl;
+  core::DistributedServer server(kHosts, lwl);
+  sim::AuditConfig audit;
+  audit.enabled = true;
+  audit.bounded_shadow = true;
+  server.enable_audit(audit);
+  workload::TraceSource source(trace);
+  const auto [result, records] =
+      run_streamed(server, source, 11, trace.size());
+  ASSERT_TRUE(result.audit.has_value());
+  EXPECT_EQ(result.audit->violations_total, 0u)
+      << (result.audit->violations.empty()
+              ? "(unrecorded)"
+              : result.audit->violations.front().detail);
+  expect_matches_fixture("plain_lwl_h4", records);
+}
+
+TEST(StreamEquivalence, GeneratedSourceReplaysWithArrivalsDrawForDraw) {
+  // Rebuild the golden workload's inputs twice from the same RNG state: one
+  // copy materialises through Trace::with_arrivals, the other streams
+  // through GeneratedSource. Every (id, arrival, size) must match bitwise.
+  dist::Rng rng = dist::Rng(20260805).split(1);
+  const dist::BoundedPareto sizes_dist(1.5, 1.0, 1e3);
+  std::vector<double> sizes;
+  sizes.reserve(kJobs);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    sizes.push_back(sizes_dist.sample(rng));
+    mean += sizes.back();
+  }
+  mean /= static_cast<double>(kJobs);
+  const double lambda = 0.7 * static_cast<double>(kHosts) / mean;
+
+  dist::Rng trace_rng = rng;  // fork the post-size-draw state
+  workload::PoissonArrivals trace_arrivals(lambda);
+  const workload::Trace trace =
+      workload::Trace::with_arrivals(sizes, trace_arrivals, trace_rng);
+
+  workload::PoissonArrivals gen_arrivals(lambda);
+  workload::GeneratedSource gen(sizes, gen_arrivals, rng);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    const std::optional<workload::Job> job = gen.next();
+    ASSERT_TRUE(job.has_value()) << "generator exhausted at job " << i;
+    ASSERT_EQ(job->id, trace.jobs()[i].id);
+    ASSERT_EQ(job->arrival, trace.jobs()[i].arrival) << "job " << i;
+    ASSERT_EQ(job->size, trace.jobs()[i].size) << "job " << i;
+  }
+  EXPECT_FALSE(gen.next().has_value());
+  EXPECT_FALSE(gen.next().has_value()) << "exhaustion must be sticky";
+}
+
+TEST(StreamEquivalence, GeneratedSourceRunMatchesGoldenFixture) {
+  // End-to-end: a streaming run over the generator reproduces the committed
+  // plain-scenario fixture — no materialised trace anywhere in the path.
+  dist::Rng rng = dist::Rng(20260805).split(1);
+  const dist::BoundedPareto sizes_dist(1.5, 1.0, 1e3);
+  std::vector<double> sizes;
+  sizes.reserve(kJobs);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    sizes.push_back(sizes_dist.sample(rng));
+    mean += sizes.back();
+  }
+  mean /= static_cast<double>(kJobs);
+  const double lambda = 0.7 * static_cast<double>(kHosts) / mean;
+  workload::PoissonArrivals arrivals(lambda);
+  workload::GeneratedSource gen(sizes, arrivals, rng);
+
+  core::LeastWorkLeftPolicy lwl;
+  core::DistributedServer server(kHosts, lwl);
+  const auto [result, records] = run_streamed(server, gen, 11, kJobs);
+  (void)result;
+  expect_matches_fixture("plain_lwl_h4", records);
+}
+
+TEST(StreamEquivalence, SwfStreamSourceMatchesReadSwfRun) {
+  // Round-trip the golden trace through the SWF writer, then consume the
+  // same bytes twice: materialised via read_swf + run(), streamed via
+  // SwfStreamSource + run_stream(). (write_swf rounds times to 2 decimals,
+  // which both readers see identically.)
+  const workload::Trace golden = make_golden_trace(1);
+  std::ostringstream out;
+  workload::write_swf(out, golden);
+  const std::string swf_text = out.str();
+
+  std::istringstream in(swf_text);
+  const workload::SwfReadResult read = workload::read_swf(in);
+  ASSERT_TRUE(read.clean());
+  ASSERT_EQ(read.trace.size(), kJobs);
+
+  core::LeastWorkLeftPolicy lwl;
+  core::DistributedServer server(kHosts, lwl);
+  const core::RunResult materialised = server.run(read.trace, 11);
+
+  workload::SwfStreamSource source(
+      std::make_unique<std::istringstream>(swf_text));
+  const auto [streamed, records] =
+      run_streamed(server, source, 11, read.trace.size());
+  (void)streamed;
+  expect_records_identical(materialised.records, records);
+
+  // The chunked reader's diagnostics agree with read_swf byte for byte.
+  EXPECT_EQ(source.lines_total(), read.lines_total);
+  EXPECT_EQ(source.lines_parsed(), read.lines_parsed);
+  EXPECT_EQ(source.lines_filtered(), read.lines_filtered);
+  EXPECT_EQ(source.lines_malformed(), read.lines_malformed);
+  EXPECT_EQ(source.jobs_emitted(), read.trace.size());
+  EXPECT_EQ(source.summary(), read.summary());
+}
+
+TEST(StreamEquivalence, StreamSummaryTracksExactAggregates) {
+  // Welford means over the streamed records equal the exact per-record
+  // aggregates to within floating-point roundoff, and the GK p50/p95/p99
+  // respect the epsilon rank bound against the exact sorted slowdowns.
+  const workload::Trace trace = make_golden_trace(1);
+  core::LeastWorkLeftPolicy lwl;
+  core::DistributedServer server(kHosts, lwl);
+  const core::RunResult materialised = server.run(trace, 11);
+  workload::TraceSource source(trace);
+  const auto [streamed, records] =
+      run_streamed(server, source, 11, trace.size());
+  (void)records;
+  const core::StreamSummary& s = *streamed.stream;
+
+  std::vector<double> slowdowns;
+  slowdowns.reserve(materialised.records.size());
+  double sum = 0.0;
+  for (const core::JobRecord& r : materialised.records) {
+    slowdowns.push_back(r.slowdown());
+    sum += r.slowdown();
+  }
+  const double exact_mean = sum / static_cast<double>(slowdowns.size());
+  EXPECT_NEAR(s.slowdown().mean(), exact_mean,
+              1e-12 * std::abs(exact_mean) + 1e-15);
+
+  std::sort(slowdowns.begin(), slowdowns.end());
+  const double n = static_cast<double>(slowdowns.size());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double v = s.slowdown_quantile(q);
+    // Rank interval of v in the sorted sample must fall within eps*n of q*n.
+    const auto lo = std::lower_bound(slowdowns.begin(), slowdowns.end(), v);
+    const auto hi = std::upper_bound(slowdowns.begin(), slowdowns.end(), v);
+    const double rank_lo = static_cast<double>(lo - slowdowns.begin());
+    const double rank_hi = static_cast<double>(hi - slowdowns.begin());
+    const double target = q * n;
+    const double tol = s.sketch_eps() * n + 1.0;
+    EXPECT_LE(rank_lo - tol, target) << "q=" << q;
+    EXPECT_GE(rank_hi + tol, target) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace distserv

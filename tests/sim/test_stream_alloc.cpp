@@ -1,0 +1,194 @@
+// Bounded-memory proof for streaming runs: the allocator-visible footprint
+// of run_stream must plateau — growing the job count 10x must NOT grow peak
+// live heap (beyond the sketch's logarithmic creep), and total allocation
+// traffic must stay far below one allocation per job.
+//
+// Like tests/sim/test_no_alloc.cpp, this file must stay in its own test
+// executable: it replaces the global operator new/delete with counting
+// versions that track LIVE bytes via malloc_usable_size. Peak-live (not
+// allocation count) is the right metric here — host queues are deques whose
+// block churn legitimately allocates and frees throughout the run.
+#include <malloc.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "core/policies/least_work_left.hpp"
+#include "core/server.hpp"
+#include "dist/bounded_pareto.hpp"
+#include "dist/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/job_source.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::int64_t> g_live_bytes{0};
+std::atomic<std::int64_t> g_peak_live{0};
+
+void note_alloc(void* p) noexcept {
+  if (p == nullptr) return;
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const auto size = static_cast<std::int64_t>(malloc_usable_size(p));
+  const std::int64_t live =
+      g_live_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+  std::int64_t peak = g_peak_live.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_live.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void note_free(void* p) noexcept {
+  if (p == nullptr) return;
+  const auto size = static_cast<std::int64_t>(malloc_usable_size(p));
+  g_live_bytes.fetch_sub(size, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// GCC's heuristic cannot see that these replacements allocate with malloc,
+// so it flags every inlined delete as mismatched with the replaced new.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  note_alloc(p);
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  note_alloc(p);
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size);
+  note_alloc(p);
+  return p;
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size);
+  note_alloc(p);
+  return p;
+}
+
+void operator delete(void* p) noexcept {
+  note_free(p);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  note_free(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  note_free(p);
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+namespace distserv {
+namespace {
+
+// Sanitizer and debug builds pay 10-100x per event; keep their job counts
+// small (the plateau property is scale-free, the ratio is what matters).
+#if defined(NDEBUG) && !defined(__SANITIZE_ADDRESS__) && \
+    !defined(__SANITIZE_THREAD__)
+constexpr std::uint64_t kSmallJobs = 1000000;
+#else
+constexpr std::uint64_t kSmallJobs = 100000;
+#endif
+constexpr std::uint64_t kLargeJobs = 10 * kSmallJobs;
+
+struct RunFootprint {
+  std::int64_t peak_live = 0;     ///< bytes above the pre-run baseline
+  std::uint64_t allocations = 0;  ///< total operator-new calls in the run
+};
+
+/// One streaming run of `jobs` synthetic bounded-Pareto jobs at load 0.7 on
+/// 4 hosts under Least-Work-Left, measured against the pre-run baseline.
+RunFootprint measure_stream_run(std::uint64_t jobs) {
+  core::LeastWorkLeftPolicy lwl;
+  core::DistributedServer server(4, lwl);
+  const dist::BoundedPareto sizes(1.5, 1.0, 1e3);
+  const double lambda = 0.7 * 4.0 / sizes.mean();
+  workload::PoissonArrivals arrivals(lambda);
+  dist::Rng rng = dist::Rng(1).split(1);
+  workload::SyntheticSource source(jobs, sizes, arrivals, rng);
+  core::StreamOptions options;
+  // A coarser sketch than the default keeps the logarithmic creep well
+  // inside the plateau slack asserted below.
+  options.sketch_eps = 0.01;
+
+  const std::int64_t baseline = g_live_bytes.load();
+  g_peak_live.store(baseline);
+  const std::uint64_t allocs_before = g_allocations.load();
+
+  const core::RunResult result =
+      server.run_stream(source, /*seed=*/1, std::move(options));
+  EXPECT_EQ(result.stream->jobs(), jobs);
+
+  RunFootprint fp;
+  fp.peak_live = g_peak_live.load() - baseline;
+  fp.allocations = g_allocations.load() - allocs_before;
+  return fp;
+}
+
+TEST(StreamAlloc, PeakLiveHeapPlateausAcrossA10xJobCountIncrease) {
+  const RunFootprint small = measure_stream_run(kSmallJobs);
+  const RunFootprint large = measure_stream_run(kLargeJobs);
+
+  // The plateau: 10x the jobs, same peak live heap up to the GK summary's
+  // logarithmic growth and container-capacity rounding.
+  constexpr std::int64_t kSlackBytes = 512 * 1024;
+  EXPECT_LT(large.peak_live, small.peak_live + kSlackBytes)
+      << "peak live heap grew from " << small.peak_live << " to "
+      << large.peak_live << " bytes over a 10x longer stream";
+
+  // Nowhere near materialisation: a Trace alone would hold 24 bytes/job.
+  const std::int64_t materialised_floor =
+      static_cast<std::int64_t>(24 * kLargeJobs);
+  EXPECT_LT(large.peak_live, materialised_floor / 10)
+      << "streaming footprint is within 10x of a materialised trace";
+
+  // Allocation traffic is deque block churn plus sketch growth — a small
+  // fraction of one allocation per job, not O(jobs) record appends.
+  EXPECT_LT(large.allocations, kLargeJobs / 8)
+      << large.allocations << " allocations for " << kLargeJobs << " jobs";
+}
+
+TEST(StreamAlloc, CountingAllocatorIsLive) {
+  // Meta-check: if the counting operator new/delete were not installed the
+  // plateau test would pass vacuously.
+  const std::uint64_t allocs_before = g_allocations.load();
+  const std::int64_t live_before = g_live_bytes.load();
+  auto* p = new double[64];
+  EXPECT_GT(g_allocations.load(), allocs_before);
+  EXPECT_GE(g_live_bytes.load(),
+            live_before + static_cast<std::int64_t>(64 * sizeof(double)));
+  delete[] p;
+  EXPECT_EQ(g_live_bytes.load(), live_before);
+}
+
+}  // namespace
+}  // namespace distserv

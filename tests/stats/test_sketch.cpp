@@ -1,0 +1,203 @@
+// Streaming-quantile accuracy wall: the GK sketch must honor its
+// deterministic epsilon rank bound on draws from every service-time shape
+// the simulator uses — including the heavy-tailed bounded Pareto the paper
+// is built around — and the t-digest must deliver tail-accurate estimates
+// on the same data. "Honoring the bound" is checked against ground truth:
+// the rank interval of the returned value in the fully-sorted sample must
+// come within eps*n (+1 for nearest-rank rounding) of the target rank q*n.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/bounded_pareto.hpp"
+#include "dist/distribution.hpp"
+#include "dist/exponential.hpp"
+#include "dist/hyperexp.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/rng.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+#include "stats/gk_quantile.hpp"
+#include "stats/tdigest.hpp"
+
+namespace distserv::stats {
+namespace {
+
+constexpr double kQuantiles[] = {0.01, 0.05, 0.25, 0.5,  0.75,
+                                 0.9,  0.95, 0.99, 0.999};
+
+struct Shape {
+  std::string name;
+  std::shared_ptr<const dist::Distribution> dist;
+};
+
+std::vector<Shape> shapes() {
+  std::vector<Shape> out;
+  out.push_back({"exponential", std::make_shared<dist::Exponential>(1.0)});
+  out.push_back({"bounded-pareto-1.5",
+                 std::make_shared<dist::BoundedPareto>(1.5, 1.0, 1e3)});
+  // Alpha near 1: the heaviest tail the paper's workloads use.
+  out.push_back({"bounded-pareto-1.05",
+                 std::make_shared<dist::BoundedPareto>(1.05, 1.0, 1e6)});
+  out.push_back({"lognormal", std::make_shared<dist::Lognormal>(0.0, 1.5)});
+  out.push_back({"uniform", std::make_shared<dist::Uniform>(0.5, 2.0)});
+  out.push_back({"weibull", std::make_shared<dist::Weibull>(0.5, 1.0)});
+  out.push_back({"hyperexp",
+                 std::make_shared<dist::Hyperexponential>(
+                     dist::Hyperexponential::fit_mean_scv(1.0, 9.0))});
+  return out;
+}
+
+std::vector<double> draw(const dist::Distribution& d, std::size_t n,
+                         std::uint64_t seed) {
+  dist::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(d.sample(rng));
+  return xs;
+}
+
+/// Asserts `value`'s rank interval in the sorted sample intersects
+/// [q*n - tol, q*n + tol].
+void expect_rank_within(const std::vector<double>& sorted, double value,
+                        double q, double tol, const std::string& context) {
+  const double n = static_cast<double>(sorted.size());
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), value);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), value);
+  const double rank_lo = static_cast<double>(lo - sorted.begin());
+  const double rank_hi = static_cast<double>(hi - sorted.begin());
+  const double target = q * n;
+  EXPECT_LE(rank_lo - tol, target) << context << " q=" << q;
+  EXPECT_GE(rank_hi + tol, target) << context << " q=" << q;
+}
+
+TEST(GkQuantile, EpsilonRankBoundHoldsOnEveryWorkloadShape) {
+  constexpr std::size_t kN = 20000;
+  for (const Shape& shape : shapes()) {
+    const std::vector<double> xs = draw(*shape.dist, kN, 20260808);
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double eps : {0.01, 0.001}) {
+      GkQuantile sketch(eps);
+      for (const double x : xs) sketch.add(x);
+      ASSERT_EQ(sketch.count(), kN);
+      const double tol = eps * static_cast<double>(kN) + 1.0;
+      for (const double q : kQuantiles) {
+        expect_rank_within(sorted, sketch.quantile(q), q, tol,
+                           shape.name + " eps=" + std::to_string(eps));
+      }
+      // The extreme ends are exact.
+      EXPECT_EQ(sketch.quantile(0.0), sorted.front()) << shape.name;
+      EXPECT_EQ(sketch.quantile(1.0), sorted.back()) << shape.name;
+    }
+  }
+}
+
+TEST(GkQuantile, IsDeterministic) {
+  const std::vector<double> xs =
+      draw(dist::BoundedPareto(1.5, 1.0, 1e3), 5000, 7);
+  GkQuantile a(1e-3), b(1e-3);
+  for (const double x : xs) a.add(x);
+  for (const double x : xs) b.add(x);
+  for (const double q : kQuantiles) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(a.summary_size(), b.summary_size());
+}
+
+TEST(GkQuantile, HandlesConstantAndTinyStreams) {
+  GkQuantile one(0.01);
+  one.add(42.0);
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_EQ(one.quantile(0.0), 42.0);
+  EXPECT_EQ(one.quantile(0.5), 42.0);
+  EXPECT_EQ(one.quantile(1.0), 42.0);
+
+  GkQuantile constant(0.01);
+  for (int i = 0; i < 10000; ++i) constant.add(3.25);
+  for (const double q : kQuantiles) EXPECT_EQ(constant.quantile(q), 3.25);
+}
+
+TEST(GkQuantile, SummaryGrowsLogarithmicallyNotLinearly) {
+  // The memory-boundedness claim behind billion-job runs: going from 10^5
+  // to 10^6 observations must grow the summary by at most the log factor,
+  // nowhere near the 10x of exact storage.
+  const dist::BoundedPareto d(1.5, 1.0, 1e3);
+  dist::Rng rng(99);
+  GkQuantile sketch(1e-3);
+  for (std::size_t i = 0; i < 100000; ++i) sketch.add(d.sample(rng));
+  const std::size_t at_1e5 = sketch.summary_size();
+  for (std::size_t i = 0; i < 900000; ++i) sketch.add(d.sample(rng));
+  const std::size_t at_1e6 = sketch.summary_size();
+  EXPECT_LE(at_1e6, 2 * at_1e5 + 64)
+      << "summary grew from " << at_1e5 << " to " << at_1e6;
+  // And the bound still holds after the growth stretch.
+  EXPECT_EQ(sketch.count(), 1000000u);
+}
+
+TEST(GkQuantile, SortedAndReversedInputsMeetTheSameBound) {
+  // Adversarial insert orders: monotone streams are the classic worst case
+  // for naive summaries.
+  constexpr std::size_t kN = 30000;
+  std::vector<double> sorted;
+  sorted.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    sorted.push_back(static_cast<double>(i));
+  }
+  for (const bool reversed : {false, true}) {
+    GkQuantile sketch(0.005);
+    if (reversed) {
+      for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+        sketch.add(*it);
+      }
+    } else {
+      for (const double x : sorted) sketch.add(x);
+    }
+    const double tol = 0.005 * static_cast<double>(kN) + 1.0;
+    for (const double q : kQuantiles) {
+      expect_rank_within(sorted, sketch.quantile(q), q, tol,
+                         reversed ? "reversed" : "sorted");
+    }
+  }
+}
+
+TEST(TDigest, TrackedQuantilesStayWithinRankTolerance) {
+  // No deterministic worst case exists for the t-digest, so the check is
+  // empirical: 1% of n in the middle, and exact min/max at the ends.
+  constexpr std::size_t kN = 20000;
+  for (const Shape& shape : shapes()) {
+    const std::vector<double> xs = draw(*shape.dist, kN, 4242);
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    TDigest digest(200.0);
+    for (const double x : xs) digest.add(x);
+    ASSERT_EQ(digest.count(), kN);
+    const double tol = 0.01 * static_cast<double>(kN) + 1.0;
+    for (const double q : kQuantiles) {
+      expect_rank_within(sorted, digest.quantile(q), q, tol, shape.name);
+    }
+    EXPECT_EQ(digest.quantile(0.0), sorted.front()) << shape.name;
+    EXPECT_EQ(digest.quantile(1.0), sorted.back()) << shape.name;
+    EXPECT_LE(digest.centroid_count(), 512u) << shape.name;
+  }
+}
+
+TEST(TDigest, QuantileIsMonotoneInQ) {
+  const std::vector<double> xs =
+      draw(dist::BoundedPareto(1.05, 1.0, 1e6), 20000, 11);
+  TDigest digest(200.0);
+  for (const double x : xs) digest.add(x);
+  double prev = digest.quantile(0.0);
+  for (double q = 0.05; q <= 1.0001; q += 0.05) {
+    const double v = digest.quantile(std::min(q, 1.0));
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace distserv::stats

@@ -1,0 +1,156 @@
+// JobSource contract tests: every implementation must emit sequential ids,
+// nondecreasing arrivals, positive finite sizes, and stay exhausted after
+// the first nullopt. (The cross-engine bit-identity proofs live in
+// tests/integration/test_stream_equivalence.cpp.)
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/bounded_pareto.hpp"
+#include "dist/exponential.hpp"
+#include "dist/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/job_source.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv::workload {
+namespace {
+
+/// Drains `source`, asserting the JobSource contract along the way.
+std::vector<Job> drain(JobSource& source) {
+  std::vector<Job> jobs;
+  double last_arrival = 0.0;
+  while (const std::optional<Job> job = source.next()) {
+    EXPECT_EQ(job->id, jobs.size()) << "ids must be sequential from 0";
+    EXPECT_GE(job->arrival, last_arrival) << "arrivals must be nondecreasing";
+    EXPECT_GT(job->size, 0.0);
+    EXPECT_TRUE(std::isfinite(job->size));
+    EXPECT_TRUE(std::isfinite(job->arrival));
+    last_arrival = job->arrival;
+    jobs.push_back(*job);
+  }
+  EXPECT_FALSE(source.next().has_value()) << "exhaustion must be sticky";
+  return jobs;
+}
+
+Trace small_trace() {
+  std::vector<Job> jobs;
+  jobs.push_back({0, 0.0, 2.0});
+  jobs.push_back({1, 1.5, 1.0});
+  jobs.push_back({2, 1.5, 4.0});
+  jobs.push_back({3, 7.0, 0.5});
+  return Trace(std::move(jobs));
+}
+
+TEST(TraceSource, ReplaysTraceInOrder) {
+  const Trace trace = small_trace();
+  TraceSource source(trace);
+  ASSERT_TRUE(source.size_hint().has_value());
+  EXPECT_EQ(*source.size_hint(), trace.size());
+
+  const std::vector<Job> jobs = drain(source);
+  ASSERT_EQ(jobs.size(), trace.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, trace.jobs()[i].id);
+    EXPECT_EQ(jobs[i].arrival, trace.jobs()[i].arrival);
+    EXPECT_EQ(jobs[i].size, trace.jobs()[i].size);
+  }
+}
+
+TEST(TraceSource, EmptyTraceIsImmediatelyExhausted) {
+  const Trace trace;
+  TraceSource source(trace);
+  EXPECT_EQ(*source.size_hint(), 0u);
+  EXPECT_FALSE(source.next().has_value());
+  EXPECT_FALSE(source.next().has_value());
+}
+
+TEST(GeneratedSource, MatchesWithArrivalsBitForBit) {
+  const std::vector<double> sizes = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const double lambda = 0.8;
+
+  dist::Rng trace_rng(123);
+  PoissonArrivals trace_arrivals(lambda);
+  const Trace trace = Trace::with_arrivals(sizes, trace_arrivals, trace_rng);
+
+  dist::Rng gen_rng(123);
+  PoissonArrivals gen_arrivals(lambda);
+  GeneratedSource source(sizes, gen_arrivals, gen_rng);
+  EXPECT_EQ(*source.size_hint(), sizes.size());
+
+  const std::vector<Job> jobs = drain(source);
+  ASSERT_EQ(jobs.size(), trace.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].arrival, trace.jobs()[i].arrival) << "job " << i;
+    EXPECT_EQ(jobs[i].size, trace.jobs()[i].size) << "job " << i;
+  }
+  // The RNGs consumed exactly the same draws: their next outputs agree.
+  EXPECT_EQ(trace_rng.next(), gen_rng.next());
+}
+
+TEST(SyntheticSource, EmitsExactlyCountContractConformingJobs) {
+  const dist::BoundedPareto sizes(1.5, 1.0, 1e3);
+  PoissonArrivals arrivals(2.0);
+  dist::Rng rng(7);
+  constexpr std::uint64_t kCount = 5000;
+  SyntheticSource source(kCount, sizes, arrivals, rng);
+  EXPECT_EQ(*source.size_hint(), kCount);
+
+  const std::vector<Job> jobs = drain(source);
+  EXPECT_EQ(jobs.size(), kCount);
+  for (const Job& job : jobs) {
+    EXPECT_GE(job.size, 1.0);  // bounded-Pareto support
+    EXPECT_LE(job.size, 1e3);
+  }
+}
+
+TEST(SyntheticSource, IsDeterministicInTheSeed) {
+  const dist::Exponential sizes(1.0);
+  constexpr std::uint64_t kCount = 200;
+  std::vector<Job> first, second;
+  {
+    PoissonArrivals arrivals(1.0);
+    dist::Rng rng(99);
+    SyntheticSource source(kCount, sizes, arrivals, rng);
+    first = drain(source);
+  }
+  {
+    PoissonArrivals arrivals(1.0);
+    dist::Rng rng(99);
+    SyntheticSource source(kCount, sizes, arrivals, rng);
+    second = drain(source);
+  }
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].arrival, second[i].arrival);
+    EXPECT_EQ(first[i].size, second[i].size);
+  }
+}
+
+TEST(SyntheticSource, DrawOrderIsGapThenSize) {
+  // Pin the per-job draw order (one gap, then one size) so the generator
+  // stays replayable against independently-written consumers.
+  PoissonArrivals arrivals(1.0);
+  const dist::Exponential sizes(1.0);
+  dist::Rng rng(42);
+  SyntheticSource source(3, sizes, arrivals, rng);
+
+  dist::Rng expect_rng(42);
+  PoissonArrivals expect_arrivals(1.0);
+  double clock = 0.0;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    clock += expect_arrivals.next_gap(expect_rng);
+    const double size = sizes.sample(expect_rng);
+    const std::optional<Job> job = source.next();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->id, i);
+    EXPECT_EQ(job->arrival, clock);
+    EXPECT_EQ(job->size, size);
+  }
+  EXPECT_FALSE(source.next().has_value());
+}
+
+}  // namespace
+}  // namespace distserv::workload

@@ -1,0 +1,248 @@
+// Chunk-boundary fuzz wall for the streaming SWF reader.
+//
+// SwfStreamSource must behave as if the file had been read line-by-line:
+// for ANY byte stream and ANY chunk size — down to one byte per read, so
+// every record is split across chunk boundaries — the emitted jobs and the
+// four diagnostic counters must equal read_swf's on the same bytes. The
+// fuzz section generates seeded random documents mixing valid records,
+// malformed lines, comments, blanks, CRLF endings, and missing trailing
+// newlines, then sweeps chunk sizes over the same document.
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/swf.hpp"
+#include "workload/swf_stream.hpp"
+
+namespace distserv::workload {
+namespace {
+
+constexpr std::size_t kChunkSizes[] = {1, 2, 3, 7, 16, 64, 4096};
+
+std::unique_ptr<std::istream> text_stream(const std::string& text) {
+  return std::make_unique<std::istringstream>(text);
+}
+
+/// Everything one drained SwfStreamSource produced.
+struct Drained {
+  std::vector<Job> jobs;
+  std::size_t lines_total = 0;
+  std::size_t lines_parsed = 0;
+  std::size_t lines_filtered = 0;
+  std::size_t lines_malformed = 0;
+  bool clean = true;
+  std::string summary;
+};
+
+/// Drains a SwfStreamSource built over `text` with the given chunk size.
+Drained drain(const std::string& text, std::size_t chunk,
+              const SwfFilter& filter = {}) {
+  SwfStreamSource source(text_stream(text), filter, chunk);
+  Drained out;
+  while (const std::optional<Job> job = source.next()) {
+    out.jobs.push_back(*job);
+  }
+  EXPECT_FALSE(source.next().has_value()) << "exhaustion must be sticky";
+  out.lines_total = source.lines_total();
+  out.lines_parsed = source.lines_parsed();
+  out.lines_filtered = source.lines_filtered();
+  out.lines_malformed = source.lines_malformed();
+  out.clean = source.clean();
+  out.summary = source.summary();
+  EXPECT_EQ(source.jobs_emitted(), out.jobs.size());
+  return out;
+}
+
+/// Asserts the streaming reader over `text` matches read_swf on every chunk
+/// size: same jobs (arrival/size in order), same counters, same summary.
+void expect_matches_read_swf(const std::string& text,
+                             const SwfFilter& filter = {}) {
+  std::istringstream in(text);
+  const SwfReadResult expected = read_swf(in, filter);
+  for (const std::size_t chunk : kChunkSizes) {
+    SCOPED_TRACE("chunk=" + std::to_string(chunk));
+    const Drained got = drain(text, chunk, filter);
+    ASSERT_EQ(got.jobs.size(), expected.trace.size());
+    for (std::size_t i = 0; i < got.jobs.size(); ++i) {
+      // read_swf sorts by (arrival, id); the generated documents emit
+      // nondecreasing submit times, so the orders coincide exactly.
+      EXPECT_EQ(got.jobs[i].id, expected.trace.jobs()[i].id) << "job " << i;
+      EXPECT_EQ(got.jobs[i].arrival, expected.trace.jobs()[i].arrival)
+          << "job " << i;
+      EXPECT_EQ(got.jobs[i].size, expected.trace.jobs()[i].size)
+          << "job " << i;
+    }
+    EXPECT_EQ(got.lines_total, expected.lines_total);
+    EXPECT_EQ(got.lines_parsed, expected.lines_parsed);
+    EXPECT_EQ(got.lines_filtered, expected.lines_filtered);
+    EXPECT_EQ(got.lines_malformed, expected.lines_malformed);
+    EXPECT_EQ(got.clean, expected.clean());
+    EXPECT_EQ(got.summary, expected.summary());
+  }
+}
+
+/// An 18-field SWF record line (no terminator).
+std::string record(double submit, double runtime, long long procs = 8,
+                   long long status = 1) {
+  std::ostringstream out;
+  out << "1 " << submit << " 0 " << runtime << " " << procs
+      << " -1 -1 " << procs << " -1 -1 " << status
+      << " 1 -1 -1 -1 -1 -1 -1";
+  return out.str();
+}
+
+TEST(SwfStream, HandcraftedDocumentAcrossAllChunkSizes) {
+  const std::string text =
+      "; Computer: test cluster\n"
+      ";\n"
+      "\n"
+      "   \n" +
+      record(0.0, 10.0) + "\n" +
+      record(1.5, 0.0) + "\n" +      // runtime 0: filtered by default
+      "garbage line\n" +
+      "1 2 3\n" +                    // short: malformed
+      record(3.0, 2.25) + "\r\n" +   // CRLF
+      "1 x 0 5 8 -1 -1 8 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n" +  // bad submit
+      record(9.0, 1.0);              // no trailing newline
+  expect_matches_read_swf(text);
+
+  std::istringstream in(text);
+  const SwfReadResult expected = read_swf(in);
+  EXPECT_EQ(expected.trace.size(), 3u);
+  EXPECT_EQ(expected.lines_malformed, 3u);
+  EXPECT_EQ(expected.lines_filtered, 1u);
+}
+
+TEST(SwfStream, EmptyInput) {
+  for (const std::size_t chunk : kChunkSizes) {
+    SwfStreamSource source(text_stream(""), {}, chunk);
+    EXPECT_FALSE(source.next().has_value());
+    EXPECT_FALSE(source.next().has_value());
+    EXPECT_EQ(source.lines_total(), 0u);
+    EXPECT_EQ(source.jobs_emitted(), 0u);
+    EXPECT_TRUE(source.clean());
+  }
+  expect_matches_read_swf("");
+}
+
+TEST(SwfStream, CommentsAndBlanksOnly) {
+  expect_matches_read_swf("; header only\n;\n\n\n; trailing\n");
+  expect_matches_read_swf(";no newline at end");
+}
+
+TEST(SwfStream, SeventeenFieldLineIsMalformed) {
+  // One field short of the 18 the format requires.
+  const std::string line = "1 0 0 5 8 -1 -1 8 -1 -1 1 1 -1 -1 -1 -1 -1";
+  expect_matches_read_swf(line + "\n");
+  std::istringstream in(line + "\n");
+  EXPECT_EQ(read_swf(in).lines_malformed, 1u);
+}
+
+TEST(SwfStream, EofMidRecordStillEmitsTheFinalJob) {
+  // The final record has no terminator: the carry buffer must be flushed
+  // and classified at EOF, exactly as getline treats an unterminated line.
+  const std::string text = record(0.0, 1.0) + "\n" + record(2.0, 3.0);
+  for (const std::size_t chunk : kChunkSizes) {
+    const Drained got = drain(text, chunk);
+    ASSERT_EQ(got.jobs.size(), 2u);
+    EXPECT_EQ(got.jobs[1].arrival, 2.0);
+    EXPECT_EQ(got.jobs[1].size, 3.0);
+    EXPECT_EQ(got.lines_total, 2u);
+  }
+  expect_matches_read_swf(text);
+  // A trailing newline must NOT add a phantom empty line.
+  expect_matches_read_swf(text + "\n");
+}
+
+TEST(SwfStream, CrlfEverywhere) {
+  const std::string text = "; header\r\n" + record(0.0, 1.0) + "\r\n" +
+                           record(1.0, 2.0) + "\r\n";
+  expect_matches_read_swf(text);
+  std::istringstream in(text);
+  EXPECT_EQ(read_swf(in).trace.size(), 2u);
+}
+
+TEST(SwfStream, ProcessorFilterAppliesIdentically) {
+  const std::string text = record(0.0, 1.0, 8) + "\n" +
+                           record(1.0, 2.0, 4) + "\n" +
+                           record(2.0, 3.0, 8) + "\n";
+  SwfFilter filter;
+  filter.processors = 8;
+  expect_matches_read_swf(text, filter);
+  std::istringstream in(text);
+  const SwfReadResult expected = read_swf(in, filter);
+  EXPECT_EQ(expected.trace.size(), 2u);
+  EXPECT_EQ(expected.lines_filtered, 1u);
+}
+
+TEST(SwfStream, CompletedOnlyFilterAppliesIdentically) {
+  const std::string text = record(0.0, 1.0, 8, 1) + "\n" +
+                           record(1.0, 2.0, 8, 0) + "\n" +
+                           record(2.0, 3.0, 8, 5) + "\n";
+  SwfFilter filter;
+  filter.completed_only = true;
+  expect_matches_read_swf(text, filter);
+}
+
+TEST(SwfStream, FuzzRandomDocumentsAcrossChunkSizes) {
+  // 40 seeded documents x 7 chunk sizes, each cross-checked line-for-line
+  // against read_swf. Line mix: valid records (nondecreasing submit),
+  // zero-runtime records, short lines, corrupt fields, comments, blanks,
+  // random CRLF, and a 50% chance of a missing final newline.
+  std::mt19937 gen(20260808);
+  std::uniform_int_distribution<int> line_kind(0, 9);
+  std::uniform_int_distribution<int> line_count(0, 60);
+  std::uniform_real_distribution<double> gap(0.0, 50.0);
+  std::uniform_real_distribution<double> runtime(0.0, 1e4);
+  std::bernoulli_distribution crlf(0.2);
+  std::bernoulli_distribution drop_final_newline(0.5);
+
+  for (int doc = 0; doc < 40; ++doc) {
+    SCOPED_TRACE("doc=" + std::to_string(doc));
+    std::string text;
+    double submit = 0.0;
+    const int lines = line_count(gen);
+    for (int i = 0; i < lines; ++i) {
+      switch (line_kind(gen)) {
+        case 0:
+          text += "; comment " + std::to_string(i);
+          break;
+        case 1:
+          text += "";  // blank line
+          break;
+        case 2:
+          text += "1 2 3 4";  // short
+          break;
+        case 3:
+          text += "1 bogus 0 5 8 -1 -1 8 -1 -1 1 1 -1 -1 -1 -1 -1 -1";
+          break;
+        case 4:
+          submit += gap(gen);
+          text += record(submit, 0.0);  // filtered (zero runtime)
+          break;
+        case 5:
+          submit += gap(gen);
+          text += record(submit, -3.0);  // corrupt: negative runtime
+          break;
+        default:
+          submit += gap(gen);
+          text += record(submit, runtime(gen) + 0.5);
+          break;
+      }
+      text += crlf(gen) ? "\r\n" : "\n";
+    }
+    if (!text.empty() && drop_final_newline(gen)) {
+      text.pop_back();
+      if (!text.empty() && text.back() == '\r') text.pop_back();
+    }
+    expect_matches_read_swf(text);
+  }
+}
+
+}  // namespace
+}  // namespace distserv::workload
