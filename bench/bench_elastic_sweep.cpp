@@ -1,0 +1,156 @@
+// Elastic sweep — the cost-of-capacity vs slowdown frontier.
+//
+// For each MMPP2 burst factor, runs every tracked policy twice on the same
+// heterogeneous fleet and trace: once with the fleet fixed (autoscaler off)
+// and once elastic (hysteresis autoscaler, sim/autoscaler.hpp). Three
+// panels over the burst-factor axis:
+//
+//   * mean slowdown, fixed fleet     — the paper's metric, baseline;
+//   * mean slowdown, elastic fleet   — what hysteresis scaling costs;
+//   * host-hours saved (%)           — 1 - powered/total host-time, what
+//                                      scaling buys.
+//
+// Expected shape: savings grow with burstiness (the calm valleys between
+// bursts are where capacity is released) at a bounded slowdown premium —
+// the hysteresis band plus the warm-up delay keep thrash out of the burst
+// onsets. The fleet defaults to two capacity classes (half 1x, half 2x
+// hosts) so SITA-class has real classes to split over; --speeds overrides.
+//
+// Extra flags: --hosts N (fleet size, 16), --load R (system load, 0.45),
+// --bursts a,b,c (MMPP2 burst ratios, 2,5,10,30) plus the common elastic
+// set (--speeds, --scale-up, --scale-down, --scale-period, --warmup,
+// --min-hosts). The autoscaler knobs default to the hysteresis band
+// 0.75/0.35 with the sampling period and warm-up delay scaled to the
+// workload's mean job size.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/math.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  const auto opts = bench::BenchOptions::parse(
+      argc, argv, "c90", {"hosts", "load", "bursts"},
+      /*sweeps_probe_period=*/false, /*supports_elastic=*/true);
+  const util::Cli cli(argc, argv);
+  std::size_t hosts = 16;
+  double rho = 0.45;
+  std::vector<double> bursts;
+  try {
+    hosts = static_cast<std::size_t>(cli.get_int_in("hosts", 16, 2, 100000));
+    rho = cli.get_double_in("load", 0.45, 0.01, 0.99);
+    if (opts.min_hosts > hosts) {
+      throw util::CliError("option --min-hosts: " +
+                           std::to_string(opts.min_hosts) +
+                           " exceeds the fleet size (--hosts " +
+                           std::to_string(hosts) + ")");
+    }
+    for (const auto part : util::split(cli.get_string("bursts", "2,5,10,30"),
+                                       ',')) {
+      const std::string token{util::trim(part)};
+      if (token.empty()) continue;
+      double ratio = 0.0;
+      std::size_t used = 0;
+      try {
+        ratio = std::stod(token, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used != token.size() || !(ratio >= 1.0) || !(ratio <= 1e6)) {
+        throw util::CliError("option --bursts: '" + token +
+                             "' is not a ratio in [1, 1e6]");
+      }
+      bursts.push_back(ratio);
+    }
+    if (bursts.empty()) {
+      throw util::CliError("option --bursts: names no burst ratios");
+    }
+  } catch (const util::CliError& e) {
+    std::cerr << cli.program() << ": " << e.what() << "\n";
+    return 2;
+  }
+  bench::print_header(
+      "Elastic sweep: slowdown and host-hours saved vs burst factor, " +
+          std::to_string(hosts) + " hosts at load " + util::format_sig(rho, 2),
+      "Expected shape: host-hours saved grows with burstiness (calm valleys "
+      "release capacity) at a bounded slowdown premium over the fixed fleet.",
+      opts);
+
+  // The autoscaler's clocks live on the service-time scale: sample about
+  // once per mean job, warm up in half of one.
+  const workload::WorkloadSpec& spec = workload::find_workload(opts.workload);
+  const std::vector<double> sizes =
+      workload::make_sizes(spec, opts.seed, opts.jobs);
+  const double mean_size =
+      util::compensated_sum(sizes) / static_cast<double>(sizes.size());
+
+  core::ExperimentConfig base = opts.experiment_config(hosts);
+  base.arrivals = core::ArrivalKind::kBursty;
+  if (base.host_speeds.empty()) {
+    // Two contiguous capacity classes: the slow half and a 2x fast half.
+    base.host_speeds.assign(hosts, 1.0);
+    for (std::size_t h = hosts / 2; h < hosts; ++h) base.host_speeds[h] = 2.0;
+  }
+  if (!base.autoscaler.enabled) {
+    base.autoscaler.enabled = true;
+    base.autoscaler.check_period = mean_size;
+    base.autoscaler.warmup_delay = 0.5 * mean_size;
+    base.autoscaler.min_hosts = std::max<std::size_t>(1, hosts / 8);
+    // Burst onsets need capacity back fast: a 2-sample window halves the
+    // reaction latency and a proportional step ramps the whole fleet in a
+    // few decisions instead of one host per window.
+    base.autoscaler.window = 2;
+    base.autoscaler.scale_step = std::max<std::size_t>(1, hosts / 4);
+  }
+
+  const std::vector<core::PolicyKind> policies = opts.policy_list(
+      "Shortest-Queue,Least-Work-Left,SITA-class");
+
+  std::vector<bench::Series> fixed_slowdown(policies.size());
+  std::vector<bench::Series> elastic_slowdown(policies.size());
+  std::vector<bench::Series> saved_pct(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    fixed_slowdown[p].name = elastic_slowdown[p].name = saved_pct[p].name =
+        core::to_string(policies[p]);
+  }
+
+  // Flag values interact in ways the parser cannot see (e.g. a --speeds
+  // pattern whose capacity classes give SITA-class coincident cutoff
+  // quantiles): surface those as clean config errors, not aborts.
+  try {
+    for (const double burst : bursts) {
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        core::ExperimentConfig cfg = base;
+        cfg.burst_ratio = burst;
+        cfg.autoscaler.enabled = false;
+        const core::Workbench fixed(spec, cfg);
+        const core::ExperimentPoint pf = fixed.run_point(policies[p], rho);
+        fixed_slowdown[p].values.push_back(pf.summary.mean_slowdown);
+
+        cfg.autoscaler.enabled = true;
+        const core::Workbench elastic(spec, cfg);
+        const core::ExperimentPoint pe = elastic.run_point(policies[p], rho);
+        elastic_slowdown[p].values.push_back(pe.summary.mean_slowdown);
+        const double total = pe.summary.host_hours_total;
+        const double powered = pe.summary.host_hours_powered;
+        saved_pct[p].values.push_back(
+            total > 0.0 ? 100.0 * (1.0 - powered / total) : 0.0);
+      }
+    }
+  } catch (const ContractViolation& e) {
+    std::cerr << cli.program() << ": invalid elastic configuration: "
+              << e.what() << "\n";
+    return 2;
+  }
+
+  bench::print_panel("Elastic sweep: mean slowdown, fixed fleet",
+                     "burst", bursts, fixed_slowdown, opts.csv);
+  bench::print_panel("Elastic sweep: mean slowdown, elastic fleet",
+                     "burst", bursts, elastic_slowdown, opts.csv);
+  bench::print_panel("Elastic sweep: host-hours saved (%), elastic fleet",
+                     "burst", bursts, saved_pct, opts.csv);
+  return 0;
+}

@@ -312,6 +312,42 @@ std::vector<ThroughputResult> run_throughput_suite(std::size_t jobs,
       }
     }
   }
+
+  // The heterogeneous-elastic row: a 32-host fleet of 1x/2x/4x speed
+  // classes under the hysteresis autoscaler — tracks the combined cost of
+  // speed-scaled service times, power-state bookkeeping, and the
+  // utilization sampling the elastic sweep leans on.
+  {
+    constexpr std::size_t kHosts = 32;
+    const workload::Trace trace = workload::make_trace(
+        workload::find_workload("c90"), 0.7, kHosts, /*seed=*/3, jobs);
+    const double duration =
+        trace.jobs().back().arrival - trace.jobs().front().arrival;
+    const double gap = duration / static_cast<double>(trace.size() - 1);
+    std::vector<double> speeds(kHosts);
+    for (std::size_t h = 0; h < kHosts; ++h) {
+      speeds[h] = static_cast<double>(1u << (h % 3));  // 1, 2, 4, 1, ...
+    }
+    sim::AutoscalerConfig scaler;
+    scaler.enabled = true;
+    scaler.check_period = 20.0 * gap * static_cast<double>(kHosts);
+    scaler.warmup_delay = 5.0 * gap * static_cast<double>(kHosts);
+    scaler.min_hosts = kHosts / 4;
+    core::LeastWorkLeftPolicy policy;
+    double best = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      core::DistributedServer server(kHosts, policy);
+      server.set_host_speeds(speeds);
+      server.enable_autoscaler(scaler);
+      const auto t0 = std::chrono::steady_clock::now();
+      const core::RunResult r = server.run(trace, /*seed=*/1);
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(r.makespan);
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      best = std::max(best, static_cast<double>(jobs) / secs);
+    }
+    results.push_back({"e2e/Least-Work-Left/h32/hetero-elastic", best});
+  }
   return results;
 }
 

@@ -37,6 +37,21 @@
 //                            a streaming source, metrics folded into a
 //                            quantile sketch (no per-job records)
 //
+// Elastic-fleet flags (only benches that opt in via `supports_elastic`
+// accept them; everywhere else they are rejected like any unknown flag):
+//   --speeds a,b,c           per-host speed factors; the list is tiled
+//                            cyclically across the fleet (--speeds 1,2,4 on
+//                            h=6 gives 1,2,4,1,2,4); empty = homogeneous
+//   --scale-up U             window-mean utilization above U powers hosts
+//                            on; (0, 1]; enables the autoscaler
+//   --scale-down D           utilization below D drains hosts; [0, U)
+//                            (requires --scale-up)
+//   --scale-period T         autoscaler sampling period (requires
+//                            --scale-up; default 50)
+//   --warmup T               power-on warm-up delay (requires --scale-up)
+//   --min-hosts N            powered-fleet floor, >= 1 (requires
+//                            --scale-up)
+//
 // Flags are validated strictly: an unknown flag, a malformed number, or an
 // out-of-range value prints an error naming the flag and exits with status
 // 2 — a typo never silently falls back to a default. Benches with extra
@@ -97,6 +112,34 @@ inline std::vector<core::PolicyKind> parse_policies(const std::string& csv) {
   return out;
 }
 
+/// Parses a comma-separated list of per-host speed factors; every entry
+/// must be a positive finite number. Exits with status 2 on a bad entry.
+inline std::vector<double> parse_speeds(const std::string& csv) {
+  std::vector<double> out;
+  for (const auto part : util::split(csv, ',')) {
+    const std::string token(util::trim(part));
+    if (token.empty()) continue;
+    double v = 0.0;
+    std::size_t used = 0;
+    try {
+      v = std::stod(token, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != token.size() || !(v > 0.0) || !(v <= 1e6)) {
+      std::cerr << "option --speeds: '" << token
+                << "' is not a speed in (0, 1e6]\n";
+      std::exit(2);
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) {
+    std::cerr << "option --speeds: '" << csv << "' names no speeds\n";
+    std::exit(2);
+  }
+  return out;
+}
+
 /// Bench-wide configuration parsed from argv.
 struct BenchOptions {
   std::string workload = "c90";
@@ -118,17 +161,24 @@ struct BenchOptions {
   std::uint32_t retries = 3;  ///< --retries: RPC budget before escalation
   sim::FallbackMode fallback = sim::FallbackMode::kChain;
   bool stream = false;        ///< --stream: bounded-memory replications
+  std::vector<double> speeds;  ///< --speeds: tiled across hosts; empty = 1x
+  double scale_up = 0.0;       ///< --scale-up: 0 = autoscaler disabled
+  double scale_down = 0.35;    ///< --scale-down: hysteresis floor
+  double scale_period = 50.0;  ///< --scale-period: sampling period
+  double warmup = 0.0;         ///< --warmup: power-on delay
+  std::size_t min_hosts = 1;   ///< --min-hosts: powered-fleet floor
 
   /// Parses and validates argv. `extra_known` lists bench-specific flags
   /// beyond the common set; anything else (or a malformed/out-of-range
   /// value) prints the error and exits with status 2. A bench that sweeps
   /// the probe period itself (so --probe-loss is meaningful without
   /// --probe-period) passes `sweeps_probe_period = true` to lift that
-  /// coupling check.
+  /// coupling check. Only a bench that models elastic fleets passes
+  /// `supports_elastic = true`; elsewhere the elastic flags are unknown.
   static BenchOptions parse(
       int argc, const char* const* argv, std::string default_workload = "c90",
       std::initializer_list<std::string_view> extra_known = {},
-      bool sweeps_probe_period = false) {
+      bool sweeps_probe_period = false, bool supports_elastic = false) {
     const util::Cli cli(argc, argv);
     BenchOptions o;
     try {
@@ -138,6 +188,10 @@ struct BenchOptions {
           "mtbf",         "mttr",       "recovery",    "probe-period",
           "probe-loss",   "rpc-timeout", "rpc-loss",   "ack-loss",
           "retries",      "fallback",    "stream"};
+      if (supports_elastic) {
+        known.insert(known.end(), {"speeds", "scale-up", "scale-down",
+                                   "scale-period", "warmup", "min-hosts"});
+      }
       known.insert(known.end(), extra_known.begin(), extra_known.end());
       cli.require_known(known);
       o.workload = cli.get_string("workload", std::move(default_workload));
@@ -189,6 +243,28 @@ struct BenchOptions {
       }
       o.fallback = *fb_mode;
       o.stream = cli.has("stream");
+      if (supports_elastic) {
+        const std::string speed_csv = cli.get_string("speeds", "");
+        if (!speed_csv.empty()) o.speeds = parse_speeds(speed_csv);
+        o.scale_up = cli.get_double_in("scale-up", 0.0, 0.0, 1.0);
+        o.scale_down = cli.get_double_in("scale-down", 0.35, 0.0, 1.0);
+        o.scale_period = cli.get_double_in("scale-period", 50.0, 1e-9, 1e18);
+        o.warmup = cli.get_double_in("warmup", 0.0, 0.0, 1e18);
+        o.min_hosts = static_cast<std::size_t>(
+            cli.get_int_in("min-hosts", 1, 1, 1000000));
+        if (o.scale_up <= 0.0 &&
+            (cli.has("scale-down") || cli.has("scale-period") ||
+             cli.has("warmup") || cli.has("min-hosts"))) {
+          throw util::CliError(
+              "option --scale-down/--scale-period/--warmup/--min-hosts: "
+              "requires --scale-up > 0");
+        }
+        if (o.scale_up > 0.0 && o.scale_down >= o.scale_up) {
+          throw util::CliError(
+              "option --scale-down: must be strictly below --scale-up "
+              "(the hysteresis band)");
+        }
+      }
     } catch (const util::CliError& e) {
       std::cerr << cli.program() << ": " << e.what() << "\n";
       std::exit(2);
@@ -222,6 +298,20 @@ struct BenchOptions {
       cfg.control.fallback = fallback;
     }
     cfg.stream = stream;
+    if (!speeds.empty()) {
+      cfg.host_speeds.reserve(hosts);
+      for (std::size_t h = 0; h < hosts; ++h) {
+        cfg.host_speeds.push_back(speeds[h % speeds.size()]);
+      }
+    }
+    if (scale_up > 0.0) {
+      cfg.autoscaler.enabled = true;
+      cfg.autoscaler.check_period = scale_period;
+      cfg.autoscaler.scale_up_threshold = scale_up;
+      cfg.autoscaler.scale_down_threshold = scale_down;
+      cfg.autoscaler.warmup_delay = warmup;
+      cfg.autoscaler.min_hosts = min_hosts;
+    }
     return cfg;
   }
 
@@ -290,6 +380,17 @@ inline void print_header(const std::string& artifact,
               << " rpc-loss=" << o.rpc_loss << " ack-loss=" << o.ack_loss
               << " retries=" << o.retries
               << " fallback=" << sim::to_string(o.fallback);
+  }
+  if (!o.speeds.empty()) {
+    std::cout << " speeds=";
+    for (std::size_t i = 0; i < o.speeds.size(); ++i) {
+      std::cout << (i ? "," : "") << o.speeds[i];
+    }
+  }
+  if (o.scale_up > 0.0) {
+    std::cout << " scale-up=" << o.scale_up << " scale-down=" << o.scale_down
+              << " scale-period=" << o.scale_period << " warmup=" << o.warmup
+              << " min-hosts=" << o.min_hosts;
   }
   std::cout << "\n"
             << "==============================================================\n";

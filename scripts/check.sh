@@ -14,14 +14,18 @@
 #   4b. Rerun the streaming slice (`ctest -L streaming`): the JobSource
 #      contract/equivalence wall, SWF chunk fuzzing, sketch accuracy
 #      properties, and the bounded-memory allocation plateau.
+#   4c. Rerun the elastic slice (`ctest -L elastic`): heterogeneous-fleet
+#      and autoscaler unit tests plus the 224-seed elastic fuzz harness
+#      (speed classes x hysteresis scaling x faults under the audit layer).
 #   5. Configure a second tree with -DDISTSERV_TSAN=ON (benches/examples
-#      off), build the sweep-runner determinism tests and the fault fuzz
-#      harness, and run every test carrying the `tsan` ctest label plus
-#      the fault property suite under the race detector.
-#   6. Configure a third tree with -DDISTSERV_UBSAN=ON and run the faults
-#      and control slices under UndefinedBehaviorSanitizer — the fault
-#      and control planes are the code most exposed to time arithmetic on
-#      degenerate configs (zero periods, unbounded backoff caps).
+#      off), build the sweep-runner determinism tests and the fault/elastic
+#      fuzz harnesses, and run every test carrying the `tsan` ctest label
+#      plus both property suites under the race detector.
+#   6. Configure a third tree with -DDISTSERV_UBSAN=ON and run the faults,
+#      control, streaming, and elastic slices under
+#      UndefinedBehaviorSanitizer — the fault, control, and power planes
+#      are the code most exposed to time arithmetic on degenerate configs
+#      (zero periods, unbounded backoff caps, warm-up races).
 #
 # Usage: scripts/check.sh [build-dir] [tsan-build-dir] [ubsan-build-dir]
 set -euo pipefail
@@ -51,19 +55,25 @@ ctest --test-dir "$BUILD_DIR" -L control --output-on-failure
 echo "== streaming: ctest -L streaming =="
 ctest --test-dir "$BUILD_DIR" -L streaming --output-on-failure
 
-echo "== tsan: configure + build (determinism + fault fuzz tests) =="
+echo "== elastic: ctest -L elastic =="
+ctest --test-dir "$BUILD_DIR" -L elastic --output-on-failure
+
+echo "== tsan: configure + build (determinism + fault/elastic fuzz tests) =="
 cmake -B "$TSAN_DIR" -S . \
   -DDISTSERV_TSAN=ON \
   -DDISTSERV_BUILD_BENCH=OFF \
   -DDISTSERV_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-  --target test_sweep_runner test_fault_property
+  --target test_sweep_runner test_fault_property test_elastic_property
 
 echo "== tsan: ctest -L tsan =="
 ctest --test-dir "$TSAN_DIR" -L tsan --output-on-failure
 
 echo "== tsan: fault fuzz harness =="
 "$TSAN_DIR"/tests/test_fault_property
+
+echo "== tsan: elastic fuzz harness =="
+"$TSAN_DIR"/tests/test_elastic_property
 
 echo "== ubsan: configure + build (fault + control planes) =="
 cmake -B "$UBSAN_DIR" -S . \
@@ -72,9 +82,11 @@ cmake -B "$UBSAN_DIR" -S . \
   -DDISTSERV_BUILD_EXAMPLES=OFF
 cmake --build "$UBSAN_DIR" -j "$(nproc)" \
   --target test_faults test_fault_property test_control \
-  test_control_property test_bench_flags test_streaming test_stream_alloc
+  test_control_property test_bench_flags test_streaming test_stream_alloc \
+  test_autoscaler test_elastic_property
 
-echo "== ubsan: ctest -L 'faults|control|streaming' =="
-ctest --test-dir "$UBSAN_DIR" -L 'faults|control|streaming' --output-on-failure
+echo "== ubsan: ctest -L 'faults|control|streaming|elastic' =="
+ctest --test-dir "$UBSAN_DIR" -L 'faults|control|streaming|elastic' \
+  --output-on-failure
 
 echo "All checks passed."

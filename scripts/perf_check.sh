@@ -3,8 +3,10 @@
 #
 # Runs the bench_micro_simulator throughput suite (--json mode: end-to-end
 # jobs/sec per policy at h in {2,8,32,1024} with faults/control off and on,
-# plus the event-queue schedule+pop rate) and compares every benchmark
-# against the checked-in baseline BENCH_simulator.json:
+# a heterogeneous-elastic row — a 1x/2x/4x 32-host fleet under the
+# hysteresis autoscaler — plus the event-queue schedule+pop rate) and
+# compares every benchmark against the checked-in baseline
+# BENCH_simulator.json:
 #
 #   ratio = fresh_throughput / baseline_throughput
 #   ratio <  FAIL_RATIO (default 0.70, a >30% regression)  -> fail

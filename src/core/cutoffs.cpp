@@ -11,6 +11,24 @@ std::vector<double> CutoffDeriver::sita_e(std::size_t hosts) const {
   return queueing::sita_e_cutoffs(model_, hosts);
 }
 
+std::vector<double> CutoffDeriver::sita_class(
+    std::span<const double> shares) const {
+  DS_EXPECTS(shares.size() >= 2);
+  double total = 0.0;
+  for (double share : shares) {
+    DS_EXPECTS(share > 0.0);
+    total += share;
+  }
+  std::vector<double> cutoffs;
+  cutoffs.reserve(shares.size() - 1);
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k + 1 < shares.size(); ++k) {
+    cumulative += shares[k];
+    cutoffs.push_back(model_.load_quantile(cumulative / total));
+  }
+  return cutoffs;
+}
+
 queueing::CutoffSearchResult CutoffDeriver::sita_u_opt(
     double rho, std::size_t grid) const {
   DS_EXPECTS(rho > 0.0 && rho < 1.0);

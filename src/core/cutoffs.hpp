@@ -22,6 +22,15 @@ class CutoffDeriver {
   /// Load-equalizing cutoffs for `hosts` hosts (SITA-E). Requires hosts>=2.
   [[nodiscard]] std::vector<double> sita_e(std::size_t hosts) const;
 
+  /// Capacity-proportional between-class cutoffs for a heterogeneous fleet
+  /// (SITA-class, core/policies/class_sita.hpp): class k receives the size
+  /// band carrying a load share proportional to shares[k] — typically the
+  /// summed speed of its hosts. Returns shares.size() - 1 cutoffs at the
+  /// cumulative load-share quantiles; equal shares reproduce sita_e.
+  /// Requires >= 2 positive shares.
+  [[nodiscard]] std::vector<double> sita_class(
+      std::span<const double> shares) const;
+
   /// Slowdown-optimal 2-host cutoff at system load `rho` (SITA-U-opt).
   [[nodiscard]] queueing::CutoffSearchResult sita_u_opt(
       double rho, std::size_t grid = 400) const;

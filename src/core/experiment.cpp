@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "core/policies/central_queue.hpp"
+#include "core/policies/class_sita.hpp"
 #include "core/policies/hybrid_sita_lwl.hpp"
 #include "core/policies/least_work_left.hpp"
+#include "core/policies/power_of_d.hpp"
 #include "core/policies/random.hpp"
 #include "core/policies/round_robin.hpp"
 #include "core/policies/shortest_queue.hpp"
@@ -34,6 +36,8 @@ std::string to_string(PolicyKind kind) {
     case PolicyKind::kHybridSitaUFair: return "SITA-U-fair+LWL";
     case PolicyKind::kSitaUOptMulti: return "SITA-U-opt-multi";
     case PolicyKind::kSitaUFairMulti: return "SITA-U-fair-multi";
+    case PolicyKind::kLeastLoaded2: return "Least-Loaded-2";
+    case PolicyKind::kSitaClass: return "SITA-class";
   }
   return "?";
 }
@@ -48,6 +52,7 @@ constexpr std::array kAllPolicyKinds = {
     PolicyKind::kSitaRuleOfThumb, PolicyKind::kHybridSitaE,
     PolicyKind::kHybridSitaUOpt,  PolicyKind::kHybridSitaUFair,
     PolicyKind::kSitaUOptMulti,   PolicyKind::kSitaUFairMulti,
+    PolicyKind::kLeastLoaded2,    PolicyKind::kSitaClass,
 };
 
 }  // namespace
@@ -260,6 +265,42 @@ Workbench::PointPlan Workbench::plan_point(PolicyKind kind, double rho) const {
       };
       return plan;
     }
+    case PolicyKind::kLeastLoaded2:
+      plan.make_policy = [] {
+        return std::make_unique<PowerOfDPolicy>(
+            2, PowerOfDPolicy::Criterion::kLeastLoaded);
+      };
+      return plan;
+    case PolicyKind::kSitaClass: {
+      // Capacity classes are the maximal runs of equal speed in host_speeds;
+      // each class receives a load share proportional to its summed speed, so
+      // a class of four 2x hosts absorbs twice the work of four 1x hosts.
+      DS_EXPECTS(config_.host_speeds.size() == h &&
+                 "SITA-class needs per-host speeds grouped into >= 2 classes");
+      std::vector<std::size_t> class_sizes;
+      std::vector<double> shares;
+      for (std::size_t i = 0; i < h; ++i) {
+        if (i == 0 || config_.host_speeds[i] != config_.host_speeds[i - 1]) {
+          class_sizes.push_back(0);
+          shares.push_back(0.0);
+        }
+        ++class_sizes.back();
+        shares.back() += config_.host_speeds[i];
+      }
+      DS_EXPECTS(class_sizes.size() >= 2 &&
+                 "SITA-class is degenerate with a single capacity class");
+      std::vector<double> cutoffs = deriver_.sita_class(shares);
+      const double total =
+          util::compensated_sum(shares);
+      plan.point.has_cutoff = true;
+      plan.point.cutoff = cutoffs.front();
+      plan.point.host1_load_fraction = shares.front() / total;
+      plan.make_policy = [cutoffs = std::move(cutoffs),
+                          class_sizes = std::move(class_sizes)] {
+        return std::make_unique<ClassSitaPolicy>(cutoffs, class_sizes);
+      };
+      return plan;
+    }
   }
   DS_ASSERT(false && "unhandled PolicyKind");
   return plan;
@@ -290,11 +331,17 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
   }
   const PolicyPtr policy = plan.make_policy();
   DistributedServer server(config_.hosts, *policy);
+  if (!config_.host_speeds.empty()) {
+    server.set_host_speeds(config_.host_speeds);
+  }
   if (config_.faults.enabled) {
     server.enable_faults(config_.faults, config_.recovery);
   }
   if (config_.control.enabled) {
     server.enable_control(config_.control);
+  }
+  if (config_.autoscaler.enabled) {
+    server.enable_autoscaler(config_.autoscaler);
   }
   if (config_.audit.enabled) {
     // A streaming replication must not hoard per-job shadows in the audit
@@ -303,12 +350,13 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
     if (config_.stream) audit.bounded_shadow = true;
     server.enable_audit(audit);
     // SITA routing is a pure function of job size when classification is
-    // perfect — unless faults or the control plane are on, where a dead
-    // interval's jobs get remapped to live neighbors (or a fallback level
-    // reroutes them) and the pure-size oracle no longer holds.
+    // perfect — unless faults, the control plane, or the autoscaler are on:
+    // a dead or drained interval's jobs get remapped to live neighbors (or a
+    // fallback level reroutes them) and the pure-size oracle no longer holds.
     if (const auto* sita = dynamic_cast<const SitaPolicy*>(policy.get());
         sita != nullptr && sita->classification_error() == 0.0 &&
-        !config_.faults.enabled && !config_.control.enabled) {
+        !config_.faults.enabled && !config_.control.enabled &&
+        !config_.autoscaler.enabled) {
       server.auditor()->set_expected_route(
           [sita](double size) { return sita->interval_of(size); });
     }

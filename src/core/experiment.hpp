@@ -31,6 +31,7 @@
 #include "core/policy.hpp"
 #include "core/recovery.hpp"
 #include "sim/audit.hpp"
+#include "sim/autoscaler.hpp"
 #include "sim/control_plane.hpp"
 #include "sim/faults.hpp"
 #include "stats/confidence.hpp"
@@ -54,6 +55,8 @@ enum class PolicyKind {
   kHybridSitaUFair,
   kSitaUOptMulti,     ///< extension: true (h-1)-cutoff SITA-U-opt
   kSitaUFairMulti,    ///< extension: true (h-1)-cutoff SITA-U-fair
+  kLeastLoaded2,      ///< power-of-2 on normalized load (heterogeneity-aware)
+  kSitaClass,         ///< per-class SITA over speed classes (heterogeneous)
 };
 
 /// Display name, e.g. "SITA-U-fair".
@@ -128,6 +131,15 @@ struct ExperimentConfig {
   /// by default; when control.enabled is false every run is bit-identical
   /// to a build without the control plane.
   sim::ControlPlaneConfig control;
+  /// Per-host speed factors (service time = size / speed). Empty (the
+  /// default) or all-1.0 fleets are bit-identical to a build without
+  /// heterogeneity. PolicyKind::kSitaClass requires the speeds to form at
+  /// least two contiguous equal-speed classes.
+  std::vector<double> host_speeds;
+  /// Elastic-fleet autoscaler (sim/autoscaler.hpp). Disabled by default;
+  /// when autoscaler.enabled is false every run is bit-identical to a
+  /// build without the subsystem.
+  sim::AutoscalerConfig autoscaler;
   /// Test seam: invoked at the top of every run_replication with
   /// (policy, rho, replication, seed) — `seed` is the simulation seed the
   /// replication will run under (it differs from replication_seed(r) on a

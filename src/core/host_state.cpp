@@ -1,6 +1,7 @@
 #include "core/host_state.hpp"
 
 #include <bit>
+#include <cmath>
 
 #include "util/contracts.hpp"
 
@@ -166,7 +167,11 @@ std::optional<std::uint32_t> ArgminTree::argmin_in(std::uint32_t lo,
 void HostStateTable::reset(std::size_t hosts, Semantics semantics, double t0) {
   DS_EXPECTS(hosts >= 1);
   semantics_ = semantics;
+  heterogeneous_ = false;
   queue_len_.assign(hosts, 0);
+  speed_.assign(hosts, 1.0);
+  class_id_.assign(hosts, 0);
+  obs_jitter_.assign(hosts, 0.0);
   work_ref_.assign(hosts, 0.0);
   work_amt_.assign(hosts, 0.0);
   busy_.assign(hosts, 0);
@@ -205,21 +210,34 @@ void HostStateTable::set_live(HostId h, bool busy, double completion,
 }
 
 void HostStateTable::set_observation(HostId h, std::uint32_t queue_len,
-                                     double work_left, bool idle, double at) {
+                                     double work_left, bool idle, double at,
+                                     double jitter) {
   DS_EXPECTS(semantics_ == Semantics::kObserved);
   DS_EXPECTS(h < size());
+  DS_EXPECTS(jitter >= 0.0 && jitter < 1.0);
   busy_[h] = idle ? 0 : 1;
   work_ref_[h] = 0.0;
   work_amt_[h] = work_left;
   queue_len_[h] = queue_len;
   idle_[h] = idle ? 1 : 0;
   observed_time_[h] = at;
+  obs_jitter_[h] = jitter;
   mark_dirty(h);
 }
 
 void HostStateTable::set_up(HostId h, bool up) {
   DS_EXPECTS(h < size());
   up_.set(h, up);
+  mark_dirty(h);
+}
+
+void HostStateTable::set_speed(HostId h, double speed,
+                               std::uint32_t capacity_class) {
+  DS_EXPECTS(h < size());
+  DS_EXPECTS(speed > 0.0);
+  speed_[h] = speed;
+  class_id_[h] = capacity_class;
+  if (speed != 1.0) heterogeneous_ = true;
   mark_dirty(h);
 }
 
@@ -257,8 +275,16 @@ void HostStateTable::refresh_idle(HostId h) const {
 }
 
 void HostStateTable::refresh_queue_key(HostId h) const {
-  queue_tree_.set(h, up_.test(h) ? static_cast<double>(queue_len_[h])
-                                 : ArgminTree::kAbsent);
+  if (!up_.test(h)) {
+    queue_tree_.set(h, ArgminTree::kAbsent);
+    return;
+  }
+  // Speed-scaled Shortest-Queue: a 2x host with 4 jobs looks like 2. The
+  // jitter term (kObserved only, < 1) re-randomizes snapshot ties without
+  // reordering distinct queue lengths. Both default to the identity
+  // (q + 0.0 == q, x / 1.0 == x), so homogeneous runs keep bitwise keys.
+  queue_tree_.set(h, (static_cast<double>(queue_len_[h]) + obs_jitter_[h]) /
+                         speed_[h]);
 }
 
 void HostStateTable::refresh_work_key(HostId h) const {
@@ -268,8 +294,12 @@ void HostStateTable::refresh_work_key(HostId h) const {
   }
   if (semantics_ == Semantics::kObserved) {
     // Frozen values rank directly (the raw stored value, matching what a
-    // per-host scan of the snapshot would have compared).
-    work_tree_.set(h, work_amt_[h]);
+    // per-host scan of the snapshot would have compared). The jitter term
+    // is a relative-epsilon nudge that re-randomizes exact-tie ranking
+    // (snapshot herding) and vanishes bitwise at jitter 0 (w + 0.0 == w).
+    work_tree_.set(h, work_amt_[h] +
+                          obs_jitter_[h] *
+                              (std::abs(work_amt_[h]) * 1e-9 + 1e-12));
     return;
   }
   // kLive: only busy hosts carry a time-invariant absolute key — the

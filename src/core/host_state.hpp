@@ -157,11 +157,19 @@ class HostStateTable {
   void set_live(HostId h, bool busy, double completion, double queued_work,
                 std::uint32_t queue_len);
   /// Publishes one frozen observation of host `h` taken at time `at`.
-  /// kObserved only.
+  /// `jitter` is an optional tie-break perturbation in [0, 1): the queue
+  /// key becomes queue_len + jitter (integer ordering preserved, ties
+  /// re-randomized) and the work key gets a relative-epsilon nudge. The
+  /// default 0.0 leaves both keys bitwise unchanged. kObserved only.
   void set_observation(HostId h, std::uint32_t queue_len, double work_left,
-                       bool idle, double at);
+                       bool idle, double at, double jitter = 0.0);
   /// Up/down transition (fault model, probe-observed liveness).
   void set_up(HostId h, bool up);
+  /// Sets host `h`'s speed factor (service time = size / speed) and its
+  /// capacity class. Speed participates in the queue-tree key
+  /// (queue_len / speed — speed-scaled Shortest-Queue), so speed 1.0
+  /// leaves keys bitwise unchanged (x / 1.0 == x).
+  void set_speed(HostId h, double speed, std::uint32_t capacity_class = 0);
 
   // --- per-host reads (O(1)) ---
 
@@ -187,6 +195,13 @@ class HostStateTable {
   [[nodiscard]] bool up(HostId h) const { return up_.test(h); }
   [[nodiscard]] bool idle(HostId h) const { return idle_[h] != 0; }
   [[nodiscard]] bool busy(HostId h) const { return busy_[h] != 0; }
+  /// Speed factor (1.0 unless set_speed was called).
+  [[nodiscard]] double speed(HostId h) const { return speed_[h]; }
+  [[nodiscard]] std::uint32_t capacity_class(HostId h) const {
+    return class_id_[h];
+  }
+  /// True when any host's speed differs from 1.0.
+  [[nodiscard]] bool heterogeneous() const noexcept { return heterogeneous_; }
 
   // --- bulk accessors (span-style, for vectorizable policy scans) ---
 
@@ -257,7 +272,14 @@ class HostStateTable {
       std::optional<std::uint32_t> tree_cand, double now) const;
 
   Semantics semantics_ = Semantics::kObserved;
+  bool heterogeneous_ = false;
   std::vector<std::uint32_t> queue_len_;
+  /// Per-host speed factor (all 1.0 unless set_speed was called).
+  std::vector<double> speed_;
+  /// Per-host capacity class (contiguous ranges in class-SITA fleets).
+  std::vector<std::uint32_t> class_id_;
+  /// Per-host observation tie-break jitter (kObserved; 0.0 unless set).
+  std::vector<double> obs_jitter_;
   /// Live busy hosts: absolute completion time of the running job.
   /// Otherwise 0 (unused).
   std::vector<double> work_ref_;

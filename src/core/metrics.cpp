@@ -22,6 +22,21 @@ void fill_control_telemetry(MetricsSummary& m, const RunResult& result) {
   m.fallback_activations = c.fallback_activations();
   m.misroute_rate = c.misroute_rate();
 }
+
+void fill_scaling_telemetry(MetricsSummary& m, const RunResult& result) {
+  if (!result.scaling) return;
+  const sim::ScalingStats& s = *result.scaling;
+  m.host_hours_powered = s.host_time_powered;
+  m.host_hours_total = s.host_time_total;
+  m.bounced_dispatches = s.bounced_dispatches;
+}
+
+/// Speed of `host` per RunResult::host_speeds (1.0 on a homogeneous fleet
+/// or for an out-of-range host — range errors are reported separately).
+double speed_of(const RunResult& result, std::uint32_t host) {
+  if (host < result.host_speeds.size()) return result.host_speeds[host];
+  return 1.0;
+}
 }  // namespace
 
 MetricsSummary summarize(const RunResult& result) {
@@ -35,6 +50,7 @@ MetricsSummary summarize(const RunResult& result) {
     m.jobs = s.jobs();
     m.jobs_failed = s.jobs_failed();
     fill_control_telemetry(m, result);
+    fill_scaling_telemetry(m, result);
     if (s.jobs() == 0) return m;  // every job failed
     m.mean_slowdown = s.slowdown().mean();
     m.var_slowdown = s.slowdown().variance_sample();
@@ -66,6 +82,7 @@ MetricsSummary summarize(const RunResult& result) {
   }
   m.jobs = slowdown.count();
   fill_control_telemetry(m, result);
+  fill_scaling_telemetry(m, result);
   if (slowdowns.empty()) return m;  // every job failed
   m.mean_slowdown = slowdown.mean();
   m.var_slowdown = slowdown.variance_sample();
@@ -168,6 +185,9 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
     if (r.start + rtol * std::abs(r.start) < r.arrival) {
       complain(tag.str() + "started before it arrived");
     }
+    // Host-local service duration: size scaled by the serving host's speed
+    // (identically size on a homogeneous fleet, host_speeds empty).
+    const double service = r.size / speed_of(result, r.host);
     if (r.failed) {
       // Abandoned after a failure: completion is the abandonment time,
       // somewhere within the service interval it never finished.
@@ -175,11 +195,11 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
       if (r.completion + rtol * std::abs(r.completion) < r.start) {
         complain(tag.str() + "abandoned before it started");
       }
-      if (r.completion > (r.start + r.size) * (1.0 + rtol)) {
+      if (r.completion > (r.start + service) * (1.0 + rtol)) {
         complain(tag.str() + "abandoned after it would have completed");
       }
-    } else if (!stats::close(r.completion, r.start + r.size, rtol)) {
-      complain(tag.str() + "completion != start + size");
+    } else if (!stats::close(r.completion, r.start + service, rtol)) {
+      complain(tag.str() + "completion != start + size / speed");
     }
     total_restarts += r.restarts;
     if (r.host >= result.hosts) {
@@ -205,11 +225,12 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
               [](const JobRecord* a, const JobRecord* b) {
                 return a->start < b->start;
               });
+    const double speed = speed_of(result, static_cast<std::uint32_t>(host));
     double work = 0.0;
     std::size_t completed = 0;
     for (std::size_t i = 0; i < records.size(); ++i) {
       if (!records[i]->failed) {
-        work += records[i]->size;
+        work += records[i]->size / speed;
         ++completed;
       }
       // Final service intervals ([start, completion], abandonment included)
@@ -296,6 +317,37 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
       complain(tag + "negative snapshot age accounting");
     }
   }
+  if (!result.host_speeds.empty()) {
+    const auto tag = std::string("host speeds: ");
+    if (result.host_speeds.size() != result.hosts) {
+      complain(tag + "size does not match the host count");
+    }
+    for (double s : result.host_speeds) {
+      if (!(s > 0.0) || !std::isfinite(s)) {
+        complain(tag + "non-positive or non-finite speed");
+        break;
+      }
+    }
+  }
+  if (result.scaling) {
+    // Autoscaler counter identities: powered time fits inside total host
+    // time, watermarks are ordered, and every warm-up / drain start is
+    // accounted for by its completions (or is still pending at run end).
+    const sim::ScalingStats& s = *result.scaling;
+    const auto tag = std::string("scaling stats: ");
+    if (s.host_time_powered > s.host_time_total * (1.0 + rtol)) {
+      complain(tag + "powered host-time exceeds total host-time");
+    }
+    if (s.min_powered > s.max_powered) {
+      complain(tag + "min_powered exceeds max_powered");
+    }
+    if (s.warmups_completed + s.warmups_cancelled > s.hosts_powered_on) {
+      complain(tag + "more warm-up outcomes than warm-up starts");
+    }
+    if (s.drains_completed + s.drains_reclaimed > s.hosts_drained) {
+      complain(tag + "more drain outcomes than drain starts");
+    }
+  }
   return problems;
 }
 
@@ -322,6 +374,9 @@ MetricsSummary average_summaries(const std::vector<MetricsSummary>& reps) {
     avg.rpc_timeouts += r.rpc_timeouts;
     avg.fallback_activations += r.fallback_activations;
     avg.misroute_rate += r.misroute_rate / n;
+    avg.host_hours_powered += r.host_hours_powered / n;
+    avg.host_hours_total += r.host_hours_total / n;
+    avg.bounced_dispatches += r.bounced_dispatches;
   }
   return avg;
 }

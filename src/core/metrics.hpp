@@ -34,6 +34,11 @@ struct MetricsSummary {
   std::uint64_t rpc_timeouts = 0;
   std::uint64_t fallback_activations = 0;  ///< stale + exhausted + forced
   double misroute_rate = 0.0;  ///< vs the perfect-information oracle
+  // Elastic-fleet telemetry (all zero when the autoscaler is off). The
+  // powered/total ratio is the cost-of-capacity axis of the elastic sweep.
+  double host_hours_powered = 0.0;  ///< integral of non-Off hosts over time
+  double host_hours_total = 0.0;    ///< hosts * makespan
+  std::uint64_t bounced_dispatches = 0;  ///< dispatches that raced scaling
 };
 
 /// Computes the summary over all records of a run.
@@ -74,8 +79,10 @@ struct SizeClassSlowdown {
 
 /// Offline record-level audit, complementing the online audit layer
 /// (sim/audit.hpp): checks every per-job record (positive size, start >=
-/// arrival, completion == start + size; failed records instead satisfy
-/// start <= completion <= start + size), that service intervals never
+/// arrival, completion == start + size / speed(host), where speed comes
+/// from RunResult::host_speeds and is 1 on a homogeneous fleet; failed
+/// records instead satisfy start <= completion <= start + size / speed),
+/// that service intervals never
 /// overlap on a host, and that HostStats agree with the records they
 /// summarize — including the failure accounting (busy_time == work_done +
 /// wasted_work, interruption/abandonment tallies matching the records).

@@ -1,0 +1,66 @@
+#include "core/policies/class_sita.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace distserv::core {
+
+ClassSitaPolicy::ClassSitaPolicy(std::vector<double> cutoffs,
+                                 std::vector<std::size_t> class_sizes,
+                                 std::string label)
+    : cutoffs_(std::move(cutoffs)),
+      class_sizes_(std::move(class_sizes)),
+      label_(std::move(label)) {
+  DS_EXPECTS(!cutoffs_.empty());
+  DS_EXPECTS(cutoffs_.front() > 0.0);
+  for (std::size_t i = 1; i < cutoffs_.size(); ++i) {
+    DS_EXPECTS(cutoffs_[i - 1] < cutoffs_[i]);
+  }
+  DS_EXPECTS(class_sizes_.size() == cutoffs_.size() + 1);
+  class_begin_.reserve(class_sizes_.size() + 1);
+  HostId offset = 0;
+  class_begin_.push_back(offset);
+  for (std::size_t size : class_sizes_) {
+    DS_EXPECTS(size >= 1);
+    offset += static_cast<HostId>(size);
+    class_begin_.push_back(offset);
+  }
+}
+
+void ClassSitaPolicy::reset(std::size_t hosts, std::uint64_t seed) {
+  Policy::reset(hosts, seed);
+  DS_EXPECTS(hosts == class_begin_.back());
+}
+
+std::uint32_t ClassSitaPolicy::class_of(double size) const noexcept {
+  const auto it = std::lower_bound(cutoffs_.begin(), cutoffs_.end(), size);
+  return static_cast<std::uint32_t>(it - cutoffs_.begin());
+}
+
+std::optional<HostId> ClassSitaPolicy::argmin_in_class(
+    std::uint32_t k, const ServerView& view) const {
+  return view.hosts().argmin_work_in(class_begin_[k], class_begin_[k + 1],
+                                     view.now());
+}
+
+std::optional<HostId> ClassSitaPolicy::assign(const workload::Job& job,
+                                              const ServerView& view) {
+  const std::uint32_t k = class_of(job.size);
+  if (auto host = argmin_in_class(k, view)) return host;
+  // The whole owning class is down: remap to the nearest class with an up
+  // host, ties preferring the smaller-size side — the class-granularity
+  // version of SitaPolicy::nearest_up.
+  const auto classes = static_cast<std::uint32_t>(class_sizes_.size());
+  for (std::uint32_t delta = 1; delta < classes; ++delta) {
+    if (k >= delta) {
+      if (auto host = argmin_in_class(k - delta, view)) return host;
+    }
+    if (k + delta < classes) {
+      if (auto host = argmin_in_class(k + delta, view)) return host;
+    }
+  }
+  return std::nullopt;  // every host is down: hold centrally
+}
+
+}  // namespace distserv::core

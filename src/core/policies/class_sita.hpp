@@ -1,0 +1,68 @@
+// SITA-class — size-interval assignment for heterogeneous fleets.
+//
+// Classic SITA (core/policies/sita.hpp) assumes one host per size interval:
+// cutoffs.size() + 1 hosts, each owning one band. On a fleet with speed/
+// capacity classes the natural unit is the *class*, not the host: class k
+// (a contiguous index range of equal-speed hosts) owns the size band
+// (c_{k-1}, c_k], with the between-class cutoffs derived so each class
+// receives a load share proportional to its aggregate capacity
+// (CutoffDeriver::sita_class). Within the owning class the job goes to the
+// least-loaded member — argmin work-left over the class's index range,
+// O(log h) via the host-state table's range tournament query.
+//
+// Dead ranges degrade like classic SITA: when every host of the owning
+// class is down, the job is remapped to the nearest class (by class index,
+// ties preferring the smaller-size side) that still has an up host, keeping
+// it as close to its size band as the fleet allows. Routing consumes no
+// RNG and is a pure function of (job, view).
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace distserv::core {
+
+class ClassSitaPolicy final : public Policy {
+ public:
+  /// `cutoffs` must be strictly increasing and positive; `class_sizes`
+  /// gives the host count of each class in index order, so classes are
+  /// contiguous host ranges and class_sizes.size() == cutoffs.size() + 1.
+  /// The sizes must sum to the fleet's host count (enforced at reset()).
+  ClassSitaPolicy(std::vector<double> cutoffs,
+                  std::vector<std::size_t> class_sizes,
+                  std::string label = "SITA-class");
+
+  void reset(std::size_t hosts, std::uint64_t seed) override;
+  [[nodiscard]] std::optional<HostId> assign(const workload::Job& job,
+                                             const ServerView& view) override;
+  [[nodiscard]] std::string name() const override { return label_; }
+
+  [[nodiscard]] const std::vector<double>& cutoffs() const noexcept {
+    return cutoffs_;
+  }
+
+  /// The class index owning `size` (no dead-range remap).
+  [[nodiscard]] std::uint32_t class_of(double size) const noexcept;
+
+  /// Reads work-left within the owning class, so a stale snapshot can
+  /// mislead the within-class argmin; draws no RNG (oracle-safe). Degrades
+  /// to a random host near the failed target, staying close to the class.
+  [[nodiscard]] DegradedInfo degraded_info() const override {
+    return DegradedInfo{true, true, {FallbackKind::kRandomInRange}};
+  }
+
+ private:
+  /// Least-loaded up host of class `k`, or nullopt when the whole class is
+  /// down.
+  [[nodiscard]] std::optional<HostId> argmin_in_class(std::uint32_t k,
+                                                      const ServerView& view)
+      const;
+
+  std::vector<double> cutoffs_;
+  std::vector<std::size_t> class_sizes_;
+  std::vector<HostId> class_begin_;  ///< prefix offsets, size classes + 1
+  std::string label_;
+};
+
+}  // namespace distserv::core

@@ -18,7 +18,7 @@ void PowerOfDPolicy::reset(std::size_t hosts, std::uint64_t seed) {
   scratch_.reserve(std::min(d_, hosts));
 }
 
-std::optional<HostId> PowerOfDPolicy::assign(const workload::Job& /*job*/,
+std::optional<HostId> PowerOfDPolicy::assign(const workload::Job& job,
                                              const ServerView& view) {
   const HostStateTable& hosts = view.hosts();
   const std::size_t h = hosts.size();
@@ -45,10 +45,21 @@ std::optional<HostId> PowerOfDPolicy::assign(const workload::Job& /*job*/,
   double best_score = 0.0;
   bool first = true;
   for (HostId candidate : scratch_) {
-    const double score =
-        criterion_ == Criterion::kWorkLeft
-            ? hosts.work_left(candidate, now)
-            : static_cast<double>(hosts.queue_length(candidate));
+    double score;
+    switch (criterion_) {
+      case Criterion::kWorkLeft:
+        score = hosts.work_left(candidate, now);
+        break;
+      case Criterion::kQueueLength:
+        score = static_cast<double>(hosts.queue_length(candidate));
+        break;
+      case Criterion::kLeastLoaded:
+        // When would the job finish here? Backlog (already in host-local
+        // time units) plus this job's service time on this host.
+        score = hosts.work_left(candidate, now) +
+                job.size / hosts.speed(candidate);
+        break;
+    }
     if (first || score < best_score ||
         (score == best_score && candidate < best)) {
       best = candidate;
@@ -60,8 +71,15 @@ std::optional<HostId> PowerOfDPolicy::assign(const workload::Job& /*job*/,
 }
 
 std::string PowerOfDPolicy::name() const {
-  return "Power-of-" + std::to_string(d_) +
-         (criterion_ == Criterion::kWorkLeft ? "(work)" : "(queue)");
+  switch (criterion_) {
+    case Criterion::kQueueLength:
+      return "Power-of-" + std::to_string(d_) + "(queue)";
+    case Criterion::kLeastLoaded:
+      return "Least-Loaded-" + std::to_string(d_);
+    case Criterion::kWorkLeft:
+      break;
+  }
+  return "Power-of-" + std::to_string(d_) + "(work)";
 }
 
 }  // namespace distserv::core

@@ -14,8 +14,13 @@ namespace distserv::core {
 
 class PowerOfDPolicy final : public Policy {
  public:
-  /// What the probe observes at a host.
-  enum class Criterion { kWorkLeft, kQueueLength };
+  /// What the probe observes at a host. kLeastLoaded is the
+  /// heterogeneity-aware variant: it ranks candidates by when the arriving
+  /// job would *finish* there — work_left + size / speed — so a fast host
+  /// with a deeper queue can beat a slow idle one. With all speeds 1 the
+  /// job's size shifts every candidate equally and the ranking collapses
+  /// to kWorkLeft exactly.
+  enum class Criterion { kWorkLeft, kQueueLength, kLeastLoaded };
 
   /// Requires d >= 1 (validated against the host count at reset; d is
   /// clamped to h there).

@@ -1,6 +1,7 @@
 #include "core/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/contracts.hpp"
 
@@ -9,6 +10,39 @@ namespace distserv::core {
 DistributedServer::DistributedServer(std::size_t hosts, Policy& policy)
     : hosts_count_(hosts), policy_(&policy) {
   DS_EXPECTS(hosts >= 1);
+  speeds_.assign(hosts, 1.0);
+  class_ids_.assign(hosts, 0);
+}
+
+void DistributedServer::set_host_speeds(std::vector<double> speeds) {
+  if (speeds.empty()) {
+    speeds_.assign(hosts_count_, 1.0);
+    class_ids_.assign(hosts_count_, 0);
+    heterogeneous_ = false;
+    return;
+  }
+  DS_EXPECTS(speeds.size() == hosts_count_);
+  heterogeneous_ = false;
+  for (const double s : speeds) {
+    DS_EXPECTS(s > 0.0 && std::isfinite(s));
+    if (s != 1.0) heterogeneous_ = true;
+  }
+  speeds_ = std::move(speeds);
+  // Capacity classes: equal speeds share a class, numbered in order of
+  // first appearance (fleets built class-by-class get contiguous ranges).
+  class_ids_.assign(hosts_count_, 0);
+  std::vector<double> seen;
+  for (std::size_t h = 0; h < hosts_count_; ++h) {
+    std::size_t cls = seen.size();
+    for (std::size_t c = 0; c < seen.size(); ++c) {
+      if (seen[c] == speeds_[h]) {
+        cls = c;
+        break;
+      }
+    }
+    if (cls == seen.size()) seen.push_back(speeds_[h]);
+    class_ids_[h] = static_cast<std::uint32_t>(cls);
+  }
 }
 
 double DistributedServer::now() const { return sim_.now(); }
@@ -46,6 +80,11 @@ void DistributedServer::enable_control(const sim::ControlPlaneConfig& config) {
   control_config_ = config;
 }
 
+void DistributedServer::enable_autoscaler(const sim::AutoscalerConfig& config) {
+  scaling_enabled_ = config.enabled;
+  scaler_config_ = config;
+}
+
 RunResult DistributedServer::run(const workload::Trace& trace,
                                  std::uint64_t seed) {
   DS_EXPECTS(!trace.empty());
@@ -75,6 +114,11 @@ RunResult DistributedServer::run_source(workload::JobSource& source,
   }
   hosts_.assign(hosts_count_, Host{});
   live_table_.reset(hosts_count_, HostStateTable::Semantics::kLive);
+  if (heterogeneous_) {
+    for (HostId h = 0; h < hosts_count_; ++h) {
+      live_table_.set_speed(h, speeds_[h], class_ids_[h]);
+    }
+  }
   central_queue_.clear();
   record_mode_ = (stream == nullptr);
   stream_options_ = stream;
@@ -104,6 +148,7 @@ RunResult DistributedServer::run_source(workload::JobSource& source,
   // probe events follow faults so a t=0 probe observes the t=0 outage.
   if (faults_enabled_) begin_faults(seed);
   if (control_enabled_) begin_control(seed);
+  if (scaling_enabled_) begin_scaling(seed);
   // Arrivals are scheduled lazily — one pending arrival event at a time —
   // so the event list stays O(hosts) instead of O(stream).
   schedule_next_arrival();
@@ -138,6 +183,17 @@ RunResult DistributedServer::run_source(workload::JobSource& source,
     control_stats_.chains_outstanding = pending_.size();
     result.control = control_stats_;
   }
+  if (scaling_enabled_) {
+    // Close the host-time integrals at the clock the run stopped on, and
+    // charge a fixed fleet the same horizon — the powered/total ratio is
+    // the host-hours saved axis of the elastic sweep.
+    accrue_integrals(sim_.now());
+    scaling_stats_.host_time_powered = powered_integral_;
+    scaling_stats_.host_time_total =
+        static_cast<double>(hosts_count_) * sim_.now();
+    result.scaling = scaling_stats_;
+  }
+  if (heterogeneous_) result.host_speeds = speeds_;
   if (!record_mode_) result.stream = std::move(stream_summary_);
   if (auditor_) result.audit = auditor_->finalize(sim_.now());
   records_.clear();
@@ -180,6 +236,12 @@ void DistributedServer::on_event(const sim::Event& event) {
     case sim::EventKind::kRpcTimeout:
       rpc_timeout_fired(event.id, event.epoch);
       return;
+    case sim::EventKind::kScaleEval:
+      scale_eval_fired();
+      return;
+    case sim::EventKind::kWarmup:
+      warmup_fired(event.host, event.epoch);
+      return;
     case sim::EventKind::kTimer:
       break;
   }
@@ -210,8 +272,7 @@ void DistributedServer::route(const workload::Job& job) {
     const std::optional<HostId> choice = policy_->assign(job, *this);
     if (choice) {
       DS_ASSERT(*choice < hosts_count_);
-      if (auditor_) auditor_->on_dispatch(job.id, *choice);
-      dispatch_to_host(*choice, job);
+      deliver_or_bounce(job, *choice);
       return;
     }
     hold_centrally(job);
@@ -351,8 +412,7 @@ std::optional<HostId> DistributedServer::assign_fallback(
 void DistributedServer::commit_route(const workload::Job& job, HostId target,
                                      std::uint32_t level) {
   if (!control_config_.rpc_enabled()) {
-    if (auditor_) auditor_->on_dispatch(job.id, target);
-    dispatch_to_host(target, job);
+    deliver_or_bounce(job, target);
     return;
   }
   ++control_stats_.rpc_dispatches;
@@ -374,6 +434,12 @@ void DistributedServer::send_dispatch(workload::JobId id) {
   // A down host has no receiver: the request is lost regardless of the
   // draw (the draw is still consumed, keeping the stream aligned).
   if (!hosts_[p.target].up) lost = true;
+  // A non-serving host (stale snapshot lagging a scaling decision) refuses
+  // the dispatch; the timeout/retry/fallback chain re-routes, never drops.
+  if (scaling_enabled_ && hosts_[p.target].power != sim::PowerState::kUp) {
+    ++scaling_stats_.rpc_rejects;
+    lost = true;
+  }
   if (lost) {
     ++control_stats_.requests_lost;
     if (auditor_) {
@@ -473,11 +539,27 @@ void DistributedServer::force_place(const workload::Job& job) {
   const std::optional<HostId> pick =
       assign_fallback(FallbackKind::kRandom, std::nullopt);
   if (pick) {
-    if (auditor_) auditor_->on_dispatch(job.id, *pick);
-    dispatch_to_host(*pick, job);
+    deliver_or_bounce(job, *pick);
     return;
   }
   hold_centrally(job);
+}
+
+bool DistributedServer::deliver_or_bounce(const workload::Job& job,
+                                          HostId target) {
+  if (scaling_enabled_ &&
+      hosts_[target].power != sim::PowerState::kUp) {
+    // The route raced a scaling decision (stale snapshot, forced place):
+    // never park a job behind a host that is warming, draining, or off —
+    // the dispatcher takes it back. The audit never sees a dispatch here,
+    // so its no-enqueue-to-non-Up-host invariant stays sharp.
+    ++scaling_stats_.bounced_dispatches;
+    hold_centrally(job);
+    return false;
+  }
+  if (auditor_) auditor_->on_dispatch(job.id, target);
+  dispatch_to_host(target, job);
+  return true;
 }
 
 void DistributedServer::hold_centrally(const workload::Job& job) {
@@ -494,6 +576,8 @@ void DistributedServer::hold_centrally(const workload::Job& job) {
 
 void DistributedServer::dispatch_to_host(HostId host, const workload::Job& job) {
   Host& h = hosts_[host];
+  // deliver_or_bounce / send_dispatch filtered non-serving targets already.
+  DS_ASSERT(h.power == sim::PowerState::kUp);
   if (!h.busy && h.up) {
     DS_ASSERT(h.queue.empty());
     start_service(host, job, sim::QueueingAuditor::StartSource::kDirect);
@@ -502,7 +586,7 @@ void DistributedServer::dispatch_to_host(HostId host, const workload::Job& job) 
     // job queues and waits for the completion/repair.
     if (auditor_) auditor_->on_enqueue(job.id, host);
     h.queue.push_back(job);
-    h.queued_work += job.size;
+    h.queued_work += service_time_of(job, host);
     publish_host(host);
   }
 }
@@ -512,12 +596,14 @@ void DistributedServer::start_service(HostId host, const workload::Job& job,
   Host& h = hosts_[host];
   DS_ASSERT(!h.busy);
   DS_ASSERT(h.up);
+  const double service = service_time_of(job, host);
   if (auditor_) {
-    auditor_->on_start(job.id, host, sim_.now(), job.size, source);
+    auditor_->on_start(job.id, host, sim_.now(), job.size, source, service);
   }
+  note_busy_change(+1);
   h.busy = true;
   const double start = sim_.now();
-  const double completion = start + job.size;
+  const double completion = start + service;
   h.current_completion = completion;
   h.running_job = job;
   h.service_start = start;
@@ -545,12 +631,16 @@ void DistributedServer::on_completion(HostId host, workload::JobId id,
   DS_ASSERT(h.running_job.id == id);
   const double t = sim_.now();
   if (auditor_) auditor_->on_complete(id, host, t);
+  note_busy_change(-1);
   h.busy = false;
   publish_host(host);
   const double size = h.running_job.size;
+  // Host accounting is in *time* units: a 2x host finishing a size-10 job
+  // was busy 5. Identical to size on a homogeneous fleet (x / 1.0 == x).
+  const double service = service_time_of(h.running_job, host);
   h.stats.jobs_completed += 1;
-  h.stats.busy_time += size;
-  h.stats.work_done += size;
+  h.stats.busy_time += service;
+  h.stats.work_done += service;
   // The departure event fires at exactly the scheduled completion time, so
   // this matches the record-mode rec.completion bit for bit.
   max_completion_ = std::max(max_completion_, t);
@@ -578,14 +668,26 @@ void DistributedServer::on_completion(HostId host, workload::JobId id,
 void DistributedServer::feed_idle_host(HostId host) {
   Host& h = hosts_[host];
   if (!h.up) return;  // a down host starts nothing; repair re-feeds it
+  if (h.busy) return;  // a reclaimed draining host may still be serving
+  if (h.power == sim::PowerState::kOff ||
+      h.power == sim::PowerState::kWarmingUp) {
+    return;  // powered-down hosts hold no work; warm-up completion re-feeds
+  }
   if (!h.queue.empty()) {
     const workload::Job next = h.queue.front();
     h.queue.pop_front();
-    h.queued_work -= next.size;
+    h.queued_work -= service_time_of(next, host);
     if (h.queue.empty()) h.queued_work = 0.0;  // kill accumulator drift
     // start_service publishes the final state; no intermediate publish —
     // no policy or auditor read happens between the pop and the start.
+    // A Draining host keeps working through its own backlog here.
     start_service(host, next, sim::QueueingAuditor::StartSource::kHostQueue);
+    return;
+  }
+  if (h.power == sim::PowerState::kDraining) {
+    // Backlog finished and a draining host never pulls central work: the
+    // drain is complete and the host powers off.
+    complete_drain(host);
     return;
   }
   if (!central_queue_.empty()) {
@@ -605,7 +707,10 @@ void DistributedServer::note_job_done() {
   // failure/repair/probe/timeout events far beyond the last job; stop as
   // soon as every job is resolved instead of simulating an empty system
   // through them.
-  if ((faults_enabled_ || control_enabled_) && all_jobs_done()) sim_.stop();
+  if ((faults_enabled_ || control_enabled_ || scaling_enabled_) &&
+      all_jobs_done()) {
+    sim_.stop();
+  }
 }
 
 void DistributedServer::begin_control(std::uint64_t seed) {
@@ -617,6 +722,11 @@ void DistributedServer::begin_control(std::uint64_t seed) {
   // The dispatcher starts with a fresh t=0 observation of the empty system
   // (it booted the hosts; it knows they are empty).
   snapshot_table_.reset(hosts_count_, HostStateTable::Semantics::kObserved);
+  if (heterogeneous_) {
+    for (HostId h = 0; h < hosts_count_; ++h) {
+      snapshot_table_.set_speed(h, speeds_[h], class_ids_[h]);
+    }
+  }
   if (control_config_.snapshots_enabled()) {
     for (HostId h = 0; h < hosts_count_; ++h) {
       sim_.schedule_at(control_.first_probe_at(h), sim::Event::probe(h));
@@ -635,7 +745,8 @@ void DistributedServer::probe_fired(HostId host) {
     snapshot_table_.set_up(host, live_table_.up(host));
     snapshot_table_.set_observation(host, live_table_.queue_length(host),
                                     live_table_.work_left(host, t),
-                                    live_table_.idle(host), t);
+                                    live_table_.idle(host), t,
+                                    control_.snapshot_jitter(host));
   }
   if (auditor_) auditor_->on_probe(host, t, lost);
   sim_.schedule_in(control_config_.probe_period, sim::Event::probe(host));
@@ -665,6 +776,10 @@ void DistributedServer::fault_down(HostId host, double duration, bool renewal) {
   Host& h = hosts_[host];
   ++h.down_depth;
   if (h.down_depth == 1) {
+    if (scaling_enabled_ && h.power == sim::PowerState::kUp) {
+      accrue_integrals(sim_.now());
+      --serviceable_count_;
+    }
     h.up = false;
     // Published before the interruption: a resubmitted job re-enters the
     // policy, which must already see this host as down.
@@ -682,8 +797,12 @@ void DistributedServer::fault_up(HostId host, bool renewal) {
   DS_ASSERT(h.down_depth > 0);
   --h.down_depth;
   if (h.down_depth == 0) {
+    if (scaling_enabled_ && h.power == sim::PowerState::kUp) {
+      accrue_integrals(sim_.now());
+      ++serviceable_count_;
+    }
     h.up = true;
-    live_table_.set_up(host, true);
+    refresh_accepting(host);
     h.stats.down_time += sim_.now() - h.down_since;
     if (auditor_) auditor_->on_host_up(host, sim_.now());
     feed_idle_host(host);
@@ -711,6 +830,7 @@ void DistributedServer::interrupt_running(HostId host) {
     ++restarts_[id];
   }
   ++h.service_epoch;  // orphan the pending completion event
+  note_busy_change(-1);
   h.busy = false;
   publish_host(host);  // before kResubmit's route(): the policy reads it
   switch (recovery_) {
@@ -720,7 +840,7 @@ void DistributedServer::interrupt_running(HostId host) {
             id, host, t, sim::QueueingAuditor::InterruptResolution::kRequeuedFront);
       }
       h.queue.push_front(job);
-      h.queued_work += job.size;
+      h.queued_work += service_time_of(job, host);
       publish_host(host);
       break;
     case RecoveryMode::kResubmit:
@@ -771,6 +891,199 @@ void DistributedServer::interrupt_running(HostId host) {
       note_job_done();
       break;
   }
+  // A draining host whose interrupted job left it (kResubmit / kAbandon
+  // with an empty queue) has nothing left to finish: the drain completes
+  // even while fault-down — power and faults are orthogonal axes.
+  if (scaling_enabled_ && h.power == sim::PowerState::kDraining && !h.busy &&
+      h.queue.empty()) {
+    complete_drain(host);
+  }
+}
+
+// --- autoscaler ---
+
+void DistributedServer::begin_scaling(std::uint64_t seed) {
+  scaler_ = sim::Autoscaler(scaler_config_, hosts_count_, seed);
+  scaling_stats_ = sim::ScalingStats{};
+  // Every host starts powered and serving; the first low-utilization
+  // window sheds what the workload does not need.
+  integral_mark_ = 0.0;
+  busy_integral_ = serviceable_integral_ = powered_integral_ = 0.0;
+  eval_busy_mark_ = eval_serviceable_mark_ = 0.0;
+  busy_count_ = 0;
+  serviceable_count_ = hosts_count_;  // faults schedule later than t=0 setup
+  powered_count_ = hosts_count_;
+  scaling_stats_.min_powered = hosts_count_;
+  scaling_stats_.max_powered = hosts_count_;
+  sim_.schedule_at(scaler_.first_eval_at(0.0), sim::Event::scale_eval());
+}
+
+void DistributedServer::accrue_integrals(double t) {
+  const double dt = t - integral_mark_;
+  if (dt <= 0.0) return;
+  busy_integral_ += dt * static_cast<double>(busy_count_);
+  serviceable_integral_ += dt * static_cast<double>(serviceable_count_);
+  powered_integral_ += dt * static_cast<double>(powered_count_);
+  integral_mark_ = t;
+}
+
+void DistributedServer::note_busy_change(int delta) {
+  if (!scaling_enabled_) return;
+  accrue_integrals(sim_.now());
+  busy_count_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(busy_count_) + delta);
+}
+
+void DistributedServer::refresh_accepting(HostId host) {
+  const Host& h = hosts_[host];
+  live_table_.set_up(host,
+                     h.up && h.power == sim::PowerState::kUp);
+}
+
+void DistributedServer::set_power(HostId host, sim::PowerState next) {
+  Host& h = hosts_[host];
+  const sim::PowerState prev = h.power;
+  if (prev == next) return;
+  accrue_integrals(sim_.now());
+  if (prev == sim::PowerState::kOff) ++powered_count_;
+  if (next == sim::PowerState::kOff) --powered_count_;
+  if (h.up) {
+    if (prev == sim::PowerState::kUp) --serviceable_count_;
+    if (next == sim::PowerState::kUp) ++serviceable_count_;
+  }
+  h.power = next;
+  refresh_accepting(host);
+  scaling_stats_.min_powered =
+      std::min(scaling_stats_.min_powered, powered_count_);
+  scaling_stats_.max_powered =
+      std::max(scaling_stats_.max_powered, powered_count_);
+  if (auditor_) auditor_->on_power_state(host, next, sim_.now());
+}
+
+void DistributedServer::complete_drain(HostId host) {
+  [[maybe_unused]] const Host& h = hosts_[host];
+  DS_ASSERT(h.power == sim::PowerState::kDraining);
+  DS_ASSERT(!h.busy && h.queue.empty());
+  ++scaling_stats_.drains_completed;
+  set_power(host, sim::PowerState::kOff);
+}
+
+void DistributedServer::scale_eval_fired() {
+  if (all_jobs_done()) return;  // run is winding down; stop the eval chain
+  const double t = sim_.now();
+  accrue_integrals(t);
+  ++scaling_stats_.evals;
+  // Utilization over the period since the previous sample: busy host-time
+  // per serviceable host-time. With no serviceable capacity all period
+  // (floor host fault-down), backlog counts as full pressure.
+  const double busy_dt = busy_integral_ - eval_busy_mark_;
+  const double serviceable_dt =
+      serviceable_integral_ - eval_serviceable_mark_;
+  eval_busy_mark_ = busy_integral_;
+  eval_serviceable_mark_ = serviceable_integral_;
+  double sample;
+  if (serviceable_dt > 0.0) {
+    // Busy counts draining hosts still burning down backlog, so the raw
+    // ratio can exceed 1 — that pressure is real, but the sample space is
+    // [0, 1].
+    sample = busy_dt / serviceable_dt;
+    if (sample > 1.0) sample = 1.0;
+    if (sample < 0.0) sample = 0.0;
+  } else {
+    sample = (jobs_arrived_ > jobs_done_) ? 1.0 : 0.0;
+  }
+  scaler_.add_sample(sample);
+  switch (scaler_.decide()) {
+    case sim::ScaleDecision::kUp:
+      ++scaling_stats_.scale_up_decisions;
+      apply_scale_up(scaler_config_.scale_step);
+      scaler_.clear_window();
+      break;
+    case sim::ScaleDecision::kDown:
+      ++scaling_stats_.scale_down_decisions;
+      apply_scale_down(scaler_config_.scale_step);
+      scaler_.clear_window();
+      break;
+    case sim::ScaleDecision::kNone:
+      break;
+  }
+  sim_.schedule_in(scaler_config_.check_period, sim::Event::scale_eval());
+}
+
+void DistributedServer::apply_scale_up(std::size_t step) {
+  // Reclaim draining hosts first (lowest index, mirroring the classical
+  // lowest-index tie-breaks): they are warm and often mid-backlog, so
+  // flipping them back to Up is free capacity.
+  std::size_t remaining = step;
+  for (HostId h = 0; h < hosts_count_ && remaining > 0; ++h) {
+    if (hosts_[h].power != sim::PowerState::kDraining) continue;
+    set_power(h, sim::PowerState::kUp);
+    ++scaling_stats_.drains_reclaimed;
+    --remaining;
+    feed_idle_host(h);  // an idle reclaimed host can pull central work
+  }
+  // Then cold-start powered-off hosts through the warm-up delay.
+  for (HostId h = 0; h < hosts_count_ && remaining > 0; ++h) {
+    Host& host = hosts_[h];
+    if (host.power != sim::PowerState::kOff) continue;
+    set_power(h, sim::PowerState::kWarmingUp);
+    ++scaling_stats_.hosts_powered_on;
+    --remaining;
+    ++host.power_epoch;
+    sim_.schedule_in(scaler_config_.warmup_delay,
+                     sim::Event::warmup(h, host.power_epoch));
+  }
+}
+
+void DistributedServer::apply_scale_down(std::size_t step) {
+  // The floor counts hosts that serve now or will shortly (Up + Warming);
+  // draining hosts are already leaving and do not protect the floor.
+  std::size_t serving = 0;
+  for (const Host& h : hosts_) {
+    if (h.power == sim::PowerState::kUp ||
+        h.power == sim::PowerState::kWarmingUp) {
+      ++serving;
+    }
+  }
+  if (serving <= scaler_config_.min_hosts) return;
+  std::size_t remaining =
+      std::min(step, serving - scaler_config_.min_hosts);
+  // Cancel warm-ups first (highest index — the mirror image of scale-up's
+  // lowest-index preference, so the stable core of the fleet is the low
+  // indices): nothing is invested in them yet.
+  for (HostId h = static_cast<HostId>(hosts_count_);
+       h-- > 0 && remaining > 0;) {
+    Host& host = hosts_[h];
+    if (host.power != sim::PowerState::kWarmingUp) continue;
+    ++host.power_epoch;  // fence the pending warm-up event
+    set_power(h, sim::PowerState::kOff);
+    ++scaling_stats_.warmups_cancelled;
+    --remaining;
+  }
+  // Then drain serving hosts: no new work, finish the backlog, power off.
+  for (HostId h = static_cast<HostId>(hosts_count_);
+       h-- > 0 && remaining > 0;) {
+    Host& host = hosts_[h];
+    if (host.power != sim::PowerState::kUp) continue;
+    set_power(h, sim::PowerState::kDraining);
+    ++scaling_stats_.hosts_drained;
+    --remaining;
+    // An already-idle host has nothing to drain: straight to Off.
+    if (!host.busy && host.queue.empty()) complete_drain(h);
+  }
+}
+
+void DistributedServer::warmup_fired(HostId host, std::uint64_t epoch) {
+  Host& h = hosts_[host];
+  // A cancelled warm-up bumped the epoch; the orphaned event no-ops.
+  if (h.power != sim::PowerState::kWarmingUp || h.power_epoch != epoch) {
+    return;
+  }
+  ++scaling_stats_.warmups_completed;
+  set_power(host, sim::PowerState::kUp);
+  // If the host is fault-down the repair will re-feed it; otherwise it can
+  // pull central backlog immediately.
+  feed_idle_host(host);
 }
 
 RunResult simulate(Policy& policy, const workload::Trace& trace,
@@ -802,6 +1115,16 @@ RunResult simulate_with_control(Policy& policy, const workload::Trace& trace,
                                 std::uint64_t seed) {
   DistributedServer server(hosts, policy);
   server.enable_control(control);
+  return server.run(trace, seed);
+}
+
+RunResult simulate_with_autoscaler(Policy& policy,
+                                   const workload::Trace& trace,
+                                   std::size_t hosts,
+                                   const sim::AutoscalerConfig& scaler,
+                                   std::uint64_t seed) {
+  DistributedServer server(hosts, policy);
+  server.enable_autoscaler(scaler);
   return server.run(trace, seed);
 }
 

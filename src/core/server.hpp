@@ -20,6 +20,7 @@
 #include "core/stream_metrics.hpp"
 #include "core/types.hpp"
 #include "sim/audit.hpp"
+#include "sim/autoscaler.hpp"
 #include "sim/control_plane.hpp"
 #include "sim/faults.hpp"
 #include "sim/simulator.hpp"
@@ -50,6 +51,13 @@ struct RunResult {
   /// Filled when the degraded-information control plane was enabled (see
   /// DistributedServer::enable_control).
   std::optional<sim::ControlStats> control;
+  /// Filled when the autoscaler ran (see enable_autoscaler).
+  std::optional<sim::ScalingStats> scaling;
+  /// Per-host speed factors when the fleet is heterogeneous; empty means
+  /// all hosts run at speed 1.0 (service time == job size). Offline
+  /// validation (core::validate_run) consults this to reconstruct per-job
+  /// service times.
+  std::vector<double> host_speeds;
   /// Filled for streaming runs (run_stream): the bounded-memory metric
   /// state that stands in for `records`, which is then empty.
   std::optional<StreamSummary> stream;
@@ -117,6 +125,23 @@ class DistributedServer final : public ServerView,
   /// plane disabled are bit-identical to a server without this call.
   void enable_control(const sim::ControlPlaneConfig& config);
 
+  /// Turns the elastic-fleet autoscaler (sim/autoscaler.hpp) on
+  /// (config.enabled) or off for subsequent runs. When on, fleet
+  /// utilization is sampled every check_period and hosts move through the
+  /// Off -> WarmingUp -> Up -> Draining -> Off power machine; dispatch only
+  /// ever targets power-Up hosts, draining hosts finish their backlog, and
+  /// ScalingStats land in RunResult::scaling. Scaler randomness lives on
+  /// its own RNG stream, so runs with the autoscaler disabled are
+  /// bit-identical to a server without this call.
+  void enable_autoscaler(const sim::AutoscalerConfig& config);
+
+  /// Sets per-host speed factors (service time = size / speed) for
+  /// subsequent runs. `speeds` must be empty (reset to a homogeneous
+  /// fleet) or hold one positive finite factor per host. Capacity classes
+  /// are derived by grouping equal speeds in order of first appearance.
+  /// All speeds 1.0 is bit-identical to never calling this (x / 1.0 == x).
+  void set_host_speeds(std::vector<double> speeds);
+
   // ServerView interface (used by policies during run()): the live host
   // table, maintained in lockstep with every host mutation.
   [[nodiscard]] const HostStateTable& hosts() const override {
@@ -141,6 +166,11 @@ class DistributedServer final : public ServerView,
     std::uint64_t service_epoch = 0;
     workload::Job running_job{};  ///< job in service (valid while busy)
     double service_start = 0.0;   ///< when the current service began
+    // Autoscaler state (inert — always kUp — when scaling is disabled).
+    sim::PowerState power = sim::PowerState::kUp;
+    /// Incremented when a warm-up is started or cancelled; a pending
+    /// warm-up event is valid only if its captured epoch still matches.
+    std::uint64_t power_epoch = 0;
   };
 
   /// ServerView over the dispatcher's probe-refreshed snapshot table:
@@ -210,6 +240,11 @@ class DistributedServer final : public ServerView,
   void rpc_timeout_fired(workload::JobId id, std::uint64_t epoch);
   /// Chain exhausted: place reliably on a random live up host (or hold).
   void force_place(const workload::Job& job);
+  /// The single reliable-delivery choke point: bounces a job aimed at a
+  /// non-serving (Warming/Draining/Off) host back to the dispatcher —
+  /// before the audit sees a dispatch — instead of enqueueing behind a
+  /// host that will not serve it. Returns false on a bounce.
+  bool deliver_or_bounce(const workload::Job& job, HostId target);
   /// The policy declined (or no fallback host exists): start on an idle up
   /// host now, else wait in the dispatcher's central queue.
   void hold_centrally(const workload::Job& job);
@@ -227,6 +262,29 @@ class DistributedServer final : public ServerView,
   void fault_down(HostId host, double duration, bool renewal);
   void fault_up(HostId host, bool renewal);
   void interrupt_running(HostId host);
+  // Autoscaler event handlers and the power state machine.
+  void begin_scaling(std::uint64_t seed);
+  void scale_eval_fired();
+  void warmup_fired(HostId host, std::uint64_t epoch);
+  void apply_scale_up(std::size_t step);
+  void apply_scale_down(std::size_t step);
+  /// The one power-transition site: updates counts/integrals, re-derives
+  /// the table's accepting bit, and notifies the auditor.
+  void set_power(HostId host, sim::PowerState next);
+  /// A drained host (Draining, idle, empty queue) powers off.
+  void complete_drain(HostId host);
+  /// Re-derives the live table's up bit: accepting = fault-up AND power-Up.
+  void refresh_accepting(HostId host);
+  /// Advances the busy/serviceable/powered time integrals to `t`. Called
+  /// before every count change and at each utilization sample.
+  void accrue_integrals(double t);
+  /// Busy-host count bookkeeping for the utilization integral (scaling
+  /// runs only; plain runs skip all integral work).
+  void note_busy_change(int delta);
+  [[nodiscard]] double service_time_of(const workload::Job& job,
+                                       HostId host) const {
+    return job.size / speeds_[host];
+  }
   /// Re-publishes hosts_[host]'s scheduling state into the live table
   /// (O(log h) index repair). Must run after every queue/busy mutation and
   /// before the next policy or auditor read.
@@ -243,6 +301,11 @@ class DistributedServer final : public ServerView,
 
   std::size_t hosts_count_;
   Policy* policy_;
+  /// Per-host speed factors (all 1.0 unless set_host_speeds was called).
+  std::vector<double> speeds_;
+  /// Capacity class per host (equal speeds share a class).
+  std::vector<std::uint32_t> class_ids_;
+  bool heterogeneous_ = false;
   sim::Simulator sim_;
   std::unique_ptr<sim::QueueingAuditor> auditor_;
   std::vector<Host> hosts_;
@@ -285,6 +348,24 @@ class DistributedServer final : public ServerView,
   DegradedInfo degraded_;
   std::unordered_map<workload::JobId, PendingDispatch> pending_;
   std::uint64_t rpc_epoch_ = 0;
+  // Autoscaler (inert unless enable_autoscaler turned it on).
+  bool scaling_enabled_ = false;
+  sim::AutoscalerConfig scaler_config_;
+  sim::Autoscaler scaler_;
+  sim::ScalingStats scaling_stats_;
+  /// Piecewise-constant time integrals behind the utilization samples and
+  /// the host-hours accounting: advanced by accrue_integrals() before any
+  /// of the three counts changes.
+  double integral_mark_ = 0.0;       ///< time the integrals are valid up to
+  double busy_integral_ = 0.0;       ///< sum over time of busy hosts
+  double serviceable_integral_ = 0.0;  ///< ... of accepting (Up, fault-up)
+  double powered_integral_ = 0.0;    ///< ... of non-Off hosts
+  std::size_t busy_count_ = 0;
+  std::size_t serviceable_count_ = 0;
+  std::size_t powered_count_ = 0;
+  /// Integral values at the previous utilization sample.
+  double eval_busy_mark_ = 0.0;
+  double eval_serviceable_mark_ = 0.0;
 };
 
 /// Convenience: run `trace` on `hosts` hosts under `policy`.
@@ -313,5 +394,11 @@ class DistributedServer final : public ServerView,
 [[nodiscard]] RunResult simulate_with_control(
     Policy& policy, const workload::Trace& trace, std::size_t hosts,
     const sim::ControlPlaneConfig& control, std::uint64_t seed = 1);
+
+/// Elastic convenience run: like simulate, but with the autoscaler
+/// `scaler`; ScalingStats land in RunResult::scaling.
+[[nodiscard]] RunResult simulate_with_autoscaler(
+    Policy& policy, const workload::Trace& trace, std::size_t hosts,
+    const sim::AutoscalerConfig& scaler, std::uint64_t seed = 1);
 
 }  // namespace distserv::core

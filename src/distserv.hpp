@@ -25,6 +25,7 @@
 #include "dist/rng.hpp"
 #include "dist/uniform.hpp"
 #include "dist/weibull.hpp"
+#include "sim/autoscaler.hpp"
 #include "sim/simulator.hpp"
 #include "stats/confidence.hpp"
 #include "stats/histogram.hpp"
@@ -54,6 +55,7 @@
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
 #include "core/policies/central_queue.hpp"
+#include "core/policies/class_sita.hpp"
 #include "core/policies/hybrid_sita_lwl.hpp"
 #include "core/policies/least_work_left.hpp"
 #include "core/policies/random.hpp"

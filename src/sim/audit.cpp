@@ -31,6 +31,9 @@ std::string AuditReport::to_string() const {
     out << " host_downs=" << host_downs << " host_ups=" << host_ups
         << " interruptions=" << interruptions << " abandoned=" << abandoned;
   }
+  if (power_transitions > 0) {
+    out << " power_transitions=" << power_transitions;
+  }
   if (probes + control_routes + rpc_sends > 0) {
     out << " probes=" << probes << " probe_losses=" << probe_losses
         << " control_routes=" << control_routes << " rpc_sends=" << rpc_sends
@@ -81,26 +84,55 @@ void QueueingAuditor::begin_run(std::size_t hosts) {
   system_n_changed_ = 0.0;
   last_event_ = 0.0;
   settled_dirty_ = false;
-  idle_up_hosts_ = hosts;  // every host starts up, idle, queue empty
+  idle_up_hosts_ = hosts;  // every host starts up, powered, idle, queue empty
   idle_with_queue_ = 0;
   down_busy_ = 0;
+  off_active_ = 0;
 }
 
 void QueueingAuditor::settle_sub(const HostShadow& h) {
-  if (h.up && !h.busy) {
-    --idle_up_hosts_;
-    if (!h.queue.empty()) --idle_with_queue_;
-  } else if (!h.up && h.busy) {
-    --down_busy_;
+  if (!h.up) {
+    if (h.busy) --down_busy_;
+    return;
+  }
+  switch (h.power) {
+    case PowerState::kUp:
+      if (!h.busy) {
+        --idle_up_hosts_;
+        if (!h.queue.empty()) --idle_with_queue_;
+      }
+      break;
+    case PowerState::kDraining:
+      // A draining host owes its backlog service just like an Up host, but
+      // never counts as available for centrally held work.
+      if (!h.busy && !h.queue.empty()) --idle_with_queue_;
+      break;
+    case PowerState::kWarmingUp:
+    case PowerState::kOff:
+      if (h.busy || !h.queue.empty()) --off_active_;
+      break;
   }
 }
 
 void QueueingAuditor::settle_add(const HostShadow& h) {
-  if (h.up && !h.busy) {
-    ++idle_up_hosts_;
-    if (!h.queue.empty()) ++idle_with_queue_;
-  } else if (!h.up && h.busy) {
-    ++down_busy_;
+  if (!h.up) {
+    if (h.busy) ++down_busy_;
+    return;
+  }
+  switch (h.power) {
+    case PowerState::kUp:
+      if (!h.busy) {
+        ++idle_up_hosts_;
+        if (!h.queue.empty()) ++idle_with_queue_;
+      }
+      break;
+    case PowerState::kDraining:
+      if (!h.busy && !h.queue.empty()) ++idle_with_queue_;
+      break;
+    case PowerState::kWarmingUp:
+    case PowerState::kOff:
+      if (h.busy || !h.queue.empty()) ++off_active_;
+      break;
   }
 }
 
@@ -134,7 +166,7 @@ void QueueingAuditor::check_settled(Time t) {
   // the O(h) scan below runs only to attribute it host by host. This is
   // what keeps the audited fast path flat in h (the scan used to run on
   // every time-advancing event).
-  if (idle_with_queue_ == 0 && down_busy_ == 0 &&
+  if (idle_with_queue_ == 0 && down_busy_ == 0 && off_active_ == 0 &&
       (idle_up_hosts_ == 0 || central_held_ == 0)) {
     settled_dirty_ = false;
     return;
@@ -151,12 +183,25 @@ void QueueingAuditor::check_settled(Time t) {
       }
       continue;
     }
+    if (h.power == PowerState::kOff || h.power == PowerState::kWarmingUp) {
+      if (h.busy || !h.queue.empty()) {
+        violate("power-semantics", t,
+                describe_host(static_cast<HostIndex>(i)) + " holds work (" +
+                    std::to_string(h.queue.size() + (h.busy ? 1u : 0u)) +
+                    " job(s)) in power state " + to_string(h.power));
+      }
+      continue;
+    }
     if (!h.busy && !h.queue.empty()) {
       violate("work-conservation", t,
               describe_host(static_cast<HostIndex>(i)) + " is idle with " +
-                  std::to_string(h.queue.size()) + " queued job(s)");
+                  std::to_string(h.queue.size()) + " queued job(s)" +
+                  (h.power == PowerState::kDraining ? " while draining"
+                                                    : ""));
     }
-    if (!h.busy) any_idle = true;
+    // Only fully accepting hosts count as available for central work;
+    // a draining host lawfully sits idle once its backlog is gone.
+    if (!h.busy && h.power == PowerState::kUp) any_idle = true;
   }
   if (any_idle && central_held_ > 0) {
     violate("work-conservation", t,
@@ -226,7 +271,15 @@ void QueueingAuditor::on_dispatch(JobId id, HostIndex host) {
   ++report_.dispatches;
   const Time t = last_event_;
   JobShadow* job = find_job(id, "on_dispatch", t);
-  if (find_host(host, "on_dispatch", t) == nullptr) return;
+  HostShadow* h = find_host(host, "on_dispatch", t);
+  if (h == nullptr) return;
+  if (h->power != PowerState::kUp) {
+    // The server must bounce (re-hold) a dispatch that races a scaling
+    // decision before it reaches the host, never deliver it.
+    violate("power-semantics", t,
+            describe_job(id) + " dispatched to " + describe_host(host) +
+                " in power state " + to_string(h->power));
+  }
   if (job == nullptr) return;
   if (job->state != JobState::kArrived) {
     violate("state-machine", t,
@@ -270,7 +323,11 @@ void QueueingAuditor::on_enqueue(JobId id, HostIndex host) {
             describe_job(id) + " enqueued after leaving the arrival state");
     return;
   }
-  if (!h->busy && h->up) {
+  if (h->power != PowerState::kUp) {
+    violate("power-semantics", t,
+            describe_job(id) + " enqueued on " + describe_host(host) +
+                " in power state " + to_string(h->power));
+  } else if (!h->busy && h->up) {
     // Queueing at an idle *up* host breaks work conservation; queueing at
     // a down host is exactly what the failure model prescribes.
     violate("work-conservation", t,
@@ -288,7 +345,7 @@ void QueueingAuditor::on_enqueue(JobId id, HostIndex host) {
 }
 
 void QueueingAuditor::on_start(JobId id, HostIndex host, Time t, double size,
-                               StartSource source) {
+                               StartSource source, double service_time) {
   ++report_.starts;
   JobShadow* job = find_job(id, "on_start", t);
   HostShadow* h = find_host(host, "on_start", t);
@@ -299,6 +356,12 @@ void QueueingAuditor::on_start(JobId id, HostIndex host, Time t, double size,
             describe_job(id) + " starts with size " + std::to_string(size) +
                 " but arrived with size " + std::to_string(job->size));
   }
+  const double service = service_time < 0.0 ? size : service_time;
+  if (!(service > 0.0) || !std::isfinite(service)) {
+    violate("state-machine", t,
+            describe_job(id) + " starts with service time " +
+                std::to_string(service));
+  }
   if (h->busy) {
     violate("work-conservation", t,
             describe_job(id) + " starts on busy " + describe_host(host) +
@@ -307,6 +370,17 @@ void QueueingAuditor::on_start(JobId id, HostIndex host, Time t, double size,
   if (!h->up) {
     violate("failure-semantics", t,
             describe_job(id) + " starts on down " + describe_host(host));
+  }
+  if (h->power == PowerState::kOff || h->power == PowerState::kWarmingUp) {
+    violate("power-semantics", t,
+            describe_job(id) + " starts on " + describe_host(host) +
+                " in power state " + to_string(h->power));
+  } else if (h->power == PowerState::kDraining &&
+             source != StartSource::kHostQueue) {
+    // Draining hosts finish their own backlog and nothing else.
+    violate("power-semantics", t,
+            describe_job(id) + " started on draining " + describe_host(host) +
+                " from outside its own queue");
   }
   switch (source) {
     case StartSource::kHostQueue: {
@@ -372,6 +446,7 @@ void QueueingAuditor::on_start(JobId id, HostIndex host, Time t, double size,
   h->busy = true;
   h->running = id;
   h->service_start = t;
+  h->service_time = service;
   settle_add(*h);
   settled_dirty_ = true;
 }
@@ -391,19 +466,19 @@ void QueueingAuditor::on_complete(JobId id, HostIndex host, Time t) {
     violate("failure-semantics", t,
             describe_job(id) + " completed on down " + describe_host(host));
   }
-  const Time expected = h->service_start + job->size;
+  const Time expected = h->service_start + h->service_time;
   if (!stats::close(t, expected, config_.accounting_rtol, config_.time_tol)) {
     std::ostringstream detail;
     detail << describe_job(id) << " completed at t=" << t << ", expected t="
-           << expected << " (start " << h->service_start << " + size "
-           << job->size << ")";
+           << expected << " (start " << h->service_start << " + service "
+           << h->service_time << ")";
     violate("service-time", t, detail.str());
   }
   settle_sub(*h);
   h->busy = false;
   settle_add(*h);
   h->busy_integral += t - h->service_start;
-  h->work_completed += job->size;
+  h->work_completed += h->service_time;
   advance_host_integral(*h, t);
   if (h->n == 0) {
     violate("state-machine", t, describe_host(host) + " job count underflow");
@@ -531,6 +606,48 @@ void QueueingAuditor::on_interrupt(JobId id, HostIndex host, Time t,
       !job->rpc_placed) {
     jobs_.erase(id);
   }
+}
+
+void QueueingAuditor::on_power_state(HostIndex host, PowerState next, Time t) {
+  ++report_.power_transitions;
+  HostShadow* h = find_host(host, "on_power_state", t);
+  if (h == nullptr) return;
+  const PowerState prev = h->power;
+  bool legal = false;
+  switch (prev) {
+    case PowerState::kUp:
+      legal = next == PowerState::kDraining;
+      break;
+    case PowerState::kDraining:
+      // Backlog done -> Off; or reclaimed by a scale-up while still warm.
+      legal = next == PowerState::kOff || next == PowerState::kUp;
+      break;
+    case PowerState::kOff:
+      legal = next == PowerState::kWarmingUp;
+      break;
+    case PowerState::kWarmingUp:
+      // Warm-up completed, or cancelled by a scale-down before it fired.
+      legal = next == PowerState::kUp || next == PowerState::kOff;
+      break;
+  }
+  if (!legal) {
+    violate("power-semantics", t,
+            describe_host(host) + std::string(" moved ") + to_string(prev) +
+                " -> " + to_string(next) +
+                " outside the power state machine");
+  }
+  if (next == PowerState::kOff && (h->busy || !h->queue.empty())) {
+    // A drain must complete its backlog before the host powers off (and a
+    // warming host can never have acquired work at all).
+    violate("power-semantics", t,
+            describe_host(host) + " powered off holding " +
+                std::to_string(h->queue.size() + (h->busy ? 1u : 0u)) +
+                " job(s)");
+  }
+  settle_sub(*h);
+  h->power = next;
+  settle_add(*h);
+  settled_dirty_ = true;
 }
 
 void QueueingAuditor::on_probe(HostIndex host, Time t, bool lost) {

@@ -15,8 +15,10 @@
 //                            (push) order;
 //   * work-conservation    — no host idles while its queue is non-empty, and
 //                            no job waits centrally while any host is idle;
-//   * service-time         — a job completes exactly size seconds after it
-//                            starts, on the host that started it;
+//   * service-time         — a job completes exactly its service time
+//                            (size / host speed; size on a homogeneous
+//                            fleet) after it starts, on the host that
+//                            started it;
 //   * route-consistency    — with an expected-route oracle installed (SITA
 //                            cutoffs), every dispatch lands in the interval
 //                            the oracle names;
@@ -26,6 +28,13 @@
 //                            a job; interruptions happen only to the job in
 //                            service on a host that just went down; up/down
 //                            transitions strictly alternate.
+//   * power-semantics      — (elastic fleets, sim/autoscaler.hpp) jobs are
+//                            dispatched and enqueued only on hosts in the Up
+//                            power state; a Draining host may start jobs
+//                            only from its own queue; power transitions
+//                            follow the Off -> WarmingUp -> Up -> Draining
+//                            -> Off machine; a host never powers off (or
+//                            warms up) while holding queued or running work.
 // Control-plane invariants (sim/control_plane.hpp; inert without it):
 //   * stale-dispatch       — a state-sensitive policy never routes at its
 //                            primary level from a snapshot older than the
@@ -63,6 +72,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/autoscaler.hpp"
 #include "sim/event_queue.hpp"
 
 namespace distserv::sim {
@@ -115,6 +125,8 @@ struct AuditReport {
   std::uint64_t host_ups = 0;      ///< down -> up transitions observed
   std::uint64_t interruptions = 0; ///< in-service jobs cut by failures
   std::uint64_t abandoned = 0;     ///< jobs dropped (RecoveryMode::kAbandon)
+  /// Autoscaler traffic (zero when the fleet is not elastic).
+  std::uint64_t power_transitions = 0;
   // Control-plane traffic (zero when the control plane is off).
   std::uint64_t probes = 0;             ///< state probes observed
   std::uint64_t probe_losses = 0;
@@ -207,8 +219,10 @@ class QueueingAuditor {
   /// The policy declined and no host was idle; `id` waits centrally.
   void on_hold(JobId id);
   void on_enqueue(JobId id, HostIndex host);
+  /// `service_time` is the host-local duration (size / host speed); negative
+  /// (the default) means "equal to size", the homogeneous-fleet case.
   void on_start(JobId id, HostIndex host, Time t, double size,
-                StartSource source);
+                StartSource source, double service_time = -1.0);
   void on_complete(JobId id, HostIndex host, Time t);
   // Failure-model hooks. The server calls on_host_down first, then
   // on_interrupt for the in-service job (if any).
@@ -216,6 +230,10 @@ class QueueingAuditor {
   void on_host_up(HostIndex host, Time t);
   void on_interrupt(JobId id, HostIndex host, Time t,
                     InterruptResolution resolution);
+  /// Autoscaler hook: `host` moved to power state `next` at `t`. Checks the
+  /// transition against the power state machine and that the host carries
+  /// no work out of the powered states (power-semantics).
+  void on_power_state(HostIndex host, PowerState next, Time t);
   // Control-plane hooks (sim/control_plane.hpp). A probe observed `host`
   // at `t` (or was lost); the shadow probe times feed the snapshot-age
   // recomputation.
@@ -269,9 +287,12 @@ class QueueingAuditor {
     std::deque<JobId> queue;  ///< waiting jobs, excluding the one in service
     bool busy = false;
     bool up = true;           ///< mirrors the failure model's host state
+    /// Mirrors the autoscaler's power state (kUp forever when not elastic).
+    PowerState power = PowerState::kUp;
     Time last_probe = 0.0;    ///< last successful control-plane probe
     JobId running = 0;
     Time service_start = 0.0;
+    double service_time = 0.0;  ///< host-local duration of the running job
     // Accounting integrals for the drain-time identities.
     double busy_integral = 0.0;    ///< total time in service
     double work_completed = 0.0;   ///< sum of completed sizes
@@ -311,9 +332,12 @@ class QueueingAuditor {
   Time last_event_ = 0.0;
   bool settled_dirty_ = false;  ///< state changed since last settled check
   // Settled-check counters (see check_settled).
-  std::size_t idle_up_hosts_ = 0;    ///< hosts with up && !busy
-  std::size_t idle_with_queue_ = 0;  ///< up && !busy && queue non-empty
+  std::size_t idle_up_hosts_ = 0;    ///< up && power Up && !busy
+  std::size_t idle_with_queue_ = 0;  ///< up, idle, queue non-empty (Up or
+                                     ///< Draining power state — both must
+                                     ///< serve their backlog)
   std::size_t down_busy_ = 0;        ///< !up && busy
+  std::size_t off_active_ = 0;       ///< Off/WarmingUp holding work
 };
 
 }  // namespace distserv::sim

@@ -1,0 +1,87 @@
+#include "sim/autoscaler.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace distserv::sim {
+
+const char* to_string(PowerState state) noexcept {
+  switch (state) {
+    case PowerState::kUp:
+      return "Up";
+    case PowerState::kWarmingUp:
+      return "WarmingUp";
+    case PowerState::kDraining:
+      return "Draining";
+    case PowerState::kOff:
+      return "Off";
+  }
+  return "?";
+}
+
+Autoscaler::Autoscaler(const AutoscalerConfig& config, std::size_t hosts,
+                       std::uint64_t seed)
+    : config_(config), stream_(seed ^ config.stream_tag) {
+  DS_EXPECTS(hosts >= 1);
+  DS_EXPECTS(config.check_period > 0.0 && std::isfinite(config.check_period));
+  DS_EXPECTS(config.scale_up_threshold > 0.0 &&
+             config.scale_up_threshold <= 1.0);
+  DS_EXPECTS(config.scale_down_threshold >= 0.0 &&
+             config.scale_down_threshold < config.scale_up_threshold);
+  DS_EXPECTS(config.window >= 1);
+  DS_EXPECTS(config.warmup_delay >= 0.0 && std::isfinite(config.warmup_delay));
+  DS_EXPECTS(config.min_hosts >= 1 && config.min_hosts <= hosts);
+  DS_EXPECTS(config.scale_step >= 1);
+  DS_EXPECTS(config.phase_jitter >= 0.0 && config.phase_jitter < 1.0);
+  samples_.assign(config_.window, 0.0);
+}
+
+Time Autoscaler::first_eval_at(Time t0) {
+  // The phase draw is the stream's first (and only per-run) consumption;
+  // with jitter 0 the stream is never touched, so jitter-free enabled runs
+  // share draws with every other jitter-free run of the same config.
+  double phase = 0.0;
+  if (config_.phase_jitter > 0.0) {
+    phase = stream_.uniform01() * config_.phase_jitter;
+  }
+  return t0 + config_.check_period * (1.0 + phase);
+}
+
+void Autoscaler::add_sample(double utilization) {
+  DS_EXPECTS(utilization >= 0.0 && utilization <= 1.0);
+  if (filled_ == config_.window) {
+    sum_ -= samples_[next_];
+  } else {
+    ++filled_;
+  }
+  samples_[next_] = utilization;
+  sum_ += utilization;
+  next_ = (next_ + 1) % config_.window;
+}
+
+double Autoscaler::window_mean() const noexcept {
+  if (filled_ == 0) return 0.0;
+  const double mean = sum_ / static_cast<double>(filled_);
+  // The running sum drifts by at most a few ulps; decisions compare against
+  // thresholds, so clamping to [0, 1] is cosmetic but keeps reports sane.
+  if (mean < 0.0) return 0.0;
+  if (mean > 1.0) return 1.0;
+  return mean;
+}
+
+ScaleDecision Autoscaler::decide() const noexcept {
+  if (filled_ < config_.window) return ScaleDecision::kNone;
+  const double mean = window_mean();
+  if (mean > config_.scale_up_threshold) return ScaleDecision::kUp;
+  if (mean < config_.scale_down_threshold) return ScaleDecision::kDown;
+  return ScaleDecision::kNone;
+}
+
+void Autoscaler::clear_window() {
+  next_ = 0;
+  filled_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace distserv::sim

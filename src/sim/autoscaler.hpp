@@ -1,0 +1,155 @@
+// Elastic-fleet autoscaler — a deterministic hysteresis controller.
+//
+// The server samples fleet utilization once per `check_period` and feeds a
+// sliding window of the last `window` samples to the controller. When the
+// window is full and its mean crosses `scale_up_threshold`, powered-off
+// hosts are brought back (reclaiming Draining hosts first — they are still
+// warm — then WarmingUp cold starts with a `warmup_delay`); when it falls
+// below `scale_down_threshold`, hosts are released Up -> Draining: they
+// accept no new work but finish their backlog, then power Off. A
+// `min_hosts` floor is never crossed, and the window is cleared after every
+// action so a decision must be re-earned from fresh samples (hysteresis).
+//
+// The per-host power state machine the server drives:
+//
+//     Off -> WarmingUp -> Up -> Draining -> Off
+//            (cancel)^--/       \--^ (reclaim)
+//
+// A cancelled warm-up (scale-down before the delay elapses) and a reclaimed
+// drain (scale-up before the backlog clears) take the short edges; stale
+// warm-up events are fenced by a per-host power epoch, in the idiom of the
+// service-epoch fences the fault model uses.
+//
+// Determinism contract: the controller's only randomness — the phase of the
+// first evaluation tick, which desynchronizes the scaler from arrival
+// batches — comes from a dedicated RNG stream keyed by `stream_tag`,
+// disjoint from the arrival/policy/fault/control streams. A run with the
+// autoscaler disabled consumes exactly the same random numbers as before
+// this subsystem existed and stays bit-identical; an enabled run is
+// reproducible from (seed, AutoscalerConfig) alone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dist/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace distserv::sim {
+
+/// Power state of a host under the autoscaler. Orthogonal to the fault
+/// model's up/down: a host is *accepting* only when it is fault-up AND
+/// power state kUp. Every host in a non-elastic run is kUp forever.
+enum class PowerState : std::uint8_t {
+  kUp,         ///< powered and accepting work (the default)
+  kWarmingUp,  ///< powering on; serves nothing until the warm-up fires
+  kDraining,   ///< accepts no new work, finishes its queue, then powers off
+  kOff,        ///< powered down, queue empty
+};
+
+[[nodiscard]] const char* to_string(PowerState state) noexcept;
+
+/// What one evaluation of the utilization window asked for.
+enum class ScaleDecision : std::uint8_t { kNone, kUp, kDown };
+
+/// Autoscaler knobs. Default-constructed = disabled (zero cost, and the
+/// simulation is bit-identical to a build without the subsystem).
+struct AutoscalerConfig {
+  /// Master switch; when false the server schedules no scaler events at all.
+  bool enabled = false;
+  /// Sampling/evaluation period; must be > 0 when enabled.
+  double check_period = 0.0;
+  /// Window-mean utilization above this asks for more capacity. (0, 1].
+  double scale_up_threshold = 0.75;
+  /// Window-mean utilization below this releases capacity. Must be
+  /// strictly below scale_up_threshold (the hysteresis band).
+  double scale_down_threshold = 0.35;
+  /// Sliding-window length in samples; >= 1. Decisions require a full
+  /// window, and every action clears it.
+  std::size_t window = 4;
+  /// Delay between powering a host on and it accepting work; >= 0.
+  double warmup_delay = 0.0;
+  /// Fleet floor: at least this many hosts stay powered (Up or WarmingUp)
+  /// no matter how idle the window looks. >= 1.
+  std::size_t min_hosts = 1;
+  /// Hosts powered on / released per decision; >= 1.
+  std::size_t scale_step = 1;
+  /// Phase of the first evaluation as a fraction of check_period, drawn
+  /// uniformly from [0, phase_jitter]; 0 keeps the scaler on the grid.
+  double phase_jitter = 0.0;
+  /// Keys the dedicated autoscaler RNG stream ("SCALE" tag); change only
+  /// to run decorrelated scaling scenarios over one master seed.
+  std::uint64_t stream_tag = 0x5343414c45ULL;
+};
+
+/// The hysteresis controller: owns the utilization window and the dedicated
+/// RNG stream. The server owns the per-host power states and applies the
+/// decisions; this class only says when and in which direction to scale.
+class Autoscaler {
+ public:
+  Autoscaler() = default;
+
+  /// Validates `config` (period/threshold/window/floor ranges against
+  /// `hosts`) and derives the dedicated stream from `seed`.
+  Autoscaler(const AutoscalerConfig& config, std::size_t hosts,
+             std::uint64_t seed);
+
+  /// Absolute time of the first evaluation tick; consumes the one phase
+  /// draw when phase_jitter > 0 (and no RNG at all otherwise).
+  [[nodiscard]] Time first_eval_at(Time t0);
+
+  /// Folds one utilization sample [0, 1] into the sliding window.
+  void add_sample(double utilization);
+  [[nodiscard]] bool window_full() const noexcept {
+    return filled_ == config_.window;
+  }
+  /// Mean of the current window contents (0 when empty).
+  [[nodiscard]] double window_mean() const noexcept;
+  /// Direction the full window asks for (kNone when not yet full or the
+  /// mean sits inside the hysteresis band).
+  [[nodiscard]] ScaleDecision decide() const noexcept;
+  /// Forgets all samples — called after every applied action so the next
+  /// decision is earned from fresh post-action evidence.
+  void clear_window();
+
+  [[nodiscard]] const AutoscalerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  AutoscalerConfig config_;
+  dist::Rng stream_;
+  std::vector<double> samples_;  ///< circular, capacity = config_.window
+  std::size_t next_ = 0;         ///< write cursor
+  std::size_t filled_ = 0;       ///< valid entries, <= window
+  double sum_ = 0.0;             ///< running sum of valid entries
+};
+
+/// Scaling counters surfaced through RunResult (present only when the
+/// autoscaler ran). host_time_* are integrals over the run: `powered` sums
+/// non-Off host-time, `total` sums all host-time — their ratio is the
+/// cost-of-capacity axis the elastic sweep plots.
+struct ScalingStats {
+  std::uint64_t evals = 0;             ///< kScaleEval events fired
+  std::uint64_t scale_up_decisions = 0;
+  std::uint64_t scale_down_decisions = 0;
+  std::uint64_t hosts_powered_on = 0;   ///< Off -> WarmingUp starts
+  std::uint64_t drains_reclaimed = 0;   ///< Draining -> Up (still warm)
+  std::uint64_t warmups_completed = 0;  ///< WarmingUp -> Up
+  std::uint64_t warmups_cancelled = 0;  ///< WarmingUp -> Off (epoch fenced)
+  std::uint64_t hosts_drained = 0;      ///< Up -> Draining
+  std::uint64_t drains_completed = 0;   ///< Draining -> Off (backlog done)
+  /// Direct dispatches that raced a scale-down and hit a non-accepting
+  /// host; the job was re-held and re-routed, never dropped.
+  std::uint64_t bounced_dispatches = 0;
+  /// RPC dispatches refused by a non-accepting target (stale snapshot
+  /// lagging a scaling decision); the retry/fallback chain re-routes them.
+  std::uint64_t rpc_rejects = 0;
+  double host_time_powered = 0.0;  ///< integral of non-Off hosts over time
+  double host_time_total = 0.0;    ///< hosts * makespan
+  std::size_t min_powered = 0;     ///< low-water mark of powered hosts
+  std::size_t max_powered = 0;     ///< high-water mark of powered hosts
+};
+
+}  // namespace distserv::sim

@@ -69,6 +69,8 @@ ControlPlane::ControlPlane(const ControlPlaneConfig& config, std::size_t hosts,
     DS_EXPECTS(config.fallback != FallbackMode::kNone);
     DS_EXPECTS(config.probe_period > 0.0);
   }
+  DS_EXPECTS(config.snapshot_jitter >= 0.0 && config.snapshot_jitter <= 1.0);
+  if (config.snapshot_jitter > 0.0) DS_EXPECTS(config.probe_period > 0.0);
 
   // Per-host probe substreams plus a shared RPC/fallback stream at
   // split(hosts), disjoint from every per-host stream.
@@ -84,6 +86,16 @@ ControlPlane::ControlPlane(const ControlPlaneConfig& config, std::size_t hosts,
     first_probe_.push_back(u * config.probe_jitter * config.probe_period);
   }
   rpc_stream_ = root.split(hosts);
+
+  // Jitter substreams hang off a separately-tagged root so turning the
+  // amplitude on never shifts a draw on the probe or RPC streams.
+  if (config.snapshot_jitter > 0.0) {
+    dist::Rng jitter_root(seed ^ config.stream_tag ^ 0x4a495454ULL);
+    jitter_streams_.reserve(hosts);
+    for (std::size_t h = 0; h < hosts; ++h) {
+      jitter_streams_.push_back(jitter_root.split(h));
+    }
+  }
 }
 
 Time ControlPlane::first_probe_at(std::uint32_t host) const {
@@ -95,6 +107,14 @@ bool ControlPlane::probe_lost(std::uint32_t host) {
   DS_EXPECTS(host < probe_streams_.size());
   if (config_.probe_loss <= 0.0) return false;
   return probe_streams_[host].bernoulli(config_.probe_loss);
+}
+
+double ControlPlane::snapshot_jitter(std::uint32_t host) {
+  if (config_.snapshot_jitter <= 0.0) return 0.0;
+  DS_EXPECTS(host < jitter_streams_.size());
+  // uniform01() < 1 and the amplitude is <= 1, so the result stays strictly
+  // below one queue slot: jitter can reorder exact ties, never real ranks.
+  return jitter_streams_[host].uniform01() * config_.snapshot_jitter;
 }
 
 bool ControlPlane::request_lost() {

@@ -120,6 +120,14 @@ struct ControlPlaneConfig {
   /// state. 0 disables the bound. Requires fallback != kNone when set.
   double staleness_bound = 0.0;
   FallbackMode fallback = FallbackMode::kChain;
+  /// Tie-break jitter amplitude in [0, 1]: each delivered probe perturbs
+  /// the observed queue length by a fresh draw in [0, snapshot_jitter),
+  /// strictly less than one queue slot, so it can only reorder exact ties.
+  /// Breaks the snapshot-herding mode where every dispatcher decision
+  /// between probes piles onto one modal host at large h (all queue keys
+  /// tie at 0 after an idle spell and argmin picks the lowest index).
+  /// 0 disables jitter and consumes no RNG. Requires probe_period > 0.
+  double snapshot_jitter = 0.0;
   /// Keys the dedicated control RNG stream ("CTRL" tag); change only to run
   /// decorrelated control-plane scenarios over one master seed.
   std::uint64_t stream_tag = 0x4354524cULL;
@@ -211,6 +219,11 @@ class ControlPlane {
   /// Draws whether the next probe of `host` is lost.
   [[nodiscard]] bool probe_lost(std::uint32_t host);
 
+  /// Tie-break jitter for one delivered probe of `host`: a fresh draw in
+  /// [0, snapshot_jitter). Returns 0.0 — and consumes no RNG — when the
+  /// amplitude is 0, so jitter-free runs keep their exact draw sequences.
+  [[nodiscard]] double snapshot_jitter(std::uint32_t host);
+
   /// Draws whether a dispatch request is lost in flight.
   [[nodiscard]] bool request_lost();
   /// Draws whether a delivered dispatch's ack is lost.
@@ -232,6 +245,9 @@ class ControlPlane {
   std::vector<dist::Rng> probe_streams_;
   std::vector<Time> first_probe_;
   dist::Rng rpc_stream_{0};
+  /// Per-host jitter substreams, rooted at seed ^ stream_tag ^ "JITT" so
+  /// enabling jitter never perturbs the probe/RPC draw sequences above.
+  std::vector<dist::Rng> jitter_streams_;
 };
 
 }  // namespace distserv::sim

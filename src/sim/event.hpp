@@ -30,6 +30,9 @@ enum class EventKind : std::uint8_t {
   kHostRepair,  ///< outage ends: host, flag = renewal (reschedules the chain)
   kProbe,       ///< control-plane state probe of `host` is due
   kRpcTimeout,  ///< dispatch RPC timeout: id = job, epoch = chain epoch
+  kScaleEval,   ///< periodic autoscaler utilization check (no payload)
+  kWarmup,      ///< host finishes warming up: host, epoch = power epoch
+                ///< (a cancelled warm-up bumps the epoch; stale fires no-op)
   kTimer,       ///< generic timer for other simulator clients (tests, ad-hoc
                 ///< models): id/epoch/value/host mean whatever they schedule
 };
@@ -89,6 +92,19 @@ struct Event {
     Event e;
     e.kind = EventKind::kRpcTimeout;
     e.id = job;
+    e.epoch = epoch;
+    return e;
+  }
+  [[nodiscard]] static Event scale_eval() noexcept {
+    Event e;
+    e.kind = EventKind::kScaleEval;
+    return e;
+  }
+  [[nodiscard]] static Event warmup(std::uint32_t host,
+                                    std::uint64_t epoch) noexcept {
+    Event e;
+    e.kind = EventKind::kWarmup;
+    e.host = host;
     e.epoch = epoch;
     return e;
   }

@@ -16,6 +16,13 @@ BenchOptions parse(std::vector<const char*> args) {
   return BenchOptions::parse(static_cast<int>(args.size()), args.data());
 }
 
+BenchOptions parse_elastic(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench_under_test");
+  return BenchOptions::parse(static_cast<int>(args.size()), args.data(),
+                             "c90", {}, /*sweeps_probe_period=*/false,
+                             /*supports_elastic=*/true);
+}
+
 TEST(BenchFlags, ControlPlaneIsOffByDefault) {
   const BenchOptions o = parse({});
   const core::ExperimentConfig cfg = o.experiment_config(4);
@@ -101,6 +108,75 @@ TEST(BenchFlagsDeathTest, MalformedRetriesExits) {
 TEST(BenchFlagsDeathTest, MisspelledControlFlagExits) {
   EXPECT_EXIT(parse({"--probe-perid", "1.0"}),
               ::testing::ExitedWithCode(2), "probe-perid");
+}
+
+TEST(BenchFlags, ElasticFlagsAreOffByDefault) {
+  const BenchOptions o = parse_elastic({});
+  const core::ExperimentConfig cfg = o.experiment_config(4);
+  EXPECT_TRUE(cfg.host_speeds.empty());
+  EXPECT_FALSE(cfg.autoscaler.enabled);
+}
+
+TEST(BenchFlags, ElasticFlagsWireIntoTheExperimentConfig) {
+  const BenchOptions o = parse_elastic({"--speeds", "1,2,4",
+                                        "--scale-up", "0.8",
+                                        "--scale-down", "0.2",
+                                        "--scale-period", "10",
+                                        "--warmup", "5",
+                                        "--min-hosts", "3"});
+  const core::ExperimentConfig cfg = o.experiment_config(5);
+  // The speeds pattern tiles cyclically across the fleet.
+  ASSERT_EQ(cfg.host_speeds.size(), 5u);
+  EXPECT_DOUBLE_EQ(cfg.host_speeds[0], 1.0);
+  EXPECT_DOUBLE_EQ(cfg.host_speeds[1], 2.0);
+  EXPECT_DOUBLE_EQ(cfg.host_speeds[2], 4.0);
+  EXPECT_DOUBLE_EQ(cfg.host_speeds[3], 1.0);
+  EXPECT_DOUBLE_EQ(cfg.host_speeds[4], 2.0);
+  ASSERT_TRUE(cfg.autoscaler.enabled);
+  EXPECT_DOUBLE_EQ(cfg.autoscaler.scale_up_threshold, 0.8);
+  EXPECT_DOUBLE_EQ(cfg.autoscaler.scale_down_threshold, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.autoscaler.check_period, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.autoscaler.warmup_delay, 5.0);
+  EXPECT_EQ(cfg.autoscaler.min_hosts, 3u);
+}
+
+TEST(BenchFlagsDeathTest, ElasticFlagsAreUnknownWithoutOptIn) {
+  EXPECT_EXIT(parse({"--speeds", "1,2"}),
+              ::testing::ExitedWithCode(2), "speeds");
+  EXPECT_EXIT(parse({"--scale-up", "0.8"}),
+              ::testing::ExitedWithCode(2), "scale-up");
+}
+
+TEST(BenchFlagsDeathTest, NonPositiveSpeedExits) {
+  EXPECT_EXIT(parse_elastic({"--speeds", "1,0,2"}),
+              ::testing::ExitedWithCode(2), "--speeds");
+  EXPECT_EXIT(parse_elastic({"--speeds", "1,-3"}),
+              ::testing::ExitedWithCode(2), "--speeds");
+}
+
+TEST(BenchFlagsDeathTest, MalformedSpeedExits) {
+  EXPECT_EXIT(parse_elastic({"--speeds", "fast,slow"}),
+              ::testing::ExitedWithCode(2), "--speeds");
+}
+
+TEST(BenchFlagsDeathTest, ScaleUpAboveOneIsOutOfRange) {
+  EXPECT_EXIT(parse_elastic({"--scale-up", "1.5"}),
+              ::testing::ExitedWithCode(2), "scale-up");
+}
+
+TEST(BenchFlagsDeathTest, ScaleDownAboveScaleUpExits) {
+  EXPECT_EXIT(parse_elastic({"--scale-up", "0.5", "--scale-down", "0.6"}),
+              ::testing::ExitedWithCode(2), "--scale-down");
+}
+
+TEST(BenchFlagsDeathTest, WarmupWithoutScaleUpExits) {
+  EXPECT_EXIT(parse_elastic({"--warmup", "5"}),
+              ::testing::ExitedWithCode(2), "--scale-up");
+}
+
+TEST(BenchFlagsDeathTest, MinHostsOfZeroIsOutOfRange) {
+  EXPECT_EXIT(parse_elastic({"--scale-up", "0.8", "--min-hosts", "0"}),
+              ::testing::ExitedWithCode(2), "min-hosts");
 }
 
 }  // namespace

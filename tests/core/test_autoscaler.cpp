@@ -1,0 +1,260 @@
+// The hysteresis autoscaler: config validation, window/decision mechanics
+// on the controller in isolation, and the server-level contracts — a
+// disabled scaler leaves runs bit-identical, a calm fleet drains down to
+// the floor, and a burst after a calm stretch powers hosts back on through
+// the warm-up path without losing a job.
+#include "sim/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/server.hpp"
+#include "util/contracts.hpp"
+#include "workload/catalog.hpp"
+
+namespace distserv::core {
+namespace {
+
+using sim::Autoscaler;
+using sim::AutoscalerConfig;
+using sim::ScaleDecision;
+using workload::Job;
+using workload::Trace;
+
+AutoscalerConfig valid_config() {
+  AutoscalerConfig config;
+  config.enabled = true;
+  config.check_period = 10.0;
+  config.scale_up_threshold = 0.75;
+  config.scale_down_threshold = 0.35;
+  config.window = 3;
+  return config;
+}
+
+TEST(AutoscalerConfigValidation, RejectsOutOfRangeKnobs) {
+  const std::uint64_t seed = 1;
+  {
+    AutoscalerConfig c = valid_config();
+    c.check_period = 0.0;
+    EXPECT_THROW(Autoscaler(c, 4, seed), ContractViolation);
+  }
+  {
+    AutoscalerConfig c = valid_config();
+    c.scale_up_threshold = 1.5;
+    EXPECT_THROW(Autoscaler(c, 4, seed), ContractViolation);
+  }
+  {
+    // A degenerate hysteresis band (down == up) would chatter; rejected.
+    AutoscalerConfig c = valid_config();
+    c.scale_down_threshold = c.scale_up_threshold;
+    EXPECT_THROW(Autoscaler(c, 4, seed), ContractViolation);
+  }
+  {
+    AutoscalerConfig c = valid_config();
+    c.window = 0;
+    EXPECT_THROW(Autoscaler(c, 4, seed), ContractViolation);
+  }
+  {
+    AutoscalerConfig c = valid_config();
+    c.warmup_delay = -1.0;
+    EXPECT_THROW(Autoscaler(c, 4, seed), ContractViolation);
+  }
+  {
+    AutoscalerConfig c = valid_config();
+    c.min_hosts = 0;
+    EXPECT_THROW(Autoscaler(c, 4, seed), ContractViolation);
+  }
+  {
+    // The floor cannot exceed the fleet.
+    AutoscalerConfig c = valid_config();
+    c.min_hosts = 5;
+    EXPECT_THROW(Autoscaler(c, 4, seed), ContractViolation);
+  }
+  {
+    AutoscalerConfig c = valid_config();
+    c.scale_step = 0;
+    EXPECT_THROW(Autoscaler(c, 4, seed), ContractViolation);
+  }
+  {
+    AutoscalerConfig c = valid_config();
+    c.phase_jitter = 1.0;
+    EXPECT_THROW(Autoscaler(c, 4, seed), ContractViolation);
+  }
+  EXPECT_NO_THROW(Autoscaler(valid_config(), 4, seed));
+}
+
+TEST(AutoscalerWindow, DecidesOnlyOnAFullWindow) {
+  Autoscaler scaler(valid_config(), 4, /*seed=*/9);
+  scaler.add_sample(0.9);
+  scaler.add_sample(0.9);
+  EXPECT_FALSE(scaler.window_full());
+  EXPECT_EQ(scaler.decide(), ScaleDecision::kNone);
+  scaler.add_sample(0.9);
+  ASSERT_TRUE(scaler.window_full());
+  EXPECT_EQ(scaler.decide(), ScaleDecision::kUp);
+}
+
+TEST(AutoscalerWindow, HysteresisBandAsksForNothing) {
+  Autoscaler scaler(valid_config(), 4, /*seed=*/9);
+  for (int i = 0; i < 3; ++i) scaler.add_sample(0.5);
+  EXPECT_EQ(scaler.decide(), ScaleDecision::kNone);
+  // The window slides: two idle samples pull the mean under 0.35.
+  scaler.add_sample(0.0);
+  scaler.add_sample(0.0);
+  EXPECT_NEAR(scaler.window_mean(), 0.5 / 3.0, 1e-12);
+  EXPECT_EQ(scaler.decide(), ScaleDecision::kDown);
+}
+
+TEST(AutoscalerWindow, ClearForcesADecisionToBeReEarned) {
+  Autoscaler scaler(valid_config(), 4, /*seed=*/9);
+  for (int i = 0; i < 3; ++i) scaler.add_sample(0.9);
+  EXPECT_EQ(scaler.decide(), ScaleDecision::kUp);
+  scaler.clear_window();
+  EXPECT_EQ(scaler.decide(), ScaleDecision::kNone);
+  scaler.add_sample(0.9);
+  EXPECT_EQ(scaler.decide(), ScaleDecision::kNone);  // 1 of 3 samples
+}
+
+TEST(AutoscalerWindow, ThresholdsAreStrict) {
+  AutoscalerConfig config = valid_config();
+  config.window = 1;
+  Autoscaler scaler(config, 4, /*seed=*/9);
+  scaler.add_sample(0.75);  // exactly at the up threshold: no action
+  EXPECT_EQ(scaler.decide(), ScaleDecision::kNone);
+  scaler.add_sample(0.35);  // exactly at the down threshold: no action
+  EXPECT_EQ(scaler.decide(), ScaleDecision::kNone);
+}
+
+TEST(AutoscalerPhase, JitterFreeFirstEvalIsOnTheGrid) {
+  Autoscaler scaler(valid_config(), 4, /*seed=*/9);
+  EXPECT_DOUBLE_EQ(scaler.first_eval_at(0.0), 10.0);
+}
+
+TEST(AutoscalerPhase, JitterDrawIsSeedReproducible) {
+  AutoscalerConfig config = valid_config();
+  config.phase_jitter = 0.5;
+  Autoscaler a(config, 4, /*seed=*/123);
+  Autoscaler b(config, 4, /*seed=*/123);
+  const sim::Time ta = a.first_eval_at(0.0);
+  EXPECT_DOUBLE_EQ(ta, b.first_eval_at(0.0));
+  EXPECT_GE(ta, 10.0);
+  EXPECT_LT(ta, 15.0);  // phase in [0, 0.5) periods
+}
+
+// ---------------------------------------------------------------------------
+// Server-level contracts.
+
+Trace bursty_then_calm_then_bursty() {
+  // ~0-40: every host busy; 40-400: a trickle; 400-440: busy again.
+  std::vector<Job> jobs;
+  workload::JobId id = 0;
+  for (int i = 0; i < 40; ++i) {
+    jobs.push_back(Job{id++, 1.0 * i, 4.0});
+  }
+  for (int i = 0; i < 12; ++i) {
+    jobs.push_back(Job{id++, 40.0 + 30.0 * i, 1.0});
+  }
+  for (int i = 0; i < 40; ++i) {
+    jobs.push_back(Job{id++, 400.0 + 1.0 * i, 4.0});
+  }
+  return Trace(std::move(jobs));
+}
+
+TEST(AutoscalerServer, DisabledScalerLeavesRunsBitIdentical) {
+  const workload::WorkloadSpec& spec = workload::find_workload("c90");
+  const Trace trace = workload::make_trace(spec, 0.7, 4, /*seed=*/11, 2000);
+  LeastWorkLeftPolicy a_policy, b_policy;
+  DistributedServer plain(4, a_policy);
+  DistributedServer elastic(4, b_policy);
+  AutoscalerConfig disabled;  // default-constructed = disabled
+  elastic.enable_autoscaler(disabled);
+  const RunResult a = plain.run(trace, /*seed=*/42);
+  const RunResult b = elastic.run(trace, /*seed=*/42);
+  EXPECT_FALSE(b.scaling.has_value());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].host, b.records[i].host);
+    EXPECT_EQ(a.records[i].start, b.records[i].start);
+    EXPECT_EQ(a.records[i].completion, b.records[i].completion);
+  }
+}
+
+TEST(AutoscalerServer, CalmFleetDrainsDownToTheFloorAndSavesHostTime) {
+  ShortestQueuePolicy policy;
+  DistributedServer server(8, policy);
+  AutoscalerConfig config = valid_config();
+  config.check_period = 8.0;
+  config.window = 2;
+  config.min_hosts = 2;
+  server.enable_autoscaler(config);
+  const Trace trace = bursty_then_calm_then_bursty();
+  const RunResult r = server.run(trace, /*seed=*/5);
+  ASSERT_EQ(r.records.size(), trace.size());
+  ASSERT_TRUE(r.scaling.has_value());
+  const sim::ScalingStats& s = *r.scaling;
+  EXPECT_GT(s.evals, 0u);
+  // The calm stretch drains capacity, but never through the floor.
+  EXPECT_GT(s.hosts_drained, 0u);
+  EXPECT_GE(s.min_powered, 2u);
+  EXPECT_LT(s.host_time_powered, s.host_time_total);
+  // The closing burst brings capacity back through the warm-up path.
+  EXPECT_GT(s.hosts_powered_on + s.drains_reclaimed, 0u);
+}
+
+TEST(AutoscalerServer, WarmupDelayDefersReactivation) {
+  ShortestQueuePolicy policy;
+  DistributedServer server(8, policy);
+  AutoscalerConfig config = valid_config();
+  config.check_period = 8.0;
+  config.window = 2;
+  config.min_hosts = 1;
+  config.warmup_delay = 6.0;
+  server.enable_autoscaler(config);
+  const Trace trace = bursty_then_calm_then_bursty();
+  const RunResult r = server.run(trace, /*seed=*/5);
+  ASSERT_EQ(r.records.size(), trace.size());
+  ASSERT_TRUE(r.scaling.has_value());
+  // Every cold start either completed its warm-up or was cancelled by a
+  // scale-down racing the delay; nothing leaks.
+  EXPECT_LE(r.scaling->warmups_completed + r.scaling->warmups_cancelled,
+            r.scaling->hosts_powered_on);
+}
+
+TEST(AutoscalerServer, ScalingIsSeedReproducible) {
+  AutoscalerConfig config = valid_config();
+  config.check_period = 8.0;
+  config.window = 2;
+  config.phase_jitter = 0.5;
+  ShortestQueuePolicy pa, pb;
+  DistributedServer a(8, pa);
+  DistributedServer b(8, pb);
+  a.enable_autoscaler(config);
+  b.enable_autoscaler(config);
+  const Trace trace = bursty_then_calm_then_bursty();
+  const RunResult ra = a.run(trace, /*seed=*/77);
+  const RunResult rb = b.run(trace, /*seed=*/77);
+  ASSERT_TRUE(ra.scaling && rb.scaling);
+  EXPECT_EQ(ra.scaling->evals, rb.scaling->evals);
+  EXPECT_EQ(ra.scaling->hosts_drained, rb.scaling->hosts_drained);
+  EXPECT_DOUBLE_EQ(ra.scaling->host_time_powered,
+                   rb.scaling->host_time_powered);
+  ASSERT_EQ(ra.records.size(), rb.records.size());
+  for (std::size_t i = 0; i < ra.records.size(); ++i) {
+    EXPECT_EQ(ra.records[i].completion, rb.records[i].completion);
+  }
+}
+
+TEST(AutoscalerServer, RunningWithAnInvalidConfigThrows) {
+  ShortestQueuePolicy policy;
+  DistributedServer server(4, policy);
+  AutoscalerConfig config = valid_config();
+  config.min_hosts = 9;  // floor above the fleet
+  server.enable_autoscaler(config);
+  const Trace trace({Job{0, 0.0, 1.0}});
+  // The controller validates its knobs when the run constructs it.
+  EXPECT_THROW((void)server.run(trace, /*seed=*/1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::core

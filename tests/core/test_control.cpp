@@ -6,6 +6,7 @@
 // and Least-Work-Left misroute.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/metrics.hpp"
@@ -302,6 +303,69 @@ TEST(ControlPlane, StateBlindSitaIsUnaffectedByStaleness) {
   }
   ASSERT_TRUE(snap.control.has_value());
   EXPECT_EQ(snap.control->misrouted, 0u);
+}
+
+// --------------------------------------------------- snapshot herding -----
+
+/// Fraction of all dispatches landing on the single most popular host.
+double modal_host_fraction(const RunResult& result, std::size_t hosts) {
+  std::vector<std::size_t> counts(hosts, 0);
+  for (const JobRecord& rec : result.records) ++counts[rec.host];
+  return static_cast<double>(*std::max_element(counts.begin(), counts.end())) /
+         static_cast<double>(result.records.size());
+}
+
+TEST(ControlPlane, SnapshotJitterBreaksUpLargeFleetHerding) {
+  // The h-large failure mode (EXPERIMENTS.md, h=1024 control rows): on a
+  // lightly loaded fleet most hosts report queue length 0 at every probe,
+  // Shortest-Queue's deterministic lowest-index tie break resolves every
+  // one of those ties to host 0, and each refresh window dumps its whole
+  // arrival batch there while the rest of the fleet sits idle. The regime
+  // below makes the pathology total by construction: rho * h < 1, so host
+  // 0 clears each window's pile before the next probe, looks idle again,
+  // and wins the tie forever. Tie-break jitter redraws each host's key
+  // perturbation per delivered probe, so the all-zeros tie resolves to a
+  // fresh host every cycle and the load spreads across the fleet.
+  const std::size_t hosts = 64;
+  const workload::Trace trace = poisson_trace(3000, 0.01, hosts, 444);
+  // Mean interarrival = 10 / (0.01 * 64) ~ 15.6; span ~25 arrivals per
+  // refresh so each window is a real pile, not a single job.
+  const double period = 25.0 * 10.0 / (0.01 * static_cast<double>(hosts));
+  sim::ControlPlaneConfig frozen = snapshots_only(period);
+  sim::ControlPlaneConfig jittered = snapshots_only(period);
+  jittered.snapshot_jitter = 1.0;
+  ShortestQueuePolicy frozen_policy, jittered_policy;
+  const RunResult herded = simulate_with_control(frozen_policy, trace, hosts,
+                                                 frozen, /*seed=*/3);
+  const RunResult spread = simulate_with_control(jittered_policy, trace,
+                                                 hosts, jittered, /*seed=*/3);
+  const double herded_modal = modal_host_fraction(herded, hosts);
+  const double spread_modal = modal_host_fraction(spread, hosts);
+  // Unjittered: the bulk of the trace lands on one host. Jittered: no
+  // host collects more than a few windows' worth (uniform would be
+  // 1/64 ~ 1.6%; a loose 4x allows collisions).
+  EXPECT_GT(herded_modal, 0.5);
+  EXPECT_LT(spread_modal, 0.25 * herded_modal);
+  EXPECT_TRUE(validate_run(herded).empty());
+  EXPECT_TRUE(validate_run(spread).empty());
+}
+
+TEST(ControlPlane, ZeroJitterKeepsSnapshotRunsBitIdentical) {
+  // snapshot_jitter = 0 consumes no RNG, so a build with the knob produces
+  // byte-identical schedules to one without it.
+  const std::size_t hosts = 8;
+  const workload::Trace trace = poisson_trace(1500, 0.6, hosts, 555);
+  sim::ControlPlaneConfig plain = snapshots_only(5.0);
+  sim::ControlPlaneConfig zeroed = snapshots_only(5.0);
+  zeroed.snapshot_jitter = 0.0;
+  ShortestQueuePolicy pa, pb;
+  const RunResult a = simulate_with_control(pa, trace, hosts, plain, 9);
+  const RunResult b = simulate_with_control(pb, trace, hosts, zeroed, 9);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].host, b.records[i].host);
+    EXPECT_EQ(a.records[i].completion, b.records[i].completion);
+  }
 }
 
 }  // namespace

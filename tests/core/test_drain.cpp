@@ -21,6 +21,10 @@ TEST_P(DrainTest, RunDrainsCompletely) {
   ExperimentConfig config;
   config.hosts = 2;
   config.n_jobs = 2000;
+  // SITA-class derives its cutoffs from the capacity classes, so it needs
+  // per-host speeds forming at least two classes; every other kind ignores
+  // the field.
+  config.host_speeds = {1.0, 2.0};
   const workload::WorkloadSpec& spec = workload::find_workload("c90");
   const Workbench bench(spec, config);
   const Workbench::PointPlan plan = bench.plan_point(kind, 0.7);
@@ -65,6 +69,10 @@ TEST(DrainTest, AuditedReplicationRunsCleanForEveryPolicy) {
   config.n_jobs = 1000;
   config.replications = 1;
   config.audit.enabled = true;
+  // Two capacity classes (1x, 2x): SITA-class requires them, and running
+  // every other policy on a heterogeneous pair exercises the speed-aware
+  // audit arithmetic for free.
+  config.host_speeds = {1.0, 2.0};
   const Workbench bench(workload::find_workload("c90"), config);
   for (PolicyKind kind : all_policy_kinds()) {
     const Workbench::PointPlan plan = bench.plan_point(kind, 0.7);

@@ -182,7 +182,8 @@ TEST(PolicyKindNames, AllDistinct) {
       PolicyKind::kSitaUOpt,     PolicyKind::kSitaUFair,
       PolicyKind::kSitaRuleOfThumb, PolicyKind::kHybridSitaE,
       PolicyKind::kHybridSitaUOpt, PolicyKind::kHybridSitaUFair,
-      PolicyKind::kSitaUOptMulti, PolicyKind::kSitaUFairMulti};
+      PolicyKind::kSitaUOptMulti, PolicyKind::kSitaUFairMulti,
+      PolicyKind::kLeastLoaded2,  PolicyKind::kSitaClass};
   std::set<std::string> names;
   for (PolicyKind k : all) names.insert(to_string(k));
   EXPECT_EQ(names.size(), std::size(all));
@@ -190,11 +191,11 @@ TEST(PolicyKindNames, AllDistinct) {
 
 TEST(PolicyRegistry, ListsEveryEnumeratorExactlyOnce) {
   const auto all = all_policy_kinds();
-  EXPECT_EQ(all.size(), 14u);
+  EXPECT_EQ(all.size(), 16u);
   std::set<PolicyKind> distinct(all.begin(), all.end());
   EXPECT_EQ(distinct.size(), all.size());
   EXPECT_EQ(all.front(), PolicyKind::kRandom);
-  EXPECT_EQ(all.back(), PolicyKind::kSitaUFairMulti);
+  EXPECT_EQ(all.back(), PolicyKind::kSitaClass);
 }
 
 TEST(PolicyRegistry, RoundTripsWithToStringForEveryEnumerator) {

@@ -1,0 +1,269 @@
+// Heterogeneous fleets: speed-scaled service times in the server, the
+// speed-aware routing keys (queue_len / speed, finish-time-aware
+// power-of-d), SITA-class band ownership with dead-class remapping, and
+// the capacity-proportional cutoff derivation. Every speed-1.0 special
+// case must collapse exactly to the homogeneous behavior.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/cutoffs.hpp"
+#include "core/metrics.hpp"
+#include "core/policies/class_sita.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/power_of_d.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/server.hpp"
+#include "util/contracts.hpp"
+#include "workload/catalog.hpp"
+
+namespace distserv::core {
+namespace {
+
+using workload::Job;
+using workload::Trace;
+
+/// Scriptable view with per-host speed, queue, work, and up state.
+class HetStubView final : public ServerView {
+ public:
+  explicit HetStubView(std::size_t hosts)
+      : lens_(hosts, 0),
+        work_(hosts, 0.0),
+        up_(hosts, true),
+        speeds_(hosts, 1.0) {
+    table_.reset(hosts, HostStateTable::Semantics::kObserved);
+  }
+
+  const HostStateTable& hosts() const override {
+    for (HostId h = 0; h < lens_.size(); ++h) {
+      table_.set_speed(h, speeds_[h]);
+      table_.set_up(h, up_[h]);
+      table_.set_observation(h, static_cast<std::uint32_t>(lens_[h]),
+                             work_[h], lens_[h] == 0 && work_[h] == 0.0,
+                             /*at=*/0.0);
+    }
+    return table_;
+  }
+  double now() const override { return 0.0; }
+
+  std::vector<std::size_t> lens_;
+  std::vector<double> work_;
+  std::vector<bool> up_;
+  std::vector<double> speeds_;
+
+ private:
+  mutable HostStateTable table_;
+};
+
+Job job(double size) { return Job{0, 0.0, size}; }
+
+// ------------------------------------------------------------- server -----
+
+/// Routes job id i to host targets[i] — isolates service-time mechanics.
+class ScriptedRoute final : public Policy {
+ public:
+  explicit ScriptedRoute(std::vector<HostId> targets)
+      : targets_(std::move(targets)) {}
+  std::optional<HostId> assign(const Job& j, const ServerView&) override {
+    return targets_.at(j.id);
+  }
+  std::string name() const override { return "ScriptedRoute"; }
+
+ private:
+  std::vector<HostId> targets_;
+};
+
+TEST(HeterogeneousServer, ServiceTimeIsSizeOverSpeed) {
+  ScriptedRoute policy({1, 0, 1});
+  DistributedServer server(2, policy);
+  server.set_host_speeds({1.0, 2.0});
+  const Trace trace({Job{0, 0.0, 6.0}, Job{1, 0.0, 6.0}, Job{2, 1.0, 6.0}});
+  const RunResult r = server.run(trace, /*seed=*/1);
+  ASSERT_EQ(r.records.size(), 3u);
+  // Host 1 runs at 2x: size 6 takes 3 time units.
+  EXPECT_DOUBLE_EQ(r.records[0].completion, 3.0);
+  // Host 0 runs at 1x: the same size takes 6.
+  EXPECT_DOUBLE_EQ(r.records[1].completion, 6.0);
+  // Job 2 queues behind job 0 on the fast host: starts at 3, takes 3.
+  EXPECT_DOUBLE_EQ(r.records[2].start, 3.0);
+  EXPECT_DOUBLE_EQ(r.records[2].completion, 6.0);
+  // The run result carries the speeds so validators can reconstruct this.
+  ASSERT_EQ(r.host_speeds.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.host_speeds[1], 2.0);
+  EXPECT_TRUE(validate_run(r).empty());
+}
+
+TEST(HeterogeneousServer, AllSpeedsOneIsBitIdenticalToUnsetSpeeds) {
+  const workload::WorkloadSpec& spec = workload::find_workload("c90");
+  const Trace trace = workload::make_trace(spec, 0.7, 4, /*seed=*/3, 2000);
+  LeastWorkLeftPolicy pa, pb;
+  DistributedServer plain(4, pa);
+  DistributedServer unit(4, pb);
+  unit.set_host_speeds({1.0, 1.0, 1.0, 1.0});
+  const RunResult a = plain.run(trace, /*seed=*/42);
+  const RunResult b = unit.run(trace, /*seed=*/42);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].host, b.records[i].host);
+    EXPECT_EQ(a.records[i].start, b.records[i].start);
+    EXPECT_EQ(a.records[i].completion, b.records[i].completion);
+  }
+}
+
+TEST(HeterogeneousServer, LeastWorkLeftTracksTimeUnitsNotSize) {
+  // Speeds {1, 2}: work-left is measured in remaining *time*, so the fast
+  // host absorbs more raw size before LWL stops preferring it.
+  LeastWorkLeftPolicy policy;
+  DistributedServer server(2, policy);
+  server.set_host_speeds({1.0, 2.0});
+  const Trace trace({Job{0, 0.0, 4.0}, Job{1, 0.5, 4.0}, Job{2, 1.0, 4.0}});
+  const RunResult r = server.run(trace, /*seed=*/1);
+  // Job 0: both idle, tie breaks to host 0 (4 time units of work).
+  EXPECT_EQ(r.records[0].host, 0u);
+  // Job 1: host 0 has 3.5 left, host 1 idle -> host 1, done in 2.
+  EXPECT_EQ(r.records[1].host, 1u);
+  EXPECT_DOUBLE_EQ(r.records[1].completion, 2.5);
+  // Job 2: host 0 has 3.0 left, host 1 has 1.5 -> host 1 again.
+  EXPECT_EQ(r.records[2].host, 1u);
+  EXPECT_DOUBLE_EQ(r.records[2].start, 2.5);
+  EXPECT_DOUBLE_EQ(r.records[2].completion, 4.5);
+}
+
+TEST(HeterogeneousServer, RejectsBadSpeeds) {
+  LeastWorkLeftPolicy policy;
+  DistributedServer server(2, policy);
+  EXPECT_THROW(server.set_host_speeds({1.0}), ContractViolation);
+  EXPECT_THROW(server.set_host_speeds({1.0, 0.0}), ContractViolation);
+  EXPECT_THROW(server.set_host_speeds({1.0, -2.0}), ContractViolation);
+}
+
+// ------------------------------------------------- speed-aware routing ----
+
+TEST(ShortestQueuePolicy, NormalizesQueueLengthBySpeed) {
+  ShortestQueuePolicy p;
+  HetStubView view(2);
+  view.speeds_ = {1.0, 4.0};
+  view.lens_ = {1, 2};
+  view.work_ = {1.0, 2.0};
+  // 1/1 = 1.0 vs 2/4 = 0.5: the deeper queue on the 4x host clears sooner.
+  EXPECT_EQ(*p.assign(job(1.0), view), 1u);
+  view.speeds_ = {1.0, 1.0};
+  // Homogeneous: plain shortest queue again.
+  EXPECT_EQ(*p.assign(job(1.0), view), 0u);
+}
+
+TEST(PowerOfDPolicy, LeastLoadedRanksByFinishTime) {
+  // d = 2 on 2 hosts probes the whole fleet, so the test is deterministic.
+  PowerOfDPolicy p(2, PowerOfDPolicy::Criterion::kLeastLoaded);
+  p.reset(2, /*seed=*/7);
+  HetStubView view(2);
+  view.speeds_ = {1.0, 4.0};
+  view.work_ = {2.0, 2.0};
+  // Equal backlog: finish at 2 + 4/1 = 6 vs 2 + 4/4 = 3.
+  EXPECT_EQ(*p.assign(job(4.0), view), 1u);
+  // A slow idle host can still lose to the fast busy one.
+  view.work_ = {0.0, 2.0};
+  view.lens_ = {0, 1};
+  EXPECT_EQ(*p.assign(job(8.0), view), 1u);  // 0 + 8 vs 2 + 2
+  // ...but wins when the job is small enough.
+  EXPECT_EQ(*p.assign(job(1.0), view), 0u);  // 0 + 1 vs 2 + 0.25
+}
+
+TEST(PowerOfDPolicy, LeastLoadedCollapsesToWorkLeftAtUnitSpeed) {
+  PowerOfDPolicy ll(2, PowerOfDPolicy::Criterion::kLeastLoaded);
+  PowerOfDPolicy wl(2, PowerOfDPolicy::Criterion::kWorkLeft);
+  ll.reset(8, /*seed=*/99);
+  wl.reset(8, /*seed=*/99);
+  HetStubView view(8);
+  view.work_ = {5.0, 1.0, 7.0, 0.0, 3.0, 9.0, 2.0, 4.0};
+  for (int i = 0; i < 200; ++i) {
+    // Same seed => same probe sets; unit speeds => same ranking.
+    const double size = 1.0 + (i % 7);
+    EXPECT_EQ(*ll.assign(job(size), view), *wl.assign(job(size), view));
+  }
+}
+
+// ----------------------------------------------------------- SITA-class ---
+
+TEST(ClassSitaPolicy, OwnsContiguousBandsWithInclusiveUpperEdges) {
+  ClassSitaPolicy p({10.0, 100.0}, {1, 2, 1});
+  p.reset(4, /*seed=*/1);
+  EXPECT_EQ(p.class_of(5.0), 0u);
+  EXPECT_EQ(p.class_of(10.0), 0u);  // band edges are inclusive above
+  EXPECT_EQ(p.class_of(10.5), 1u);
+  EXPECT_EQ(p.class_of(100.0), 1u);
+  EXPECT_EQ(p.class_of(250.0), 2u);
+}
+
+TEST(ClassSitaPolicy, RoutesToLeastLoadedMemberOfTheOwningClass) {
+  ClassSitaPolicy p({10.0, 100.0}, {1, 2, 1});
+  p.reset(4, /*seed=*/1);
+  HetStubView view(4);
+  view.work_ = {9.0, 5.0, 2.0, 9.0};
+  EXPECT_EQ(*p.assign(job(1.0), view), 0u);    // small band: host 0 only
+  EXPECT_EQ(*p.assign(job(50.0), view), 2u);   // mid band: argmin of {1, 2}
+  EXPECT_EQ(*p.assign(job(500.0), view), 3u);  // large band: host 3 only
+  view.work_ = {9.0, 1.0, 2.0, 9.0};
+  EXPECT_EQ(*p.assign(job(50.0), view), 1u);
+}
+
+TEST(ClassSitaPolicy, DeadClassRemapsToNearestPreferringSmallerSizes) {
+  ClassSitaPolicy p({10.0, 100.0}, {1, 2, 1});
+  p.reset(4, /*seed=*/1);
+  HetStubView view(4);
+  // The whole mid class is down: its jobs fall to the small-size side.
+  view.up_ = {true, false, false, true};
+  EXPECT_EQ(*p.assign(job(50.0), view), 0u);
+  // Small side also down: the large class is the nearest survivor.
+  view.up_ = {false, false, false, true};
+  EXPECT_EQ(*p.assign(job(50.0), view), 3u);
+  // Everything down: hold centrally.
+  view.up_ = {false, false, false, false};
+  EXPECT_FALSE(p.assign(job(50.0), view).has_value());
+}
+
+TEST(ClassSitaPolicy, ValidatesItsShape) {
+  // class_sizes must be cutoffs + 1 long.
+  EXPECT_THROW(ClassSitaPolicy({10.0}, {1, 2, 1}), ContractViolation);
+  // Cutoffs must be strictly increasing.
+  EXPECT_THROW(ClassSitaPolicy({10.0, 10.0}, {1, 1, 1}), ContractViolation);
+  // Class sizes must cover the fleet exactly.
+  ClassSitaPolicy p({10.0}, {1, 2});
+  EXPECT_THROW(p.reset(4, /*seed=*/1), ContractViolation);
+}
+
+// ------------------------------------------------------ cutoff deriver ----
+
+TEST(CutoffDeriver, EqualSharesReproduceSitaE) {
+  std::vector<double> sizes(4000);
+  std::iota(sizes.begin(), sizes.end(), 1.0);
+  const CutoffDeriver deriver(sizes);
+  const std::vector<double> shares = {1.0, 1.0, 1.0};
+  const std::vector<double> equal = deriver.sita_class(shares);
+  const std::vector<double> sita_e = deriver.sita_e(3);
+  ASSERT_EQ(equal.size(), sita_e.size());
+  for (std::size_t i = 0; i < equal.size(); ++i) {
+    EXPECT_DOUBLE_EQ(equal[i], sita_e[i]);
+  }
+}
+
+TEST(CutoffDeriver, CapacityProportionalCutoffsTrackTheShares) {
+  std::vector<double> sizes(4000);
+  std::iota(sizes.begin(), sizes.end(), 1.0);
+  const CutoffDeriver deriver(sizes);
+  // A small first class receives a smaller size band than an equal split;
+  // a large first class receives a bigger one.
+  const std::vector<double> lopsided = {1.0, 3.0};
+  const std::vector<double> even = {1.0, 1.0};
+  const std::vector<double> reversed = {3.0, 1.0};
+  const double small_first = deriver.sita_class(lopsided).front();
+  const double balanced = deriver.sita_class(even).front();
+  const double large_first = deriver.sita_class(reversed).front();
+  EXPECT_LT(small_first, balanced);
+  EXPECT_LT(balanced, large_first);
+  const std::vector<double> lone = {2.0};
+  EXPECT_THROW((void)deriver.sita_class(lone), ContractViolation);
+}
+
+}  // namespace
+}  // namespace distserv::core

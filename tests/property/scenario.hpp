@@ -29,6 +29,7 @@
 #include "dist/hyperexp.hpp"
 #include "dist/rng.hpp"
 #include "dist/uniform.hpp"
+#include "sim/autoscaler.hpp"
 #include "sim/control_plane.hpp"
 #include "sim/faults.hpp"
 #include "workload/arrival.hpp"
@@ -368,6 +369,111 @@ inline core::RunResult run_audited(ControlScenario& cs) {
   audit.enabled = true;
   server.enable_audit(audit);
   return server.run(cs.base.trace, /*seed=*/cs.base.seed ^ 0x9e3779b9);
+}
+
+/// A base scenario plus per-host speed factors and the hysteresis
+/// autoscaler, optionally with host failures layered on top — the
+/// fault x autoscaler interaction the elastic harness exists to cover.
+struct ElasticScenario {
+  Scenario base;
+  std::vector<double> speeds;  ///< empty ~half the time (homogeneous fleet)
+  sim::AutoscalerConfig scaler;
+  sim::FaultConfig faults;  ///< enabled on a minority of seeds
+  core::RecoveryMode recovery = core::RecoveryMode::kResubmit;
+};
+
+/// Expands `seed` into an elastic scenario. The scaler is always enabled
+/// (a disabled scaler is the bit-identity test's job, not the fuzzer's);
+/// thresholds respect the hysteresis-band constraint by construction and
+/// the min-hosts floor never exceeds the fleet.
+inline ElasticScenario make_elastic_scenario(std::uint64_t seed) {
+  ElasticScenario es;
+  es.base = make_scenario(seed);
+  // No expected-route oracle: dispatch masks non-Up hosts, so a drained
+  // interval's jobs remap to live neighbors off the pure-size prediction.
+  es.base.sita = nullptr;
+
+  dist::Rng rng = dist::Rng(seed).split(0xe1a571c);
+  double mean_size = 0.0;
+  double max_size = 0.0;
+  double horizon = 0.0;
+  for (const workload::Job& job : es.base.trace.jobs()) {
+    mean_size += job.size;
+    max_size = std::max(max_size, job.size);
+    horizon = std::max(horizon, job.arrival + job.size);
+  }
+  mean_size /= static_cast<double>(es.base.trace.jobs().size());
+
+  double min_speed = 1.0;
+  if (rng.bernoulli(0.5)) {
+    static constexpr double kSpeedMenu[] = {0.5, 1.0, 2.0, 4.0};
+    es.speeds.reserve(es.base.hosts);
+    for (std::size_t h = 0; h < es.base.hosts; ++h) {
+      es.speeds.push_back(kSpeedMenu[rng.below(4)]);
+      min_speed = std::min(min_speed, es.speeds.back());
+    }
+  }
+
+  es.scaler.enabled = true;
+  es.scaler.check_period = mean_size * rng.uniform(0.2, 5.0);
+  es.scaler.scale_up_threshold = rng.uniform(0.55, 0.95);
+  es.scaler.scale_down_threshold =
+      rng.uniform(0.05, es.scaler.scale_up_threshold - 0.1);
+  es.scaler.window = 1 + static_cast<std::size_t>(rng.below(6));
+  es.scaler.warmup_delay = mean_size * rng.uniform01() * 2.0;
+  es.scaler.min_hosts = 1 + static_cast<std::size_t>(rng.below(es.base.hosts));
+  es.scaler.scale_step = 1 + static_cast<std::size_t>(rng.below(3));
+  es.scaler.phase_jitter = rng.bernoulli(0.5) ? rng.uniform01() : 0.0;
+
+  if (rng.bernoulli(0.4)) {
+    es.faults.enabled = true;
+    if (rng.bernoulli(0.5)) {
+      // Renewal failures; MTBF anchored above the slowest host's longest
+      // service time so fail-stop restarts terminate (see
+      // make_fault_scenario).
+      es.faults.mtbf = (max_size / min_speed) * rng.uniform(1.5, 6.0);
+      es.faults.mttr = es.faults.mtbf * rng.uniform(0.02, 0.4);
+    }
+    const auto n_outages = rng.below(3) + (es.faults.mtbf > 0.0 ? 0 : 1);
+    for (std::uint64_t i = 0; i < n_outages; ++i) {
+      sim::HostOutage outage;
+      outage.host = static_cast<std::uint32_t>(rng.below(es.base.hosts));
+      outage.at = rng.uniform01() * horizon;
+      outage.duration = mean_size * rng.uniform(0.5, 8.0);
+      es.faults.outages.push_back(outage);
+    }
+    const auto modes = core::all_recovery_modes();
+    es.recovery = modes[rng.below(modes.size())];
+  }
+
+  es.base.description +=
+      " elastic{period=" + std::to_string(es.scaler.check_period) +
+      " up=" + std::to_string(es.scaler.scale_up_threshold) +
+      " down=" + std::to_string(es.scaler.scale_down_threshold) +
+      " window=" + std::to_string(es.scaler.window) +
+      " warmup=" + std::to_string(es.scaler.warmup_delay) +
+      " floor=" + std::to_string(es.scaler.min_hosts) +
+      " step=" + std::to_string(es.scaler.scale_step) +
+      " speeds=" + (es.speeds.empty() ? "homogeneous" : "mixed") +
+      (es.faults.enabled
+           ? " faults{mtbf=" + std::to_string(es.faults.mtbf) +
+                 " outages=" + std::to_string(es.faults.outages.size()) +
+                 " recovery=" + core::to_string(es.recovery) + "}"
+           : "") +
+      "}";
+  return es;
+}
+
+/// Runs an elastic scenario under the audit layer (no route oracle).
+inline core::RunResult run_audited(ElasticScenario& es) {
+  core::DistributedServer server(es.base.hosts, *es.base.policy);
+  if (!es.speeds.empty()) server.set_host_speeds(es.speeds);
+  if (es.faults.enabled) server.enable_faults(es.faults, es.recovery);
+  server.enable_autoscaler(es.scaler);
+  sim::AuditConfig audit;
+  audit.enabled = true;
+  server.enable_audit(audit);
+  return server.run(es.base.trace, /*seed=*/es.base.seed ^ 0x9e3779b9);
 }
 
 }  // namespace distserv::proptest

@@ -1,0 +1,191 @@
+// The power-semantics invariant must actually catch elastic-fleet bugs,
+// not just pass on correct runs. Each test drives a QueueingAuditor by
+// hand with the hook sequence a buggy server would emit — dispatch to a
+// draining host, a skipped power transition, powering off over a backlog —
+// and asserts the precise invariant that flags it.
+#include <gtest/gtest.h>
+
+#include "sim/audit.hpp"
+
+namespace distserv::sim {
+namespace {
+
+using Source = QueueingAuditor::StartSource;
+
+AuditConfig enabled_config() {
+  AuditConfig config;
+  config.enabled = true;
+  return config;
+}
+
+bool has_violation(const AuditReport& report, const std::string& invariant) {
+  for (const AuditViolation& v : report.violations) {
+    if (v.invariant == invariant) return true;
+  }
+  return false;
+}
+
+// Positive control: a full legal power cycle — drain a host with work (it
+// finishes its backlog first), power it off, warm it back up — passes with
+// the transitions tallied.
+TEST(ElasticDetectsBugs, CleanPowerCyclePasses) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 4.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 4.0, Source::kDirect);
+  audit.on_event(1.0);
+  audit.on_arrival(1, 1.0, 2.0);
+  audit.on_dispatch(1, 0);
+  audit.on_enqueue(1, 0);
+  // Host 0 starts draining with one running and one queued job.
+  audit.on_power_state(0, PowerState::kDraining, 1.5);
+  audit.on_event(4.0);
+  audit.on_complete(0, 0, 4.0);
+  // A draining host still serves its own queue.
+  audit.on_start(1, 0, 4.0, 2.0, Source::kHostQueue);
+  audit.on_event(6.0);
+  audit.on_complete(1, 0, 6.0);
+  // Backlog clear: the drain completes and the host powers off.
+  audit.on_power_state(0, PowerState::kOff, 6.0);
+  // Later it warms back up.
+  audit.on_event(7.0);
+  audit.on_power_state(0, PowerState::kWarmingUp, 7.0);
+  audit.on_event(8.0);
+  audit.on_power_state(0, PowerState::kUp, 8.0);
+  const AuditReport report = audit.finalize(8.0);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.power_transitions, 4u);
+}
+
+TEST(ElasticDetectsBugs, DispatchToDrainingHostTripsPowerSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_power_state(0, PowerState::kDraining, 0.0);
+  audit.on_arrival(0, 0.0, 1.0);
+  audit.on_dispatch(0, 0);  // bug: the server must bounce, not deliver
+  EXPECT_TRUE(has_violation(audit.report(), "power-semantics"));
+}
+
+TEST(ElasticDetectsBugs, EnqueueToDrainingHostTripsPowerSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 5.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 5.0, Source::kDirect);
+  audit.on_power_state(0, PowerState::kDraining, 0.5);
+  audit.on_event(1.0);
+  audit.on_arrival(1, 1.0, 1.0);
+  audit.on_dispatch(1, 1);
+  audit.on_enqueue(1, 0);  // bug: new work lands on the draining host
+  EXPECT_TRUE(has_violation(audit.report(), "power-semantics"));
+}
+
+TEST(ElasticDetectsBugs, StartOnWarmingUpHostTripsPowerSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_power_state(1, PowerState::kDraining, 0.0);
+  audit.on_power_state(1, PowerState::kOff, 0.0);
+  audit.on_power_state(1, PowerState::kWarmingUp, 0.0);
+  audit.on_arrival(0, 0.0, 1.0);
+  audit.on_dispatch(0, 0);
+  // Bug: the job starts on the still-cold host before its warm-up fired.
+  audit.on_start(0, 1, 0.0, 1.0, Source::kDirect);
+  EXPECT_TRUE(has_violation(audit.report(), "power-semantics"));
+}
+
+TEST(ElasticDetectsBugs, DrainingHostStartingCentralWorkTripsPowerSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 3.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 3.0, Source::kDirect);
+  audit.on_power_state(0, PowerState::kDraining, 1.0);
+  audit.on_event(2.0);
+  audit.on_arrival(1, 2.0, 1.0);
+  audit.on_hold(1);
+  audit.on_event(3.0);
+  audit.on_complete(0, 0, 3.0);
+  // Bug: a draining host may finish its own backlog, never pull new
+  // central work.
+  audit.on_start(1, 0, 3.0, 1.0, Source::kCentralQueue);
+  EXPECT_TRUE(has_violation(audit.report(), "power-semantics"));
+}
+
+TEST(ElasticDetectsBugs, SkippedDrainTransitionTripsPowerSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  // Bug: Up -> Off without draining first.
+  audit.on_power_state(0, PowerState::kOff, 0.0);
+  EXPECT_TRUE(has_violation(audit.report(), "power-semantics"));
+}
+
+TEST(ElasticDetectsBugs, PoweringOffOverBacklogTripsPowerSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 4.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 4.0, Source::kDirect);
+  audit.on_power_state(0, PowerState::kDraining, 1.0);
+  audit.on_event(2.0);
+  // Bug: the drain "completes" while the job is still running.
+  audit.on_power_state(0, PowerState::kOff, 2.0);
+  EXPECT_TRUE(has_violation(audit.report(), "power-semantics"));
+}
+
+TEST(ElasticDetectsBugs, IdleDrainingHostWithBacklogTripsWorkConservation) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 4.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 4.0, Source::kDirect);
+  audit.on_event(1.0);
+  audit.on_arrival(1, 1.0, 2.0);
+  audit.on_dispatch(1, 0);
+  audit.on_enqueue(1, 0);
+  audit.on_power_state(0, PowerState::kDraining, 1.5);
+  audit.on_event(4.0);
+  audit.on_complete(0, 0, 4.0);
+  // Bug: the host sits idle over its remaining backlog instead of
+  // finishing the drain.
+  audit.on_event(5.0);
+  EXPECT_TRUE(has_violation(audit.report(), "work-conservation"));
+}
+
+TEST(ElasticDetectsBugs, WrongServiceTimeTripsServiceTimeInvariant) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 6.0);
+  audit.on_dispatch(0, 0);
+  // A 2x host: size 6 must take 3 time units.
+  audit.on_start(0, 0, 0.0, 6.0, Source::kDirect, /*service_time=*/3.0);
+  audit.on_event(6.0);
+  // Bug: the job completes after its full size instead of size / speed.
+  audit.on_complete(0, 0, 6.0);
+  EXPECT_TRUE(has_violation(audit.report(), "service-time"));
+}
+
+TEST(ElasticDetectsBugs, CorrectSpeedScaledServiceTimePasses) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 6.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 6.0, Source::kDirect, /*service_time=*/3.0);
+  audit.on_event(3.0);
+  audit.on_complete(0, 0, 3.0);
+  const AuditReport report = audit.finalize(3.0);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace distserv::sim

@@ -1,0 +1,134 @@
+// Elastic-fleet fuzz harness: seeded random scenarios with per-host speed
+// factors and the hysteresis autoscaler layered on top — and on a minority
+// of seeds the fault model too, so the power machine and the failure
+// machine are exercised against each other. Every scenario runs under the
+// full audit layer (power-semantics included) plus the offline record
+// validator and the scaling counter identities. A failing seed reproduces
+// exactly through proptest::make_elastic_scenario.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "scenario.hpp"
+
+namespace distserv::proptest {
+namespace {
+
+constexpr std::uint64_t kElasticScenarioCount = 224;
+
+TEST(ElasticProperty, SeededElasticScenariosPassEveryInvariant) {
+  std::uint64_t with_drains = 0;
+  std::uint64_t with_warmups = 0;
+  std::uint64_t with_speeds = 0;
+  std::uint64_t with_faults = 0;
+  for (std::uint64_t seed = 1; seed <= kElasticScenarioCount; ++seed) {
+    ElasticScenario es = make_elastic_scenario(seed);
+    const core::RunResult result = run_audited(es);
+    ASSERT_TRUE(result.audit.has_value()) << es.base.description;
+    EXPECT_TRUE(result.audit->ok())
+        << es.base.description << "\n" << result.audit->to_string();
+    // Scaling conserves jobs: a drained host hands nothing back half-done
+    // and a powered-off host holds nothing, so every arrival completes or
+    // is abandoned by the recovery mode.
+    EXPECT_EQ(result.audit->arrivals, es.base.trace.size())
+        << es.base.description;
+    EXPECT_EQ(result.audit->completions + result.audit->abandoned,
+              es.base.trace.size())
+        << es.base.description;
+    ASSERT_TRUE(result.scaling.has_value()) << es.base.description;
+    const sim::ScalingStats& s = *result.scaling;
+    // The min-hosts floor is never crossed, whatever the window said.
+    EXPECT_GE(s.min_powered, es.scaler.min_hosts) << es.base.description;
+    EXPECT_LE(s.max_powered, es.base.hosts) << es.base.description;
+    // Host-time accounting: the powered integral can never exceed a fixed
+    // fleet over the same horizon.
+    EXPECT_LE(s.host_time_powered, s.host_time_total * (1.0 + 1e-9))
+        << es.base.description;
+    // Power-transition bookkeeping closes: every warm-up start resolves
+    // (completed or cancelled) and every drain start resolves (completed
+    // or reclaimed) by the end of the drained run.
+    EXPECT_LE(s.warmups_completed + s.warmups_cancelled, s.hosts_powered_on)
+        << es.base.description;
+    EXPECT_LE(s.drains_completed + s.drains_reclaimed, s.hosts_drained)
+        << es.base.description;
+    if (s.hosts_drained > 0) ++with_drains;
+    if (s.warmups_completed > 0) ++with_warmups;
+    if (!es.speeds.empty()) ++with_speeds;
+    if (es.faults.enabled) ++with_faults;
+  }
+  // The generator must exercise the scaling paths, not pass vacuously on
+  // scenarios where the window never leaves the hysteresis band.
+  EXPECT_GE(with_drains, kElasticScenarioCount / 8);
+  EXPECT_GE(with_warmups, kElasticScenarioCount / 16);
+  EXPECT_GE(with_speeds, kElasticScenarioCount / 4);
+  EXPECT_GE(with_faults, kElasticScenarioCount / 8);
+}
+
+TEST(ElasticProperty, SeededElasticScenariosPassOfflineValidation) {
+  for (std::uint64_t seed = 1; seed <= kElasticScenarioCount; ++seed) {
+    ElasticScenario es = make_elastic_scenario(seed);
+    core::DistributedServer server(es.base.hosts, *es.base.policy);
+    if (!es.speeds.empty()) server.set_host_speeds(es.speeds);
+    if (es.faults.enabled) server.enable_faults(es.faults, es.recovery);
+    server.enable_autoscaler(es.scaler);
+    const core::RunResult result = server.run(es.base.trace, /*seed=*/seed);
+    // validate_run reconstructs service times from result.host_speeds, so
+    // a clean record must satisfy completion == start + size / speed.
+    const std::vector<std::string> problems = core::validate_run(result);
+    EXPECT_TRUE(problems.empty())
+        << es.base.description << "\nfirst problem: "
+        << (problems.empty() ? "" : problems.front());
+  }
+}
+
+TEST(ElasticProperty, AuditDoesNotPerturbElasticResults) {
+  for (std::uint64_t seed : {7u, 61u, 140u, 205u}) {
+    ElasticScenario audited = make_elastic_scenario(seed);
+    ElasticScenario plain = make_elastic_scenario(seed);
+    const core::RunResult with_audit = run_audited(audited);
+    core::DistributedServer server(plain.base.hosts, *plain.base.policy);
+    if (!plain.speeds.empty()) server.set_host_speeds(plain.speeds);
+    if (plain.faults.enabled) {
+      server.enable_faults(plain.faults, plain.recovery);
+    }
+    server.enable_autoscaler(plain.scaler);
+    const core::RunResult without =
+        server.run(plain.base.trace, /*seed=*/seed ^ 0x9e3779b9);
+    ASSERT_EQ(with_audit.records.size(), without.records.size());
+    for (std::size_t i = 0; i < without.records.size(); ++i) {
+      EXPECT_EQ(with_audit.records[i].host, without.records[i].host);
+      EXPECT_EQ(with_audit.records[i].start, without.records[i].start);
+      EXPECT_EQ(with_audit.records[i].completion,
+                without.records[i].completion);
+    }
+    ASSERT_TRUE(with_audit.scaling && without.scaling);
+    EXPECT_EQ(with_audit.scaling->evals, without.scaling->evals);
+    EXPECT_EQ(with_audit.scaling->hosts_drained, without.scaling->hosts_drained);
+    EXPECT_EQ(with_audit.scaling->hosts_powered_on,
+              without.scaling->hosts_powered_on);
+  }
+}
+
+TEST(ElasticProperty, ReplayingASeedIsBitIdentical) {
+  for (std::uint64_t seed : {13u, 96u, 181u}) {
+    ElasticScenario first = make_elastic_scenario(seed);
+    ElasticScenario second = make_elastic_scenario(seed);
+    const core::RunResult a = run_audited(first);
+    const core::RunResult b = run_audited(second);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+      EXPECT_EQ(a.records[i].host, b.records[i].host);
+      EXPECT_EQ(a.records[i].start, b.records[i].start);
+      EXPECT_EQ(a.records[i].completion, b.records[i].completion);
+    }
+    ASSERT_TRUE(a.scaling && b.scaling);
+    EXPECT_EQ(a.scaling->evals, b.scaling->evals);
+    EXPECT_EQ(a.scaling->scale_up_decisions, b.scaling->scale_up_decisions);
+    EXPECT_EQ(a.scaling->scale_down_decisions,
+              b.scaling->scale_down_decisions);
+    EXPECT_DOUBLE_EQ(a.scaling->host_time_powered,
+                     b.scaling->host_time_powered);
+  }
+}
+
+}  // namespace
+}  // namespace distserv::proptest
