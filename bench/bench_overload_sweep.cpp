@@ -1,0 +1,166 @@
+// Overload sweep — what protection buys past saturation.
+//
+// The paper analyses its policies at rho < 1; this sweep drives one policy
+// through saturation (rho 0.9, 1.0, 1.2, 1.5 by default) under four
+// protection configurations on the same fleet and trace:
+//
+//   * none          — overload protection installed but featureless
+//                     (bit-identical to an unprotected run);
+//   * shed          — bounded per-host queues, arrivals rejected at a full
+//                     host;
+//   * renege        — unbounded queues, queued jobs abandon once their
+//                     patience expires;
+//   * shed+migrate  — bounded queues plus queue evacuation off failed
+//                     hosts.
+//
+// Every configuration shares a mild fail-stop process (so the migrate
+// column has queues to evacuate; --mtbf overrides). Three panels over the
+// load axis: goodput (completed jobs per unit time), p99 slowdown of the
+// completed jobs, and the loss rate (shed + reneged, % of arrivals).
+//
+// Expected shape: on a finite trace every unprotected job does eventually
+// complete, so the cost of no protection shows up as p99 slowdown growing
+// without bound past rho = 1 (the backlog, and with it every waiting time,
+// scales with the horizon), while shedding and reneging cap the tail at a
+// visible, *measured* loss rate — the case for admission control over
+// unbounded queueing.
+//
+// Extra flags: --hosts N (fleet size, 8), --loads a,b,c (system loads,
+// 0.9,1,1.2,1.5) plus the common overload set (--queue-cap, --patience,
+// ... ) which overrides the per-configuration defaults.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/math.hpp"
+
+int main(int argc, char** argv) {
+  using namespace distserv;
+  const auto opts = bench::BenchOptions::parse(
+      argc, argv, "c90", {"hosts", "loads"},
+      /*sweeps_probe_period=*/false, /*supports_elastic=*/false,
+      /*supports_overload=*/true);
+  const util::Cli cli(argc, argv);
+  std::size_t hosts = 8;
+  std::vector<double> loads;
+  try {
+    hosts = static_cast<std::size_t>(cli.get_int_in("hosts", 8, 2, 100000));
+    for (const auto part :
+         util::split(cli.get_string("loads", "0.9,1,1.2,1.5"), ',')) {
+      const std::string token{util::trim(part)};
+      if (token.empty()) continue;
+      double rho = 0.0;
+      std::size_t used = 0;
+      try {
+        rho = std::stod(token, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used != token.size() || !(rho > 0.0) || !(rho <= 8.0)) {
+        throw util::CliError("option --loads: '" + token +
+                             "' is not a load in (0, 8]");
+      }
+      loads.push_back(rho);
+    }
+    if (loads.empty()) {
+      throw util::CliError("option --loads: names no loads");
+    }
+  } catch (const util::CliError& e) {
+    std::cerr << cli.program() << ": " << e.what() << "\n";
+    return 2;
+  }
+  bench::print_header(
+      "Overload sweep: goodput, p99 slowdown, and loss rate vs load, " +
+          std::to_string(hosts) + " hosts through saturation",
+      "Expected shape: unprotected p99 slowdown grows without bound past "
+      "rho = 1; shedding and reneging cap it at a measured loss rate.",
+      opts);
+
+  // Caps and patience live on the service-time scale: default to a queue
+  // of 8 jobs per host and patience of five mean jobs unless overridden.
+  const workload::WorkloadSpec& spec = workload::find_workload(opts.workload);
+  const std::vector<double> sizes =
+      workload::make_sizes(spec, opts.seed, opts.jobs);
+  const double mean_size =
+      util::compensated_sum(sizes) / static_cast<double>(sizes.size());
+  const std::uint32_t cap =
+      opts.overload.queue_cap > 0 ? opts.overload.queue_cap : 8u;
+  const double patience = opts.overload.patience_mean > 0.0
+                              ? opts.overload.patience_mean
+                              : 5.0 * mean_size;
+
+  core::ExperimentConfig base = opts.experiment_config(hosts);
+  if (!base.faults.enabled) {
+    // A mild fail-stop process on every configuration: frequent enough
+    // that the migrate column has queues to evacuate, rare enough that
+    // availability stays high. --mtbf/--mttr override.
+    base.faults.enabled = true;
+    base.faults.mtbf = 500.0 * mean_size;
+    base.faults.mttr = 10.0 * mean_size;
+  }
+
+  struct Protection {
+    std::string name;
+    sim::OverloadConfig overload;
+  };
+  std::vector<Protection> protections;
+  {
+    sim::OverloadConfig none = opts.overload;
+    none.enabled = true;  // featureless: bit-identical to unprotected
+    none.queue_cap = 0;
+    none.backlog_cap = 0.0;
+    none.admission = sim::AdmissionMode::kNone;
+    none.patience_mean = 0.0;
+    none.migrate_on_drain = none.migrate_on_fail = false;
+    sim::OverloadConfig shed = none;
+    shed.queue_cap = cap;
+    shed.overflow = sim::OverflowAction::kReject;
+    sim::OverloadConfig renege = none;
+    renege.patience_mean = patience;
+    sim::OverloadConfig shed_migrate = shed;
+    shed_migrate.migrate_on_fail = true;
+    protections = {{"none", none},
+                   {"shed", shed},
+                   {"renege", renege},
+                   {"shed+migrate", shed_migrate}};
+  }
+
+  const core::PolicyKind policy =
+      opts.policy_list("Least-Work-Left").front();
+  std::cout << "policy: " << core::to_string(policy) << "\n";
+
+  std::vector<bench::Series> goodput(protections.size());
+  std::vector<bench::Series> p99(protections.size());
+  std::vector<bench::Series> loss_pct(protections.size());
+  for (std::size_t c = 0; c < protections.size(); ++c) {
+    goodput[c].name = p99[c].name = loss_pct[c].name = protections[c].name;
+  }
+
+  try {
+    for (const double rho : loads) {
+      for (std::size_t c = 0; c < protections.size(); ++c) {
+        core::ExperimentConfig cfg = base;
+        cfg.overload = protections[c].overload;
+        const core::Workbench bench_point(spec, cfg);
+        const core::ExperimentPoint pt = bench_point.run_point(policy, rho);
+        goodput[c].values.push_back(pt.summary.goodput);
+        p99[c].values.push_back(pt.summary.p99_slowdown);
+        loss_pct[c].values.push_back(
+            100.0 * (pt.summary.shed_rate + pt.summary.renege_rate));
+      }
+    }
+  } catch (const ContractViolation& e) {
+    std::cerr << cli.program() << ": invalid overload configuration: "
+              << e.what() << "\n";
+    return 2;
+  }
+
+  bench::print_panel("Overload sweep: goodput (completed jobs / time)",
+                     "rho", loads, goodput, opts.csv);
+  bench::print_panel("Overload sweep: p99 slowdown, completed jobs",
+                     "rho", loads, p99, opts.csv);
+  bench::print_panel("Overload sweep: loss rate (shed + reneged, %)",
+                     "rho", loads, loss_pct, opts.csv);
+  return 0;
+}

@@ -52,6 +52,21 @@
 //   --min-hosts N            powered-fleet floor, >= 1 (requires
 //                            --scale-up)
 //
+// Overload-protection flags (only benches that opt in via
+// `supports_overload` accept them; everywhere else they are rejected like
+// any unknown flag):
+//   --queue-cap N            max jobs per host (queued + in service);
+//                            0 = unbounded, the default
+//   --backlog-cap T          max backlog-seconds per host; 0 = unbounded
+//   --overflow MODE          reject | shed-smallest | shed-largest | bounce
+//                            (requires a cap; default bounce)
+//   --admission SPEC         none | token:<rate>[:<burst>] |
+//                            util:<threshold>[:<shed-prob>]
+//   --patience T             mean patience of queued jobs (exponential);
+//                            0 = reneging off, the default
+//   --migrate-on-drain       evacuate queued jobs off draining hosts
+//   --migrate-on-fail        evacuate queued jobs off failed hosts
+//
 // Flags are validated strictly: an unknown flag, a malformed number, or an
 // out-of-range value prints an error naming the flag and exits with status
 // 2 — a typo never silently falls back to a default. Benches with extra
@@ -140,6 +155,63 @@ inline std::vector<double> parse_speeds(const std::string& csv) {
   return out;
 }
 
+/// Parses an --admission spec ("none", "token:<rate>[:<burst>]",
+/// "util:<threshold>[:<shed-prob>]") into the admission fields of `cfg`.
+/// Throws util::CliError naming the flag on any malformed or out-of-range
+/// piece, matching the strict-CLI contract.
+inline void parse_admission_spec(const std::string& spec,
+                                 sim::OverloadConfig& cfg) {
+  const auto bad = [&spec](const std::string& why) -> util::CliError {
+    return util::CliError("option --admission: '" + spec + "': " + why);
+  };
+  const auto number_in = [&bad](std::string_view token, double lo, double hi,
+                                const std::string& what) {
+    const std::string text{util::trim(token)};
+    double v = 0.0;
+    std::size_t used = 0;
+    try {
+      v = std::stod(text, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (text.empty() || used != text.size() || !(v >= lo) || !(v <= hi)) {
+      throw bad(what + " '" + text + "' is not a number in [" +
+                util::format_sig(lo, 3) + ", " + util::format_sig(hi, 3) +
+                "]");
+    }
+    return v;
+  };
+  const std::vector<std::string_view> parts = util::split(spec, ':');
+  const std::string mode{util::trim(parts.empty() ? "" : parts[0])};
+  if (mode == "none") {
+    if (parts.size() > 1) throw bad("'none' takes no parameters");
+    cfg.admission = sim::AdmissionMode::kNone;
+  } else if (mode == "token") {
+    if (parts.size() < 2 || parts.size() > 3) {
+      throw bad("expected token:<rate>[:<burst>]");
+    }
+    cfg.admission = sim::AdmissionMode::kTokenBucket;
+    cfg.admission_rate = number_in(parts[1], 1e-12, 1e18, "rate");
+    if (parts.size() == 3) {
+      cfg.admission_burst = number_in(parts[2], 1.0, 1e9, "burst");
+    }
+  } else if (mode == "util") {
+    if (parts.size() < 2 || parts.size() > 3) {
+      throw bad("expected util:<threshold>[:<shed-prob>]");
+    }
+    cfg.admission = sim::AdmissionMode::kUtilizationGate;
+    cfg.admission_threshold = number_in(parts[1], 0.0, 1.0, "threshold");
+    if (parts.size() == 3) {
+      cfg.admission_shed_prob =
+          number_in(parts[2], 1e-12, 1.0, "shed probability");
+    }
+  } else {
+    throw bad("unknown mode '" + mode +
+              "' (none | token:<rate>[:<burst>] | "
+              "util:<threshold>[:<shed-prob>])");
+  }
+}
+
 /// Bench-wide configuration parsed from argv.
 struct BenchOptions {
   std::string workload = "c90";
@@ -167,6 +239,10 @@ struct BenchOptions {
   double scale_period = 50.0;  ///< --scale-period: sampling period
   double warmup = 0.0;         ///< --warmup: power-on delay
   std::size_t min_hosts = 1;   ///< --min-hosts: powered-fleet floor
+  /// Overload-protection knobs (--queue-cap, --backlog-cap, --overflow,
+  /// --admission, --patience, --migrate-on-drain/-fail); any_feature()
+  /// false = overload protection disabled, the default.
+  sim::OverloadConfig overload;
 
   /// Parses and validates argv. `extra_known` lists bench-specific flags
   /// beyond the common set; anything else (or a malformed/out-of-range
@@ -175,10 +251,13 @@ struct BenchOptions {
   /// --probe-period) passes `sweeps_probe_period = true` to lift that
   /// coupling check. Only a bench that models elastic fleets passes
   /// `supports_elastic = true`; elsewhere the elastic flags are unknown.
+  /// Likewise `supports_overload = true` enables the overload-protection
+  /// flag group.
   static BenchOptions parse(
       int argc, const char* const* argv, std::string default_workload = "c90",
       std::initializer_list<std::string_view> extra_known = {},
-      bool sweeps_probe_period = false, bool supports_elastic = false) {
+      bool sweeps_probe_period = false, bool supports_elastic = false,
+      bool supports_overload = false) {
     const util::Cli cli(argc, argv);
     BenchOptions o;
     try {
@@ -191,6 +270,11 @@ struct BenchOptions {
       if (supports_elastic) {
         known.insert(known.end(), {"speeds", "scale-up", "scale-down",
                                    "scale-period", "warmup", "min-hosts"});
+      }
+      if (supports_overload) {
+        known.insert(known.end(),
+                     {"queue-cap", "backlog-cap", "overflow", "admission",
+                      "patience", "migrate-on-drain", "migrate-on-fail"});
       }
       known.insert(known.end(), extra_known.begin(), extra_known.end());
       cli.require_known(known);
@@ -265,6 +349,35 @@ struct BenchOptions {
               "(the hysteresis band)");
         }
       }
+      if (supports_overload) {
+        o.overload.queue_cap = static_cast<std::uint32_t>(
+            cli.get_int_in("queue-cap", 0, 0, 1000000000));
+        o.overload.backlog_cap =
+            cli.get_double_in("backlog-cap", 0.0, 0.0, 1e18);
+        const std::string over = cli.get_string("overflow", "bounce");
+        const auto action = sim::overflow_from_string(over);
+        if (!action) {
+          throw util::CliError(
+              "option --overflow: unknown action '" + over +
+              "' (reject | shed-smallest | shed-largest | bounce)");
+        }
+        o.overload.overflow = *action;
+        if (cli.has("overflow") && o.overload.queue_cap == 0 &&
+            o.overload.backlog_cap <= 0.0) {
+          throw util::CliError(
+              "option --overflow: requires --queue-cap or --backlog-cap");
+        }
+        parse_admission_spec(cli.get_string("admission", "none"), o.overload);
+        o.overload.patience_mean =
+            cli.get_double_in("patience", 0.0, 0.0, 1e18);
+        o.overload.migrate_on_drain = cli.has("migrate-on-drain");
+        o.overload.migrate_on_fail = cli.has("migrate-on-fail");
+        if (o.overload.migrate_on_drain && !supports_elastic) {
+          throw util::CliError(
+              "option --migrate-on-drain: this bench has no autoscaler");
+        }
+        o.overload.enabled = o.overload.any_feature();
+      }
     } catch (const util::CliError& e) {
       std::cerr << cli.program() << ": " << e.what() << "\n";
       std::exit(2);
@@ -311,6 +424,10 @@ struct BenchOptions {
       cfg.autoscaler.scale_down_threshold = scale_down;
       cfg.autoscaler.warmup_delay = warmup;
       cfg.autoscaler.min_hosts = min_hosts;
+    }
+    if (overload.any_feature()) {
+      cfg.overload = overload;
+      cfg.overload.enabled = true;
     }
     return cfg;
   }
@@ -391,6 +508,32 @@ inline void print_header(const std::string& artifact,
     std::cout << " scale-up=" << o.scale_up << " scale-down=" << o.scale_down
               << " scale-period=" << o.scale_period << " warmup=" << o.warmup
               << " min-hosts=" << o.min_hosts;
+  }
+  if (o.overload.any_feature()) {
+    if (o.overload.queue_cap > 0) {
+      std::cout << " queue-cap=" << o.overload.queue_cap;
+    }
+    if (o.overload.backlog_cap > 0.0) {
+      std::cout << " backlog-cap=" << o.overload.backlog_cap;
+    }
+    if (o.overload.queue_cap > 0 || o.overload.backlog_cap > 0.0) {
+      std::cout << " overflow=" << sim::to_string(o.overload.overflow);
+    }
+    if (o.overload.admission != sim::AdmissionMode::kNone) {
+      std::cout << " admission=" << sim::to_string(o.overload.admission);
+      if (o.overload.admission == sim::AdmissionMode::kTokenBucket) {
+        std::cout << " rate=" << o.overload.admission_rate
+                  << " burst=" << o.overload.admission_burst;
+      } else {
+        std::cout << " threshold=" << o.overload.admission_threshold
+                  << " shed-prob=" << o.overload.admission_shed_prob;
+      }
+    }
+    if (o.overload.patience_mean > 0.0) {
+      std::cout << " patience=" << o.overload.patience_mean;
+    }
+    if (o.overload.migrate_on_drain) std::cout << " migrate-on-drain";
+    if (o.overload.migrate_on_fail) std::cout << " migrate-on-fail";
   }
   std::cout << "\n"
             << "==============================================================\n";

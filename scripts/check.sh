@@ -17,15 +17,19 @@
 #   4c. Rerun the elastic slice (`ctest -L elastic`): heterogeneous-fleet
 #      and autoscaler unit tests plus the 224-seed elastic fuzz harness
 #      (speed classes x hysteresis scaling x faults under the audit layer).
+#   4d. Rerun the overload slice (`ctest -L overload`): bounded queues,
+#      admission control, reneging, queue migration, the golden
+#      bit-identity contract, and the 224-seed overload fuzz harness.
 #   5. Configure a second tree with -DDISTSERV_TSAN=ON (benches/examples
-#      off), build the sweep-runner determinism tests and the fault/elastic
-#      fuzz harnesses, and run every test carrying the `tsan` ctest label
-#      plus both property suites under the race detector.
+#      off), build the sweep-runner determinism tests and the fault/
+#      elastic/overload fuzz harnesses, and run every test carrying the
+#      `tsan` ctest label plus the property suites under the race detector.
 #   6. Configure a third tree with -DDISTSERV_UBSAN=ON and run the faults,
-#      control, streaming, and elastic slices under
-#      UndefinedBehaviorSanitizer — the fault, control, and power planes
-#      are the code most exposed to time arithmetic on degenerate configs
-#      (zero periods, unbounded backoff caps, warm-up races).
+#      control, streaming, elastic, and overload slices under
+#      UndefinedBehaviorSanitizer — the fault, control, power, and
+#      overload planes are the code most exposed to time arithmetic on
+#      degenerate configs (zero periods, unbounded backoff caps, warm-up
+#      races, zero-patience deadlines).
 #
 # Usage: scripts/check.sh [build-dir] [tsan-build-dir] [ubsan-build-dir]
 set -euo pipefail
@@ -58,13 +62,17 @@ ctest --test-dir "$BUILD_DIR" -L streaming --output-on-failure
 echo "== elastic: ctest -L elastic =="
 ctest --test-dir "$BUILD_DIR" -L elastic --output-on-failure
 
-echo "== tsan: configure + build (determinism + fault/elastic fuzz tests) =="
+echo "== overload: ctest -L overload =="
+ctest --test-dir "$BUILD_DIR" -L overload --output-on-failure
+
+echo "== tsan: configure + build (determinism + fuzz harnesses) =="
 cmake -B "$TSAN_DIR" -S . \
   -DDISTSERV_TSAN=ON \
   -DDISTSERV_BUILD_BENCH=OFF \
   -DDISTSERV_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-  --target test_sweep_runner test_fault_property test_elastic_property
+  --target test_sweep_runner test_fault_property test_elastic_property \
+  test_overload_property
 
 echo "== tsan: ctest -L tsan =="
 ctest --test-dir "$TSAN_DIR" -L tsan --output-on-failure
@@ -75,6 +83,9 @@ echo "== tsan: fault fuzz harness =="
 echo "== tsan: elastic fuzz harness =="
 "$TSAN_DIR"/tests/test_elastic_property
 
+echo "== tsan: overload fuzz harness =="
+"$TSAN_DIR"/tests/test_overload_property
+
 echo "== ubsan: configure + build (fault + control planes) =="
 cmake -B "$UBSAN_DIR" -S . \
   -DDISTSERV_UBSAN=ON \
@@ -83,10 +94,11 @@ cmake -B "$UBSAN_DIR" -S . \
 cmake --build "$UBSAN_DIR" -j "$(nproc)" \
   --target test_faults test_fault_property test_control \
   test_control_property test_bench_flags test_streaming test_stream_alloc \
-  test_autoscaler test_elastic_property
+  test_autoscaler test_elastic_property test_overload \
+  test_overload_property
 
-echo "== ubsan: ctest -L 'faults|control|streaming|elastic' =="
-ctest --test-dir "$UBSAN_DIR" -L 'faults|control|streaming|elastic' \
-  --output-on-failure
+echo "== ubsan: ctest -L 'faults|control|streaming|elastic|overload' =="
+ctest --test-dir "$UBSAN_DIR" \
+  -L 'faults|control|streaming|elastic|overload' --output-on-failure
 
 echo "All checks passed."

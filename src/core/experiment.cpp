@@ -152,7 +152,13 @@ std::unique_ptr<workload::ArrivalProcess> Workbench::make_arrival_process(
 }
 
 Workbench::PointPlan Workbench::plan_point(PolicyKind kind, double rho) const {
-  DS_EXPECTS(rho > 0.0 && rho < 1.0);
+  // The paper's analysis lives at rho < 1. Past saturation queues grow
+  // without bound, so rho >= 1 is only meaningful when overload protection
+  // bounds the system; 8x saturation caps the trace horizon. Policies whose
+  // cutoffs come from the M/G/1 analysis still require a stable rho in
+  // their own derivations below.
+  DS_EXPECTS(rho > 0.0 &&
+             (rho < 1.0 || (config_.overload.enabled && rho <= 8.0)));
   PointPlan plan;
   plan.point.policy = kind;
   plan.point.rho = rho;
@@ -343,6 +349,9 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
   if (config_.autoscaler.enabled) {
     server.enable_autoscaler(config_.autoscaler);
   }
+  if (config_.overload.enabled) {
+    server.enable_overload(config_.overload);
+  }
   if (config_.audit.enabled) {
     // A streaming replication must not hoard per-job shadows in the audit
     // layer; bounded mode keeps the map O(jobs in flight).
@@ -350,13 +359,14 @@ MetricsSummary Workbench::run_replication(const PointPlan& plan,
     if (config_.stream) audit.bounded_shadow = true;
     server.enable_audit(audit);
     // SITA routing is a pure function of job size when classification is
-    // perfect — unless faults, the control plane, or the autoscaler are on:
-    // a dead or drained interval's jobs get remapped to live neighbors (or a
-    // fallback level reroutes them) and the pure-size oracle no longer holds.
+    // perfect — unless faults, the control plane, the autoscaler, or
+    // overload protection are on: a dead, drained, or full interval's jobs
+    // get remapped to live neighbors (or a fallback level reroutes them)
+    // and the pure-size oracle no longer holds.
     if (const auto* sita = dynamic_cast<const SitaPolicy*>(policy.get());
         sita != nullptr && sita->classification_error() == 0.0 &&
         !config_.faults.enabled && !config_.control.enabled &&
-        !config_.autoscaler.enabled) {
+        !config_.autoscaler.enabled && !config_.overload.enabled) {
       server.auditor()->set_expected_route(
           [sita](double size) { return sita->interval_of(size); });
     }

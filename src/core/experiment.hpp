@@ -34,6 +34,7 @@
 #include "sim/autoscaler.hpp"
 #include "sim/control_plane.hpp"
 #include "sim/faults.hpp"
+#include "sim/overload.hpp"
 #include "stats/confidence.hpp"
 #include "workload/catalog.hpp"
 
@@ -140,6 +141,11 @@ struct ExperimentConfig {
   /// when autoscaler.enabled is false every run is bit-identical to a
   /// build without the subsystem.
   sim::AutoscalerConfig autoscaler;
+  /// Overload protection (sim/overload.hpp): bounded queues, admission
+  /// control, deadline reneging, queue migration. Disabled by default; when
+  /// overload.enabled is false every run is bit-identical to a build
+  /// without the subsystem.
+  sim::OverloadConfig overload;
   /// Test seam: invoked at the top of every run_replication with
   /// (policy, rho, replication, seed) — `seed` is the simulation seed the
   /// replication will run under (it differs from replication_seed(r) on a
@@ -244,6 +250,8 @@ class Workbench {
   };
 
   /// Runs one policy at one system load (all replications, inline).
+  /// Requires 0 < rho < 1 — except with overload protection enabled, which
+  /// makes past-saturation loads well-defined (rho <= 8 then).
   [[nodiscard]] ExperimentPoint run_point(PolicyKind kind, double rho) const;
 
   /// Derives the cutoffs/metadata for a point without running anything.

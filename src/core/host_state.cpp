@@ -168,6 +168,8 @@ void HostStateTable::reset(std::size_t hosts, Semantics semantics, double t0) {
   DS_EXPECTS(hosts >= 1);
   semantics_ = semantics;
   heterogeneous_ = false;
+  queue_cap_ = 0;
+  backlog_cap_ = 0.0;
   queue_len_.assign(hosts, 0);
   speed_.assign(hosts, 1.0);
   class_id_.assign(hosts, 0);

@@ -170,6 +170,15 @@ class HostStateTable {
   /// (queue_len / speed — speed-scaled Shortest-Queue), so speed 1.0
   /// leaves keys bitwise unchanged (x / 1.0 == x).
   void set_speed(HostId h, double speed, std::uint32_t capacity_class = 0);
+  /// Installs the overload model's per-host capacity limits: at most
+  /// `queue_cap` jobs in system (running included) and/or `backlog_cap`
+  /// time units of remaining work. 0 = unbounded (the default; reset()
+  /// restores it), in which case at_capacity() is identically false and
+  /// capacity-aware routing collapses to the unbounded decisions.
+  void set_caps(std::uint32_t queue_cap, double backlog_cap) noexcept {
+    queue_cap_ = queue_cap;
+    backlog_cap_ = backlog_cap;
+  }
 
   // --- per-host reads (O(1)) ---
 
@@ -202,6 +211,14 @@ class HostStateTable {
   }
   /// True when any host's speed differs from 1.0.
   [[nodiscard]] bool heterogeneous() const noexcept { return heterogeneous_; }
+  /// True when host `h` has no room for one more queued job under the caps
+  /// installed by set_caps() (false whenever both caps are 0). Capacity-
+  /// aware policies skip full hosts; the dispatcher applies the overflow
+  /// action when a delivery lands on one anyway.
+  [[nodiscard]] bool at_capacity(HostId h, double now) const {
+    if (queue_cap_ > 0 && queue_len_[h] >= queue_cap_) return true;
+    return backlog_cap_ > 0.0 && work_left(h, now) >= backlog_cap_;
+  }
 
   // --- bulk accessors (span-style, for vectorizable policy scans) ---
 
@@ -273,6 +290,9 @@ class HostStateTable {
 
   Semantics semantics_ = Semantics::kObserved;
   bool heterogeneous_ = false;
+  /// Overload-model capacity limits (0 = unbounded; see set_caps()).
+  std::uint32_t queue_cap_ = 0;
+  double backlog_cap_ = 0.0;
   std::vector<std::uint32_t> queue_len_;
   /// Per-host speed factor (all 1.0 unless set_speed was called).
   std::vector<double> speed_;

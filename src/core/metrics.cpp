@@ -31,6 +31,21 @@ void fill_scaling_telemetry(MetricsSummary& m, const RunResult& result) {
   m.bounced_dispatches = s.bounced_dispatches;
 }
 
+/// Overload counters plus the loss rates over all arrivals. Requires
+/// m.jobs and m.jobs_failed to be filled in already (arrivals = their sum).
+void fill_overload_telemetry(MetricsSummary& m, const RunResult& result) {
+  if (!result.overload) return;
+  const sim::OverloadStats& o = *result.overload;
+  m.jobs_shed = o.shed();
+  m.jobs_reneged = o.reneged;
+  m.migrations = o.migrated();
+  const double arrivals = static_cast<double>(m.jobs + m.jobs_failed);
+  if (arrivals > 0.0) {
+    m.shed_rate = static_cast<double>(o.shed()) / arrivals;
+    m.renege_rate = static_cast<double>(o.reneged) / arrivals;
+  }
+}
+
 /// Speed of `host` per RunResult::host_speeds (1.0 on a homogeneous fleet
 /// or for an out-of-range host — range errors are reported separately).
 double speed_of(const RunResult& result, std::uint32_t host) {
@@ -51,6 +66,10 @@ MetricsSummary summarize(const RunResult& result) {
     m.jobs_failed = s.jobs_failed();
     fill_control_telemetry(m, result);
     fill_scaling_telemetry(m, result);
+    fill_overload_telemetry(m, result);
+    if (result.makespan > 0.0) {
+      m.goodput = static_cast<double>(m.jobs) / result.makespan;
+    }
     if (s.jobs() == 0) return m;  // every job failed
     m.mean_slowdown = s.slowdown().mean();
     m.var_slowdown = s.slowdown().variance_sample();
@@ -83,6 +102,10 @@ MetricsSummary summarize(const RunResult& result) {
   m.jobs = slowdown.count();
   fill_control_telemetry(m, result);
   fill_scaling_telemetry(m, result);
+  fill_overload_telemetry(m, result);
+  if (result.makespan > 0.0) {
+    m.goodput = static_cast<double>(m.jobs) / result.makespan;
+  }
   if (slowdowns.empty()) return m;  // every job failed
   m.mean_slowdown = slowdown.mean();
   m.var_slowdown = slowdown.variance_sample();
@@ -188,15 +211,28 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
     // Host-local service duration: size scaled by the serving host's speed
     // (identically size on a homogeneous fleet, host_speeds empty).
     const double service = r.size / speed_of(result, r.host);
+    const bool loss_marker =
+        r.outcome == JobOutcome::kShed || r.outcome == JobOutcome::kReneged;
+    if (r.failed != (r.outcome != JobOutcome::kCompleted)) {
+      complain(tag.str() + "failed flag disagrees with the outcome");
+    }
     if (r.failed) {
-      // Abandoned after a failure: completion is the abandonment time,
-      // somewhere within the service interval it never finished.
       ++failed_records;
-      if (r.completion + rtol * std::abs(r.completion) < r.start) {
-        complain(tag.str() + "abandoned before it started");
-      }
-      if (r.completion > (r.start + service) * (1.0 + rtol)) {
-        complain(tag.str() + "abandoned after it would have completed");
+      if (loss_marker) {
+        // Shed and reneged jobs never received service: the record is a
+        // zero-length marker at the loss time.
+        if (!stats::close(r.start, r.completion, rtol, rtol)) {
+          complain(tag.str() + "shed/reneged but shows a service interval");
+        }
+      } else {
+        // Abandoned after a failure: completion is the abandonment time,
+        // somewhere within the service interval it never finished.
+        if (r.completion + rtol * std::abs(r.completion) < r.start) {
+          complain(tag.str() + "abandoned before it started");
+        }
+        if (r.completion > (r.start + service) * (1.0 + rtol)) {
+          complain(tag.str() + "abandoned after it would have completed");
+        }
       }
     } else if (!stats::close(r.completion, r.start + service, rtol)) {
       complain(tag.str() + "completion != start + size / speed");
@@ -206,10 +242,20 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
       complain(tag.str() + "out-of-range host");
       continue;
     }
-    by_host[r.host].push_back(&r);
     max_completion = std::max(max_completion, r.completion);
+    // Loss markers carry no service interval: including them in the
+    // per-host overlap scan would flag a zero-length point inside another
+    // job's lawful service window.
+    if (loss_marker) continue;
+    by_host[r.host].push_back(&r);
   }
-  if (failed_records != result.jobs_failed) {
+  if (result.records.empty() && result.stream) {
+    // Streaming runs materialise no records; the summary's failure count
+    // stands in for the per-record tally.
+    if (result.stream->jobs_failed() != result.jobs_failed) {
+      complain("jobs_failed does not match the streamed failure count");
+    }
+  } else if (failed_records != result.jobs_failed) {
     complain("jobs_failed does not match the failed records");
   }
   if (total_restarts != result.interruptions) {
@@ -248,15 +294,19 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
       const HostStats& hs = result.host_stats[host];
       std::ostringstream tag;
       tag << "host " << host << " stats: ";
-      if (hs.jobs_completed != completed) {
+      // Streaming runs keep per-host stats but materialise no records, so
+      // the record-derived cross-checks have nothing to compare against.
+      const bool have_records = !result.records.empty() || !result.stream;
+      if (have_records && hs.jobs_completed != completed) {
         complain(tag.str() + "jobs_completed disagrees with the records");
       }
-      if (!stats::close(hs.work_done, work, rtol, rtol)) {
+      if (have_records && !stats::close(hs.work_done, work, rtol, rtol)) {
         complain(tag.str() + "work_done disagrees with the records");
       }
       // Busy time covers completed service plus partial service the
       // failure model discarded (fail-stop loses completed work).
-      if (!stats::close(hs.busy_time, work + hs.wasted_work, rtol, rtol)) {
+      if (have_records &&
+          !stats::close(hs.busy_time, work + hs.wasted_work, rtol, rtol)) {
         complain(tag.str() +
                  "busy_time disagrees with completed + wasted work");
       }
@@ -315,6 +365,38 @@ std::vector<std::string> validate_run(const RunResult& result, double rtol) {
     }
     if (c.snapshot_age_sum < 0.0 || c.snapshot_age_max < 0.0) {
       complain(tag + "negative snapshot age accounting");
+    }
+  }
+  if (result.overload) {
+    // Overload counter identities: every loss counter is backed by exactly
+    // that many records, and every arrival passed the admission gate or
+    // was shed by it.
+    const sim::OverloadStats& o = *result.overload;
+    const auto tag = std::string("overload stats: ");
+    if (!result.records.empty()) {
+      std::uint64_t shed_records = 0;
+      std::uint64_t reneged_records = 0;
+      for (const JobRecord& r : result.records) {
+        if (r.outcome == JobOutcome::kShed) ++shed_records;
+        if (r.outcome == JobOutcome::kReneged) ++reneged_records;
+      }
+      if (shed_records != o.shed()) {
+        complain(tag + "shed records disagree with the shed counters");
+      }
+      if (reneged_records != o.reneged) {
+        complain(tag + "reneged records disagree with the renege counter");
+      }
+      if (o.admitted + o.shed_admission != result.records.size()) {
+        complain(tag + "admitted + admission sheds != arrivals");
+      }
+    }
+    if (result.stream) {
+      if (result.stream->jobs_shed() != o.shed()) {
+        complain(tag + "streamed shed count disagrees with the counters");
+      }
+      if (result.stream->jobs_reneged() != o.reneged) {
+        complain(tag + "streamed renege count disagrees with the counter");
+      }
     }
   }
   if (!result.host_speeds.empty()) {
@@ -377,6 +459,12 @@ MetricsSummary average_summaries(const std::vector<MetricsSummary>& reps) {
     avg.host_hours_powered += r.host_hours_powered / n;
     avg.host_hours_total += r.host_hours_total / n;
     avg.bounced_dispatches += r.bounced_dispatches;
+    avg.goodput += r.goodput / n;
+    avg.jobs_shed += r.jobs_shed;
+    avg.jobs_reneged += r.jobs_reneged;
+    avg.migrations += r.migrations;
+    avg.shed_rate += r.shed_rate / n;
+    avg.renege_rate += r.renege_rate / n;
   }
   return avg;
 }

@@ -39,6 +39,17 @@ struct MetricsSummary {
   double host_hours_powered = 0.0;  ///< integral of non-Off hosts over time
   double host_hours_total = 0.0;    ///< hosts * makespan
   std::uint64_t bounced_dispatches = 0;  ///< dispatches that raced scaling
+  /// Completed jobs per unit time — the throughput the system actually
+  /// delivered. Under overload protection this is the headline axis: sheds
+  /// and reneges trade individual losses for goodput of the admitted work.
+  double goodput = 0.0;
+  // Overload-protection telemetry (all zero when overload protection is
+  // off; see sim/overload.hpp).
+  std::uint64_t jobs_shed = 0;     ///< admission + bounded-queue drops
+  std::uint64_t jobs_reneged = 0;  ///< patience expirations while waiting
+  std::uint64_t migrations = 0;    ///< queued jobs evacuated (drain + fault)
+  double shed_rate = 0.0;    ///< jobs_shed / arrivals
+  double renege_rate = 0.0;  ///< jobs_reneged / arrivals
 };
 
 /// Computes the summary over all records of a run.

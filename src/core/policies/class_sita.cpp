@@ -47,20 +47,38 @@ std::optional<HostId> ClassSitaPolicy::argmin_in_class(
 std::optional<HostId> ClassSitaPolicy::assign(const workload::Job& job,
                                               const ServerView& view) {
   const std::uint32_t k = class_of(job.size);
-  if (auto host = argmin_in_class(k, view)) return host;
-  // The whole owning class is down: remap to the nearest class with an up
-  // host, ties preferring the smaller-size side — the class-granularity
-  // version of SitaPolicy::nearest_up.
+  const HostStateTable& table = view.hosts();
+  const double now = view.now();
   const auto classes = static_cast<std::uint32_t>(class_sizes_.size());
+  // Walk classes outward from the owner (down = whole class failed, full =
+  // no queue headroom under bounded queues), ties preferring the
+  // smaller-size side — the class-granularity version of
+  // SitaPolicy::nearest_up. Caps unset makes at_capacity constant-false,
+  // so the walk is byte-for-byte the historical down-class remap. The
+  // first up-but-full answer is kept: when every live class is saturated
+  // the dispatch goes there and the configured overflow action resolves
+  // the conflict, instead of the policy spinning for room that does not
+  // exist.
+  std::optional<HostId> saturated;
+  const auto probe = [&](std::uint32_t c) -> std::optional<HostId> {
+    const auto host = argmin_in_class(c, view);
+    if (!host) return std::nullopt;  // class entirely down
+    if (!table.at_capacity(*host, now)) return host;
+    if (!saturated) saturated = host;
+    return std::nullopt;
+  };
+  if (auto host = probe(k)) return host;
   for (std::uint32_t delta = 1; delta < classes; ++delta) {
     if (k >= delta) {
-      if (auto host = argmin_in_class(k - delta, view)) return host;
+      if (auto host = probe(k - delta)) return host;
     }
     if (k + delta < classes) {
-      if (auto host = argmin_in_class(k + delta, view)) return host;
+      if (auto host = probe(k + delta)) return host;
     }
   }
-  return std::nullopt;  // every host is down: hold centrally
+  // Every up host is at capacity (overflow resolves at delivery), or every
+  // host is down (nullopt: hold centrally).
+  return saturated;
 }
 
 }  // namespace distserv::core

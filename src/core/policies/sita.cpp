@@ -35,12 +35,29 @@ HostId SitaPolicy::interval_of(double size) const noexcept {
 
 std::optional<HostId> SitaPolicy::nearest_up(HostId host,
                                              const ServerView& view) {
-  const HostBitset& up = view.hosts().up_bits();
-  if (up.test(host)) return host;
+  const HostStateTable& table = view.hosts();
+  const HostBitset& up = table.up_bits();
   if (!up.any()) return std::nullopt;  // every host is down: hold centrally
+  const double now = view.now();
   const auto h = static_cast<HostId>(up.size());
   // Nearest by interval index: the adjacent size ranges are the closest in
   // job-size terms. Ties prefer the smaller-size side (lower index).
+  //
+  // With bounded queues the walk first looks for an up host with queue
+  // headroom (caps unset makes at_capacity constant-false, so this pass is
+  // byte-for-byte the historical behavior). When every up band is full it
+  // escalates to the plain nearest-up answer and the configured overflow
+  // action resolves the conflict there — the policy never spins hunting
+  // for room that does not exist.
+  const auto open = [&](HostId c) {
+    return up.test(c) && !table.at_capacity(c, now);
+  };
+  if (open(host)) return host;
+  for (HostId delta = 1; delta < h; ++delta) {
+    if (host >= delta && open(host - delta)) return host - delta;
+    if (host + delta < h && open(host + delta)) return host + delta;
+  }
+  if (up.test(host)) return host;
   for (HostId delta = 1; delta < h; ++delta) {
     if (host >= delta && up.test(host - delta)) return host - delta;
     if (host + delta < h && up.test(host + delta)) return host + delta;

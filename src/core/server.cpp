@@ -12,12 +12,14 @@ DistributedServer::DistributedServer(std::size_t hosts, Policy& policy)
   DS_EXPECTS(hosts >= 1);
   speeds_.assign(hosts, 1.0);
   class_ids_.assign(hosts, 0);
+  drain_speed_menu_.assign(1, 1.0);
 }
 
 void DistributedServer::set_host_speeds(std::vector<double> speeds) {
   if (speeds.empty()) {
     speeds_.assign(hosts_count_, 1.0);
     class_ids_.assign(hosts_count_, 0);
+    drain_speed_menu_.assign(1, 1.0);
     heterogeneous_ = false;
     return;
   }
@@ -43,6 +45,10 @@ void DistributedServer::set_host_speeds(std::vector<double> speeds) {
     if (cls == seen.size()) seen.push_back(speeds_[h]);
     class_ids_[h] = static_cast<std::uint32_t>(cls);
   }
+  // Scale-down visits speeds ascending (slowest class drains first); a
+  // homogeneous fleet has a one-entry menu and keeps the historical order.
+  drain_speed_menu_ = std::move(seen);
+  std::sort(drain_speed_menu_.begin(), drain_speed_menu_.end());
 }
 
 double DistributedServer::now() const { return sim_.now(); }
@@ -83,6 +89,11 @@ void DistributedServer::enable_control(const sim::ControlPlaneConfig& config) {
 void DistributedServer::enable_autoscaler(const sim::AutoscalerConfig& config) {
   scaling_enabled_ = config.enabled;
   scaler_config_ = config;
+}
+
+void DistributedServer::enable_overload(const sim::OverloadConfig& config) {
+  overload_enabled_ = config.enabled;
+  overload_config_ = config;
 }
 
 RunResult DistributedServer::run(const workload::Trace& trace,
@@ -149,6 +160,7 @@ RunResult DistributedServer::run_source(workload::JobSource& source,
   if (faults_enabled_) begin_faults(seed);
   if (control_enabled_) begin_control(seed);
   if (scaling_enabled_) begin_scaling(seed);
+  if (overload_enabled_) begin_overload(seed);
   // Arrivals are scheduled lazily — one pending arrival event at a time —
   // so the event list stays O(hosts) instead of O(stream).
   schedule_next_arrival();
@@ -193,6 +205,7 @@ RunResult DistributedServer::run_source(workload::JobSource& source,
         static_cast<double>(hosts_count_) * sim_.now();
     result.scaling = scaling_stats_;
   }
+  if (overload_enabled_) result.overload = overload_stats_;
   if (heterogeneous_) result.host_speeds = speeds_;
   if (!record_mode_) result.stream = std::move(stream_summary_);
   if (auditor_) result.audit = auditor_->finalize(sim_.now());
@@ -242,6 +255,9 @@ void DistributedServer::on_event(const sim::Event& event) {
     case sim::EventKind::kWarmup:
       warmup_fired(event.host, event.epoch);
       return;
+    case sim::EventKind::kRenege:
+      renege_fired(event.id);
+      return;
     case sim::EventKind::kTimer:
       break;
   }
@@ -262,6 +278,15 @@ void DistributedServer::schedule_next_arrival() {
 
 void DistributedServer::on_arrival(const workload::Job& job) {
   if (auditor_) auditor_->on_arrival(job.id, sim_.now(), job.size);
+  if (overload_enabled_) {
+    if (!admit_arrival(job)) return;
+    if (overload_config_.patience_mean > 0.0) {
+      // The deadline is fixed at arrival and follows the job through
+      // requeues and migrations; the event no-ops unless the job is still
+      // waiting in some queue when it fires.
+      sim_.schedule_in(admission_.draw_patience(), sim::Event::renege(job.id));
+    }
+  }
   route(job);
 }
 
@@ -440,6 +465,15 @@ void DistributedServer::send_dispatch(workload::JobId id) {
     ++scaling_stats_.rpc_rejects;
     lost = true;
   }
+  // Under kBounce a full host refuses the dispatch the same way: the chain
+  // retries and then escalates through the fallback levels, so overload at
+  // one host spreads the work instead of dropping it. The destructive
+  // overflow actions resolve at delivery below instead.
+  if (overload_config_.overflow == sim::OverflowAction::kBounce &&
+      host_full_for(p.target)) {
+    ++overload_stats_.rpc_full_rejects;
+    lost = true;
+  }
   if (lost) {
     ++control_stats_.requests_lost;
     if (auditor_) {
@@ -459,11 +493,22 @@ void DistributedServer::send_dispatch(workload::JobId id) {
     }
   } else {
     p.enqueued = true;
-    if (auditor_) auditor_->on_dispatch(id, p.target);
-    dispatch_to_host(p.target, p.job);
-    if (auditor_) {
-      auditor_->on_rpc_outcome(id, sim::QueueingAuditor::RpcOutcome::kDelivered,
-                               now);
+    if (host_full_for(p.target)) {
+      // The host took the RPC but its queue is full: the request counts as
+      // delivered (kBounce refused it above), then the overflow action
+      // (kReject / kShed*) resolves the conflict.
+      if (auditor_) {
+        auditor_->on_rpc_outcome(
+            id, sim::QueueingAuditor::RpcOutcome::kDelivered, now);
+      }
+      overflow_at_host(p.job, p.target);
+    } else {
+      if (auditor_) auditor_->on_dispatch(id, p.target);
+      dispatch_to_host(p.target, p.job);
+      if (auditor_) {
+        auditor_->on_rpc_outcome(
+            id, sim::QueueingAuditor::RpcOutcome::kDelivered, now);
+      }
     }
   }
   if (control_.ack_lost()) {
@@ -557,6 +602,18 @@ bool DistributedServer::deliver_or_bounce(const workload::Job& job,
     hold_centrally(job);
     return false;
   }
+  if (host_full_for(target)) {
+    if (overload_config_.overflow == sim::OverflowAction::kBounce) {
+      // The full host refuses the delivery and the dispatcher takes the job
+      // back, exactly like the scaling bounce above; some host completing
+      // work will pull it from the central queue.
+      ++overload_stats_.bounced_full;
+      hold_centrally(job);
+      return false;
+    }
+    overflow_at_host(job, target);
+    return true;
+  }
   if (auditor_) auditor_->on_dispatch(job.id, target);
   dispatch_to_host(target, job);
   return true;
@@ -571,6 +628,7 @@ void DistributedServer::hold_centrally(const workload::Job& job) {
     return;
   }
   if (auditor_) auditor_->on_hold(job.id);
+  if (reneging_enabled()) waiting_at_[job.id] = -1;
   central_queue_.push_back(job);
 }
 
@@ -585,6 +643,9 @@ void DistributedServer::dispatch_to_host(HostId host, const workload::Job& job) 
     // Busy host, or a down host a non-masking policy routed to anyway: the
     // job queues and waits for the completion/repair.
     if (auditor_) auditor_->on_enqueue(job.id, host);
+    if (reneging_enabled()) {
+      waiting_at_[job.id] = static_cast<std::int64_t>(host);
+    }
     h.queue.push_back(job);
     h.queued_work += service_time_of(job, host);
     publish_host(host);
@@ -596,6 +657,8 @@ void DistributedServer::start_service(HostId host, const workload::Job& job,
   Host& h = hosts_[host];
   DS_ASSERT(!h.busy);
   DS_ASSERT(h.up);
+  // In-service jobs never renege: entering service discharges the deadline.
+  if (reneging_enabled()) waiting_at_.erase(job.id);
   const double service = service_time_of(job, host);
   if (auditor_) {
     auditor_->on_start(job.id, host, sim_.now(), job.size, source, service);
@@ -707,7 +770,8 @@ void DistributedServer::note_job_done() {
   // failure/repair/probe/timeout events far beyond the last job; stop as
   // soon as every job is resolved instead of simulating an empty system
   // through them.
-  if ((faults_enabled_ || control_enabled_ || scaling_enabled_) &&
+  if ((faults_enabled_ || control_enabled_ || scaling_enabled_ ||
+       overload_enabled_) &&
       all_jobs_done()) {
     sim_.stop();
   }
@@ -787,6 +851,13 @@ void DistributedServer::fault_down(HostId host, double duration, bool renewal) {
     h.down_since = sim_.now();
     h.stats.failures += 1;
     if (auditor_) auditor_->on_host_down(host, sim_.now());
+    // Queued work leaves a failed host before its in-service job is
+    // resolved: kRequeueFront then parks the interrupted job at the front
+    // of a now-empty queue, so it rides out the outage with the host (per
+    // RecoveryMode) while the rest of the backlog re-routes.
+    if (overload_enabled_ && overload_config_.migrate_on_fail) {
+      migrate_queue(host, /*drain=*/false);
+    }
     if (h.busy) interrupt_running(host);
   }
   sim_.schedule_in(duration, sim::Event::host_repair(host, renewal));
@@ -840,6 +911,9 @@ void DistributedServer::interrupt_running(HostId host) {
             id, host, t, sim::QueueingAuditor::InterruptResolution::kRequeuedFront);
       }
       h.queue.push_front(job);
+      if (reneging_enabled()) {
+        waiting_at_[id] = static_cast<std::int64_t>(host);
+      }
       h.queued_work += service_time_of(job, host);
       publish_host(host);
       break;
@@ -872,6 +946,7 @@ void DistributedServer::interrupt_running(HostId host) {
       if (record_mode_) {
         JobRecord& rec = records_[id];
         rec.failed = true;
+        rec.outcome = JobOutcome::kAbandoned;
         rec.completion = t;
       } else {
         JobRecord rec;
@@ -882,6 +957,7 @@ void DistributedServer::interrupt_running(HostId host) {
         rec.start = h.service_start;
         rec.completion = t;
         rec.failed = true;
+        rec.outcome = JobOutcome::kAbandoned;
         const auto it = restarts_.find(id);  // inserted above, so present
         rec.restarts = it->second;
         restarts_.erase(it);
@@ -898,6 +974,216 @@ void DistributedServer::interrupt_running(HostId host) {
       h.queue.empty()) {
     complete_drain(host);
   }
+}
+
+// --- overload protection ---
+
+void DistributedServer::begin_overload(std::uint64_t seed) {
+  admission_ = sim::AdmissionController(overload_config_, seed);
+  overload_stats_ = sim::OverloadStats{};
+  waiting_at_.clear();
+  // begin_scaling already zeroed the count when scaling is on; a util-gate
+  // without scaling maintains it on its own (note_busy_change).
+  if (!scaling_enabled_) busy_count_ = 0;
+  // Caps live on the state tables so capacity-aware policies (SITA-E,
+  // ClassSita) can steer around full hosts; reset() cleared them.
+  live_table_.set_caps(overload_config_.queue_cap, overload_config_.backlog_cap);
+  if (control_enabled_) {
+    snapshot_table_.set_caps(overload_config_.queue_cap,
+                             overload_config_.backlog_cap);
+  }
+}
+
+bool DistributedServer::admit_arrival(const workload::Job& job) {
+  double utilization = 0.0;
+  if (overload_config_.admission == sim::AdmissionMode::kUtilizationGate) {
+    utilization =
+        static_cast<double>(busy_count_) / static_cast<double>(hosts_count_);
+  }
+  if (admission_.admit(sim_.now(), utilization)) {
+    ++overload_stats_.admitted;
+    return true;
+  }
+  ++overload_stats_.shed_admission;
+  if (auditor_) auditor_->on_shed(job.id, sim_.now());
+  resolve_loss(job, /*host=*/0, JobOutcome::kShed);
+  return false;
+}
+
+bool DistributedServer::host_full_for(HostId target) const {
+  if (!overload_enabled_) return false;
+  const Host& h = hosts_[target];
+  // Only a delivery that would *queue* can overflow; an idle up host
+  // starts the job immediately and needs no queue slot.
+  if (!h.busy && h.up) return false;
+  return live_table_.at_capacity(target, sim_.now());
+}
+
+void DistributedServer::overflow_at_host(const workload::Job& job,
+                                         HostId target) {
+  Host& h = hosts_[target];
+  const sim::OverflowAction action = overload_config_.overflow;
+  if (action == sim::OverflowAction::kReject || h.queue.empty()) {
+    // Plain rejection, or nothing queued to trade against (the in-service
+    // job is never shed): the arriving job is dropped.
+    ++overload_stats_.shed_overflow;
+    if (auditor_) auditor_->on_shed(job.id, sim_.now());
+    resolve_loss(job, target, JobOutcome::kShed);
+    return;
+  }
+  // Shed the extreme-size job among {queued jobs, arriving job}. Scans
+  // take the first extreme (deterministic), and on an exact size tie with
+  // the arrival the queued job loses — the newcomer carries fresher
+  // patience and keeps the queue from ossifying.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < h.queue.size(); ++i) {
+    const bool more_extreme =
+        action == sim::OverflowAction::kShedSmallest
+            ? h.queue[i].size < h.queue[victim].size
+            : h.queue[i].size > h.queue[victim].size;
+    if (more_extreme) victim = i;
+  }
+  const bool arriving_loses =
+      action == sim::OverflowAction::kShedSmallest
+          ? job.size < h.queue[victim].size
+          : job.size > h.queue[victim].size;
+  if (arriving_loses) {
+    ++overload_stats_.shed_overflow;
+    if (auditor_) auditor_->on_shed(job.id, sim_.now());
+    resolve_loss(job, target, JobOutcome::kShed);
+    return;
+  }
+  const workload::Job shed = h.queue[victim];
+  h.queue.erase(h.queue.begin() + static_cast<std::ptrdiff_t>(victim));
+  h.queued_work -= service_time_of(shed, target);
+  if (h.queue.empty()) h.queued_work = 0.0;
+  publish_host(target);
+  if (reneging_enabled()) waiting_at_.erase(shed.id);
+  ++overload_stats_.shed_overflow;
+  if (auditor_) auditor_->on_shed(shed.id, sim_.now());
+  resolve_loss(shed, target, JobOutcome::kShed);
+  // The freed slot takes the newcomer.
+  if (auditor_) auditor_->on_dispatch(job.id, target);
+  dispatch_to_host(target, job);
+}
+
+void DistributedServer::renege_fired(workload::JobId id) {
+  const auto it = waiting_at_.find(id);
+  // Absent means the job started service, already resolved, or is mid RPC
+  // flight at its deadline: only *queued* work reneges.
+  if (it == waiting_at_.end()) return;
+  const std::int64_t where = it->second;
+  waiting_at_.erase(it);
+  const double t = sim_.now();
+  workload::Job job{};
+  bool found = false;
+  HostId record_host = 0;
+  if (where < 0) {
+    for (auto q = central_queue_.begin(); q != central_queue_.end(); ++q) {
+      if (q->id == id) {
+        job = *q;
+        found = true;
+        central_queue_.erase(q);
+        break;
+      }
+    }
+  } else {
+    const HostId host = static_cast<HostId>(where);
+    record_host = host;
+    Host& h = hosts_[host];
+    for (auto q = h.queue.begin(); q != h.queue.end(); ++q) {
+      if (q->id == id) {
+        job = *q;
+        found = true;
+        h.queue.erase(q);
+        h.queued_work -= service_time_of(job, host);
+        if (h.queue.empty()) h.queued_work = 0.0;
+        break;
+      }
+    }
+    publish_host(host);
+    // The renege may have emptied a draining host's backlog.
+    if (scaling_enabled_ && h.power == sim::PowerState::kDraining &&
+        !h.busy && h.queue.empty()) {
+      complete_drain(host);
+    }
+  }
+  DS_ASSERT(found);  // the waiting map always matches a queue entry
+  ++overload_stats_.reneged;
+  if (auditor_) auditor_->on_renege(id, t);
+  resolve_loss(job, record_host, JobOutcome::kReneged);
+}
+
+void DistributedServer::migrate_queue(HostId host, bool drain) {
+  Host& h = hosts_[host];
+  if (h.queue.empty()) return;
+  const double t = sim_.now();
+  migrate_buffer_.assign(h.queue.begin(), h.queue.end());
+  h.queue.clear();
+  h.queued_work = 0.0;
+  // Published before the re-routes: the policy must see the emptied (and
+  // already non-accepting) host before it places the evacuated work.
+  publish_host(host);
+  for (const workload::Job& job : migrate_buffer_) {
+    if (drain) {
+      ++overload_stats_.migrated_drain;
+    } else {
+      ++overload_stats_.migrated_fault;
+    }
+    if (reneging_enabled()) waiting_at_.erase(job.id);
+    // A live RPC chain (an ack-loss retry still in flight) for a migrated
+    // job is moot: the re-route opens a fresh chain, so cancel the old one
+    // (its orphaned timeout event is epoch-fenced by the erase).
+    if (control_enabled_ && pending_.erase(job.id) > 0) {
+      ++control_stats_.cancelled;
+      if (auditor_) {
+        auditor_->on_rpc_outcome(
+            job.id, sim::QueueingAuditor::RpcOutcome::kCancelled, t);
+      }
+    }
+    if (auditor_) auditor_->on_migrate(job.id, host, t);
+    // Back through the dispatcher like a fresh arrival; the patience
+    // deadline (if any) re-attaches when the job queues again.
+    route(job);
+  }
+  migrate_buffer_.clear();
+}
+
+void DistributedServer::resolve_loss(const workload::Job& job, HostId host,
+                                     JobOutcome outcome) {
+  const double t = sim_.now();
+  ++jobs_failed_;
+  max_completion_ = std::max(max_completion_, t);
+  if (record_mode_) {
+    JobRecord& rec = records_[job.id];
+    rec.id = job.id;
+    rec.arrival = job.arrival;
+    rec.size = job.size;
+    rec.host = host;
+    rec.start = t;  // never served: start == completion == the loss time
+    rec.completion = t;
+    rec.failed = true;
+    rec.outcome = outcome;
+  } else {
+    JobRecord rec;
+    rec.id = job.id;
+    rec.arrival = job.arrival;
+    rec.size = job.size;
+    rec.host = host;
+    rec.start = t;
+    rec.completion = t;
+    rec.failed = true;
+    rec.outcome = outcome;
+    if (!restarts_.empty()) {
+      if (const auto it = restarts_.find(job.id); it != restarts_.end()) {
+        rec.restarts = it->second;
+        restarts_.erase(it);
+      }
+    }
+    stream_summary_.add(rec);
+    if (stream_options_->record_sink) stream_options_->record_sink(rec);
+  }
+  note_job_done();
 }
 
 // --- autoscaler ---
@@ -928,8 +1214,15 @@ void DistributedServer::accrue_integrals(double t) {
 }
 
 void DistributedServer::note_busy_change(int delta) {
-  if (!scaling_enabled_) return;
-  accrue_integrals(sim_.now());
+  if (scaling_enabled_) {
+    accrue_integrals(sim_.now());
+  } else if (!overload_enabled_ ||
+             overload_config_.admission !=
+                 sim::AdmissionMode::kUtilizationGate) {
+    // Plain runs skip all busy bookkeeping; the utilization admission gate
+    // needs the instantaneous count but not the time integrals.
+    return;
+  }
   busy_count_ = static_cast<std::size_t>(
       static_cast<std::ptrdiff_t>(busy_count_) + delta);
 }
@@ -1061,15 +1354,28 @@ void DistributedServer::apply_scale_down(std::size_t step) {
     --remaining;
   }
   // Then drain serving hosts: no new work, finish the backlog, power off.
-  for (HostId h = static_cast<HostId>(hosts_count_);
-       h-- > 0 && remaining > 0;) {
-    Host& host = hosts_[h];
-    if (host.power != sim::PowerState::kUp) continue;
-    set_power(h, sim::PowerState::kDraining);
-    ++scaling_stats_.hosts_drained;
-    --remaining;
-    // An already-idle host has nothing to drain: straight to Off.
-    if (!host.busy && host.queue.empty()) complete_drain(h);
+  // Class-aware order on heterogeneous fleets: the slowest speed class
+  // drains first (a slow host sheds the least capacity), highest index
+  // within a class. A homogeneous fleet has a one-entry speed menu, so
+  // this degenerates to exactly the historical highest-index-first pass.
+  for (const double speed : drain_speed_menu_) {
+    for (HostId h = static_cast<HostId>(hosts_count_);
+         h-- > 0 && remaining > 0;) {
+      Host& host = hosts_[h];
+      if (host.power != sim::PowerState::kUp) continue;
+      if (speeds_[h] != speed) continue;
+      set_power(h, sim::PowerState::kDraining);
+      ++scaling_stats_.hosts_drained;
+      --remaining;
+      // Under migration the backlog re-routes instead of pinning the host
+      // up until it burns down; only the in-service job still holds it.
+      if (overload_enabled_ && overload_config_.migrate_on_drain) {
+        migrate_queue(h, /*drain=*/true);
+      }
+      // An already-idle host has nothing to drain: straight to Off.
+      if (!host.busy && host.queue.empty()) complete_drain(h);
+    }
+    if (remaining == 0) break;
   }
 }
 
@@ -1125,6 +1431,15 @@ RunResult simulate_with_autoscaler(Policy& policy,
                                    std::uint64_t seed) {
   DistributedServer server(hosts, policy);
   server.enable_autoscaler(scaler);
+  return server.run(trace, seed);
+}
+
+RunResult simulate_with_overload(Policy& policy, const workload::Trace& trace,
+                                 std::size_t hosts,
+                                 const sim::OverloadConfig& overload,
+                                 std::uint64_t seed) {
+  DistributedServer server(hosts, policy);
+  server.enable_overload(overload);
   return server.run(trace, seed);
 }
 

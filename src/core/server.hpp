@@ -23,6 +23,7 @@
 #include "sim/autoscaler.hpp"
 #include "sim/control_plane.hpp"
 #include "sim/faults.hpp"
+#include "sim/overload.hpp"
 #include "sim/simulator.hpp"
 #include "workload/job_source.hpp"
 #include "workload/trace.hpp"
@@ -53,6 +54,9 @@ struct RunResult {
   std::optional<sim::ControlStats> control;
   /// Filled when the autoscaler ran (see enable_autoscaler).
   std::optional<sim::ScalingStats> scaling;
+  /// Filled when the overload model was enabled (see enable_overload):
+  /// admission/overflow shed counts, reneges, and queue migrations.
+  std::optional<sim::OverloadStats> overload;
   /// Per-host speed factors when the fleet is heterogeneous; empty means
   /// all hosts run at speed 1.0 (service time == job size). Offline
   /// validation (core::validate_run) consults this to reconstruct per-job
@@ -134,6 +138,18 @@ class DistributedServer final : public ServerView,
   /// its own RNG stream, so runs with the autoscaler disabled are
   /// bit-identical to a server without this call.
   void enable_autoscaler(const sim::AutoscalerConfig& config);
+
+  /// Turns the overload-resilience model (sim/overload.hpp) on
+  /// (config.enabled) or off for subsequent runs. When on, per-host queues
+  /// respect the configured caps (with the overflow action applied at
+  /// delivery), fresh arrivals pass the admission controller, queued jobs
+  /// renege past their patience deadline, and queued work migrates off
+  /// draining/failing hosts when the migrate flags are set; OverloadStats
+  /// land in RunResult::overload. Overload randomness lives on its own RNG
+  /// stream, and a config with every feature at its default is a no-op:
+  /// bit-identical to a server without this call (the golden-fixture
+  /// contract).
+  void enable_overload(const sim::OverloadConfig& config);
 
   /// Sets per-host speed factors (service time = size / speed) for
   /// subsequent runs. `speeds` must be empty (reset to a homogeneous
@@ -262,6 +278,28 @@ class DistributedServer final : public ServerView,
   void fault_down(HostId host, double duration, bool renewal);
   void fault_up(HostId host, bool renewal);
   void interrupt_running(HostId host);
+  // Overload-model handlers (bounded queues, admission, reneging,
+  // migration).
+  void begin_overload(std::uint64_t seed);
+  /// Admission decision for a fresh arrival; counts and resolves a shed.
+  [[nodiscard]] bool admit_arrival(const workload::Job& job);
+  /// True when delivering `job` to `target` would queue it past a cap.
+  [[nodiscard]] bool host_full_for(HostId target) const;
+  /// Applies the kReject / kShed* overflow action at a full host (kBounce
+  /// is handled by the delivery paths themselves). The dispatch hook has
+  /// already fired; either the arriving job or a queued victim is shed.
+  void overflow_at_host(const workload::Job& job, HostId target);
+  /// kRenege event: cancels the job if it is still waiting in some queue.
+  void renege_fired(workload::JobId id);
+  /// Re-dispatches every queued (not in-service) job of `host` through the
+  /// active policy. `drain` tells the stats which cause to charge.
+  void migrate_queue(HostId host, bool drain);
+  /// Emits the terminal record of a job that leaves without service
+  /// (outcome kShed or kReneged) and counts it done.
+  void resolve_loss(const workload::Job& job, HostId host, JobOutcome outcome);
+  [[nodiscard]] bool reneging_enabled() const noexcept {
+    return overload_enabled_ && overload_config_.patience_mean > 0.0;
+  }
   // Autoscaler event handlers and the power state machine.
   void begin_scaling(std::uint64_t seed);
   void scale_eval_fired();
@@ -305,6 +343,8 @@ class DistributedServer final : public ServerView,
   std::vector<double> speeds_;
   /// Capacity class per host (equal speeds share a class).
   std::vector<std::uint32_t> class_ids_;
+  /// Distinct speeds ascending (class-aware drain order: slowest first).
+  std::vector<double> drain_speed_menu_;
   bool heterogeneous_ = false;
   sim::Simulator sim_;
   std::unique_ptr<sim::QueueingAuditor> auditor_;
@@ -348,6 +388,18 @@ class DistributedServer final : public ServerView,
   DegradedInfo degraded_;
   std::unordered_map<workload::JobId, PendingDispatch> pending_;
   std::uint64_t rpc_epoch_ = 0;
+  // Overload model (inert unless enable_overload turned it on).
+  bool overload_enabled_ = false;
+  sim::OverloadConfig overload_config_;
+  sim::AdmissionController admission_;
+  sim::OverloadStats overload_stats_;
+  /// Where each waiting job currently queues: host id, or -1 for the
+  /// central queue. Maintained only while reneging is enabled — the renege
+  /// event looks its job up here (absence means the job started or already
+  /// resolved, and the event no-ops).
+  std::unordered_map<workload::JobId, std::int64_t> waiting_at_;
+  /// Reusable detach buffer for migrate_queue (no per-migration alloc).
+  std::vector<workload::Job> migrate_buffer_;
   // Autoscaler (inert unless enable_autoscaler turned it on).
   bool scaling_enabled_ = false;
   sim::AutoscalerConfig scaler_config_;
@@ -400,5 +452,11 @@ class DistributedServer final : public ServerView,
 [[nodiscard]] RunResult simulate_with_autoscaler(
     Policy& policy, const workload::Trace& trace, std::size_t hosts,
     const sim::AutoscalerConfig& scaler, std::uint64_t seed = 1);
+
+/// Overload convenience run: like simulate, but with the overload model
+/// `overload`; OverloadStats land in RunResult::overload.
+[[nodiscard]] RunResult simulate_with_overload(
+    Policy& policy, const workload::Trace& trace, std::size_t hosts,
+    const sim::OverloadConfig& overload, std::uint64_t seed = 1);
 
 }  // namespace distserv::core

@@ -4,7 +4,12 @@ namespace distserv::core {
 
 void StreamSummary::add(const JobRecord& rec) {
   if (rec.failed) {
-    ++failed_;  // abandoned: no completion, so no statistics
+    ++failed_;  // lossy outcome: no completion, so no statistics
+    if (rec.outcome == JobOutcome::kShed) {
+      ++shed_;
+    } else if (rec.outcome == JobOutcome::kReneged) {
+      ++reneged_;
+    }
     return;
   }
   const double s = rec.slowdown();

@@ -45,6 +45,14 @@ class StreamSummary {
     return slowdown_.count();
   }
   [[nodiscard]] std::uint64_t jobs_failed() const noexcept { return failed_; }
+  /// Failed jobs dropped by admission control or bounded-queue overflow
+  /// (subset of jobs_failed; zero when overload protection is off).
+  [[nodiscard]] std::uint64_t jobs_shed() const noexcept { return shed_; }
+  /// Failed jobs whose patience expired while waiting (subset of
+  /// jobs_failed; zero when reneging is off).
+  [[nodiscard]] std::uint64_t jobs_reneged() const noexcept {
+    return reneged_;
+  }
   [[nodiscard]] const stats::Welford& slowdown() const noexcept {
     return slowdown_;
   }
@@ -68,6 +76,8 @@ class StreamSummary {
   stats::Welford waiting_;
   stats::GkQuantile slowdown_sketch_;
   std::uint64_t failed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t reneged_ = 0;
 };
 
 }  // namespace distserv::core

@@ -10,6 +10,16 @@ namespace distserv::core {
 /// Index of a host machine within the distributed server, 0-based.
 using HostId = std::uint32_t;
 
+/// How a job left the system. Everything except kCompleted also sets
+/// JobRecord::failed, so statistics code that filters on `failed` keeps
+/// excluding every lossy outcome without knowing the overload model.
+enum class JobOutcome : std::uint8_t {
+  kCompleted,  ///< finished service
+  kAbandoned,  ///< interrupted by a host failure under RecoveryMode::kAbandon
+  kShed,       ///< dropped by admission control or a bounded-queue overflow
+  kReneged,    ///< patience deadline expired while waiting in a queue
+};
+
 /// The fate of one job after a simulation run.
 struct JobRecord {
   workload::JobId id = 0;
@@ -18,9 +28,11 @@ struct JobRecord {
   HostId host = 0;
   double start = 0.0;       ///< when service (last) began
   double completion = 0.0;  ///< when service finished (or was abandoned)
-  /// True when the job was abandoned after a host failure (RecoveryMode::
-  /// kAbandon); `completion` is then the abandonment time, not a finish.
+  /// True when the job did not complete (abandoned, shed, or reneged);
+  /// `completion` is then the time it left the system, not a finish. Shed
+  /// and reneged jobs never received service: start == completion.
   bool failed = false;
+  JobOutcome outcome = JobOutcome::kCompleted;
   /// Service restarts caused by host failures (fail-stop loses all
   /// completed work, so each interruption restarts the job from zero).
   std::uint32_t restarts = 0;

@@ -31,6 +31,10 @@ std::string AuditReport::to_string() const {
     out << " host_downs=" << host_downs << " host_ups=" << host_ups
         << " interruptions=" << interruptions << " abandoned=" << abandoned;
   }
+  if (shed + reneged + migrations > 0) {
+    out << " shed=" << shed << " reneged=" << reneged
+        << " migrations=" << migrations;
+  }
   if (power_transitions > 0) {
     out << " power_transitions=" << power_transitions;
   }
@@ -608,6 +612,142 @@ void QueueingAuditor::on_interrupt(JobId id, HostIndex host, Time t,
   }
 }
 
+void QueueingAuditor::on_shed(JobId id, Time t) {
+  ++report_.shed;
+  JobShadow* job = find_job(id, "on_shed", t);
+  if (job == nullptr) return;
+  switch (job->state) {
+    case JobState::kArrived:
+      // Admission control, or an arriving job losing the overflow contest:
+      // it never joined any host, so only the system-side accounting moves.
+      break;
+    case JobState::kQueued: {
+      // Overflow victim: leave its host's shadow queue and integrals.
+      HostShadow* h = find_host(job->host, "on_shed", t);
+      if (h == nullptr) return;
+      settle_sub(*h);
+      for (auto it = h->queue.begin(); it != h->queue.end(); ++it) {
+        if (*it == id) {
+          h->queue.erase(it);
+          break;
+        }
+      }
+      settle_add(*h);
+      advance_host_integral(*h, t);
+      if (h->n == 0) {
+        violate("state-machine", t,
+                describe_host(job->host) + " job count underflow");
+      } else {
+        --h->n;
+      }
+      h->sojourn_sum += t - job->joined_host;
+      break;
+    }
+    default:
+      violate("overload-semantics", t,
+              describe_job(id) +
+                  " shed while neither arriving nor queued (in service, "
+                  "held, or already resolved)");
+      return;
+  }
+  advance_system_integral(t);
+  if (system_n_ == 0) {
+    violate("state-machine", t, "system job count underflow");
+  } else {
+    --system_n_;
+  }
+  system_sojourn_sum_ += t - job->arrival;
+  job->state = JobState::kShed;
+  settled_dirty_ = true;
+  if (config_.bounded_shadow && !job->rpc_placed) jobs_.erase(id);
+}
+
+void QueueingAuditor::on_renege(JobId id, Time t) {
+  ++report_.reneged;
+  JobShadow* job = find_job(id, "on_renege", t);
+  if (job == nullptr) return;
+  switch (job->state) {
+    case JobState::kHeld:
+      if (central_held_ == 0) {
+        violate("state-machine", t, "central queue underflow");
+      } else {
+        --central_held_;
+      }
+      break;
+    case JobState::kQueued: {
+      HostShadow* h = find_host(job->host, "on_renege", t);
+      if (h == nullptr) return;
+      settle_sub(*h);
+      for (auto it = h->queue.begin(); it != h->queue.end(); ++it) {
+        if (*it == id) {
+          h->queue.erase(it);
+          break;
+        }
+      }
+      settle_add(*h);
+      advance_host_integral(*h, t);
+      if (h->n == 0) {
+        violate("state-machine", t,
+                describe_host(job->host) + " job count underflow");
+      } else {
+        --h->n;
+      }
+      h->sojourn_sum += t - job->joined_host;
+      break;
+    }
+    default:
+      violate("overload-semantics", t,
+              describe_job(id) +
+                  " reneged while not waiting (a job in service or already "
+                  "resolved has no patience to lose)");
+      return;
+  }
+  advance_system_integral(t);
+  if (system_n_ == 0) {
+    violate("state-machine", t, "system job count underflow");
+  } else {
+    --system_n_;
+  }
+  system_sojourn_sum_ += t - job->arrival;
+  job->state = JobState::kReneged;
+  settled_dirty_ = true;
+  if (config_.bounded_shadow && !job->rpc_placed) jobs_.erase(id);
+}
+
+void QueueingAuditor::on_migrate(JobId id, HostIndex from, Time t) {
+  ++report_.migrations;
+  JobShadow* job = find_job(id, "on_migrate", t);
+  HostShadow* h = find_host(from, "on_migrate", t);
+  if (job == nullptr || h == nullptr) return;
+  if (job->state != JobState::kQueued || job->host != from) {
+    violate("overload-semantics", t,
+            describe_job(id) + " migrated off " + describe_host(from) +
+                " without being queued there");
+    return;
+  }
+  settle_sub(*h);
+  for (auto it = h->queue.begin(); it != h->queue.end(); ++it) {
+    if (*it == id) {
+      h->queue.erase(it);
+      break;
+    }
+  }
+  settle_add(*h);
+  advance_host_integral(*h, t);
+  if (h->n == 0) {
+    violate("state-machine", t, describe_host(from) + " job count underflow");
+  } else {
+    --h->n;
+  }
+  h->sojourn_sum += t - job->joined_host;
+  // The job stays in the system (system_n_ unchanged) and is the
+  // dispatcher's problem again: back to the arrival state, a fresh RPC
+  // placement legitimate — exactly the resubmission bookkeeping.
+  job->state = JobState::kArrived;
+  job->rpc_placed = false;
+  settled_dirty_ = true;
+}
+
 void QueueingAuditor::on_power_state(HostIndex host, PowerState next, Time t) {
   ++report_.power_transitions;
   HostShadow* h = find_host(host, "on_power_state", t);
@@ -761,11 +901,15 @@ void QueueingAuditor::on_fallback(JobId id, std::uint32_t from_level,
 
 AuditReport QueueingAuditor::finalize(Time end) {
   if (settled_dirty_) check_settled(last_event_);
-  if (report_.arrivals != report_.completions + report_.abandoned) {
+  if (report_.arrivals !=
+      report_.completions + report_.abandoned + report_.shed +
+          report_.reneged) {
     violate("job-conservation", end,
             std::to_string(report_.arrivals) + " arrival(s) but " +
                 std::to_string(report_.completions) + " completion(s) + " +
-                std::to_string(report_.abandoned) + " abandonment(s)");
+                std::to_string(report_.abandoned) + " abandonment(s) + " +
+                std::to_string(report_.shed) + " shed + " +
+                std::to_string(report_.reneged) + " reneged");
   }
   if (central_held_ > 0) {
     violate("job-conservation", end,
@@ -775,7 +919,8 @@ AuditReport QueueingAuditor::finalize(Time end) {
   std::uint64_t stuck = 0;
   for (const auto& [id, job] : jobs_) {
     if (job.state != JobState::kCompleted &&
-        job.state != JobState::kAbandoned) {
+        job.state != JobState::kAbandoned && job.state != JobState::kShed &&
+        job.state != JobState::kReneged) {
       ++stuck;
       if (stuck <= 4) {
         violate("job-conservation", end,

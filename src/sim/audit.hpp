@@ -48,9 +48,16 @@
 //                            claim for a never-placed job, is a violation;
 //   * fallback-chain       — escalations walk strictly forward through the
 //                            fallback chain, one level at a time.
+// Overload-protection invariants (sim/overload.hpp; inert without it):
+//   * overload-semantics   — only a job still waiting (queued at a host or
+//                            held centrally) can renege; only an arriving or
+//                            queued job can be shed; only a queued job can
+//                            migrate off its host; a job in service is never
+//                            shed, reneged, or migrated.
 // And at finalize (drain):
-//   * job-conservation     — arrived == completed + abandoned, every queue
-//                            empty, every host idle;
+//   * job-conservation     — every arrival resolves exactly one way:
+//                            arrived == completed + abandoned + shed +
+//                            reneged, every queue empty, every host idle;
 //   * littles-law          — per host and system-wide, the time integral of
 //                            the number in system equals the summed sojourn
 //                            times of the jobs that passed through
@@ -125,6 +132,10 @@ struct AuditReport {
   std::uint64_t host_ups = 0;      ///< down -> up transitions observed
   std::uint64_t interruptions = 0; ///< in-service jobs cut by failures
   std::uint64_t abandoned = 0;     ///< jobs dropped (RecoveryMode::kAbandon)
+  // Overload-protection traffic (zero when overload protection is off).
+  std::uint64_t shed = 0;        ///< dropped by admission control or overflow
+  std::uint64_t reneged = 0;     ///< patience deadline expired while waiting
+  std::uint64_t migrations = 0;  ///< queued jobs evacuated off a host
   /// Autoscaler traffic (zero when the fleet is not elastic).
   std::uint64_t power_transitions = 0;
   // Control-plane traffic (zero when the control plane is off).
@@ -230,6 +241,19 @@ class QueueingAuditor {
   void on_host_up(HostIndex host, Time t);
   void on_interrupt(JobId id, HostIndex host, Time t,
                     InterruptResolution resolution);
+  // Overload-protection hooks (sim/overload.hpp).
+  /// `id` was shed — dropped by admission control (still in the arrival
+  /// state) or by a bounded-queue overflow (arriving or already queued). A
+  /// held or in-service job can never be shed (overload-semantics).
+  void on_shed(JobId id, Time t);
+  /// `id`'s patience deadline expired while it waited in a host queue or
+  /// the central queue; it leaves the system unserved. Any other state is
+  /// an overload-semantics violation.
+  void on_renege(JobId id, Time t);
+  /// `id` was evacuated from the queue of `from` (drain or failure) and is
+  /// the dispatcher's problem again: back to the arrival state, its next
+  /// placement legitimate. Legal only from the queued state.
+  void on_migrate(JobId id, HostIndex from, Time t);
   /// Autoscaler hook: `host` moved to power state `next` at `t`. Checks the
   /// transition against the power state machine and that the host carries
   /// no work out of the powered states (power-semantics).
@@ -270,6 +294,8 @@ class QueueingAuditor {
     kRunning,
     kCompleted,
     kAbandoned,
+    kShed,     ///< dropped by admission control or bounded-queue overflow
+    kReneged,  ///< patience expired while waiting
   };
 
   struct JobShadow {

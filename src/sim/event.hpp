@@ -33,6 +33,8 @@ enum class EventKind : std::uint8_t {
   kScaleEval,   ///< periodic autoscaler utilization check (no payload)
   kWarmup,      ///< host finishes warming up: host, epoch = power epoch
                 ///< (a cancelled warm-up bumps the epoch; stale fires no-op)
+  kRenege,      ///< a job's patience deadline passed: id = job (fires no-op
+                ///< unless the job is still waiting in some queue)
   kTimer,       ///< generic timer for other simulator clients (tests, ad-hoc
                 ///< models): id/epoch/value/host mean whatever they schedule
 };
@@ -106,6 +108,12 @@ struct Event {
     e.kind = EventKind::kWarmup;
     e.host = host;
     e.epoch = epoch;
+    return e;
+  }
+  [[nodiscard]] static Event renege(std::uint64_t job) noexcept {
+    Event e;
+    e.kind = EventKind::kRenege;
+    e.id = job;
     return e;
   }
   [[nodiscard]] static Event timer(std::uint64_t id = 0) noexcept {

@@ -1,0 +1,88 @@
+#include "sim/overload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace distserv::sim {
+
+std::string to_string(OverflowAction action) {
+  switch (action) {
+    case OverflowAction::kReject: return "reject";
+    case OverflowAction::kShedSmallest: return "shed-smallest";
+    case OverflowAction::kShedLargest: return "shed-largest";
+    case OverflowAction::kBounce: return "bounce";
+  }
+  return "?";
+}
+
+std::optional<OverflowAction> overflow_from_string(std::string_view name) {
+  for (OverflowAction action :
+       {OverflowAction::kReject, OverflowAction::kShedSmallest,
+        OverflowAction::kShedLargest, OverflowAction::kBounce}) {
+    if (util::iequals(to_string(action), name)) return action;
+  }
+  return std::nullopt;
+}
+
+std::string to_string(AdmissionMode mode) {
+  switch (mode) {
+    case AdmissionMode::kNone: return "none";
+    case AdmissionMode::kTokenBucket: return "token-bucket";
+    case AdmissionMode::kUtilizationGate: return "utilization-gate";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const OverloadConfig& config,
+                                         std::uint64_t seed)
+    : config_(config), rng_(seed ^ config.stream_tag) {
+  DS_EXPECTS(config.backlog_cap >= 0.0 && std::isfinite(config.backlog_cap));
+  DS_EXPECTS(config.patience_mean >= 0.0 &&
+             std::isfinite(config.patience_mean));
+  if (config.admission == AdmissionMode::kTokenBucket) {
+    DS_EXPECTS(config.admission_rate > 0.0 &&
+               std::isfinite(config.admission_rate));
+    DS_EXPECTS(config.admission_burst >= 1.0 &&
+               std::isfinite(config.admission_burst));
+  }
+  if (config.admission == AdmissionMode::kUtilizationGate) {
+    DS_EXPECTS(config.admission_threshold >= 0.0 &&
+               config.admission_threshold <= 1.0);
+    DS_EXPECTS(config.admission_shed_prob > 0.0 &&
+               config.admission_shed_prob <= 1.0);
+  }
+  tokens_ = config.admission_burst;
+}
+
+bool AdmissionController::admit(double now, double utilization) {
+  switch (config_.admission) {
+    case AdmissionMode::kNone:
+      return true;
+    case AdmissionMode::kTokenBucket: {
+      // Lazy refill: the bucket earns rate * elapsed tokens, capped at the
+      // burst depth. Purely arithmetic — no randomness, so the decision
+      // stream is a function of arrival times alone.
+      tokens_ = std::min(config_.admission_burst,
+                         tokens_ + (now - last_refill_) *
+                                       config_.admission_rate);
+      last_refill_ = now;
+      if (tokens_ < 1.0) return false;
+      tokens_ -= 1.0;
+      return true;
+    }
+    case AdmissionMode::kUtilizationGate:
+      if (utilization < config_.admission_threshold) return true;
+      return !rng_.bernoulli(config_.admission_shed_prob);
+  }
+  return true;
+}
+
+double AdmissionController::draw_patience() {
+  DS_EXPECTS(config_.patience_mean > 0.0);
+  return rng_.exponential(1.0 / config_.patience_mean);
+}
+
+}  // namespace distserv::sim

@@ -1,0 +1,175 @@
+// Overload-resilience model: bounded per-host queues with configurable
+// overflow actions, a deterministic admission controller at the dispatcher,
+// deadline-based reneging of queued work, and migration of queued (never
+// in-service) jobs off hosts that drain or fail-stop.
+//
+// The paper analyses its policies at rho < 1; a production fleet spends its
+// worst hours at rho >= 1, where every unprotected policy lets queues grow
+// without bound. This subsystem makes overload survivable and *measurable*:
+// every arrival resolves as exactly one of completed / shed / reneged /
+// abandoned (the conservation ledger the audit layer enforces), and the
+// run result reports goodput plus per-cause loss counts.
+//
+// Determinism contract: all overload randomness (utilization-gate coin
+// flips, patience draws) comes from a dedicated RNG stream keyed by
+// `stream_tag`, disjoint from the arrival, policy, fault, and control
+// streams. A run with every overload feature disabled consumes no random
+// numbers, schedules no events, and stays bit-identical to a build without
+// this subsystem; an enabled run is reproducible from (seed, OverloadConfig)
+// alone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dist/rng.hpp"
+
+namespace distserv::sim {
+
+/// What happens when a job is delivered to a host whose queue is at
+/// capacity (see OverloadConfig::queue_cap / backlog_cap).
+enum class OverflowAction : std::uint8_t {
+  /// Drop the arriving job (counted as shed, cause: overflow).
+  kReject,
+  /// Evict the smallest job among {queued jobs, arriving job}; the survivor
+  /// set keeps the large jobs (protects long-running work).
+  kShedSmallest,
+  /// Evict the largest job among {queued jobs, arriving job}; the survivor
+  /// set keeps the small jobs (protects latency of the many).
+  kShedLargest,
+  /// Refuse delivery: on the direct path the job falls back to the central
+  /// queue; over RPC the refusal looks like a lost request, so the chain
+  /// retries and then escalates through the fallback levels.
+  kBounce,
+};
+
+/// Admission policy applied at the dispatcher to fresh arrivals only
+/// (resubmitted and migrated jobs were already admitted once).
+enum class AdmissionMode : std::uint8_t {
+  kNone,
+  /// Token bucket: `admission_rate` tokens/time, depth `admission_burst`.
+  /// Deterministic — no randomness is consumed.
+  kTokenBucket,
+  /// When the busy-host fraction is at or above `admission_threshold`,
+  /// shed the arrival with probability `admission_shed_prob` (dedicated
+  /// RNG stream).
+  kUtilizationGate,
+};
+
+[[nodiscard]] std::string to_string(OverflowAction action);
+[[nodiscard]] std::string to_string(AdmissionMode mode);
+
+/// Case-insensitive display-name lookup ("reject", "shed-smallest",
+/// "shed-largest", "bounce"); nullopt on an unknown name — the CLI path.
+[[nodiscard]] std::optional<OverflowAction> overflow_from_string(
+    std::string_view name);
+
+/// Overload-resilience knobs. Default-constructed = disabled (zero cost;
+/// the simulation is bit-identical to a build without this subsystem).
+/// `enabled = true` with every feature at its default is also a no-op and
+/// stays bit-identical — the contract the golden-fixture tests pin down.
+struct OverloadConfig {
+  /// Master switch; when false the server installs no overload machinery.
+  bool enabled = false;
+  /// Max jobs in system per host (queued + in service). 0 = unbounded.
+  std::uint32_t queue_cap = 0;
+  /// Max backlog per host in time units (remaining service of the running
+  /// job + queued work, speed-scaled). 0 = unbounded.
+  double backlog_cap = 0.0;
+  /// Applied when a delivery would exceed a cap.
+  OverflowAction overflow = OverflowAction::kBounce;
+  AdmissionMode admission = AdmissionMode::kNone;
+  /// Token-bucket refill rate (jobs per time unit); required > 0 with
+  /// kTokenBucket.
+  double admission_rate = 0.0;
+  /// Token-bucket depth (>= 1): the burst admitted from a cold start.
+  double admission_burst = 1.0;
+  /// Utilization-gate bar in [0, 1]: busy-host fraction at which shedding
+  /// starts.
+  double admission_threshold = 0.9;
+  /// Probability an arrival above the bar is shed, in (0, 1].
+  double admission_shed_prob = 1.0;
+  /// Mean patience (exponential). A queued job whose patience expires
+  /// before it starts service reneges. The deadline is fixed at arrival
+  /// (arrival + patience) and follows the job through requeues and
+  /// migrations; a job in service at its deadline is never cancelled.
+  /// 0 = reneging off.
+  double patience_mean = 0.0;
+  /// Re-dispatch a host's queued jobs through the active policy when the
+  /// autoscaler starts draining it (instead of finishing them in place).
+  bool migrate_on_drain = false;
+  /// Re-dispatch a host's queued jobs when it fail-stops. The in-service
+  /// job is NOT migrated — it follows RecoveryMode, after the queue moved.
+  bool migrate_on_fail = false;
+  /// Keys the dedicated overload RNG stream ("OVER" tag).
+  std::uint64_t stream_tag = 0x4f564552ULL;
+
+  /// Any feature on? (enabled && !any_feature() is a bit-identical no-op.)
+  [[nodiscard]] bool any_feature() const noexcept {
+    return queue_cap > 0 || backlog_cap > 0.0 ||
+           admission != AdmissionMode::kNone || patience_mean > 0.0 ||
+           migrate_on_drain || migrate_on_fail;
+  }
+};
+
+/// Per-run overload counters, reported through RunResult::overload.
+/// Conservation: admitted + shed_admission == arrivals, and every admitted
+/// job resolves as completed, abandoned, shed (overflow), or reneged.
+struct OverloadStats {
+  std::uint64_t admitted = 0;        ///< fresh arrivals past the controller
+  std::uint64_t shed_admission = 0;  ///< dropped by the admission controller
+  std::uint64_t shed_overflow = 0;   ///< dropped at a full host (arriving
+                                     ///< job or evicted queue victim)
+  std::uint64_t bounced_full = 0;    ///< direct deliveries refused by a full
+                                     ///< host (job fell back to central)
+  std::uint64_t rpc_full_rejects = 0;  ///< RPC deliveries refused by a full
+                                       ///< host (chain retries/escalates)
+  std::uint64_t reneged = 0;           ///< queued jobs past their deadline
+  std::uint64_t migrated_drain = 0;    ///< queued jobs moved off a draining
+                                       ///< host
+  std::uint64_t migrated_fault = 0;    ///< queued jobs moved off a failed
+                                       ///< host
+
+  [[nodiscard]] std::uint64_t migrated() const noexcept {
+    return migrated_drain + migrated_fault;
+  }
+  [[nodiscard]] std::uint64_t shed() const noexcept {
+    return shed_admission + shed_overflow;
+  }
+};
+
+/// The dispatcher-side admission controller plus the patience sampler.
+/// Owns the dedicated overload RNG stream, derived as
+/// Rng(seed ^ stream_tag) — disjoint from every other stream by
+/// construction. Randomness is consumed only by the features that use it
+/// (gate coin flips, patience draws), so configurations that don't need it
+/// leave the stream untouched.
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+
+  /// Validates `config` (rates, probabilities, cap ranges) and derives the
+  /// overload stream from `seed`.
+  AdmissionController(const OverloadConfig& config, std::uint64_t seed);
+
+  /// Admission decision for a fresh arrival at `now` with the given
+  /// busy-host fraction. kNone always admits.
+  [[nodiscard]] bool admit(double now, double utilization);
+
+  /// Exponential patience draw (requires patience_mean > 0).
+  [[nodiscard]] double draw_patience();
+
+  [[nodiscard]] const OverloadConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  OverloadConfig config_{};
+  dist::Rng rng_{0};
+  double tokens_ = 0.0;       ///< current bucket level
+  double last_refill_ = 0.0;  ///< lazy-refill timestamp
+};
+
+}  // namespace distserv::sim

@@ -179,5 +179,100 @@ TEST(BenchFlagsDeathTest, MinHostsOfZeroIsOutOfRange) {
               ::testing::ExitedWithCode(2), "min-hosts");
 }
 
+BenchOptions parse_overload(std::vector<const char*> args,
+                            bool supports_elastic = false) {
+  args.insert(args.begin(), "bench_under_test");
+  return BenchOptions::parse(static_cast<int>(args.size()), args.data(),
+                             "c90", {}, /*sweeps_probe_period=*/false,
+                             supports_elastic, /*supports_overload=*/true);
+}
+
+TEST(BenchFlags, OverloadProtectionIsOffByDefault) {
+  const BenchOptions o = parse_overload({});
+  EXPECT_FALSE(o.overload.any_feature());
+  const core::ExperimentConfig cfg = o.experiment_config(4);
+  EXPECT_FALSE(cfg.overload.enabled);
+}
+
+TEST(BenchFlags, OverloadFlagsWireIntoTheExperimentConfig) {
+  const BenchOptions o = parse_overload({"--queue-cap", "6",
+                                         "--backlog-cap", "120",
+                                         "--overflow", "shed-largest",
+                                         "--admission", "token:2.5:4",
+                                         "--patience", "30",
+                                         "--migrate-on-fail"});
+  const core::ExperimentConfig cfg = o.experiment_config(4);
+  ASSERT_TRUE(cfg.overload.enabled);
+  EXPECT_EQ(cfg.overload.queue_cap, 6u);
+  EXPECT_DOUBLE_EQ(cfg.overload.backlog_cap, 120.0);
+  EXPECT_EQ(cfg.overload.overflow, sim::OverflowAction::kShedLargest);
+  EXPECT_EQ(cfg.overload.admission, sim::AdmissionMode::kTokenBucket);
+  EXPECT_DOUBLE_EQ(cfg.overload.admission_rate, 2.5);
+  EXPECT_DOUBLE_EQ(cfg.overload.admission_burst, 4.0);
+  EXPECT_DOUBLE_EQ(cfg.overload.patience_mean, 30.0);
+  EXPECT_TRUE(cfg.overload.migrate_on_fail);
+  EXPECT_FALSE(cfg.overload.migrate_on_drain);
+}
+
+TEST(BenchFlags, UtilizationGateSpecFillsThresholdAndProbability) {
+  const BenchOptions o = parse_overload({"--admission", "util:0.85:0.5"});
+  EXPECT_EQ(o.overload.admission, sim::AdmissionMode::kUtilizationGate);
+  EXPECT_DOUBLE_EQ(o.overload.admission_threshold, 0.85);
+  EXPECT_DOUBLE_EQ(o.overload.admission_shed_prob, 0.5);
+  // The shed probability defaults to 1 (deterministic gate) when omitted.
+  const BenchOptions bare = parse_overload({"--admission", "util:0.7"});
+  EXPECT_DOUBLE_EQ(bare.overload.admission_threshold, 0.7);
+  EXPECT_DOUBLE_EQ(bare.overload.admission_shed_prob, 1.0);
+}
+
+TEST(BenchFlags, MigrateOnDrainRequiresAnElasticBench) {
+  const BenchOptions o = parse_overload({"--migrate-on-drain"},
+                                        /*supports_elastic=*/true);
+  EXPECT_TRUE(o.overload.migrate_on_drain);
+  EXPECT_TRUE(o.overload.any_feature());
+}
+
+TEST(BenchFlagsDeathTest, OverloadFlagsAreUnknownWithoutOptIn) {
+  EXPECT_EXIT(parse({"--queue-cap", "4"}),
+              ::testing::ExitedWithCode(2), "queue-cap");
+  EXPECT_EXIT(parse({"--admission", "token:1"}),
+              ::testing::ExitedWithCode(2), "admission");
+}
+
+TEST(BenchFlagsDeathTest, UnknownOverflowActionExits) {
+  EXPECT_EXIT(parse_overload({"--queue-cap", "4", "--overflow", "explode"}),
+              ::testing::ExitedWithCode(2), "--overflow");
+}
+
+TEST(BenchFlagsDeathTest, OverflowWithoutACapExits) {
+  EXPECT_EXIT(parse_overload({"--overflow", "reject"}),
+              ::testing::ExitedWithCode(2), "--overflow");
+}
+
+TEST(BenchFlagsDeathTest, MalformedAdmissionSpecExits) {
+  EXPECT_EXIT(parse_overload({"--admission", "lottery"}),
+              ::testing::ExitedWithCode(2), "--admission");
+  EXPECT_EXIT(parse_overload({"--admission", "token"}),
+              ::testing::ExitedWithCode(2), "--admission");
+  EXPECT_EXIT(parse_overload({"--admission", "token:fast"}),
+              ::testing::ExitedWithCode(2), "--admission");
+  EXPECT_EXIT(parse_overload({"--admission", "util:1.5"}),
+              ::testing::ExitedWithCode(2), "--admission");
+  EXPECT_EXIT(parse_overload({"--admission", "util:0.9:0"}),
+              ::testing::ExitedWithCode(2), "--admission");
+  EXPECT_EXIT(parse_overload({"--admission", "none:0.5"}),
+              ::testing::ExitedWithCode(2), "--admission");
+}
+
+TEST(BenchFlagsDeathTest, NegativePatienceIsOutOfRange) {
+  EXPECT_EXIT(parse_overload({"--patience", "-1"}),
+              ::testing::ExitedWithCode(2), "patience");
+}
+
+TEST(BenchFlagsDeathTest, MigrateOnDrainWithoutAnAutoscalerExits) {
+  EXPECT_EXIT(parse_overload({"--migrate-on-drain"}),
+              ::testing::ExitedWithCode(2), "--migrate-on-drain");
+}
+
 }  // namespace
 }  // namespace distserv::bench

@@ -1,0 +1,789 @@
+// Overload-protection unit tests: admission controller validation and
+// token-bucket math, per-overflow-action hand-traces with exact completion
+// times, deadline reneging, queue migration off failed hosts, SITA /
+// SITA-class escalation off full bands, class-aware drain ordering, the
+// streaming-path loss counters, and the all-disabled bit-identity contract
+// against the committed golden fixtures.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "core/policies/class_sita.hpp"
+#include "core/policies/least_work_left.hpp"
+#include "core/policies/shortest_queue.hpp"
+#include "core/policies/sita.hpp"
+#include "core/server.hpp"
+#include "dist/bounded_pareto.hpp"
+#include "dist/rng.hpp"
+#include "sim/autoscaler.hpp"
+#include "sim/control_plane.hpp"
+#include "sim/faults.hpp"
+#include "sim/overload.hpp"
+#include "util/contracts.hpp"
+#include "workload/arrival.hpp"
+#include "workload/catalog.hpp"
+#include "workload/job_source.hpp"
+#include "workload/trace.hpp"
+
+namespace distserv::core {
+namespace {
+
+workload::Trace trace_of(std::vector<workload::Job> jobs) {
+  return workload::Trace(std::move(jobs));
+}
+
+/// Runs `trace` on `hosts` LWL hosts with `overload` and the audit layer;
+/// EXPECTs the audit came back clean.
+RunResult run_overloaded(Policy& policy, const workload::Trace& trace,
+                         std::size_t hosts,
+                         const sim::OverloadConfig& overload,
+                         std::uint64_t seed = 1) {
+  DistributedServer server(hosts, policy);
+  server.enable_overload(overload);
+  sim::AuditConfig audit;
+  audit.enabled = true;
+  server.enable_audit(audit);
+  RunResult result = server.run(trace, seed);
+  EXPECT_TRUE(result.audit.has_value());
+  if (result.audit) {
+    EXPECT_TRUE(result.audit->ok()) << result.audit->to_string();
+  }
+  EXPECT_TRUE(validate_run(result).empty())
+      << validate_run(result).front();
+  return result;
+}
+
+// --- AdmissionController ------------------------------------------------
+
+TEST(AdmissionController, RejectsInvalidConfigs) {
+  sim::OverloadConfig bucket;
+  bucket.enabled = true;
+  bucket.admission = sim::AdmissionMode::kTokenBucket;
+  bucket.admission_rate = 0.0;  // rate must be > 0
+  EXPECT_THROW(sim::AdmissionController(bucket, 1), ContractViolation);
+  bucket.admission_rate = 1.0;
+  bucket.admission_burst = 0.5;  // depth must be >= 1
+  EXPECT_THROW(sim::AdmissionController(bucket, 1), ContractViolation);
+
+  sim::OverloadConfig gate;
+  gate.enabled = true;
+  gate.admission = sim::AdmissionMode::kUtilizationGate;
+  gate.admission_threshold = 1.5;  // a fraction, not a count
+  EXPECT_THROW(sim::AdmissionController(gate, 1), ContractViolation);
+  gate.admission_threshold = 0.9;
+  gate.admission_shed_prob = 0.0;  // prob 0 = the gate does nothing
+  EXPECT_THROW(sim::AdmissionController(gate, 1), ContractViolation);
+
+  sim::OverloadConfig caps;
+  caps.enabled = true;
+  caps.backlog_cap = -1.0;
+  EXPECT_THROW(sim::AdmissionController(caps, 1), ContractViolation);
+  caps.backlog_cap = 0.0;
+  caps.patience_mean = -2.0;
+  EXPECT_THROW(sim::AdmissionController(caps, 1), ContractViolation);
+}
+
+TEST(AdmissionController, TokenBucketRefillsLazily) {
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.admission = sim::AdmissionMode::kTokenBucket;
+  config.admission_rate = 0.5;
+  config.admission_burst = 1.0;
+  sim::AdmissionController admission(config, 1);
+  // Cold start holds the full burst (one token), then earns 0.5/time.
+  EXPECT_TRUE(admission.admit(0.0, 0.0));
+  EXPECT_FALSE(admission.admit(1.0, 0.0));  // 0.5 tokens
+  EXPECT_TRUE(admission.admit(2.0, 0.0));   // 1.0 token
+  EXPECT_FALSE(admission.admit(3.0, 0.0));  // 0.5 again
+}
+
+TEST(AdmissionController, TokenBucketCapsAtBurstDepth) {
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.admission = sim::AdmissionMode::kTokenBucket;
+  config.admission_rate = 1.0;
+  config.admission_burst = 2.0;
+  sim::AdmissionController admission(config, 1);
+  // A long idle stretch earns at most the depth: two back-to-back admits,
+  // not a hundred.
+  EXPECT_TRUE(admission.admit(100.0, 0.0));
+  EXPECT_TRUE(admission.admit(100.0, 0.0));
+  EXPECT_FALSE(admission.admit(100.0, 0.0));
+}
+
+TEST(AdmissionController, UtilizationGateIsDeterministicAtProbOne) {
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.admission = sim::AdmissionMode::kUtilizationGate;
+  config.admission_threshold = 0.5;
+  config.admission_shed_prob = 1.0;
+  sim::AdmissionController admission(config, 1);
+  EXPECT_TRUE(admission.admit(0.0, 0.4));   // below the bar
+  EXPECT_FALSE(admission.admit(1.0, 0.5));  // at the bar, certain shed
+  EXPECT_FALSE(admission.admit(2.0, 1.0));
+}
+
+TEST(AdmissionController, PatienceDrawsArePositive) {
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.patience_mean = 2.0;
+  sim::AdmissionController admission(config, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(admission.draw_patience(), 0.0);
+}
+
+// --- overflow actions ---------------------------------------------------
+
+TEST(Overload, RejectShedsArrivalsAtFullHost) {
+  LeastWorkLeftPolicy lwl;
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.queue_cap = 1;  // the running job fills the only slot
+  config.overflow = sim::OverflowAction::kReject;
+  const workload::Trace trace =
+      trace_of({{0, 0.0, 10.0}, {1, 1.0, 5.0}, {2, 2.0, 5.0}});
+  const RunResult result = run_overloaded(lwl, trace, 1, config);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.records[0].outcome, JobOutcome::kCompleted);
+  EXPECT_DOUBLE_EQ(result.records[0].completion, 10.0);
+  // Both later arrivals found the host full and were dropped on the spot:
+  // zero-length loss markers at their arrival instants.
+  for (std::size_t id : {std::size_t{1}, std::size_t{2}}) {
+    EXPECT_EQ(result.records[id].outcome, JobOutcome::kShed);
+    EXPECT_TRUE(result.records[id].failed);
+    EXPECT_DOUBLE_EQ(result.records[id].start, result.records[id].completion);
+    EXPECT_DOUBLE_EQ(result.records[id].completion,
+                     result.records[id].arrival);
+  }
+  ASSERT_TRUE(result.overload.has_value());
+  EXPECT_EQ(result.overload->shed_overflow, 2u);
+  EXPECT_EQ(result.overload->shed_admission, 0u);
+  EXPECT_EQ(result.overload->admitted, 3u);
+}
+
+TEST(Overload, ShedSmallestEvictsTheSmallestOfQueueAndArrival) {
+  LeastWorkLeftPolicy lwl;
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.queue_cap = 2;  // running + one queued
+  config.overflow = sim::OverflowAction::kShedSmallest;
+  // Larger arrival evicts the smaller queued job and takes its slot.
+  {
+    const workload::Trace trace =
+        trace_of({{0, 0.0, 10.0}, {1, 1.0, 5.0}, {2, 2.0, 7.0}});
+    const RunResult result = run_overloaded(lwl, trace, 1, config);
+    EXPECT_EQ(result.records[1].outcome, JobOutcome::kShed);
+    EXPECT_DOUBLE_EQ(result.records[1].completion, 2.0);  // evicted at t=2
+    EXPECT_EQ(result.records[2].outcome, JobOutcome::kCompleted);
+    EXPECT_DOUBLE_EQ(result.records[2].completion, 17.0);  // 10 + 7
+  }
+  // Smaller arrival loses to the queued job and is shed itself.
+  {
+    const workload::Trace trace =
+        trace_of({{0, 0.0, 10.0}, {1, 1.0, 5.0}, {2, 2.0, 3.0}});
+    const RunResult result = run_overloaded(lwl, trace, 1, config);
+    EXPECT_EQ(result.records[2].outcome, JobOutcome::kShed);
+    EXPECT_EQ(result.records[1].outcome, JobOutcome::kCompleted);
+    EXPECT_DOUBLE_EQ(result.records[1].completion, 15.0);  // 10 + 5
+  }
+}
+
+TEST(Overload, ShedLargestEvictsTheLargestAndBreaksTiesAgainstTheQueue) {
+  LeastWorkLeftPolicy lwl;
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.queue_cap = 2;
+  config.overflow = sim::OverflowAction::kShedLargest;
+  // The queued 5 outweighs the arriving 3: eviction.
+  {
+    const workload::Trace trace =
+        trace_of({{0, 0.0, 10.0}, {1, 1.0, 5.0}, {2, 2.0, 3.0}});
+    const RunResult result = run_overloaded(lwl, trace, 1, config);
+    EXPECT_EQ(result.records[1].outcome, JobOutcome::kShed);
+    EXPECT_DOUBLE_EQ(result.records[2].completion, 13.0);  // 10 + 3
+  }
+  // Exact size tie: the queued job loses — the newcomer carries fresher
+  // patience, so holding the old one would ossify the queue.
+  {
+    const workload::Trace trace =
+        trace_of({{0, 0.0, 10.0}, {1, 1.0, 5.0}, {2, 2.0, 5.0}});
+    const RunResult result = run_overloaded(lwl, trace, 1, config);
+    EXPECT_EQ(result.records[1].outcome, JobOutcome::kShed);
+    EXPECT_EQ(result.records[2].outcome, JobOutcome::kCompleted);
+    EXPECT_DOUBLE_EQ(result.records[2].completion, 15.0);
+  }
+}
+
+TEST(Overload, BounceHoldsCentrallyUntilTheHostFrees) {
+  LeastWorkLeftPolicy lwl;
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.queue_cap = 1;
+  config.overflow = sim::OverflowAction::kBounce;
+  const workload::Trace trace = trace_of({{0, 0.0, 10.0}, {1, 1.0, 5.0}});
+  const RunResult result = run_overloaded(lwl, trace, 1, config);
+  // Nothing is lost under kBounce on the direct path: the job waits
+  // centrally and runs when the host frees.
+  EXPECT_EQ(result.records[1].outcome, JobOutcome::kCompleted);
+  EXPECT_DOUBLE_EQ(result.records[1].start, 10.0);
+  EXPECT_DOUBLE_EQ(result.records[1].completion, 15.0);
+  ASSERT_TRUE(result.overload.has_value());
+  EXPECT_EQ(result.overload->bounced_full, 1u);
+  EXPECT_EQ(result.overload->shed(), 0u);
+}
+
+TEST(Overload, BacklogCapCountsRemainingWorkNotJobs) {
+  LeastWorkLeftPolicy lwl;
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.backlog_cap = 6.0;
+  config.overflow = sim::OverflowAction::kReject;
+  const workload::Trace trace =
+      trace_of({{0, 0.0, 10.0}, {1, 1.0, 2.0}, {2, 9.0, 2.0}});
+  const RunResult result = run_overloaded(lwl, trace, 1, config);
+  // At t=1 the running job still owes 9 >= 6: full. At t=9 it owes 1 < 6:
+  // the same-size arrival queues fine.
+  EXPECT_EQ(result.records[1].outcome, JobOutcome::kShed);
+  EXPECT_EQ(result.records[2].outcome, JobOutcome::kCompleted);
+  EXPECT_DOUBLE_EQ(result.records[2].completion, 12.0);
+  EXPECT_EQ(result.overload->shed_overflow, 1u);
+}
+
+// --- admission at the dispatcher ----------------------------------------
+
+TEST(Overload, UtilizationGateTracksBusyHostsWithoutTheScaler) {
+  LeastWorkLeftPolicy lwl;
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.admission = sim::AdmissionMode::kUtilizationGate;
+  config.admission_threshold = 1.0;
+  config.admission_shed_prob = 1.0;
+  const workload::Trace trace =
+      trace_of({{0, 0.0, 10.0}, {1, 1.0, 5.0}, {2, 12.0, 5.0}});
+  const RunResult result = run_overloaded(lwl, trace, 1, config);
+  // Job 1 arrives with the single host busy (utilization 1.0 >= bar):
+  // certain shed. Job 2 arrives after the host idles: admitted.
+  EXPECT_EQ(result.records[0].outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(result.records[1].outcome, JobOutcome::kShed);
+  EXPECT_DOUBLE_EQ(result.records[1].completion, 1.0);
+  EXPECT_EQ(result.records[2].outcome, JobOutcome::kCompleted);
+  EXPECT_DOUBLE_EQ(result.records[2].completion, 17.0);
+  EXPECT_EQ(result.overload->admitted, 2u);
+  EXPECT_EQ(result.overload->shed_admission, 1u);
+}
+
+TEST(Overload, TokenBucketAdmitsBurstThenRate) {
+  LeastWorkLeftPolicy lwl;
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.admission = sim::AdmissionMode::kTokenBucket;
+  config.admission_rate = 0.5;
+  config.admission_burst = 1.0;
+  const workload::Trace trace = trace_of(
+      {{0, 0.0, 100.0}, {1, 1.0, 1.0}, {2, 2.0, 1.0}, {3, 3.0, 1.0}});
+  const RunResult result = run_overloaded(lwl, trace, 1, config);
+  // Token timeline (rate 0.5, depth 1): admit at t=0, reject at t=1
+  // (0.5 tokens), admit at t=2, reject at t=3.
+  EXPECT_EQ(result.records[0].outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(result.records[1].outcome, JobOutcome::kShed);
+  EXPECT_EQ(result.records[2].outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(result.records[3].outcome, JobOutcome::kShed);
+  EXPECT_EQ(result.overload->admitted, 2u);
+  EXPECT_EQ(result.overload->shed_admission, 2u);
+}
+
+// --- reneging -----------------------------------------------------------
+
+TEST(Overload, RenegingDrainsAnOverloadedQueue) {
+  LeastWorkLeftPolicy lwl;
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.patience_mean = 1.0;
+  std::vector<workload::Job> jobs;
+  for (std::size_t i = 0; i < 30; ++i) {
+    jobs.push_back({i, 0.1 * static_cast<double>(i), 5.0});
+  }
+  const workload::Trace trace = trace_of(std::move(jobs));
+  const RunResult result = run_overloaded(lwl, trace, 1, config);
+  ASSERT_TRUE(result.overload.has_value());
+  // A single host owes 150 time units of work against ~unit patience:
+  // most of the queue must renege, and every renege is a zero-length loss
+  // marker with the kReneged outcome.
+  EXPECT_GT(result.overload->reneged, 10u);
+  std::uint64_t completed = 0;
+  std::uint64_t reneged = 0;
+  for (const JobRecord& r : result.records) {
+    if (r.outcome == JobOutcome::kReneged) {
+      EXPECT_TRUE(r.failed);
+      EXPECT_DOUBLE_EQ(r.start, r.completion);
+      ++reneged;
+    } else {
+      EXPECT_EQ(r.outcome, JobOutcome::kCompleted);
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed + reneged, trace.size());
+  EXPECT_EQ(reneged, result.overload->reneged);
+  EXPECT_EQ(result.overload->shed(), 0u);
+}
+
+TEST(Overload, RenegeNeverCancelsAJobInService) {
+  LeastWorkLeftPolicy lwl;
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.patience_mean = 1e-3;  // far shorter than any service time
+  const workload::Trace trace = trace_of({{0, 0.0, 10.0}, {1, 20.0, 10.0}});
+  const RunResult result = run_overloaded(lwl, trace, 1, config);
+  // Both jobs start the moment they arrive (idle host), so their expired
+  // deadlines are no-ops: the patience clock only covers waiting.
+  EXPECT_EQ(result.overload->reneged, 0u);
+  EXPECT_EQ(result.records[0].outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(result.records[1].outcome, JobOutcome::kCompleted);
+}
+
+// --- queue migration ----------------------------------------------------
+
+TEST(Overload, MigrationMovesQueuedWorkOffAFailedHost) {
+  ShortestQueuePolicy sq;
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  sim::HostOutage outage;
+  outage.host = 0;
+  outage.at = 2.0;
+  outage.duration = 50.0;
+  faults.outages.push_back(outage);
+
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.migrate_on_fail = true;
+
+  // t=0: job 0 -> host 0 (runs). t=1: job 1 -> host 1 (runs). t=1.5:
+  // job 2 ties on queue length and lands behind job 0 on host 0.
+  const workload::Trace trace =
+      trace_of({{0, 0.0, 10.0}, {1, 1.0, 3.0}, {2, 1.5, 4.0}});
+
+  DistributedServer server(2, sq);
+  server.enable_faults(faults, RecoveryMode::kResubmit);
+  server.enable_overload(config);
+  sim::AuditConfig audit;
+  audit.enabled = true;
+  server.enable_audit(audit);
+  const RunResult result = server.run(trace, /*seed=*/1);
+  ASSERT_TRUE(result.audit.has_value());
+  EXPECT_TRUE(result.audit->ok()) << result.audit->to_string();
+
+  // At t=2 host 0 fail-stops: queued job 2 migrates to host 1 *before* the
+  // running job 0 is interrupted and resubmitted, so host 1 serves
+  // job 1 (1..4), job 2 (4..8), job 0 (8..18).
+  ASSERT_TRUE(result.overload.has_value());
+  EXPECT_EQ(result.overload->migrated_fault, 1u);
+  EXPECT_EQ(result.records[2].host, HostId{1});
+  EXPECT_DOUBLE_EQ(result.records[2].completion, 8.0);
+  EXPECT_EQ(result.records[0].host, HostId{1});
+  EXPECT_DOUBLE_EQ(result.records[0].completion, 18.0);
+  EXPECT_EQ(result.records[0].restarts, 1u);
+  for (const JobRecord& r : result.records) {
+    EXPECT_EQ(r.outcome, JobOutcome::kCompleted);
+  }
+}
+
+TEST(Overload, WithoutMigrationQueuedWorkRidesOutTheOutage) {
+  ShortestQueuePolicy sq;
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  sim::HostOutage outage;
+  outage.host = 0;
+  outage.at = 2.0;
+  outage.duration = 50.0;
+  faults.outages.push_back(outage);
+
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.migrate_on_fail = false;
+  config.queue_cap = 8;  // some feature on, but no migration
+
+  const workload::Trace trace =
+      trace_of({{0, 0.0, 10.0}, {1, 1.0, 3.0}, {2, 1.5, 4.0}});
+
+  DistributedServer server(2, sq);
+  server.enable_faults(faults, RecoveryMode::kResubmit);
+  server.enable_overload(config);
+  const RunResult result = server.run(trace, /*seed=*/1);
+  // Job 2 stays queued on the dead host and only runs after the repair at
+  // t=52 — the waiting-time cliff migrate_on_fail exists to remove.
+  EXPECT_EQ(result.overload->migrated(), 0u);
+  EXPECT_EQ(result.records[2].host, HostId{0});
+  EXPECT_DOUBLE_EQ(result.records[2].completion, 56.0);
+}
+
+TEST(Overload, MigrationMovesQueuedWorkOffDrainingHosts) {
+  // The scaler samples *time-averaged* utilization per check period, so a
+  // burst arriving late in an idle period still reads as a quiet fleet:
+  // the t=10 eval sees busy 3x2 / serviceable 3x10 = 0.2 < 0.5 and drains
+  // host 2 while every host holds a queue — exactly the lagging-window
+  // hazard migrate_on_drain exists for.
+  LeastWorkLeftPolicy lwl;
+  sim::AutoscalerConfig scaler;
+  scaler.enabled = true;
+  scaler.check_period = 10.0;
+  scaler.scale_up_threshold = 0.9;
+  scaler.scale_down_threshold = 0.5;
+  scaler.window = 1;
+  scaler.warmup_delay = 1000.0;
+  scaler.min_hosts = 2;
+  scaler.scale_step = 1;
+
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.migrate_on_drain = true;
+
+  // Six size-10 jobs land at t=8.0..8.5: LWL spreads one running plus one
+  // queued job onto each of the three hosts.
+  std::vector<workload::Job> jobs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    jobs.push_back({i, 8.0 + 0.1 * static_cast<double>(i), 10.0});
+  }
+  const workload::Trace trace = trace_of(std::move(jobs));
+
+  DistributedServer server(3, lwl);
+  server.enable_autoscaler(scaler);
+  server.enable_overload(config);
+  sim::AuditConfig audit;
+  audit.enabled = true;
+  server.enable_audit(audit);
+  const RunResult result = server.run(trace, /*seed=*/1);
+  ASSERT_TRUE(result.audit.has_value());
+  EXPECT_TRUE(result.audit->ok()) << result.audit->to_string();
+  ASSERT_TRUE(result.overload.has_value());
+  // Job 5 was queued on host 2 when the drain started; it re-routed to
+  // host 0 (least work at t=10) and ran third there. The draining host
+  // still finished its in-service job.
+  EXPECT_EQ(result.overload->migrated_drain, 1u);
+  EXPECT_EQ(result.records[5].host, HostId{0});
+  EXPECT_DOUBLE_EQ(result.records[5].completion, 38.0);
+  ASSERT_TRUE(result.scaling.has_value());
+  EXPECT_EQ(result.scaling->hosts_drained, 1u);
+  for (const JobRecord& r : result.records) {
+    EXPECT_EQ(r.outcome, JobOutcome::kCompleted);
+  }
+}
+
+// --- class-aware drain (satellite of the elastic PR) --------------------
+
+/// Fleet of speeds {2,1,2,1}; an idle window drains two hosts. The drain
+/// must take the slow class first (hosts 3 then 1), leaving the burst that
+/// follows to the two fast hosts.
+TEST(Overload, ScaleDownDrainsTheSlowestSpeedClassFirst) {
+  LeastWorkLeftPolicy lwl;
+  sim::AutoscalerConfig scaler;
+  scaler.enabled = true;
+  scaler.check_period = 1.0;
+  scaler.scale_up_threshold = 0.95;
+  scaler.scale_down_threshold = 0.3;
+  scaler.window = 1;
+  scaler.warmup_delay = 1000.0;  // powered-on hosts never help in-run
+  scaler.min_hosts = 2;
+  scaler.scale_step = 2;
+
+  std::vector<workload::Job> jobs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    jobs.push_back({i, 3.0 + 0.1 * static_cast<double>(i), 5.0});
+  }
+  const workload::Trace trace = trace_of(std::move(jobs));
+
+  DistributedServer server(4, lwl);
+  server.set_host_speeds({2.0, 1.0, 2.0, 1.0});
+  server.enable_autoscaler(scaler);
+  const RunResult result = server.run(trace, /*seed=*/1);
+  ASSERT_TRUE(result.scaling.has_value());
+  EXPECT_EQ(result.scaling->hosts_drained, 2u);
+  // Every job ran on a fast host: the 1x class was drained away.
+  for (const JobRecord& r : result.records) {
+    EXPECT_TRUE(r.host == 0 || r.host == 2) << "job " << r.id
+                                            << " ran on host " << r.host;
+  }
+}
+
+TEST(Overload, HomogeneousScaleDownKeepsTheHistoricalOrder) {
+  LeastWorkLeftPolicy lwl;
+  sim::AutoscalerConfig scaler;
+  scaler.enabled = true;
+  scaler.check_period = 1.0;
+  scaler.scale_up_threshold = 0.95;
+  scaler.scale_down_threshold = 0.3;
+  scaler.window = 1;
+  scaler.warmup_delay = 1000.0;
+  scaler.min_hosts = 2;
+  scaler.scale_step = 2;
+
+  std::vector<workload::Job> jobs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    jobs.push_back({i, 3.0 + 0.1 * static_cast<double>(i), 5.0});
+  }
+  const workload::Trace trace = trace_of(std::move(jobs));
+
+  DistributedServer server(4, lwl);
+  server.enable_autoscaler(scaler);
+  const RunResult result = server.run(trace, /*seed=*/1);
+  ASSERT_TRUE(result.scaling.has_value());
+  EXPECT_EQ(result.scaling->hosts_drained, 2u);
+  // One speed class: drain order stays highest-index-first (hosts 3, 2),
+  // exactly the pre-class behavior.
+  for (const JobRecord& r : result.records) {
+    EXPECT_TRUE(r.host == 0 || r.host == 1) << "job " << r.id
+                                            << " ran on host " << r.host;
+  }
+}
+
+// --- SITA escalation off full bands -------------------------------------
+
+TEST(Overload, SitaEscalatesToTheNearestBandWithRoom) {
+  SitaPolicy sita({10.0}, "SITA-test");
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.queue_cap = 1;
+  config.overflow = sim::OverflowAction::kBounce;
+  const workload::Trace trace = trace_of({{0, 0.0, 5.0}, {1, 1.0, 5.0}});
+  const RunResult result = run_overloaded(sita, trace, 2, config);
+  // Both jobs belong to band 0, but host 0 is full at t=1: the second job
+  // escalates to the idle large-job host instead of queueing (or spinning).
+  EXPECT_EQ(result.records[0].host, HostId{0});
+  EXPECT_EQ(result.records[1].host, HostId{1});
+  EXPECT_DOUBLE_EQ(result.records[1].completion, 6.0);
+  EXPECT_EQ(result.overload->bounced_full, 0u);
+}
+
+TEST(Overload, SitaFallsBackToTheOwnerBandWhenEveryBandIsFull) {
+  SitaPolicy sita({10.0}, "SITA-test");
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.queue_cap = 1;
+  config.overflow = sim::OverflowAction::kBounce;
+  const workload::Trace trace =
+      trace_of({{0, 0.0, 5.0}, {1, 0.5, 15.0}, {2, 1.0, 5.0}});
+  const RunResult result = run_overloaded(sita, trace, 2, config);
+  // Every band is at capacity at t=1, so the policy answers the owner band
+  // and the delivery-time overflow action resolves it: a bounce into the
+  // central queue, served when host 0 frees at t=5.
+  EXPECT_EQ(result.overload->bounced_full, 1u);
+  EXPECT_EQ(result.records[2].host, HostId{0});
+  EXPECT_DOUBLE_EQ(result.records[2].start, 5.0);
+  EXPECT_DOUBLE_EQ(result.records[2].completion, 10.0);
+}
+
+TEST(Overload, ClassSitaEscalatesToTheNearestClassWithRoom) {
+  ClassSitaPolicy class_sita({10.0}, {2, 1}, "SITA-class-test");
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.queue_cap = 1;
+  config.overflow = sim::OverflowAction::kBounce;
+  const workload::Trace trace =
+      trace_of({{0, 0.0, 5.0}, {1, 0.2, 5.0}, {2, 0.4, 5.0}});
+  const RunResult result = run_overloaded(class_sita, trace, 3, config);
+  // Small-job class {hosts 0, 1} is saturated at t=0.4: the third small
+  // job runs on the large-job class's idle host instead of queueing.
+  EXPECT_EQ(result.records[0].host, HostId{0});
+  EXPECT_EQ(result.records[1].host, HostId{1});
+  EXPECT_EQ(result.records[2].host, HostId{2});
+  EXPECT_EQ(result.overload->bounced_full, 0u);
+}
+
+// --- streaming path -----------------------------------------------------
+
+TEST(Overload, StreamingRunCountsLossesIdentically) {
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.patience_mean = 1.0;
+  config.queue_cap = 3;
+  config.overflow = sim::OverflowAction::kReject;
+  std::vector<workload::Job> jobs;
+  for (std::size_t i = 0; i < 40; ++i) {
+    jobs.push_back({i, 0.2 * static_cast<double>(i), 5.0});
+  }
+  const workload::Trace trace = trace_of(std::move(jobs));
+
+  LeastWorkLeftPolicy lwl;
+  DistributedServer server(2, lwl);
+  server.enable_overload(config);
+  const RunResult materialised = server.run(trace, /*seed=*/5);
+  std::uint64_t shed = 0;
+  std::uint64_t reneged = 0;
+  for (const JobRecord& r : materialised.records) {
+    shed += r.outcome == JobOutcome::kShed ? 1 : 0;
+    reneged += r.outcome == JobOutcome::kReneged ? 1 : 0;
+  }
+  EXPECT_GT(shed + reneged, 0u);
+
+  workload::TraceSource source(trace);
+  const RunResult streamed = server.run_stream(source, /*seed=*/5);
+  ASSERT_TRUE(streamed.stream.has_value());
+  EXPECT_EQ(streamed.stream->jobs_shed(), shed);
+  EXPECT_EQ(streamed.stream->jobs_reneged(), reneged);
+  EXPECT_EQ(streamed.stream->jobs_failed(), shed + reneged);
+  ASSERT_TRUE(streamed.overload.has_value());
+  EXPECT_EQ(streamed.overload->shed(), materialised.overload->shed());
+  EXPECT_EQ(streamed.overload->reneged, materialised.overload->reneged);
+  const std::vector<std::string> problems = validate_run(streamed);
+  EXPECT_TRUE(problems.empty())
+      << (problems.empty() ? "" : problems.front());
+}
+
+// --- bit-identity against the golden fixtures ---------------------------
+
+#ifndef DISTSERV_GOLDEN_DIR
+#error "DISTSERV_GOLDEN_DIR must point at tests/golden"
+#endif
+
+constexpr std::size_t kGoldenJobs = 4000;
+constexpr std::size_t kGoldenHosts = 4;
+
+/// The golden workload (tests/integration/test_golden_records.cpp):
+/// bounded-Pareto sizes under Poisson arrivals at load 0.7.
+workload::Trace make_golden_trace(std::uint64_t stream) {
+  dist::Rng rng = dist::Rng(20260805).split(stream);
+  const dist::BoundedPareto sizes_dist(1.5, 1.0, 1e3);
+  std::vector<double> sizes;
+  sizes.reserve(kGoldenJobs);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < kGoldenJobs; ++i) {
+    sizes.push_back(sizes_dist.sample(rng));
+    mean += sizes.back();
+  }
+  mean /= static_cast<double>(kGoldenJobs);
+  const double lambda = 0.7 * static_cast<double>(kGoldenHosts) / mean;
+  workload::PoissonArrivals arrivals(lambda);
+  return workload::Trace::with_arrivals(sizes, arrivals, rng);
+}
+
+void expect_matches_fixture(const std::string& name,
+                            const RunResult& result) {
+  const std::string path =
+      std::string(DISTSERV_GOLDEN_DIR) + "/" + name + ".txt";
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr) << "missing fixture " << path;
+  std::vector<double> expected;
+  expected.reserve(result.records.size());
+  double v = 0.0;
+  while (std::fscanf(f, "%la", &v) == 1) expected.push_back(v);
+  std::fclose(f);
+  ASSERT_EQ(expected.size(), result.records.size()) << name;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(result.records[i].completion, expected[i])
+        << name << ": job " << i << " completion drifted with the overload "
+        << "model enabled but featureless";
+  }
+}
+
+/// enabled = true with every feature at its default must be a no-op: the
+/// subsystem consumes no randomness and schedules no events, so all three
+/// golden scenarios stay bit-identical to their committed fixtures.
+TEST(OverloadGolden, FeaturelessConfigIsBitIdenticalOnPlainScenario) {
+  const workload::Trace trace = make_golden_trace(1);
+  LeastWorkLeftPolicy lwl;
+  DistributedServer server(kGoldenHosts, lwl);
+  sim::OverloadConfig config;
+  config.enabled = true;  // no features: a pure no-op
+  server.enable_overload(config);
+  const RunResult result = server.run(trace, 11);
+  ASSERT_TRUE(result.overload.has_value());
+  EXPECT_EQ(result.overload->shed(), 0u);
+  expect_matches_fixture("plain_lwl_h4", result);
+}
+
+TEST(OverloadGolden, FeaturelessConfigIsBitIdenticalOnFaultScenario) {
+  const workload::Trace trace = make_golden_trace(2);
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  faults.mtbf = 5000.0;
+  faults.mttr = 100.0;
+  ShortestQueuePolicy sq;
+  DistributedServer server(kGoldenHosts, sq);
+  server.enable_faults(faults, RecoveryMode::kResubmit);
+  sim::OverloadConfig config;
+  config.enabled = true;
+  server.enable_overload(config);
+  const RunResult result = server.run(trace, 13);
+  expect_matches_fixture("faults_sq_h4", result);
+}
+
+TEST(OverloadGolden, FeaturelessConfigIsBitIdenticalOnControlScenario) {
+  const workload::Trace trace = make_golden_trace(3);
+  sim::ControlPlaneConfig control;
+  control.enabled = true;
+  control.probe_period = 20.0;
+  control.probe_loss = 0.1;
+  control.rpc_timeout = 1.0;
+  control.rpc_loss = 0.05;
+  control.ack_loss = 0.05;
+  control.max_retries = 2;
+  control.backoff_base = 0.5;
+  control.backoff_cap = 4.0;
+  control.staleness_bound = 100.0;
+  LeastWorkLeftPolicy lwl;
+  DistributedServer server(kGoldenHosts, lwl);
+  server.enable_control(control);
+  sim::OverloadConfig config;
+  config.enabled = true;
+  server.enable_overload(config);
+  const RunResult result = server.run(trace, 17);
+  expect_matches_fixture("control_lwl_h4", result);
+}
+
+TEST(OverloadGolden, DisabledConfigReportsNoStats) {
+  const workload::Trace trace = trace_of({{0, 0.0, 1.0}});
+  LeastWorkLeftPolicy lwl;
+  const RunResult result = simulate(lwl, trace, 1, 1);
+  EXPECT_FALSE(result.overload.has_value());
+}
+
+// simulate_with_overload: the convenience wrapper mirrors enable + run.
+TEST(Overload, ConvenienceWrapperMatchesManualSetup) {
+  sim::OverloadConfig config;
+  config.enabled = true;
+  config.queue_cap = 2;
+  config.overflow = sim::OverflowAction::kReject;
+  const workload::Trace trace =
+      trace_of({{0, 0.0, 10.0}, {1, 1.0, 5.0}, {2, 2.0, 5.0}});
+  LeastWorkLeftPolicy a;
+  const RunResult wrapped = simulate_with_overload(a, trace, 1, config, 3);
+  LeastWorkLeftPolicy b;
+  DistributedServer server(1, b);
+  server.enable_overload(config);
+  const RunResult manual = server.run(trace, 3);
+  ASSERT_EQ(wrapped.records.size(), manual.records.size());
+  for (std::size_t i = 0; i < wrapped.records.size(); ++i) {
+    EXPECT_EQ(wrapped.records[i].completion, manual.records[i].completion);
+    EXPECT_EQ(wrapped.records[i].outcome, manual.records[i].outcome);
+  }
+}
+
+// The workbench rejects rho >= 1 (the paper's analysis needs stability)
+// unless overload protection makes a past-saturation run well-defined;
+// then the protected sweep reports goodput and a positive shed count.
+TEST(Overload, WorkbenchRunsPastSaturationOnlyWithProtection) {
+  ExperimentConfig cfg;
+  cfg.hosts = 2;
+  cfg.n_jobs = 2000;
+  cfg.replications = 1;
+  cfg.seed = 3;
+  const workload::WorkloadSpec& spec = workload::find_workload("c90");
+  const Workbench unprotected(spec, cfg);
+  EXPECT_THROW((void)unprotected.run_point(PolicyKind::kLeastWorkLeft, 1.2),
+               ContractViolation);
+  cfg.overload.enabled = true;
+  cfg.overload.queue_cap = 8;
+  cfg.overload.overflow = sim::OverflowAction::kReject;
+  const Workbench shielded(spec, cfg);
+  const ExperimentPoint pt =
+      shielded.run_point(PolicyKind::kLeastWorkLeft, 1.2);
+  EXPECT_GT(pt.summary.jobs_shed, 0u);
+  EXPECT_GT(pt.summary.goodput, 0.0);
+  EXPECT_GT(pt.summary.shed_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace distserv::core

@@ -32,6 +32,7 @@
 #include "sim/autoscaler.hpp"
 #include "sim/control_plane.hpp"
 #include "sim/faults.hpp"
+#include "sim/overload.hpp"
 #include "workload/arrival.hpp"
 #include "workload/trace.hpp"
 
@@ -474,6 +475,146 @@ inline core::RunResult run_audited(ElasticScenario& es) {
   audit.enabled = true;
   server.enable_audit(audit);
   return server.run(es.base.trace, /*seed=*/es.base.seed ^ 0x9e3779b9);
+}
+
+/// A base scenario plus the overload-protection subsystem — bounded
+/// queues, admission control, deadline reneging, queue migration — with
+/// faults, the control plane, and the autoscaler each layered on top for a
+/// minority of seeds so every pairwise interaction gets coverage.
+struct OverloadScenario {
+  Scenario base;
+  sim::OverloadConfig overload;
+  sim::FaultConfig faults;          ///< enabled on a minority of seeds
+  sim::ControlPlaneConfig control;  ///< enabled on a minority of seeds
+  sim::AutoscalerConfig scaler;     ///< enabled on a minority of seeds
+  core::RecoveryMode recovery = core::RecoveryMode::kResubmit;
+};
+
+/// Expands `seed` into an overload scenario. At least one protection
+/// feature is always on (an all-disabled config is the bit-identity test's
+/// job, not the fuzzer's). Queue caps are drawn small so overflow actually
+/// fires at the base scenario's loads; migrate_on_fail is only drawn when
+/// the fault model is on and migrate_on_drain only when the autoscaler is,
+/// so no flag is vacuously set.
+inline OverloadScenario make_overload_scenario(std::uint64_t seed) {
+  OverloadScenario os;
+  os.base = make_scenario(seed);
+  // No expected-route oracle: capacity-aware escalation remaps a full
+  // interval's jobs to neighbors, off the pure-size prediction.
+  os.base.sita = nullptr;
+
+  dist::Rng rng = dist::Rng(seed).split(0x0ff10ad);
+  double mean_size = 0.0;
+  double horizon = 0.0;
+  for (const workload::Job& job : os.base.trace.jobs()) {
+    mean_size += job.size;
+    horizon = std::max(horizon, job.arrival + job.size);
+  }
+  mean_size /= static_cast<double>(os.base.trace.jobs().size());
+
+  os.overload.enabled = true;
+  if (rng.bernoulli(0.7)) {
+    os.overload.queue_cap = 1 + rng.below(5);
+  }
+  if (rng.bernoulli(0.4)) {
+    os.overload.backlog_cap = mean_size * rng.uniform(1.0, 8.0);
+  }
+  static constexpr sim::OverflowAction kActions[] = {
+      sim::OverflowAction::kReject, sim::OverflowAction::kShedSmallest,
+      sim::OverflowAction::kShedLargest, sim::OverflowAction::kBounce};
+  os.overload.overflow = kActions[rng.below(4)];
+
+  const std::uint64_t admission_pick = rng.below(10);
+  if (admission_pick < 3) {
+    os.overload.admission = sim::AdmissionMode::kTokenBucket;
+    // Rate anchored near the trace's own arrival rate so both admit and
+    // shed outcomes occur.
+    os.overload.admission_rate =
+        (static_cast<double>(os.base.trace.size()) / horizon) *
+        rng.uniform(0.5, 1.5);
+    os.overload.admission_burst = 1.0 + static_cast<double>(rng.below(10));
+  } else if (admission_pick < 6) {
+    os.overload.admission = sim::AdmissionMode::kUtilizationGate;
+    os.overload.admission_threshold = rng.uniform(0.4, 0.95);
+    os.overload.admission_shed_prob = rng.uniform(0.3, 1.0);
+  }
+
+  if (rng.bernoulli(0.6)) {
+    os.overload.patience_mean = mean_size * rng.uniform(0.3, 5.0);
+  }
+  if (!os.overload.any_feature()) {
+    os.overload.queue_cap = 2;  // never generate a vacuous scenario
+  }
+
+  if (rng.bernoulli(0.35)) {
+    // One-shot outages only: they cannot livelock the run and they force
+    // the fail-time migration path deterministically.
+    os.faults.enabled = true;
+    const auto n_outages = 1 + rng.below(3);
+    for (std::uint64_t i = 0; i < n_outages; ++i) {
+      sim::HostOutage outage;
+      outage.host = static_cast<std::uint32_t>(rng.below(os.base.hosts));
+      outage.at = rng.uniform01() * horizon;
+      outage.duration = mean_size * rng.uniform(0.5, 8.0);
+      os.faults.outages.push_back(outage);
+    }
+    const auto modes = core::all_recovery_modes();
+    os.recovery = modes[rng.below(modes.size())];
+    os.overload.migrate_on_fail = rng.bernoulli(0.6);
+  }
+
+  if (rng.bernoulli(0.3)) {
+    os.control.enabled = true;
+    os.control.rpc_timeout = mean_size * rng.uniform(0.05, 0.5);
+    if (rng.bernoulli(0.6)) os.control.rpc_loss = rng.uniform(0.05, 0.4);
+    if (rng.bernoulli(0.4)) os.control.ack_loss = rng.uniform(0.05, 0.3);
+    os.control.max_retries = static_cast<std::uint32_t>(rng.below(4));
+    const auto modes = sim::all_fallback_modes();
+    os.control.fallback = modes[rng.below(modes.size())];
+  }
+
+  if (rng.bernoulli(0.35)) {
+    os.scaler.enabled = true;
+    os.scaler.check_period = mean_size * rng.uniform(0.2, 5.0);
+    os.scaler.scale_up_threshold = rng.uniform(0.55, 0.95);
+    os.scaler.scale_down_threshold =
+        rng.uniform(0.05, os.scaler.scale_up_threshold - 0.1);
+    os.scaler.window = 1 + static_cast<std::size_t>(rng.below(6));
+    os.scaler.warmup_delay = mean_size * rng.uniform01() * 2.0;
+    os.scaler.min_hosts =
+        1 + static_cast<std::size_t>(rng.below(os.base.hosts));
+    os.scaler.scale_step = 1 + static_cast<std::size_t>(rng.below(3));
+    os.overload.migrate_on_drain = rng.bernoulli(0.7);
+  }
+
+  os.base.description +=
+      " overload{qcap=" + std::to_string(os.overload.queue_cap) +
+      " bcap=" + std::to_string(os.overload.backlog_cap) +
+      " overflow=" + std::to_string(static_cast<int>(os.overload.overflow)) +
+      " admission=" + std::to_string(static_cast<int>(os.overload.admission)) +
+      " patience=" + std::to_string(os.overload.patience_mean) +
+      " mig_drain=" + std::to_string(os.overload.migrate_on_drain) +
+      " mig_fail=" + std::to_string(os.overload.migrate_on_fail) +
+      (os.faults.enabled
+           ? " outages=" + std::to_string(os.faults.outages.size()) +
+                 " recovery=" + core::to_string(os.recovery)
+           : "") +
+      (os.control.enabled ? " control=on" : "") +
+      (os.scaler.enabled ? " scaler=on" : "") + "}";
+  return os;
+}
+
+/// Runs an overload scenario under the audit layer (no route oracle).
+inline core::RunResult run_audited(OverloadScenario& os) {
+  core::DistributedServer server(os.base.hosts, *os.base.policy);
+  if (os.faults.enabled) server.enable_faults(os.faults, os.recovery);
+  if (os.control.enabled) server.enable_control(os.control);
+  if (os.scaler.enabled) server.enable_autoscaler(os.scaler);
+  server.enable_overload(os.overload);
+  sim::AuditConfig audit;
+  audit.enabled = true;
+  server.enable_audit(audit);
+  return server.run(os.base.trace, /*seed=*/os.base.seed ^ 0x9e3779b9);
 }
 
 }  // namespace distserv::proptest

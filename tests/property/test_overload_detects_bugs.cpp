@@ -1,0 +1,183 @@
+// The overload-semantics invariant and the four-way conservation ledger
+// must actually catch overload-protection bugs, not just pass on correct
+// runs. Each test drives a QueueingAuditor by hand with the hook sequence
+// a buggy server would emit — shedding a running job, a renege firing on a
+// job that never queued, migrating work that is already in service, a
+// silent drop — and asserts the precise invariant that flags it.
+#include <gtest/gtest.h>
+
+#include "sim/audit.hpp"
+
+namespace distserv::sim {
+namespace {
+
+using Source = QueueingAuditor::StartSource;
+
+AuditConfig enabled_config() {
+  AuditConfig config;
+  config.enabled = true;
+  return config;
+}
+
+bool has_violation(const AuditReport& report, const std::string& invariant) {
+  for (const AuditViolation& v : report.violations) {
+    if (v.invariant == invariant) return true;
+  }
+  return false;
+}
+
+// Positive control: every legal loss path in one run — an admission shed
+// at the door, an overflow shed out of a host queue, a central-queue
+// renege, and a queue migration that later completes elsewhere — passes
+// with the tallies closing the conservation ledger.
+TEST(OverloadDetectsBugs, CleanOverloadRunPasses) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 4.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 4.0, Source::kDirect);
+  audit.on_arrival(1, 0.0, 10.0);
+  audit.on_dispatch(1, 1);
+  audit.on_start(1, 1, 0.0, 10.0, Source::kDirect);
+  audit.on_event(0.5);
+  // Admission control drops job 2 before it joins any host.
+  audit.on_arrival(2, 0.5, 2.0);
+  audit.on_shed(2, 0.5);
+  audit.on_event(1.0);
+  audit.on_arrival(3, 1.0, 3.0);
+  audit.on_dispatch(3, 0);
+  audit.on_enqueue(3, 0);
+  audit.on_event(1.5);
+  audit.on_arrival(4, 1.5, 1.0);
+  audit.on_dispatch(4, 0);
+  audit.on_enqueue(4, 0);
+  // The queue cap binds: the overflow action sheds queued job 4.
+  audit.on_shed(4, 1.5);
+  audit.on_event(2.0);
+  // Both hosts busy: job 5 legitimately waits centrally...
+  audit.on_arrival(5, 2.0, 2.0);
+  audit.on_hold(5);
+  audit.on_event(2.5);
+  // ...until its patience expires.
+  audit.on_renege(5, 2.5);
+  audit.on_event(3.0);
+  // Host 0 drains: queued job 3 is evacuated and re-routed to host 1.
+  audit.on_migrate(3, 0, 3.0);
+  audit.on_dispatch(3, 1);
+  audit.on_enqueue(3, 1);
+  audit.on_event(4.0);
+  audit.on_complete(0, 0, 4.0);
+  audit.on_event(10.0);
+  audit.on_complete(1, 1, 10.0);
+  audit.on_start(3, 1, 10.0, 3.0, Source::kHostQueue);
+  audit.on_event(13.0);
+  audit.on_complete(3, 1, 13.0);
+  const AuditReport report = audit.finalize(13.0);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.arrivals, 6u);
+  EXPECT_EQ(report.completions, 3u);
+  EXPECT_EQ(report.shed, 2u);
+  EXPECT_EQ(report.reneged, 1u);
+  EXPECT_EQ(report.migrations, 1u);
+}
+
+TEST(OverloadDetectsBugs, SheddingARunningJobTripsOverloadSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 4.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 4.0, Source::kDirect);
+  audit.on_event(1.0);
+  // Bug: overflow must only evict waiting work, never the job in service.
+  audit.on_shed(0, 1.0);
+  EXPECT_TRUE(has_violation(audit.report(), "overload-semantics"));
+}
+
+TEST(OverloadDetectsBugs, SheddingAHeldJobTripsOverloadSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 2.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 2.0, Source::kDirect);
+  audit.on_event(0.5);
+  audit.on_arrival(1, 0.5, 1.0);
+  audit.on_hold(1);
+  audit.on_event(1.0);
+  // Bug: the central queue has no cap; only reneging may remove held work.
+  audit.on_shed(1, 1.0);
+  EXPECT_TRUE(has_violation(audit.report(), "overload-semantics"));
+}
+
+TEST(OverloadDetectsBugs, RenegeOnARunningJobTripsOverloadSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 4.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 4.0, Source::kDirect);
+  audit.on_event(2.0);
+  // Bug: a job in service has no patience left to lose — the renege event
+  // must be a no-op once service began.
+  audit.on_renege(0, 2.0);
+  EXPECT_TRUE(has_violation(audit.report(), "overload-semantics"));
+}
+
+TEST(OverloadDetectsBugs, RenegeBeforeQueueingTripsOverloadSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 4.0);
+  // Bug: the job never reached a queue (still in the arrival state), so
+  // there is nothing to renege from.
+  audit.on_renege(0, 0.0);
+  EXPECT_TRUE(has_violation(audit.report(), "overload-semantics"));
+}
+
+TEST(OverloadDetectsBugs, MigratingARunningJobTripsOverloadSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 4.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 4.0, Source::kDirect);
+  audit.on_event(1.0);
+  // Bug: migration evacuates queues only; preempting the in-service job
+  // is the fault model's interrupt path, not the migration path.
+  audit.on_migrate(0, 0, 1.0);
+  EXPECT_TRUE(has_violation(audit.report(), "overload-semantics"));
+}
+
+TEST(OverloadDetectsBugs, MigratingOffTheWrongHostTripsOverloadSemantics) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 4.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 4.0, Source::kDirect);
+  audit.on_event(1.0);
+  audit.on_arrival(1, 1.0, 2.0);
+  audit.on_dispatch(1, 0);
+  audit.on_enqueue(1, 0);
+  audit.on_event(2.0);
+  // Bug: job 1 waits on host 0; claiming it came off host 1 means the
+  // server's queue bookkeeping and reality disagree.
+  audit.on_migrate(1, 1, 2.0);
+  EXPECT_TRUE(has_violation(audit.report(), "overload-semantics"));
+}
+
+TEST(OverloadDetectsBugs, SilentDropTripsJobConservation) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 4.0);
+  // Bug: the job vanishes without a completion, abandonment, shed, or
+  // renege — the four-way ledger cannot close.
+  const AuditReport report = audit.finalize(1.0);
+  EXPECT_TRUE(has_violation(report, "job-conservation"));
+}
+
+}  // namespace
+}  // namespace distserv::sim

@@ -1,0 +1,137 @@
+// Overload-protection fuzz harness: seeded random scenarios with bounded
+// queues, admission control, deadline reneging, and queue migration layered
+// over the base generator — and on minority slices the fault model, the
+// degraded control plane, and the autoscaler too, so every pairwise
+// interaction of the robustness subsystems is exercised. Every scenario
+// runs under the full audit layer (overload-semantics and the four-way
+// conservation ledger included) plus the offline record validator. A
+// failing seed reproduces exactly through proptest::make_overload_scenario.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "scenario.hpp"
+
+namespace distserv::proptest {
+namespace {
+
+constexpr std::uint64_t kOverloadScenarioCount = 224;
+
+TEST(OverloadProperty, SeededOverloadScenariosPassEveryInvariant) {
+  std::uint64_t with_sheds = 0;
+  std::uint64_t with_admission_sheds = 0;
+  std::uint64_t with_reneges = 0;
+  std::uint64_t with_migrations = 0;
+  std::uint64_t with_bounces = 0;
+  for (std::uint64_t seed = 1; seed <= kOverloadScenarioCount; ++seed) {
+    OverloadScenario os = make_overload_scenario(seed);
+    const core::RunResult result = run_audited(os);
+    ASSERT_TRUE(result.audit.has_value()) << os.base.description;
+    EXPECT_TRUE(result.audit->ok())
+        << os.base.description << "\n" << result.audit->to_string();
+    ASSERT_TRUE(result.overload.has_value()) << os.base.description;
+    const sim::OverloadStats& o = *result.overload;
+    // The conservation ledger closes: every arrival is exactly one of
+    // completed, abandoned (recovery mode), shed, or reneged.
+    EXPECT_EQ(result.audit->arrivals, os.base.trace.size())
+        << os.base.description;
+    EXPECT_EQ(result.audit->completions + result.audit->abandoned +
+                  result.audit->shed + result.audit->reneged,
+              os.base.trace.size())
+        << os.base.description;
+    // The audit shadow and the server's own tallies agree on every loss
+    // and migration — the hooks fired exactly once per outcome.
+    EXPECT_EQ(result.audit->shed, o.shed()) << os.base.description;
+    EXPECT_EQ(result.audit->reneged, o.reneged) << os.base.description;
+    EXPECT_EQ(result.audit->migrations, o.migrated()) << os.base.description;
+    // Admission partitions arrivals: everything was either admitted or
+    // shed at the door, nothing both or neither.
+    EXPECT_EQ(o.admitted + o.shed_admission, os.base.trace.size())
+        << os.base.description;
+    if (o.shed() > 0) ++with_sheds;
+    if (o.shed_admission > 0) ++with_admission_sheds;
+    if (o.reneged > 0) ++with_reneges;
+    if (o.migrated() > 0) ++with_migrations;
+    if (o.bounced_full + o.rpc_full_rejects > 0) ++with_bounces;
+  }
+  // The generator must exercise every protection path, not pass vacuously
+  // on scenarios where no cap ever binds and no deadline ever expires.
+  EXPECT_GE(with_sheds, kOverloadScenarioCount / 16);
+  EXPECT_GE(with_admission_sheds, kOverloadScenarioCount / 32);
+  EXPECT_GE(with_reneges, kOverloadScenarioCount / 16);
+  EXPECT_GE(with_migrations, kOverloadScenarioCount / 32);
+  EXPECT_GE(with_bounces, kOverloadScenarioCount / 32);
+}
+
+TEST(OverloadProperty, SeededOverloadScenariosPassOfflineValidation) {
+  for (std::uint64_t seed = 1; seed <= kOverloadScenarioCount; ++seed) {
+    OverloadScenario os = make_overload_scenario(seed);
+    core::DistributedServer server(os.base.hosts, *os.base.policy);
+    if (os.faults.enabled) server.enable_faults(os.faults, os.recovery);
+    if (os.control.enabled) server.enable_control(os.control);
+    if (os.scaler.enabled) server.enable_autoscaler(os.scaler);
+    server.enable_overload(os.overload);
+    const core::RunResult result = server.run(os.base.trace, /*seed=*/seed);
+    // validate_run cross-checks the loss markers against the overload
+    // counters and the outcome field against the failed flag, so a clean
+    // record set means the three tallies (records, stats, stream) agree.
+    const std::vector<std::string> problems = core::validate_run(result);
+    EXPECT_TRUE(problems.empty())
+        << os.base.description << "\nfirst problem: "
+        << (problems.empty() ? "" : problems.front());
+  }
+}
+
+TEST(OverloadProperty, AuditDoesNotPerturbOverloadResults) {
+  for (std::uint64_t seed : {7u, 61u, 140u, 205u}) {
+    OverloadScenario audited = make_overload_scenario(seed);
+    OverloadScenario plain = make_overload_scenario(seed);
+    const core::RunResult with_audit = run_audited(audited);
+    core::DistributedServer server(plain.base.hosts, *plain.base.policy);
+    if (plain.faults.enabled) {
+      server.enable_faults(plain.faults, plain.recovery);
+    }
+    if (plain.control.enabled) server.enable_control(plain.control);
+    if (plain.scaler.enabled) server.enable_autoscaler(plain.scaler);
+    server.enable_overload(plain.overload);
+    const core::RunResult without =
+        server.run(plain.base.trace, /*seed=*/seed ^ 0x9e3779b9);
+    ASSERT_EQ(with_audit.records.size(), without.records.size());
+    for (std::size_t i = 0; i < without.records.size(); ++i) {
+      EXPECT_EQ(with_audit.records[i].host, without.records[i].host);
+      EXPECT_EQ(with_audit.records[i].start, without.records[i].start);
+      EXPECT_EQ(with_audit.records[i].completion,
+                without.records[i].completion);
+      EXPECT_EQ(with_audit.records[i].outcome, without.records[i].outcome);
+    }
+    ASSERT_TRUE(with_audit.overload && without.overload);
+    EXPECT_EQ(with_audit.overload->shed(), without.overload->shed());
+    EXPECT_EQ(with_audit.overload->reneged, without.overload->reneged);
+    EXPECT_EQ(with_audit.overload->migrated(), without.overload->migrated());
+  }
+}
+
+TEST(OverloadProperty, ReplayingASeedIsBitIdentical) {
+  for (std::uint64_t seed : {13u, 96u, 181u}) {
+    OverloadScenario first = make_overload_scenario(seed);
+    OverloadScenario second = make_overload_scenario(seed);
+    const core::RunResult a = run_audited(first);
+    const core::RunResult b = run_audited(second);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+      EXPECT_EQ(a.records[i].host, b.records[i].host);
+      EXPECT_EQ(a.records[i].start, b.records[i].start);
+      EXPECT_EQ(a.records[i].completion, b.records[i].completion);
+      EXPECT_EQ(a.records[i].outcome, b.records[i].outcome);
+    }
+    ASSERT_TRUE(a.overload && b.overload);
+    EXPECT_EQ(a.overload->admitted, b.overload->admitted);
+    EXPECT_EQ(a.overload->shed_admission, b.overload->shed_admission);
+    EXPECT_EQ(a.overload->shed_overflow, b.overload->shed_overflow);
+    EXPECT_EQ(a.overload->reneged, b.overload->reneged);
+    EXPECT_EQ(a.overload->migrated_drain, b.overload->migrated_drain);
+    EXPECT_EQ(a.overload->migrated_fault, b.overload->migrated_fault);
+  }
+}
+
+}  // namespace
+}  // namespace distserv::proptest

@@ -179,10 +179,13 @@ TEST(StreamAlloc, PeakLiveHeapPlateausAcrossA10xJobCountIncrease) {
 
 TEST(StreamAlloc, CountingAllocatorIsLive) {
   // Meta-check: if the counting operator new/delete were not installed the
-  // plateau test would pass vacuously.
+  // plateau test would pass vacuously. The pointer escapes through a
+  // volatile because [expr.new] lets the optimizer omit calls even to
+  // replaced allocation functions — at -O2 GCC elides a dead new/delete
+  // pair outright and the counters never move.
   const std::uint64_t allocs_before = g_allocations.load();
   const std::int64_t live_before = g_live_bytes.load();
-  auto* p = new double[64];
+  double* volatile p = new double[64];
   EXPECT_GT(g_allocations.load(), allocs_before);
   EXPECT_GE(g_live_bytes.load(),
             live_before + static_cast<std::int64_t>(64 * sizeof(double)));
