@@ -14,7 +14,9 @@
 //                    compares such a report against the committed baseline
 //                    BENCH_simulator.json with a tolerance band.
 //                    Extra flags: --jobs N (default 20000 per run),
-//                    --reps N (default 3, best-of).
+//                    --reps N (default 3, median-of — the median, not the
+//                    best, so one lucky rep cannot mask a regression and
+//                    one noisy neighbor cannot fail the gate).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -174,6 +176,17 @@ const char* mode_name(Mode mode) {
   return "?";
 }
 
+/// Median of the per-rep throughputs. The suite used to keep the best rep,
+/// which let one lucky scheduling window mask a real regression; the median
+/// is robust in both directions (one noisy-neighbor rep cannot fail the
+/// gate either).
+double median_of(std::vector<double> reps) {
+  std::sort(reps.begin(), reps.end());
+  const std::size_t n = reps.size();
+  if (n % 2 == 1) return reps[n / 2];
+  return 0.5 * (reps[n / 2 - 1] + reps[n / 2]);
+}
+
 /// Policies the suite tracks. SITA-E cutoffs are per-trace size quantiles
 /// (equal-count splits) — representative routing work, derived
 /// deterministically from the trace itself.
@@ -206,6 +219,27 @@ core::PolicyPtr make_tracked_policy(const std::string& name,
   }
   std::fprintf(stderr, "unknown tracked policy %s\n", name.c_str());
   std::exit(2);
+}
+
+/// The control-plane configuration every tracked control row runs under.
+/// The misroute oracle (re-running the policy on live state per dispatch to
+/// count staleness-changed decisions) is a diagnostic, not part of the
+/// dispatch path, and its cost scales with the policy rather than the
+/// control plane — the suite turns it off so the tracked number measures
+/// the probe/snapshot/RPC fast path the perf wall is meant to guard.
+sim::ControlPlaneConfig tracked_control_config(double gap, std::size_t hosts) {
+  sim::ControlPlaneConfig control;
+  control.enabled = true;
+  control.probe_period = 5.0 * gap * static_cast<double>(hosts);
+  control.probe_loss = 0.1;
+  control.rpc_timeout = 1.0 * gap;
+  control.rpc_loss = 0.05;
+  control.ack_loss = 0.05;
+  control.max_retries = 2;
+  control.backoff_base = 0.5 * gap;
+  control.backoff_cap = 4.0 * gap;
+  control.misroute_oracle = false;
+  return control;
 }
 
 double time_one_run(core::Policy& policy, const workload::Trace& trace,
@@ -242,17 +276,7 @@ double time_one_run(core::Policy& policy, const workload::Trace& trace,
     // is what sank the h = 32 control numbers in earlier baselines. RPC
     // constants are per-dispatch (already proportional to jobs) and stay
     // on the fleet gap.
-    sim::ControlPlaneConfig control;
-    control.enabled = true;
-    control.probe_period = 5.0 * gap * static_cast<double>(hosts);
-    control.probe_loss = 0.1;
-    control.rpc_timeout = 1.0 * gap;
-    control.rpc_loss = 0.05;
-    control.ack_loss = 0.05;
-    control.max_retries = 2;
-    control.backoff_base = 0.5 * gap;
-    control.backoff_cap = 4.0 * gap;
-    server.enable_control(control);
+    server.enable_control(tracked_control_config(gap, hosts));
   }
   const auto t0 = std::chrono::steady_clock::now();
   const core::RunResult r = server.run(trace, /*seed=*/1);
@@ -279,7 +303,8 @@ std::vector<ThroughputResult> run_throughput_suite(std::size_t jobs,
     for (std::size_t i = 0; i < kN; ++i) {
       times.push_back(rng.uniform01() * 1e6);
     }
-    double best = 0.0;
+    std::vector<double> samples;
+    samples.reserve(reps);
     for (std::size_t rep = 0; rep < reps; ++rep) {
       const auto t0 = std::chrono::steady_clock::now();
       sim::EventQueue q;
@@ -290,9 +315,10 @@ std::vector<ThroughputResult> run_throughput_suite(std::size_t jobs,
       benchmark::DoNotOptimize(last);
       const auto t1 = std::chrono::steady_clock::now();
       const double secs = std::chrono::duration<double>(t1 - t0).count();
-      best = std::max(best, static_cast<double>(kN) / secs);
+      samples.push_back(static_cast<double>(kN) / secs);
     }
-    results.push_back({"micro/event_queue_schedule_pop/65536", best});
+    results.push_back(
+        {"micro/event_queue_schedule_pop/65536", median_of(samples)});
   }
 
   for (std::size_t hosts : host_counts) {
@@ -301,14 +327,15 @@ std::vector<ThroughputResult> run_throughput_suite(std::size_t jobs,
     for (const std::string& name : policies) {
       const core::PolicyPtr policy = make_tracked_policy(name, trace, hosts);
       for (Mode mode : modes) {
-        double best = 0.0;
+        std::vector<double> samples;
+        samples.reserve(reps);
         for (std::size_t rep = 0; rep < reps; ++rep) {
           const double secs = time_one_run(*policy, trace, hosts, mode);
-          best = std::max(best, static_cast<double>(jobs) / secs);
+          samples.push_back(static_cast<double>(jobs) / secs);
         }
         results.push_back({"e2e/" + name + "/h" + std::to_string(hosts) +
                                "/" + mode_name(mode),
-                           best});
+                           median_of(samples)});
       }
     }
   }
@@ -334,7 +361,8 @@ std::vector<ThroughputResult> run_throughput_suite(std::size_t jobs,
     scaler.warmup_delay = 5.0 * gap * static_cast<double>(kHosts);
     scaler.min_hosts = kHosts / 4;
     core::LeastWorkLeftPolicy policy;
-    double best = 0.0;
+    std::vector<double> samples;
+    samples.reserve(reps);
     for (std::size_t rep = 0; rep < reps; ++rep) {
       core::DistributedServer server(kHosts, policy);
       server.set_host_speeds(speeds);
@@ -344,9 +372,41 @@ std::vector<ThroughputResult> run_throughput_suite(std::size_t jobs,
       const auto t1 = std::chrono::steady_clock::now();
       benchmark::DoNotOptimize(r.makespan);
       const double secs = std::chrono::duration<double>(t1 - t0).count();
-      best = std::max(best, static_cast<double>(jobs) / secs);
+      samples.push_back(static_cast<double>(jobs) / secs);
     }
-    results.push_back({"e2e/Least-Work-Left/h32/hetero-elastic", best});
+    results.push_back(
+        {"e2e/Least-Work-Left/h32/hetero-elastic", median_of(samples)});
+  }
+
+  // The multi-dispatcher row: the tracked control config sharded across
+  // four independently stale front-ends (hash sharding, so the RPC and
+  // snapshot state spreads across four planes). Tracks the cost of the
+  // per-dispatcher wheel/snapshot/slot-pool machinery beyond d = 1.
+  {
+    constexpr std::size_t kHosts = 8;
+    const workload::Trace trace = workload::make_trace(
+        workload::find_workload("c90"), 0.7, kHosts, /*seed=*/3, jobs);
+    const double duration =
+        trace.jobs().back().arrival - trace.jobs().front().arrival;
+    const double gap = duration / static_cast<double>(trace.size() - 1);
+    sim::ControlPlaneConfig control = tracked_control_config(gap, kHosts);
+    control.dispatchers = 4;
+    control.shard = sim::ShardMode::kHash;
+    core::LeastWorkLeftPolicy policy;
+    std::vector<double> samples;
+    samples.reserve(reps);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      core::DistributedServer server(kHosts, policy);
+      server.enable_control(control);
+      const auto t0 = std::chrono::steady_clock::now();
+      const core::RunResult r = server.run(trace, /*seed=*/1);
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(r.makespan);
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      samples.push_back(static_cast<double>(jobs) / secs);
+    }
+    results.push_back(
+        {"e2e/Least-Work-Left/h8/multi-dispatcher", median_of(samples)});
   }
   return results;
 }

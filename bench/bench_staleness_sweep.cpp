@@ -19,7 +19,16 @@
 // than ignoring state — while SITA-E is flat: its routing depends only on
 // the job size and the static cutoffs, so probes change nothing. The
 // misroute column reports how often a snapshot-driven choice disagrees
-// with the live-state oracle for the same arrival.
+// with the live-state oracle for the same arrival, and the modal-share
+// column how concentrated completions are on the single busiest host
+// (1/hosts = balanced; rising toward 1 = herding).
+//
+// --dispatchers D (> 1) adds a second sweep: dispatcher counts 1,2,4,..,D
+// at a fixed mid-grid probe period (10x mean size), each front-end holding
+// its own independently stale snapshot. Independent snapshots agree on the
+// same apparently-least-loaded victim until their probe phases diverge, so
+// the modal-share panel against d is the herding plot EXPERIMENTS.md
+// discusses.
 //
 // The sweep runs hardened (SweepOptions::isolate_failures), so a failed
 // replication is reported and the remaining grid still completes.
@@ -31,11 +40,14 @@
 int main(int argc, char** argv) {
   using namespace distserv;
   const auto opts = bench::BenchOptions::parse(
-      argc, argv, "c90", {"load", "hosts"}, /*sweeps_probe_period=*/true);
+      argc, argv, "c90", {"load", "hosts", "dispatchers"},
+      /*sweeps_probe_period=*/true);
   const util::Cli cli(argc, argv);
   const double rho = cli.get_double_in("load", 0.7, 0.05, 0.95);
   const auto hosts =
       static_cast<std::size_t>(cli.get_int_in("hosts", 8, 2, 1024));
+  const auto max_dispatchers =
+      static_cast<std::size_t>(cli.get_int_in("dispatchers", 1, 1, 64));
 
   const workload::WorkloadSpec& spec =
       workload::find_workload(opts.workload);
@@ -65,10 +77,12 @@ int main(int argc, char** argv) {
   std::vector<bench::Series> slowdown_series;
   std::vector<bench::Series> misroute_series;
   std::vector<bench::Series> age_series;
+  std::vector<bench::Series> modal_series;
   for (core::PolicyKind kind : policies) {
     slowdown_series.push_back({core::to_string(kind), {}});
     misroute_series.push_back({core::to_string(kind), {}});
     age_series.push_back({core::to_string(kind), {}});
+    modal_series.push_back({core::to_string(kind), {}});
   }
   for (double mult : period_multiples) {
     core::ExperimentConfig cfg = opts.experiment_config(hosts);
@@ -87,6 +101,7 @@ int main(int argc, char** argv) {
       slowdown_series[k].values.push_back(points[k].summary.mean_slowdown);
       misroute_series[k].values.push_back(points[k].summary.misroute_rate);
       age_series[k].values.push_back(points[k].summary.mean_snapshot_age);
+      modal_series[k].values.push_back(points[k].summary.modal_host_share);
       for (const core::ReplicationFailure& f : points[k].failures) {
         std::cerr << "[failure] policy=" << core::to_string(policies[k])
                   << " period=" << mult << "x replication="
@@ -104,5 +119,49 @@ int main(int argc, char** argv) {
       "period", period_multiples, misroute_series, opts.csv);
   bench::print_panel("Mean snapshot age at dispatch", "period",
                      period_multiples, age_series, opts.csv);
+  bench::print_panel(
+      "Modal-host completion share (1/hosts = balanced, 1 = herded)",
+      "period", period_multiples, modal_series, opts.csv);
+
+  if (max_dispatchers > 1) {
+    // The herding axis: dispatcher counts 1,2,4,..,D at a fixed mid-grid
+    // staleness (10x mean size). Each front-end probes on its own phase,
+    // so its snapshot is stale independently of the others'.
+    std::vector<double> dispatcher_counts;
+    for (std::size_t d = 1; d <= max_dispatchers; d *= 2) {
+      dispatcher_counts.push_back(static_cast<double>(d));
+    }
+    std::vector<bench::Series> d_slowdown;
+    std::vector<bench::Series> d_modal;
+    for (core::PolicyKind kind : policies) {
+      d_slowdown.push_back({core::to_string(kind), {}});
+      d_modal.push_back({core::to_string(kind), {}});
+    }
+    for (double d : dispatcher_counts) {
+      core::ExperimentConfig cfg = opts.experiment_config(hosts);
+      cfg.control.enabled = true;
+      cfg.control.probe_period = 10.0 * mean_size;
+      cfg.control.probe_loss = opts.probe_loss;
+      cfg.control.dispatchers = static_cast<std::uint32_t>(d);
+      cfg.control.shard = sim::ShardMode::kHash;
+      core::Workbench wb(spec, cfg);
+      const auto points = wb.sweep(policies, load, sweep);
+      for (std::size_t k = 0; k < policies.size(); ++k) {
+        d_slowdown[k].values.push_back(points[k].summary.mean_slowdown);
+        d_modal[k].values.push_back(points[k].summary.modal_host_share);
+        for (const core::ReplicationFailure& f : points[k].failures) {
+          std::cerr << "[failure] policy=" << core::to_string(policies[k])
+                    << " dispatchers=" << d << " seed=" << f.seed << ": "
+                    << f.error << "\n";
+        }
+      }
+    }
+    bench::print_panel(
+        "Mean slowdown vs dispatcher count (probe period 10x mean size)",
+        "dispatchers", dispatcher_counts, d_slowdown, opts.csv);
+    bench::print_panel(
+        "Modal-host completion share vs dispatcher count (herding)",
+        "dispatchers", dispatcher_counts, d_modal, opts.csv);
+  }
   return 0;
 }

@@ -31,8 +31,27 @@
 #      degenerate configs (zero periods, unbounded backoff caps, warm-up
 #      races, zero-patience deadlines).
 #
-# Usage: scripts/check.sh [build-dir] [tsan-build-dir] [ubsan-build-dir]
+# With --labels <regex> the script becomes a single-slice iteration loop:
+# every tree (default, TSan, UBSan) still builds, but each ctest pass runs
+# only the tests whose label matches the regex — e.g.
+#
+#   scripts/check.sh --labels control          # one slice, all three trees
+#   scripts/check.sh --labels 'control|audit'  # two slices
+#
+# instead of re-running the full tier-1 suite in every sanitizer tree.
+#
+# Usage: scripts/check.sh [--labels <regex>] [build-dir] [tsan-build-dir] [ubsan-build-dir]
 set -euo pipefail
+
+LABELS=""
+if [[ "${1:-}" == "--labels" ]]; then
+  if [[ $# -lt 2 ]]; then
+    echo "check.sh: --labels requires a ctest label regex" >&2
+    exit 2
+  fi
+  LABELS="$2"
+  shift 2
+fi
 
 BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
@@ -44,26 +63,32 @@ echo "== tier 1: configure + build =="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-echo "== tier 1: ctest =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+if [[ -n "$LABELS" ]]; then
+  echo "== tier 1: ctest -L '$LABELS' =="
+  ctest --test-dir "$BUILD_DIR" -L "$LABELS" --no-tests=error \
+    --output-on-failure -j "$(nproc)"
+else
+  echo "== tier 1: ctest =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-echo "== audit: ctest -L audit =="
-ctest --test-dir "$BUILD_DIR" -L audit --output-on-failure
+  echo "== audit: ctest -L audit =="
+  ctest --test-dir "$BUILD_DIR" -L audit --output-on-failure
 
-echo "== faults: ctest -L faults =="
-ctest --test-dir "$BUILD_DIR" -L faults --output-on-failure
+  echo "== faults: ctest -L faults =="
+  ctest --test-dir "$BUILD_DIR" -L faults --output-on-failure
 
-echo "== control: ctest -L control =="
-ctest --test-dir "$BUILD_DIR" -L control --output-on-failure
+  echo "== control: ctest -L control =="
+  ctest --test-dir "$BUILD_DIR" -L control --output-on-failure
 
-echo "== streaming: ctest -L streaming =="
-ctest --test-dir "$BUILD_DIR" -L streaming --output-on-failure
+  echo "== streaming: ctest -L streaming =="
+  ctest --test-dir "$BUILD_DIR" -L streaming --output-on-failure
 
-echo "== elastic: ctest -L elastic =="
-ctest --test-dir "$BUILD_DIR" -L elastic --output-on-failure
+  echo "== elastic: ctest -L elastic =="
+  ctest --test-dir "$BUILD_DIR" -L elastic --output-on-failure
 
-echo "== overload: ctest -L overload =="
-ctest --test-dir "$BUILD_DIR" -L overload --output-on-failure
+  echo "== overload: ctest -L overload =="
+  ctest --test-dir "$BUILD_DIR" -L overload --output-on-failure
+fi
 
 echo "== tsan: configure + build (determinism + fuzz harnesses) =="
 cmake -B "$TSAN_DIR" -S . \
@@ -74,17 +99,24 @@ cmake --build "$TSAN_DIR" -j "$(nproc)" \
   --target test_sweep_runner test_fault_property test_elastic_property \
   test_overload_property
 
-echo "== tsan: ctest -L tsan =="
-ctest --test-dir "$TSAN_DIR" -L tsan --output-on-failure
+if [[ -n "$LABELS" ]]; then
+  echo "== tsan: ctest -L '$LABELS' =="
+  # A slice with no tests in this tree is fine (e.g. --labels control):
+  # the TSan tree only builds the tsan/faults/elastic/overload targets.
+  ctest --test-dir "$TSAN_DIR" -L "$LABELS" --output-on-failure
+else
+  echo "== tsan: ctest -L tsan =="
+  ctest --test-dir "$TSAN_DIR" -L tsan --output-on-failure
 
-echo "== tsan: fault fuzz harness =="
-"$TSAN_DIR"/tests/test_fault_property
+  echo "== tsan: fault fuzz harness =="
+  "$TSAN_DIR"/tests/test_fault_property
 
-echo "== tsan: elastic fuzz harness =="
-"$TSAN_DIR"/tests/test_elastic_property
+  echo "== tsan: elastic fuzz harness =="
+  "$TSAN_DIR"/tests/test_elastic_property
 
-echo "== tsan: overload fuzz harness =="
-"$TSAN_DIR"/tests/test_overload_property
+  echo "== tsan: overload fuzz harness =="
+  "$TSAN_DIR"/tests/test_overload_property
+fi
 
 echo "== ubsan: configure + build (fault + control planes) =="
 cmake -B "$UBSAN_DIR" -S . \
@@ -93,12 +125,18 @@ cmake -B "$UBSAN_DIR" -S . \
   -DDISTSERV_BUILD_EXAMPLES=OFF
 cmake --build "$UBSAN_DIR" -j "$(nproc)" \
   --target test_faults test_fault_property test_control \
-  test_control_property test_bench_flags test_streaming test_stream_alloc \
+  test_control_property test_probe_batching test_bench_flags \
+  test_streaming test_stream_alloc \
   test_autoscaler test_elastic_property test_overload \
   test_overload_property
 
-echo "== ubsan: ctest -L 'faults|control|streaming|elastic|overload' =="
-ctest --test-dir "$UBSAN_DIR" \
-  -L 'faults|control|streaming|elastic|overload' --output-on-failure
+if [[ -n "$LABELS" ]]; then
+  echo "== ubsan: ctest -L '$LABELS' =="
+  ctest --test-dir "$UBSAN_DIR" -L "$LABELS" --output-on-failure
+else
+  echo "== ubsan: ctest -L 'faults|control|streaming|elastic|overload' =="
+  ctest --test-dir "$UBSAN_DIR" \
+    -L 'faults|control|streaming|elastic|overload' --output-on-failure
+fi
 
 echo "All checks passed."

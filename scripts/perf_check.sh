@@ -4,7 +4,9 @@
 # Runs the bench_micro_simulator throughput suite (--json mode: end-to-end
 # jobs/sec per policy at h in {2,8,32,1024} with faults/control off and on,
 # a heterogeneous-elastic row — a 1x/2x/4x 32-host fleet under the
-# hysteresis autoscaler — plus the event-queue schedule+pop rate) and
+# hysteresis autoscaler — a multi-dispatcher control row (the tracked
+# control config hash-sharded across four front-ends), plus the
+# event-queue schedule+pop rate) and
 # compares every benchmark against the checked-in baseline
 # BENCH_simulator.json:
 #
@@ -22,11 +24,24 @@
 # throughput also fell.
 #
 # The fresh run uses the job count and repetition count recorded in the
-# baseline, so the comparison is always like-for-like. Baselines are
-# machine-relative: after an intentional perf change (or on a new reference
-# machine) regenerate with
+# baseline, so the comparison is always like-for-like. Each tracked number
+# is the MEDIAN of the reps (not the best): one lucky rep cannot mask a
+# regression and one noisy-neighbor rep cannot fail the gate. The reps of
+# one suite run are back-to-back, though, so a noisy-neighbor window that
+# outlasts all three reps of a row still dents its median; as a flake
+# guard the suite therefore reruns (up to PERF_ATTEMPTS times, default 3)
+# whenever the fail gate trips, keeping the per-row MAX across attempts —
+# contention windows wander between attempts, so a transient dip recovers,
+# while a real regression fails every attempt identically. Baselines are
+# machine-relative (per-row best observed = attainable throughput): after
+# an intentional perf change (or on a new reference machine) regenerate
+# with
 #
 #   bench_micro_simulator --json BENCH_simulator.json
+#
+# Under GitHub Actions ($GITHUB_STEP_SUMMARY set) the fresh-vs-baseline
+# table is also appended to the job summary as markdown, and every
+# offending row gets a ::warning/::error annotation naming the benchmark.
 #
 # Usage: scripts/perf_check.sh [bench-binary] [baseline.json] [fresh.json]
 set -euo pipefail
@@ -59,11 +74,61 @@ print(base.get("jobs", 20000), base.get("reps", 3))
 EOF
 )
 
-echo "perf_check: running throughput suite (jobs=$JOBS reps=$REPS)"
-"$BENCH_BIN" --json "$FRESH" --jobs "$JOBS" --reps "$REPS"
+ATTEMPTS="${PERF_ATTEMPTS:-3}"
+
+# Run the suite, merging per-row max across attempts; retry only while the
+# fail gate (a row below FAIL_RATIO, or missing) is tripped.
+for (( attempt = 1; attempt <= ATTEMPTS; attempt++ )); do
+  echo "perf_check: running throughput suite (jobs=$JOBS reps=$REPS, attempt $attempt/$ATTEMPTS)"
+  ATTEMPT_JSON="$FRESH.attempt"
+  "$BENCH_BIN" --json "$ATTEMPT_JSON" --jobs "$JOBS" --reps "$REPS"
+  if (( attempt == 1 )); then
+    mv "$ATTEMPT_JSON" "$FRESH"
+  else
+    "$PYTHON" - "$FRESH" "$ATTEMPT_JSON" <<'EOF'
+import json, sys
+merged_path, attempt_path = sys.argv[1:3]
+with open(merged_path) as f:
+    merged = json.load(f)
+with open(attempt_path) as f:
+    attempt = json.load(f)
+best = {b["name"]: b for b in merged["benchmarks"]}
+for b in attempt["benchmarks"]:
+    prev = best.get(b["name"])
+    if prev is None or float(b["throughput"]) > float(prev["throughput"]):
+        best[b["name"]] = b
+merged["benchmarks"] = [best[b["name"]] for b in attempt["benchmarks"]]
+with open(merged_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+EOF
+    rm -f "$ATTEMPT_JSON"
+  fi
+  if "$PYTHON" - "$BASELINE" "$FRESH" "$FAIL_RATIO" <<'EOF'
+import json, sys
+baseline_path, fresh_path, fail_ratio = sys.argv[1:4]
+fail_ratio = float(fail_ratio)
+def load(path):
+    with open(path) as f:
+        return {b["name"]: float(b["throughput"]) for b in json.load(f)["benchmarks"]}
+base, fresh = load(baseline_path), load(fresh_path)
+ok = all(
+    name in fresh and (b <= 0 or fresh[name] / b >= fail_ratio)
+    for name, b in base.items()
+)
+sys.exit(0 if ok else 1)
+EOF
+  then
+    break
+  fi
+  if (( attempt < ATTEMPTS )); then
+    echo "perf_check: fail gate tripped, retrying (merging per-row max)"
+  fi
+done
 
 "$PYTHON" - "$BASELINE" "$FRESH" "$FAIL_RATIO" "$WARN_RATIO" "$SCALE_RATIO" <<'EOF'
 import json
+import os
 import re
 import sys
 
@@ -84,6 +149,7 @@ missing = sorted(set(base) - set(fresh))
 extra = sorted(set(fresh) - set(base))
 failures = []
 warnings = []
+rows = []  # (name, baseline, fresh, ratio, status) for the step summary
 
 width = max(len(n) for n in base) if base else 0
 print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  ratio")
@@ -93,19 +159,48 @@ for name in sorted(base):
     b, f = base[name], fresh[name]
     ratio = f / b if b > 0 else float("inf")
     mark = ""
+    status = "ok"
     if ratio < fail_ratio:
         mark = "  << FAIL"
+        status = "FAIL"
         failures.append((name, ratio))
     elif ratio < warn_ratio:
         mark = "  <- warn"
+        status = "warn"
         warnings.append((name, ratio))
+    rows.append((name, b, f, ratio, status))
     print(f"{name:<{width}}  {b:>12.0f}  {f:>12.0f}  {ratio:5.2f}x{mark}")
 
 for name in missing:
     failures.append((name, 0.0))
+    rows.append((name, base[name], 0.0, 0.0, "MISSING"))
     print(f"{name:<{width}}  missing from fresh run  << FAIL")
 for name in extra:
+    rows.append((name, 0.0, fresh[name], 0.0, "new"))
     print(f"{name:<{width}}  (new benchmark, no baseline entry)")
+
+# GitHub Actions job summary: the same table as markdown, offenders first.
+summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+if summary_path:
+    order = {"FAIL": 0, "MISSING": 0, "warn": 1, "new": 2, "ok": 3}
+    with open(summary_path, "a") as out:
+        out.write("## perf_check: fresh vs baseline (median of reps)\n\n")
+        out.write(
+            f"Gates: fail < {fail_ratio:.2f}x, warn < {warn_ratio:.2f}x, "
+            f"per-h scaling < {scale_ratio:.2f}x\n\n"
+        )
+        out.write("| benchmark | baseline | fresh | ratio | status |\n")
+        out.write("|---|---:|---:|---:|---|\n")
+        for name, b, f, ratio, status in sorted(
+            rows, key=lambda r: (order[r[4]], r[0])
+        ):
+            icon = {"FAIL": "❌", "MISSING": "❌", "warn": "⚠️",
+                    "new": "🆕", "ok": "✅"}[status]
+            out.write(
+                f"| `{name}` | {b:.0f} | {f:.0f} | {ratio:.2f}x "
+                f"| {icon} {status} |\n"
+            )
+        out.write("\n")
 
 # Per-h scaling check: normalized ratios cancel uniform machine drift, so
 # small-h vs large-h divergence isolates h-dependent cost growth.

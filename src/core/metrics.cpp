@@ -52,6 +52,22 @@ double speed_of(const RunResult& result, std::uint32_t host) {
   if (host < result.host_speeds.size()) return result.host_speeds[host];
   return 1.0;
 }
+
+/// Modal-host completion share from the per-host tallies (works for both
+/// the record-keeping and the streaming paths — HostStats are maintained
+/// online either way).
+void fill_herding_telemetry(MetricsSummary& m, const RunResult& result) {
+  std::uint64_t total = 0;
+  std::uint64_t modal = 0;
+  for (const HostStats& h : result.host_stats) {
+    total += h.jobs_completed;
+    modal = std::max(modal, h.jobs_completed);
+  }
+  if (total > 0) {
+    m.modal_host_share =
+        static_cast<double>(modal) / static_cast<double>(total);
+  }
+}
 }  // namespace
 
 MetricsSummary summarize(const RunResult& result) {
@@ -67,6 +83,7 @@ MetricsSummary summarize(const RunResult& result) {
     fill_control_telemetry(m, result);
     fill_scaling_telemetry(m, result);
     fill_overload_telemetry(m, result);
+    fill_herding_telemetry(m, result);
     if (result.makespan > 0.0) {
       m.goodput = static_cast<double>(m.jobs) / result.makespan;
     }
@@ -103,6 +120,7 @@ MetricsSummary summarize(const RunResult& result) {
   fill_control_telemetry(m, result);
   fill_scaling_telemetry(m, result);
   fill_overload_telemetry(m, result);
+  fill_herding_telemetry(m, result);
   if (result.makespan > 0.0) {
     m.goodput = static_cast<double>(m.jobs) / result.makespan;
   }
@@ -456,6 +474,7 @@ MetricsSummary average_summaries(const std::vector<MetricsSummary>& reps) {
     avg.rpc_timeouts += r.rpc_timeouts;
     avg.fallback_activations += r.fallback_activations;
     avg.misroute_rate += r.misroute_rate / n;
+    avg.modal_host_share += r.modal_host_share / n;
     avg.host_hours_powered += r.host_hours_powered / n;
     avg.host_hours_total += r.host_hours_total / n;
     avg.bounced_dispatches += r.bounced_dispatches;

@@ -34,6 +34,12 @@ struct MetricsSummary {
   std::uint64_t rpc_timeouts = 0;
   std::uint64_t fallback_activations = 0;  ///< stale + exhausted + forced
   double misroute_rate = 0.0;  ///< vs the perfect-information oracle
+  /// Fraction of completed jobs that landed on the single busiest host —
+  /// 1/h on a perfectly balanced fleet, approaching 1 when dispatchers
+  /// herd onto one apparently-least-loaded host. The multi-dispatcher
+  /// staleness sweep plots this against the dispatcher count: independent
+  /// stale snapshots agree on the same victim until their probes diverge.
+  double modal_host_share = 0.0;
   // Elastic-fleet telemetry (all zero when the autoscaler is off). The
   // powered/total ratio is the cost-of-capacity axis of the elastic sweep.
   double host_hours_powered = 0.0;  ///< integral of non-Off hosts over time

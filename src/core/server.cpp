@@ -61,7 +61,25 @@ void DistributedServer::publish_host(HostId host) {
 }
 
 const HostStateTable& DistributedServer::SnapshotView::hosts() const {
-  return server_->snapshot_table_;
+  return server_->active_snapshot();
+}
+
+const HostStateTable& DistributedServer::snapshot_table(
+    std::uint32_t dispatcher) const {
+  DS_EXPECTS(dispatcher < dispatchers_.size());
+  return dispatchers_[dispatcher].snapshot;
+}
+
+std::uint32_t DistributedServer::dispatcher_of(
+    workload::JobId id) const noexcept {
+  const std::uint32_t d = control_config_.dispatchers;
+  if (d <= 1) return 0;
+  // Job ids are assigned sequentially at arrival, so the modulus IS a
+  // round-robin; the hash mode avalanches the id first (uneven shards).
+  if (control_config_.shard == sim::ShardMode::kHash) {
+    return static_cast<std::uint32_t>(util::mix64(id) % d);
+  }
+  return static_cast<std::uint32_t>(id % d);
 }
 
 double DistributedServer::SnapshotView::now() const { return server_->now(); }
@@ -150,9 +168,16 @@ RunResult DistributedServer::run_source(workload::JobSource& source,
   policy_->reset(hosts_count_, seed);
 
   // The event list holds at most one arrival plus, per host, a pending
-  // completion, failure, repair, and probe, plus in-flight RPC timeouts;
-  // pre-sizing it keeps the steady-state loop allocation-free.
-  sim_.reserve(4 * hosts_count_ + 16);
+  // completion, failure, and repair, plus in-flight RPC timeouts; batched
+  // probes add one wheel event per dispatcher, the legacy probe path one
+  // event per (dispatcher, host). Pre-sizing keeps the steady-state loop
+  // allocation-free.
+  std::size_t probe_slots = 0;
+  if (control_enabled_ && control_config_.snapshots_enabled() &&
+      !control_config_.batch_probes) {
+    probe_slots = control_config_.dispatchers * hosts_count_;
+  }
+  sim_.reserve(4 * hosts_count_ + 16 + probe_slots);
 
   // Fault events are scheduled before the first arrival so a t=0 outage
   // precedes any t=0 arrival in the (time, sequence)-ordered event list;
@@ -189,9 +214,10 @@ RunResult DistributedServer::run_source(workload::JobSource& source,
     // A chain can outlive its job only through ack losses — the job itself
     // was placed (and resolved); an unplaced job would still be running the
     // simulation through its retry timeouts.
-    for ([[maybe_unused]] const auto& [id, p] : pending_) {
+    pending_.for_each([]([[maybe_unused]] workload::JobId id,
+                         [[maybe_unused]] const PendingDispatch& p) {
       DS_ASSERT(p.enqueued);
-    }
+    });
     control_stats_.chains_outstanding = pending_.size();
     result.control = control_stats_;
   }
@@ -244,7 +270,14 @@ void DistributedServer::on_event(const sim::Event& event) {
       fault_up(event.host, event.flag);
       return;
     case sim::EventKind::kProbe:
-      probe_fired(event.host);
+      // The encoding is fixed per run by batch_probes: a wheel event
+      // carries the dispatcher in `host`; a legacy per-host probe carries
+      // the host in `host` and the dispatcher in `id`.
+      if (control_config_.batch_probes) {
+        wheel_fired(static_cast<std::uint32_t>(event.host));
+      } else {
+        probe_fired(static_cast<std::uint32_t>(event.id), event.host);
+      }
       return;
     case sim::EventKind::kRpcTimeout:
       rpc_timeout_fired(event.id, event.epoch);
@@ -303,6 +336,11 @@ void DistributedServer::route(const workload::Job& job) {
     hold_centrally(job);
     return;
   }
+  // Every control-path decision for this job runs under its owner
+  // dispatcher: that dispatcher's snapshot staleness, probe state, and RPC
+  // streams. The owner is a pure function of the id, so resubmissions and
+  // migrations land back on the same front-end.
+  active_dispatcher_ = dispatcher_of(job.id);
   // Degraded information: a state-sensitive policy is never fed a snapshot
   // older than the configured bound — escalate to its first fallback
   // instead of routing on state that stale.
@@ -310,7 +348,7 @@ void DistributedServer::route(const workload::Job& job) {
   if (control_config_.snapshots_enabled() &&
       control_config_.staleness_bound > 0.0 && degraded_.state_sensitive &&
       !degraded_.fallback_chain.empty() &&
-      snapshot_table_.max_age(sim_.now()) > control_config_.staleness_bound) {
+      active_snapshot().max_age(sim_.now()) > control_config_.staleness_bound) {
     ++control_stats_.escalations_stale;
     if (auditor_) {
       auditor_->on_fallback(job.id, 0, 1,
@@ -328,7 +366,7 @@ void DistributedServer::route_at_level(const workload::Job& job,
   const double now = sim_.now();
   double age = 0.0;
   if (control_config_.snapshots_enabled()) {
-    age = snapshot_table_.max_age(now);
+    age = active_snapshot().max_age(now);
     ++control_stats_.routed;
     control_stats_.snapshot_age_sum += age;
     control_stats_.snapshot_age_max =
@@ -337,7 +375,8 @@ void DistributedServer::route_at_level(const workload::Job& job,
   if (auditor_) {
     auditor_->on_control_route(job.id, now, age,
                                control_config_.staleness_bound,
-                               degraded_.state_sensitive, level);
+                               degraded_.state_sensitive, level,
+                               active_dispatcher_);
   }
   std::optional<HostId> choice;
   if (level == 0) {
@@ -345,8 +384,9 @@ void DistributedServer::route_at_level(const workload::Job& job,
     // Misrouting oracle: for pure policies, re-evaluating on live state is
     // side-effect free and tells us whether staleness changed the decision.
     if (choice && control_config_.snapshots_enabled() &&
-        degraded_.assign_pure) {
+        control_config_.misroute_oracle && degraded_.assign_pure) {
       ++control_stats_.oracle_comparisons;
+      if (auditor_) auditor_->on_oracle(job.id, now);
       const std::optional<HostId> live = policy_->assign(job, *this);
       if (!live || *live != *choice) ++control_stats_.misrouted;
     }
@@ -396,7 +436,7 @@ std::optional<HostId> DistributedServer::assign_fallback(
   // control stream exactly as the old build-a-candidate-vector code did,
   // without the O(h) rebuild per fallback.
   const HostBitset& up = live_table_.up_bits();
-  dist::Rng& rng = control_.fallback_rng();
+  dist::Rng& rng = active_plane().fallback_rng();
   if (kind == FallbackKind::kRandomInRange && hint) {
     // The candidate window is at most three hosts around the failed
     // target; gather it directly off the bitset (falls through to the
@@ -444,18 +484,22 @@ void DistributedServer::commit_route(const workload::Job& job, HostId target,
   // Fresh chains insert; escalated chains overwrite their own entry. Either
   // way the job cannot already be placed (escalation requires !enqueued,
   // and a resubmission cancelled its old chain first).
-  PendingDispatch& p = pending_[job.id];
+  PendingDispatch& p = pending_.upsert(job.id);
   DS_ASSERT(!p.enqueued);
   p = PendingDispatch{job, target, 0, level, false, ++rpc_epoch_};
   send_dispatch(job.id);
 }
 
 void DistributedServer::send_dispatch(workload::JobId id) {
-  PendingDispatch& p = pending_.at(id);
+  PendingDispatch* const slot = pending_.find(id);
+  DS_ASSERT(slot != nullptr);
+  PendingDispatch& p = *slot;
   const double now = sim_.now();
   ++control_stats_.requests_sent;
-  if (auditor_) auditor_->on_rpc_send(id, p.target, p.attempt, now);
-  bool lost = control_.request_lost();
+  if (auditor_) {
+    auditor_->on_rpc_send(id, p.target, p.attempt, now, active_dispatcher_);
+  }
+  bool lost = active_plane().request_lost();
   // A down host has no receiver: the request is lost regardless of the
   // draw (the draw is still consumed, keeping the stream aligned).
   if (!hosts_[p.target].up) lost = true;
@@ -511,7 +555,7 @@ void DistributedServer::send_dispatch(workload::JobId id) {
       }
     }
   }
-  if (control_.ack_lost()) {
+  if (active_plane().ack_lost()) {
     ++control_stats_.acks_lost;
     if (auditor_) {
       auditor_->on_rpc_outcome(id, sim::QueueingAuditor::RpcOutcome::kAckLost,
@@ -524,24 +568,29 @@ void DistributedServer::send_dispatch(workload::JobId id) {
 }
 
 void DistributedServer::schedule_rpc_timeout(workload::JobId id) {
-  const PendingDispatch& p = pending_.at(id);
-  const double delay = control_config_.rpc_timeout + control_.backoff(p.attempt);
-  sim_.schedule_in(delay, sim::Event::rpc_timeout(id, p.epoch));
+  const PendingDispatch* const p = pending_.find(id);
+  DS_ASSERT(p != nullptr);
+  const double delay =
+      control_config_.rpc_timeout + active_plane().backoff(p->attempt);
+  sim_.schedule_in(delay, sim::Event::rpc_timeout(id, p->epoch));
 }
 
 void DistributedServer::rpc_timeout_fired(workload::JobId id,
                                           std::uint64_t epoch) {
-  const auto it = pending_.find(id);
+  PendingDispatch* const slot = pending_.find(id);
   // A mismatched epoch marks a cancelled chain (the job was interrupted
   // and resubmitted; its new chain has a fresh epoch).
-  if (it == pending_.end() || it->second.epoch != epoch) return;
+  if (slot == nullptr || slot->epoch != epoch) return;
+  // Retries and escalations run under the chain's owner dispatcher (a pure
+  // function of the id, so no owner field is needed).
+  active_dispatcher_ = dispatcher_of(id);
   const double now = sim_.now();
   ++control_stats_.timeouts;
   if (auditor_) {
     auditor_->on_rpc_outcome(id, sim::QueueingAuditor::RpcOutcome::kTimeout,
                              now);
   }
-  PendingDispatch& p = it->second;
+  PendingDispatch& p = *slot;
   if (p.attempt < control_config_.max_retries) {
     ++p.attempt;
     ++control_stats_.retries;
@@ -552,7 +601,7 @@ void DistributedServer::rpc_timeout_fired(workload::JobId id,
   if (p.enqueued) {
     // Only acks were lost; the idempotency key proves the job is placed.
     ++control_stats_.reconciled;
-    pending_.erase(it);
+    pending_.erase(id);
     return;
   }
   const std::uint32_t next_level = p.level + 1;
@@ -574,7 +623,7 @@ void DistributedServer::rpc_timeout_fired(workload::JobId id,
                           sim::QueueingAuditor::FallbackReason::kForced, now);
   }
   const workload::Job job = p.job;
-  pending_.erase(it);
+  pending_.erase(id);
   force_place(job);
 }
 
@@ -778,42 +827,113 @@ void DistributedServer::note_job_done() {
 }
 
 void DistributedServer::begin_control(std::uint64_t seed) {
-  control_ = sim::ControlPlane(control_config_, hosts_count_, seed);
   control_stats_ = sim::ControlStats{};
   pending_.clear();
+  pending_.reserve(64);  // grows once if a loss storm piles up more chains
   rpc_epoch_ = 0;
+  active_dispatcher_ = 0;
   degraded_ = policy_->degraded_info();
-  // The dispatcher starts with a fresh t=0 observation of the empty system
-  // (it booted the hosts; it knows they are empty).
-  snapshot_table_.reset(hosts_count_, HostStateTable::Semantics::kObserved);
-  if (heterogeneous_) {
-    for (HostId h = 0; h < hosts_count_; ++h) {
-      snapshot_table_.set_speed(h, speeds_[h], class_ids_[h]);
+  const std::uint32_t d = control_config_.dispatchers;
+  dispatchers_.clear();
+  dispatchers_.resize(d);
+  for (std::uint32_t k = 0; k < d; ++k) {
+    DispatcherState& ds = dispatchers_[k];
+    // Dispatcher 0 is seeded exactly as the single-dispatcher plane was,
+    // so d = 1 consumes identical draws and stays bit-identical; siblings
+    // get salted, decorrelated streams.
+    ds.plane = sim::ControlPlane(
+        control_config_, hosts_count_,
+        sim::ControlPlane::dispatcher_seed(seed, k));
+    // Each dispatcher starts with a fresh t=0 observation of the empty
+    // system (it booted the hosts; it knows they are empty).
+    ds.snapshot.reset(hosts_count_, HostStateTable::Semantics::kObserved);
+    if (heterogeneous_) {
+      for (HostId h = 0; h < hosts_count_; ++h) {
+        ds.snapshot.set_speed(h, speeds_[h], class_ids_[h]);
+      }
     }
-  }
-  if (control_config_.snapshots_enabled()) {
-    for (HostId h = 0; h < hosts_count_; ++h) {
-      sim_.schedule_at(control_.first_probe_at(h), sim::Event::probe(h));
+    if (!control_config_.snapshots_enabled()) continue;
+    if (control_config_.batch_probes) {
+      // Probe wheel: per-host due-times start at the jittered phases; the
+      // sweep order is fixed once — every host advances by the same
+      // period, so the (due, host) order never changes. One timer event
+      // per distinct due-time replaces h heap events.
+      ds.probe_due.resize(hosts_count_);
+      ds.probe_order.resize(hosts_count_);
+      for (HostId h = 0; h < hosts_count_; ++h) {
+        ds.probe_due[h] = ds.plane.first_probe_at(h);
+        ds.probe_order[h] = h;
+      }
+      std::sort(ds.probe_order.begin(), ds.probe_order.end(),
+                [&ds](HostId a, HostId b) {
+                  if (ds.probe_due[a] != ds.probe_due[b]) {
+                    return ds.probe_due[a] < ds.probe_due[b];
+                  }
+                  return a < b;
+                });
+      ds.probe_cursor = 0;
+      // The wheel event carries the dispatcher index in the host field.
+      sim_.schedule_at(ds.probe_due[ds.probe_order[0]],
+                       sim::Event::probe(k));
+    } else {
+      for (HostId h = 0; h < hosts_count_; ++h) {
+        sim::Event probe = sim::Event::probe(h);
+        probe.id = k;  // legacy encoding: dispatcher rides in the id field
+        sim_.schedule_at(ds.plane.first_probe_at(h), probe);
+      }
     }
   }
 }
 
-void DistributedServer::probe_fired(HostId host) {
-  if (all_jobs_done()) return;  // run is winding down; stop the probe chain
+void DistributedServer::probe_host(std::uint32_t dispatcher, HostId host) {
+  DispatcherState& ds = dispatchers_[dispatcher];
   const double t = sim_.now();
   ++control_stats_.probes_sent;
-  const bool lost = control_.probe_lost(host);
+  const bool lost = ds.plane.probe_lost(host);
   if (lost) {
     ++control_stats_.probes_lost;  // the old observation stays in place
   } else {
-    snapshot_table_.set_up(host, live_table_.up(host));
-    snapshot_table_.set_observation(host, live_table_.queue_length(host),
-                                    live_table_.work_left(host, t),
-                                    live_table_.idle(host), t,
-                                    control_.snapshot_jitter(host));
+    // Incremental snapshot maintenance: patch exactly one row of the
+    // owner's kObserved table; the argmin trees go dirty per-row and
+    // flush lazily at the next policy read (PR-6 machinery).
+    ds.snapshot.set_up(host, live_table_.up(host));
+    ds.snapshot.set_observation(host, live_table_.queue_length(host),
+                                live_table_.work_left(host, t),
+                                live_table_.idle(host), t,
+                                ds.plane.snapshot_jitter(host));
   }
-  if (auditor_) auditor_->on_probe(host, t, lost);
-  sim_.schedule_in(control_config_.probe_period, sim::Event::probe(host));
+  if (auditor_) auditor_->on_probe(host, t, lost, dispatcher);
+}
+
+void DistributedServer::probe_fired(std::uint32_t dispatcher, HostId host) {
+  if (all_jobs_done()) return;  // run is winding down; stop the probe chain
+  probe_host(dispatcher, host);
+  sim::Event probe = sim::Event::probe(host);
+  probe.id = dispatcher;
+  sim_.schedule_in(control_config_.probe_period, probe);
+}
+
+void DistributedServer::wheel_fired(std::uint32_t dispatcher) {
+  if (all_jobs_done()) return;  // run is winding down; stop the wheel
+  DispatcherState& ds = dispatchers_[dispatcher];
+  const double t = sim_.now();
+  const std::size_t n = ds.probe_order.size();
+  // Sweep every host due exactly now, in the fixed (due, host) order — the
+  // same order the per-host path fires them (equal-time events fire in
+  // scheduling order, which is host-ascending by induction). Advancing by
+  // `+= period` reproduces the per-host path's schedule_in(now + period)
+  // accumulation bit for bit.
+  std::size_t cursor = ds.probe_cursor;
+  do {
+    const HostId host = ds.probe_order[cursor];
+    if (ds.probe_due[host] != t) break;
+    probe_host(dispatcher, host);
+    ds.probe_due[host] += control_config_.probe_period;
+    cursor = cursor + 1 < n ? cursor + 1 : 0;
+  } while (cursor != ds.probe_cursor);
+  ds.probe_cursor = cursor;
+  sim_.schedule_at(ds.probe_due[ds.probe_order[cursor]],
+                   sim::Event::probe(dispatcher));
 }
 
 void DistributedServer::begin_faults(std::uint64_t seed) {
@@ -921,7 +1041,7 @@ void DistributedServer::interrupt_running(HostId host) {
       // A live RPC chain for this job (an ack-loss retry still in flight)
       // is moot once the job leaves the host: cancel it so the resubmission
       // opens a fresh chain. The orphaned timeout event is epoch-fenced.
-      if (control_enabled_ && pending_.erase(id) > 0) {
+      if (control_enabled_ && pending_.erase(id)) {
         ++control_stats_.cancelled;
         if (auditor_) {
           auditor_->on_rpc_outcome(
@@ -989,8 +1109,10 @@ void DistributedServer::begin_overload(std::uint64_t seed) {
   // ClassSita) can steer around full hosts; reset() cleared them.
   live_table_.set_caps(overload_config_.queue_cap, overload_config_.backlog_cap);
   if (control_enabled_) {
-    snapshot_table_.set_caps(overload_config_.queue_cap,
-                             overload_config_.backlog_cap);
+    for (DispatcherState& ds : dispatchers_) {
+      ds.snapshot.set_caps(overload_config_.queue_cap,
+                           overload_config_.backlog_cap);
+    }
   }
 }
 
@@ -1134,7 +1256,7 @@ void DistributedServer::migrate_queue(HostId host, bool drain) {
     // A live RPC chain (an ack-loss retry still in flight) for a migrated
     // job is moot: the re-route opens a fresh chain, so cancel the old one
     // (its orphaned timeout event is epoch-fenced by the erase).
-    if (control_enabled_ && pending_.erase(job.id) > 0) {
+    if (control_enabled_ && pending_.erase(job.id)) {
       ++control_stats_.cancelled;
       if (auditor_) {
         auditor_->on_rpc_outcome(

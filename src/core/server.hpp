@@ -25,6 +25,7 @@
 #include "sim/faults.hpp"
 #include "sim/overload.hpp"
 #include "sim/simulator.hpp"
+#include "util/slot_map.hpp"
 #include "workload/job_source.hpp"
 #include "workload/trace.hpp"
 
@@ -158,6 +159,13 @@ class DistributedServer final : public ServerView,
   /// All speeds 1.0 is bit-identical to never calling this (x / 1.0 == x).
   void set_host_speeds(std::vector<double> speeds);
 
+  /// Dispatcher `k`'s probe-refreshed kObserved snapshot table, as left by
+  /// the last run (control runs only). Test hook: the probe-batching
+  /// equivalence wall compares these tables bit-for-bit across probe-path
+  /// variants.
+  [[nodiscard]] const HostStateTable& snapshot_table(
+      std::uint32_t dispatcher = 0) const;
+
   // ServerView interface (used by policies during run()): the live host
   // table, maintained in lockstep with every host mutation.
   [[nodiscard]] const HostStateTable& hosts() const override {
@@ -218,6 +226,27 @@ class DistributedServer final : public ServerView,
     std::uint64_t epoch = 0;
   };
 
+  /// One dispatcher front-end: its own control-plane RNG streams, its own
+  /// probe-refreshed kObserved table (independently stale from every
+  /// sibling's), and its own batched probe wheel. Single-dispatcher runs
+  /// hold exactly one of these, seeded so every draw matches the
+  /// pre-multi-dispatcher plane bit for bit.
+  struct DispatcherState {
+    sim::ControlPlane plane;
+    HostStateTable snapshot;
+    /// Batched-probe wheel: each host's next probe due-time, advanced by
+    /// `+= probe_period` on fire — the identical floating-point recurrence
+    /// the per-host event path produces, so observation times match bit
+    /// for bit. All hosts advance by the same period, so the (due, host)
+    /// order fixed at t=0 is invariant: `order` is sorted once and
+    /// `cursor` walks it cyclically; one timer event per distinct due time
+    /// sweeps every host sharing it (with probe_jitter = 0 that is the
+    /// whole fleet in one tight loop).
+    std::vector<double> probe_due;
+    std::vector<HostId> probe_order;
+    std::size_t probe_cursor = 0;
+  };
+
   /// Typed event dispatch (the simulation's inner loop).
   void on_event(const sim::Event& event) override;
 
@@ -266,7 +295,18 @@ class DistributedServer final : public ServerView,
   void hold_centrally(const workload::Job& job);
   // Control-plane event handlers.
   void begin_control(std::uint64_t seed);
-  void probe_fired(HostId host);
+  /// Owner dispatcher of `id`: a pure function of the job id (so
+  /// resubmitted and migrated jobs recompute the same owner), per the
+  /// configured ShardMode. Always 0 with one dispatcher.
+  [[nodiscard]] std::uint32_t dispatcher_of(workload::JobId id) const noexcept;
+  /// One probe of `host` by dispatcher `dispatcher`: the shared draw/
+  /// observe/audit sequence of both probe paths.
+  void probe_host(std::uint32_t dispatcher, HostId host);
+  /// Legacy per-host probe event (batch_probes == false): probe + reschedule.
+  void probe_fired(std::uint32_t dispatcher, HostId host);
+  /// Batched probe wheel event: sweeps every host of `dispatcher` whose
+  /// due-time equals now, then schedules one event at the next due-time.
+  void wheel_fired(std::uint32_t dispatcher);
   void dispatch_to_host(HostId host, const workload::Job& job);
   void start_service(HostId host, const workload::Job& job,
                      sim::QueueingAuditor::StartSource source);
@@ -378,15 +418,32 @@ class DistributedServer final : public ServerView,
   // Control plane (inert unless enable_control turned it on).
   bool control_enabled_ = false;
   sim::ControlPlaneConfig control_config_;
-  sim::ControlPlane control_;
-  /// Probe-refreshed kObserved table (the dispatcher's state cache); its
-  /// incremental min-timestamp index makes the per-route staleness check
-  /// O(1) instead of an O(h) rescan.
-  HostStateTable snapshot_table_;
+  /// The dispatcher front-ends (one per ControlPlaneConfig::dispatchers);
+  /// each owns its plane, snapshot table, and probe wheel. Every probe is
+  /// an incremental patch of one row of the owner's kObserved table — the
+  /// argmin trees go dirty per-row and flush lazily (PR-6 machinery), no
+  /// view is ever rebuilt.
+  std::vector<DispatcherState> dispatchers_;
+  /// The dispatcher whose state the current control-path code runs under;
+  /// set at the route()/rpc_timeout_fired()/probe entry points.
+  std::uint32_t active_dispatcher_ = 0;
+  [[nodiscard]] sim::ControlPlane& active_plane() noexcept {
+    return dispatchers_[active_dispatcher_].plane;
+  }
+  [[nodiscard]] HostStateTable& active_snapshot() noexcept {
+    return dispatchers_[active_dispatcher_].snapshot;
+  }
+  [[nodiscard]] const HostStateTable& active_snapshot() const noexcept {
+    return dispatchers_[active_dispatcher_].snapshot;
+  }
   sim::ControlStats control_stats_;
   SnapshotView snapshot_view_{this};
   DegradedInfo degraded_;
-  std::unordered_map<workload::JobId, PendingDispatch> pending_;
+  /// In-flight RPC chains keyed by job id. A slot-pooled map (not an
+  /// unordered_map): the steady state inserts and erases one chain per
+  /// routed job, and the pool recycles slots without touching the
+  /// allocator — the dominant per-dispatch cost before this existed.
+  util::SlotMap<workload::JobId, PendingDispatch> pending_;
   std::uint64_t rpc_epoch_ = 0;
   // Overload model (inert unless enable_overload turned it on).
   bool overload_enabled_ = false;

@@ -47,7 +47,8 @@ std::string AuditReport::to_string() const {
         << " rpc_ack_losses=" << rpc_ack_losses
         << " rpc_timeouts=" << rpc_timeouts << " rpc_cancels=" << rpc_cancels
         << " fallbacks=" << fallbacks
-        << " stale_escalations=" << stale_escalations;
+        << " stale_escalations=" << stale_escalations
+        << " oracle_checks=" << oracle_checks;
   }
   for (const AuditViolation& v : violations) {
     out << "\n  [" << v.invariant << "] t=" << v.time << " " << v.detail;
@@ -80,6 +81,8 @@ void QueueingAuditor::begin_run(std::size_t hosts) {
   DS_EXPECTS(hosts >= 1);
   report_ = AuditReport{};
   hosts_.assign(hosts, HostShadow{});
+  probe_shadows_.clear();
+  probe_hits_.clear();
   jobs_.clear();
   central_held_ = 0;
   system_n_ = 0;
@@ -790,42 +793,77 @@ void QueueingAuditor::on_power_state(HostIndex host, PowerState next, Time t) {
   settled_dirty_ = true;
 }
 
-void QueueingAuditor::on_probe(HostIndex host, Time t, bool lost) {
+std::vector<Time>& QueueingAuditor::probe_shadow(std::uint32_t dispatcher) {
+  if (dispatcher >= probe_shadows_.size()) {
+    probe_shadows_.resize(dispatcher + 1);
+    probe_hits_.resize(dispatcher + 1, 0);
+  }
+  std::vector<Time>& shadow = probe_shadows_[dispatcher];
+  if (shadow.size() != hosts_.size()) shadow.assign(hosts_.size(), 0.0);
+  return shadow;
+}
+
+void QueueingAuditor::check_owner(JobShadow& job, JobId id,
+                                  std::uint32_t dispatcher, const char* hook,
+                                  Time t) {
+  if (!job.dispatcher_pinned) {
+    job.dispatcher = dispatcher;
+    job.dispatcher_pinned = true;
+    return;
+  }
+  if (job.dispatcher != dispatcher) {
+    std::ostringstream detail;
+    detail << describe_job(id) << " owned by dispatcher " << job.dispatcher
+           << " but " << hook << " came from dispatcher " << dispatcher;
+    violate("dispatcher-ownership", t, detail.str());
+  }
+}
+
+void QueueingAuditor::on_probe(HostIndex host, Time t, bool lost,
+                               std::uint32_t dispatcher) {
   ++report_.probes;
-  HostShadow* h = find_host(host, "on_probe", t);
-  if (h == nullptr) return;
+  if (find_host(host, "on_probe", t) == nullptr) return;
   if (lost) {
     ++report_.probe_losses;
     return;  // the previous observation stays in place
   }
-  if (t + config_.time_tol < h->last_probe) {
+  std::vector<Time>& shadow = probe_shadow(dispatcher);
+  if (t + config_.time_tol < shadow[host]) {
     violate("event-monotonicity", t,
-            describe_host(host) + " probed in the past");
+            describe_host(host) + " probed in the past by dispatcher " +
+                std::to_string(dispatcher));
   }
-  h->last_probe = t;
+  shadow[host] = t;
+  ++probe_hits_[dispatcher];
 }
 
 void QueueingAuditor::on_control_route(JobId id, Time t, double age,
                                        double bound, bool stale_sensitive,
-                                       std::uint32_t level) {
+                                       std::uint32_t level,
+                                       std::uint32_t dispatcher) {
   ++report_.control_routes;
-  if (find_job(id, "on_control_route", t) == nullptr) return;
-  // Shadow recomputation: the oldest successful probe over all hosts must
-  // reproduce the snapshot age the server claims it routed under. Before
-  // the first probe the shadow cannot distinguish snapshots-disabled
-  // (reported age 0) from all-observations-at-t=0, so the check only arms
-  // once a probe has been seen.
-  if (report_.probes > 0) {
+  JobShadow* job = find_job(id, "on_control_route", t);
+  if (job == nullptr) return;
+  check_owner(*job, id, dispatcher, "on_control_route", t);
+  if (level == 0) job->last_primary_route = t;
+  // Shadow recomputation: the oldest successful probe by *this dispatcher*
+  // over all hosts must reproduce the snapshot age the server claims it
+  // routed under — each dispatcher's kObserved table is fed only by its own
+  // probe stream. Before the dispatcher's first probe the shadow cannot
+  // distinguish snapshots-disabled (reported age 0) from
+  // all-observations-at-t=0, so the check arms per dispatcher.
+  if (dispatcher < probe_hits_.size() && probe_hits_[dispatcher] > 0) {
     Time oldest = t;
-    for (const HostShadow& h : hosts_) {
-      oldest = std::min(oldest, h.last_probe);
+    for (const Time last : probe_shadows_[dispatcher]) {
+      oldest = std::min(oldest, last);
     }
     const double expected = t - oldest;
     if (!stats::close(age, expected, config_.accounting_rtol,
                       config_.time_tol)) {
       std::ostringstream detail;
-      detail << describe_job(id) << " routed under reported snapshot age "
-             << age << ", probe stream implies " << expected;
+      detail << describe_job(id) << " routed by dispatcher " << dispatcher
+             << " under reported snapshot age " << age
+             << ", probe stream implies " << expected;
       violate("snapshot-age", t, detail.str());
     }
   }
@@ -840,11 +878,30 @@ void QueueingAuditor::on_control_route(JobId id, Time t, double age,
 }
 
 void QueueingAuditor::on_rpc_send(JobId id, HostIndex host,
-                                  std::uint32_t attempt, Time t) {
+                                  std::uint32_t attempt, Time t,
+                                  std::uint32_t dispatcher) {
   ++report_.rpc_sends;
-  if (find_job(id, "on_rpc_send", t) == nullptr) return;
+  JobShadow* job = find_job(id, "on_rpc_send", t);
+  if (job == nullptr) return;
   if (find_host(host, "on_rpc_send", t) == nullptr) return;
+  check_owner(*job, id, dispatcher, "on_rpc_send", t);
   (void)attempt;
+}
+
+void QueueingAuditor::on_oracle(JobId id, Time t) {
+  ++report_.oracle_checks;
+  JobShadow* job = find_job(id, "on_oracle", t);
+  if (job == nullptr) return;
+  // The oracle is a side-effect-free re-evaluation inside the job's
+  // primary-level routing decision: it must fire at the same instant as
+  // that route, never standalone or after the fact.
+  if (job->last_primary_route < 0.0 ||
+      std::abs(t - job->last_primary_route) > config_.time_tol) {
+    std::ostringstream detail;
+    detail << describe_job(id) << " oracle comparison at t=" << t
+           << " outside a primary-level routing decision";
+    violate("misroute-oracle", t, detail.str());
+  }
 }
 
 void QueueingAuditor::on_rpc_outcome(JobId id, RpcOutcome outcome, Time t) {
@@ -901,6 +958,15 @@ void QueueingAuditor::on_fallback(JobId id, std::uint32_t from_level,
 
 AuditReport QueueingAuditor::finalize(Time end) {
   if (settled_dirty_) check_settled(last_event_);
+  // Each oracle comparison rides inside one routing decision, so the run
+  // totals must obey oracle_checks <= control_routes (misroute-oracle).
+  if (report_.oracle_checks > report_.control_routes) {
+    violate("misroute-oracle", end,
+            std::to_string(report_.oracle_checks) +
+                " oracle comparison(s) but only " +
+                std::to_string(report_.control_routes) +
+                " control route(s)");
+  }
   if (report_.arrivals !=
       report_.completions + report_.abandoned + report_.shed +
           report_.reneged) {

@@ -47,7 +47,16 @@
 //                            a second non-duplicate delivery, or a duplicate
 //                            claim for a never-placed job, is a violation;
 //   * fallback-chain       — escalations walk strictly forward through the
-//                            fallback chain, one level at a time.
+//                            fallback chain, one level at a time;
+//   * dispatcher-ownership — in multi-dispatcher mode every control-plane
+//                            action for a job (route, RPC send) comes from
+//                            the dispatcher that owns the job; ownership is
+//                            pinned by the first control hook and never
+//                            changes;
+//   * misroute-oracle      — the misrouting oracle fires only inside a
+//                            primary-level routing decision of a known job
+//                            (same job, same instant), and the total oracle
+//                            comparisons never exceed the control routes.
 // Overload-protection invariants (sim/overload.hpp; inert without it):
 //   * overload-semantics   — only a job still waiting (queued at a host or
 //                            held centrally) can renege; only an arriving or
@@ -151,6 +160,7 @@ struct AuditReport {
   std::uint64_t rpc_cancels = 0;        ///< chains dropped by a resubmission
   std::uint64_t fallbacks = 0;          ///< escalations, forced included
   std::uint64_t stale_escalations = 0;  ///< triggered by the staleness bound
+  std::uint64_t oracle_checks = 0;      ///< misrouting-oracle comparisons
   bool finalized = false;         ///< drain-time checks ran
 
   [[nodiscard]] bool ok() const noexcept {
@@ -259,17 +269,26 @@ class QueueingAuditor {
   /// no work out of the powered states (power-semantics).
   void on_power_state(HostIndex host, PowerState next, Time t);
   // Control-plane hooks (sim/control_plane.hpp). A probe observed `host`
-  // at `t` (or was lost); the shadow probe times feed the snapshot-age
-  // recomputation.
-  void on_probe(HostIndex host, Time t, bool lost);
+  // at `t` (or was lost) on behalf of `dispatcher`; the per-dispatcher
+  // shadow probe times feed the snapshot-age recomputation.
+  void on_probe(HostIndex host, Time t, bool lost,
+                std::uint32_t dispatcher = 0);
   /// A routing decision was made under snapshots: `age` is the snapshot's
   /// max_age the server used, `bound` the active staleness bound (0 =
   /// unbounded), `stale_sensitive` whether the primary policy declares
   /// state sensitivity, and `level` the fallback level that routed (0 =
-  /// primary). Checks stale-dispatch and the snapshot-age shadow.
+  /// primary). Checks stale-dispatch, the snapshot-age shadow (against the
+  /// calling dispatcher's own probe stream) and dispatcher ownership.
   void on_control_route(JobId id, Time t, double age, double bound,
-                        bool stale_sensitive, std::uint32_t level);
-  void on_rpc_send(JobId id, HostIndex host, std::uint32_t attempt, Time t);
+                        bool stale_sensitive, std::uint32_t level,
+                        std::uint32_t dispatcher = 0);
+  void on_rpc_send(JobId id, HostIndex host, std::uint32_t attempt, Time t,
+                   std::uint32_t dispatcher = 0);
+  /// The server ran the misrouting oracle (a side-effect-free re-evaluation
+  /// of the primary policy on live state) for `id`. Legal only inside the
+  /// job's primary-level routing decision at this same instant
+  /// (misroute-oracle).
+  void on_oracle(JobId id, Time t);
   /// One RPC event for `id` (see RpcOutcome). Checks at-most-once-enqueue
   /// via the job's placed flag.
   void on_rpc_outcome(JobId id, RpcOutcome outcome, Time t);
@@ -307,6 +326,14 @@ class QueueingAuditor {
     /// An RPC delivery placed this job (cleared on resubmit): the
     /// idempotency key's shadow for the at-most-once-enqueue check.
     bool rpc_placed = false;
+    /// Owner dispatcher, pinned by the job's first control-plane hook;
+    /// every later control hook must come from the same dispatcher
+    /// (dispatcher-ownership).
+    std::uint32_t dispatcher = 0;
+    bool dispatcher_pinned = false;
+    /// Time of the job's last primary-level control route (< 0 = never);
+    /// the misrouting oracle may only fire inside such a decision.
+    Time last_primary_route = -1.0;
   };
 
   struct HostShadow {
@@ -315,7 +342,6 @@ class QueueingAuditor {
     bool up = true;           ///< mirrors the failure model's host state
     /// Mirrors the autoscaler's power state (kUp forever when not elastic).
     PowerState power = PowerState::kUp;
-    Time last_probe = 0.0;    ///< last successful control-plane probe
     JobId running = 0;
     Time service_start = 0.0;
     double service_time = 0.0;  ///< host-local duration of the running job
@@ -344,11 +370,25 @@ class QueueingAuditor {
   void check_settled(Time t);
   JobShadow* find_job(JobId id, const char* hook, Time t);
   HostShadow* find_host(HostIndex host, const char* hook, Time t);
+  /// The per-dispatcher probe-time shadow for `dispatcher`, grown lazily
+  /// (begin_run does not know the dispatcher count). One Time per host;
+  /// 0.0 = never probed.
+  std::vector<Time>& probe_shadow(std::uint32_t dispatcher);
+  /// Pins or checks the job's owner dispatcher (dispatcher-ownership).
+  void check_owner(JobShadow& job, JobId id, std::uint32_t dispatcher,
+                   const char* hook, Time t);
 
   AuditConfig config_;
   std::function<HostIndex(double)> expected_route_;
   AuditReport report_;
   std::vector<HostShadow> hosts_;
+  /// probe_shadows_[d][h] = last successful probe of host h by dispatcher
+  /// d; lazily grown per dispatcher on first use. probe_hits_[d] counts
+  /// dispatcher d's successful probes — the snapshot-age check arms per
+  /// dispatcher once its own probe stream has produced an observation
+  /// (probe times alone cannot distinguish "probed at t=0" from "never").
+  std::vector<std::vector<Time>> probe_shadows_;
+  std::vector<std::uint64_t> probe_hits_;
   std::unordered_map<JobId, JobShadow> jobs_;
   std::size_t central_held_ = 0;
   std::size_t system_n_ = 0;

@@ -16,6 +16,11 @@ constexpr std::array kAllFallbackModes = {
     FallbackMode::kNone,
 };
 
+constexpr std::array kAllShardModes = {
+    ShardMode::kRoundRobin,
+    ShardMode::kHash,
+};
+
 }  // namespace
 
 std::string to_string(FallbackMode mode) {
@@ -47,6 +52,34 @@ std::vector<std::string> registered_fallback_modes() {
   return names;
 }
 
+std::string to_string(ShardMode mode) {
+  switch (mode) {
+    case ShardMode::kRoundRobin: return "round-robin";
+    case ShardMode::kHash: return "hash";
+  }
+  return "?";
+}
+
+std::optional<ShardMode> shard_from_string(std::string_view name) {
+  for (ShardMode mode : kAllShardModes) {
+    if (util::iequals(to_string(mode), name)) return mode;
+  }
+  return std::nullopt;
+}
+
+std::span<const ShardMode> all_shard_modes() noexcept {
+  return kAllShardModes;
+}
+
+std::vector<std::string> registered_shard_modes() {
+  std::vector<std::string> names;
+  names.reserve(kAllShardModes.size());
+  for (ShardMode mode : kAllShardModes) {
+    names.push_back(to_string(mode));
+  }
+  return names;
+}
+
 ControlPlane::ControlPlane(const ControlPlaneConfig& config, std::size_t hosts,
                            std::uint64_t seed)
     : config_(config) {
@@ -71,6 +104,7 @@ ControlPlane::ControlPlane(const ControlPlaneConfig& config, std::size_t hosts,
   }
   DS_EXPECTS(config.snapshot_jitter >= 0.0 && config.snapshot_jitter <= 1.0);
   if (config.snapshot_jitter > 0.0) DS_EXPECTS(config.probe_period > 0.0);
+  DS_EXPECTS(config.dispatchers >= 1 && config.dispatchers <= 4096);
 
   // Per-host probe substreams plus a shared RPC/fallback stream at
   // split(hosts), disjoint from every per-host stream.

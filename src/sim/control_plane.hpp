@@ -81,6 +81,30 @@ enum class FallbackMode {
 /// Display names of every fallback mode, in declaration order.
 [[nodiscard]] std::vector<std::string> registered_fallback_modes();
 
+/// How arrivals are sharded across dispatchers in multi-dispatcher mode.
+enum class ShardMode {
+  /// Job k goes to dispatcher k mod d. Job ids are assigned sequentially
+  /// at arrival, so this is a strict round-robin over the front-ends.
+  kRoundRobin,
+  /// Job k goes to dispatcher mix64(k) mod d: an avalanche hash of the id,
+  /// modelling consistent-hash front-end selection (uneven per-dispatcher
+  /// interarrival times, the realistic case).
+  kHash,
+};
+
+/// Display name, e.g. "round-robin".
+[[nodiscard]] std::string to_string(ShardMode mode);
+
+/// Inverse of to_string (case-insensitive); nullopt for unknown names.
+[[nodiscard]] std::optional<ShardMode> shard_from_string(
+    std::string_view name);
+
+/// Every ShardMode, in declaration order.
+[[nodiscard]] std::span<const ShardMode> all_shard_modes() noexcept;
+
+/// Display names of every shard mode, in declaration order.
+[[nodiscard]] std::vector<std::string> registered_shard_modes();
+
 /// Control-plane knobs. Default-constructed = disabled (zero cost, and the
 /// simulation is bit-identical to a build without the subsystem).
 struct ControlPlaneConfig {
@@ -131,6 +155,25 @@ struct ControlPlaneConfig {
   /// Keys the dedicated control RNG stream ("CTRL" tag); change only to run
   /// decorrelated control-plane scenarios over one master seed.
   std::uint64_t stream_tag = 0x4354524cULL;
+  /// Number of independent dispatcher front-ends racing on the same fleet.
+  /// Each dispatcher owns its own probe schedule, kObserved snapshot table,
+  /// and RPC/retry RNG state; arrivals are sharded across them per `shard`.
+  /// 1 (the default) is bit-identical to the single-dispatcher plane.
+  std::uint32_t dispatchers = 1;
+  /// Arrival sharding across dispatchers; irrelevant when dispatchers == 1.
+  ShardMode shard = ShardMode::kRoundRobin;
+  /// When true (the default), every snapshot-routed decision by a pure
+  /// policy is replayed against live state and counted in misroute_rate().
+  /// The second assign is pure observation — routing never changes — so
+  /// throughput-focused runs can turn it off.
+  bool misroute_oracle = true;
+  /// When true (the default), each dispatcher drives its probes from one
+  /// batched timer event that sweeps all due hosts in a tight loop over the
+  /// SoA table; per-host phase jitter is preserved by precomputed offsets
+  /// and the observation sequence is bit-identical to the per-host path.
+  /// False keeps the legacy one-event-per-host schedule (the equivalence
+  /// test's reference).
+  bool batch_probes = true;
 
   /// True when policies must read snapshots instead of live state.
   [[nodiscard]] bool snapshots_enabled() const noexcept {
@@ -211,6 +254,16 @@ class ControlPlane {
   /// and derives the streams from `seed`.
   ControlPlane(const ControlPlaneConfig& config, std::size_t hosts,
                std::uint64_t seed);
+
+  /// Effective RNG seed for dispatcher `k` of a multi-dispatcher plane:
+  /// k = 0 returns `seed` unchanged (so d = 1 consumes exactly the draws
+  /// of the single-dispatcher plane and stays bit-identical), k > 0 salts
+  /// with the golden-ratio odd constant so sibling dispatchers see
+  /// decorrelated probe phase, loss, and RPC draw sequences.
+  [[nodiscard]] static std::uint64_t dispatcher_seed(
+      std::uint64_t seed, std::uint32_t k) noexcept {
+    return seed ^ (static_cast<std::uint64_t>(k) * 0x9e3779b97f4a7c15ULL);
+  }
 
   /// Time of host `host`'s first probe: its jittered phase in
   /// [0, probe_jitter * probe_period]. Drawn once at construction.

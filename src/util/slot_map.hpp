@@ -1,0 +1,183 @@
+// A slot-pool hash map in the style of the event engine's slot-pool heap:
+// values live in a contiguous slot vector recycled through a free list, and
+// an open-addressing index (power-of-two, linear probing, backward-shift
+// deletion) maps keys to slots. After the initial warm-up the steady state
+// performs zero allocations per insert/erase cycle — the property the RPC
+// pending-dispatch table needs, where every routed job inserts one entry
+// and erases it on ack.
+//
+// Deliberately narrower than std::unordered_map: no iterators (use
+// for_each), no node handles, keys are trivially copyable values hashed
+// with a SplitMix64-style avalanche. Iteration order is a deterministic
+// function of the operation sequence (probe order), never of pointer
+// values, so audited runs stay reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace distserv::util {
+
+/// SplitMix64 finalizer on a value (the stateless cousin of
+/// dist::splitmix64, which advances a stream). Used wherever a single
+/// well-mixed 64-bit hash of an integer key is needed.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Slot-pooled open-addressing map from a trivially copyable integer-like
+/// key to a default-constructible value. upsert() matches
+/// unordered_map::operator[] semantics (insert default if absent).
+template <typename Key, typename Value>
+class SlotMap {
+ public:
+  /// Returns the value for `key`, default-constructing it first if the key
+  /// is absent. The reference stays valid until the next upsert/erase/
+  /// clear (slot storage may reallocate while the pool is still growing).
+  Value& upsert(Key key) {
+    if (buckets_.empty() || (size_ + 1) * 10 > buckets_.size() * 7) {
+      grow();
+    }
+    std::size_t b = bucket_of(key);
+    while (buckets_[b] != kEmpty) {
+      if (slots_[buckets_[b]].key == key) return slots_[buckets_[b]].value;
+      b = (b + 1) & mask_;
+    }
+    std::uint32_t s;
+    if (!free_.empty()) {
+      s = free_.back();
+      free_.pop_back();
+      slots_[s].key = key;
+      slots_[s].value = Value{};
+    } else {
+      s = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(Slot{key, Value{}});
+    }
+    buckets_[b] = s;
+    ++size_;
+    return slots_[s].value;
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  [[nodiscard]] Value* find(Key key) noexcept {
+    const std::size_t b = find_bucket(key);
+    return b == kNone ? nullptr : &slots_[buckets_[b]].value;
+  }
+  [[nodiscard]] const Value* find(Key key) const noexcept {
+    const std::size_t b = find_bucket(key);
+    return b == kNone ? nullptr : &slots_[buckets_[b]].value;
+  }
+
+  /// Removes `key` if present; the slot returns to the free list. Uses
+  /// backward-shift deletion so lookups never cross tombstones.
+  bool erase(Key key) noexcept {
+    std::size_t b = find_bucket(key);
+    if (b == kNone) return false;
+    free_.push_back(buckets_[b]);
+    --size_;
+    // Backward-shift: pull displaced entries into the hole so every
+    // remaining entry stays reachable from its home bucket.
+    std::size_t hole = b;
+    std::size_t j = b;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (buckets_[j] == kEmpty) break;
+      const std::size_t home = bucket_of(slots_[buckets_[j]].key);
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        buckets_[hole] = buckets_[j];
+        hole = j;
+      }
+    }
+    buckets_[hole] = kEmpty;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Drops every entry but keeps the slot pool and index capacity, so a
+  /// cleared map re-fills without allocating.
+  void clear() noexcept {
+    for (auto& bucket : buckets_) bucket = kEmpty;
+    slots_.clear();
+    free_.clear();
+    size_ = 0;
+  }
+
+  /// Pre-sizes the index for `n` entries (rounded up to the load-factor
+  /// headroom) so the warm-up rehashes happen before the hot loop.
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (n * 10 > want * 7) want *= 2;
+    if (want > buckets_.size()) rehash(want);
+    slots_.reserve(n);
+  }
+
+  /// Calls fn(key, value&) for every live entry, in probe-table order
+  /// (deterministic for a fixed operation sequence).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (const std::uint32_t s : buckets_) {
+      if (s != kEmpty) fn(slots_[s].key, slots_[s].value);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const std::uint32_t s : buckets_) {
+      if (s != kEmpty) fn(slots_[s].key, slots_[s].value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    Value value;
+  };
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t bucket_of(Key key) const noexcept {
+    return static_cast<std::size_t>(mix64(static_cast<std::uint64_t>(key))) &
+           mask_;
+  }
+
+  [[nodiscard]] std::size_t find_bucket(Key key) const noexcept {
+    if (buckets_.empty()) return kNone;
+    std::size_t b = bucket_of(key);
+    while (buckets_[b] != kEmpty) {
+      if (slots_[buckets_[b]].key == key) return b;
+      b = (b + 1) & mask_;
+    }
+    return kNone;
+  }
+
+  void grow() { rehash(buckets_.empty() ? 16 : buckets_.size() * 2); }
+
+  void rehash(std::size_t new_cap) {
+    DS_ASSERT((new_cap & (new_cap - 1)) == 0);
+    std::vector<std::uint32_t> old = std::move(buckets_);
+    buckets_.assign(new_cap, kEmpty);
+    mask_ = new_cap - 1;
+    for (const std::uint32_t s : old) {
+      if (s == kEmpty) continue;
+      std::size_t b = bucket_of(slots_[s].key);
+      while (buckets_[b] != kEmpty) b = (b + 1) & mask_;
+      buckets_[b] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::uint32_t> buckets_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace distserv::util

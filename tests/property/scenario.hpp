@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +39,34 @@
 #include "workload/trace.hpp"
 
 namespace distserv::proptest {
+
+/// Number of seeded scenarios a property harness runs: `base` normally,
+/// overridden by the DISTSERV_FUZZ_SEEDS environment variable (the nightly
+/// CI job runs the same harnesses at 4x depth without a rebuild). Invalid
+/// or empty values fall back to `base`.
+inline std::uint64_t scenario_count(std::uint64_t base) {
+  const char* env = std::getenv("DISTSERV_FUZZ_SEEDS");
+  if (env == nullptr || *env == '\0') return base;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return base;
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Writes a reproducer (seed + expanded scenario config) into
+/// $DISTSERV_REPRO_DIR when that variable is set. The nightly workflow
+/// uploads the directory as an artifact on failure, so a red fuzz run
+/// carries its own repro command instead of just a seed number in a log.
+inline void write_repro(const char* harness, std::uint64_t seed,
+                        const std::string& description) {
+  const char* dir = std::getenv("DISTSERV_REPRO_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::ofstream out(std::string(dir) + "/" + harness + "-seed-" +
+                    std::to_string(seed) + ".txt");
+  out << "harness: " << harness << "\nseed: " << seed
+      << "\nrepro: run the harness with the seed loop pinned to this seed"
+      << "\nscenario: " << description << "\n";
+}
 
 /// One generated simulation scenario.
 struct Scenario {
@@ -344,6 +374,19 @@ inline ControlScenario make_control_scenario(std::uint64_t seed) {
     cs.recovery = modes[rng.below(modes.size())];
   }
 
+  // Multi-dispatcher mode on a third of the seeds: independently stale
+  // front-ends sharded round-robin or by hash, exercising the
+  // dispatcher-ownership and per-dispatcher snapshot-age invariants. The
+  // legacy per-host probe path keeps half of all seeds so the wheel's
+  // equivalence stays continuously fuzzed, not just unit-tested. Drawn
+  // after every other knob so existing seed expansions are unchanged.
+  if (rng.bernoulli(0.35)) {
+    cs.control.dispatchers = 2 + static_cast<std::uint32_t>(rng.below(3));
+    cs.control.shard = rng.bernoulli(0.5) ? sim::ShardMode::kHash
+                                          : sim::ShardMode::kRoundRobin;
+  }
+  cs.control.batch_probes = rng.bernoulli(0.5);
+
   cs.base.description +=
       " control{period=" + std::to_string(cs.control.probe_period) +
       " probe_loss=" + std::to_string(cs.control.probe_loss) +
@@ -353,6 +396,9 @@ inline ControlScenario make_control_scenario(std::uint64_t seed) {
       " retries=" + std::to_string(cs.control.max_retries) +
       " bound=" + std::to_string(cs.control.staleness_bound) +
       " fallback=" + sim::to_string(cs.control.fallback) +
+      " dispatchers=" + std::to_string(cs.control.dispatchers) +
+      " shard=" + sim::to_string(cs.control.shard) +
+      " batch=" + std::to_string(cs.control.batch_probes) +
       (cs.faults.enabled
            ? " outages=" + std::to_string(cs.faults.outages.size()) +
                  " recovery=" + core::to_string(cs.recovery)

@@ -10,7 +10,7 @@
 namespace distserv::proptest {
 namespace {
 
-constexpr std::uint64_t kScenarioCount = 224;
+const std::uint64_t kScenarioCount = scenario_count(224);
 
 TEST(AuditProperty, SeededScenariosPassEveryInvariant) {
   for (std::uint64_t seed = 1; seed <= kScenarioCount; ++seed) {
@@ -24,6 +24,10 @@ TEST(AuditProperty, SeededScenariosPassEveryInvariant) {
     EXPECT_EQ(result.audit->arrivals, s.trace.size()) << s.description;
     EXPECT_EQ(result.audit->completions, s.trace.size()) << s.description;
     EXPECT_EQ(result.audit->starts, s.trace.size()) << s.description;
+    if (testing::Test::HasFailure()) {
+      write_repro("test_audit_property", seed, s.description);
+      break;
+    }
   }
 }
 

@@ -189,5 +189,117 @@ TEST(ControlDetectsBugs, ProbeTimeTravelTripsMonotonicity) {
       << audit.report().to_string();
 }
 
+// Injected sharding bug: the job is owned by dispatcher 0 (its first
+// control hook), but a later RPC retry is sent by dispatcher 1 — two
+// front-ends driving one job's chain.
+TEST(ControlDetectsBugs, CrossDispatcherSendTripsDispatcherOwnership) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 5.0);
+  audit.on_control_route(0, 0.0, /*age=*/0.0, /*bound=*/0.0,
+                         /*stale_sensitive=*/false, /*level=*/0,
+                         /*dispatcher=*/0);
+  audit.on_rpc_send(0, 0, /*attempt=*/0, 0.0, /*dispatcher=*/0);
+  audit.on_rpc_outcome(0, RpcOutcome::kRequestLost, 0.0);
+  audit.on_event(1.0);
+  audit.on_rpc_outcome(0, RpcOutcome::kTimeout, 1.0);
+  // Bug: the retry comes from the wrong dispatcher.
+  audit.on_rpc_send(0, 0, /*attempt=*/1, 1.0, /*dispatcher=*/1);
+  EXPECT_TRUE(has_violation(audit.report(), "dispatcher-ownership"))
+      << audit.report().to_string();
+}
+
+// The same bug via the routing path: a resubmitted job is re-routed by a
+// dispatcher that does not own it.
+TEST(ControlDetectsBugs, CrossDispatcherRouteTripsDispatcherOwnership) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(2);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 5.0);
+  audit.on_control_route(0, 0.0, /*age=*/0.0, /*bound=*/0.0,
+                         /*stale_sensitive=*/false, /*level=*/0,
+                         /*dispatcher=*/1);
+  audit.on_event(2.0);
+  audit.on_control_route(0, 2.0, /*age=*/0.0, /*bound=*/0.0,
+                         /*stale_sensitive=*/false, /*level=*/0,
+                         /*dispatcher=*/0);
+  EXPECT_TRUE(has_violation(audit.report(), "dispatcher-ownership"))
+      << audit.report().to_string();
+}
+
+// Each dispatcher's kObserved table is fed only by its own probe stream:
+// dispatcher 1 probed recently, but the route came from dispatcher 0,
+// whose own observations are stale — reporting dispatcher 1's young age
+// from dispatcher 0 is the cross-snapshot corruption the per-dispatcher
+// shadow exists to catch.
+TEST(ControlDetectsBugs, CrossDispatcherAgeTripsSnapshotAge) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_probe(0, 0.0, /*lost=*/false, /*dispatcher=*/0);
+  audit.on_event(9.0);
+  audit.on_probe(0, 9.0, /*lost=*/false, /*dispatcher=*/1);
+  audit.on_event(10.0);
+  audit.on_arrival(0, 10.0, 2.0);
+  // Bug: dispatcher 0 reports age 1.0 (dispatcher 1's freshness); its own
+  // probe stream implies age 10.0.
+  audit.on_control_route(0, 10.0, /*age=*/1.0, /*bound=*/0.0,
+                         /*stale_sensitive=*/false, /*level=*/0,
+                         /*dispatcher=*/0);
+  EXPECT_TRUE(has_violation(audit.report(), "snapshot-age"))
+      << audit.report().to_string();
+}
+
+// The misrouting oracle is a side-effect-free re-evaluation inside a
+// primary-level routing decision; firing it standalone (no route at that
+// instant) means the server compared against live state somewhere it had
+// no business reading it.
+TEST(ControlDetectsBugs, StandaloneOracleTripsMisrouteOracle) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 5.0);
+  audit.on_control_route(0, 0.0, /*age=*/0.0, /*bound=*/0.0,
+                         /*stale_sensitive=*/false, /*level=*/0);
+  audit.on_event(3.0);
+  audit.on_oracle(0, 3.0);  // bug: no routing decision at t=3
+  EXPECT_TRUE(has_violation(audit.report(), "misroute-oracle"))
+      << audit.report().to_string();
+}
+
+// An oracle comparison during a fallback-level route is equally illegal:
+// only the primary level re-evaluates against live state.
+TEST(ControlDetectsBugs, FallbackLevelOracleTripsMisrouteOracle) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 5.0);
+  audit.on_control_route(0, 0.0, /*age=*/0.0, /*bound=*/0.0,
+                         /*stale_sensitive=*/false, /*level=*/1);
+  audit.on_oracle(0, 0.0);
+  EXPECT_TRUE(has_violation(audit.report(), "misroute-oracle"))
+      << audit.report().to_string();
+}
+
+// A legal oracle call inside the primary route passes, and the finalize
+// counting identity (oracle_checks <= control_routes) holds.
+TEST(ControlDetectsBugs, InRouteOraclePasses) {
+  QueueingAuditor audit(enabled_config());
+  audit.begin_run(1);
+  audit.on_event(0.0);
+  audit.on_arrival(0, 0.0, 1.0);
+  audit.on_control_route(0, 0.0, /*age=*/0.0, /*bound=*/0.0,
+                         /*stale_sensitive=*/false, /*level=*/0);
+  audit.on_oracle(0, 0.0);
+  audit.on_dispatch(0, 0);
+  audit.on_start(0, 0, 0.0, 1.0, Source::kDirect);
+  audit.on_event(1.0);
+  audit.on_complete(0, 0, 1.0);
+  const AuditReport report = audit.finalize(1.0);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.oracle_checks, 1u);
+}
+
 }  // namespace
 }  // namespace distserv::sim

@@ -13,7 +13,7 @@
 namespace distserv::proptest {
 namespace {
 
-constexpr std::uint64_t kControlScenarioCount = 224;
+const std::uint64_t kControlScenarioCount = scenario_count(224);
 
 TEST(ControlProperty, SeededControlScenariosPassEveryInvariant) {
   std::uint64_t with_rpc_losses = 0;
@@ -37,6 +37,10 @@ TEST(ControlProperty, SeededControlScenariosPassEveryInvariant) {
     if (c.requests_lost + c.acks_lost > 0) ++with_rpc_losses;
     if (c.routed > 0) ++with_snapshots;
     if (c.fallback_activations() > 0) ++with_escalations;
+    if (testing::Test::HasFailure()) {
+      write_repro("test_control_property", seed, cs.base.description);
+      break;
+    }
   }
   // The generator must exercise the degradation paths, not pass vacuously
   // on scenarios where every probe lands and every RPC goes through.

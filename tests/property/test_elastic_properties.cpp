@@ -13,7 +13,7 @@
 namespace distserv::proptest {
 namespace {
 
-constexpr std::uint64_t kElasticScenarioCount = 224;
+const std::uint64_t kElasticScenarioCount = scenario_count(224);
 
 TEST(ElasticProperty, SeededElasticScenariosPassEveryInvariant) {
   std::uint64_t with_drains = 0;
@@ -54,6 +54,10 @@ TEST(ElasticProperty, SeededElasticScenariosPassEveryInvariant) {
     if (s.warmups_completed > 0) ++with_warmups;
     if (!es.speeds.empty()) ++with_speeds;
     if (es.faults.enabled) ++with_faults;
+    if (testing::Test::HasFailure()) {
+      write_repro("test_elastic_property", seed, es.base.description);
+      break;
+    }
   }
   // The generator must exercise the scaling paths, not pass vacuously on
   // scenarios where the window never leaves the hysteresis band.

@@ -11,7 +11,7 @@
 namespace distserv::proptest {
 namespace {
 
-constexpr std::uint64_t kFaultScenarioCount = 224;
+const std::uint64_t kFaultScenarioCount = scenario_count(224);
 
 TEST(FaultProperty, SeededFaultScenariosPassEveryInvariant) {
   std::uint64_t with_interruptions = 0;
@@ -39,6 +39,10 @@ TEST(FaultProperty, SeededFaultScenariosPassEveryInvariant) {
     EXPECT_EQ(result.jobs_failed, result.audit->abandoned)
         << fs.base.description;
     if (result.interruptions > 0) ++with_interruptions;
+    if (testing::Test::HasFailure()) {
+      write_repro("test_fault_property", seed, fs.base.description);
+      break;
+    }
   }
   // The generator must actually exercise the failure paths, not just pass
   // vacuously on scenarios where nothing ever breaks.

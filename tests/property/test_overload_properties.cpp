@@ -14,7 +14,7 @@
 namespace distserv::proptest {
 namespace {
 
-constexpr std::uint64_t kOverloadScenarioCount = 224;
+const std::uint64_t kOverloadScenarioCount = scenario_count(224);
 
 TEST(OverloadProperty, SeededOverloadScenariosPassEveryInvariant) {
   std::uint64_t with_sheds = 0;
@@ -52,6 +52,10 @@ TEST(OverloadProperty, SeededOverloadScenariosPassEveryInvariant) {
     if (o.reneged > 0) ++with_reneges;
     if (o.migrated() > 0) ++with_migrations;
     if (o.bounced_full + o.rpc_full_rejects > 0) ++with_bounces;
+    if (testing::Test::HasFailure()) {
+      write_repro("test_overload_property", seed, os.base.description);
+      break;
+    }
   }
   // The generator must exercise every protection path, not pass vacuously
   // on scenarios where no cap ever binds and no deadline ever expires.
